@@ -1,0 +1,384 @@
+//! Concrete interpreter for library semantics.
+//!
+//! The Atlas baseline (Bastani et al., PLDI 2018) infers points-to
+//! specifications by *executing* synthesized unit tests against the library
+//! and observing object identities. The paper's Atlas runs against real
+//! JVM classes; this interpreter executes the [`MethodSem`] semantics of
+//! the ground-truth registry instead, preserving exactly the observable
+//! behaviour that matters: which calls return which previously-passed
+//! objects.
+
+use std::collections::HashMap;
+use uspec_corpus::{LibMethod, Library, MethodSem};
+use uspec_lang::Symbol;
+
+/// A concrete object identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CVal(pub u32);
+
+/// A concrete key component (for container indexing).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CKey {
+    /// String key.
+    Str(String),
+    /// Integer key.
+    Int(i64),
+    /// Object identity used as a key.
+    Obj(CVal),
+}
+
+/// A concrete argument.
+#[derive(Clone, Debug)]
+pub enum CArg {
+    /// A primitive key value.
+    Key(CKey),
+    /// An object.
+    Obj(CVal),
+}
+
+impl CArg {
+    fn as_key(&self) -> CKey {
+        match self {
+            CArg::Key(k) => k.clone(),
+            CArg::Obj(v) => CKey::Obj(*v),
+        }
+    }
+}
+
+/// Errors during interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// The class is not registered.
+    UnknownClass(Symbol),
+    /// The class cannot be instantiated with `new`.
+    NotConstructible(Symbol),
+    /// No such method on the receiver's class.
+    UnknownMethod(Symbol, Symbol),
+    /// Wrong number of arguments.
+    Arity(Symbol, Symbol),
+    /// The stored-value argument was not an object.
+    NonObjectValue(Symbol, Symbol),
+    /// The receiver has no class (e.g. a marker object).
+    ClasslessReceiver,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            InterpError::NotConstructible(c) => write!(f, "class `{c}` has no public constructor"),
+            InterpError::UnknownMethod(c, m) => write!(f, "no method `{m}` on `{c}`"),
+            InterpError::Arity(c, m) => write!(f, "arity mismatch calling `{c}.{m}`"),
+            InterpError::NonObjectValue(c, m) => {
+                write!(f, "`{c}.{m}` expected an object value argument")
+            }
+            InterpError::ClasslessReceiver => write!(f, "receiver has no class"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[derive(Clone, Debug, Default)]
+struct ObjState {
+    class: Option<Symbol>,
+    store: HashMap<Vec<CKey>, CVal>,
+    stack: Vec<CVal>,
+    cache: HashMap<(Symbol, Vec<CKey>), CVal>,
+}
+
+/// The concrete machine.
+#[derive(Debug)]
+pub struct Interp<'l> {
+    lib: &'l Library,
+    objs: Vec<ObjState>,
+    statics: HashMap<Symbol, CVal>,
+}
+
+impl<'l> Interp<'l> {
+    /// Creates a machine over a library.
+    pub fn new(lib: &'l Library) -> Interp<'l> {
+        Interp {
+            lib,
+            objs: Vec::new(),
+            statics: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh object with an optional class.
+    pub fn fresh(&mut self, class: Option<Symbol>) -> CVal {
+        let v = CVal(self.objs.len() as u32);
+        self.objs.push(ObjState {
+            class,
+            ..ObjState::default()
+        });
+        v
+    }
+
+    /// `new C()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown or factory-only classes — the latter is precisely
+    /// the Atlas limitation of §7.5.
+    pub fn construct(&mut self, class: Symbol) -> Result<CVal, InterpError> {
+        let c = self
+            .lib
+            .class(class)
+            .ok_or(InterpError::UnknownClass(class))?;
+        if !c.constructible {
+            return Err(InterpError::NotConstructible(class));
+        }
+        Ok(self.fresh(Some(class)))
+    }
+
+    /// The class of an object, if any.
+    pub fn class_of(&self, v: CVal) -> Option<Symbol> {
+        self.objs[v.0 as usize].class
+    }
+
+    /// Calls the static method `class.method(args)`.
+    ///
+    /// Static state (e.g. a `LoadSame` cache for `re.compile`) lives on a
+    /// per-class synthetic object.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown classes/methods and arity mismatches.
+    pub fn call_static(
+        &mut self,
+        class: Symbol,
+        method: Symbol,
+        args: &[CArg],
+    ) -> Result<Option<CVal>, InterpError> {
+        let c = self
+            .lib
+            .class(class)
+            .ok_or(InterpError::UnknownClass(class))?;
+        let m = c
+            .method(method)
+            .ok_or(InterpError::UnknownMethod(class, method))?
+            .clone();
+        if m.arity as usize != args.len() {
+            return Err(InterpError::Arity(class, method));
+        }
+        // Synthetic class object holding static state.
+        let holder = match self.statics.get(&class) {
+            Some(&v) => v,
+            None => {
+                let v = self.fresh(None);
+                self.statics.insert(class, v);
+                v
+            }
+        };
+        self.dispatch(holder, class, &m, args)
+    }
+
+    /// Calls `recv.method(args)`, returning the returned object (if any).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown methods, arity mismatches and non-object value
+    /// arguments.
+    pub fn call(
+        &mut self,
+        recv: CVal,
+        method: Symbol,
+        args: &[CArg],
+    ) -> Result<Option<CVal>, InterpError> {
+        let class = self.objs[recv.0 as usize]
+            .class
+            .ok_or(InterpError::ClasslessReceiver)?;
+        let c = self
+            .lib
+            .class(class)
+            .ok_or(InterpError::UnknownClass(class))?;
+        let m = c
+            .method(method)
+            .ok_or(InterpError::UnknownMethod(class, method))?
+            .clone();
+        if m.arity as usize != args.len() {
+            return Err(InterpError::Arity(class, method));
+        }
+        self.dispatch(recv, class, &m, args)
+    }
+
+    fn dispatch(
+        &mut self,
+        recv: CVal,
+        class: Symbol,
+        m: &LibMethod,
+        args: &[CArg],
+    ) -> Result<Option<CVal>, InterpError> {
+        let ret_class = m.ret;
+        match m.sem {
+            MethodSem::Store { value_arg } => {
+                let (key, value) = split_store_args(class, m, args, value_arg)?;
+                self.objs[recv.0 as usize].store.insert(key, value);
+                Ok(None)
+            }
+            MethodSem::Load => {
+                let key: Vec<CKey> = args.iter().map(CArg::as_key).collect();
+                match self.objs[recv.0 as usize].store.get(&key) {
+                    Some(&v) => Ok(Some(v)),
+                    None => Ok(Some(self.fresh(ret_class))),
+                }
+            }
+            MethodSem::Take => {
+                let key: Vec<CKey> = args.iter().map(CArg::as_key).collect();
+                match self.objs[recv.0 as usize].store.remove(&key) {
+                    Some(v) => Ok(Some(v)),
+                    None => Ok(Some(self.fresh(ret_class))),
+                }
+            }
+            MethodSem::LoadSame => {
+                let key: Vec<CKey> = args.iter().map(CArg::as_key).collect();
+                if let Some(&v) = self.objs[recv.0 as usize].cache.get(&(m.name, key.clone())) {
+                    return Ok(Some(v));
+                }
+                let v = self.fresh(ret_class);
+                self.objs[recv.0 as usize].cache.insert((m.name, key), v);
+                Ok(Some(v))
+            }
+            MethodSem::FreshPerCall => Ok(Some(self.fresh(ret_class))),
+            MethodSem::StackPush { value_arg } => {
+                let (_, value) = split_store_args(class, m, args, value_arg)?;
+                self.objs[recv.0 as usize].stack.push(value);
+                Ok(None)
+            }
+            MethodSem::StackPop => match self.objs[recv.0 as usize].stack.pop() {
+                Some(v) => Ok(Some(v)),
+                None => Ok(Some(self.fresh(ret_class))),
+            },
+            MethodSem::ReturnsSelf => Ok(Some(recv)),
+            MethodSem::Void => Ok(None),
+        }
+    }
+}
+
+fn split_store_args(
+    class: Symbol,
+    m: &LibMethod,
+    args: &[CArg],
+    value_arg: u8,
+) -> Result<(Vec<CKey>, CVal), InterpError> {
+    let mut key = Vec::new();
+    let mut value = None;
+    for (i, a) in args.iter().enumerate() {
+        if (i + 1) as u8 == value_arg {
+            match a {
+                CArg::Obj(v) => value = Some(*v),
+                CArg::Key(_) => return Err(InterpError::NonObjectValue(class, m.name)),
+            }
+        } else {
+            key.push(a.as_key());
+        }
+    }
+    let value = value.ok_or(InterpError::NonObjectValue(class, m.name))?;
+    Ok((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_corpus::java_library;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn hashmap_put_get_roundtrip() {
+        let lib = java_library();
+        let mut m = Interp::new(&lib);
+        let map = m.construct(sym("java.util.HashMap")).unwrap();
+        let v = m.fresh(None);
+        m.call(
+            map,
+            sym("put"),
+            &[CArg::Key(CKey::Str("k".into())), CArg::Obj(v)],
+        )
+        .unwrap();
+        let got = m
+            .call(map, sym("get"), &[CArg::Key(CKey::Str("k".into()))])
+            .unwrap();
+        assert_eq!(got, Some(v), "get(k) returns the stored object");
+        let miss = m
+            .call(map, sym("get"), &[CArg::Key(CKey::Str("other".into()))])
+            .unwrap();
+        assert_ne!(miss, Some(v));
+    }
+
+    #[test]
+    fn load_same_caches_per_key() {
+        let lib = java_library();
+        let mut m = Interp::new(&lib);
+        let vg = m.construct(sym("android.view.ViewGroup")).unwrap();
+        let a = m.call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(7))]).unwrap();
+        let b = m.call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(7))]).unwrap();
+        let c = m.call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(8))]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stack_semantics() {
+        let lib = java_library();
+        let mut m = Interp::new(&lib);
+        let list = m.construct(sym("java.util.ArrayList")).unwrap();
+        let v1 = m.fresh(None);
+        let v2 = m.fresh(None);
+        m.call(list, sym("add"), &[CArg::Obj(v1)]).unwrap();
+        m.call(list, sym("add"), &[CArg::Obj(v2)]).unwrap();
+        let it = m.call(list, sym("iterator"), &[]).unwrap().unwrap();
+        let first = m.call(it, sym("next"), &[]).unwrap();
+        let second = m.call(it, sym("next"), &[]).unwrap();
+        // Iterator over our stack model pops in LIFO order; what matters is
+        // that consecutive nexts differ (RetSame(next) is false)...
+        assert_ne!(first, second);
+        // ...but note our iterator is created empty (it doesn't share the
+        // list's storage), so next() returns fresh objects.
+        assert!(first.is_some());
+    }
+
+    #[test]
+    fn factory_only_construction_fails() {
+        let lib = java_library();
+        let mut m = Interp::new(&lib);
+        let err = m.construct(sym("java.sql.ResultSet")).unwrap_err();
+        assert_eq!(
+            err,
+            InterpError::NotConstructible(sym("java.sql.ResultSet"))
+        );
+    }
+
+    #[test]
+    fn returns_self_semantics() {
+        let lib = java_library();
+        let mut m = Interp::new(&lib);
+        let sb = m.construct(sym("java.lang.StringBuilder")).unwrap();
+        let v = m.fresh(None);
+        let r = m.call(sb, sym("append"), &[CArg::Obj(v)]).unwrap();
+        assert_eq!(r, Some(sb));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let lib = java_library();
+        let mut m = Interp::new(&lib);
+        let map = m.construct(sym("java.util.HashMap")).unwrap();
+        assert!(matches!(
+            m.call(map, sym("bogus"), &[]),
+            Err(InterpError::UnknownMethod(..))
+        ));
+        assert!(matches!(
+            m.call(map, sym("get"), &[]),
+            Err(InterpError::Arity(..))
+        ));
+        let marker = m.fresh(None);
+        assert!(matches!(
+            m.call(marker, sym("get"), &[]),
+            Err(InterpError::ClasslessReceiver)
+        ));
+    }
+}

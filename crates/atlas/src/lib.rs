@@ -1,0 +1,28 @@
+//! # uspec-atlas
+//!
+//! Reimplementation of the **Atlas** baseline (Bastani et al., *Active
+//! Learning of Points-to Specifications*, PLDI 2018) used in the paper's
+//! §7.5 comparison.
+//!
+//! Atlas synthesizes unit tests against a library, runs them, and
+//! generalizes the observed object flows into argument-insensitive
+//! points-to specifications. Here the "library" is the executable
+//! ground-truth semantics of [`uspec_corpus`], interpreted by
+//! [`interp::Interp`]; [`synth`] implements the test-synthesis loop with
+//! Atlas's documented limitations (default-constructor-only instantiation,
+//! argument insensitivity, std-lib-tuned argument pools), so the §7.5
+//! failure modes — empty specs for factory-only classes, unsound results
+//! for `java.util.Properties` — fall out naturally.
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod synth;
+pub mod validate;
+
+pub use interp::{CArg, CKey, CVal, Interp, InterpError};
+pub use synth::{
+    evaluate, run_atlas, true_flows, AtlasOptions, AtlasResult, ClassEval, ClassStatus, FlowSpec,
+    Outcome,
+};
+pub use validate::{obtain_instance, spec_holds};

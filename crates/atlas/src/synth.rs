@@ -1,0 +1,426 @@
+//! Atlas-style active learning of points-to specifications (§7.5).
+//!
+//! Atlas (Bastani et al., PLDI 2018) synthesizes unit tests against a
+//! library, executes them, and generalizes observed object flows into
+//! points-to specifications. This module reimplements that loop with the
+//! documented limitations that drive the §7.5 comparison:
+//!
+//! * **Default-constructor-only instantiation** — factory-only classes
+//!   (`java.sql.ResultSet`, `java.security.KeyStore`,
+//!   `org.w3c.dom.NodeList`) yield no tests and thus no specification.
+//! * **Argument insensitivity** — an observed flow `put(k, v); get(k) == v`
+//!   is generalized to "get may return anything passed to put", with no key
+//!   condition (none of Atlas's outputs instantiate `RetSame`/`RetArg`).
+//! * **Std-lib-tuned heuristics** — argument pools are small (collision
+//!   friendly) only for the classes Atlas's implementation special-cases;
+//!   elsewhere keys rarely collide and flows go unobserved, so reads are
+//!   (unsoundly) concluded to return fresh objects (the
+//!   `java.util.Properties` failure the paper reports).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use uspec_corpus::{ArgKind, Library, MethodSem};
+use uspec_lang::{MethodId, Symbol};
+
+use crate::interp::{CArg, CKey, CVal, Interp};
+
+/// Options controlling test synthesis.
+#[derive(Clone, Debug)]
+pub struct AtlasOptions {
+    /// Test sequences per class.
+    pub tests_per_class: usize,
+    /// Calls per test sequence.
+    pub max_seq_len: usize,
+    /// Argument-pool size for classes the implementation is *not* tuned
+    /// for (large pools make key collisions — and hence flow observations —
+    /// rare).
+    pub untuned_pool: usize,
+    /// Argument-pool size for tuned (std-lib) classes.
+    pub tuned_pool: usize,
+    /// Classes the implementation is tuned for.
+    pub tuned_classes: Vec<Symbol>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AtlasOptions {
+    fn default() -> AtlasOptions {
+        AtlasOptions {
+            tests_per_class: 60,
+            max_seq_len: 8,
+            untuned_pool: 100_000,
+            tuned_pool: 2,
+            tuned_classes: ["java.util.HashMap", "java.util.Hashtable", "java.util.ArrayList"]
+                .iter()
+                .map(|s| Symbol::intern(s))
+                .collect(),
+            seed: 0xA71A5,
+        }
+    }
+}
+
+/// An argument-insensitive flow specification, Atlas's output language:
+/// "`target` may return any object previously passed as argument `arg` of
+/// `source` on the same receiver".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// The write method.
+    pub source: MethodId,
+    /// 1-based argument position of the flowing object.
+    pub arg: u8,
+    /// The read method.
+    pub target: MethodId,
+}
+
+impl std::fmt::Display for FlowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.ret ⊇ {}.arg{}", self.target, self.source, self.arg)
+    }
+}
+
+/// Per-class outcome of running Atlas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// No accessible constructor — no tests could be generated.
+    NoConstructor,
+    /// Inferred flow specifications (possibly empty).
+    Specs(Vec<FlowSpec>),
+}
+
+/// Result for one class.
+#[derive(Clone, Debug)]
+pub struct AtlasResult {
+    /// The class.
+    pub class: Symbol,
+    /// The outcome.
+    pub outcome: Outcome,
+}
+
+/// Runs Atlas-style inference for every class of the library.
+pub fn run_atlas(lib: &Library, opts: &AtlasOptions) -> Vec<AtlasResult> {
+    let mut out: Vec<AtlasResult> = lib
+        .classes()
+        .map(|c| AtlasResult {
+            class: c.name,
+            outcome: infer_class(lib, c.name, opts),
+        })
+        .collect();
+    out.sort_by_key(|r| r.class);
+    out
+}
+
+fn infer_class(lib: &Library, class: Symbol, opts: &AtlasOptions) -> Outcome {
+    let c = lib.class(class).expect("registered class");
+    if !c.constructible {
+        return Outcome::NoConstructor;
+    }
+    let methods: Vec<_> = c.methods.iter().filter(|m| !m.is_static).cloned().collect();
+    if methods.is_empty() {
+        return Outcome::Specs(Vec::new());
+    }
+    let pool = if opts.tuned_classes.contains(&class) {
+        opts.tuned_pool
+    } else {
+        opts.untuned_pool
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ class.index() as u64);
+    let mut specs: BTreeSet<FlowSpec> = BTreeSet::new();
+
+    for _ in 0..opts.tests_per_class {
+        let mut interp = Interp::new(lib);
+        let recv = interp.construct(class).expect("constructible");
+        // (marker object, method it was passed to, position).
+        let mut passed: Vec<(CVal, MethodId, u8)> = Vec::new();
+        for _ in 0..opts.max_seq_len {
+            let m = methods.choose(&mut rng).expect("non-empty").clone();
+            let mut args = Vec::new();
+            for (i, kind) in m.args.iter().enumerate() {
+                let arg = match kind {
+                    ArgKind::Str => CArg::Key(CKey::Str(format!("s{}", rng.gen_range(0..pool)))),
+                    ArgKind::Int => CArg::Key(CKey::Int(rng.gen_range(0..pool as i64))),
+                    ArgKind::Obj => {
+                        let marker = interp.fresh(None);
+                        passed.push((
+                            marker,
+                            MethodId {
+                                class,
+                                method: m.name,
+                                arity: m.arity,
+                            },
+                            (i + 1) as u8,
+                        ));
+                        CArg::Obj(marker)
+                    }
+                };
+                args.push(arg);
+            }
+            let Ok(ret) = interp.call(recv, m.name, &args) else {
+                continue;
+            };
+            if let Some(v) = ret {
+                for &(marker, source, pos) in &passed {
+                    if marker == v {
+                        specs.insert(FlowSpec {
+                            source,
+                            arg: pos,
+                            target: MethodId {
+                                class,
+                                method: m.name,
+                                arity: m.arity,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Outcome::Specs(specs.into_iter().collect())
+}
+
+/// Ground-truth status of Atlas's output for one class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassStatus {
+    /// No constructor — no specification at all.
+    NoConstructor,
+    /// All true flows found.
+    Sound,
+    /// Some true flow missed: Atlas effectively claims reads return fresh
+    /// objects, which is unsound.
+    Unsound,
+    /// The class has no container flows and none were claimed.
+    TriviallyEmpty,
+}
+
+/// Per-class evaluation against the library's true flows.
+#[derive(Clone, Debug)]
+pub struct ClassEval {
+    /// The class.
+    pub class: Symbol,
+    /// The status.
+    pub status: ClassStatus,
+    /// Flows found.
+    pub found: Vec<FlowSpec>,
+    /// True flows missed.
+    pub missed: Vec<FlowSpec>,
+}
+
+/// The true argument-insensitive flows of a class, derived from its
+/// executable semantics.
+pub fn true_flows(lib: &Library, class: Symbol) -> Vec<FlowSpec> {
+    let Some(c) = lib.class(class) else {
+        return Vec::new();
+    };
+    let mid = |name: Symbol, arity: u8| MethodId {
+        class,
+        method: name,
+        arity,
+    };
+    let mut out = Vec::new();
+    for s in &c.methods {
+        match s.sem {
+            MethodSem::Store { value_arg } => {
+                for t in &c.methods {
+                    if matches!(t.sem, MethodSem::Load | MethodSem::Take)
+                        && t.arity + 1 == s.arity
+                    {
+                        out.push(FlowSpec {
+                            source: mid(s.name, s.arity),
+                            arg: value_arg,
+                            target: mid(t.name, t.arity),
+                        });
+                    }
+                }
+            }
+            MethodSem::StackPush { value_arg } => {
+                for t in &c.methods {
+                    if matches!(t.sem, MethodSem::StackPop) {
+                        out.push(FlowSpec {
+                            source: mid(s.name, s.arity),
+                            arg: value_arg,
+                            target: mid(t.name, t.arity),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Evaluates Atlas results against the ground truth.
+pub fn evaluate(lib: &Library, results: &[AtlasResult]) -> Vec<ClassEval> {
+    results
+        .iter()
+        .map(|r| {
+            let truth = true_flows(lib, r.class);
+            match &r.outcome {
+                Outcome::NoConstructor => ClassEval {
+                    class: r.class,
+                    status: ClassStatus::NoConstructor,
+                    found: Vec::new(),
+                    missed: truth,
+                },
+                Outcome::Specs(found) => {
+                    let missed: Vec<FlowSpec> = truth
+                        .iter()
+                        .filter(|t| !found.contains(t))
+                        .copied()
+                        .collect();
+                    let status = if truth.is_empty() && found.is_empty() {
+                        ClassStatus::TriviallyEmpty
+                    } else if missed.is_empty() {
+                        ClassStatus::Sound
+                    } else {
+                        ClassStatus::Unsound
+                    };
+                    ClassEval {
+                        class: r.class,
+                        status,
+                        found: found.clone(),
+                        missed,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_corpus::java_library;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn eval_for(class: &str) -> ClassEval {
+        let lib = java_library();
+        let results = run_atlas(&lib, &AtlasOptions::default());
+        let evals = evaluate(&lib, &results);
+        evals
+            .into_iter()
+            .find(|e| e.class == sym(class))
+            .expect("class evaluated")
+    }
+
+    #[test]
+    fn tuned_hashmap_is_sound() {
+        let e = eval_for("java.util.HashMap");
+        assert_eq!(e.status, ClassStatus::Sound, "missed: {:?}", e.missed);
+        assert!(!e.found.is_empty());
+    }
+
+    #[test]
+    fn factory_only_classes_get_nothing() {
+        for c in ["java.sql.ResultSet", "java.security.KeyStore", "org.w3c.dom.NodeList"] {
+            let e = eval_for(c);
+            assert_eq!(e.status, ClassStatus::NoConstructor, "{c}");
+        }
+    }
+
+    #[test]
+    fn untuned_properties_is_unsound() {
+        // §7.5: "Atlas produced unsound results for aliasing between the
+        // getProperty and setProperty methods of java.util.Properties".
+        let e = eval_for("java.util.Properties");
+        assert_eq!(e.status, ClassStatus::Unsound, "found: {:?}", e.found);
+    }
+
+    #[test]
+    fn flows_are_argument_insensitive() {
+        let e = eval_for("java.util.HashMap");
+        // The output language has no key conditions — just (source, arg,
+        // target) triples.
+        for f in &e.found {
+            assert!(f.arg >= 1);
+            assert_eq!(f.source.class, sym("java.util.HashMap"));
+        }
+    }
+
+    #[test]
+    fn true_flows_derivation() {
+        let lib = java_library();
+        let flows = true_flows(&lib, sym("java.util.HashMap"));
+        assert_eq!(flows.len(), 2, "{flows:?}"); // get and remove
+        let list_flows = true_flows(&lib, sym("java.util.ArrayList"));
+        assert!(list_flows.len() >= 2, "{list_flows:?}"); // set→get/remove, add→(no pop)
+    }
+
+    #[test]
+    fn determinism() {
+        let lib = java_library();
+        let a = run_atlas(&lib, &AtlasOptions::default());
+        let b = run_atlas(&lib, &AtlasOptions::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tuning_tests {
+    use super::*;
+    use uspec_corpus::java_library;
+
+    #[test]
+    fn tuning_the_pool_fixes_properties() {
+        // The §7.5 Properties unsoundness is purely an artifact of Atlas's
+        // std-lib-tuned heuristics: adding Properties to the tuned list
+        // (i.e. "adapting Atlas's code", as the paper did for some
+        // libraries) makes it sound.
+        let lib = java_library();
+        let mut opts = AtlasOptions::default();
+        opts.tuned_classes.push(Symbol::intern("java.util.Properties"));
+        let results = run_atlas(&lib, &opts);
+        let evals = evaluate(&lib, &results);
+        let e = evals
+            .iter()
+            .find(|e| e.class == Symbol::intern("java.util.Properties"))
+            .unwrap();
+        assert_eq!(e.status, ClassStatus::Sound, "missed: {:?}", e.missed);
+    }
+
+    #[test]
+    fn fewer_tests_reduce_coverage() {
+        let lib = java_library();
+        let starving = AtlasOptions {
+            tests_per_class: 1,
+            max_seq_len: 2,
+            ..AtlasOptions::default()
+        };
+        let results = run_atlas(&lib, &starving);
+        let evals = evaluate(&lib, &results);
+        let sound = evals.iter().filter(|e| e.status == ClassStatus::Sound).count();
+        let full = evaluate(&lib, &run_atlas(&lib, &AtlasOptions::default()));
+        let sound_full = full.iter().filter(|e| e.status == ClassStatus::Sound).count();
+        assert!(sound <= sound_full, "starved run cannot find more");
+    }
+
+    #[test]
+    fn different_seeds_same_qualitative_outcome() {
+        let lib = java_library();
+        for seed in [1u64, 2, 3] {
+            let results = run_atlas(
+                &lib,
+                &AtlasOptions {
+                    seed,
+                    ..AtlasOptions::default()
+                },
+            );
+            let evals = evaluate(&lib, &results);
+            let hash_map = evals
+                .iter()
+                .find(|e| e.class == Symbol::intern("java.util.HashMap"))
+                .unwrap();
+            assert_eq!(hash_map.status, ClassStatus::Sound, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablations called out in §7.1 and DESIGN.md:
+//!
+//! 1. **Intraprocedural initial analysis** (inlining depth 0) vs. the
+//!    default context-sensitive interprocedural lowering — the paper
+//!    observed "only a slight performance decline" with the less precise
+//!    analysis.
+//! 2. **Receiver-distance bound** in candidate extraction (default 10) —
+//!    the paper observed no negative effect from bounding.
+//! 3. **Full (bidirectional) event contexts** — the naive reading of §4.1;
+//!    shows why censoring/directional contexts matter (the model otherwise
+//!    latches onto transitive-closure paths and mis-scores induced edges).
+
+use uspec::{precision_recall, PipelineOptions};
+use uspec_bench::{f3, print_table, standard_run_with, BenchUniverse};
+use uspec_lang::LowerOptions;
+
+fn pr_at(ctx: &uspec_bench::BenchCtx, tau: f64) -> (f64, f64, usize) {
+    let pts = precision_recall(&ctx.result.learned, |s| ctx.lib.is_true_spec(s), &[tau]);
+    (pts[0].precision, pts[0].recall, ctx.result.learned.len())
+}
+
+/// Candidate ranking quality: probability that a uniformly chosen (valid,
+/// invalid) candidate pair is ordered correctly by score (AUC).
+fn auc(ctx: &uspec_bench::BenchCtx) -> f64 {
+    let labeled: Vec<(f64, bool)> = ctx
+        .result
+        .learned
+        .scored
+        .iter()
+        .map(|s| (s.score, ctx.lib.is_true_spec(&s.spec)))
+        .collect();
+    let (mut pairs, mut correct) = (0.0f64, 0.0f64);
+    for (sp, lp) in labeled.iter().filter(|(_, l)| *l) {
+        for (sn, ln) in labeled.iter().filter(|(_, l)| !*l) {
+            let _ = (lp, ln);
+            pairs += 1.0;
+            if sp > sn {
+                correct += 1.0;
+            } else if (sp - sn).abs() < 1e-12 {
+                correct += 0.5;
+            }
+        }
+    }
+    if pairs == 0.0 {
+        1.0
+    } else {
+        correct / pairs
+    }
+}
+
+/// Mean score of valid candidates minus mean score of invalid ones.
+fn separation(ctx: &uspec_bench::BenchCtx) -> f64 {
+    let mut sums = [0.0f64; 2];
+    let mut counts = [0usize; 2];
+    for s in &ctx.result.learned.scored {
+        let idx = usize::from(ctx.lib.is_true_spec(&s.spec));
+        sums[idx] += s.score;
+        counts[idx] += 1;
+    }
+    sums[1] / counts[1].max(1) as f64 - sums[0] / counts[0].max(1) as f64
+}
+
+#[allow(clippy::field_reassign_with_default)]
+fn main() {
+    let universe = BenchUniverse::Java;
+    let tau = 0.6;
+    let mut rows = Vec::new();
+
+    let mut add = |name: &str, opts: PipelineOptions| {
+        let ctx = standard_run_with(universe, 42, opts);
+        let (p, r, n) = pr_at(&ctx, tau);
+        rows.push(vec![
+            name.to_string(),
+            f3(p),
+            f3(r),
+            f3(auc(&ctx)),
+            f3(separation(&ctx)),
+            n.to_string(),
+        ]);
+    };
+
+    add("default (interproc depth 2, dist 10)", PipelineOptions::default());
+
+    let mut intra = PipelineOptions::default();
+    intra.lower = LowerOptions { inline_depth: 0 };
+    add("intraprocedural initial analysis (§7.1)", intra);
+
+    let mut fi = PipelineOptions::default();
+    fi.pta.flow_sensitive = false;
+    add("flow-insensitive initial analysis", fi);
+
+    let mut d1 = PipelineOptions::default();
+    d1.extract.max_receiver_distance = 3;
+    add("distance bound 3", d1);
+
+    let mut d2 = PipelineOptions::default();
+    d2.extract.max_receiver_distance = 100;
+    add("distance bound 100", d2);
+
+    let mut strict = PipelineOptions::default();
+    strict.extract.max_induced_edges = 1;
+    add("strict single-induced-edge (Alg. 1 literal)", strict);
+
+    let mut k1 = PipelineOptions::default();
+    k1.train.context_depth = 1;
+    add("context depth k=1 (anchors only)", k1);
+
+    let mut k3 = PipelineOptions::default();
+    k3.train.context_depth = 3;
+    add("context depth k=3", k3);
+
+    let mut full = PipelineOptions::default();
+    full.train.full_contexts = true;
+    add("full bidirectional contexts", full);
+
+    let mut uncensored = PipelineOptions::default();
+    uncensored.train.full_contexts = true;
+    uncensored.train.censor_positive_paths = false;
+    add("full contexts, no censoring (learns closure)", uncensored);
+
+    print_table(
+        &format!("§7.1 ablations (Java, τ = {tau})"),
+        &[
+            "configuration",
+            "precision",
+            "recall",
+            "ranking AUC",
+            "separation",
+            "candidates",
+        ],
+        &rows,
+    );
+    println!(
+        "  expected: intraprocedural ranks candidates worse (the §7.1 'slight\n  decline'); the distance bound is harmless; disabling the §4.2 censoring\n  costs ranking quality (the model partially learns the transitive closure).\n  Flow-insensitive ρ matches the default here because generated programs\n  are near-SSA (each value gets a fresh variable) — the mode's precision\n  difference on reused variables is covered by unit tests in uspec-pta."
+    );
+}

@@ -1,0 +1,251 @@
+//! §7.4 / Fig. 8 — effect of the learned specifications on downstream
+//! client analyses.
+//!
+//! * **Type-state** (Fig. 8a): `hasNext` is checked on `iters.get(i)` and
+//!   `next` is called on a *second* `iters.get(i)` — without
+//!   `RetSame(List.get)` the two reads are distinct objects and a false
+//!   positive is reported. Genuinely unguarded `next` calls must still be
+//!   reported under every analysis.
+//! * **Taint** (Fig. 8b): user input stored into a dict and read back
+//!   flows into an HTML sink — without the dict `RetArg` specifications the
+//!   round-trip breaks the taint chain and the vulnerability is missed.
+//!
+//! Expected shape: baseline has type-state FPs and taint FNs; the learned
+//! specifications eliminate (nearly) all of them, matching the oracle.
+
+use uspec_bench::{print_table, standard_run, BenchUniverse};
+use uspec_clients::{check_leaks, check_taint, check_typestate, LeakConfig, TaintConfig, TypestateProtocol};
+use uspec_lang::lower::lower_program;
+use uspec_lang::parser::parse;
+use uspec_lang::registry::ApiTable;
+use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+/// Generates Fig. 8a-style files: `needs_alias` ones are correct code that
+/// requires the RetSame spec to verify; `buggy` ones are real violations.
+fn typestate_files(n: usize) -> (Vec<String>, Vec<String>) {
+    let mut ok = Vec::new();
+    let mut buggy = Vec::new();
+    for i in 0..n {
+        let idx = i % 5;
+        ok.push(format!(
+            r#"
+            fn main(flag0) {{
+                iters = new java.util.ArrayList();
+                c = iters.get({idx}).hasNext();
+                if (c) {{
+                    x = iters.get({idx}).next();
+                }}
+            }}
+            "#
+        ));
+        buggy.push(format!(
+            r#"
+            fn main(flag0) {{
+                iters = new java.util.ArrayList();
+                x = iters.get({idx}).next();
+            }}
+            "#
+        ));
+    }
+    (ok, buggy)
+}
+
+/// Generates Fig. 8b-style files: `vulnerable` flows through a dict
+/// round-trip; `safe` ones are sanitized.
+fn taint_files(n: usize) -> (Vec<String>, Vec<String>) {
+    let mut vulnerable = Vec::new();
+    let mut safe = Vec::new();
+    for i in 0..n {
+        let key = ["value", "data", "q", "input"][i % 4];
+        let store = if i % 2 == 0 { "SubscriptStore" } else { "setdefault" };
+        vulnerable.push(format!(
+            r#"
+            fn main(req, html) {{
+                kwargs = new Dict();
+                v = req.getParam("{key}");
+                kwargs.{store}("data-{key}", v);
+                w = kwargs.SubscriptLoad("data-{key}");
+                html.render(w);
+            }}
+            "#
+        ));
+        safe.push(format!(
+            r#"
+            fn main(req, html) {{
+                kwargs = new Dict();
+                v = req.getParam("{key}");
+                s = v.escape();
+                kwargs.{store}("data-{key}", s);
+                w = kwargs.SubscriptLoad("data-{key}");
+                html.render(w);
+            }}
+            "#
+        ));
+    }
+    (vulnerable, safe)
+}
+
+fn count_typestate(files: &[String], table: &ApiTable, specs: &SpecDb) -> usize {
+    let protocol = TypestateProtocol::iterator();
+    files
+        .iter()
+        .map(|src| {
+            let program = parse(src).expect("scenario parses");
+            let bodies = lower_program(&program, table, &Default::default()).expect("lowers");
+            bodies
+                .iter()
+                .map(|b| {
+                    let pta = Pta::run(b, specs, &PtaOptions::default());
+                    check_typestate(b, &pta, &protocol).len()
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn count_taint(files: &[String], table: &ApiTable, specs: &SpecDb) -> usize {
+    let config = TaintConfig::new(&["getParam"], &["render"], &["escape"]);
+    files
+        .iter()
+        .map(|src| {
+            let program = parse(src).expect("scenario parses");
+            let bodies = lower_program(&program, table, &Default::default()).expect("lowers");
+            bodies
+                .iter()
+                .map(|b| {
+                    let pta = Pta::run(b, specs, &PtaOptions::default());
+                    check_taint(&pta, &config).len()
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Resource-leak scenarios: the connection is closed through a registry
+/// round-trip (needs specs) or genuinely left open.
+fn leak_files(n: usize) -> (Vec<String>, Vec<String>) {
+    let mut ok = Vec::new();
+    let mut buggy = Vec::new();
+    for i in 0..n {
+        let key = ["conn", "db", "sock", "res"][i % 4];
+        ok.push(format!(
+            r#"
+            fn main(io) {{
+                reg = new java.util.HashMap();
+                c = io.open("{key}");
+                reg.put("{key}", c);
+                reg.get("{key}").close();
+            }}
+            "#
+        ));
+        buggy.push(format!(
+            r#"
+            fn main(io) {{
+                c = io.open("{key}");
+                c.read();
+            }}
+            "#
+        ));
+    }
+    (ok, buggy)
+}
+
+fn count_leaks(files: &[String], table: &ApiTable, specs: &SpecDb) -> usize {
+    let config = LeakConfig::new(&["open"], &["close"]);
+    files
+        .iter()
+        .map(|src| {
+            let program = parse(src).expect("scenario parses");
+            let bodies = lower_program(&program, table, &Default::default()).expect("lowers");
+            bodies
+                .iter()
+                .map(|b| {
+                    let pta = Pta::run(b, specs, &PtaOptions::default());
+                    check_leaks(b, &pta, &config).len()
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn main() {
+    let n = 30;
+
+    // ---- Type-state (Java universe) ----------------------------------------
+    let java = standard_run(BenchUniverse::Java, 42);
+    let table = java.lib.api_table();
+    let learned = java.result.select(0.6);
+    let oracle = SpecDb::from_specs(java.lib.true_specs());
+    let (ok_files, buggy_files) = typestate_files(n);
+    let rows: Vec<Vec<String>> = [
+        ("API-unaware baseline", SpecDb::empty()),
+        ("learned specs (τ=0.6)", learned),
+        ("ground-truth oracle", oracle),
+    ]
+    .into_iter()
+    .map(|(name, specs)| {
+        let fps = count_typestate(&ok_files, &table, &specs);
+        let tps = count_typestate(&buggy_files, &table, &specs);
+        vec![
+            name.to_string(),
+            format!("{fps}/{n}"),
+            format!("{tps}/{n}"),
+        ]
+    })
+    .collect();
+    print_table(
+        "Fig. 8a: type-state client (hasNext/next over list-stored iterators)",
+        &["analysis", "false positives", "true violations found"],
+        &rows,
+    );
+
+    // ---- Resource leaks (Java universe) --------------------------------------
+    let learned = java.result.select(0.6);
+    let oracle = SpecDb::from_specs(java.lib.true_specs());
+    let (ok_files, buggy_files) = leak_files(n);
+    let rows: Vec<Vec<String>> = [
+        ("API-unaware baseline", SpecDb::empty()),
+        ("learned specs (τ=0.6)", learned),
+        ("ground-truth oracle", oracle),
+    ]
+    .into_iter()
+    .map(|(name, specs)| {
+        let fps = count_leaks(&ok_files, &table, &specs);
+        let tps = count_leaks(&buggy_files, &table, &specs);
+        vec![name.to_string(), format!("{fps}/{n}"), format!("{tps}/{n}")]
+    })
+    .collect();
+    print_table(
+        "Resource-leak client (open/close through a registry round-trip)",
+        &["analysis", "false leak reports", "true leaks found"],
+        &rows,
+    );
+
+    // ---- Taint (Python universe) --------------------------------------------
+    let py = standard_run(BenchUniverse::Python, 42);
+    let table = py.lib.api_table();
+    let learned = py.result.select(0.6);
+    let oracle = SpecDb::from_specs(py.lib.true_specs());
+    let (vuln_files, safe_files) = taint_files(n);
+    let rows: Vec<Vec<String>> = [
+        ("API-unaware baseline", SpecDb::empty()),
+        ("learned specs (τ=0.6)", learned),
+        ("ground-truth oracle", oracle),
+    ]
+    .into_iter()
+    .map(|(name, specs)| {
+        let found = count_taint(&vuln_files, &table, &specs);
+        let fps = count_taint(&safe_files, &table, &specs);
+        vec![
+            name.to_string(),
+            format!("{found}/{n}"),
+            format!("{fps}/{n}"),
+        ]
+    })
+    .collect();
+    print_table(
+        "Fig. 8b: taint client (user input through a dict round-trip into HTML)",
+        &["analysis", "vulnerabilities found", "false alarms on sanitized"],
+        &rows,
+    );
+}

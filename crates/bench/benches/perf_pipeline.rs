@@ -1,0 +1,68 @@
+//! Criterion performance benchmarks for the end-to-end pipeline stages
+//! (§7.2 reports ~5h for 4M Java files on a 28-core server; the comparable
+//! quantity here is per-file throughput).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
+use uspec::{analyze_source, PipelineOptions};
+use uspec_corpus::{generate_corpus, java_library, GenOptions};
+use uspec_model::{extract_samples, EdgeModel};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let lib = java_library();
+    let table = lib.api_table();
+    let opts = PipelineOptions::default();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 64,
+            seed: 9,
+            ..GenOptions::default()
+        },
+    );
+
+    c.bench_function("analyze_file_to_event_graphs", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let f = &files[i % files.len()];
+            i += 1;
+            analyze_source(&f.source, &table, &opts).expect("analyzes")
+        })
+    });
+
+    let graphs: Vec<_> = files
+        .iter()
+        .flat_map(|f| analyze_source(&f.source, &table, &opts).expect("analyzes"))
+        .collect();
+
+    c.bench_function("extract_training_samples_per_graph", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut i = 0;
+        b.iter(|| {
+            let g = &graphs[i % graphs.len()];
+            i += 1;
+            extract_samples(g, &mut rng, &opts.train)
+        })
+    });
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let samples: Vec<_> = graphs
+        .iter()
+        .flat_map(|g| extract_samples(g, &mut rng, &opts.train))
+        .collect();
+
+    c.bench_function("train_edge_model_64_files", |b| {
+        b.iter_batched(
+            || samples.clone(),
+            |s| EdgeModel::train(&s, &opts.train),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion performance benchmarks for the points-to analysis in its three
+//! configurations (API-unaware baseline, learned specs, learned specs with
+//! the §6.4 coverage extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uspec_corpus::{generate_corpus, java_library, GenOptions};
+use uspec_lang::lower::{lower_program, LowerOptions};
+use uspec_lang::parser::parse;
+use uspec_pta::{GhostMode, Pta, PtaOptions, SpecDb};
+
+fn bench_pta(c: &mut Criterion) {
+    let lib = java_library();
+    let table = lib.api_table();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 48,
+            seed: 17,
+            ..GenOptions::default()
+        },
+    );
+    let bodies: Vec<_> = files
+        .iter()
+        .flat_map(|f| {
+            let program = parse(&f.source).expect("parses");
+            lower_program(&program, &table, &LowerOptions::default()).expect("lowers")
+        })
+        .collect();
+    let truth = SpecDb::from_specs(lib.true_specs());
+
+    c.bench_function("pta_baseline_per_body", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let body = &bodies[i % bodies.len()];
+            i += 1;
+            Pta::run(body, &SpecDb::empty(), &PtaOptions::default())
+        })
+    });
+
+    c.bench_function("pta_augmented_per_body", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let body = &bodies[i % bodies.len()];
+            i += 1;
+            Pta::run(body, &truth, &PtaOptions::default())
+        })
+    });
+
+    c.bench_function("pta_coverage_mode_per_body", |b| {
+        let opts = PtaOptions {
+            ghost_mode: GhostMode::Coverage,
+            ..PtaOptions::default()
+        };
+        let mut i = 0;
+        b.iter(|| {
+            let body = &bodies[i % bodies.len()];
+            i += 1;
+            Pta::run(body, &truth, &opts)
+        })
+    });
+
+    c.bench_function("parse_and_lower_per_file", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let f = &files[i % files.len()];
+            i += 1;
+            let program = parse(&f.source).expect("parses");
+            lower_program(&program, &table, &LowerOptions::default()).expect("lowers")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pta
+}
+criterion_main!(benches);

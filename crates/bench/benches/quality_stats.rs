@@ -1,0 +1,214 @@
+//! §7.2 quantitative claims that have no dedicated table:
+//!
+//! 1. **Pipeline counts** — candidates extracted / specifications selected /
+//!    API classes covered per language (the paper: 1154→621 over 536→313
+//!    classes for Java, 2394→1438 over 1488→968 for Python; our corpus is
+//!    smaller so counts scale down, the selected/extracted ratio is the
+//!    comparable quantity).
+//! 2. **Scoring-function ablation** — the top-k-average score dominates the
+//!    match-count score: at equal recall it yields at least the same
+//!    precision ("higher precision can only be achieved at the price of
+//!    strictly lower recall").
+//! 3. **Raw edge acceptance** — accepting every non-edge the model assigns
+//!    ≥ 0.5 confidence (no specification scoring) yields a high
+//!    false-positive rate (the paper: ≈1 in 4 predicted edges incorrect).
+//! 4. **RetSame-for-all** — assuming RetSame for every API method roughly
+//!    doubles the imprecise fraction of diff call sites vs. learned specs.
+
+use uspec::{
+    analyze_source, analyze_source_with_specs, compare_on_corpus, precision_recall, DiffCategory,
+};
+use uspec_bench::{corpus_sources, f3, print_table, standard_run, BenchUniverse};
+use uspec_learn::{LearnedSpecs, ScoreFn};
+use uspec_pta::{Spec, SpecDb};
+
+fn main() {
+    let mut ctxs = Vec::new();
+    for universe in [BenchUniverse::Java, BenchUniverse::Python] {
+        ctxs.push((universe, standard_run(universe, 42)));
+    }
+
+    // ---- 1. Pipeline counts ------------------------------------------------
+    let rows: Vec<Vec<String>> = ctxs
+        .iter()
+        .map(|(u, ctx)| {
+            let learned = &ctx.result.learned;
+            let selected: Vec<_> = learned.selected(0.6).collect();
+            let classes_cand: std::collections::BTreeSet<_> =
+                learned.scored.iter().map(|s| s.spec.class()).collect();
+            let classes_sel: std::collections::BTreeSet<_> =
+                selected.iter().map(|s| s.spec.class()).collect();
+            vec![
+                format!("{u:?}"),
+                ctx.result.corpus.files.to_string(),
+                learned.len().to_string(),
+                classes_cand.len().to_string(),
+                selected.len().to_string(),
+                classes_sel.len().to_string(),
+                f3(selected.len() as f64 / learned.len().max(1) as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "§7.2 pipeline counts (τ = 0.6)",
+        &["lang", "files", "candidates", "cand classes", "selected", "sel classes", "sel/cand"],
+        &rows,
+    );
+
+    // ---- 2. Scoring-function ablation ---------------------------------------
+    for (u, ctx) in &ctxs {
+        let fns: Vec<(&str, ScoreFn)> = vec![
+            ("top-10 avg (paper)", ScoreFn::TopKAvg(10)),
+            ("max", ScoreFn::Max),
+            ("95-percentile", ScoreFn::Percentile(0.95)),
+            ("match count", ScoreFn::MatchCount { soft: 20.0 }),
+        ];
+        let mut rows = Vec::new();
+        for (name, sf) in fns {
+            let learned = LearnedSpecs::from_candidates(&ctx.result.candidates, sf);
+            let mut row = vec![name.to_string()];
+            for target_recall in [0.4, 0.6, 0.8] {
+                // Finest precision achievable at >= target recall.
+                let taus: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+                let best = precision_recall(&learned, |s| ctx.lib.is_true_spec(s), &taus)
+                    .into_iter()
+                    .filter(|p| p.recall >= target_recall)
+                    .map(|p| p.precision)
+                    .fold(0.0f64, f64::max);
+                row.push(f3(best));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("§7.2 scoring-function ablation ({u:?}): best precision at recall ≥ r"),
+            &["scoring", "r=0.4", "r=0.6", "r=0.8"],
+            &rows,
+        );
+    }
+
+    // ---- 3. Raw edge acceptance at confidence 0.5 ----------------------------
+    for (u, ctx) in &ctxs {
+        let truth = SpecDb::from_specs(ctx.lib.true_specs());
+        let table = ctx.lib.api_table();
+        // Fresh evaluation corpus; score every non-edge pair.
+        let eval = corpus_sources(&ctx.lib, 250, 777);
+        // Retrain quickly on the standard corpus is unnecessary: reuse the
+        // model through the learned result is not exposed, so train inline.
+        let model = {
+            use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
+            use uspec_model::{extract_samples, EdgeModel};
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut samples = Vec::new();
+            for (_, src) in &ctx.sources[..ctx.sources.len().min(1500)] {
+                for g in analyze_source(src, &table, &ctx.opts).unwrap_or_default() {
+                    samples.extend(extract_samples(&g, &mut rng, &ctx.opts.train));
+                }
+            }
+            EdgeModel::train(&samples, &ctx.opts.train)
+        };
+        let (mut accepted, mut wrong) = (0usize, 0usize);
+        for (_, src) in &eval {
+            let base = analyze_source(src, &table, &ctx.opts).unwrap_or_default();
+            let oracle = analyze_source_with_specs(src, &table, &truth, &ctx.opts).unwrap_or_default();
+            for (bg, og) in base.iter().zip(&oracle) {
+                for a in bg.event_ids() {
+                    for b in bg.event_ids() {
+                        if a == b || bg.has_edge(a, b) {
+                            continue;
+                        }
+                        let Some(p) = model.predict_pair(bg, a, b) else {
+                            continue;
+                        };
+                        if p < 0.5 {
+                            continue;
+                        }
+                        accepted += 1;
+                        // Correct iff the events really alias (oracle graph).
+                        let ea = bg.event(a);
+                        let eb = bg.event(b);
+                        let ok = match (og.event_id(ea.site, ea.pos), og.event_id(eb.site, eb.pos))
+                        {
+                            (Some(oa), Some(ob)) => {
+                                og.has_edge(oa, ob) || og.may_alias(oa, ob)
+                            }
+                            _ => false,
+                        };
+                        if !ok {
+                            wrong += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let spec_points =
+            precision_recall(&ctx.result.learned, |s| ctx.lib.is_true_spec(s), &[0.6]);
+        println!(
+            "\n== §7.2 raw edge acceptance ({u:?}) ==\n  accepted non-edges at conf ≥ 0.5: {accepted}; incorrect: {wrong} ({:.1}% FP)\n  vs. specification-level selection at τ = 0.6: {:.1}% FP\n  (paper: ≈1 in 4 raw edges wrong on GitHub code; our synthetic corpus is\n  more regular, so indistinguishable cross-object pairs inflate the raw\n  rate — the conclusion that candidates must be scored at the\n  specification level is the same)",
+            100.0 * wrong as f64 / accepted.max(1) as f64,
+            100.0 * (1.0 - spec_points[0].precision)
+        );
+    }
+
+    // ---- 3b. Dynamic cross-validation of the labeling oracle ------------------
+    for (u, ctx) in &ctxs {
+        let mut agree = 0usize;
+        let mut disagree = 0usize;
+        let mut unvalidatable = 0usize;
+        for s in &ctx.result.learned.scored {
+            match uspec_atlas::spec_holds(&ctx.lib, &s.spec) {
+                Some(dynamic) => {
+                    if dynamic == ctx.lib.is_true_spec(&s.spec) {
+                        agree += 1;
+                    } else {
+                        disagree += 1;
+                    }
+                }
+                None => unvalidatable += 1,
+            }
+        }
+        println!(
+            "\n== labeling cross-validation ({u:?}) ==\n  candidates whose declarative label matches concrete execution: {agree}; \
+             disagreements: {disagree}; unvalidatable (unobtainable receivers): {unvalidatable}\n  (the paper labels by reading documentation; here the \"documentation\" is executable)"
+        );
+    }
+
+    // ---- 4. RetSame-for-all --------------------------------------------------
+    for (u, ctx) in &ctxs {
+        let truth = SpecDb::from_specs(ctx.lib.true_specs());
+        let table = ctx.lib.api_table();
+        let eval = corpus_sources(&ctx.lib, 400, 888);
+        let learned_db = ctx.result.select(0.6);
+        let all_ret_same: SpecDb = ctx
+            .lib
+            .classes()
+            .flat_map(|c| {
+                c.methods.iter().filter(|m| !m.is_static).map(|m| Spec::RetSame {
+                    method: uspec_lang::MethodId {
+                        class: c.name,
+                        method: m.name,
+                        arity: m.arity,
+                    },
+                })
+            })
+            .collect();
+        let imprecise = |db: &SpecDb| {
+            let report = compare_on_corpus(&eval, &table, db, &truth, &ctx.opts);
+            let counts = report.counts();
+            let bad: usize = counts
+                .iter()
+                .filter(|(c, _)| **c != DiffCategory::PreciseCoverage)
+                .map(|(_, n)| n)
+                .sum();
+            let total = report.diffs.len().max(1);
+            (bad, total, bad as f64 / total as f64)
+        };
+        let (lb, lt, lr) = imprecise(&learned_db);
+        let (ab, at, ar) = imprecise(&all_ret_same);
+        println!(
+            "\n== §7.2 RetSame-for-all ({u:?}) ==\n  learned specs:  {lb}/{lt} diff sites imprecise ({:.1}%)\n  RetSame-for-all: {ab}/{at} diff sites imprecise ({:.1}%)  → factor {:.2} (paper: ≈2×)",
+            lr * 100.0,
+            ar * 100.0,
+            ar / lr.max(1e-9)
+        );
+    }
+}

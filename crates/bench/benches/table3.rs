@@ -1,0 +1,93 @@
+//! Tab. 3 — example inferred specifications with their match counts and
+//! scores, including the deliberately "incorrect" rows.
+//!
+//! Expected shape: the showcase specifications (HashMap get/put,
+//! KeyStore.getKey, ResultSet.getString, SparseArray get/put, JsonNode.path,
+//! ViewGroup.findViewById, the Dict subscript pair, SafeConfigParser
+//! get/set) all score above the τ = 0.6 selection threshold, and the two
+//! planted incorrect candidates (TreeAdaptor rulePostProcessing/addChild,
+//! List.pop) score high enough to be selected as well — the same
+//! false-positive pattern the paper reports.
+
+use uspec_bench::{print_table, standard_run, BenchUniverse};
+use uspec_corpus::Library;
+use uspec_learn::{LearnedSpecs, Spec};
+
+/// The showcase rows: (universe, class substring, spec predicate name).
+fn showcase(universe: BenchUniverse) -> Vec<(&'static str, &'static str)> {
+    match universe {
+        BenchUniverse::Java => vec![
+            ("java.util.HashMap", "RetArg(java.util.HashMap.get"),
+            ("java.security.KeyStore", "RetSame(java.security.KeyStore.getKey"),
+            ("java.sql.ResultSet", "RetSame(java.sql.ResultSet.getString"),
+            ("android.util.SparseArray", "RetArg(android.util.SparseArray.get"),
+            (
+                "com.fasterxml.jackson.databind.JsonNode",
+                "RetSame(com.fasterxml.jackson.databind.JsonNode.path",
+            ),
+            ("android.view.ViewGroup", "RetSame(android.view.ViewGroup.findViewById"),
+            (
+                "org.antlr.runtime.tree.TreeAdaptor",
+                "RetArg(org.antlr.runtime.tree.TreeAdaptor.rulePostProcessing",
+            ),
+        ],
+        BenchUniverse::Python => vec![
+            ("Dict", "RetArg(Dict.SubscriptLoad/1, Dict.SubscriptStore/2"),
+            ("List", "RetSame(List.pop"),
+            ("configParser.SafeConfigParser", "RetArg(configParser.SafeConfigParser.get"),
+        ],
+    }
+}
+
+fn rows_for(lib: &Library, learned: &LearnedSpecs, universe: BenchUniverse) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for (class, pattern) in showcase(universe) {
+        let entry = learned
+            .scored
+            .iter()
+            .find(|s| format!("{:?}", s.spec).starts_with(pattern));
+        match entry {
+            Some(s) => {
+                let correct = if lib.is_true_spec(&s.spec) { "" } else { "incorrect" };
+                rows.push(vec![
+                    class.to_string(),
+                    strip_class(&s.spec),
+                    s.matches.to_string(),
+                    format!("{:.3}", s.score),
+                    correct.to_string(),
+                ]);
+            }
+            None => rows.push(vec![
+                class.to_string(),
+                format!("<{pattern} not learned>"),
+                "-".into(),
+                "-".into(),
+                "".into(),
+            ]),
+        }
+    }
+    rows
+}
+
+/// Renders a spec without the fully-qualified class prefix, as Tab. 3 does.
+fn strip_class(spec: &Spec) -> String {
+    match spec {
+        Spec::RetSame { method } => format!("RetSame({})", method.method),
+        Spec::RetArg { target, source, x } => {
+            format!("RetArg({}, {}, {x})", target.method, source.method)
+        }
+        Spec::RetRecv { method } => format!("RetRecv({})", method.method),
+    }
+}
+
+fn main() {
+    for universe in [BenchUniverse::Java, BenchUniverse::Python] {
+        let ctx = standard_run(universe, 42);
+        let rows = rows_for(&ctx.lib, &ctx.result.learned, universe);
+        print_table(
+            &format!("Tab. 3 ({universe:?}): example inferred specifications"),
+            &["API class", "Specification", "#matches", "score", ""],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Tab. 5 / Tab. 6 — number of selected specifications and spanned API
+//! classes, grouped by Java package prefix (Tab. 5) and Python library
+//! (Tab. 6), for the τ = 0.6 selection.
+//!
+//! Expected shape: java.util leads the Java table; containers dominate;
+//! the Python table spans numpy/pandas/os/re/django/collections etc.
+
+use std::collections::BTreeMap;
+use uspec_bench::{print_table, standard_run, BenchUniverse};
+use uspec_lang::Symbol;
+
+fn main() {
+    for universe in [BenchUniverse::Java, BenchUniverse::Python] {
+        let ctx = standard_run(universe, 42);
+        let tau = 0.6;
+        let mut by_group: BTreeMap<Symbol, (usize, std::collections::BTreeSet<Symbol>)> =
+            BTreeMap::new();
+        for s in ctx.result.learned.selected(tau) {
+            let class = s.spec.class();
+            let group = ctx
+                .lib
+                .class(class)
+                .map(|c| c.group)
+                .unwrap_or_else(|| Symbol::intern("<other>"));
+            let entry = by_group.entry(group).or_default();
+            entry.0 += 1;
+            entry.1.insert(class);
+        }
+        let mut rows: Vec<(Symbol, usize, usize)> = by_group
+            .into_iter()
+            .map(|(g, (n, cs))| (g, n, cs.len()))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .take(12)
+            .map(|(g, n, c)| vec![g.to_string(), n.to_string(), c.to_string()])
+            .collect();
+        let (title, col) = match universe {
+            BenchUniverse::Java => ("Tab. 5: selected Java specifications by package prefix", "Java package prefix"),
+            BenchUniverse::Python => ("Tab. 6: selected Python specifications by library", "Python library"),
+        };
+        print_table(
+            &format!("{title} (τ = {tau})"),
+            &[col, "Specifications", "API classes"],
+            &table,
+        );
+        let total: usize = rows.iter().map(|r| r.1).sum();
+        let classes: usize = rows.iter().map(|r| r.2).sum();
+        println!("  total: {total} specifications across {classes} classes");
+    }
+}

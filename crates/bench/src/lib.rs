@@ -1,0 +1,131 @@
+//! Shared scaffolding for the experiment harness.
+//!
+//! Every `benches/*.rs` target (all `harness = false`) regenerates one
+//! table or figure of the paper; this crate hosts the common corpus setup
+//! and table-printing helpers. Corpus sizes default to a few thousand files
+//! (the pipeline analyzes >5k files/second) and can be scaled with the
+//! `USPEC_BENCH_FILES` environment variable.
+
+use uspec::{run_pipeline, PipelineOptions, PipelineResult};
+use uspec_corpus::{generate_corpus, java_library, python_library, GenOptions, Library, Universe};
+
+/// A prepared experiment context: library, corpus and pipeline result.
+pub struct BenchCtx {
+    /// The ground-truth library.
+    pub lib: Library,
+    /// The training corpus as `(name, source)` pairs.
+    pub sources: Vec<(String, String)>,
+    /// The full pipeline result.
+    pub result: PipelineResult,
+    /// Options used.
+    pub opts: PipelineOptions,
+}
+
+/// Corpus size for a universe, honouring `USPEC_BENCH_FILES`.
+pub fn corpus_size(universe: Universe) -> usize {
+    let base = match universe {
+        Universe::Java => 4000,
+        Universe::Python => 2500,
+    };
+    std::env::var("USPEC_BENCH_FILES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(base)
+}
+
+/// Generates the corpus for a library.
+pub fn corpus_sources(lib: &Library, num_files: usize, seed: u64) -> Vec<(String, String)> {
+    generate_corpus(
+        lib,
+        &GenOptions {
+            num_files,
+            seed,
+            ..GenOptions::default()
+        },
+    )
+    .into_iter()
+    .map(|f| (f.name, f.source))
+    .collect()
+}
+
+/// Runs the standard learning pipeline for one universe.
+pub fn standard_run(universe: Universe, seed: u64) -> BenchCtx {
+    standard_run_with(universe, seed, PipelineOptions::default())
+}
+
+/// Runs the pipeline with custom options.
+pub fn standard_run_with(universe: Universe, seed: u64, opts: PipelineOptions) -> BenchCtx {
+    let lib = match universe {
+        Universe::Java => java_library(),
+        Universe::Python => python_library(),
+    };
+    let sources = corpus_sources(&lib, corpus_size(universe), seed);
+    let result = run_pipeline(&sources, &lib.api_table(), &opts);
+    BenchCtx {
+        lib,
+        sources,
+        result,
+        opts,
+    }
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", parts.join("  ").trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// The τ sweep used for Fig. 7.
+pub const TAUS: &[f64] = &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+
+/// Re-exported so the bench targets need only one dependency.
+pub use uspec_corpus::Universe as BenchUniverse;
+
+pub mod plot;
+pub use plot::AsciiPlot;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sources_generates() {
+        let lib = java_library();
+        let s = corpus_sources(&lib, 5, 1);
+        assert_eq!(s.len(), 5);
+        assert!(s[0].1.contains("fn main"));
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "x".into()], vec!["22".into(), "yy".into()]],
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal ASCII scatter/line plots for figure-style bench output.
+
+/// Renders an ASCII scatter plot of `(x, y)` points labelled with single
+/// characters, with fixed axis ranges.
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    cells: Vec<Vec<char>>,
+    x_label: String,
+    y_label: String,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot canvas.
+    pub fn new(
+        width: usize,
+        height: usize,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+        x_label: &str,
+        y_label: &str,
+    ) -> AsciiPlot {
+        assert!(width >= 10 && height >= 4, "canvas too small");
+        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "empty range");
+        AsciiPlot {
+            width,
+            height,
+            x_range,
+            y_range,
+            cells: vec![vec![' '; width]; height],
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+        }
+    }
+
+    /// Plots one point; out-of-range points are clamped to the border.
+    pub fn point(&mut self, x: f64, y: f64, marker: char) {
+        let fx = (x - self.x_range.0) / (self.x_range.1 - self.x_range.0);
+        let fy = (y - self.y_range.0) / (self.y_range.1 - self.y_range.0);
+        let cx = ((fx * (self.width - 1) as f64).round() as isize)
+            .clamp(0, self.width as isize - 1) as usize;
+        let cy = ((fy * (self.height - 1) as f64).round() as isize)
+            .clamp(0, self.height as isize - 1) as usize;
+        // Row 0 is the top of the canvas.
+        self.cells[self.height - 1 - cy][cx] = marker;
+    }
+
+    /// Renders the canvas with axes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.y_label));
+        for (i, row) in self.cells.iter().enumerate() {
+            let y_val = self.y_range.1
+                - (self.y_range.1 - self.y_range.0) * i as f64 / (self.height - 1) as f64;
+            let label = if i == 0 || i == self.height - 1 || i == self.height / 2 {
+                format!("{y_val:5.2}")
+            } else {
+                "     ".to_owned()
+            };
+            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!("      +{}\n", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "       {:<w$.2}{:>r$.2}  {}\n",
+            self.x_range.0,
+            self.x_range.1,
+            self.x_label,
+            w = self.width / 2,
+            r = self.width - self.width / 2
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_points_in_the_right_cells() {
+        let mut p = AsciiPlot::new(20, 10, (0.0, 1.0), (0.0, 1.0), "recall", "precision");
+        p.point(0.0, 0.0, 'a');
+        p.point(1.0, 1.0, 'b');
+        p.point(0.5, 0.5, 'c');
+        let s = p.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // 'b' top-right, 'a' bottom-left, 'c' middle.
+        assert!(lines[1].ends_with('b'), "{s}");
+        assert!(lines[10].contains('a'), "{s}");
+        assert!(lines[5].contains('c') || lines[6].contains('c'), "{s}");
+    }
+
+    #[test]
+    fn out_of_range_points_clamp() {
+        let mut p = AsciiPlot::new(12, 5, (0.0, 1.0), (0.0, 1.0), "x", "y");
+        p.point(2.0, -3.0, 'z');
+        let s = p.render();
+        assert!(s.contains('z'));
+    }
+
+    #[test]
+    fn axis_labels_present() {
+        let p = AsciiPlot::new(16, 6, (0.0, 1.0), (0.5, 1.0), "recall", "precision");
+        let s = p.render();
+        assert!(s.contains("precision"));
+        assert!(s.contains("recall"));
+        assert!(s.contains("1.00"));
+        assert!(s.contains("0.50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiPlot::new(2, 2, (0.0, 1.0), (0.0, 1.0), "x", "y");
+    }
+}

@@ -1,0 +1,542 @@
+//! Implementations of the `uspec` subcommands.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use uspec::{analyze_source, run_pipeline, PipelineOptions};
+use uspec_atlas::{evaluate, run_atlas, AtlasOptions, ClassStatus};
+use uspec_clients::{check_taint, check_typestate, TaintConfig, TypestateProtocol};
+use uspec_corpus::{generate_corpus, java_library, python_library, GenOptions, Library};
+use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
+use uspec_learn::LearnedSpecs;
+use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+use crate::opt::{OptError, Opts};
+
+/// Saved output of `uspec learn`.
+#[derive(Serialize, Deserialize)]
+struct SpecFile {
+    universe: String,
+    tau: f64,
+    files: usize,
+    learned: LearnedSpecs,
+}
+
+fn library_for(opts: &Opts) -> Result<Library, OptError> {
+    match opts.value_or("lang", "java") {
+        "java" => Ok(java_library()),
+        "python" => Ok(python_library()),
+        other => Err(OptError(format!("--lang must be java or python, got `{other}`"))),
+    }
+}
+
+fn io_err(e: std::io::Error, what: &str) -> OptError {
+    OptError(format!("{what}: {e}"))
+}
+
+/// `uspec generate`.
+pub fn generate(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["lang", "files", "seed", "out"])?;
+    let lib = library_for(&opts)?;
+    let out = PathBuf::from(
+        opts.value("out")
+            .ok_or_else(|| OptError("--out DIR is required".into()))?,
+    );
+    fs::create_dir_all(&out).map_err(|e| io_err(e, "creating output directory"))?;
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: opts.num("files", 200)?,
+            seed: opts.num("seed", 42)?,
+            ..GenOptions::default()
+        },
+    );
+    for f in &files {
+        fs::write(out.join(&f.name), &f.source).map_err(|e| io_err(e, "writing file"))?;
+    }
+    println!("wrote {} files to {}", files.len(), out.display());
+    Ok(())
+}
+
+/// Recursively collects `*.u` files under `root`.
+fn collect_sources(root: &Path, out: &mut Vec<(String, String)>) -> Result<(), OptError> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "u") {
+            let src = fs::read_to_string(root).map_err(|e| io_err(e, "reading source"))?;
+            out.push((root.display().to_string(), src));
+        }
+        return Ok(());
+    }
+    let entries = fs::read_dir(root).map_err(|e| io_err(e, "reading directory"))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for p in paths {
+        collect_sources(&p, out)?;
+    }
+    Ok(())
+}
+
+/// `uspec learn`.
+pub fn learn(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["lang", "tau", "out"])?;
+    let lib = library_for(&opts)?;
+    let tau: f64 = opts.num("tau", 0.6)?;
+    if opts.positional.is_empty() {
+        return Err(OptError("at least one corpus directory is required".into()));
+    }
+    let mut sources = Vec::new();
+    for dir in &opts.positional {
+        collect_sources(Path::new(dir), &mut sources)?;
+    }
+    if sources.is_empty() {
+        return Err(OptError("no *.u files found".into()));
+    }
+    println!("learning from {} files ...", sources.len());
+    let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+    println!(
+        "{} event graphs, {} candidates, {} selected at τ = {tau}",
+        result.corpus.graphs,
+        result.learned.len(),
+        result.learned.selected(tau).count()
+    );
+    for s in result.learned.selected(tau) {
+        println!("  {:.3}  (matches: {:>4})  {:?}", s.score, s.matches, s.spec);
+    }
+    if let Some(path) = opts.value("out") {
+        let file = SpecFile {
+            universe: opts.value_or("lang", "java").to_owned(),
+            tau,
+            files: sources.len(),
+            learned: result.learned.clone(),
+        };
+        let json = serde_json::to_string_pretty(&file)
+            .map_err(|e| OptError(format!("serializing specs: {e}")))?;
+        fs::write(path, json).map_err(|e| io_err(e, "writing spec file"))?;
+        println!("saved to {path}");
+    }
+    Ok(())
+}
+
+fn load_specs(path: &str) -> Result<SpecFile, OptError> {
+    let json = fs::read_to_string(path).map_err(|e| io_err(e, "reading spec file"))?;
+    serde_json::from_str(&json).map_err(|e| OptError(format!("parsing spec file: {e}")))
+}
+
+/// `uspec show`.
+pub fn show(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["tau"])?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| OptError("a spec file is required".into()))?;
+    let file = load_specs(path)?;
+    let tau: f64 = opts.num("tau", file.tau)?;
+    println!(
+        "{}: learned from {} files ({} candidates, τ = {tau})",
+        file.universe,
+        file.files,
+        file.learned.len()
+    );
+    for s in file.learned.selected(tau) {
+        println!("  {:.3}  (matches: {:>4})  {:?}", s.score, s.matches, s.spec);
+    }
+    Ok(())
+}
+
+/// `uspec analyze`.
+pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["lang", "specs", "tau", "typestate", "taint"])?;
+    let lib = library_for(&opts)?;
+    let table = lib.api_table();
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| OptError("a source file is required".into()))?;
+    let src = fs::read_to_string(path).map_err(|e| io_err(e, "reading source"))?;
+
+    let specs = match opts.value("specs") {
+        Some(p) => {
+            let file = load_specs(p)?;
+            let tau: f64 = opts.num("tau", file.tau)?;
+            file.learned.select(tau)
+        }
+        None => SpecDb::empty(),
+    };
+
+    let program = parse(&src).map_err(|e| OptError(format!("{path}: {}", e.render(&src))))?;
+    let bodies = lower_program(&program, &table, &LowerOptions::default())
+        .map_err(|e| OptError(format!("{path}: {}", e.render(&src))))?;
+
+    for body in &bodies {
+        println!("fn {}:", body.func);
+        let base = Pta::run(body, &SpecDb::empty(), &PtaOptions::default());
+        let aug = Pta::run(body, &specs, &PtaOptions::default());
+
+        // Report the may-alias pairs between call returns that the
+        // specifications add.
+        let pairs = |pta: &Pta| -> Vec<(String, String)> {
+            let recs: Vec<_> = pta.call_records().collect();
+            let mut out = Vec::new();
+            for i in 0..recs.len() {
+                for j in (i + 1)..recs.len() {
+                    if Pta::may_alias(&recs[i].ret, &recs[j].ret) {
+                        out.push((recs[i].method.qualified(), recs[j].method.qualified()));
+                    }
+                }
+            }
+            out
+        };
+        let base_pairs = pairs(&base);
+        let added: Vec<_> = pairs(&aug)
+            .into_iter()
+            .filter(|p| !base_pairs.contains(p))
+            .collect();
+        println!("  return-value alias pairs (baseline): {}", base_pairs.len());
+        println!("  added by specifications: {}", added.len());
+        for (a, b) in added.iter().take(20) {
+            println!("    {a}.ret ~ {b}.ret");
+        }
+
+        if let Some(ts) = opts.value("typestate") {
+            let (guard, action) = ts
+                .split_once(':')
+                .ok_or_else(|| OptError("--typestate expects guard:action".into()))?;
+            let protocol = TypestateProtocol {
+                guard: Symbol::intern(guard),
+                action: Symbol::intern(action),
+            };
+            let violations = check_typestate(body, &aug, &protocol);
+            println!("  typestate ({guard}/{action}): {} violation(s)", violations.len());
+        }
+        if let Some(t) = opts.value("taint") {
+            let parts: Vec<&str> = t.split(':').collect();
+            if parts.len() != 3 {
+                return Err(OptError("--taint expects sources:sinks:sanitizers".into()));
+            }
+            let split = |s: &str| s.split(',').filter(|x| !x.is_empty()).map(|x| x.to_owned()).collect::<Vec<_>>();
+            let config = TaintConfig::new(
+                &split(parts[0]).iter().map(String::as_str).collect::<Vec<_>>(),
+                &split(parts[1]).iter().map(String::as_str).collect::<Vec<_>>(),
+                &split(parts[2]).iter().map(String::as_str).collect::<Vec<_>>(),
+            );
+            let findings = check_taint(&aug, &config);
+            println!("  taint: {} finding(s)", findings.len());
+        }
+    }
+    Ok(())
+}
+
+/// `uspec graph`.
+pub fn graph(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["lang"])?;
+    let lib = library_for(&opts)?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| OptError("a source file is required".into()))?;
+    let src = fs::read_to_string(path).map_err(|e| io_err(e, "reading source"))?;
+    let graphs = analyze_source(&src, &lib.api_table(), &PipelineOptions::default())
+        .map_err(|e| OptError(format!("{path}: {}", e.render(&src))))?;
+    for g in &graphs {
+        if opts.switch("dot") {
+            println!("{}", g.to_dot());
+        } else {
+            println!("event graph: {} events, {} edges", g.num_events(), g.num_edges());
+            for (site, info) in g.sites() {
+                let n = g
+                    .event_ids()
+                    .filter(|&e| g.event(e).site == site)
+                    .count();
+                println!("  {}  ({} events)", info.method, n);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `uspec report`: render a saved specification file as a Markdown report
+/// grouped by API class, suitable for human review of the learned
+/// specifications (the paper's "interpretable ... directly examined by an
+/// expert" claim, §1).
+pub fn report(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["tau", "out"])?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| OptError("a spec file is required".into()))?;
+    let file = load_specs(path)?;
+    let tau: f64 = opts.num("tau", file.tau)?;
+
+    let mut by_class: std::collections::BTreeMap<String, Vec<&uspec_learn::ScoredSpec>> =
+        Default::default();
+    for s in file.learned.selected(tau) {
+        by_class
+            .entry(s.spec.class().as_str().to_owned())
+            .or_default()
+            .push(s);
+    }
+    let mut md = String::new();
+    md.push_str(&format!(
+        "# Learned API aliasing specifications
+
+         - universe: **{}**
+- corpus: **{}** files
+- threshold: **τ = {tau}**
+         - selected: **{}** of {} candidates, spanning **{}** classes
+
+",
+        file.universe,
+        file.files,
+        file.learned.selected(tau).count(),
+        file.learned.len(),
+        by_class.len()
+    ));
+    for (class, specs) in &by_class {
+        md.push_str(&format!("## `{class}`
+
+"));
+        md.push_str("| specification | score | matches |
+|---|---|---|
+");
+        let mut sorted = specs.clone();
+        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+        for s in sorted {
+            md.push_str(&format!(
+                "| `{:?}` | {:.3} | {} |
+",
+                s.spec, s.score, s.matches
+            ));
+        }
+        md.push('\n');
+    }
+    match opts.value("out") {
+        Some(out) => {
+            fs::write(out, md).map_err(|e| io_err(e, "writing report"))?;
+            println!("wrote report to {out}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(())
+}
+
+/// `uspec eval`: run the full pipeline on a generated corpus and score the
+/// learned candidates against the builtin ground truth (a CLI rendition of
+/// Fig. 7).
+pub fn eval(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["lang", "files", "seed", "taus"])?;
+    let lib = library_for(&opts)?;
+    let n: usize = opts.num("files", 1000)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let taus: Vec<f64> = opts
+        .value_or("taus", "0.0,0.2,0.4,0.6,0.8,0.9")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| OptError(format!("bad τ value `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let sources: Vec<(String, String)> = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: n,
+            seed,
+            ..GenOptions::default()
+        },
+    )
+    .into_iter()
+    .map(|f| (f.name, f.source))
+    .collect();
+    let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+    let points = uspec::precision_recall(&result.learned, |s| lib.is_true_spec(s), &taus);
+    println!(
+        "{} files → {} candidates ({} classes)",
+        n,
+        result.learned.len(),
+        result
+            .learned
+            .scored
+            .iter()
+            .map(|s| s.spec.class())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+    println!("{:>6}  {:>9}  {:>6}  {:>8}", "tau", "precision", "recall", "selected");
+    for p in points {
+        println!(
+            "{:>6.2}  {:>9.3}  {:>6.3}  {:>8}",
+            p.tau, p.precision, p.recall, p.selected
+        );
+    }
+    Ok(())
+}
+
+/// `uspec atlas`.
+pub fn atlas(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["lang", "tests", "seed"])?;
+    let lib = library_for(&opts)?;
+    let results = run_atlas(
+        &lib,
+        &AtlasOptions {
+            tests_per_class: opts.num("tests", 60)?,
+            seed: opts.num("seed", 0xA71A5)?,
+            ..AtlasOptions::default()
+        },
+    );
+    let evals = evaluate(&lib, &results);
+    for e in &evals {
+        let status = match e.status {
+            ClassStatus::Sound => format!("sound ({} flows)", e.found.len()),
+            ClassStatus::Unsound => format!("UNSOUND (missed {})", e.missed.len()),
+            ClassStatus::NoConstructor => "no constructor".to_owned(),
+            ClassStatus::TriviallyEmpty => "empty".to_owned(),
+        };
+        println!("  {:<50} {status}", e.class.as_str());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uspec-cli-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts(args: &[&str], vals: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string()), vals).unwrap()
+    }
+
+    #[test]
+    fn generate_then_learn_then_show_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let corpus = dir.join("corpus");
+        let specs = dir.join("specs.json");
+        generate(vec![
+            "--lang".into(),
+            "java".into(),
+            "--files".into(),
+            "120".into(),
+            "--out".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        assert!(fs::read_dir(&corpus).unwrap().count() >= 120);
+
+        learn(vec![
+            "--lang".into(),
+            "java".into(),
+            "--out".into(),
+            specs.display().to_string(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        let loaded = load_specs(&specs.display().to_string()).unwrap();
+        assert_eq!(loaded.universe, "java");
+        assert!(!loaded.learned.is_empty());
+
+        show(vec![specs.display().to_string()]).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_reports_added_aliasing() {
+        let dir = tmpdir("analyze");
+        let file = dir.join("prog.u");
+        fs::write(
+            &file,
+            r#"
+            fn main() {
+                m = new java.util.HashMap();
+                f = new java.io.File("x");
+                m.put("k", f);
+                a = m.get("k");
+                b = m.get("k");
+            }
+            "#,
+        )
+        .unwrap();
+        // Without specs: runs and reports zero additions.
+        analyze(vec![
+            "--lang".into(),
+            "java".into(),
+            file.display().to_string(),
+        ])
+        .unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graph_command_produces_dot() {
+        let dir = tmpdir("graph");
+        let file = dir.join("prog.u");
+        fs::write(&file, "fn main(db) { f = db.getFile(\"a\"); n = f.getName(); }").unwrap();
+        graph(vec![
+            "--lang".into(),
+            "java".into(),
+            file.display().to_string(),
+            "--dot".into(),
+        ])
+        .unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let dir = tmpdir("report");
+        let corpus = dir.join("corpus");
+        let specs = dir.join("specs.json");
+        generate(vec![
+            "--lang".into(),
+            "python".into(),
+            "--files".into(),
+            "150".into(),
+            "--out".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        learn(vec![
+            "--lang".into(),
+            "python".into(),
+            "--out".into(),
+            specs.display().to_string(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        let out = dir.join("report.md");
+        report(vec![
+            specs.display().to_string(),
+            "--out".into(),
+            out.display().to_string(),
+        ])
+        .unwrap();
+        let md = fs::read_to_string(&out).unwrap();
+        assert!(md.starts_with("# Learned API aliasing specifications"));
+        assert!(md.contains("| specification | score | matches |"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(generate(vec!["--lang".into(), "cobol".into(), "--out".into(), "/tmp/x".into()]).is_err());
+        assert!(learn(vec!["--lang".into(), "java".into()]).is_err());
+        assert!(show(vec!["/nonexistent/specs.json".into()]).is_err());
+        assert!(analyze(vec!["--lang".into(), "java".into(), "/nonexistent.u".into()]).is_err());
+    }
+
+    #[test]
+    fn library_selection() {
+        assert_eq!(
+            library_for(&opts(&["--lang", "python"], &["lang"])).unwrap().universe,
+            uspec_corpus::Universe::Python
+        );
+        assert!(library_for(&opts(&["--lang", "perl"], &["lang"])).is_err());
+    }
+}

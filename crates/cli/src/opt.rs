@@ -1,0 +1,125 @@
+//! Minimal command-line option parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed options: `--key value` flags, `--switch` booleans, positionals.
+#[derive(Clone, Debug, Default)]
+pub struct Opts {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+}
+
+/// A CLI usage error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptError(pub String);
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl Opts {
+    /// Parses arguments; `value_flags` lists the `--flag`s that consume a
+    /// value, everything else starting with `--` is a boolean switch.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+        value_flags: &[&str],
+    ) -> Result<Opts, OptError> {
+        let mut out = Opts::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    if !value_flags.contains(&k) {
+                        return Err(OptError(format!("unknown option --{k}")));
+                    }
+                    out.values.insert(k.to_owned(), v.to_owned());
+                } else if value_flags.contains(&name) {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| OptError(format!("--{name} requires a value")))?;
+                    out.values.insert(name.to_owned(), v);
+                } else {
+                    out.switches.push(name.to_owned());
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Value of `--name`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Value of `--name` or a default.
+    pub fn value_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.value(name).unwrap_or(default)
+    }
+
+    /// Parses `--name` as a number.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, OptError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| OptError(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Whether the boolean switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], vals: &[&str]) -> Result<Opts, OptError> {
+        Opts::parse(args.iter().map(|s| s.to_string()), vals)
+    }
+
+    #[test]
+    fn parses_values_switches_positionals() {
+        let o = parse(
+            &["--lang", "java", "--dot", "file.u", "--tau=0.7", "other.u"],
+            &["lang", "tau"],
+        )
+        .unwrap();
+        assert_eq!(o.value("lang"), Some("java"));
+        assert_eq!(o.value("tau"), Some("0.7"));
+        assert!(o.switch("dot"));
+        assert!(!o.switch("json"));
+        assert_eq!(o.positional, vec!["file.u", "other.u"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse(&["--lang"], &["lang"]).unwrap_err();
+        assert!(err.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn unknown_eq_option_is_an_error() {
+        let err = parse(&["--bogus=3"], &["lang"]).unwrap_err();
+        assert!(err.0.contains("unknown option"));
+    }
+
+    #[test]
+    fn num_parsing() {
+        let o = parse(&["--files", "250"], &["files"]).unwrap();
+        assert_eq!(o.num::<usize>("files", 10).unwrap(), 250);
+        assert_eq!(o.num::<usize>("seed", 42).unwrap(), 42);
+        let bad = parse(&["--files", "abc"], &["files"]).unwrap();
+        assert!(bad.num::<usize>("files", 0).is_err());
+    }
+}

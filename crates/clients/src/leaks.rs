@@ -1,0 +1,250 @@
+//! Resource-leak client analysis.
+//!
+//! A third client in the spirit of §7.4: every object returned by an *open*
+//! method must receive a *close* call on every path to the exit. Aliasing
+//! coverage matters in the same way as for the other clients: if the
+//! resource is re-read from a container (`conns.get(0).close()`), the
+//! baseline analysis closes a *different* abstract object than the one that
+//! was opened and reports a false leak; `RetSame`/`RetArg` specifications
+//! connect the two.
+
+use std::collections::{BTreeMap, BTreeSet};
+use uspec_lang::mir::{Body, CallSite, Terminator};
+use uspec_lang::{MethodId, Symbol};
+use uspec_pta::{InstrRecord, ObjId, Pta};
+
+/// Configuration of the open/close protocol.
+#[derive(Clone, Debug)]
+pub struct LeakConfig {
+    /// Methods whose return value is a resource that must be closed.
+    pub opens: Vec<Symbol>,
+    /// Methods that release the receiver resource.
+    pub closes: Vec<Symbol>,
+}
+
+impl LeakConfig {
+    /// Builds a config from method-name strings.
+    pub fn new(opens: &[&str], closes: &[&str]) -> LeakConfig {
+        LeakConfig {
+            opens: opens.iter().map(|s| Symbol::intern(s)).collect(),
+            closes: closes.iter().map(|s| Symbol::intern(s)).collect(),
+        }
+    }
+}
+
+/// A resource that may leak: opened at `site`, not closed on some exit path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakReport {
+    /// The opening call site.
+    pub site: CallSite,
+    /// The opening method.
+    pub method: MethodId,
+}
+
+/// Per-path state: resources opened (object → opening record index) and
+/// the subset already closed.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct State {
+    opened: BTreeMap<ObjId, (CallSite, MethodId)>,
+    closed: BTreeSet<ObjId>,
+}
+
+/// Checks the open/close protocol over one analyzed body.
+///
+/// A resource leaks if on **some** path to the exit it was opened but no
+/// close reached any object it may alias (may-leak, like the paper's
+/// may-analyses). Closing through an alias counts — that is where the
+/// learned specifications earn their keep.
+pub fn check_leaks(body: &Body, pta: &Pta, config: &LeakConfig) -> Vec<LeakReport> {
+    let nblocks = body.blocks.len();
+    let mut entry: Vec<Option<Vec<State>>> = vec![None; nblocks];
+    entry[0] = Some(vec![State::default()]);
+    let mut leaks: Vec<LeakReport> = Vec::new();
+    let mut seen = BTreeSet::new();
+
+    for bb in 0..nblocks {
+        let Some(states) = entry[bb].take() else {
+            continue;
+        };
+        let mut states = states;
+        for rec in &pta.records[bb] {
+            let InstrRecord::Call(call) = rec else { continue };
+            if config.opens.contains(&call.method.method) {
+                for st in &mut states {
+                    for &o in &call.ret {
+                        st.opened.insert(o, (call.site, call.method));
+                    }
+                }
+            } else if config.closes.contains(&call.method.method) {
+                if let Some(recv) = &call.recv {
+                    for st in &mut states {
+                        for &o in recv {
+                            st.closed.insert(o);
+                        }
+                    }
+                }
+            }
+        }
+        match &body.blocks[bb].term {
+            Terminator::Return => {
+                for st in &states {
+                    for (&obj, &(site, method)) in &st.opened {
+                        let closed = st.closed.contains(&obj);
+                        if !closed && seen.insert(site) {
+                            let _ = obj;
+                            leaks.push(LeakReport { site, method });
+                        }
+                    }
+                }
+            }
+            Terminator::Goto(t) => {
+                merge(&mut entry[t.0 as usize], states);
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                merge(&mut entry[then_bb.0 as usize], states.clone());
+                merge(&mut entry[else_bb.0 as usize], states);
+            }
+        }
+    }
+    leaks
+}
+
+/// Path-sensitive join with a cap: keep distinct states up to a small bound,
+/// falling back to a merged over-approximation beyond it.
+fn merge(slot: &mut Option<Vec<State>>, mut incoming: Vec<State>) {
+    const MAX_STATES: usize = 8;
+    match slot {
+        None => *slot = Some(incoming),
+        Some(existing) => {
+            for st in incoming.drain(..) {
+                if !existing.contains(&st) {
+                    existing.push(st);
+                }
+            }
+            if existing.len() > MAX_STATES {
+                // Merge everything into one conservative state: union of
+                // opened, intersection of closed.
+                let mut opened = BTreeMap::new();
+                let mut closed: Option<BTreeSet<ObjId>> = None;
+                for st in existing.drain(..) {
+                    opened.extend(st.opened);
+                    closed = Some(match closed {
+                        None => st.closed,
+                        Some(c) => c.intersection(&st.closed).copied().collect(),
+                    });
+                }
+                existing.push(State {
+                    opened,
+                    closed: closed.unwrap_or_default(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, Spec, SpecDb};
+
+    fn leaks(src: &str, specs: &SpecDb) -> Vec<LeakReport> {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, specs, &PtaOptions::default());
+        let config = LeakConfig::new(&["open", "openConnection"], &["close"]);
+        check_leaks(&body, &pta, &config)
+    }
+
+    #[test]
+    fn unclosed_resource_leaks() {
+        let v = leaks("fn main(db) { c = db.open(\"f\"); c.read(); }", &SpecDb::empty());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn closed_resource_is_clean() {
+        let v = leaks(
+            "fn main(db) { c = db.open(\"f\"); c.read(); c.close(); }",
+            &SpecDb::empty(),
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn close_on_one_branch_only_still_leaks() {
+        let v = leaks(
+            r#"
+            fn main(db, cond) {
+                c = db.open("f");
+                if (cond) { c.close(); }
+            }
+            "#,
+            &SpecDb::empty(),
+        );
+        assert_eq!(v.len(), 1, "the else path leaks");
+    }
+
+    #[test]
+    fn close_on_both_branches_is_clean() {
+        let v = leaks(
+            r#"
+            fn main(db, cond) {
+                c = db.open("f");
+                if (cond) { c.close(); } else { c.close(); }
+            }
+            "#,
+            &SpecDb::empty(),
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn container_roundtrip_close_needs_specs() {
+        // Fig. 8a-style: the resource is re-read from a registry before
+        // being closed.
+        let src = r#"
+            fn main(db) {
+                reg = new Registry();
+                c = db.open("f");
+                reg.put("conn", c);
+                reg.get("conn").close();
+            }
+        "#;
+        let baseline = leaks(src, &SpecDb::empty());
+        assert_eq!(baseline.len(), 1, "baseline reports a false leak");
+
+        let specs = SpecDb::from_specs([Spec::RetArg {
+            target: MethodId::new("Registry", "get", 1),
+            source: MethodId::new("Registry", "put", 2),
+            x: 2,
+        }]);
+        let with_specs = leaks(src, &specs);
+        assert!(
+            with_specs.is_empty(),
+            "RetArg connects the close to the open: {with_specs:?}"
+        );
+    }
+
+    #[test]
+    fn two_resources_tracked_independently() {
+        let v = leaks(
+            r#"
+            fn main(db) {
+                a = db.open("f");
+                b = db.open("g");
+                a.close();
+            }
+            "#,
+            &SpecDb::empty(),
+        );
+        assert_eq!(v.len(), 1, "only b leaks");
+    }
+}

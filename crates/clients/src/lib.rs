@@ -1,0 +1,24 @@
+//! # uspec-clients
+//!
+//! Downstream client analyses consuming may-alias results (§7.4):
+//!
+//! * [`typestate`] — guard/action protocol checking (`Iterator::hasNext`
+//!   before `next`, Fig. 8a): better aliasing removes false positives;
+//! * [`taint`] — source→sink object taint with sanitizers (Fig. 8b): better
+//!   aliasing coverage removes false negatives on container round-trips;
+//! * [`leaks`] — open/close resource tracking: closing through a
+//!   container-read alias is only recognized with the learned specs.
+//!
+//! Both clients take a lowered body plus a converged [`uspec_pta::Pta`]
+//! run, so the same client can be evaluated under the API-unaware baseline,
+//! the learned specifications, or the ground-truth oracle.
+
+#![warn(missing_docs)]
+
+pub mod leaks;
+pub mod taint;
+pub mod typestate;
+
+pub use leaks::{check_leaks, LeakConfig, LeakReport};
+pub use taint::{check_taint, TaintConfig, TaintFinding};
+pub use typestate::{check_typestate, TypestateProtocol, TypestateViolation};

@@ -1,0 +1,207 @@
+//! Taint client analysis (§7.4, Fig. 8b).
+//!
+//! Object-level taint propagation on top of the may-alias results: objects
+//! returned by *source* methods are tainted; calls propagate taint from
+//! receiver/arguments to returned objects (string manipulation keeps taint)
+//! unless the method is a *sanitizer*; a finding is reported when a tainted
+//! object reaches a *sink* argument.
+//!
+//! Aliasing coverage is decisive for recall: without the
+//! `RetArg(SubscriptLoad, setdefault, 2)`-style specifications, a value
+//! stored into a dict and read back is a fresh, untainted object and the
+//! vulnerability is missed (the Fig. 8b false negative).
+
+use std::collections::BTreeSet;
+use uspec_lang::mir::CallSite;
+use uspec_lang::{MethodId, Symbol};
+use uspec_pta::{InstrRecord, ObjId, Pta};
+
+/// Source/sink/sanitizer configuration (by simple method name).
+#[derive(Clone, Debug, Default)]
+pub struct TaintConfig {
+    /// Methods whose return value is attacker-controlled.
+    pub sources: Vec<Symbol>,
+    /// Methods whose arguments must not be tainted.
+    pub sinks: Vec<Symbol>,
+    /// Methods whose return value is clean regardless of inputs.
+    pub sanitizers: Vec<Symbol>,
+}
+
+impl TaintConfig {
+    /// Builds a config from method-name strings.
+    pub fn new(sources: &[&str], sinks: &[&str], sanitizers: &[&str]) -> TaintConfig {
+        let syms = |xs: &[&str]| xs.iter().map(|s| Symbol::intern(s)).collect();
+        TaintConfig {
+            sources: syms(sources),
+            sinks: syms(sinks),
+            sanitizers: syms(sanitizers),
+        }
+    }
+}
+
+/// A tainted value reaching a sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaintFinding {
+    /// The sink call site.
+    pub site: CallSite,
+    /// The sink method.
+    pub method: MethodId,
+}
+
+/// Runs the taint client over one analyzed body.
+///
+/// The propagation is a fixpoint over the analysis records: heap flow is
+/// already folded into the points-to sets (ghost fields), so only the
+/// call-level source/propagate/sanitize rules are needed here.
+pub fn check_taint(pta: &Pta, config: &TaintConfig) -> Vec<TaintFinding> {
+    let mut tainted: BTreeSet<ObjId> = BTreeSet::new();
+    // Fixpoint: records are in topological order but ghost-field flow can
+    // connect a later store to an earlier read.
+    loop {
+        let before = tainted.len();
+        for rec in pta.records.iter().flatten() {
+            let InstrRecord::Call(call) = rec else { continue };
+            let name = call.method.method;
+            if config.sources.contains(&name) {
+                tainted.extend(call.ret.iter().copied());
+                continue;
+            }
+            if config.sanitizers.contains(&name) {
+                continue;
+            }
+            let input_tainted = call
+                .recv
+                .iter()
+                .chain(call.args.iter())
+                .any(|pts| pts.iter().any(|o| tainted.contains(o)));
+            if input_tainted {
+                tainted.extend(call.ret.iter().copied());
+            }
+        }
+        if tainted.len() == before {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut seen = BTreeSet::new();
+    for rec in pta.records.iter().flatten() {
+        let InstrRecord::Call(call) = rec else { continue };
+        if !config.sinks.contains(&call.method.method) {
+            continue;
+        }
+        let hit = call
+            .args
+            .iter()
+            .any(|pts| pts.iter().any(|o| tainted.contains(o)));
+        if hit && seen.insert(call.site) {
+            findings.push(TaintFinding {
+                site: call.site,
+                method: call.method,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, Spec, SpecDb};
+
+    fn findings(src: &str, specs: &SpecDb) -> Vec<TaintFinding> {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, specs, &PtaOptions::default());
+        let config = TaintConfig::new(&["getParam", "pop"], &["render"], &["escape"]);
+        check_taint(&pta, &config)
+    }
+
+    fn dict_specs() -> SpecDb {
+        SpecDb::from_specs([Spec::RetArg {
+            target: MethodId::new("?", "SubscriptLoad", 1),
+            source: MethodId::new("?", "setdefault", 2),
+            x: 2,
+        }])
+    }
+
+    #[test]
+    fn direct_flow_is_found_without_specs() {
+        let src = r#"
+            fn main(req, html) {
+                v = req.getParam("q");
+                html.render(v);
+            }
+        "#;
+        assert_eq!(findings(src, &SpecDb::empty()).len(), 1);
+    }
+
+    #[test]
+    fn sanitizer_blocks_flow() {
+        let src = r#"
+            fn main(req, html) {
+                v = req.getParam("q");
+                s = v.escape();
+                html.render(s);
+            }
+        "#;
+        assert!(findings(src, &SpecDb::empty()).is_empty());
+    }
+
+    #[test]
+    fn string_ops_propagate_taint() {
+        let src = r#"
+            fn main(req, html) {
+                v = req.getParam("q");
+                s = v.strip();
+                html.render(s);
+            }
+        "#;
+        assert_eq!(findings(src, &SpecDb::empty()).len(), 1);
+    }
+
+    const FIG8B: &str = r#"
+        fn main(kwargs, html) {
+            v = kwargs.pop("value");
+            kwargs.setdefault("data-value", v);
+            w = kwargs.SubscriptLoad("data-value");
+            html.render(w);
+        }
+    "#;
+
+    #[test]
+    fn fig8b_false_negative_without_specs() {
+        assert!(
+            findings(FIG8B, &SpecDb::empty()).is_empty(),
+            "baseline misses the dict round-trip"
+        );
+    }
+
+    #[test]
+    fn fig8b_found_with_dict_specs() {
+        assert_eq!(
+            findings(FIG8B, &dict_specs()).len(),
+            1,
+            "RetArg(SubscriptLoad, setdefault, 2) closes the gap"
+        );
+    }
+
+    #[test]
+    fn untainted_dict_roundtrip_is_clean() {
+        let src = r#"
+            fn main(kwargs, html) {
+                v = "static";
+                kwargs.setdefault("data-value", v);
+                w = kwargs.SubscriptLoad("data-value");
+                html.render(w);
+            }
+        "#;
+        assert!(findings(src, &dict_specs()).is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Type-state client analysis (§7.4, Fig. 8a).
+//!
+//! Checks guard/action protocols such as `Iterator::hasNext` before
+//! `Iterator::next`: at every call of the *action* method, every abstract
+//! object the receiver may point to must have been *guarded* on all paths
+//! since its last action. The precision of the underlying may-alias
+//! analysis is decisive: if two reads of the same collection slot are
+//! assigned distinct abstract objects (the API-unaware baseline), the guard
+//! lands on a different object than the action and a false positive is
+//! reported.
+
+use std::collections::BTreeMap;
+use uspec_lang::mir::{Body, CallSite, Terminator};
+use uspec_lang::{MethodId, Symbol};
+use uspec_pta::{InstrRecord, ObjId, Pta};
+
+/// A two-method guard/action protocol.
+#[derive(Clone, Debug)]
+pub struct TypestateProtocol {
+    /// Method (by simple name) that establishes the guard, e.g. `hasNext`.
+    pub guard: Symbol,
+    /// Method that requires and consumes the guard, e.g. `next`.
+    pub action: Symbol,
+}
+
+impl TypestateProtocol {
+    /// The classic `hasNext`/`next` iterator protocol.
+    pub fn iterator() -> TypestateProtocol {
+        TypestateProtocol {
+            guard: Symbol::intern("hasNext"),
+            action: Symbol::intern("next"),
+        }
+    }
+}
+
+/// A reported protocol violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypestateViolation {
+    /// The action call site that may fire unguarded.
+    pub site: CallSite,
+    /// The action method.
+    pub method: MethodId,
+}
+
+/// Per-object guard state; an object is safe at an action only if it is
+/// guarded on **all** incoming paths (must-analysis).
+type State = BTreeMap<ObjId, bool>;
+
+/// Checks `protocol` over one analyzed body.
+///
+/// Returns every action call site where some receiver object may be
+/// unguarded. Fewer reports with a more precise may-alias analysis means
+/// fewer false positives (the Fig. 8a effect).
+pub fn check_typestate(
+    body: &Body,
+    pta: &Pta,
+    protocol: &TypestateProtocol,
+) -> Vec<TypestateViolation> {
+    let nblocks = body.blocks.len();
+    let mut entry: Vec<Option<State>> = vec![None; nblocks];
+    entry[0] = Some(State::new());
+    let mut violations = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+
+    for bb in 0..nblocks {
+        let Some(state0) = entry[bb].take() else {
+            continue;
+        };
+        let mut state = state0;
+        for rec in &pta.records[bb] {
+            let InstrRecord::Call(call) = rec else { continue };
+            let Some(recv) = &call.recv else { continue };
+            if call.method.method == protocol.guard {
+                for &o in recv {
+                    state.insert(o, true);
+                }
+            } else if call.method.method == protocol.action {
+                let unguarded = recv
+                    .iter()
+                    .any(|o| !state.get(o).copied().unwrap_or(false));
+                if unguarded && seen.insert(call.site) {
+                    violations.push(TypestateViolation {
+                        site: call.site,
+                        method: call.method,
+                    });
+                }
+                for &o in recv {
+                    state.insert(o, false);
+                }
+            }
+        }
+        let succs: Vec<u32> = match &body.blocks[bb].term {
+            Terminator::Goto(t) => vec![t.0],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb.0, else_bb.0],
+            Terminator::Return => vec![],
+        };
+        for s in succs {
+            match &mut entry[s as usize] {
+                Some(dest) => {
+                    // Must-join: guarded only if guarded on every path.
+                    let keys: Vec<ObjId> = dest.keys().copied().chain(state.keys().copied()).collect();
+                    for k in keys {
+                        let a = dest.get(&k).copied().unwrap_or(false);
+                        let b = state.get(&k).copied().unwrap_or(false);
+                        dest.insert(k, a && b);
+                    }
+                }
+                slot @ None => *slot = Some(state.clone()),
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, Spec, SpecDb};
+
+    fn violations(src: &str, specs: &SpecDb) -> Vec<TypestateViolation> {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, specs, &PtaOptions::default());
+        check_typestate(&body, &pta, &TypestateProtocol::iterator())
+    }
+
+    fn list_get_ret_same() -> SpecDb {
+        SpecDb::from_specs([Spec::RetSame {
+            method: MethodId::new("?", "get", 1),
+        }])
+    }
+
+    const FIG8A: &str = r#"
+        fn main(iters, flag) {
+            c = iters.get(0).hasNext();
+            if (c) {
+                x = iters.get(0).next();
+            }
+        }
+    "#;
+
+    #[test]
+    fn fig8a_false_positive_without_specs() {
+        let v = violations(FIG8A, &SpecDb::empty());
+        assert_eq!(v.len(), 1, "baseline cannot connect the two gets");
+    }
+
+    #[test]
+    fn fig8a_no_false_positive_with_ret_same() {
+        let v = violations(FIG8A, &list_get_ret_same());
+        assert!(v.is_empty(), "RetSame(get) merges the iterators: {v:?}");
+    }
+
+    #[test]
+    fn direct_protocol_violation_still_reported() {
+        let src = r#"
+            fn main(it) {
+                x = it.next();
+            }
+        "#;
+        assert_eq!(violations(src, &list_get_ret_same()).len(), 1);
+    }
+
+    #[test]
+    fn guarded_direct_use_is_clean() {
+        let src = r#"
+            fn main(it) {
+                c = it.hasNext();
+                if (c) { x = it.next(); }
+            }
+        "#;
+        assert!(violations(src, &SpecDb::empty()).is_empty());
+    }
+
+    #[test]
+    fn action_consumes_guard() {
+        let src = r#"
+            fn main(it) {
+                c = it.hasNext();
+                x = it.next();
+                y = it.next();
+            }
+        "#;
+        let v = violations(src, &SpecDb::empty());
+        assert_eq!(v.len(), 1, "second next is unguarded");
+    }
+
+    #[test]
+    fn must_join_requires_guard_on_all_paths() {
+        let src = r#"
+            fn main(it, flag) {
+                if (flag) { c = it.hasNext(); }
+                x = it.next();
+            }
+        "#;
+        let v = violations(src, &SpecDb::empty());
+        assert_eq!(v.len(), 1, "guard missing on the else path");
+    }
+}
+
+#[cfg(test)]
+mod loop_tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, SpecDb};
+
+    fn violations(src: &str) -> usize {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        check_typestate(&body, &pta, &TypestateProtocol::iterator()).len()
+    }
+
+    #[test]
+    fn guarded_loop_body_is_clean() {
+        assert_eq!(
+            violations(
+                r#"
+                fn main(it, c) {
+                    while (c) {
+                        g = it.hasNext();
+                        x = it.next();
+                    }
+                }
+                "#
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn guard_outside_loop_does_not_cover_second_iteration() {
+        // hasNext once, next repeatedly: the unrolled second iteration's
+        // next() is unguarded (next consumes the guard).
+        assert_eq!(
+            violations(
+                r#"
+                fn main(it, c) {
+                    g = it.hasNext();
+                    while (c) {
+                        x = it.next();
+                    }
+                }
+                "#
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn violations_deduplicated_per_site() {
+        // The same syntactic next() in a loop reports once, not per copy.
+        assert_eq!(
+            violations(
+                r#"
+                fn main(it, c) {
+                    while (c) { x = it.next(); }
+                }
+                "#
+            ),
+            1
+        );
+    }
+}

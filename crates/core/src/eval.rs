@@ -1,0 +1,507 @@
+//! Evaluation machinery: precision/recall over ground truth (§7.2) and the
+//! call-site diff classification of Tab. 4 (§7.3).
+
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use uspec_lang::lower::lower_program;
+use uspec_lang::mir::CallSite;
+use uspec_lang::parser::parse;
+use uspec_lang::registry::ApiTable;
+use uspec_lang::MethodId;
+use uspec_learn::LearnedSpecs;
+use uspec_pta::{GhostField, GhostMode, InstrRecord, ObjId, ObjKind, ObjPool, Pta, PtaOptions, Spec, SpecDb, Value};
+
+use crate::pipeline::PipelineOptions;
+
+/// One point of the Fig. 7 precision/recall curve.
+#[derive(Clone, Copy, Debug)]
+pub struct PrPoint {
+    /// Selection threshold τ.
+    pub tau: f64,
+    /// Fraction of valid specifications among the selected ones.
+    pub precision: f64,
+    /// Fraction of selected candidates among the valid ones.
+    pub recall: f64,
+    /// Number of selected candidates.
+    pub selected: usize,
+    /// Number of selected candidates that are valid.
+    pub valid_selected: usize,
+}
+
+/// Computes precision and recall of τ-selection against a validity oracle,
+/// exactly as §7.2 defines them: precision is the valid fraction of the
+/// selected set, recall the selected fraction of the valid set.
+pub fn precision_recall(
+    learned: &LearnedSpecs,
+    is_valid: impl Fn(&Spec) -> bool,
+    taus: &[f64],
+) -> Vec<PrPoint> {
+    let labels: Vec<(f64, bool)> = learned
+        .scored
+        .iter()
+        .map(|s| (s.score, is_valid(&s.spec)))
+        .collect();
+    let valid_total = labels.iter().filter(|(_, v)| *v).count();
+    taus.iter()
+        .map(|&tau| {
+            let selected: Vec<&(f64, bool)> =
+                labels.iter().filter(|(score, _)| *score >= tau).collect();
+            let valid_selected = selected.iter().filter(|(_, v)| *v).count();
+            let precision = if selected.is_empty() {
+                1.0
+            } else {
+                valid_selected as f64 / selected.len() as f64
+            };
+            let recall = if valid_total == 0 {
+                1.0
+            } else {
+                valid_selected as f64 / valid_total as f64
+            };
+            PrPoint {
+                tau,
+                precision,
+                recall,
+                selected: selected.len(),
+                valid_selected,
+            }
+        })
+        .collect()
+}
+
+/// A stable, run-independent key for an abstract object, so points-to sets
+/// from *different* analysis runs (baseline / learned / oracle) can be
+/// compared.
+pub fn stable_obj_key(pool: &ObjPool, o: ObjId) -> String {
+    let obj = pool.get(o);
+    let site = |s: CallSite| format!("{}c{}", s.node.0, s.ctx.0);
+    match &obj.kind {
+        ObjKind::New { class, .. } => format!("new:{class}@{}", site(obj.site)),
+        ObjKind::Lit(l) => format!("lit:{l:?}@{}", site(obj.site)),
+        ObjKind::ApiRet(m) => format!("api:{m}@{}", site(obj.site)),
+        ObjKind::Param { index, .. } => format!("param:{index}"),
+        ObjKind::Opaque => format!("opaque@{}", site(obj.site)),
+        ObjKind::Ghost { owner, field } => {
+            let fdesc = match field {
+                GhostField::Named(m, vals) => {
+                    let vs: Vec<String> = vals
+                        .iter()
+                        .map(|v| match v {
+                            Value::Lit(l) => format!("{l:?}"),
+                            Value::Obj(s) => format!("obj@{}", site(*s)),
+                        })
+                        .collect();
+                    format!("{m}[{}]", vs.join(","))
+                }
+                GhostField::Top(m) => format!("top:{m}"),
+                GhostField::Bot(m) => format!("bot:{m}"),
+            };
+            format!("ghost:({},{fdesc})", stable_obj_key(pool, *owner))
+        }
+    }
+}
+
+/// Tab. 4 categories for a call site where the augmented analysis differs
+/// from the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiffCategory {
+    /// Increased points-to coverage while being precise.
+    PreciseCoverage,
+    /// Less precise because of a wrong (learned but invalid) specification.
+    WrongSpec,
+    /// Less precise due to the coverage-increasing ⊤/⊥ approach of §6.4.
+    CoverageApproach,
+    /// Less precise for other reasons.
+    Other,
+}
+
+/// One differing call site with its classification.
+#[derive(Clone, Debug)]
+pub struct ClassifiedSite {
+    /// Source file name.
+    pub file: String,
+    /// Method called at the site.
+    pub method: MethodId,
+    /// The category.
+    pub category: DiffCategory,
+}
+
+/// Outcome of a Tab. 4 comparison over a corpus.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All differing call sites, classified.
+    pub diffs: Vec<ClassifiedSite>,
+    /// Total lines of source analyzed.
+    pub total_loc: usize,
+    /// Call sites (with used return values) examined.
+    pub sites_examined: usize,
+}
+
+impl DiffReport {
+    /// Counts per category.
+    pub fn counts(&self) -> BTreeMap<DiffCategory, usize> {
+        let mut out = BTreeMap::new();
+        for d in &self.diffs {
+            *out.entry(d.category).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// "One per N lines of code" rate for a category.
+    pub fn loc_rate(&self, cat: DiffCategory) -> Option<usize> {
+        let n = self.diffs.iter().filter(|d| d.category == cat).count();
+        (n > 0).then(|| self.total_loc / n)
+    }
+}
+
+/// Compares the spec-augmented analysis against the API-unaware baseline on
+/// a corpus and classifies every differing call site (§7.3 / Tab. 4).
+///
+/// Four analyses run per file: baseline (no specs), the learned specs in
+/// coverage mode (§6.4 on, as evaluated in the paper), the learned specs in
+/// base mode (to attribute ⊤/⊥-caused imprecision), and the ground-truth
+/// oracle (true specs, base mode) defining which added aliasing is correct.
+///
+/// Sites are compared by their **may-alias partner sets** — which other
+/// call-site positions the returned object may alias — rather than by raw
+/// abstract-object identity: a `RetSame` ghost object standing alone is
+/// indistinguishable from the baseline's fresh object, so only actual
+/// aliasing differences count.
+pub fn compare_on_corpus(
+    sources: &[(String, String)],
+    table: &ApiTable,
+    learned: &SpecDb,
+    truth: &SpecDb,
+    opts: &PipelineOptions,
+) -> DiffReport {
+    let false_read_methods: BTreeSet<MethodId> = learned
+        .iter()
+        .filter(|s| !truth.contains(s))
+        .map(|s| match s {
+            Spec::RetSame { method } | Spec::RetRecv { method } => *method,
+            Spec::RetArg { target, .. } => *target,
+        })
+        .collect();
+
+    let per_file: Vec<DiffReport> = sources
+        .par_iter()
+        .map(|(name, src)| {
+            let mut report = DiffReport {
+                total_loc: src.lines().count(),
+                ..DiffReport::default()
+            };
+            let Ok(program) = parse(src) else {
+                return report;
+            };
+            let Ok(bodies) = lower_program(&program, table, &opts.lower) else {
+                return report;
+            };
+            let cov_opts = PtaOptions {
+                ghost_mode: GhostMode::Coverage,
+                ..opts.pta.clone()
+            };
+            for body in &bodies {
+                let base = alias_partners(&Pta::run(body, &SpecDb::empty(), &opts.pta));
+                let learned_cov = alias_partners(&Pta::run(body, learned, &cov_opts));
+                let learned_base = alias_partners(&Pta::run(body, learned, &opts.pta));
+                let oracle = alias_partners(&Pta::run(body, truth, &opts.pta));
+                for (site, (method, cov_set)) in &learned_cov {
+                    report.sites_examined += 1;
+                    let empty = BTreeSet::new();
+                    let base_set = base.get(site).map(|(_, s)| s).unwrap_or(&empty);
+                    let added: BTreeSet<&String> = cov_set.difference(base_set).collect();
+                    if added.is_empty() {
+                        continue;
+                    }
+                    let oracle_added: BTreeSet<&String> = oracle
+                        .get(site)
+                        .map(|(_, s)| s.difference(base_set).collect())
+                        .unwrap_or_default();
+                    let category = if added.is_subset(&oracle_added) {
+                        DiffCategory::PreciseCoverage
+                    } else {
+                        let base_mode_set =
+                            learned_base.get(site).map(|(_, s)| s).unwrap_or(&empty);
+                        let extra: BTreeSet<&String> =
+                            added.difference(&oracle_added).copied().collect();
+                        let extra_in_base: Vec<&&String> =
+                            extra.iter().filter(|k| base_mode_set.contains(**k)).collect();
+                        if extra_in_base.is_empty() {
+                            DiffCategory::CoverageApproach
+                        } else if false_read_methods.contains(method) {
+                            DiffCategory::WrongSpec
+                        } else {
+                            DiffCategory::Other
+                        }
+                    };
+                    report.diffs.push(ClassifiedSite {
+                        file: name.clone(),
+                        method: *method,
+                        category,
+                    });
+                }
+            }
+            report
+        })
+        .collect();
+
+    let mut out = DiffReport::default();
+    for r in per_file {
+        out.total_loc += r.total_loc;
+        out.sites_examined += r.sites_examined;
+        out.diffs.extend(r.diffs);
+    }
+    out
+}
+
+/// Collects, per call site with a used return value, the set of *may-alias
+/// partners* of the returned object: stable keys of every other call-site
+/// position whose points-to set intersects the return's (merged over
+/// unrolled copies).
+fn alias_partners(pta: &Pta) -> BTreeMap<CallSite, (MethodId, BTreeSet<String>)> {
+    // Gather points-to sets per (site, position) in stable-key form.
+    type PosKey = (CallSite, u8); // 0 = recv, 1.. = args, 255 = ret
+    let mut positions: BTreeMap<PosKey, BTreeSet<String>> = BTreeMap::new();
+    let mut methods: BTreeMap<CallSite, MethodId> = BTreeMap::new();
+    let mut has_ret: BTreeSet<CallSite> = BTreeSet::new();
+    for rec in pta.records.iter().flatten() {
+        let InstrRecord::Call(c) = rec else { continue };
+        methods.insert(c.site, c.method);
+        let mut push = |pos: u8, objs: &[ObjId]| {
+            let slot = positions.entry((c.site, pos)).or_default();
+            for &o in objs {
+                slot.insert(stable_obj_key(&pta.objs, o));
+            }
+        };
+        if let Some(r) = &c.recv {
+            push(0, r);
+        }
+        for (i, a) in c.args.iter().enumerate() {
+            push((i + 1) as u8, a);
+        }
+        if c.dst.is_some() {
+            push(u8::MAX, &c.ret);
+            has_ret.insert(c.site);
+        }
+    }
+    // For each ret position, the partners are all other positions whose
+    // sets intersect it.
+    let mut out: BTreeMap<CallSite, (MethodId, BTreeSet<String>)> = BTreeMap::new();
+    for &site in &has_ret {
+        let ret = &positions[&(site, u8::MAX)];
+        let mut partners = BTreeSet::new();
+        for ((other, pos), set) in &positions {
+            if *other == site {
+                continue;
+            }
+            if ret.iter().any(|k| set.contains(k)) {
+                partners.insert(format!("{}c{}:{}", other.node.0, other.ctx.0, pos));
+            }
+        }
+        out.insert(site, (methods[&site], partners));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_learn::{ScoredSpec, ScoreFn};
+
+    fn mk_learned(entries: &[(Spec, f64)]) -> LearnedSpecs {
+        let _ = ScoreFn::default();
+        LearnedSpecs {
+            scored: entries
+                .iter()
+                .map(|(spec, score)| ScoredSpec {
+                    spec: *spec,
+                    score: *score,
+                    matches: 1,
+                    scored_edges: 1,
+                })
+                .collect(),
+        }
+    }
+
+    fn spec(name: &str) -> Spec {
+        Spec::RetSame {
+            method: MethodId::new("C", name, 0),
+        }
+    }
+
+    #[test]
+    fn precision_recall_basics() {
+        let learned = mk_learned(&[
+            (spec("a"), 0.9), // valid
+            (spec("b"), 0.8), // invalid
+            (spec("c"), 0.4), // valid
+        ]);
+        let valid = |s: &Spec| matches!(s, Spec::RetSame { method } if method.method.as_str() != "b");
+        let points = precision_recall(&learned, valid, &[0.0, 0.6, 0.95]);
+        // τ=0: all selected → precision 2/3, recall 1.
+        assert!((points[0].precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((points[0].recall - 1.0).abs() < 1e-9);
+        // τ=0.6: {a, b} → precision 1/2, recall 1/2.
+        assert!((points[1].precision - 0.5).abs() < 1e-9);
+        assert!((points[1].recall - 0.5).abs() < 1e-9);
+        // τ=0.95: nothing selected → precision defined as 1, recall 0.
+        assert_eq!(points[2].selected, 0);
+        assert!((points[2].precision - 1.0).abs() < 1e-9);
+        assert_eq!(points[2].recall, 0.0);
+    }
+
+    #[test]
+    fn recall_monotone_in_tau() {
+        let learned = mk_learned(&[(spec("a"), 0.9), (spec("b"), 0.5), (spec("c"), 0.2)]);
+        let points = precision_recall(&learned, |_| true, &[0.0, 0.3, 0.6, 0.99]);
+        for w in points.windows(2) {
+            assert!(w[0].recall >= w[1].recall);
+        }
+    }
+
+    #[test]
+    fn compare_on_corpus_classifies_categories() {
+        use uspec_corpus::java_library;
+        let lib = java_library();
+        let table = lib.api_table();
+        let truth = SpecDb::from_specs(lib.true_specs());
+        let get = MethodId::new("java.util.HashMap", "get", 1);
+        let put = MethodId::new("java.util.HashMap", "put", 2);
+        // Learned: the correct HashMap spec plus a WRONG RetSame on
+        // SecureRandom.nextInt.
+        let next_int = MethodId::new("java.security.SecureRandom", "nextInt", 0);
+        let learned = SpecDb::from_specs([
+            Spec::RetArg {
+                target: get,
+                source: put,
+                x: 2,
+            },
+            Spec::RetSame { method: next_int },
+        ]);
+        let sources = vec![
+            (
+                "good.u".to_owned(),
+                r#"
+                fn main() {
+                    m = new java.util.HashMap();
+                    f = new java.io.File();
+                    m.put("k", f);
+                    x = m.get("k");
+                    r = x.getName();
+                }
+                "#
+                .to_owned(),
+            ),
+            (
+                "wrong.u".to_owned(),
+                r#"
+                fn main() {
+                    r = new java.security.SecureRandom();
+                    a = r.nextInt();
+                    b = r.nextInt();
+                }
+                "#
+                .to_owned(),
+            ),
+            (
+                "coverage.u".to_owned(),
+                r#"
+                fn main(api) {
+                    m = new java.util.HashMap();
+                    f = new java.io.File();
+                    m.put(api.makeKey(), f);
+                    x = m.get("other");
+                }
+                "#
+                .to_owned(),
+            ),
+        ];
+        let report = compare_on_corpus(&sources, &table, &learned, &truth, &PipelineOptions::default());
+        let counts = report.counts();
+        assert!(
+            counts.get(&DiffCategory::PreciseCoverage).copied().unwrap_or(0) >= 1,
+            "{counts:?}"
+        );
+        assert!(
+            counts.get(&DiffCategory::WrongSpec).copied().unwrap_or(0) >= 1,
+            "{counts:?}"
+        );
+        assert!(
+            counts.get(&DiffCategory::CoverageApproach).copied().unwrap_or(0) >= 1,
+            "{counts:?}"
+        );
+        assert!(report.total_loc > 0);
+        assert!(report.loc_rate(DiffCategory::PreciseCoverage).is_some());
+    }
+}
+
+#[cfg(test)]
+mod stable_key_tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::PtaOptions;
+
+    fn keys_of(src: &str, specs: &SpecDb) -> Vec<String> {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, specs, &PtaOptions::default());
+        pta.objs
+            .iter()
+            .map(|(id, _)| stable_obj_key(&pta.objs, id))
+            .collect()
+    }
+
+    const SRC: &str = r#"
+        fn main(db) {
+            m = new java.util.HashMap();
+            m.put("k", db.getFile("a"));
+            x = m.get("k");
+        }
+    "#;
+
+    #[test]
+    fn keys_are_unique_per_object() {
+        let ks = keys_of(SRC, &SpecDb::empty());
+        let set: std::collections::BTreeSet<_> = ks.iter().collect();
+        assert_eq!(set.len(), ks.len(), "{ks:?}");
+    }
+
+    #[test]
+    fn keys_are_stable_across_runs_and_spec_sets() {
+        use uspec_lang::MethodId;
+        let base = keys_of(SRC, &SpecDb::empty());
+        let specs = SpecDb::from_specs([Spec::RetArg {
+            target: MethodId::new("java.util.HashMap", "get", 1),
+            source: MethodId::new("java.util.HashMap", "put", 2),
+            x: 2,
+        }]);
+        let aug = keys_of(SRC, &specs);
+        // Every baseline object except the get-return fresh object (which
+        // the specs replace) reappears with an identical key.
+        let aug_set: std::collections::BTreeSet<_> = aug.iter().cloned().collect();
+        let missing: Vec<&String> = base
+            .iter()
+            .filter(|k| !aug_set.contains(*k))
+            .collect();
+        assert!(
+            missing.iter().all(|k| k.starts_with("api:java.util.HashMap.get")),
+            "only the replaced fresh return may disappear: {missing:?}"
+        );
+    }
+
+    #[test]
+    fn ghost_keys_describe_owner_and_field() {
+        use uspec_lang::MethodId;
+        let specs = SpecDb::from_specs([Spec::RetSame {
+            method: MethodId::new("java.util.HashMap", "get", 1),
+        }]);
+        let ks = keys_of(SRC, &specs);
+        let ghost = ks.iter().find(|k| k.starts_with("ghost:")).expect("ghost allocated");
+        assert!(ghost.contains("new:java.util.HashMap"), "{ghost}");
+        assert!(ghost.contains("get"), "{ghost}");
+    }
+}

@@ -1,0 +1,58 @@
+//! # uspec
+//!
+//! End-to-end reproduction of **USpec** — *Unsupervised Learning of API
+//! Aliasing Specifications* (Eberhardt, Steffen, Raychev, Vechev; PLDI
+//! 2019).
+//!
+//! USpec learns API aliasing specifications (`RetSame(s)`,
+//! `RetArg(t, s, x)`) from a large corpus of programs, fully unsupervised:
+//!
+//! 1. an API-unaware points-to analysis turns every file into *event
+//!    graphs* ([`uspec_graph`]);
+//! 2. a probabilistic model of event-graph edges is trained on those graphs
+//!    ([`uspec_model`]);
+//! 3. candidate specifications are extracted wherever the two patterns
+//!    match, and scored by querying the model on the edges each candidate
+//!    *induces* ([`uspec_learn`]);
+//! 4. selected specifications augment an Andersen-style may-alias analysis
+//!    through ghost fields ([`uspec_pta`]).
+//!
+//! This crate wires the stages into a single [`run_pipeline`] entry point
+//! and provides the evaluation machinery (precision/recall, Tab. 4 call-site
+//! classification) used by the benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uspec::{run_pipeline, PipelineOptions};
+//! use uspec_corpus::{generate_corpus, java_library, GenOptions};
+//!
+//! let lib = java_library();
+//! let files = generate_corpus(&lib, &GenOptions { num_files: 120, ..GenOptions::default() });
+//! let sources: Vec<(String, String)> = files.into_iter().map(|f| (f.name, f.source)).collect();
+//!
+//! let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+//! let specs = result.select(0.6); // τ = 0.6 as in §7.2
+//! println!("learned {} specifications", specs.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod pipeline;
+
+pub use eval::{
+    compare_on_corpus, precision_recall, stable_obj_key, ClassifiedSite, DiffCategory, DiffReport,
+    PrPoint,
+};
+pub use pipeline::{
+    analyze_source, analyze_source_with_specs, run_pipeline, CorpusStats, PipelineOptions,
+    PipelineResult,
+};
+
+// Re-export the member crates for downstream convenience.
+pub use uspec_graph as graph;
+pub use uspec_lang as lang;
+pub use uspec_learn as learn;
+pub use uspec_model as model;
+pub use uspec_pta as pta;

@@ -1,0 +1,320 @@
+//! The end-to-end USpec pipeline (Fig. 1 of the paper).
+//!
+//! ```text
+//! corpus ──parse/lower──▶ bodies ──PTA (API-unaware)──▶ event graphs
+//!   event graphs ──§4.2──▶ training samples ──SGD──▶ model ϕ
+//!   event graphs + ϕ ──Alg. 1──▶ candidates Γ_S ──score/τ──▶ specs S
+//! ```
+//!
+//! File analysis is embarrassingly parallel and runs on rayon; training is
+//! sequential SGD (as in the paper's single Vowpal Wabbit instance).
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use uspec_graph::{build_event_graph, EventGraph, GraphOptions};
+use uspec_lang::lower::{lower_program, LowerOptions};
+use uspec_lang::parser::parse;
+use uspec_lang::registry::ApiTable;
+use uspec_lang::LangError;
+use uspec_learn::{CandidateSet, ExtractOptions, Extractor, LearnedSpecs, ScoreFn};
+use uspec_model::{extract_samples, EdgeModel, Sample, TrainOptions, TrainStats};
+use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+/// All knobs of the pipeline in one place.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Frontend lowering (inlining depth etc.).
+    pub lower: LowerOptions,
+    /// Initial (API-unaware) points-to analysis options.
+    pub pta: PtaOptions,
+    /// Event-graph construction bounds.
+    pub graph: GraphOptions,
+    /// Probabilistic-model training options.
+    pub train: TrainOptions,
+    /// Candidate extraction options (Alg. 1).
+    pub extract: ExtractOptions,
+    /// Scoring function (§5.2).
+    pub score_fn: ScoreFn,
+    /// Drop exact-duplicate sources before analysis, as the paper prunes
+    /// its dataset "to be free from project forks and file duplicates"
+    /// (§7.1). Duplicates would otherwise multiply match counts and bias
+    /// the edge model toward whatever the duplicated files do.
+    pub dedup: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            lower: LowerOptions::default(),
+            pta: PtaOptions::default(),
+            graph: GraphOptions::default(),
+            train: TrainOptions::default(),
+            extract: ExtractOptions::default(),
+            score_fn: ScoreFn::default(),
+            dedup: true,
+        }
+    }
+}
+
+/// Aggregate statistics of the analyzed corpus.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusStats {
+    /// Files successfully analyzed.
+    pub files: usize,
+    /// Files that failed to parse or lower.
+    pub failures: usize,
+    /// Exact-duplicate files dropped before analysis.
+    pub duplicates: usize,
+    /// Event graphs (one per entry function).
+    pub graphs: usize,
+    /// Total events.
+    pub events: usize,
+    /// Total edges.
+    pub edges: usize,
+}
+
+/// The outcome of a full pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Scored candidates, ready for τ selection.
+    pub learned: LearnedSpecs,
+    /// Raw candidate extraction (Γ_S lists, counters).
+    pub candidates: CandidateSet,
+    /// Model training statistics.
+    pub model_stats: TrainStats,
+    /// Corpus statistics.
+    pub corpus: CorpusStats,
+}
+
+impl PipelineResult {
+    /// Selects the specification database at threshold `τ` (§5.3 + §5.4).
+    pub fn select(&self, tau: f64) -> SpecDb {
+        self.learned.select(tau)
+    }
+}
+
+/// A cheap content hash for duplicate pruning.
+fn content_hash(src: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    src.hash(&mut h);
+    h.finish()
+}
+
+/// Parses, lowers and analyzes one source file into its event graphs (one
+/// per entry function), using the **API-unaware** baseline analysis.
+///
+/// # Errors
+///
+/// Propagates frontend errors; analysis itself cannot fail.
+pub fn analyze_source(
+    source: &str,
+    table: &ApiTable,
+    opts: &PipelineOptions,
+) -> Result<Vec<EventGraph>, LangError> {
+    analyze_source_with_specs(source, table, &SpecDb::empty(), opts)
+}
+
+/// Like [`analyze_source`] but with an explicit specification database
+/// (used for the augmented analysis of §6).
+pub fn analyze_source_with_specs(
+    source: &str,
+    table: &ApiTable,
+    specs: &SpecDb,
+    opts: &PipelineOptions,
+) -> Result<Vec<EventGraph>, LangError> {
+    let program = parse(source)?;
+    let bodies = lower_program(&program, table, &opts.lower)?;
+    Ok(bodies
+        .iter()
+        .map(|body| {
+            let pta = Pta::run(body, specs, &opts.pta);
+            build_event_graph(body, &pta, &opts.graph)
+        })
+        .collect())
+}
+
+/// Runs the complete learning pipeline over `(name, source)` pairs.
+///
+/// Held-out design: the same graphs serve as training data for ϕ and as the
+/// candidate-extraction corpus, exactly as in the paper (the model is not
+/// used to *verify* its own training edges — candidates are scored on
+/// *non-existent* induced edges).
+pub fn run_pipeline(
+    sources: &[(String, String)],
+    table: &ApiTable,
+    opts: &PipelineOptions,
+) -> PipelineResult {
+    let mut corpus = CorpusStats::default();
+    // Phase 0: dataset pruning (§7.1): drop exact duplicates.
+    let mut seen = std::collections::HashSet::new();
+    let sources: Vec<&(String, String)> = sources
+        .iter()
+        .filter(|(_, src)| {
+            if !opts.dedup {
+                return true;
+            }
+            let keep = seen.insert(content_hash(src));
+            if !keep {
+                corpus.duplicates += 1;
+            }
+            keep
+        })
+        .collect();
+
+    // Phase 1: per-file analysis (parallel).
+    let results: Vec<Option<Vec<EventGraph>>> = sources
+        .par_iter()
+        .map(|(_, src)| analyze_source(src, table, opts).ok())
+        .collect();
+    let mut graphs: Vec<EventGraph> = Vec::new();
+    for r in results {
+        match r {
+            Some(gs) => {
+                corpus.files += 1;
+                for g in gs {
+                    corpus.graphs += 1;
+                    corpus.events += g.num_events();
+                    corpus.edges += g.num_edges();
+                    graphs.push(g);
+                }
+            }
+            None => corpus.failures += 1,
+        }
+    }
+
+    // Phase 2: training-sample extraction (parallel, per-graph seeds) and
+    // SGD training (sequential).
+    let samples: Vec<Sample> = graphs
+        .par_iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(opts.train.seed ^ (i as u64).wrapping_mul(0x9E37));
+            extract_samples(g, &mut rng, &opts.train)
+        })
+        .reduce(Vec::new, |mut a, b| {
+            a.extend(b);
+            a
+        });
+    let model = EdgeModel::train(&samples, &opts.train);
+
+    // Phase 3: candidate extraction and scoring (parallel shards, Alg. 1).
+    let shards: Vec<CandidateSet> = graphs
+        .par_chunks(64.max(graphs.len() / 64 + 1))
+        .map(|chunk| {
+            let mut ex = Extractor::new(&model, opts.extract.clone());
+            for g in chunk {
+                ex.add_graph(g);
+            }
+            ex.finish()
+        })
+        .collect();
+    let mut candidates = CandidateSet::default();
+    for s in shards {
+        candidates.merge(s);
+    }
+
+    let learned = LearnedSpecs::from_candidates(&candidates, opts.score_fn);
+    PipelineResult {
+        learned,
+        candidates,
+        model_stats: model.stats().clone(),
+        corpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_corpus::{generate_corpus, java_library, GenOptions};
+    use uspec_lang::MethodId;
+    use uspec_pta::Spec;
+
+    #[test]
+    fn small_end_to_end_run_learns_hashmap_spec() {
+        let lib = java_library();
+        let table = lib.api_table();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 500,
+                seed: 11,
+                ..GenOptions::default()
+            },
+        );
+        let sources: Vec<(String, String)> =
+            files.into_iter().map(|f| (f.name, f.source)).collect();
+        let result = run_pipeline(&sources, &table, &PipelineOptions::default());
+
+        assert!(result.corpus.failures == 0, "all files analyze");
+        assert!(result.corpus.graphs > result.corpus.files / 2);
+        assert!(!result.learned.is_empty(), "candidates found");
+
+        let get = MethodId::new("java.util.HashMap", "get", 1);
+        let put = MethodId::new("java.util.HashMap", "put", 2);
+        let spec = Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2,
+        };
+        let entry = result
+            .learned
+            .get(&spec)
+            .unwrap_or_else(|| panic!("HashMap RetArg candidate missing: {:?}",
+                result.learned.scored.iter().take(10).collect::<Vec<_>>()));
+        assert!(
+            entry.score > 0.6,
+            "HashMap.get/put should score high, got {}",
+            entry.score
+        );
+
+        let db = result.select(0.6);
+        assert!(db.contains(&spec));
+        // §5.4 closure: the implied RetSame(get) is present too.
+        assert!(db.has_ret_same(get));
+    }
+}
+
+#[cfg(test)]
+mod dedup_tests {
+    use super::*;
+    use uspec_corpus::{generate_corpus, java_library, GenOptions};
+
+    #[test]
+    fn duplicate_files_are_pruned() {
+        let lib = java_library();
+        let table = lib.api_table();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 60,
+                seed: 2,
+                ..GenOptions::default()
+            },
+        );
+        // Simulate forks: every file appears three times.
+        let mut sources: Vec<(String, String)> = Vec::new();
+        for round in 0..3 {
+            for f in &files {
+                sources.push((format!("fork{round}/{}", f.name), f.source.clone()));
+            }
+        }
+        let opts = PipelineOptions::default();
+        let result = run_pipeline(&sources, &table, &opts);
+        assert_eq!(result.corpus.duplicates, 120);
+        assert_eq!(result.corpus.files, 60);
+
+        // With dedup disabled the duplicates are all analyzed — and every
+        // candidate's match count triples.
+        let no_dedup = PipelineOptions {
+            dedup: false,
+            ..PipelineOptions::default()
+        };
+        let raw = run_pipeline(&sources, &table, &no_dedup);
+        assert_eq!(raw.corpus.files, 180);
+        let deduped_total: usize = result.learned.scored.iter().map(|s| s.matches).sum();
+        let raw_total: usize = raw.learned.scored.iter().map(|s| s.matches).sum();
+        assert_eq!(raw_total, 3 * deduped_total, "forks inflate match counts");
+    }
+}

@@ -1,0 +1,941 @@
+//! Synthetic corpus generation.
+//!
+//! The paper trains on ~4M Java / ~1M Python GitHub files. This generator is
+//! the substitute: it emits mini-language source files exercising the same
+//! API-usage idioms the learning pipeline exploits:
+//!
+//! * **Producer–consumer chains** (`f = db.getFile(k); f.getName()`): the
+//!   training signal — the model learns which consumer events follow which
+//!   producer events on the *same* object.
+//! * **Store/retrieve** (`c.put(k, v); y = c.get(k); y.consume()`): the
+//!   candidate instances. Retrieved objects are consumed according to the
+//!   stored value's class profile (they *are* that value), which is exactly
+//!   what makes the induced edges plausible to the model.
+//! * **Repeated calls** (`a = r.m(k); b = r.m(k)`): `RetSame` candidates —
+//!   true ones (cached reads) and anti-patterns (`Iterator.next`,
+//!   `SecureRandom.nextInt`) fall out of the same idiom; the ground truth
+//!   differs and the consumption consistency decides the learned score.
+//! * **Tree-building** (ANTLR-style shared-argument calls) and **noise**
+//!   (unrelated calls, control flow, helper functions for interprocedural
+//!   paths, distractors).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uspec_lang::Symbol;
+
+use crate::library::{ArgKind, Library, MethodSem, Obtain, Universe};
+
+/// Options controlling corpus generation.
+#[derive(Clone, Debug)]
+pub struct GenOptions {
+    /// Number of files to generate.
+    pub num_files: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative weight of producer–consumer chain idioms.
+    pub chain_weight: f64,
+    /// Relative weight of store/retrieve idioms.
+    pub store_retrieve_weight: f64,
+    /// Relative weight of repeated-call idioms.
+    pub repeated_call_weight: f64,
+    /// Relative weight of tree-building (shared-argument) idioms.
+    pub tree_weight: f64,
+    /// Relative weight of pure-noise idioms.
+    pub noise_weight: f64,
+    /// Idioms per file (inclusive range).
+    pub idioms_per_file: (usize, usize),
+    /// Probability an idiom is wrapped in a branch.
+    pub wrap_prob: f64,
+    /// Probability an idiom is wrapped in a loop.
+    pub loop_prob: f64,
+    /// Probability the producing step goes through a helper function
+    /// (exercising interprocedural analysis).
+    pub helper_prob: f64,
+    /// Probability of inserting a distractor statement inside an idiom.
+    pub distractor_prob: f64,
+    /// Probability that a retrieve uses a *different* key than the store
+    /// (and a repeated call different arguments) — realistic non-aliasing
+    /// usage.
+    pub mismatch_prob: f64,
+    /// Probability that a container key is an *unresolvable* API value
+    /// (`k = flag0.makeKey()`), exercising the §6.4 / App. A ⊤/⊥
+    /// machinery in evaluation corpora.
+    pub unknown_key_prob: f64,
+    /// Relative weight of builder-chain idioms (`sb.append(x).append(y)`),
+    /// the evidence for the `RetRecv` extension pattern.
+    pub builder_weight: f64,
+}
+
+impl Default for GenOptions {
+    fn default() -> GenOptions {
+        GenOptions {
+            num_files: 500,
+            seed: 0xC0FFEE,
+            chain_weight: 4.0,
+            store_retrieve_weight: 2.0,
+            repeated_call_weight: 1.5,
+            tree_weight: 0.2,
+            noise_weight: 1.5,
+            idioms_per_file: (1, 4),
+            wrap_prob: 0.18,
+            loop_prob: 0.08,
+            helper_prob: 0.12,
+            distractor_prob: 0.25,
+            mismatch_prob: 0.25,
+            unknown_key_prob: 0.06,
+            builder_weight: 0.4,
+        }
+    }
+}
+
+/// One generated source file.
+#[derive(Clone, Debug)]
+pub struct GeneratedFile {
+    /// File name (unique within the corpus).
+    pub name: String,
+    /// Mini-language source text.
+    pub source: String,
+}
+
+/// Generates a corpus of source files for `lib`.
+///
+/// # Examples
+///
+/// ```
+/// use uspec_corpus::{java_library, generate_corpus, GenOptions};
+/// let lib = java_library();
+/// let files = generate_corpus(&lib, &GenOptions { num_files: 3, ..GenOptions::default() });
+/// assert_eq!(files.len(), 3);
+/// assert!(files[0].source.contains("fn main"));
+/// ```
+pub fn generate_corpus(lib: &Library, opts: &GenOptions) -> Vec<GeneratedFile> {
+    let producers = collect_producers(lib);
+    let containers = collect_containers(lib);
+    let repeatables = collect_repeatables(lib);
+    let builders = collect_builders(lib);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    (0..opts.num_files)
+        .map(|i| {
+            let mut fg = FileGen {
+                lib,
+                opts,
+                producers: &producers,
+                containers: &containers,
+                repeatables: &repeatables,
+                builders: &builders,
+                rng: ChaCha8Rng::seed_from_u64(opts.seed ^ rng.gen::<u64>()),
+                lines: Vec::new(),
+                helpers: Vec::new(),
+                indent: 1,
+                counter: 0,
+            };
+            GeneratedFile {
+                name: format!("file_{i:05}.u"),
+                source: fg.generate(),
+            }
+        })
+        .collect()
+}
+
+/// A way to produce an object with a known usage profile.
+#[derive(Clone, Debug)]
+enum Producer {
+    /// A string literal.
+    Lit,
+    /// `new C()` of a constructible class with a profile.
+    New(Symbol),
+    /// `host.method(args)` returning a profiled class.
+    Call {
+        host: Symbol,
+        method: Symbol,
+        args: Vec<ArgKind>,
+        result: Symbol,
+    },
+}
+
+fn collect_producers(lib: &Library) -> Vec<Producer> {
+    let mut out = vec![Producer::Lit, Producer::Lit];
+    for c in lib.classes() {
+        if c.constructible && !c.profile.consumers.is_empty() {
+            out.push(Producer::New(c.name));
+        }
+        for m in &c.methods {
+            if m.is_static {
+                continue;
+            }
+            let Some(ret) = m.ret else { continue };
+            let profiled = lib
+                .class(ret)
+                .is_some_and(|rc| !rc.profile.consumers.is_empty());
+            if profiled && !m.args.contains(&ArgKind::Obj) {
+                out.push(Producer::Call {
+                    host: c.name,
+                    method: m.name,
+                    args: m.args.clone(),
+                    result: ret,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Containers: classes with a (Store|StackPush) and matching (Load|StackPop).
+#[derive(Clone, Debug)]
+struct Container {
+    class: Symbol,
+    store: Symbol,
+    store_args: Vec<ArgKind>,
+    value_arg: u8,
+    load: Symbol,
+    /// true for push/pop containers.
+    stack: bool,
+}
+
+fn collect_containers(lib: &Library) -> Vec<Container> {
+    let mut out = Vec::new();
+    for c in lib.classes() {
+        let loads: Vec<_> = c
+            .methods
+            .iter()
+            .filter(|m| matches!(m.sem, MethodSem::Load | MethodSem::Take))
+            .collect();
+        for m in &c.methods {
+            match m.sem {
+                MethodSem::Store { value_arg } => {
+                    // Pair with a Load whose arity matches the keys.
+                    for l in &loads {
+                        if l.arity + 1 == m.arity {
+                            out.push(Container {
+                                class: c.name,
+                                store: m.name,
+                                store_args: m.args.clone(),
+                                value_arg,
+                                load: l.name,
+                                stack: false,
+                            });
+                        }
+                    }
+                }
+                MethodSem::StackPush { value_arg } => {
+                    if let Some(pop) = c
+                        .methods
+                        .iter()
+                        .find(|p| matches!(p.sem, MethodSem::StackPop))
+                    {
+                        out.push(Container {
+                            class: c.name,
+                            store: m.name,
+                            store_args: m.args.clone(),
+                            value_arg,
+                            load: pop.name,
+                            stack: true,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Repeated-call idiom targets: instance methods returning something.
+#[derive(Clone, Debug)]
+struct Repeatable {
+    class: Symbol,
+    method: Symbol,
+    args: Vec<ArgKind>,
+    ret: Option<Symbol>,
+}
+
+/// Builder classes: those with a `ReturnsSelf` method.
+#[derive(Clone, Debug)]
+struct BuilderInfo {
+    class: Symbol,
+    method: Symbol,
+    args: Vec<ArgKind>,
+}
+
+fn collect_builders(lib: &Library) -> Vec<BuilderInfo> {
+    let mut out = Vec::new();
+    for c in lib.classes() {
+        for m in &c.methods {
+            if !m.is_static && matches!(m.sem, MethodSem::ReturnsSelf) {
+                out.push(BuilderInfo {
+                    class: c.name,
+                    method: m.name,
+                    args: m.args.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn collect_repeatables(lib: &Library) -> Vec<Repeatable> {
+    let mut out = Vec::new();
+    for c in lib.classes() {
+        for m in &c.methods {
+            if m.is_static || m.args.contains(&ArgKind::Obj) {
+                continue;
+            }
+            let repeat_worthy = matches!(
+                m.sem,
+                MethodSem::LoadSame
+                    | MethodSem::FreshPerCall
+                    | MethodSem::StackPop
+                    | MethodSem::Take
+            );
+            if repeat_worthy {
+                out.push(Repeatable {
+                    class: c.name,
+                    method: m.name,
+                    args: m.args.clone(),
+                    ret: m.ret,
+                });
+            }
+        }
+    }
+    out
+}
+
+struct FileGen<'a> {
+    lib: &'a Library,
+    opts: &'a GenOptions,
+    producers: &'a [Producer],
+    containers: &'a [Container],
+    repeatables: &'a [Repeatable],
+    builders: &'a [BuilderInfo],
+    rng: ChaCha8Rng,
+    lines: Vec<String>,
+    helpers: Vec<String>,
+    indent: usize,
+    counter: usize,
+}
+
+const KEY_POOL: &[&str] = &[
+    "key", "name", "id", "user", "cfg", "path", "token", "item", "value", "host", "port", "data",
+];
+const FALLBACK_CONSUMERS: &[&str] = &[
+    "process", "log", "check", "send", "emit", "render", "close", "print",
+];
+
+impl<'a> FileGen<'a> {
+    fn generate(&mut self) -> String {
+        let n = self
+            .rng
+            .gen_range(self.opts.idioms_per_file.0..=self.opts.idioms_per_file.1);
+        for _ in 0..n {
+            self.idiom();
+        }
+        let mut out = String::new();
+        for h in &self.helpers {
+            out.push_str(h);
+            out.push('\n');
+        }
+        out.push_str("fn main(flag0, flag1) {\n");
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    fn emit(&mut self, line: &str) {
+        let pad = "    ".repeat(self.indent);
+        self.lines.push(format!("{pad}{line}"));
+    }
+
+    fn lit(&mut self, kind: ArgKind) -> String {
+        match kind {
+            ArgKind::Str => {
+                let base = KEY_POOL.choose(&mut self.rng).expect("non-empty");
+                if self.rng.gen_bool(0.3) {
+                    format!("\"{base}{}\"", self.rng.gen_range(0..5))
+                } else {
+                    format!("\"{base}\"")
+                }
+            }
+            ArgKind::Int => self.rng.gen_range(0..20).to_string(),
+            ArgKind::Obj => "null".to_owned(),
+        }
+    }
+
+    fn lits(&mut self, kinds: &[ArgKind]) -> Vec<String> {
+        kinds.iter().map(|&k| self.lit(k)).collect()
+    }
+
+    /// High-entropy literal for factory arguments (DSNs, queries, paths):
+    /// two factory chains in one file should rarely share them.
+    fn lit_diverse(&mut self, kind: ArgKind) -> String {
+        match kind {
+            ArgKind::Str => {
+                let base = KEY_POOL.choose(&mut self.rng).expect("non-empty");
+                format!("\"{base}{}\"", self.rng.gen_range(0..500))
+            }
+            ArgKind::Int => self.rng.gen_range(0..500).to_string(),
+            ArgKind::Obj => "null".to_owned(),
+        }
+    }
+
+    fn lits_diverse(&mut self, kinds: &[ArgKind]) -> Vec<String> {
+        kinds.iter().map(|&k| self.lit_diverse(k)).collect()
+    }
+
+    /// Emits statements obtaining an instance of `class`, returning its var.
+    fn obtain(&mut self, class: Symbol) -> String {
+        let c = self.lib.class(class).expect("registered class");
+        match &c.obtain.clone() {
+            Obtain::New => {
+                let v = self.fresh("o");
+                self.emit(&format!("{v} = new {class}();"));
+                v
+            }
+            Obtain::Factory(steps) => {
+                let mut cur = String::new();
+                for s in steps {
+                    let args = self.lits_diverse(&s.args).join(", ");
+                    let v = self.fresh("o");
+                    match s.on {
+                        Some(on) => self.emit(&format!("{v} = {on}.{}({args});", s.method)),
+                        None => self.emit(&format!("{v} = {cur}.{}({args});", s.method)),
+                    }
+                    cur = v;
+                }
+                cur
+            }
+        }
+    }
+
+    /// Produces a value object, returning `(var, class)`; class is `None`
+    /// for values with no known profile.
+    fn produce(&mut self) -> (String, Option<Symbol>) {
+        let p = self.producers.choose(&mut self.rng).expect("producers").clone();
+        match p {
+            Producer::Lit => {
+                let v = self.fresh("s");
+                let l = self.lit(ArgKind::Str);
+                self.emit(&format!("{v} = {l};"));
+                let str_class = match self.lib.universe {
+                    Universe::Java => Symbol::intern("java.lang.String"),
+                    Universe::Python => Symbol::intern("Str"),
+                };
+                (v, Some(str_class))
+            }
+            Producer::New(class) => {
+                let v = self.obtain(class);
+                (v, Some(class))
+            }
+            Producer::Call {
+                host,
+                method,
+                args,
+                result,
+            } => {
+                if self.rng.gen_bool(self.opts.helper_prob) {
+                    let hv = self.obtain(host);
+                    let helper = self.producer_helper(host, method, &args);
+                    let v = self.fresh("v");
+                    self.emit(&format!("{v} = {helper}({hv});"));
+                    (v, Some(result))
+                } else {
+                    let hv = self.obtain(host);
+                    let v = self.fresh("v");
+                    let a = self.lits(&args).join(", ");
+                    self.emit(&format!("{v} = {hv}.{method}({a});"));
+                    (v, Some(result))
+                }
+            }
+        }
+    }
+
+    /// Defines (once per call) a helper function wrapping a producing call.
+    fn producer_helper(&mut self, host: Symbol, method: Symbol, args: &[ArgKind]) -> String {
+        let name = self.fresh("make");
+        let a = self.lits(args).join(", ");
+        self.helpers.push(format!(
+            "fn {name}(h: {host}) {{\n    return h.{method}({a});\n}}"
+        ));
+        name
+    }
+
+    /// Emits consumer calls on `var` according to its class profile.
+    /// Occasionally the consumption is factored into a helper function, so
+    /// the producer→consumer edge only exists interprocedurally.
+    fn consume(&mut self, var: &str, class: Option<Symbol>) {
+        if self.rng.gen_bool(self.opts.helper_prob) {
+            if let Some(c) = class {
+                let name = self.consumer_helper(c);
+                self.emit(&format!("{name}({var});"));
+                return;
+            }
+        }
+        self.consume_inline(var, class);
+    }
+
+    /// Defines a helper that consumes an object of class `c`.
+    fn consumer_helper(&mut self, class: Symbol) -> String {
+        let name = self.fresh("use");
+        // Generate the consumer statements into a scratch buffer.
+        let saved_lines = std::mem::take(&mut self.lines);
+        let saved_indent = std::mem::replace(&mut self.indent, 1);
+        self.consume_inline("x", Some(class));
+        let body: Vec<String> = std::mem::replace(&mut self.lines, saved_lines);
+        self.indent = saved_indent;
+        self.helpers.push(format!(
+            "fn {name}(x: {class}) {{
+{}
+}}",
+            body.join("
+")
+        ));
+        name
+    }
+
+    fn consume_inline(&mut self, var: &str, class: Option<Symbol>) {
+        let profile = class.and_then(|c| self.lib.class(c)).map(|c| &c.profile);
+        let consumers: Vec<(Symbol, Vec<ArgKind>)> = match profile {
+            Some(p) if !p.consumers.is_empty() => {
+                let lc = self.lib.class(class.expect("profiled class")).expect("class");
+                let weights: Vec<f64> = p.consumers.iter().map(|(_, _, w)| *w).collect();
+                let total: f64 = weights.iter().sum();
+                let mut picked = Vec::new();
+                let count = 1 + usize::from(self.rng.gen_bool(p.chain_prob));
+                for _ in 0..count {
+                    let mut roll = self.rng.gen_range(0.0..total);
+                    for ((name, _, w), _) in p.consumers.iter().zip(&weights) {
+                        roll -= w;
+                        if roll <= 0.0 {
+                            let kinds = lc
+                                .method(*name)
+                                .map(|m| m.args.clone())
+                                .unwrap_or_default();
+                            picked.push((*name, kinds));
+                            break;
+                        }
+                    }
+                }
+                picked
+            }
+            _ => {
+                let name = FALLBACK_CONSUMERS.choose(&mut self.rng).expect("non-empty");
+                vec![(Symbol::intern(name), Vec::new())]
+            }
+        };
+        for (name, kinds) in consumers {
+            let a = self.lits(&kinds).join(", ");
+            if self.rng.gen_bool(0.5) {
+                let r = self.fresh("r");
+                self.emit(&format!("{r} = {var}.{name}({a});"));
+            } else {
+                self.emit(&format!("{var}.{name}({a});"));
+            }
+        }
+    }
+
+    fn maybe_distract(&mut self) {
+        if self.rng.gen_bool(self.opts.distractor_prob) {
+            self.noise_idiom();
+        }
+    }
+
+    fn idiom(&mut self) {
+        let weights = [
+            self.opts.chain_weight,
+            self.opts.store_retrieve_weight,
+            self.opts.repeated_call_weight,
+            self.opts.tree_weight,
+            self.opts.noise_weight,
+            self.opts.builder_weight,
+        ];
+        let total: f64 = weights.iter().sum();
+        let mut roll = self.rng.gen_range(0.0..total);
+        let mut which = 0;
+        for (i, w) in weights.iter().enumerate() {
+            roll -= w;
+            if roll <= 0.0 {
+                which = i;
+                break;
+            }
+        }
+        let wrap = if self.rng.gen_bool(self.opts.loop_prob) {
+            Some("while")
+        } else if self.rng.gen_bool(self.opts.wrap_prob) {
+            Some("if")
+        } else {
+            None
+        };
+        if let Some(kw) = wrap {
+            let flag = if self.rng.gen_bool(0.5) { "flag0" } else { "flag1" };
+            self.emit(&format!("{kw} ({flag}) {{"));
+            self.indent += 1;
+        }
+        match which {
+            0 => self.chain_idiom(),
+            1 => self.store_retrieve_idiom(),
+            2 => self.repeated_call_idiom(),
+            3 => self.tree_idiom(),
+            4 => self.noise_idiom(),
+            _ => self.builder_idiom(),
+        }
+        if wrap.is_some() {
+            self.indent -= 1;
+            self.emit("}");
+        }
+    }
+
+    /// T1: produce a value and consume it directly.
+    fn chain_idiom(&mut self) {
+        let (v, class) = self.produce();
+        self.consume(&v, class);
+    }
+
+    /// T2: store a value into a container, retrieve it, consume the result.
+    fn store_retrieve_idiom(&mut self) {
+        let Some(cont) = self.containers.choose(&mut self.rng).cloned() else {
+            return self.chain_idiom();
+        };
+        let cvar = self.obtain(cont.class);
+        let (v, vclass) = self.produce();
+        // Build the store argument list: literals (or occasionally
+        // unresolvable API values) for keys, the value var at the value
+        // position.
+        let mut store_args = Vec::new();
+        let mut keys = Vec::new();
+        for (i, &k) in cont.store_args.iter().enumerate() {
+            if (i + 1) as u8 == cont.value_arg {
+                store_args.push(v.clone());
+            } else if self.rng.gen_bool(self.opts.unknown_key_prob) {
+                let kv = self.fresh("k");
+                self.emit(&format!("{kv} = flag0.makeKey();"));
+                keys.push(kv.clone());
+                store_args.push(kv);
+            } else {
+                let lit = self.lit(k);
+                keys.push(lit.clone());
+                store_args.push(lit);
+            }
+        }
+        self.emit(&format!("{cvar}.{}({});", cont.store, store_args.join(", ")));
+        self.maybe_distract();
+        // Retrieve: same keys (aliasing) or mismatched ones.
+        let mismatch = self.rng.gen_bool(self.opts.mismatch_prob) && !cont.stack && !keys.is_empty();
+        let load_args: Vec<String> = if cont.stack {
+            Vec::new()
+        } else if mismatch {
+            let kinds: Vec<ArgKind> = cont
+                .store_args
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i + 1) as u8 != cont.value_arg)
+                .map(|(_, &k)| k)
+                .collect();
+            self.lits(&kinds)
+        } else {
+            keys.clone()
+        };
+        let y = self.fresh("y");
+        self.emit(&format!(
+            "{y} = {cvar}.{}({});",
+            cont.load,
+            load_args.join(", ")
+        ));
+        self.consume(&y, vclass);
+    }
+
+    /// T3/T4: call the same method twice on one receiver (mostly with equal
+    /// arguments) and consume both results.
+    fn repeated_call_idiom(&mut self) {
+        let Some(rep) = self.repeatables.choose(&mut self.rng).cloned() else {
+            return self.chain_idiom();
+        };
+        let recv = self.obtain(rep.class);
+        let args = self.lits(&rep.args);
+        let a = self.fresh("a");
+        self.emit(&format!("{a} = {recv}.{}({});", rep.method, args.join(", ")));
+        self.consume(&a, rep.ret);
+        self.maybe_distract();
+        let args2 = if self.rng.gen_bool(self.opts.mismatch_prob) && !rep.args.is_empty() {
+            self.lits(&rep.args)
+        } else {
+            args
+        };
+        let b = self.fresh("b");
+        self.emit(&format!(
+            "{b} = {recv}.{}({});",
+            rep.method,
+            args2.join(", ")
+        ));
+        self.consume(&b, rep.ret);
+    }
+
+    /// ANTLR-style tree building: two calls sharing an object argument.
+    fn tree_idiom(&mut self) {
+        let adaptor = Symbol::intern("org.antlr.runtime.tree.TreeAdaptor");
+        if self.lib.class(adaptor).is_none() {
+            return self.chain_idiom();
+        }
+        let ad = self.obtain(adaptor);
+        let root = self.fresh("root");
+        let ch = self.fresh("ch");
+        let tok = self.lit(ArgKind::Str);
+        self.emit(&format!("{root} = {ad}.nil();"));
+        self.emit(&format!("{ch} = {ad}.create({tok});"));
+        self.emit(&format!("{ad}.addChild({root}, {ch});"));
+        let t = self.fresh("t");
+        self.emit(&format!("{t} = {ad}.rulePostProcessing({root});"));
+        let tree = Symbol::intern("org.antlr.runtime.tree.Tree");
+        self.consume(&t, Some(tree));
+        if self.rng.gen_bool(0.5) {
+            self.consume(&ch, Some(tree));
+        }
+    }
+
+    /// Builder chains: `b = sb.append(x); b.append(y); s = b.toString();`.
+    /// The chained receiver usage is the statistical evidence for the
+    /// `RetRecv` extension pattern.
+    fn builder_idiom(&mut self) {
+        let Some(b) = self.builders.choose(&mut self.rng).cloned() else {
+            return self.chain_idiom();
+        };
+        let recv = self.obtain(b.class);
+        let mut cur = recv;
+        let chain_len = self.rng.gen_range(1..=3);
+        for _ in 0..chain_len {
+            // Builder arguments are plain values (the Obj positions take a
+            // produced value or a literal).
+            let args: Vec<String> = b
+                .args
+                .iter()
+                .map(|&k| match k {
+                    ArgKind::Obj => {
+                        let (v, _) = self.produce();
+                        v
+                    }
+                    other => self.lit(other),
+                })
+                .collect();
+            let next = self.fresh("b");
+            self.emit(&format!("{next} = {cur}.{}({});", b.method, args.join(", ")));
+            cur = next;
+        }
+        // Finish the chain with the class's non-builder consumers.
+        self.consume(&cur, Some(b.class));
+    }
+
+    /// T5: unrelated API activity.
+    fn noise_idiom(&mut self) {
+        // Choose a random class and poke 1–2 of its argument-only methods.
+        let classes: Vec<Symbol> = self.lib.classes().map(|c| c.name).collect();
+        let Some(&class) = classes.as_slice().choose(&mut self.rng) else {
+            return;
+        };
+        let c = self.lib.class(class).expect("class").clone();
+        let callable: Vec<_> = c
+            .methods
+            .iter()
+            .filter(|m| !m.is_static && !m.args.contains(&ArgKind::Obj))
+            .cloned()
+            .collect();
+        if callable.is_empty() {
+            return;
+        }
+        let recv = self.obtain(class);
+        let n = self.rng.gen_range(1..=2.min(callable.len()));
+        for _ in 0..n {
+            let m = callable.choose(&mut self.rng).expect("non-empty").clone();
+            let a = self.lits(&m.args).join(", ");
+            if self.rng.gen_bool(0.4) {
+                let r = self.fresh("n");
+                self.emit(&format!("{r} = {recv}.{}({a});", m.name));
+            } else {
+                self.emit(&format!("{recv}.{}({a});", m.name));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::java::java_library;
+    use crate::python::python_library;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+
+    fn opts(n: usize, seed: u64) -> GenOptions {
+        GenOptions {
+            num_files: n,
+            seed,
+            ..GenOptions::default()
+        }
+    }
+
+    #[test]
+    fn generated_files_parse_and_lower() {
+        for lib in [java_library(), python_library()] {
+            let table = lib.api_table();
+            let files = generate_corpus(&lib, &opts(60, 7));
+            assert_eq!(files.len(), 60);
+            for f in &files {
+                let program = parse(&f.source)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
+                lower_program(&program, &table, &LowerOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let lib = java_library();
+        let a = generate_corpus(&lib, &opts(10, 99));
+        let b = generate_corpus(&lib, &opts(10, 99));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let lib = java_library();
+        let a = generate_corpus(&lib, &opts(5, 1));
+        let b = generate_corpus(&lib, &opts(5, 2));
+        assert_ne!(
+            a.iter().map(|f| &f.source).collect::<Vec<_>>(),
+            b.iter().map(|f| &f.source).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corpus_contains_the_key_idioms() {
+        let lib = java_library();
+        let files = generate_corpus(&lib, &opts(300, 3));
+        let all: String = files.iter().map(|f| f.source.as_str()).collect();
+        assert!(all.contains(".put("), "store/retrieve idiom present");
+        assert!(all.contains(".get("), "loads present");
+        assert!(all.contains("findViewById"), "RetSame idiom present");
+        assert!(all.contains("rulePostProcessing"), "tree idiom present");
+        assert!(all.contains("fn make"), "helper functions present");
+        assert!(all.contains("if (flag"), "branch wrapping present");
+        assert!(all.contains("while (flag"), "loop wrapping present");
+        assert!(all.contains("executeQuery"), "factory chains present");
+    }
+
+    #[test]
+    fn python_corpus_uses_subscripts() {
+        let lib = python_library();
+        let files = generate_corpus(&lib, &opts(200, 5));
+        let all: String = files.iter().map(|f| f.source.as_str()).collect();
+        assert!(all.contains("SubscriptStore"));
+        assert!(all.contains("SubscriptLoad"));
+        assert!(all.contains("configParser.SafeConfigParser"));
+    }
+}
+
+#[cfg(test)]
+mod idiom_tests {
+    use super::*;
+    use crate::java::java_library;
+
+    #[test]
+    fn builder_idiom_appears_and_lowers() {
+        let lib = java_library();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 200,
+                seed: 77,
+                builder_weight: 3.0,
+                ..GenOptions::default()
+            },
+        );
+        let all: String = files.iter().map(|f| f.source.as_str()).collect();
+        assert!(all.contains(".append("), "builder chains present");
+        let table = lib.api_table();
+        for f in &files {
+            let program = uspec_lang::parse(&f.source).unwrap();
+            uspec_lang::lower_program(&program, &table, &Default::default())
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
+        }
+    }
+
+    #[test]
+    fn unknown_keys_appear_at_configured_rate() {
+        let lib = java_library();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 300,
+                seed: 5,
+                unknown_key_prob: 0.5,
+                ..GenOptions::default()
+            },
+        );
+        let with_unknown = files
+            .iter()
+            .filter(|f| f.source.contains("makeKey"))
+            .count();
+        assert!(with_unknown > 20, "got {with_unknown}");
+        let none = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 300,
+                seed: 5,
+                unknown_key_prob: 0.0,
+                ..GenOptions::default()
+            },
+        );
+        assert!(none.iter().all(|f| !f.source.contains("makeKey")));
+    }
+
+    #[test]
+    fn consumer_helpers_type_their_parameter() {
+        let lib = java_library();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 300,
+                seed: 9,
+                helper_prob: 0.9,
+                ..GenOptions::default()
+            },
+        );
+        let all: String = files.iter().map(|f| f.source.as_str()).collect();
+        assert!(all.contains("fn use"), "consumer helpers present");
+        assert!(
+            all.contains("(x: java.") || all.contains("(x: org.") || all.contains("(x: com."),
+            "helper params carry type annotations"
+        );
+    }
+
+    #[test]
+    fn idiom_weights_shift_the_mix() {
+        let lib = java_library();
+        let only_noise = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 100,
+                seed: 4,
+                chain_weight: 0.0,
+                store_retrieve_weight: 0.0,
+                repeated_call_weight: 0.0,
+                tree_weight: 0.0,
+                builder_weight: 0.0,
+                noise_weight: 1.0,
+                ..GenOptions::default()
+            },
+        );
+        let all: String = only_noise.iter().map(|f| f.source.as_str()).collect();
+        assert!(!all.contains("rulePostProcessing"));
+    }
+}

@@ -1,0 +1,588 @@
+//! The Java-like universe: synthetic stand-ins for the APIs the paper's
+//! evaluation features (Tab. 3, Tab. 5), with ground-truth aliasing
+//! semantics.
+//!
+//! Noteworthy inhabitants:
+//!
+//! * `java.util.HashMap` — the canonical `RetArg(get, put, 2)`;
+//! * `java.sql.ResultSet`, `java.security.KeyStore`,
+//!   `org.w3c.dom.NodeList` — factory-only classes that defeat Atlas-style
+//!   test synthesis (§7.5);
+//! * `java.util.Iterator.next` / `java.security.SecureRandom.nextInt` —
+//!   `RetSame` anti-patterns the probabilistic scoring must filter out;
+//! * `org.antlr.runtime.tree.TreeAdaptor` and `java.lang.StringBuilder` —
+//!   structurally matching but semantically wrong candidates (the
+//!   "incorrect" rows of Tab. 3).
+
+use crate::library::{ArgKind, ClassBuilder, FactoryStep, Library, MethodSem, Obtain, Universe};
+use uspec_lang::Symbol;
+
+use ArgKind::{Int, Obj, Str};
+use MethodSem::{FreshPerCall, Load, LoadSame, ReturnsSelf, StackPop, StackPush, Store, Take, Void};
+
+fn step(on: Option<&str>, method: &str, args: &[ArgKind]) -> FactoryStep {
+    FactoryStep {
+        on: on.map(Symbol::intern),
+        method: Symbol::intern(method),
+        args: args.to_vec(),
+    }
+}
+
+/// Builds the Java-like [`Library`].
+#[allow(clippy::vec_init_then_push)]
+pub fn java_library() -> Library {
+    let mut classes = Vec::new();
+
+    // ---- Value classes -------------------------------------------------
+    classes.push(
+        ClassBuilder::new("java.lang.String", "java.lang")
+            .method("trim", &[], Some("java.lang.String"), LoadSame)
+            .method("length", &[], None, LoadSame)
+            .method("substring", &[Int], Some("java.lang.String"), LoadSame)
+            .method("isEmpty", &[], None, LoadSame)
+            .method("toUpperCase", &[], Some("java.lang.String"), LoadSame)
+            .true_ret_same("trim")
+            .true_ret_same("length")
+            .true_ret_same("substring")
+            .true_ret_same("isEmpty")
+            .true_ret_same("toUpperCase")
+            .profile(
+                &[
+                    ("trim", 0, 3.0),
+                    ("length", 0, 3.0),
+                    ("substring", 1, 2.0),
+                    ("isEmpty", 0, 1.0),
+                    ("toUpperCase", 0, 1.0),
+                ],
+                0.55,
+            )
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.io.File", "java.io")
+            .method("getName", &[], Some("java.lang.String"), LoadSame)
+            .method("getPath", &[], Some("java.lang.String"), LoadSame)
+            .method("exists", &[], None, LoadSame)
+            .method("length", &[], None, LoadSame)
+            .method("getParentFile", &[], Some("java.io.File"), LoadSame)
+            .true_ret_same("getName")
+            .true_ret_same("getPath")
+            .true_ret_same("exists")
+            .true_ret_same("length")
+            .true_ret_same("getParentFile")
+            .profile(
+                &[
+                    ("getName", 0, 4.0),
+                    ("exists", 0, 2.0),
+                    ("getPath", 0, 2.0),
+                    ("length", 0, 1.0),
+                ],
+                0.5,
+            )
+            .build(),
+    );
+
+    // ---- JDBC chain (factory-only ResultSet) ---------------------------
+    classes.push(
+        ClassBuilder::new("java.sql.DriverManager", "java.sql")
+            .factory_only()
+            .static_method("getConnection", &[Str], Some("java.sql.Connection"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.sql.Connection", "java.sql")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(
+                Some("java.sql.DriverManager"),
+                "getConnection",
+                &[Str],
+            )]))
+            .method("createStatement", &[], Some("java.sql.Statement"), FreshPerCall)
+            .method("close", &[], None, Void)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.sql.Statement", "java.sql")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("java.sql.DriverManager"), "getConnection", &[Str]),
+                step(None, "createStatement", &[]),
+            ]))
+            .method("executeQuery", &[Str], Some("java.sql.ResultSet"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.sql.ResultSet", "java.sql")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("java.sql.DriverManager"), "getConnection", &[Str]),
+                step(None, "createStatement", &[]),
+                step(None, "executeQuery", &[Str]),
+            ]))
+            .method("getString", &[Str], Some("java.lang.String"), LoadSame)
+            .method("getInt", &[Str], None, LoadSame)
+            .method("next", &[], None, FreshPerCall)
+            .true_ret_same("getString")
+            .true_ret_same("getInt")
+            .profile(&[("getString", 1, 4.0), ("next", 0, 2.0), ("getInt", 1, 2.0)], 0.4)
+            .build(),
+    );
+
+    // ---- java.util containers ------------------------------------------
+    for name in [
+        "java.util.HashMap",
+        "java.util.Hashtable",
+        "java.util.TreeMap",
+        "java.util.WeakHashMap",
+        "java.util.LinkedHashMap",
+    ] {
+        classes.push(
+            ClassBuilder::new(name, "java.util")
+                .method("put", &[Str, Obj], None, Store { value_arg: 2 })
+                .method("get", &[Str], None, Load)
+                .method("remove", &[Str], None, Take)
+                .method("containsKey", &[Str], None, FreshPerCall)
+                .method("size", &[], None, FreshPerCall)
+                .true_ret_arg("get", "put", 2)
+                .true_ret_arg("remove", "put", 2)
+                .true_ret_same("get")
+                .build(),
+        );
+    }
+    classes.push(
+        ClassBuilder::new("java.util.Properties", "java.util")
+            .method("setProperty", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("getProperty", &[Str], None, Load)
+            .true_ret_arg("getProperty", "setProperty", 2)
+            .true_ret_same("getProperty")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.util.ArrayList", "java.util")
+            .method("add", &[Obj], None, StackPush { value_arg: 1 })
+            .method("set", &[Int, Obj], None, Store { value_arg: 2 })
+            .method("get", &[Int], None, Load)
+            .method("remove", &[Int], None, Take)
+            .method("size", &[], None, FreshPerCall)
+            .method("iterator", &[], Some("java.util.Iterator"), FreshPerCall)
+            .true_ret_arg("get", "set", 2)
+            .true_ret_arg("remove", "set", 2)
+            .true_ret_same("get")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.util.Iterator", "java.util")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("java.util.Collections"), "emptyList", &[]),
+                step(None, "iterator", &[]),
+            ]))
+            .method("next", &[], None, StackPop)
+            .method("hasNext", &[], None, FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.util.Collections", "java.util")
+            .factory_only()
+            .static_method("emptyList", &[], Some("java.util.ArrayList"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.util.Random", "java.util")
+            .method("nextInt", &[], None, FreshPerCall)
+            .method("nextDouble", &[], None, FreshPerCall)
+            .build(),
+    );
+
+    // ---- Security -------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("java.security.SecureRandom", "java.security")
+            .method("nextInt", &[], None, FreshPerCall)
+            .method("nextBytes", &[Obj], None, Void)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.security.KeyStore", "java.security")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(
+                Some("java.security.KeyStore"),
+                "getInstance",
+                &[Str],
+            )]))
+            .static_method("getInstance", &[Str], Some("java.security.KeyStore"), FreshPerCall)
+            .method("getKey", &[Str, Str], Some("java.security.Key"), LoadSame)
+            .method("setKeyEntry", &[Str, Obj], None, Store { value_arg: 2 })
+            .true_ret_same("getKey")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.security.Key", "java.security")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("java.security.KeyStore"), "getInstance", &[Str]),
+                step(None, "getKey", &[Str, Str]),
+            ]))
+            .method("getAlgorithm", &[], Some("java.lang.String"), LoadSame)
+            .method("getFormat", &[], Some("java.lang.String"), LoadSame)
+            .true_ret_same("getAlgorithm")
+            .true_ret_same("getFormat")
+            .profile(&[("getAlgorithm", 0, 2.0), ("getFormat", 0, 1.0)], 0.4)
+            .build(),
+    );
+
+    // ---- Android ---------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("android.util.SparseArray", "android.util")
+            .method("put", &[Int, Obj], None, Store { value_arg: 2 })
+            .method("get", &[Int], None, Load)
+            .method("delete", &[Int], None, Void)
+            .true_ret_arg("get", "put", 2)
+            .true_ret_same("get")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("android.view.ViewGroup", "android.view")
+            .method("findViewById", &[Int], Some("android.view.View"), LoadSame)
+            .method("addView", &[Obj], None, StackPush { value_arg: 1 })
+            .true_ret_same("findViewById")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("android.view.View", "android.view")
+            .method("setVisibility", &[Int], None, Void)
+            .method("setOnClickListener", &[Obj], None, Void)
+            .method("invalidate", &[], None, Void)
+            .profile(
+                &[
+                    ("setVisibility", 1, 3.0),
+                    ("setOnClickListener", 1, 2.0),
+                    ("invalidate", 0, 1.0),
+                ],
+                0.5,
+            )
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("android.content.Intent", "android.content")
+            .method("putExtra", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("getExtra", &[Str], None, Load)
+            .true_ret_arg("getExtra", "putExtra", 2)
+            .true_ret_same("getExtra")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("android.content.Bundle", "android.content")
+            .method("putString", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("getString", &[Str], None, Load)
+            .true_ret_arg("getString", "putString", 2)
+            .true_ret_same("getString")
+            .build(),
+    );
+
+    // ---- Jackson / JSON ---------------------------------------------------
+    classes.push(
+        ClassBuilder::new("com.fasterxml.jackson.databind.ObjectMapper", "com.fasterxml")
+            .method(
+                "readTree",
+                &[Str],
+                Some("com.fasterxml.jackson.databind.JsonNode"),
+                FreshPerCall,
+            )
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("com.fasterxml.jackson.databind.JsonNode", "com.fasterxml")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(
+                Some("com.fasterxml.jackson.databind.Json"),
+                "parse",
+                &[Str],
+            )]))
+            .method("path", &[Str], Some("com.fasterxml.jackson.databind.JsonNode"), LoadSame)
+            .method("get", &[Str], Some("com.fasterxml.jackson.databind.JsonNode"), LoadSame)
+            .method("asText", &[], Some("java.lang.String"), LoadSame)
+            .method("isNull", &[], None, LoadSame)
+            .true_ret_same("path")
+            .true_ret_same("get")
+            .true_ret_same("asText")
+            .true_ret_same("isNull")
+            .profile(&[("asText", 0, 3.0), ("path", 1, 2.0), ("isNull", 0, 1.0)], 0.5)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("com.fasterxml.jackson.databind.Json", "com.fasterxml")
+            .factory_only()
+            .static_method(
+                "parse",
+                &[Str],
+                Some("com.fasterxml.jackson.databind.JsonNode"),
+                FreshPerCall,
+            )
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("org.json.JSONObject", "org.json")
+            .method("put", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("get", &[Str], None, Load)
+            .method("getString", &[Str], Some("java.lang.String"), LoadSame)
+            .true_ret_arg("get", "put", 2)
+            .true_ret_same("get")
+            .true_ret_same("getString")
+            .build(),
+    );
+
+    // ---- DOM ---------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("org.w3c.dom.DocumentBuilder", "org.w3c")
+            .factory_only()
+            .static_method("parse", &[Str], Some("org.w3c.dom.Document"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("org.w3c.dom.Document", "org.w3c")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(
+                Some("org.w3c.dom.DocumentBuilder"),
+                "parse",
+                &[Str],
+            )]))
+            .method(
+                "getElementsByTagName",
+                &[Str],
+                Some("org.w3c.dom.NodeList"),
+                LoadSame,
+            )
+            .true_ret_same("getElementsByTagName")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("org.w3c.dom.NodeList", "org.w3c")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("org.w3c.dom.DocumentBuilder"), "parse", &[Str]),
+                step(None, "getElementsByTagName", &[Str]),
+            ]))
+            .method("item", &[Int], Some("org.w3c.dom.Node"), LoadSame)
+            .method("getLength", &[], None, FreshPerCall)
+            .true_ret_same("item")
+            .profile(&[("item", 1, 3.0), ("getLength", 0, 1.0)], 0.4)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("org.w3c.dom.Node", "org.w3c")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("org.w3c.dom.DocumentBuilder"), "parse", &[Str]),
+                step(None, "getElementsByTagName", &[Str]),
+                step(None, "item", &[Int]),
+            ]))
+            .method("getNodeName", &[], Some("java.lang.String"), LoadSame)
+            .method("getTextContent", &[], Some("java.lang.String"), LoadSame)
+            .true_ret_same("getNodeName")
+            .true_ret_same("getTextContent")
+            .profile(&[("getNodeName", 0, 2.0), ("getTextContent", 0, 2.0)], 0.5)
+            .build(),
+    );
+
+    // ---- The Tab. 3 "incorrect" candidates ---------------------------------
+    classes.push(
+        ClassBuilder::new("org.antlr.runtime.tree.TreeAdaptor", "org.antlr")
+            .method("nil", &[], Some("org.antlr.runtime.tree.Tree"), FreshPerCall)
+            .method("create", &[Str], Some("org.antlr.runtime.tree.Tree"), FreshPerCall)
+            .method("addChild", &[Obj, Obj], None, Void)
+            .method(
+                "rulePostProcessing",
+                &[Obj],
+                Some("org.antlr.runtime.tree.Tree"),
+                FreshPerCall,
+            )
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("org.antlr.runtime.tree.Tree", "org.antlr")
+            .factory_only()
+            .method("getText", &[], Some("java.lang.String"), LoadSame)
+            .method("getChildCount", &[], None, FreshPerCall)
+            .true_ret_same("getText")
+            .profile(&[("getText", 0, 3.0), ("getChildCount", 0, 2.0)], 0.5)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.lang.StringBuilder", "java.lang")
+            .method("append", &[Obj], Some("java.lang.StringBuilder"), ReturnsSelf)
+            .method("toString", &[], Some("java.lang.String"), LoadSame)
+            .true_ret_same("toString")
+            .true_ret_same("append")
+            .true_ret_recv("append")
+            .profile(&[("append", 1, 2.0), ("toString", 0, 3.0)], 0.5)
+            .build(),
+    );
+
+    // ---- Per-group container fillers (Tab. 5 breadth) ----------------------
+    let fillers: &[(&str, &str, &str, &str)] = &[
+        ("org.eclipse.core.Preferences", "org.eclipse", "put", "get"),
+        ("org.eclipse.jface.IDialogSettings", "org.eclipse", "put", "get"),
+        ("org.eclipse.swt.widgets.Widget", "org.eclipse", "setData", "getData"),
+        ("com.google.common.cache.Cache", "com.google", "put", "getIfPresent"),
+        ("com.google.gson.JsonObject", "com.google", "add", "get"),
+        ("javax.swing.JComponent", "javax.swing", "putClientProperty", "getClientProperty"),
+        ("javax.naming.Context", "javax.naming", "bind", "lookup"),
+        ("javax.servlet.http.HttpSession", "javax.servlet", "setAttribute", "getAttribute"),
+        ("net.minecraft.nbt.NBTTagCompound", "net.minecraft", "setTag", "getTag"),
+        ("org.apache.commons.configuration.Configuration", "org.apache", "setProperty", "getProperty"),
+        ("org.apache.http.HttpMessage", "org.apache", "setHeader", "getFirstHeader"),
+        ("org.codehaus.jackson.node.ObjectNode", "org.codehaus", "put", "get"),
+        ("org.codehaus.plexus.PlexusContainer", "org.codehaus", "addComponent", "lookup"),
+        ("org.w3c.dom.Element", "org.w3c", "setAttribute", "getAttribute"),
+        ("java.util.prefs.Preferences", "java.util", "put", "get"),
+        ("android.util.LruCache", "android.util", "put", "get"),
+    ];
+    for &(name, group, put, get) in fillers {
+        classes.push(
+            ClassBuilder::new(name, group)
+                .method(put, &[Str, Obj], None, Store { value_arg: 2 })
+                .method(get, &[Str], None, Load)
+                .true_ret_arg(get, put, 2)
+                .true_ret_same(get)
+                .build(),
+        );
+    }
+    // Int-keyed containers beyond SparseArray.
+    classes.push(
+        ClassBuilder::new("org.json.JSONArray", "org.json")
+            .method("put", &[Int, Obj], None, Store { value_arg: 2 })
+            .method("get", &[Int], None, Load)
+            .true_ret_arg("get", "put", 2)
+            .true_ret_same("get")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("net.minecraft.world.World", "net.minecraft")
+            .method("setBlock", &[Int, Obj], None, Store { value_arg: 2 })
+            .method("getBlock", &[Int], None, Load)
+            .true_ret_arg("getBlock", "setBlock", 2)
+            .true_ret_same("getBlock")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("java.lang.ThreadLocal", "java.lang")
+            .method("set", &[Obj], None, Store { value_arg: 1 })
+            .method("get", &[], None, Load)
+            .true_ret_arg("get", "set", 1)
+            .true_ret_same("get")
+            .build(),
+    );
+
+    Library::new(Universe::Java, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::MethodId;
+    use uspec_pta::Spec;
+
+    #[test]
+    fn library_builds_and_contains_showcase_classes() {
+        let lib = java_library();
+        assert!(lib.len() >= 25);
+        for name in [
+            "java.util.HashMap",
+            "java.sql.ResultSet",
+            "java.security.KeyStore",
+            "android.util.SparseArray",
+            "android.view.ViewGroup",
+            "com.fasterxml.jackson.databind.JsonNode",
+            "org.antlr.runtime.tree.TreeAdaptor",
+        ] {
+            assert!(lib.class(Symbol::intern(name)).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn hashmap_ground_truth() {
+        let lib = java_library();
+        let get = MethodId::new("java.util.HashMap", "get", 1);
+        let put = MethodId::new("java.util.HashMap", "put", 2);
+        assert!(lib.is_true_spec(&Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2
+        }));
+        assert!(lib.is_true_spec(&Spec::RetSame { method: get }));
+        assert!(!lib.is_true_spec(&Spec::RetArg {
+            target: get,
+            source: put,
+            x: 1
+        }));
+    }
+
+    #[test]
+    fn anti_patterns_are_false() {
+        let lib = java_library();
+        let next = MethodId::new("java.util.Iterator", "next", 0);
+        let next_int = MethodId::new("java.security.SecureRandom", "nextInt", 0);
+        assert!(!lib.is_true_spec(&Spec::RetSame { method: next }));
+        assert!(!lib.is_true_spec(&Spec::RetSame { method: next_int }));
+        // The Tab. 3 incorrect RetArg.
+        let rule = MethodId::new("org.antlr.runtime.tree.TreeAdaptor", "rulePostProcessing", 1);
+        let add = MethodId::new("org.antlr.runtime.tree.TreeAdaptor", "addChild", 2);
+        assert!(!lib.is_true_spec(&Spec::RetArg {
+            target: rule,
+            source: add,
+            x: 2
+        }));
+    }
+
+    #[test]
+    fn factory_only_classes_marked() {
+        let lib = java_library();
+        for name in [
+            "java.sql.ResultSet",
+            "java.security.KeyStore",
+            "org.w3c.dom.NodeList",
+        ] {
+            assert!(
+                !lib.class(Symbol::intern(name)).unwrap().constructible,
+                "{name} must be factory-only (defeats Atlas)"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_reference_declared_methods() {
+        let lib = java_library();
+        for c in lib.classes() {
+            for (name, arity, _) in &c.profile.consumers {
+                let m = c
+                    .method(*name)
+                    .unwrap_or_else(|| panic!("{}.{name} in profile but not declared", c.name));
+                assert_eq!(m.arity, *arity, "{}.{name} arity mismatch", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn factory_recipes_resolve() {
+        let lib = java_library();
+        for c in lib.classes() {
+            if let Obtain::Factory(steps) = &c.obtain {
+                assert!(!steps.is_empty());
+                assert!(steps[0].on.is_some(), "{}: first step must be static", c.name);
+                for s in steps {
+                    if let Some(on) = s.on {
+                        let host = lib.class(on).unwrap_or_else(|| panic!("{on} missing"));
+                        assert!(host.method(s.method).is_some(), "{on}.{} missing", s.method);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn api_table_has_all_classes() {
+        let lib = java_library();
+        let table = lib.api_table();
+        assert_eq!(table.len(), lib.len());
+    }
+}

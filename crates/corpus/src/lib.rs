@@ -1,0 +1,32 @@
+//! # uspec-corpus
+//!
+//! Ground-truth API libraries and synthetic corpus generation.
+//!
+//! The paper learns from ~4M Java and ~1M Python GitHub files and labels the
+//! learned specifications against library documentation. This crate is the
+//! substitution for both (see DESIGN.md):
+//!
+//! * [`library`] — declarative registry of synthetic API classes with
+//!   signatures, *executable* semantics (driving the Atlas baseline's
+//!   concrete interpreter) and true aliasing specifications (the labeling
+//!   oracle);
+//! * [`java`] / [`python`] — the two universes, mirroring the APIs featured
+//!   in Tab. 3/5/6 including the factory-only classes that defeat dynamic
+//!   test synthesis and the planted false-positive candidates;
+//! * [`gen`] — the seeded corpus generator planting the usage-consistency
+//!   signal the probabilistic model learns from.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod java;
+pub mod library;
+pub mod python;
+
+pub use gen::{generate_corpus, GenOptions, GeneratedFile};
+pub use java::java_library;
+pub use library::{
+    ArgKind, ClassBuilder, FactoryStep, LibClass, LibMethod, Library, MethodSem, Obtain, Universe,
+    UsageProfile,
+};
+pub use python::python_library;

@@ -1,0 +1,470 @@
+//! The ground-truth library registry.
+//!
+//! The paper evaluates against real Java/Python libraries and labels learned
+//! specifications by reading library documentation. This module is the
+//! substitute: every synthetic API class declares
+//!
+//! * its **signature** (methods, arities, return classes) — consumed by the
+//!   frontend's [`ApiTable`],
+//! * its **executable semantics** ([`MethodSem`]) — consumed by the concrete
+//!   interpreter that the Atlas baseline (§7.5) synthesizes tests against,
+//! * its **true aliasing specifications** — the mechanical replacement for
+//!   "inspecting the respective library documentation" (§7.2), and
+//! * a **usage profile** — how client code typically consumes objects of
+//!   this class, which is the statistical signal the generator plants and
+//!   the probabilistic model learns.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use uspec_lang::registry::{ApiClassSig, ApiMethodSig, ApiTable, PrimBinding, VarType};
+use uspec_lang::{MethodId, Symbol};
+use uspec_pta::Spec;
+
+/// Which synthetic ecosystem a library models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Universe {
+    /// Java-like classes (`java.util.HashMap`, Android, Jackson, ...).
+    Java,
+    /// Python-like classes (`Dict`, `configParser.SafeConfigParser`, ...).
+    Python,
+}
+
+impl std::fmt::Display for Universe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Universe::Java => write!(f, "Java"),
+            Universe::Python => write!(f, "Python"),
+        }
+    }
+}
+
+/// Executable semantics of one API method, used by the concrete interpreter
+/// (`uspec-atlas`) and as the ground-truth aliasing oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodSem {
+    /// Stores argument `value_arg` under a key formed by the remaining
+    /// arguments (e.g. `put(k, v)`).
+    Store {
+        /// 1-based position of the stored value.
+        value_arg: u8,
+    },
+    /// Returns the value stored under the key formed by all arguments, or a
+    /// fresh object if absent (e.g. `get(k)`).
+    Load,
+    /// Like [`MethodSem::Load`] but *removes* the entry (e.g. `remove(k)`,
+    /// `dict.pop(k)`): a second call with the same key returns a fresh
+    /// object, so `RetSame` does **not** hold while `RetArg` does.
+    Take,
+    /// Returns the *same* (internally cached) object for equal receiver and
+    /// arguments — `RetSame` holds without a corresponding store (e.g.
+    /// `findViewById`, `JsonNode.path`).
+    LoadSame,
+    /// Returns a brand-new object on every call (e.g. `SecureRandom.nextInt`).
+    FreshPerCall,
+    /// Pushes argument `value_arg` onto an internal stack (e.g. `append`).
+    StackPush {
+        /// 1-based position of the pushed value.
+        value_arg: u8,
+    },
+    /// Pops the internal stack: returns the most recently pushed object, a
+    /// fresh one if empty. `RetSame` is *false* (consecutive pops differ)
+    /// but `RetArg(pop, push, v)` holds.
+    StackPop,
+    /// Returns the receiver itself (builder-style `append`).
+    ReturnsSelf,
+    /// No interesting return value.
+    Void,
+}
+
+/// The kind of argument a method position expects, used by the corpus
+/// generator and by Atlas-style test synthesis to produce plausible values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgKind {
+    /// A string key/name.
+    Str,
+    /// An integer key/index.
+    Int,
+    /// An arbitrary object value.
+    Obj,
+}
+
+/// How client code obtains an instance of a class.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Obtain {
+    /// `v = new C();`
+    New,
+    /// A chain of calls starting at a static factory, e.g.
+    /// `DriverManager.getConnection(..).createStatement().executeQuery(..)`.
+    Factory(Vec<FactoryStep>),
+}
+
+/// One step of a factory chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactoryStep {
+    /// Class for a static call; `None` calls on the previous step's result.
+    pub on: Option<Symbol>,
+    /// Method name.
+    pub method: Symbol,
+    /// Argument kinds.
+    pub args: Vec<ArgKind>,
+}
+
+/// Signature plus semantics of one method.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LibMethod {
+    /// Simple method name.
+    pub name: Symbol,
+    /// Number of arguments (excluding receiver).
+    pub arity: u8,
+    /// Kind of each argument (length = arity).
+    pub args: Vec<ArgKind>,
+    /// Class of the returned object, if statically known.
+    pub ret: Option<Symbol>,
+    /// Whether the method is static (called on the class).
+    pub is_static: bool,
+    /// Executable semantics.
+    pub sem: MethodSem,
+}
+
+/// How client code typically *uses* objects of a class — the consumer
+/// methods called on them. This drives corpus generation: truly-aliasing
+/// objects share one consistent usage, which is exactly the signal §4.3
+/// exploits.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UsageProfile {
+    /// Weighted consumer methods `(name, arity, weight)` called on objects
+    /// of this class.
+    pub consumers: Vec<(Symbol, u8, f64)>,
+    /// Probability that a second consumer is chained onto the same object.
+    /// High chaining makes `RetSame` look plausible for this class even
+    /// without true aliasing (the `List.pop` false-positive mechanism).
+    pub chain_prob: f64,
+}
+
+/// One synthetic API class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LibClass {
+    /// Fully-qualified name.
+    pub name: Symbol,
+    /// Whether `new C()` works; factory-only classes (e.g.
+    /// `java.sql.ResultSet`) defeat Atlas-style test synthesis (§7.5).
+    pub constructible: bool,
+    /// Methods.
+    pub methods: Vec<LibMethod>,
+    /// The true aliasing specifications of this class.
+    pub true_specs: Vec<Spec>,
+    /// Library/package group for the Tab. 5/6 breakdowns.
+    pub group: Symbol,
+    /// How returned objects of this class are consumed.
+    pub profile: UsageProfile,
+    /// How instances are obtained in generated client code.
+    pub obtain: Obtain,
+}
+
+impl LibClass {
+    /// Finds a method by name.
+    pub fn method(&self, name: Symbol) -> Option<&LibMethod> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The [`MethodId`] of a method of this class.
+    pub fn method_id(&self, name: &str) -> Option<MethodId> {
+        let sym = Symbol::intern(name);
+        self.method(sym).map(|m| MethodId {
+            class: self.name,
+            method: m.name,
+            arity: m.arity,
+        })
+    }
+}
+
+/// A whole universe of classes with ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Library {
+    /// Which ecosystem this library models.
+    pub universe: Universe,
+    classes: Vec<LibClass>,
+    index: HashMap<Symbol, usize>,
+}
+
+impl Library {
+    /// Builds a library from class definitions.
+    pub fn new(universe: Universe, classes: Vec<LibClass>) -> Library {
+        let index = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name, i))
+            .collect();
+        Library {
+            universe,
+            classes,
+            index,
+        }
+    }
+
+    /// Looks up a class by fully-qualified name.
+    pub fn class(&self, name: Symbol) -> Option<&LibClass> {
+        self.index.get(&name).map(|&i| &self.classes[i])
+    }
+
+    /// Iterates over all classes.
+    pub fn classes(&self) -> impl Iterator<Item = &LibClass> {
+        self.classes.iter()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Ground-truth labeling of a specification (the stand-in for manual
+    /// documentation inspection in §7.2). Unknown classes and methods are
+    /// conservatively labeled invalid, as in the paper ("in cases of doubt,
+    /// we conservatively labeled specifications as invalid").
+    pub fn is_true_spec(&self, spec: &Spec) -> bool {
+        self.class(spec.class())
+            .map(|c| c.true_specs.contains(spec))
+            .unwrap_or(false)
+    }
+
+    /// All true specifications of the library (the oracle [`uspec_pta::SpecDb`]
+    /// input).
+    pub fn true_specs(&self) -> Vec<Spec> {
+        let mut out: Vec<Spec> = self
+            .classes
+            .iter()
+            .flat_map(|c| c.true_specs.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Derives the frontend [`ApiTable`] (signatures only — no aliasing
+    /// information leaks into the analysis).
+    pub fn api_table(&self) -> ApiTable {
+        let mut table = ApiTable::new();
+        for c in &self.classes {
+            table.insert(ApiClassSig {
+                name: c.name,
+                constructible: c.constructible,
+                methods: c
+                    .methods
+                    .iter()
+                    .map(|m| ApiMethodSig {
+                        name: m.name,
+                        arity: m.arity,
+                        ret: match m.ret {
+                            Some(cls) => VarType::Api(cls),
+                            None => VarType::Unknown,
+                        },
+                        is_static: m.is_static,
+                    })
+                    .collect(),
+            });
+        }
+        let str_class = match self.universe {
+            Universe::Java => "java.lang.String",
+            Universe::Python => "Str",
+        };
+        table.bind_prim(PrimBinding::Str, Symbol::intern(str_class));
+        table
+    }
+}
+
+/// Terse builder for [`LibClass`] definitions.
+#[derive(Clone, Debug)]
+pub struct ClassBuilder {
+    class: LibClass,
+}
+
+impl ClassBuilder {
+    /// Starts a constructible class in `group`.
+    pub fn new(name: &str, group: &str) -> ClassBuilder {
+        ClassBuilder {
+            class: LibClass {
+                name: Symbol::intern(name),
+                constructible: true,
+                methods: Vec::new(),
+                true_specs: Vec::new(),
+                group: Symbol::intern(group),
+                profile: UsageProfile::default(),
+                obtain: Obtain::New,
+            },
+        }
+    }
+
+    /// Marks the class factory-only.
+    pub fn factory_only(mut self) -> ClassBuilder {
+        self.class.constructible = false;
+        self
+    }
+
+    /// Adds an instance method.
+    pub fn method(
+        mut self,
+        name: &str,
+        args: &[ArgKind],
+        ret: Option<&str>,
+        sem: MethodSem,
+    ) -> ClassBuilder {
+        self.class.methods.push(LibMethod {
+            name: Symbol::intern(name),
+            arity: args.len() as u8,
+            args: args.to_vec(),
+            ret: ret.map(Symbol::intern),
+            is_static: false,
+            sem,
+        });
+        self
+    }
+
+    /// Adds a static method.
+    pub fn static_method(
+        mut self,
+        name: &str,
+        args: &[ArgKind],
+        ret: Option<&str>,
+        sem: MethodSem,
+    ) -> ClassBuilder {
+        self.class.methods.push(LibMethod {
+            name: Symbol::intern(name),
+            arity: args.len() as u8,
+            args: args.to_vec(),
+            ret: ret.map(Symbol::intern),
+            is_static: true,
+            sem,
+        });
+        self
+    }
+
+    /// Declares a true `RetSame(method)` specification.
+    pub fn true_ret_same(mut self, method: &str) -> ClassBuilder {
+        let id = self
+            .class
+            .method_id(method)
+            .unwrap_or_else(|| panic!("unknown method {method} on {}", self.class.name));
+        self.class.true_specs.push(Spec::RetSame { method: id });
+        self
+    }
+
+    /// Declares a true `RetRecv(method)` specification (extension pattern).
+    pub fn true_ret_recv(mut self, method: &str) -> ClassBuilder {
+        let id = self
+            .class
+            .method_id(method)
+            .unwrap_or_else(|| panic!("unknown method {method} on {}", self.class.name));
+        self.class.true_specs.push(Spec::RetRecv { method: id });
+        self
+    }
+
+    /// Declares a true `RetArg(target, source, x)` specification.
+    pub fn true_ret_arg(mut self, target: &str, source: &str, x: u8) -> ClassBuilder {
+        let t = self
+            .class
+            .method_id(target)
+            .unwrap_or_else(|| panic!("unknown method {target} on {}", self.class.name));
+        let s = self
+            .class
+            .method_id(source)
+            .unwrap_or_else(|| panic!("unknown method {source} on {}", self.class.name));
+        self.class.true_specs.push(Spec::RetArg {
+            target: t,
+            source: s,
+            x,
+        });
+        self
+    }
+
+    /// Sets how instances are obtained in generated code.
+    pub fn obtain_via(mut self, obtain: Obtain) -> ClassBuilder {
+        self.class.obtain = obtain;
+        self
+    }
+
+    /// Sets the usage profile: weighted consumers plus chaining probability.
+    pub fn profile(mut self, consumers: &[(&str, u8, f64)], chain_prob: f64) -> ClassBuilder {
+        self.class.profile = UsageProfile {
+            consumers: consumers
+                .iter()
+                .map(|(n, a, w)| (Symbol::intern(n), *a, *w))
+                .collect(),
+            chain_prob,
+        };
+        self
+    }
+
+    /// Finishes the class.
+    pub fn build(self) -> LibClass {
+        self.class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Library {
+        Library::new(
+            Universe::Java,
+            vec![ClassBuilder::new("a.b.Map", "a.b")
+                .method("put", &[ArgKind::Str, ArgKind::Obj], None, MethodSem::Store { value_arg: 2 })
+                .method("get", &[ArgKind::Str], None, MethodSem::Load)
+                .true_ret_arg("get", "put", 2)
+                .build()],
+        )
+    }
+
+    #[test]
+    fn ground_truth_labeling() {
+        let lib = toy();
+        let c = lib.class(Symbol::intern("a.b.Map")).unwrap();
+        let get = c.method_id("get").unwrap();
+        let put = c.method_id("put").unwrap();
+        assert!(lib.is_true_spec(&Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2
+        }));
+        assert!(!lib.is_true_spec(&Spec::RetSame { method: get }));
+        assert!(!lib.is_true_spec(&Spec::RetArg {
+            target: get,
+            source: put,
+            x: 1
+        }));
+    }
+
+    #[test]
+    fn unknown_class_is_invalid() {
+        let lib = toy();
+        let spec = Spec::RetSame {
+            method: MethodId::new("x.Unknown", "m", 0),
+        };
+        assert!(!lib.is_true_spec(&spec));
+    }
+
+    #[test]
+    fn api_table_derivation() {
+        let lib = toy();
+        let table = lib.api_table();
+        assert!(table.is_class(Symbol::intern("a.b.Map")));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn true_specs_deduplicated_and_sorted() {
+        let lib = toy();
+        assert_eq!(lib.true_specs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown method")]
+    fn builder_rejects_bogus_spec_methods() {
+        let _ = ClassBuilder::new("C", "g").true_ret_same("nope");
+    }
+}

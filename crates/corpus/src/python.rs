@@ -1,0 +1,424 @@
+//! The Python-like universe (Tab. 6): builtin containers, `configParser`,
+//! `os`, `re`, `numpy`, `pandas` and friends.
+//!
+//! Noteworthy inhabitants:
+//!
+//! * `Dict` — subscript store/load, the highest-match candidate of Tab. 3
+//!   (`RetArg(SubscriptStore, SubscriptLoad, 2)`), plus the
+//!   `setdefault`/`pop` pair that powers the Fig. 8b taint example;
+//! * `List.pop` — the planted *incorrect* `RetSame` of Tab. 3: popped
+//!   elements are consumed like ordinary strings (consistently and often
+//!   chained), so the probabilistic model finds its induced edges highly
+//!   plausible even though two pops never alias;
+//! * `configParser.SafeConfigParser` — the 3-argument `RetArg(get, set, 3)`.
+
+use crate::library::{ArgKind, ClassBuilder, FactoryStep, Library, MethodSem, Obtain, Universe};
+use uspec_lang::Symbol;
+
+use ArgKind::{Int, Obj, Str};
+use MethodSem::{FreshPerCall, Load, LoadSame, StackPop, StackPush, Store, Take, Void};
+
+fn step(on: Option<&str>, method: &str, args: &[ArgKind]) -> FactoryStep {
+    FactoryStep {
+        on: on.map(Symbol::intern),
+        method: Symbol::intern(method),
+        args: args.to_vec(),
+    }
+}
+
+/// Builds the Python-like [`Library`].
+#[allow(clippy::vec_init_then_push)]
+pub fn python_library() -> Library {
+    let mut classes = Vec::new();
+
+    // ---- Strings ----------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("Str", "builtins")
+            .method("strip", &[], Some("Str"), LoadSame)
+            .method("lower", &[], Some("Str"), LoadSame)
+            .method("split", &[Str], None, FreshPerCall)
+            .method("startswith", &[Str], None, LoadSame)
+            .method("format", &[Obj], Some("Str"), FreshPerCall)
+            .true_ret_same("strip")
+            .true_ret_same("lower")
+            .true_ret_same("startswith")
+            .profile(
+                &[
+                    ("strip", 0, 3.0),
+                    ("lower", 0, 2.0),
+                    ("split", 1, 2.0),
+                    ("startswith", 1, 1.0),
+                ],
+                0.6,
+            )
+            .build(),
+    );
+
+    // ---- Builtin containers -------------------------------------------------
+    classes.push(
+        ClassBuilder::new("Dict", "builtins")
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], None, Load)
+            .method("get", &[Str], None, Load)
+            .method("setdefault", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("pop", &[Str], None, Take)
+            .method("keys", &[], None, FreshPerCall)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_arg("get", "SubscriptStore", 2)
+            .true_ret_arg("pop", "SubscriptStore", 2)
+            .true_ret_arg("SubscriptLoad", "setdefault", 2)
+            .true_ret_arg("get", "setdefault", 2)
+            .true_ret_arg("pop", "setdefault", 2)
+            .true_ret_same("SubscriptLoad")
+            .true_ret_same("get")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("List", "builtins")
+            .method("append", &[Obj], None, StackPush { value_arg: 1 })
+            // Lists-of-strings are so common that popped elements look like
+            // strings to the model: the Tab. 3 false positive.
+            .method("pop", &[], Some("Str"), StackPop)
+            .method("SubscriptStore", &[Int, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Int], None, Load)
+            .method("count", &[], None, FreshPerCall)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_arg("pop", "append", 1)
+            .true_ret_same("SubscriptLoad")
+            .build(),
+    );
+
+    // ---- configParser ---------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("configParser.SafeConfigParser", "ConfigParser")
+            .method("set", &[Str, Str, Obj], None, Store { value_arg: 3 })
+            .method("get", &[Str, Str], None, Load)
+            .method("read", &[Str], None, Void)
+            .true_ret_arg("get", "set", 3)
+            .true_ret_same("get")
+            .build(),
+    );
+
+    // ---- collections --------------------------------------------------------
+    for name in ["collections.OrderedDict", "collections.defaultdict"] {
+        classes.push(
+            ClassBuilder::new(name, "collections")
+                .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+                .method("SubscriptLoad", &[Str], None, Load)
+                .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+                .true_ret_same("SubscriptLoad")
+                .build(),
+        );
+    }
+    classes.push(
+        ClassBuilder::new("collections.deque", "collections")
+            .method("append", &[Obj], None, StackPush { value_arg: 1 })
+            .method("pop", &[], None, StackPop)
+            .true_ret_arg("pop", "append", 1)
+            .build(),
+    );
+
+    // ---- os ----------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("os", "os")
+            .factory_only()
+            .static_method("environ", &[], Some("os.Environ"), LoadSame)
+            .static_method("getcwd", &[], Some("Str"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("os.Environ", "os")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(Some("os"), "environ", &[])]))
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], None, Load)
+            .method("get", &[Str], None, Load)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_arg("get", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .true_ret_same("get")
+            .build(),
+    );
+
+    // ---- re -----------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("re", "re")
+            .factory_only()
+            .static_method("compile", &[Str], Some("re.Pattern"), LoadSame)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("re.Pattern", "re")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(Some("re"), "compile", &[Str])]))
+            .method("match", &[Str], Some("re.Match"), LoadSame)
+            .method("search", &[Str], Some("re.Match"), LoadSame)
+            .true_ret_same("match")
+            .true_ret_same("search")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("re.Match", "re")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("re"), "compile", &[Str]),
+                step(None, "match", &[Str]),
+            ]))
+            .method("group", &[Int], Some("Str"), LoadSame)
+            .method("start", &[Int], None, LoadSame)
+            .true_ret_same("group")
+            .true_ret_same("start")
+            .profile(&[("group", 1, 3.0), ("start", 1, 1.0)], 0.4)
+            .build(),
+    );
+
+    // ---- json / yaml ----------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("json", "json")
+            .factory_only()
+            .static_method("loads", &[Str], Some("Dict"), FreshPerCall)
+            .static_method("dumps", &[Obj], Some("Str"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("yaml", "yaml")
+            .factory_only()
+            .static_method("load", &[Str], Some("Dict"), FreshPerCall)
+            .static_method("dump", &[Obj], Some("Str"), FreshPerCall)
+            .build(),
+    );
+
+    // ---- numpy ------------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("numpy", "numpy")
+            .factory_only()
+            .static_method("array", &[Obj], Some("numpy.ndarray"), FreshPerCall)
+            .static_method("zeros", &[Int], Some("numpy.ndarray"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("numpy.ndarray", "numpy")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(Some("numpy"), "zeros", &[Int])]))
+            .method("SubscriptStore", &[Int, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Int], None, Load)
+            .method("reshape", &[Int], Some("numpy.ndarray"), LoadSame)
+            .method("transpose", &[], Some("numpy.ndarray"), LoadSame)
+            .method("sum", &[], None, FreshPerCall)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .true_ret_same("reshape")
+            .true_ret_same("transpose")
+            .profile(&[("sum", 0, 2.0), ("reshape", 1, 2.0), ("transpose", 0, 1.0)], 0.5)
+            .build(),
+    );
+
+    // ---- pandas --------------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("pandas", "pandas")
+            .factory_only()
+            .static_method("read_csv", &[Str], Some("pandas.DataFrame"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("pandas.DataFrame", "pandas")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(Some("pandas"), "read_csv", &[Str])]))
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], Some("pandas.Series"), Load)
+            .method("head", &[], Some("pandas.DataFrame"), FreshPerCall)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("pandas.Series", "pandas")
+            .factory_only()
+            .method("sum", &[], None, FreshPerCall)
+            .method("mean", &[], None, FreshPerCall)
+            .profile(&[("sum", 0, 2.0), ("mean", 0, 2.0)], 0.5)
+            .build(),
+    );
+
+    // ---- web frameworks ------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("django.http.QueryDict", "django")
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], None, Load)
+            .method("getlist", &[Str], None, Load)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_arg("getlist", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .true_ret_same("getlist")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("flask.Session", "flask")
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], None, Load)
+            .method("pop", &[Str], None, Take)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_arg("pop", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .build(),
+    );
+
+    // ---- xml ---------------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("xml.Element", "xml")
+            .method("set", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("get", &[Str], None, Load)
+            .method("find", &[Str], Some("xml.Element"), LoadSame)
+            .true_ret_arg("get", "set", 2)
+            .true_ret_same("get")
+            .true_ret_same("find")
+            .build(),
+    );
+
+    // ---- sqlite3 (factory chain) ----------------------------------------------------
+    classes.push(
+        ClassBuilder::new("sqlite3", "sqlite3")
+            .factory_only()
+            .static_method("connect", &[Str], Some("sqlite3.Connection"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("sqlite3.Connection", "sqlite3")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![step(Some("sqlite3"), "connect", &[Str])]))
+            .method("execute", &[Str], Some("sqlite3.Cursor"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("sqlite3.Cursor", "sqlite3")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("sqlite3"), "connect", &[Str]),
+                step(None, "execute", &[Str]),
+            ]))
+            .method("fetchone", &[], Some("sqlite3.Row"), FreshPerCall)
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("sqlite3.Row", "sqlite3")
+            .factory_only()
+            .obtain_via(Obtain::Factory(vec![
+                step(Some("sqlite3"), "connect", &[Str]),
+                step(None, "execute", &[Str]),
+                step(None, "fetchone", &[]),
+            ]))
+            .method("SubscriptLoad", &[Int], Some("Str"), LoadSame)
+            .true_ret_same("SubscriptLoad")
+            .build(),
+    );
+
+    // ---- shelve / caches --------------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("shelve.Shelf", "shelve")
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], None, Load)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("collections.Counter", "collections")
+            .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("SubscriptLoad", &[Str], None, Load)
+            .true_ret_arg("SubscriptLoad", "SubscriptStore", 2)
+            .true_ret_same("SubscriptLoad")
+            .build(),
+    );
+    classes.push(
+        ClassBuilder::new("django.core.cache.Cache", "django")
+            .method("set", &[Str, Obj], None, Store { value_arg: 2 })
+            .method("get", &[Str], None, Load)
+            .true_ret_arg("get", "set", 2)
+            .true_ret_same("get")
+            .build(),
+    );
+
+    // ---- random (anti-pattern) ------------------------------------------------------
+    classes.push(
+        ClassBuilder::new("random.Random", "random")
+            .method("randint", &[Int], None, FreshPerCall)
+            .method("choice", &[Obj], None, FreshPerCall)
+            .build(),
+    );
+
+    Library::new(Universe::Python, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::MethodId;
+    use uspec_pta::Spec;
+
+    #[test]
+    fn library_builds() {
+        let lib = python_library();
+        assert!(lib.len() >= 18);
+        assert_eq!(lib.universe, Universe::Python);
+    }
+
+    #[test]
+    fn dict_subscript_ground_truth() {
+        let lib = python_library();
+        let load = MethodId::new("Dict", "SubscriptLoad", 1);
+        let store = MethodId::new("Dict", "SubscriptStore", 2);
+        assert!(lib.is_true_spec(&Spec::RetArg {
+            target: load,
+            source: store,
+            x: 2
+        }));
+    }
+
+    #[test]
+    fn list_pop_ret_same_is_false_but_ret_arg_true() {
+        let lib = python_library();
+        let pop = MethodId::new("List", "pop", 0);
+        let append = MethodId::new("List", "append", 1);
+        assert!(!lib.is_true_spec(&Spec::RetSame { method: pop }));
+        assert!(lib.is_true_spec(&Spec::RetArg {
+            target: pop,
+            source: append,
+            x: 1
+        }));
+    }
+
+    #[test]
+    fn safe_config_parser_three_arg_spec() {
+        let lib = python_library();
+        let get = MethodId::new("configParser.SafeConfigParser", "get", 2);
+        let set = MethodId::new("configParser.SafeConfigParser", "set", 3);
+        assert!(lib.is_true_spec(&Spec::RetArg {
+            target: get,
+            source: set,
+            x: 3
+        }));
+    }
+
+    #[test]
+    fn groups_cover_table6_rows() {
+        let lib = python_library();
+        let groups: std::collections::BTreeSet<&str> =
+            lib.classes().map(|c| c.group.as_str()).collect();
+        for g in ["numpy", "pandas", "os", "re", "django", "collections", "yaml", "json", "flask", "ConfigParser", "xml"] {
+            assert!(groups.contains(g), "missing group {g}");
+        }
+    }
+
+    #[test]
+    fn profiles_reference_declared_methods() {
+        let lib = python_library();
+        for c in lib.classes() {
+            for (name, arity, _) in &c.profile.consumers {
+                let m = c
+                    .method(*name)
+                    .unwrap_or_else(|| panic!("{}.{name} in profile but not declared", c.name));
+                assert_eq!(m.arity, *arity);
+            }
+        }
+    }
+}

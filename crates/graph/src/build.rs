@@ -1,0 +1,769 @@
+//! Event-graph construction from points-to analysis results.
+//!
+//! Implements §3.2–3.3: abstract histories are propagated through the
+//! (acyclic, loop-unrolled) body by a forward dataflow whose state maps each
+//! abstract object to its set of bounded event sequences; joins are set
+//! unions; the event graph's edges are the history orderings that are
+//! consistent per object.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use uspec_lang::mir::{Body, CallSite, Instr, Terminator};
+use uspec_lang::registry::MethodId;
+use uspec_lang::Symbol;
+use uspec_pta::{InstrRecord, ObjId, ObjKind, ObjPool, Pta};
+
+use crate::event::{alloc_method, lit_method, Event, EventId, Pos, SiteInfo, SiteKind};
+use crate::graph::EventGraph;
+
+/// Options bounding history construction.
+#[derive(Clone, Debug)]
+pub struct GraphOptions {
+    /// Maximum number of concrete histories kept per abstract object.
+    pub max_histories: usize,
+    /// Maximum history length; longer histories are frozen.
+    pub max_history_len: usize,
+}
+
+impl Default for GraphOptions {
+    fn default() -> GraphOptions {
+        GraphOptions {
+            max_histories: 8,
+            max_history_len: 48,
+        }
+    }
+}
+
+type HistorySet = BTreeSet<Vec<EventId>>;
+type State = BTreeMap<ObjId, HistorySet>;
+
+/// Builds the event graph of `body` from the converged analysis `pta`.
+///
+/// # Examples
+///
+/// ```
+/// # use uspec_lang::{parse, lower_program, LowerOptions, ApiTable};
+/// # use uspec_pta::{Pta, PtaOptions, SpecDb};
+/// # use uspec_graph::{build_event_graph, GraphOptions};
+/// let program = parse("fn main(db) { f = db.getFile(\"a\"); n = f.getName(); }")?;
+/// let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())?.pop().unwrap();
+/// let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+/// let graph = build_event_graph(&body, &pta, &GraphOptions::default());
+/// assert!(graph.num_events() > 0);
+/// # Ok::<(), uspec_lang::LangError>(())
+/// ```
+pub fn build_event_graph(body: &Body, pta: &Pta, opts: &GraphOptions) -> EventGraph {
+    let mut b = Builder {
+        body,
+        pta,
+        opts,
+        graph: EventGraph::default(),
+    };
+    b.run();
+    b.graph
+}
+
+struct Builder<'a> {
+    body: &'a Body,
+    pta: &'a Pta,
+    opts: &'a GraphOptions,
+    graph: EventGraph,
+}
+
+impl<'a> Builder<'a> {
+    fn run(&mut self) {
+        let nblocks = self.body.blocks.len();
+        let mut entry: Vec<Option<State>> = vec![None; nblocks];
+        entry[0] = Some(State::new());
+        let mut finals: State = State::new();
+
+        for bb in 0..nblocks {
+            let Some(state0) = entry[bb].take() else {
+                continue;
+            };
+            let mut state = state0;
+            let records = &self.pta.records[bb];
+            for (idx, rec) in records.iter().enumerate() {
+                self.step(bb, idx, rec, &mut state);
+            }
+            match &self.body.blocks[bb].term {
+                Terminator::Return => {
+                    join_state(&mut finals, &state, self.opts, &mut self.graph.truncated);
+                }
+                Terminator::Goto(t) => {
+                    merge_into(&mut entry[t.0 as usize], state, self.opts, &mut self.graph.truncated);
+                }
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    merge_into(
+                        &mut entry[then_bb.0 as usize],
+                        state.clone(),
+                        self.opts,
+                        &mut self.graph.truncated,
+                    );
+                    merge_into(&mut entry[else_bb.0 as usize], state, self.opts, &mut self.graph.truncated);
+                }
+            }
+        }
+
+        self.extract_edges(&finals);
+    }
+
+    /// Interns an event, growing the per-event tables.
+    fn event(&mut self, site: CallSite, pos: Pos) -> EventId {
+        let ev = Event { site, pos };
+        if let Some(&id) = self.graph.index.get(&ev) {
+            return id;
+        }
+        let id = EventId(self.graph.events.len() as u32);
+        self.graph.events.push(ev);
+        self.graph.index.insert(ev, id);
+        self.graph.vals.push(Vec::new());
+        self.graph.pts.push(Vec::new());
+        id
+    }
+
+    fn note_pts(&mut self, ev: EventId, pts: &[ObjId]) {
+        let pool = &self.pta.objs;
+        let slot = &mut self.graph.pts[ev.0 as usize];
+        for &o in pts {
+            if !slot.contains(&o) {
+                slot.push(o);
+            }
+        }
+        slot.sort_unstable();
+        let vals = pool.values_of(slot);
+        self.graph.vals[ev.0 as usize] = vals;
+    }
+
+    fn note_site(&mut self, bb: usize, site: CallSite, method: MethodId, kind: SiteKind, type_tokens: Vec<Symbol>) {
+        let guards = self.body.blocks[bb].guards.clone();
+        let entry = self.graph.sites.entry(site).or_insert_with(|| SiteInfo {
+            method,
+            kind,
+            nargs: method.arity,
+            guards: Vec::new(),
+            type_tokens,
+        });
+        for g in guards {
+            if !entry.guards.contains(&g) {
+                entry.guards.push(g);
+            }
+        }
+    }
+
+    fn step(&mut self, bb: usize, idx: usize, rec: &InstrRecord, state: &mut State) {
+        match rec {
+            InstrRecord::Alloc { obj, .. } => {
+                let instr = &self.body.blocks[bb].instrs[idx];
+                let (site, method) = match instr {
+                    Instr::New { site, class, .. } => (*site, alloc_method(*class)),
+                    Instr::Lit { site, value, .. } => (*site, lit_method(*value)),
+                    // Opaque allocations produce no events.
+                    _ => return,
+                };
+                let kind = if matches!(instr, Instr::New { .. }) {
+                    SiteKind::Alloc
+                } else {
+                    SiteKind::LitCtor
+                };
+                self.note_site(bb, site, method, kind, Vec::new());
+                let ev = self.event(site, Pos::Ret);
+                self.note_pts(ev, &[*obj]);
+                state.entry(*obj).or_default().insert(vec![ev]);
+            }
+            InstrRecord::Call(call) => {
+                let mut tokens = Vec::with_capacity(call.args.len() + 1);
+                tokens.push(match &call.recv {
+                    Some(pts) => type_token(&self.pta.objs, pts),
+                    None => Symbol::intern("-"),
+                });
+                for a in &call.args {
+                    tokens.push(type_token(&self.pta.objs, a));
+                }
+                self.note_site(bb, call.site, call.method, SiteKind::ApiCall, tokens);
+
+                let mut positions: Vec<(Pos, &[ObjId])> = Vec::new();
+                if let Some(r) = &call.recv {
+                    positions.push((Pos::Recv, r));
+                }
+                for (i, a) in call.args.iter().enumerate() {
+                    positions.push((Pos::Arg((i + 1) as u8), a));
+                }
+                positions.push((Pos::Ret, &call.ret));
+
+                for (pos, pts) in positions {
+                    if pts.is_empty() {
+                        continue;
+                    }
+                    let ev = self.event(call.site, pos);
+                    self.note_pts(ev, pts);
+                    for &obj in pts {
+                        append_event(state, obj, ev, self.opts, &mut self.graph.truncated);
+                    }
+                }
+            }
+            InstrRecord::Other => {}
+        }
+    }
+
+    /// Extracts the edge set from the final histories: all ordered pairs of
+    /// each history, kept only if consistently ordered within the object.
+    fn extract_edges(&mut self, finals: &State) {
+        let mut edges: HashMap<(EventId, EventId), u32> = HashMap::new();
+        for histories in finals.values() {
+            let mut fwd: HashMap<(EventId, EventId), u32> = HashMap::new();
+            for h in histories {
+                for i in 0..h.len() {
+                    for j in (i + 1)..h.len() {
+                        if h[i] == h[j] {
+                            continue;
+                        }
+                        let d = (j - i) as u32;
+                        fwd.entry((h[i], h[j]))
+                            .and_modify(|old| *old = (*old).min(d))
+                            .or_insert(d);
+                    }
+                }
+            }
+            for (&(a, b), &d) in &fwd {
+                // Drop pairs ordered inconsistently within this object.
+                if fwd.contains_key(&(b, a)) {
+                    continue;
+                }
+                edges
+                    .entry((a, b))
+                    .and_modify(|old| *old = (*old).min(d))
+                    .or_insert(d);
+            }
+        }
+        let n = self.graph.events.len();
+        self.graph.succs = vec![Vec::new(); n];
+        self.graph.preds = vec![Vec::new(); n];
+        for (&(a, b), &d) in &edges {
+            self.graph.succs[a.0 as usize].push(b);
+            self.graph.preds[b.0 as usize].push(a);
+            self.graph.dist.insert((a, b), d);
+        }
+        for v in &mut self.graph.succs {
+            v.sort_unstable();
+        }
+        for v in &mut self.graph.preds {
+            v.sort_unstable();
+        }
+    }
+}
+
+/// Appends `ev` to every history of `obj`, starting a new history if none
+/// exists. Histories at the length cap are frozen.
+fn append_event(state: &mut State, obj: ObjId, ev: EventId, opts: &GraphOptions, truncated: &mut bool) {
+    let histories = state.entry(obj).or_default();
+    if histories.is_empty() {
+        histories.insert(vec![ev]);
+        return;
+    }
+    let mut next = HistorySet::new();
+    for h in histories.iter() {
+        if h.len() >= opts.max_history_len {
+            *truncated = true;
+            next.insert(h.clone());
+        } else {
+            let mut h2 = h.clone();
+            h2.push(ev);
+            next.insert(h2);
+        }
+    }
+    *histories = next;
+}
+
+fn merge_into(slot: &mut Option<State>, state: State, opts: &GraphOptions, truncated: &mut bool) {
+    match slot {
+        None => *slot = Some(state),
+        Some(dest) => join_state(dest, &state, opts, truncated),
+    }
+}
+
+/// Joins two states via per-object set union, capping the history count.
+fn join_state(dest: &mut State, src: &State, opts: &GraphOptions, truncated: &mut bool) {
+    for (obj, hs) in src {
+        let slot = dest.entry(*obj).or_default();
+        for h in hs {
+            slot.insert(h.clone());
+        }
+        while slot.len() > opts.max_histories {
+            *truncated = true;
+            let last = slot.iter().next_back().cloned().expect("non-empty");
+            slot.remove(&last);
+        }
+    }
+}
+
+/// A coarse type token for γ features: the literal kind, allocated class,
+/// or API return class observed in a points-to set.
+fn type_token(pool: &ObjPool, pts: &[ObjId]) -> Symbol {
+    let mut token: Option<Symbol> = None;
+    for &o in pts {
+        let t = match &pool.get(o).kind {
+            ObjKind::Lit(l) => match l {
+                uspec_lang::Literal::Str(_) => Symbol::intern("str"),
+                uspec_lang::Literal::Int(_) => Symbol::intern("int"),
+                uspec_lang::Literal::Bool(_) => Symbol::intern("bool"),
+                uspec_lang::Literal::Null => Symbol::intern("null"),
+            },
+            ObjKind::New { class, .. } => *class,
+            ObjKind::ApiRet(m) => m.class,
+            ObjKind::Param { class, .. } => class.unwrap_or_else(|| Symbol::intern("?")),
+            ObjKind::Opaque | ObjKind::Ghost { .. } => Symbol::intern("?"),
+        };
+        match token {
+            None => token = Some(t),
+            Some(prev) if prev == t => {}
+            Some(_) => return Symbol::intern("?"),
+        }
+    }
+    token.unwrap_or_else(|| Symbol::intern("?"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> (Body, Pta, EventGraph) {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        let graph = build_event_graph(&body, &pta, &GraphOptions::default());
+        (body, pta, graph)
+    }
+
+    /// Finds the single event for `method` at `pos`.
+    fn ev(graph: &EventGraph, method: &str, pos: Pos) -> EventId {
+        let mut found = None;
+        for (site, info) in graph.sites() {
+            if info.method.method.as_str() == method {
+                if let Some(id) = graph.event_id(site, pos) {
+                    assert!(found.is_none(), "multiple {method} events");
+                    found = Some(id);
+                }
+            }
+        }
+        found.unwrap_or_else(|| panic!("no event {method}@{pos:?}"))
+    }
+
+    const FIG2: &str = r#"
+        fn main(someApi) {
+            map = new HashMap();
+            map.put("key", someApi.getFile());
+            name = map.get("key").getName();
+        }
+    "#;
+
+    #[test]
+    fn fig2_event_graph_structure() {
+        let (_, _, g) = graph_of(FIG2);
+        // The six abstract objects of Fig. 2 produce the events of Fig. 3.
+        let new_map = ev(&g, "<new>", Pos::Ret);
+        let put_recv = ev(&g, "put", Pos::Recv);
+        let get_recv = ev(&g, "get", Pos::Recv);
+        let put_arg2 = ev(&g, "put", Pos::Arg(2));
+        let get_file_ret = ev(&g, "getFile", Pos::Ret);
+        let get_ret = ev(&g, "get", Pos::Ret);
+        let get_name_recv = ev(&g, "getName", Pos::Recv);
+
+        // map: ⟨newMap,ret⟩ → ⟨put,0⟩ → ⟨get,0⟩.
+        assert!(g.has_edge(new_map, put_recv));
+        assert!(g.has_edge(new_map, get_recv));
+        assert!(g.has_edge(put_recv, get_recv));
+        // o1: ⟨getFile,ret⟩ → ⟨put,2⟩.
+        assert!(g.has_edge(get_file_ret, put_arg2));
+        // o2: ⟨get,ret⟩ → ⟨getName,0⟩.
+        assert!(g.has_edge(get_ret, get_name_recv));
+        // API-unaware: o1 and o2 are distinct, so no edge ⟨put,2⟩ → ⟨get,ret⟩.
+        assert!(!g.has_edge(put_arg2, get_ret));
+        assert!(!g.has_edge(get_file_ret, get_name_recv));
+    }
+
+    #[test]
+    fn alloc_sets_match_paper_example() {
+        let (_, _, g) = graph_of(FIG2);
+        let get_ret = ev(&g, "get", Pos::Ret);
+        let get_name_recv = ev(&g, "getName", Pos::Recv);
+        // allocG(e1) = {⟨get,ret⟩} = allocG(⟨get,ret⟩) (§3.3).
+        assert_eq!(g.alloc_set(get_name_recv), vec![get_ret]);
+        assert_eq!(g.alloc_set(get_ret), vec![get_ret]);
+        assert!(g.may_alias(get_name_recv, get_ret));
+    }
+
+    #[test]
+    fn vals_follow_section_5_1() {
+        let (_, _, g) = graph_of(FIG2);
+        let put_arg1 = ev(&g, "put", Pos::Arg(1));
+        let get_ret = ev(&g, "get", Pos::Ret);
+        assert_eq!(g.vals(put_arg1).len(), 1, "literal value \"key\"");
+        assert!(g.vals(get_ret).is_empty(), "valG(⟨m,ret⟩) = ∅ for API m");
+        let get_arg1 = ev(&g, "get", Pos::Arg(1));
+        assert!(
+            g.equal_args(
+                g.event(put_arg1).site,
+                Pos::Arg(1),
+                g.event(get_arg1).site,
+                Pos::Arg(1)
+            ),
+            "both keys are \"key\""
+        );
+    }
+
+    #[test]
+    fn same_receiver_detected() {
+        let (_, _, g) = graph_of(FIG2);
+        let put = ev(&g, "put", Pos::Recv);
+        let get = ev(&g, "get", Pos::Recv);
+        assert!(g.same_receiver(g.event(put).site, g.event(get).site));
+    }
+
+    #[test]
+    fn different_receivers_rejected() {
+        let (_, _, g) = graph_of(
+            r#"
+            fn main() {
+                m1 = new HashMap();
+                m2 = new HashMap();
+                m1.put("k", 1);
+                x = m2.get("k");
+            }
+            "#,
+        );
+        let put = ev(&g, "put", Pos::Recv);
+        let get = ev(&g, "get", Pos::Recv);
+        assert!(!g.same_receiver(g.event(put).site, g.event(get).site));
+    }
+
+    #[test]
+    fn branches_union_histories() {
+        let (_, _, g) = graph_of(
+            r#"
+            fn main(c, db) {
+                f = db.getFile("a");
+                if (c) { f.touch(); }
+                n = f.getName();
+            }
+            "#,
+        );
+        let ret = ev(&g, "getFile", Pos::Ret);
+        let touch = ev(&g, "touch", Pos::Recv);
+        let name = ev(&g, "getName", Pos::Recv);
+        assert!(g.has_edge(ret, touch));
+        assert!(g.has_edge(ret, name));
+        assert!(g.has_edge(touch, name), "consistent order on taken path");
+    }
+
+    #[test]
+    fn loops_do_not_self_edge() {
+        let (_, _, g) = graph_of(
+            r#"
+            fn main(c, db) {
+                f = db.getFile("a");
+                while (c) { f.touch(); }
+            }
+            "#,
+        );
+        let touch = ev(&g, "touch", Pos::Recv);
+        assert!(!g.has_edge(touch, touch));
+    }
+
+    #[test]
+    fn edge_distance_counts_history_steps() {
+        let (_, _, g) = graph_of(
+            r#"
+            fn main(db) {
+                f = db.getFile("a");
+                f.a();
+                f.b();
+                f.c();
+            }
+            "#,
+        );
+        let ret = ev(&g, "getFile", Pos::Ret);
+        let a = ev(&g, "a", Pos::Recv);
+        let c = ev(&g, "c", Pos::Recv);
+        assert_eq!(g.edge_distance(ret, a), Some(1));
+        assert_eq!(g.edge_distance(ret, c), Some(3));
+        assert_eq!(g.edge_distance(a, c), Some(2));
+    }
+
+    #[test]
+    fn transitive_closure_property() {
+        let (_, _, g) = graph_of(
+            r#"
+            fn main(db) {
+                f = db.getFile("a");
+                f.a();
+                f.b();
+            }
+            "#,
+        );
+        // For every pair of edges (x,y),(y,z) the edge (x,z) exists.
+        for (x, y, _) in g.edges().collect::<Vec<_>>() {
+            for &z in g.children(y) {
+                assert!(g.has_edge(x, z), "closure violated: {x:?}->{y:?}->{z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn guards_propagate_to_site_info() {
+        let (_, _, g) = graph_of(
+            r#"
+            fn main(c, db) {
+                if (c) { f = db.getFile("a"); }
+            }
+            "#,
+        );
+        let (site, info) = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "getFile")
+            .unwrap();
+        assert_eq!(info.guards.len(), 1);
+        assert!(g.event_id(site, Pos::Ret).is_some());
+    }
+
+    #[test]
+    fn type_tokens_capture_receiver_and_args() {
+        let (_, _, g) = graph_of(FIG2);
+        let (_, info) = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "put")
+            .unwrap();
+        assert_eq!(info.type_tokens.len(), 3);
+        assert_eq!(info.type_tokens[0].as_str(), "HashMap");
+        assert_eq!(info.type_tokens[1].as_str(), "str");
+    }
+}
+
+#[cfg(test)]
+mod equal_args_tests {
+    use super::*;
+    use crate::event::Pos;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, SpecDb};
+
+    #[test]
+    fn object_arguments_compare_equal_via_points_to() {
+        // ANTLR idiom: addChild(root, ch) then rulePostProcessing(root) —
+        // root is an API return (no value), but the same abstract object.
+        let src = r#"
+            fn main() {
+                ad = new Adaptor();
+                root = ad.nil();
+                ch = ad.create("tok");
+                ad.addChild(root, ch);
+                t = ad.rulePostProcessing(root);
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        let g = build_event_graph(&body, &pta, &GraphOptions::default());
+        let add = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "addChild")
+            .map(|(s, _)| s)
+            .unwrap();
+        let rule = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "rulePostProcessing")
+            .map(|(s, _)| s)
+            .unwrap();
+        assert!(g.equal_args(rule, Pos::Arg(1), add, Pos::Arg(1)), "same root object");
+        assert!(!g.equal_args(rule, Pos::Arg(1), add, Pos::Arg(2)), "root != child");
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::event::Pos;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{PtaOptions, SpecDb};
+
+    fn graph_with(src: &str, opts: &GraphOptions) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, opts)
+    }
+
+    fn ev(g: &EventGraph, method: &str, pos: Pos) -> EventId {
+        g.sites()
+            .find(|(_, i)| i.method.method.as_str() == method)
+            .and_then(|(s, _)| g.event_id(s, pos))
+            .unwrap_or_else(|| panic!("no event {method}@{pos:?}"))
+    }
+
+    #[test]
+    fn cyclic_loop_orders_drop_conflicting_edges() {
+        // Inside a loop the unrolled history is a,b,a,b: the events occur
+        // in *both* orders within the same history, so per §3.3 ("for all
+        // histories of o ... e1 occurs before e2") neither direction is a
+        // valid edge.
+        let g = graph_with(
+            r#"
+            fn main(db, c) {
+                f = db.getFile("x");
+                while (c) { f.a(); f.b(); }
+            }
+            "#,
+            &GraphOptions::default(),
+        );
+        let a = ev(&g, "a", Pos::Recv);
+        let b = ev(&g, "b", Pos::Recv);
+        assert!(!g.has_edge(a, b), "cyclically ordered pair dropped");
+        assert!(!g.has_edge(b, a), "cyclically ordered pair dropped");
+        // Both are still ordered after the allocation.
+        let ret = ev(&g, "getFile", Pos::Ret);
+        assert!(g.has_edge(ret, a));
+        assert!(g.has_edge(ret, b));
+    }
+
+    #[test]
+    fn distinct_branch_sites_keep_their_local_orders() {
+        // Two branches with opposite call orders contain *different* call
+        // sites (different syntactic statements), so each branch's order is
+        // consistent for its own events — no conflict arises.
+        let g = graph_with(
+            r#"
+            fn main(db, c) {
+                f = db.getFile("x");
+                if (c) { f.a(); f.b(); } else { f.b(); f.a(); }
+            }
+            "#,
+            &GraphOptions::default(),
+        );
+        let a_sites = g
+            .api_sites()
+            .filter(|(_, i)| i.method.method.as_str() == "a")
+            .count();
+        assert_eq!(a_sites, 2, "one `a` site per branch");
+    }
+
+    #[test]
+    fn history_count_cap_sets_truncated_flag() {
+        // 2^6 = 64 histories from six sequential branches exceeds the cap.
+        let mut src = String::from("fn main(db, c) {\n f = db.getFile(\"x\");\n");
+        for i in 0..6 {
+            src.push_str(&format!("if (c) {{ f.m{i}(); }}\n"));
+        }
+        src.push('}');
+        let tight = GraphOptions {
+            max_histories: 4,
+            ..GraphOptions::default()
+        };
+        let g = graph_with(&src, &tight);
+        assert!(g.is_truncated());
+        let loose = GraphOptions {
+            max_histories: 128,
+            ..GraphOptions::default()
+        };
+        let g2 = graph_with(&src, &loose);
+        assert!(!g2.is_truncated());
+    }
+
+    #[test]
+    fn history_length_cap_freezes_histories() {
+        let mut src = String::from("fn main(db) {\n f = db.getFile(\"x\");\n");
+        for i in 0..20 {
+            src.push_str(&format!("f.m{i}();\n"));
+        }
+        src.push('}');
+        let tight = GraphOptions {
+            max_history_len: 5,
+            ..GraphOptions::default()
+        };
+        let g = graph_with(&src, &tight);
+        assert!(g.is_truncated());
+        // Early orderings survive; late ones are frozen out.
+        let ret = ev(&g, "getFile", Pos::Ret);
+        let m0 = ev(&g, "m0", Pos::Recv);
+        assert!(g.has_edge(ret, m0));
+    }
+
+    #[test]
+    fn unreachable_code_contributes_no_events() {
+        let g = graph_with(
+            r#"
+            fn main(db) {
+                return;
+                f = db.getFile("x");
+            }
+            "#,
+            &GraphOptions::default(),
+        );
+        assert!(
+            g.sites().all(|(_, i)| i.method.method.as_str() != "getFile"),
+            "dead code must not produce events"
+        );
+    }
+
+    #[test]
+    fn unrolled_loop_copies_merge_into_one_site() {
+        let g = graph_with(
+            r#"
+            fn main(db, c) {
+                while (c) {
+                    f = db.getFile("x");
+                    f.use1();
+                }
+            }
+            "#,
+            &GraphOptions::default(),
+        );
+        // Exactly one getFile site despite two unrolled copies.
+        let n = g
+            .api_sites()
+            .filter(|(_, i)| i.method.method.as_str() == "getFile")
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn interprocedural_contexts_make_distinct_sites() {
+        let g = graph_with(
+            r#"
+            fn fetch(db) { return db.getFile("z"); }
+            fn main(db) {
+                a = fetch(db);
+                a.use1();
+                b = fetch(db);
+                b.use2();
+            }
+            "#,
+            &GraphOptions::default(),
+        );
+        let sites: Vec<_> = g
+            .api_sites()
+            .filter(|(_, i)| i.method.method.as_str() == "getFile")
+            .collect();
+        assert_eq!(sites.len(), 2, "two calling contexts = two call sites");
+        // Their returns do not alias (different fresh objects).
+        let e1 = g.event_id(sites[0].0, Pos::Ret).unwrap();
+        let e2 = g.event_id(sites[1].0, Pos::Ret).unwrap();
+        assert!(!g.may_alias(e1, e2));
+    }
+}

@@ -1,0 +1,164 @@
+//! Events and per-call-site metadata.
+
+use serde::{Deserialize, Serialize};
+use uspec_lang::mir::{CallSite, Guard, Literal};
+use uspec_lang::registry::MethodId;
+use uspec_lang::Symbol;
+
+/// An event position `x ∈ Pos = N ∪ {ret}` (§3.1): `Recv` is the paper's
+/// position 0, `Arg(i)` the i-th argument (1-based), `Ret` the return value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Pos {
+    /// The receiver (position 0).
+    Recv,
+    /// The `i`-th argument, `i ≥ 1`.
+    Arg(u8),
+    /// The returned object.
+    Ret,
+}
+
+impl Pos {
+    /// Numeric encoding used by the probabilistic model: 0 for receiver,
+    /// `i` for arguments, 255 for `ret`.
+    pub fn code(self) -> u8 {
+        match self {
+            Pos::Recv => 0,
+            Pos::Arg(i) => i,
+            Pos::Ret => u8::MAX,
+        }
+    }
+}
+
+impl std::fmt::Debug for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pos::Recv => write!(f, "0"),
+            Pos::Arg(i) => write!(f, "{i}"),
+            Pos::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An event `⟨m, x⟩`: the usage of an object at position `x` of call site
+/// `m` (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The call site `m` (allocation and literal sites use pseudo methods).
+    pub site: CallSite,
+    /// The position of the object in the call.
+    pub pos: Pos,
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{:?},{:?}⟩", self.site, self.pos)
+    }
+}
+
+/// Dense index of an event within one [`EventGraph`](crate::EventGraph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+impl std::fmt::Debug for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// What kind of call site an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// A real API method call.
+    ApiCall,
+    /// A `new T()` allocation (`⟨newT, ret⟩`).
+    Alloc,
+    /// A literal construction (`⟨lc_i, ret⟩`).
+    LitCtor,
+}
+
+/// Static information about one call site of the event graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SiteInfo {
+    /// The method identifier `id(m)`; allocations use `C.<new>/0` and
+    /// literal constructions `<lit>.str/0` etc.
+    pub method: MethodId,
+    /// Which kind of site this is.
+    pub kind: SiteKind,
+    /// Number of arguments at the site.
+    pub nargs: u8,
+    /// Control-flow guards dominating the site (for γ features).
+    pub guards: Vec<Guard>,
+    /// Coarse type tokens of receiver and arguments (for γ features):
+    /// element 0 is the receiver (or `-`), then one per argument.
+    pub type_tokens: Vec<Symbol>,
+}
+
+/// Pseudo method identifier for an allocation site of `class`.
+pub fn alloc_method(class: Symbol) -> MethodId {
+    MethodId {
+        class,
+        method: Symbol::intern("<new>"),
+        arity: 0,
+    }
+}
+
+/// Pseudo method identifier for a literal-construction site.
+pub fn lit_method(lit: Literal) -> MethodId {
+    let method = match lit {
+        Literal::Str(_) => "str",
+        Literal::Int(_) => "int",
+        Literal::Bool(_) => "bool",
+        Literal::Null => "null",
+    };
+    MethodId {
+        class: Symbol::intern("<lit>"),
+        method: Symbol::intern(method),
+        arity: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_codes_are_distinct() {
+        assert_eq!(Pos::Recv.code(), 0);
+        assert_eq!(Pos::Arg(1).code(), 1);
+        assert_eq!(Pos::Arg(7).code(), 7);
+        assert_eq!(Pos::Ret.code(), 255);
+    }
+
+    #[test]
+    fn pos_display_matches_paper() {
+        assert_eq!(Pos::Recv.to_string(), "0");
+        assert_eq!(Pos::Arg(2).to_string(), "2");
+        assert_eq!(Pos::Ret.to_string(), "ret");
+    }
+
+    #[test]
+    fn pseudo_methods() {
+        assert_eq!(
+            alloc_method(Symbol::intern("HashMap")).qualified(),
+            "HashMap.<new>/0"
+        );
+        assert_eq!(
+            lit_method(Literal::Str(Symbol::intern("k"))).qualified(),
+            "<lit>.str/0"
+        );
+        assert_eq!(lit_method(Literal::Int(3)).qualified(), "<lit>.int/0");
+    }
+
+    #[test]
+    fn pos_ordering() {
+        assert!(Pos::Recv < Pos::Arg(1));
+        assert!(Pos::Arg(1) < Pos::Arg(2));
+        assert!(Pos::Arg(200) < Pos::Ret);
+    }
+}

@@ -1,0 +1,391 @@
+//! The event graph `G_P = (V, E)` (§3.3).
+
+use std::collections::HashMap;
+use uspec_lang::mir::CallSite;
+use uspec_pta::{ObjId, Value};
+
+use crate::event::{Event, EventId, Pos, SiteInfo, SiteKind};
+
+/// The event graph of one program: nodes are events, edges encode the
+/// consistent ordering of events within abstract-object histories. By
+/// construction (all ordered pairs of every history are added) the edge set
+/// is transitively closed, as required by §3.3.
+#[derive(Clone, Debug, Default)]
+pub struct EventGraph {
+    pub(crate) events: Vec<Event>,
+    pub(crate) index: HashMap<Event, EventId>,
+    pub(crate) sites: HashMap<CallSite, SiteInfo>,
+    pub(crate) succs: Vec<Vec<EventId>>,
+    pub(crate) preds: Vec<Vec<EventId>>,
+    pub(crate) dist: HashMap<(EventId, EventId), u32>,
+    /// `val_G(e)` per event (§5.1).
+    pub(crate) vals: Vec<Vec<Value>>,
+    /// Observed points-to set per event.
+    pub(crate) pts: Vec<Vec<ObjId>>,
+    /// Whether history caps were hit during construction.
+    pub(crate) truncated: bool,
+}
+
+impl EventGraph {
+    /// Number of events (nodes).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of (directed, transitively-closed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether history caps were hit during construction (the graph may
+    /// then be missing some orderings).
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The event data for an id.
+    pub fn event(&self, id: EventId) -> Event {
+        self.events[id.0 as usize]
+    }
+
+    /// Looks up the id of `⟨site, pos⟩` if the event exists.
+    pub fn event_id(&self, site: CallSite, pos: Pos) -> Option<EventId> {
+        self.index.get(&Event { site, pos }).copied()
+    }
+
+    /// Iterates over all event ids.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> {
+        (0..self.events.len() as u32).map(EventId)
+    }
+
+    /// Static info of a call site.
+    pub fn site_info(&self, site: CallSite) -> Option<&SiteInfo> {
+        self.sites.get(&site)
+    }
+
+    /// Iterates over all call sites with their info.
+    pub fn sites(&self) -> impl Iterator<Item = (CallSite, &SiteInfo)> {
+        self.sites.iter().map(|(s, i)| (*s, i))
+    }
+
+    /// Iterates over API call sites only (excluding allocation and literal
+    /// pseudo-sites).
+    pub fn api_sites(&self) -> impl Iterator<Item = (CallSite, &SiteInfo)> {
+        self.sites().filter(|(_, i)| i.kind == SiteKind::ApiCall)
+    }
+
+    /// Whether the edge `(a, b)` is present.
+    pub fn has_edge(&self, a: EventId, b: EventId) -> bool {
+        self.dist.contains_key(&(a, b))
+    }
+
+    /// Minimum number of history steps between two events connected by an
+    /// edge.
+    pub fn edge_distance(&self, a: EventId, b: EventId) -> Option<u32> {
+        self.dist.get(&(a, b)).copied()
+    }
+
+    /// Direct successors (because `E` is transitively closed these are all
+    /// events after `e` on some object).
+    pub fn children(&self, e: EventId) -> &[EventId] {
+        &self.succs[e.0 as usize]
+    }
+
+    /// Direct predecessors; `parents_G(e)` of the paper.
+    pub fn parents(&self, e: EventId) -> &[EventId] {
+        &self.preds[e.0 as usize]
+    }
+
+    /// `alloc_G(e)` (§3.3): the allocation events of the object used at `e`
+    /// — parent-less `⟨m, ret⟩` events among `parents(e) ∪ {e}`.
+    pub fn alloc_set(&self, e: EventId) -> Vec<EventId> {
+        let mut out = Vec::new();
+        let is_alloc = |id: EventId| {
+            self.events[id.0 as usize].pos == Pos::Ret && self.preds[id.0 as usize].is_empty()
+        };
+        for &p in &self.preds[e.0 as usize] {
+            if is_alloc(p) {
+                out.push(p);
+            }
+        }
+        if is_alloc(e) {
+            out.push(e);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Graph-level may-alias (§3.3): `alloc_G(e1) ∩ alloc_G(e2) ≠ ∅`.
+    pub fn may_alias(&self, e1: EventId, e2: EventId) -> bool {
+        let a = self.alloc_set(e1);
+        let b = self.alloc_set(e2);
+        a.iter().any(|x| b.binary_search(x).is_ok())
+    }
+
+    /// `val_G(e)` (§5.1).
+    pub fn vals(&self, e: EventId) -> &[Value] {
+        &self.vals[e.0 as usize]
+    }
+
+    /// The abstract objects observed at the event.
+    pub fn pts(&self, e: EventId) -> &[ObjId] {
+        &self.pts[e.0 as usize]
+    }
+
+    /// `equal_G(m1, x1, m2, x2)` (§5.1): the argument value sets intersect.
+    ///
+    /// We additionally treat arguments as equal when their observed
+    /// points-to sets intersect: the same abstract object is trivially "the
+    /// same object or literal value" even when it carries no known value
+    /// (e.g. an API-returned object passed to both calls, as in the ANTLR
+    /// `addChild`/`rulePostProcessing` idiom of Tab. 3).
+    pub fn equal_args(&self, m1: CallSite, x1: Pos, m2: CallSite, x2: Pos) -> bool {
+        let (Some(e1), Some(e2)) = (self.event_id(m1, x1), self.event_id(m2, x2)) else {
+            return false;
+        };
+        let v1 = self.vals(e1);
+        let v2 = self.vals(e2);
+        if v1.iter().any(|v| v2.contains(v)) {
+            return true;
+        }
+        let p1 = self.pts(e1);
+        let p2 = self.pts(e2);
+        p1.iter().any(|o| p2.binary_search(o).is_ok())
+    }
+
+    /// Same-receiver check, condition (C2) of §5.1: the receiver events'
+    /// observed points-to sets are equal and non-empty.
+    pub fn same_receiver(&self, m1: CallSite, m2: CallSite) -> bool {
+        let (Some(e1), Some(e2)) = (
+            self.event_id(m1, Pos::Recv),
+            self.event_id(m2, Pos::Recv),
+        ) else {
+            return false;
+        };
+        let p1 = self.pts(e1);
+        !p1.is_empty() && p1 == self.pts(e2)
+    }
+
+    /// All edges as `(from, to, distance)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EventId, EventId, u32)> + '_ {
+        self.dist.iter().map(|(&(a, b), &d)| (a, b, d))
+    }
+}
+
+impl EventGraph {
+    /// Renders the event graph in Graphviz DOT format: one box per call
+    /// site containing its events (as in Fig. 3 of the paper), solid edges
+    /// for history orderings.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph event_graph {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n");
+        // Group events by call site into clusters.
+        let mut sites: Vec<CallSite> = self.sites.keys().copied().collect();
+        sites.sort_by_key(|s| (s.node, s.ctx));
+        for (i, site) in sites.iter().enumerate() {
+            let info = &self.sites[site];
+            let _ = writeln!(out, "  subgraph cluster_{i} {{");
+            let _ = writeln!(out, "    label=\"{}\"; style=rounded;", info.method);
+            for e in self.event_ids() {
+                let ev = self.event(e);
+                if ev.site == *site {
+                    let _ = writeln!(
+                        out,
+                        "    e{} [label=\"⟨{},{}⟩\"];",
+                        e.0, info.method.method, ev.pos
+                    );
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        let mut edges: Vec<(EventId, EventId, u32)> = self.edges().collect();
+        edges.sort();
+        for (a, b, d) in edges {
+            let style = if d == 1 { "solid" } else { "dashed" };
+            let _ = writeln!(out, "  e{} -> e{} [style={style}];", a.0, b.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use crate::build::{build_event_graph, GraphOptions};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let program = parse("fn main(db) { f = db.getFile(\"a\"); n = f.getName(); }").unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        let g = build_event_graph(&body, &pta, &GraphOptions::default());
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph event_graph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("getFile"));
+        assert!(dot.matches(" -> ").count() >= g.num_edges());
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}
+
+impl EventGraph {
+    /// The paper's `ctx_{G,k}(e)` (§4.1): all paths of length at most `k`
+    /// that contain `e`, as explicit event sequences. The length-1 path
+    /// `(e)` is always included. Because `E` is transitively closed the set
+    /// can be large; enumeration stops after `cap` paths.
+    pub fn context_paths(&self, e: EventId, k: usize, cap: usize) -> Vec<Vec<EventId>> {
+        let mut out = vec![vec![e]];
+        if k < 2 {
+            return out;
+        }
+        // A path containing e = (backward extension) ++ [e] ++ (forward
+        // extension) with total length ≤ k. Enumerate backward prefixes and
+        // forward suffixes up to the length budget.
+        let mut prefixes: Vec<Vec<EventId>> = vec![vec![]];
+        let mut frontier = vec![vec![]];
+        for _ in 1..k {
+            let mut next = Vec::new();
+            for path in &frontier {
+                let head = path.first().copied().unwrap_or(e);
+                for &p in self.parents(head) {
+                    let mut np = vec![p];
+                    np.extend_from_slice(path);
+                    next.push(np);
+                }
+            }
+            prefixes.extend(next.iter().cloned());
+            frontier = next;
+            if prefixes.len() > cap {
+                break;
+            }
+        }
+        let mut suffixes: Vec<Vec<EventId>> = vec![vec![]];
+        let mut frontier = vec![vec![]];
+        for _ in 1..k {
+            let mut next = Vec::new();
+            for path in &frontier {
+                let tail = path.last().copied().unwrap_or(e);
+                for &c in self.children(tail) {
+                    let mut np = path.clone();
+                    np.push(c);
+                    next.push(np);
+                }
+            }
+            suffixes.extend(next.iter().cloned());
+            frontier = next;
+            if suffixes.len() > cap {
+                break;
+            }
+        }
+        for pre in &prefixes {
+            for suf in &suffixes {
+                if pre.is_empty() && suf.is_empty() {
+                    continue; // already added as the length-1 path
+                }
+                if pre.len() + 1 + suf.len() > k {
+                    continue;
+                }
+                let mut path = pre.clone();
+                path.push(e);
+                path.extend_from_slice(suf);
+                out.push(path);
+                if out.len() >= cap {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod ctx_tests {
+    use crate::build::{build_event_graph, GraphOptions};
+    use crate::event::Pos;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph() -> super::EventGraph {
+        let program = parse(
+            r#"
+            fn main(db) {
+                f = db.getFile("a");
+                f.a();
+                f.b();
+            }
+            "#,
+        )
+        .unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    #[test]
+    fn paper_example_ctx2_of_get_name_style_event() {
+        // For the last event in a chain, ctx_{G,2} contains the length-1
+        // path plus one (parent, e) path per parent.
+        let g = graph();
+        let b = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "b")
+            .and_then(|(s, _)| g.event_id(s, Pos::Recv))
+            .unwrap();
+        let paths = g.context_paths(b, 2, 100);
+        assert!(paths.contains(&vec![b]), "length-1 path present");
+        for p in &paths {
+            assert!(p.len() <= 2);
+            assert!(p.contains(&b), "every path contains the anchor");
+            if p.len() == 2 {
+                assert!(g.has_edge(p[0], p[1]), "paths follow edges");
+            }
+        }
+        // parents(b) = {getFile-ret, a-recv} → 2 incoming paths + (b).
+        assert_eq!(paths.len(), 1 + g.parents(b).len());
+    }
+
+    #[test]
+    fn ctx3_contains_longer_paths() {
+        let g = graph();
+        let ret = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "getFile")
+            .and_then(|(s, _)| g.event_id(s, Pos::Ret))
+            .unwrap();
+        let k2 = g.context_paths(ret, 2, 100).len();
+        let k3 = g.context_paths(ret, 3, 100).len();
+        assert!(k3 > k2, "k=3 adds paths: {k2} vs {k3}");
+        for p in g.context_paths(ret, 3, 100) {
+            assert!(p.len() <= 3);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn cap_bounds_enumeration() {
+        let g = graph();
+        let ret = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "getFile")
+            .and_then(|(s, _)| g.event_id(s, Pos::Ret))
+            .unwrap();
+        assert!(g.context_paths(ret, 4, 3).len() <= 3);
+    }
+}

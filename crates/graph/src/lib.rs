@@ -1,0 +1,28 @@
+//! # uspec-graph
+//!
+//! Events, abstract histories and event graphs — §3 of the paper.
+//!
+//! An *event* `⟨m, x⟩` records that an object was used at position `x`
+//! (receiver, argument, or return) of call site `m`. The *abstract history*
+//! of an abstract object is the set of its event sequences; the *event
+//! graph* connects events that are consistently ordered within an object's
+//! histories, forming a transitively-closed DAG whose parent-less `ret`
+//! events are allocation events. Event graphs are the language-independent
+//! representation everything downstream (the probabilistic model, candidate
+//! extraction, scoring) operates on.
+//!
+//! Construction consumes the instruction records of a converged
+//! [`uspec_pta::Pta`] run, so the graph reflects exactly the points-to
+//! assumptions of that run: the API-unaware baseline yields the graphs used
+//! for learning, a spec-augmented run yields graphs with merged histories
+//! (dashed edges of Fig. 3).
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod event;
+pub mod graph;
+
+pub use build::{build_event_graph, GraphOptions};
+pub use event::{alloc_method, lit_method, Event, EventId, Pos, SiteInfo, SiteKind};
+pub use graph::EventGraph;

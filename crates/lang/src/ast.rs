@@ -1,0 +1,320 @@
+//! Abstract syntax tree for the mini object-oriented language.
+//!
+//! The language is deliberately small but expressive enough to encode the
+//! API-usage idioms the paper learns from: allocations, literals, chained
+//! method calls on API objects, user-defined functions and classes, field
+//! accesses, branching and loops.
+//!
+//! Grammar sketch (see [`crate::parser`] for the implementation):
+//!
+//! ```text
+//! program   := (classDecl | funcDecl)*
+//! classDecl := "class" IDENT "{" funcDecl* "}"
+//! funcDecl  := "fn" IDENT "(" param ("," param)* ")" block
+//! param     := IDENT (":" dottedName)?
+//! block     := "{" stmt* "}"
+//! stmt      := "let"? target "=" expr ";"
+//!            | expr ";"
+//!            | "if" "(" expr ")" block ("else" block)?
+//!            | "while" "(" expr ")" block
+//!            | "return" expr? ";"
+//! target    := IDENT ("." IDENT)?
+//! expr      := cmp
+//! cmp       := unary (("==" | "!=") unary)?
+//! unary     := "!" unary | postfix
+//! postfix   := atom ("." IDENT ("(" args ")")?)*
+//! atom      := "new" dottedName "(" args ")" | literal | IDENT | "(" expr ")"
+//! ```
+
+use crate::span::Span;
+use crate::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// Uniquely identifies an AST node within one [`Program`].
+///
+/// Node ids double as *call-site identifiers*: every method call, allocation
+/// and literal keeps its id when loops are unrolled or functions are inlined,
+/// so all copies of a statement refer to the same call site, exactly as the
+/// paper's single-loop-unrolling treats duplicated code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A parsed source file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Program {
+    /// User-defined classes.
+    pub classes: Vec<ClassDecl>,
+    /// Free functions (entry points and helpers).
+    pub funcs: Vec<FuncDecl>,
+    /// Number of node ids handed out; fresh ids for synthesized nodes start
+    /// here.
+    pub next_node_id: u32,
+}
+
+impl Program {
+    /// Looks up a free function by name.
+    pub fn func(&self, name: Symbol) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a user class by (simple) name.
+    pub fn class(&self, name: Symbol) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a method `name` on user class `class`.
+    pub fn method(&self, class: Symbol, name: Symbol) -> Option<&FuncDecl> {
+        self.class(class)
+            .and_then(|c| c.methods.iter().find(|m| m.name == name))
+    }
+
+    /// Iterates over every function body in the program (free functions and
+    /// methods).
+    pub fn all_funcs(&self) -> impl Iterator<Item = &FuncDecl> {
+        self.funcs
+            .iter()
+            .chain(self.classes.iter().flat_map(|c| c.methods.iter()))
+    }
+}
+
+/// A user-defined class containing methods.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassDecl {
+    /// Simple class name.
+    pub name: Symbol,
+    /// Methods; the receiver is the implicit variable `self`.
+    pub methods: Vec<FuncDecl>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function or method declaration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: Symbol,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function parameter, optionally annotated with an API class type.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: Symbol,
+    /// Optional dotted type annotation, e.g. `db: sql.Database`.
+    pub ty: Option<Symbol>,
+}
+
+/// A `{ ... }` sequence of statements.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Stmt {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Statement payload.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement payloads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// `target = expr;` (with optional `let`, which is cosmetic).
+    Assign {
+        /// Assignment destination.
+        target: AssignTarget,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// A bare expression statement, e.g. `map.put(k, v);`.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+}
+
+/// Left-hand side of an assignment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum AssignTarget {
+    /// Local variable.
+    Var(Symbol),
+    /// `base.field` store on a user object.
+    Field {
+        /// Object whose field is written.
+        base: Symbol,
+        /// Field name.
+        field: Symbol,
+    },
+}
+
+/// An expression.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Expr {
+    /// Unique node id; serves as call-site/allocation-site id.
+    pub id: NodeId,
+    /// Expression payload.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression payloads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ExprKind {
+    /// A dotted name `a.b.c` whose interpretation (variable, field chain, or
+    /// class prefix) is decided during lowering.
+    Path(Vec<Symbol>),
+    /// String literal.
+    Str(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `new C(args)`.
+    New {
+        /// Dotted class name.
+        class: Symbol,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+    },
+    /// A call, either `recvExpr.m(args)` or `a.b.C.m(args)`.
+    Call {
+        /// Who is being called.
+        callee: Callee,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Field read on a non-path base expression, e.g. `f().x`.
+    FieldAccess {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: Symbol,
+    },
+    /// `lhs == rhs` or `lhs != rhs`.
+    Cmp {
+        /// Which comparison.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `!expr`.
+    Not(Box<Expr>),
+}
+
+/// How a call names its target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Callee {
+    /// `expr.m(..)` where `expr` is not a bare dotted path.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: Symbol,
+    },
+    /// `seg1.seg2...m(..)`: the prefix is a local variable plus field chain,
+    /// or a (possibly dotted) class name; lowering decides.
+    Path(Vec<Symbol>),
+    /// `f(..)` free user function call.
+    Free(Symbol),
+}
+
+/// Comparison operators usable in conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl Expr {
+    /// Walks this expression and all sub-expressions, applying `f` to each.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::New { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                if let Callee::Method { recv, .. } = callee {
+                    recv.walk(f);
+                }
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::FieldAccess { base, .. } => base.walk(f),
+            ExprKind::Cmp { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Not(inner) => inner.walk(f),
+            ExprKind::Path(_)
+            | ExprKind::Str(_)
+            | ExprKind::Int(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Null => {}
+        }
+    }
+}
+
+impl Block {
+    /// Walks every statement in the block and nested blocks.
+    pub fn walk_stmts(&self, f: &mut impl FnMut(&Stmt)) {
+        for stmt in &self.stmts {
+            f(stmt);
+            match &stmt.kind {
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    then_blk.walk_stmts(f);
+                    if let Some(e) = else_blk {
+                        e.walk_stmts(f);
+                    }
+                }
+                StmtKind::While { body, .. } => body.walk_stmts(f),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Frontend error types.
+
+use crate::span::Span;
+
+/// An error produced while lexing, parsing or lowering a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// What went wrong.
+    pub kind: LangErrorKind,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+/// The category of a [`LangError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LangErrorKind {
+    /// The lexer met a character it does not understand.
+    UnexpectedChar(char),
+    /// A string literal ran to end of input without a closing quote.
+    UnterminatedString,
+    /// An integer literal did not fit in `i64`.
+    IntOutOfRange,
+    /// The parser expected one thing and found another.
+    UnexpectedToken {
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found.
+        found: String,
+    },
+    /// A function was defined twice with the same name (and class).
+    DuplicateFunction(String),
+    /// A class was defined twice.
+    DuplicateClass(String),
+    /// A variable was read before any assignment.
+    UnboundVariable(String),
+    /// `return` with a value appeared outside a function body.
+    MisplacedReturn,
+    /// A call had an argument/parameter count mismatch against a known user
+    /// function.
+    ArityMismatch {
+        /// Callee name.
+        callee: String,
+        /// Number of parameters the callee declares.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+}
+
+impl LangError {
+    /// Convenience constructor.
+    pub fn new(kind: LangErrorKind, span: Span) -> LangError {
+        LangError { kind, span }
+    }
+
+    /// Renders the error with the line/column computed from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{line}:{col}: {self}")
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            LangErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            LangErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            LangErrorKind::IntOutOfRange => write!(f, "integer literal out of range"),
+            LangErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            LangErrorKind::DuplicateFunction(name) => {
+                write!(f, "function `{name}` defined more than once")
+            }
+            LangErrorKind::DuplicateClass(name) => {
+                write!(f, "class `{name}` defined more than once")
+            }
+            LangErrorKind::UnboundVariable(name) => {
+                write!(f, "variable `{name}` used before assignment")
+            }
+            LangErrorKind::MisplacedReturn => write!(f, "`return` outside of a function"),
+            LangErrorKind::ArityMismatch {
+                callee,
+                expected,
+                found,
+            } => write!(
+                f,
+                "call to `{callee}` supplies {found} arguments but it declares {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_position() {
+        let err = LangError::new(LangErrorKind::UnterminatedString, Span::new(3, 4));
+        let rendered = err.render("ab\ncd");
+        assert!(rendered.starts_with("2:1:"), "got {rendered}");
+        assert!(rendered.contains("unterminated"));
+    }
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let err = LangError::new(
+            LangErrorKind::UnexpectedToken {
+                expected: "`;`".into(),
+                found: "`}`".into(),
+            },
+            Span::dummy(),
+        );
+        let msg = err.to_string();
+        assert!(msg.starts_with("expected"));
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,145 @@
+//! Global string interner.
+//!
+//! Method identifiers, class names and literal strings must be comparable
+//! *across* programs: specification learning aggregates candidate matches
+//! over thousands of source files. A process-wide interner gives every
+//! distinct string a stable [`Symbol`] that is `Copy`, hashable and cheap to
+//! compare, regardless of which file introduced it.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Symbols are equal iff the underlying strings are equal, and remain valid
+/// for the lifetime of the process.
+///
+/// # Examples
+///
+/// ```
+/// use uspec_lang::Symbol;
+/// let a = Symbol::intern("java.util.HashMap");
+/// let b = Symbol::intern("java.util.HashMap");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "java.util.HashMap");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its stable symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut inner = interner().lock().expect("interner poisoned");
+        if let Some(&id) = inner.map.get(s) {
+            return Symbol(id);
+        }
+        // Leaking is intentional: the interner is append-only and process
+        // wide, so every distinct string is leaked exactly once.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = inner.strings.len() as u32;
+        inner.strings.push(leaked);
+        inner.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let inner = interner().lock().expect("interner poisoned");
+        inner.strings[self.0 as usize]
+    }
+
+    /// Raw index of this symbol in the interner, useful for dense tables.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Symbol, D::Error> {
+        let s = String::deserialize(de)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        let c = Symbol::intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "foo");
+        assert_eq!(c.as_str(), "bar");
+    }
+
+    #[test]
+    fn symbols_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let set: HashSet<Symbol> = ["x", "y", "x"].iter().map(|s| Symbol::intern(s)).collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_contents() {
+        let s = Symbol::intern("a.b.C.d/2");
+        assert_eq!(format!("{s}"), "a.b.C.d/2");
+        assert_eq!(format!("{s:?}"), "\"a.b.C.d/2\"");
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let e = Symbol::intern("");
+        assert_eq!(e.as_str(), "");
+    }
+
+    #[test]
+    fn many_symbols_stay_distinct() {
+        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("sym{i}"))).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("sym{i}"));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Hand-written lexer for the mini object-oriented language.
+
+use crate::error::{LangError, LangErrorKind};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use crate::Symbol;
+
+/// Tokenizes `src` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] for unknown characters, unterminated strings and
+/// out-of-range integer literals.
+///
+/// # Examples
+///
+/// ```
+/// # use uspec_lang::lexer::lex;
+/// let tokens = lex("x = map.get(\"k\");")?;
+/// assert_eq!(tokens.len(), 10); // 9 tokens + Eof
+/// # Ok::<(), uspec_lang::LangError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'"' => self.string(start)?,
+                b'0'..=b'9' => self.number(start)?,
+                b'-' if matches!(self.peek(1), Some(b'0'..=b'9')) => {
+                    self.pos += 1;
+                    self.number(start)?;
+                }
+                _ if b.is_ascii_alphabetic() || b == b'_' => self.ident(start),
+                b'(' => self.punct(TokenKind::LParen),
+                b')' => self.punct(TokenKind::RParen),
+                b'{' => self.punct(TokenKind::LBrace),
+                b'}' => self.punct(TokenKind::RBrace),
+                b',' => self.punct(TokenKind::Comma),
+                b';' => self.punct(TokenKind::Semi),
+                b'.' => self.punct(TokenKind::Dot),
+                b':' => self.punct(TokenKind::Colon),
+                b'=' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::EqEq, start);
+                    } else {
+                        self.punct(TokenKind::Eq);
+                    }
+                }
+                b'!' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        self.punct(TokenKind::Bang);
+                    }
+                }
+                _ => {
+                    let c = self.src[self.pos..].chars().next().unwrap_or('\u{FFFD}');
+                    return Err(LangError::new(
+                        LangErrorKind::UnexpectedChar(c),
+                        Span::new(start as u32, (start + c.len_utf8()) as u32),
+                    ));
+                }
+            }
+        }
+        let end = self.bytes.len() as u32;
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn punct(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+
+    fn string(&mut self, start: usize) -> Result<(), LangError> {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None | Some(b'\n') => {
+                    return Err(LangError::new(
+                        LangErrorKind::UnterminatedString,
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = match self.bytes.get(self.pos) {
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        _ => {
+                            return Err(LangError::new(
+                                LangErrorKind::UnterminatedString,
+                                Span::new(start as u32, self.pos as u32),
+                            ));
+                        }
+                    };
+                    value.push(escaped);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.src[self.pos..].chars().next().expect("valid utf8");
+                    value.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        self.push(TokenKind::Str(Symbol::intern(&value)), start);
+        Ok(())
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), LangError> {
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let value: i64 = text.parse().map_err(|_| {
+            LangError::new(
+                LangErrorKind::IntOutOfRange,
+                Span::new(start as u32, self.pos as u32),
+            )
+        })?;
+        self.push(TokenKind::Int(value), start);
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind = match text {
+            "class" => TokenKind::KwClass,
+            "fn" => TokenKind::KwFn,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            "new" => TokenKind::KwNew,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "null" => TokenKind::KwNull,
+            "let" => TokenKind::KwLet,
+            _ => TokenKind::Ident(Symbol::intern(text)),
+        };
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let ks = kinds("x = m.get(\"k\");");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident(Symbol::intern("x")),
+                TokenKind::Eq,
+                TokenKind::Ident(Symbol::intern("m")),
+                TokenKind::Dot,
+                TokenKind::Ident(Symbol::intern("get")),
+                TokenKind::LParen,
+                TokenKind::Str(Symbol::intern("k")),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_comments() {
+        let ks = kinds("// hello\nif while fn class new return else true false null let");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwIf,
+                TokenKind::KwWhile,
+                TokenKind::KwFn,
+                TokenKind::KwClass,
+                TokenKind::KwNew,
+                TokenKind::KwReturn,
+                TokenKind::KwElse,
+                TokenKind::KwTrue,
+                TokenKind::KwFalse,
+                TokenKind::KwNull,
+                TokenKind::KwLet,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_including_negative() {
+        let ks = kinds("42 -17");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Int(42), TokenKind::Int(-17), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let ks = kinds("a == b != !c");
+        assert!(ks.contains(&TokenKind::EqEq));
+        assert!(ks.contains(&TokenKind::NotEq));
+        assert!(ks.contains(&TokenKind::Bang));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ks = kinds(r#""a\nb\"c""#);
+        assert_eq!(ks[0], TokenKind::Str(Symbol::intern("a\nb\"c")));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("\"abc").unwrap_err();
+        assert_eq!(err.kind, LangErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let err = lex("a # b").unwrap_err();
+        assert!(matches!(err.kind, LangErrorKind::UnexpectedChar('#')));
+    }
+
+    #[test]
+    fn int_out_of_range_is_error() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert_eq!(err.kind, LangErrorKind::IntOutOfRange);
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span.text("ab cd"), "ab");
+        assert_eq!(toks[1].span.text("ab cd"), "cd");
+    }
+}

@@ -1,0 +1,57 @@
+//! # uspec-lang
+//!
+//! Frontend for the mini object-oriented language used throughout the USpec
+//! reproduction (PLDI'19, *Unsupervised Learning of API Aliasing
+//! Specifications*).
+//!
+//! The paper analyzes millions of Java and Python files; its learning
+//! pipeline, however, only consumes *event graphs*, a language-independent
+//! program abstraction. This crate provides the substitute frontend: a small
+//! language rich enough to express every API-usage idiom the paper exploits
+//! (allocations, literals, chained API calls, user functions/classes, field
+//! accesses, branches, loops), together with:
+//!
+//! * [`lexer`] / [`parser`] — text to [`ast`],
+//! * [`registry`] — the classpath-like table of external API signatures,
+//! * [`lower`] — resolution, local type inference, single loop unrolling and
+//!   bounded inlining into acyclic [`mir::Body`] CFGs.
+//!
+//! ## Example
+//!
+//! ```
+//! use uspec_lang::{parser::parse, lower::{lower_program, LowerOptions}, registry::ApiTable};
+//!
+//! let program = parse(r#"
+//!     fn main(db: sql.Database) {
+//!         map = new java.util.HashMap();
+//!         map.put("key", db.getFile("a"));
+//!         name = map.get("key").getName();
+//!     }
+//! "#)?;
+//! let bodies = lower_program(&program, &ApiTable::new(), &LowerOptions::default())?;
+//! assert_eq!(bodies.len(), 1);
+//! # Ok::<(), uspec_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod intern;
+pub mod lexer;
+pub mod lower;
+pub mod mir;
+pub mod parser;
+pub mod pretty;
+pub mod registry;
+pub mod span;
+pub mod token;
+
+pub use ast::{NodeId, Program};
+pub use error::{LangError, LangErrorKind};
+pub use intern::Symbol;
+pub use lower::{lower_entry, lower_program, LowerOptions};
+pub use mir::{Body, CallSite, Instr, Literal, Var};
+pub use parser::parse;
+pub use registry::{ApiClassBuilder, ApiClassSig, ApiMethodSig, ApiTable, MethodId, VarType};
+pub use span::Span;

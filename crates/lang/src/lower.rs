@@ -1,0 +1,1177 @@
+//! Lowering from the AST to acyclic [`Body`] CFGs.
+//!
+//! Lowering performs, in one structured pass:
+//!
+//! * **Name resolution** — dotted paths become variable/field chains or
+//!   static class references, using scope information plus the
+//!   [`ApiTable`].
+//! * **Flow-sensitive local type inference** — receiver types determine the
+//!   fully-qualified [`MethodId`] of each API call site.
+//! * **Single loop unrolling** — `while (c) B` becomes
+//!   `if (c) { B if (c) { B } }`, with both copies of `B` sharing call-site
+//!   ids (§3.2 of the paper).
+//! * **Bounded inlining of user functions/methods** — materializing calling
+//!   contexts directly in the IR; this is what makes the subsequent
+//!   points-to analysis context-sensitive. Depth 0 yields the
+//!   intraprocedural analysis used as an ablation in §7.1.
+
+use crate::ast::*;
+use crate::error::{LangError, LangErrorKind};
+use crate::mir::*;
+use crate::registry::{ApiTable, MethodId, VarType};
+use crate::span::Span;
+use crate::Symbol;
+use std::collections::HashMap;
+
+/// Options controlling the lowering.
+#[derive(Clone, Debug)]
+pub struct LowerOptions {
+    /// Maximum user-call inlining depth. `0` disables inlining (the
+    /// intraprocedural ablation of §7.1).
+    pub inline_depth: usize,
+}
+
+impl Default for LowerOptions {
+    fn default() -> LowerOptions {
+        LowerOptions { inline_depth: 2 }
+    }
+}
+
+/// Lowers every free function of `program` into its own acyclic [`Body`].
+///
+/// # Errors
+///
+/// Returns an error for unbound variables, arity mismatches on user calls
+/// and other resolution failures.
+///
+/// # Examples
+///
+/// ```
+/// # use uspec_lang::{parser::parse, lower::{lower_program, LowerOptions}, registry::ApiTable};
+/// let program = parse("fn main() { m = new java.util.HashMap(); m.put(\"k\", 1); }")?;
+/// let bodies = lower_program(&program, &ApiTable::new(), &LowerOptions::default())?;
+/// assert_eq!(bodies.len(), 1);
+/// assert_eq!(bodies[0].num_api_calls(), 1);
+/// # Ok::<(), uspec_lang::LangError>(())
+/// ```
+pub fn lower_program(
+    program: &Program,
+    table: &ApiTable,
+    opts: &LowerOptions,
+) -> Result<Vec<Body>, LangError> {
+    program
+        .funcs
+        .iter()
+        .map(|f| lower_entry(program, table, f, opts))
+        .collect()
+}
+
+/// Lowers a single entry function.
+///
+/// # Errors
+///
+/// See [`lower_program`].
+pub fn lower_entry(
+    program: &Program,
+    table: &ApiTable,
+    func: &FuncDecl,
+    opts: &LowerOptions,
+) -> Result<Body, LangError> {
+    let mut lw = Lowerer {
+        program,
+        table,
+        opts,
+        blocks: Vec::new(),
+        vars: Vec::new(),
+        types: HashMap::new(),
+        ctxs: vec![Vec::new()],
+        ctx_map: HashMap::new(),
+        cur_ctx: CtxId(0),
+        cur: BlockId(0),
+        guard_stack: Vec::new(),
+        active: Vec::new(),
+    };
+    lw.ctx_map.insert(Vec::new(), CtxId(0));
+    lw.blocks.push(BasicBlock {
+        instrs: Vec::new(),
+        term: Terminator::Return,
+        guards: Vec::new(),
+    });
+
+    let mut inst = Instance::new(&mut lw, None);
+    let mut params = Vec::new();
+    let mut param_types = Vec::new();
+    for p in &func.params {
+        let ty = match p.ty {
+            Some(t) => {
+                if program.class(t).is_some() {
+                    VarType::User(t)
+                } else {
+                    VarType::Api(t)
+                }
+            }
+            None => VarType::Unknown,
+        };
+        let var = inst.declare(&mut lw, p.name, ty);
+        params.push(var);
+        param_types.push(ty);
+    }
+    lw.active.push(entry_key(func.name));
+    lw.lower_block(&func.body, &mut inst)?;
+    lw.active.pop();
+    // Patch early returns to flow to a final exit block.
+    if !inst.exit_pending.is_empty() {
+        let exit = lw.start_block();
+        for bb in std::mem::take(&mut inst.exit_pending) {
+            lw.blocks[bb.0 as usize].term = Terminator::Goto(exit);
+        }
+    }
+    lw.blocks[lw.cur.0 as usize].term = Terminator::Return;
+
+    Ok(Body {
+        func: func.name,
+        blocks: lw.blocks,
+        vars: lw.vars,
+        ctxs: lw.ctxs,
+        params,
+        param_types,
+    })
+}
+
+fn entry_key(name: Symbol) -> Symbol {
+    name
+}
+
+/// Per-function-instance lowering state (one per inlined activation).
+struct Instance {
+    scope: HashMap<Symbol, Var>,
+    ret_var: Var,
+    ret_ty: VarType,
+    /// Blocks whose terminator must be patched to the instance exit block.
+    exit_pending: Vec<BlockId>,
+}
+
+impl Instance {
+    fn new(lw: &mut Lowerer<'_>, ret_name: Option<Symbol>) -> Instance {
+        let ret_var = lw.fresh_var(ret_name, VarType::Unknown);
+        Instance {
+            scope: HashMap::new(),
+            ret_var,
+            ret_ty: VarType::Null,
+            exit_pending: Vec::new(),
+        }
+    }
+
+    /// Returns the slot for `name`, creating it on first use.
+    fn declare(&mut self, lw: &mut Lowerer<'_>, name: Symbol, ty: VarType) -> Var {
+        match self.scope.get(&name) {
+            Some(&v) => {
+                lw.set_type(v, ty);
+                v
+            }
+            None => {
+                let v = lw.fresh_var(Some(name), ty);
+                self.scope.insert(name, v);
+                v
+            }
+        }
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<Var> {
+        self.scope.get(&name).copied()
+    }
+}
+
+struct Lowerer<'a> {
+    program: &'a Program,
+    table: &'a ApiTable,
+    opts: &'a LowerOptions,
+    blocks: Vec<BasicBlock>,
+    cur: BlockId,
+    vars: Vec<VarInfo>,
+    /// Flow-sensitive type environment (current types of variables).
+    types: HashMap<Var, VarType>,
+    ctxs: Vec<Vec<NodeId>>,
+    ctx_map: HashMap<Vec<NodeId>, CtxId>,
+    cur_ctx: CtxId,
+    guard_stack: Vec<Guard>,
+    /// Functions currently being inlined (recursion cut-off).
+    active: Vec<Symbol>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh_var(&mut self, name: Option<Symbol>, ty: VarType) -> Var {
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(VarInfo { name, ty });
+        self.types.insert(v, ty);
+        v
+    }
+
+    /// Updates the flow-sensitive type of `v` and widens its summary type.
+    fn set_type(&mut self, v: Var, ty: VarType) {
+        self.types.insert(v, ty);
+        let summary = &mut self.vars[v.0 as usize].ty;
+        *summary = summary.join(ty);
+    }
+
+    fn type_of(&self, v: Var) -> VarType {
+        self.types.get(&v).copied().unwrap_or(VarType::Unknown)
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.blocks[self.cur.0 as usize].instrs.push(instr);
+    }
+
+    fn start_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            instrs: Vec::new(),
+            term: Terminator::Return,
+            guards: self.guard_stack.clone(),
+        });
+        self.cur = id;
+        id
+    }
+
+    fn site(&self, node: NodeId) -> CallSite {
+        CallSite {
+            node,
+            ctx: self.cur_ctx,
+        }
+    }
+
+    fn push_ctx(&mut self, call_node: NodeId) -> CtxId {
+        let mut ctx = vec![call_node];
+        ctx.extend_from_slice(&self.ctxs[self.cur_ctx.0 as usize].clone());
+        let id = match self.ctx_map.get(&ctx) {
+            Some(&id) => id,
+            None => {
+                let id = CtxId(self.ctxs.len() as u32);
+                self.ctxs.push(ctx.clone());
+                self.ctx_map.insert(ctx, id);
+                id
+            }
+        };
+        let prev = self.cur_ctx;
+        self.cur_ctx = id;
+        prev
+    }
+
+    fn lower_block(&mut self, block: &Block, inst: &mut Instance) -> Result<(), LangError> {
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt, inst)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, inst: &mut Instance) -> Result<(), LangError> {
+        match &stmt.kind {
+            StmtKind::Assign { target, value } => {
+                let (v, ty) = self.lower_expr(value, inst)?;
+                match target {
+                    AssignTarget::Var(name) => {
+                        let slot = inst.declare(self, *name, ty);
+                        self.emit(Instr::Copy { dst: slot, src: v });
+                    }
+                    AssignTarget::Field { base, field } => {
+                        let obj = inst.lookup(*base).ok_or_else(|| {
+                            LangError::new(
+                                LangErrorKind::UnboundVariable(base.as_str().to_owned()),
+                                stmt.span,
+                            )
+                        })?;
+                        self.emit(Instr::FieldStore {
+                            obj,
+                            field: *field,
+                            src: v,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.lower_expr(e, inst)?;
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => self.lower_if(stmt, cond, then_blk, else_blk.as_ref(), inst),
+            StmtKind::While { cond, body } => {
+                // Single unrolling: while (c) B  ≡  if (c) { B; if (c) { B } }.
+                let inner = Stmt {
+                    id: stmt.id,
+                    kind: StmtKind::If {
+                        cond: cond.clone(),
+                        then_blk: body.clone(),
+                        else_blk: None,
+                    },
+                    span: stmt.span,
+                };
+                let mut unrolled = body.clone();
+                unrolled.stmts.push(inner);
+                self.lower_if(stmt, cond, &unrolled, None, inst)
+            }
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    let (v, ty) = self.lower_expr(e, inst)?;
+                    self.emit(Instr::Copy {
+                        dst: inst.ret_var,
+                        src: v,
+                    });
+                    inst.ret_ty = inst.ret_ty.join(ty);
+                }
+                // The terminator is patched to the instance's exit block.
+                inst.exit_pending.push(self.cur);
+                self.start_block();
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        stmt: &Stmt,
+        cond: &Expr,
+        then_blk: &Block,
+        else_blk: Option<&Block>,
+        inst: &mut Instance,
+    ) -> Result<(), LangError> {
+        let (cv, _) = self.lower_expr(cond, inst)?;
+        let token = cond_token(cond);
+        let cond_bb = self.cur;
+        let types_before = self.types.clone();
+
+        self.guard_stack.push(Guard {
+            site: stmt.id,
+            polarity: true,
+            token,
+        });
+        let then_bb = self.start_block();
+        self.lower_block(then_blk, inst)?;
+        let then_end = self.cur;
+        let types_then = std::mem::replace(&mut self.types, types_before.clone());
+        self.guard_stack.pop();
+
+        self.guard_stack.push(Guard {
+            site: stmt.id,
+            polarity: false,
+            token,
+        });
+        let else_bb = self.start_block();
+        if let Some(eb) = else_blk {
+            self.lower_block(eb, inst)?;
+        }
+        let else_end = self.cur;
+        let types_else = std::mem::take(&mut self.types);
+        self.guard_stack.pop();
+
+        let join_bb = self.start_block();
+        self.blocks[cond_bb.0 as usize].term = Terminator::Branch {
+            cond: cv,
+            then_bb,
+            else_bb,
+        };
+        self.blocks[then_end.0 as usize].term = Terminator::Goto(join_bb);
+        self.blocks[else_end.0 as usize].term = Terminator::Goto(join_bb);
+
+        // Merge the flow-sensitive type environments.
+        self.types = types_then;
+        for (v, t) in types_else {
+            let merged = self.types.get(&v).map(|cur| cur.join(t)).unwrap_or(t);
+            self.types.insert(v, merged);
+        }
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, expr: &Expr, inst: &mut Instance) -> Result<(Var, VarType), LangError> {
+        match &expr.kind {
+            ExprKind::Str(s) => Ok(self.lower_lit(Literal::Str(*s), expr.id)),
+            ExprKind::Int(i) => Ok(self.lower_lit(Literal::Int(*i), expr.id)),
+            ExprKind::Bool(b) => Ok(self.lower_lit(Literal::Bool(*b), expr.id)),
+            ExprKind::Null => Ok(self.lower_lit(Literal::Null, expr.id)),
+            ExprKind::Path(segs) => self.lower_path(segs, expr.span, inst),
+            ExprKind::New { class, args } => {
+                for a in args {
+                    self.lower_expr(a, inst)?;
+                }
+                let user = self.program.class(*class).is_some();
+                let ty = if user {
+                    VarType::User(*class)
+                } else {
+                    VarType::Api(*class)
+                };
+                let dst = self.fresh_var(None, ty);
+                self.emit(Instr::New {
+                    dst,
+                    class: *class,
+                    site: self.site(expr.id),
+                    user_class: user,
+                });
+                Ok((dst, ty))
+            }
+            ExprKind::FieldAccess { base, field } => {
+                let (obj, _) = self.lower_expr(base, inst)?;
+                let dst = self.fresh_var(None, VarType::Unknown);
+                self.emit(Instr::FieldLoad {
+                    dst,
+                    obj,
+                    field: *field,
+                });
+                Ok((dst, VarType::Unknown))
+            }
+            ExprKind::Cmp { op, lhs, rhs } => {
+                let (l, _) = self.lower_expr(lhs, inst)?;
+                let (r, _) = self.lower_expr(rhs, inst)?;
+                let dst = self.fresh_var(None, VarType::Bool);
+                self.emit(Instr::Cmp {
+                    dst,
+                    lhs: l,
+                    rhs: r,
+                    negated: *op == CmpOp::Ne,
+                });
+                Ok((dst, VarType::Bool))
+            }
+            ExprKind::Not(inner) => {
+                let (v, _) = self.lower_expr(inner, inst)?;
+                let dst = self.fresh_var(None, VarType::Bool);
+                self.emit(Instr::Not { dst, src: v });
+                Ok((dst, VarType::Bool))
+            }
+            ExprKind::Call { callee, args } => self.lower_call(expr, callee, args, inst),
+        }
+    }
+
+    fn lower_lit(&mut self, value: Literal, node: NodeId) -> (Var, VarType) {
+        let ty = value.var_type();
+        let dst = self.fresh_var(None, ty);
+        self.emit(Instr::Lit {
+            dst,
+            value,
+            site: self.site(node),
+        });
+        (dst, ty)
+    }
+
+    fn lower_path(
+        &mut self,
+        segs: &[Symbol],
+        span: Span,
+        inst: &mut Instance,
+    ) -> Result<(Var, VarType), LangError> {
+        let first = segs[0];
+        let Some(base) = inst.lookup(first) else {
+            return Err(LangError::new(
+                LangErrorKind::UnboundVariable(first.as_str().to_owned()),
+                span,
+            ));
+        };
+        let mut cur = base;
+        let mut ty = self.type_of(base);
+        for field in &segs[1..] {
+            let dst = self.fresh_var(None, VarType::Unknown);
+            self.emit(Instr::FieldLoad {
+                dst,
+                obj: cur,
+                field: *field,
+            });
+            cur = dst;
+            ty = VarType::Unknown;
+        }
+        Ok((cur, ty))
+    }
+
+    fn lower_call(
+        &mut self,
+        expr: &Expr,
+        callee: &Callee,
+        args: &[Expr],
+        inst: &mut Instance,
+    ) -> Result<(Var, VarType), LangError> {
+        match callee {
+            Callee::Free(name) => {
+                let arg_vars = self.lower_args(args, inst)?;
+                match self.program.func(*name) {
+                    Some(func) => {
+                        self.check_arity(func, None, args.len(), expr.span)?;
+                        self.inline_call(func.clone(), None, arg_vars, expr.id, inst)
+                    }
+                    None => Ok(self.lower_opaque(expr.id)),
+                }
+            }
+            Callee::Path(segs) => {
+                let (prefix, method) = segs.split_at(segs.len() - 1);
+                let method = method[0];
+                if inst.lookup(prefix[0]).is_some() {
+                    // Local variable plus field chain, then an instance call.
+                    let (recv, recv_ty) = self.lower_path(prefix, expr.span, inst)?;
+                    let arg_vars = self.lower_args(args, inst)?;
+                    self.lower_instance_call(expr, recv, recv_ty, method, arg_vars, args.len(), inst)
+                } else {
+                    // Static call on a (possibly dotted) class name.
+                    let class = join_dotted(prefix);
+                    let arg_vars = self.lower_args(args, inst)?;
+                    let ret_ty = self.table.ret_type(class, method, args.len());
+                    Ok(self.emit_api_call(expr.id, class, method, None, arg_vars, ret_ty))
+                }
+            }
+            Callee::Method { recv, name } => {
+                let (rv, rty) = self.lower_expr(recv, inst)?;
+                let arg_vars = self.lower_args(args, inst)?;
+                self.lower_instance_call(expr, rv, rty, *name, arg_vars, args.len(), inst)
+            }
+        }
+    }
+
+    fn lower_args(&mut self, args: &[Expr], inst: &mut Instance) -> Result<Vec<Var>, LangError> {
+        args.iter()
+            .map(|a| self.lower_expr(a, inst).map(|(v, _)| v))
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_instance_call(
+        &mut self,
+        expr: &Expr,
+        recv: Var,
+        recv_ty: VarType,
+        method: Symbol,
+        arg_vars: Vec<Var>,
+        nargs: usize,
+        inst: &mut Instance,
+    ) -> Result<(Var, VarType), LangError> {
+        if let VarType::User(class) = recv_ty {
+            if let Some(m) = self.program.method(class, method) {
+                self.check_arity(m, Some(class), nargs, expr.span)?;
+                return self.inline_call(m.clone(), Some(recv), arg_vars, expr.id, inst);
+            }
+        }
+        let class = match recv_ty {
+            VarType::User(c) => c,
+            ty => self
+                .table
+                .class_of_type(ty)
+                .unwrap_or_else(MethodId::unknown_class),
+        };
+        let ret_ty = self.table.ret_type(class, method, nargs);
+        Ok(self.emit_api_call(expr.id, class, method, Some(recv), arg_vars, ret_ty))
+    }
+
+    fn emit_api_call(
+        &mut self,
+        node: NodeId,
+        class: Symbol,
+        method: Symbol,
+        recv: Option<Var>,
+        args: Vec<Var>,
+        ret_ty: VarType,
+    ) -> (Var, VarType) {
+        let dst = self.fresh_var(None, ret_ty);
+        self.emit(Instr::CallApi {
+            dst: Some(dst),
+            method: MethodId {
+                class,
+                method,
+                arity: args.len().min(u8::MAX as usize) as u8,
+            },
+            recv,
+            args,
+            site: self.site(node),
+        });
+        (dst, ret_ty)
+    }
+
+    fn lower_opaque(&mut self, node: NodeId) -> (Var, VarType) {
+        let dst = self.fresh_var(None, VarType::Unknown);
+        self.emit(Instr::Opaque {
+            dst,
+            site: self.site(node),
+        });
+        (dst, VarType::Unknown)
+    }
+
+    fn check_arity(
+        &self,
+        func: &FuncDecl,
+        class: Option<Symbol>,
+        nargs: usize,
+        span: Span,
+    ) -> Result<(), LangError> {
+        // Methods declare an explicit `self` receiver as their first param.
+        let declared = func.params.len() - usize::from(class.is_some());
+        if declared != nargs {
+            let callee = match class {
+                Some(c) => format!("{c}.{}", func.name),
+                None => func.name.as_str().to_owned(),
+            };
+            return Err(LangError::new(
+                LangErrorKind::ArityMismatch {
+                    callee,
+                    expected: declared,
+                    found: nargs,
+                },
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Inlines a user function/method call, or emits an opaque result when
+    /// the inlining budget is exhausted or the call is recursive.
+    fn inline_call(
+        &mut self,
+        func: FuncDecl,
+        recv: Option<Var>,
+        args: Vec<Var>,
+        call_node: NodeId,
+        _caller: &mut Instance,
+    ) -> Result<(Var, VarType), LangError> {
+        let key = func.name;
+        let depth = self.ctxs[self.cur_ctx.0 as usize].len();
+        if depth >= self.opts.inline_depth || self.active.contains(&key) {
+            return Ok(self.lower_opaque(call_node));
+        }
+        self.active.push(key);
+        let prev_ctx = self.push_ctx(call_node);
+
+        let mut callee = Instance::new(self, None);
+        let bind = |lw: &mut Lowerer<'_>, inst: &mut Instance, p: &Param, v: Var| {
+            let declared_ty = match p.ty {
+                Some(t) if lw.program.class(t).is_some() => VarType::User(t),
+                Some(t) => VarType::Api(t),
+                None => lw.type_of(v),
+            };
+            let slot = inst.declare(lw, p.name, declared_ty);
+            lw.emit(Instr::Copy { dst: slot, src: v });
+        };
+        let mut param_iter = func.params.iter();
+        if let Some(rv) = recv {
+            let self_param = param_iter.next().expect("methods declare `self`");
+            bind(self, &mut callee, self_param, rv);
+        }
+        for (p, v) in param_iter.zip(args) {
+            bind(self, &mut callee, p, v);
+        }
+
+        self.lower_block(&func.body, &mut callee)?;
+
+        if !callee.exit_pending.is_empty() {
+            let exit = self.start_block();
+            for bb in callee.exit_pending {
+                self.blocks[bb.0 as usize].term = Terminator::Goto(exit);
+            }
+        }
+
+        self.cur_ctx = prev_ctx;
+        self.active.pop();
+        Ok((callee.ret_var, callee.ret_ty))
+    }
+}
+
+fn join_dotted(segs: &[Symbol]) -> Symbol {
+    if segs.len() == 1 {
+        return segs[0];
+    }
+    let joined = segs
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(".");
+    Symbol::intern(&joined)
+}
+
+/// Symbolic token describing a condition's shape, for γ features.
+fn cond_token(cond: &Expr) -> Symbol {
+    match &cond.kind {
+        ExprKind::Call { callee, .. } => match callee {
+            Callee::Method { name, .. } => *name,
+            Callee::Free(name) => *name,
+            Callee::Path(segs) => *segs.last().expect("non-empty path"),
+        },
+        ExprKind::Path(segs) => segs[0],
+        ExprKind::Cmp { op: CmpOp::Eq, .. } => Symbol::intern("=="),
+        ExprKind::Cmp { op: CmpOp::Ne, .. } => Symbol::intern("!="),
+        ExprKind::Not(inner) => {
+            let inner_tok = cond_token(inner);
+            Symbol::intern(&format!("!{inner_tok}"))
+        }
+        ExprKind::Bool(b) => Symbol::intern(if *b { "true" } else { "false" }),
+        _ => Symbol::intern("<cond>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::registry::{ApiClassBuilder, PrimBinding};
+
+    fn lower_src(src: &str) -> Vec<Body> {
+        lower_src_opts(src, &LowerOptions::default())
+    }
+
+    fn lower_src_opts(src: &str, opts: &LowerOptions) -> Vec<Body> {
+        let program = parse(src).unwrap();
+        let mut table = ApiTable::new();
+        table.insert(
+            ApiClassBuilder::new("java.util.HashMap")
+                .method("put", 2, VarType::Unknown)
+                .method("get", 1, VarType::Unknown)
+                .build(),
+        );
+        table.insert(
+            ApiClassBuilder::new("sql.Database")
+                .static_method("connect", 1, VarType::Api(Symbol::intern("sql.Database")))
+                .method("getFile", 1, VarType::Api(Symbol::intern("io.File")))
+                .build(),
+        );
+        table.insert(
+            ApiClassBuilder::new("io.File")
+                .method("getName", 0, VarType::Str)
+                .build(),
+        );
+        table.insert(
+            ApiClassBuilder::new("java.lang.String")
+                .method("length", 0, VarType::Int)
+                .build(),
+        );
+        table.bind_prim(PrimBinding::Str, Symbol::intern("java.lang.String"));
+        lower_program(&program, &table, opts).unwrap()
+    }
+
+    fn api_methods(body: &Body) -> Vec<String> {
+        body.instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CallApi { method, .. } => Some(method.qualified()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resolves_receiver_types_through_chain() {
+        let bodies = lower_src(
+            r#"
+            fn main(db: sql.Database) {
+                f = db.getFile("a");
+                n = f.getName();
+                l = n.length();
+            }
+            "#,
+        );
+        let ms = api_methods(&bodies[0]);
+        assert_eq!(
+            ms,
+            vec![
+                "sql.Database.getFile/1",
+                "io.File.getName/0",
+                "java.lang.String.length/0"
+            ]
+        );
+    }
+
+    #[test]
+    fn resolves_static_calls() {
+        let bodies = lower_src(
+            r#"
+            fn main() {
+                db = sql.Database.connect("dsn");
+                f = db.getFile("x");
+            }
+            "#,
+        );
+        let ms = api_methods(&bodies[0]);
+        assert_eq!(ms[0], "sql.Database.connect/1");
+        assert_eq!(ms[1], "sql.Database.getFile/1");
+    }
+
+    #[test]
+    fn unknown_receiver_gets_question_class() {
+        let bodies = lower_src("fn main(x) { y = x.foo(); }");
+        assert_eq!(api_methods(&bodies[0]), vec!["?.foo/0"]);
+    }
+
+    #[test]
+    fn while_is_unrolled_once_with_shared_sites() {
+        let bodies = lower_src(
+            r#"
+            fn main(m: java.util.HashMap, c) {
+                while (c) {
+                    x = m.get("k");
+                }
+            }
+            "#,
+        );
+        let body = &bodies[0];
+        let gets: Vec<CallSite> = body
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CallApi { method, site, .. } if method.method.as_str() == "get" => {
+                    Some(*site)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gets.len(), 2, "loop body lowered exactly twice");
+        assert_eq!(gets[0], gets[1], "both copies share the call site");
+        body.topo_order(); // must not panic: acyclic forward edges
+    }
+
+    #[test]
+    fn inlining_materializes_contexts() {
+        let bodies = lower_src(
+            r#"
+            fn fetch(db) {
+                return db.getFile("z");
+            }
+            fn main(db: sql.Database) {
+                a = fetch(db);
+                b = fetch(db);
+            }
+            "#,
+        );
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        let sites: Vec<CallSite> = main
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CallApi { method, site, .. } if method.method.as_str() == "getFile" => {
+                    Some(*site)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].node, sites[1].node, "same syntactic call");
+        assert_ne!(sites[0].ctx, sites[1].ctx, "different calling contexts");
+        assert_ne!(main.ctx_of(sites[0]), main.ctx_of(sites[1]));
+    }
+
+    #[test]
+    fn inline_depth_zero_is_intraprocedural() {
+        let src = r#"
+            fn fetch(db) { return db.getFile("z"); }
+            fn main(db: sql.Database) { a = fetch(db); }
+        "#;
+        let bodies = lower_src_opts(src, &LowerOptions { inline_depth: 0 });
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        assert_eq!(main.num_api_calls(), 0, "call became opaque");
+        assert!(main
+            .instrs()
+            .any(|(_, i)| matches!(i, Instr::Opaque { .. })));
+    }
+
+    #[test]
+    fn recursion_is_cut() {
+        let bodies = lower_src(
+            r#"
+            fn rec(db) { x = rec(db); return x; }
+            fn main(db: sql.Database) { y = rec(db); }
+            "#,
+        );
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        main.topo_order();
+    }
+
+    #[test]
+    fn method_inlining_binds_self() {
+        let bodies = lower_src(
+            r#"
+            class Helper {
+                fn fetch(self, db) { return db.getFile("q"); }
+            }
+            fn main(db: sql.Database) {
+                h = new Helper();
+                f = h.fetch(db);
+                n = f.getName();
+            }
+            "#,
+        );
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        let ms = api_methods(main);
+        assert!(ms.contains(&"sql.Database.getFile/1".to_owned()));
+        // Return-type flows through inlining: f is an io.File.
+        assert!(ms.contains(&"io.File.getName/0".to_owned()));
+    }
+
+    #[test]
+    fn branch_types_join_to_unknown() {
+        let bodies = lower_src(
+            r#"
+            fn main(c, db: sql.Database) {
+                if (c) { x = new java.util.HashMap(); } else { x = db.getFile("a"); }
+                y = x.getName();
+            }
+            "#,
+        );
+        let ms = api_methods(&bodies[0]);
+        assert!(ms.contains(&"?.getName/0".to_owned()), "got {ms:?}");
+    }
+
+    #[test]
+    fn guards_recorded_on_branch_blocks() {
+        let bodies = lower_src(
+            r#"
+            fn main(m: java.util.HashMap, it) {
+                if (it.hasNext()) {
+                    x = m.get("k");
+                }
+            }
+            "#,
+        );
+        let body = &bodies[0];
+        let (bb, _) = body
+            .instrs()
+            .find(|(_, i)| {
+                matches!(i, Instr::CallApi { method, .. } if method.method.as_str() == "get")
+            })
+            .unwrap();
+        let guards = &body.blocks[bb.0 as usize].guards;
+        assert_eq!(guards.len(), 1);
+        assert!(guards[0].polarity);
+        assert_eq!(guards[0].token.as_str(), "hasNext");
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let program = parse("fn main() { y = x; }").unwrap();
+        let err = lower_program(&program, &ApiTable::new(), &LowerOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, LangErrorKind::UnboundVariable(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let program = parse(
+            r#"
+            fn f(a, b) { return a; }
+            fn main() { x = f(1); }
+            "#,
+        )
+        .unwrap();
+        let err = lower_program(&program, &ApiTable::new(), &LowerOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, LangErrorKind::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn early_return_flows_to_exit() {
+        let bodies = lower_src(
+            r#"
+            fn main(c, m: java.util.HashMap) {
+                if (c) { return; }
+                x = m.get("k");
+            }
+            "#,
+        );
+        bodies[0].topo_order();
+        assert_eq!(bodies[0].num_api_calls(), 1);
+    }
+
+    #[test]
+    fn literal_sites_are_distinct_per_occurrence() {
+        let bodies = lower_src(r#"fn main(m: java.util.HashMap) { m.put("k", "k"); }"#);
+        let lits: Vec<CallSite> = bodies[0]
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::Lit { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert_ne!(lits[0], lits[1]);
+    }
+}
+
+#[cfg(test)]
+mod nesting_tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::registry::ApiTable;
+
+    fn lower_plain(src: &str) -> Vec<Body> {
+        let program = parse(src).unwrap();
+        lower_program(&program, &ApiTable::new(), &LowerOptions::default()).unwrap()
+    }
+
+    fn count_calls(body: &Body, method: &str) -> usize {
+        body.instrs()
+            .filter(|(_, i)| {
+                matches!(i, Instr::CallApi { method: m, .. } if m.method.as_str() == method)
+            })
+            .count()
+    }
+
+    #[test]
+    fn nested_loops_unroll_quadratically() {
+        let bodies = lower_plain(
+            r#"
+            fn main(db, c) {
+                while (c) {
+                    while (c) {
+                        x = db.ping();
+                    }
+                }
+            }
+            "#,
+        );
+        // Outer unrolls 2×, inner 2× each → 4 copies of the call, all
+        // sharing one call site.
+        assert_eq!(count_calls(&bodies[0], "ping"), 4);
+        let sites: std::collections::HashSet<CallSite> = bodies[0]
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CallApi { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sites.len(), 1);
+        bodies[0].topo_order();
+    }
+
+    #[test]
+    fn helper_calling_helper_inlines_to_depth_two() {
+        let bodies = lower_plain(
+            r#"
+            fn inner(db) { return db.fetch("x"); }
+            fn outer(db) { return inner(db); }
+            fn main(db) { v = outer(db); }
+            "#,
+        );
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        assert_eq!(count_calls(main, "fetch"), 1, "depth-2 chain fully inlined");
+        // Context stack is [inner-call, outer-call].
+        let (_, instr) = main
+            .instrs()
+            .find(|(_, i)| matches!(i, Instr::CallApi { .. }))
+            .unwrap();
+        let Instr::CallApi { site, .. } = instr else { unreachable!() };
+        assert_eq!(main.ctx_of(*site).len(), 2);
+    }
+
+    #[test]
+    fn depth_three_chain_is_cut_to_opaque() {
+        let bodies = lower_plain(
+            r#"
+            fn a(db) { return db.fetch("x"); }
+            fn b(db) { return a(db); }
+            fn c(db) { return b(db); }
+            fn main(db) { v = c(db); }
+            "#,
+        );
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        assert_eq!(count_calls(main, "fetch"), 0, "budget of 2 exhausted");
+        assert!(main.instrs().any(|(_, i)| matches!(i, Instr::Opaque { .. })));
+    }
+
+    #[test]
+    fn mutual_recursion_is_cut() {
+        let bodies = lower_plain(
+            r#"
+            fn ping(db) { return pong(db); }
+            fn pong(db) { return ping(db); }
+            fn main(db) { v = ping(db); }
+            "#,
+        );
+        let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
+        main.topo_order();
+    }
+
+    #[test]
+    fn else_branch_variables_merge() {
+        let bodies = lower_plain(
+            r#"
+            fn main(db, cond) {
+                if (cond) { x = db.a(); } else { x = db.b(); }
+                y = x.use1();
+            }
+            "#,
+        );
+        // `x` shares one slot across branches: exactly one Copy target var
+        // is read by the use1 receiver.
+        let body = &bodies[0];
+        assert_eq!(count_calls(body, "use1"), 1);
+        body.topo_order();
+    }
+
+    #[test]
+    fn return_inside_loop_flows_to_exit() {
+        let bodies = lower_plain(
+            r#"
+            fn main(db, c) {
+                while (c) {
+                    x = db.a();
+                    return x;
+                }
+                y = db.b();
+            }
+            "#,
+        );
+        bodies[0].topo_order();
+        assert_eq!(count_calls(&bodies[0], "a"), 2, "unrolled twice");
+        assert_eq!(count_calls(&bodies[0], "b"), 1);
+    }
+
+    #[test]
+    fn deep_field_chain_loads() {
+        let bodies = lower_plain(
+            r#"
+            fn main() {
+                o = new Box();
+                x = o.a.b.c;
+            }
+            "#,
+        );
+        let loads = bodies[0]
+            .instrs()
+            .filter(|(_, i)| matches!(i, Instr::FieldLoad { .. }))
+            .count();
+        assert_eq!(loads, 3);
+    }
+
+    #[test]
+    fn method_on_user_class_without_definition_is_api_call() {
+        let bodies = lower_plain(
+            r#"
+            class Box { fn id(self) { return self; } }
+            fn main() {
+                b = new Box();
+                x = b.undefinedMethod();
+            }
+            "#,
+        );
+        let (_, instr) = bodies[0]
+            .instrs()
+            .find(|(_, i)| matches!(i, Instr::CallApi { .. }))
+            .unwrap();
+        let Instr::CallApi { method, .. } = instr else { unreachable!() };
+        assert_eq!(method.qualified(), "Box.undefinedMethod/0");
+    }
+
+    #[test]
+    fn guards_nest_and_pop() {
+        let bodies = lower_plain(
+            r#"
+            fn main(db, c1, c2) {
+                if (c1) {
+                    if (c2) { x = db.deep(); }
+                    y = db.mid();
+                }
+                z = db.top();
+            }
+            "#,
+        );
+        let body = &bodies[0];
+        let guards_of = |name: &str| {
+            body.instrs()
+                .find_map(|(bb, i)| match i {
+                    Instr::CallApi { method, .. } if method.method.as_str() == name => {
+                        Some(body.blocks[bb.0 as usize].guards.len())
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(guards_of("deep"), 2);
+        assert_eq!(guards_of("mid"), 1);
+        assert_eq!(guards_of("top"), 0);
+    }
+}

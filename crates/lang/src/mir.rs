@@ -1,0 +1,354 @@
+//! Lowered intermediate representation.
+//!
+//! [`Body`] is a per-entry-function control-flow graph produced by
+//! [`lower`](crate::lower). Bodies are **acyclic**: loops are unrolled once
+//! (matching the paper's single loop unrolling, §3.2) and user-defined
+//! functions are inlined up to a configurable depth, so calling contexts are
+//! materialized in the IR. Copies of a statement produced by unrolling or by
+//! inlining the *same* call chain keep the same [`CallSite`], while distinct
+//! call chains yield distinct contexts — exactly the call-site notion of
+//! §3.1 ("a call site comprises the method call statement and its calling
+//! context").
+
+use crate::ast::NodeId;
+use crate::registry::{MethodId, VarType};
+use crate::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// A virtual register / local variable slot within a [`Body`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub u32);
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`Body`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Interned calling context (innermost call site first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CtxId(pub u32);
+
+/// A call site: an AST node plus the calling context it was inlined under.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CallSite {
+    /// The syntactic call/allocation/literal node.
+    pub node: NodeId,
+    /// The inlining context.
+    pub ctx: CtxId,
+}
+
+impl std::fmt::Debug for CallSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}@c{}", self.node, self.ctx.0)
+    }
+}
+
+/// A literal value. These are the `v_i` values of literal-construction
+/// events `⟨lc_i, ret⟩` (§3.1) and the equality tokens of `val_G` (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Literal {
+    /// String literal.
+    Str(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Literal {
+    /// The [`VarType`] of the literal.
+    pub fn var_type(&self) -> VarType {
+        match self {
+            Literal::Str(_) => VarType::Str,
+            Literal::Int(_) => VarType::Int,
+            Literal::Bool(_) => VarType::Bool,
+            Literal::Null => VarType::Null,
+        }
+    }
+}
+
+impl std::fmt::Debug for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "{:?}", s.as_str()),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One lowered instruction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = new class()` — allocation of a user or API object.
+    New {
+        /// Destination variable.
+        dst: Var,
+        /// Fully-qualified class name.
+        class: Symbol,
+        /// Allocation site.
+        site: CallSite,
+        /// Whether this is a user-defined class (fields are real) or an API
+        /// class (only ghost fields).
+        user_class: bool,
+    },
+    /// `dst = literal` — literal construction event `⟨lc_i, ret⟩`.
+    Lit {
+        /// Destination variable.
+        dst: Var,
+        /// The literal value.
+        value: Literal,
+        /// Literal construction site.
+        site: CallSite,
+    },
+    /// `dst = src`.
+    Copy {
+        /// Destination variable.
+        dst: Var,
+        /// Source variable.
+        src: Var,
+    },
+    /// A call to an external API method (instance or static).
+    CallApi {
+        /// Destination for the return value, if used.
+        dst: Option<Var>,
+        /// Fully-qualified method identifier `id(m)`.
+        method: MethodId,
+        /// Receiver for instance calls; `None` for static calls.
+        recv: Option<Var>,
+        /// Argument variables (1-based positions in event terms).
+        args: Vec<Var>,
+        /// The call site `m`.
+        site: CallSite,
+    },
+    /// `dst = obj.field` on a user object.
+    FieldLoad {
+        /// Destination variable.
+        dst: Var,
+        /// Base object.
+        obj: Var,
+        /// Field name.
+        field: Symbol,
+    },
+    /// `obj.field = src` on a user object.
+    FieldStore {
+        /// Base object.
+        obj: Var,
+        /// Field name.
+        field: Symbol,
+        /// Stored value.
+        src: Var,
+    },
+    /// `dst = <opaque>` — models calls that could not be resolved or were cut
+    /// off by the inlining budget: the destination points to a fresh object
+    /// but no event is recorded.
+    Opaque {
+        /// Destination variable.
+        dst: Var,
+        /// Site of the unresolved operation (for diagnostics).
+        site: CallSite,
+    },
+    /// `dst = (lhs == rhs)` or `!=`; produces an untracked boolean.
+    Cmp {
+        /// Destination variable.
+        dst: Var,
+        /// Left operand.
+        lhs: Var,
+        /// Right operand.
+        rhs: Var,
+        /// `true` for `!=`.
+        negated: bool,
+    },
+    /// `dst = !src`; produces an untracked boolean.
+    Not {
+        /// Destination variable.
+        dst: Var,
+        /// Operand.
+        src: Var,
+    },
+}
+
+impl Instr {
+    /// The variable this instruction defines, if any.
+    pub fn def(&self) -> Option<Var> {
+        match self {
+            Instr::New { dst, .. }
+            | Instr::Lit { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::FieldLoad { dst, .. }
+            | Instr::Opaque { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Not { dst, .. } => Some(*dst),
+            Instr::CallApi { dst, .. } => *dst,
+            Instr::FieldStore { .. } => None,
+        }
+    }
+
+    /// The variables this instruction reads.
+    pub fn uses(&self) -> Vec<Var> {
+        match self {
+            Instr::New { .. } | Instr::Lit { .. } | Instr::Opaque { .. } => vec![],
+            Instr::Copy { src, .. } | Instr::Not { src, .. } => vec![*src],
+            Instr::CallApi { recv, args, .. } => {
+                let mut vs: Vec<Var> = recv.iter().copied().collect();
+                vs.extend(args.iter().copied());
+                vs
+            }
+            Instr::FieldLoad { obj, .. } => vec![*obj],
+            Instr::FieldStore { obj, src, .. } => vec![*obj, *src],
+            Instr::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+        }
+    }
+}
+
+/// A control-flow condition guarding a block, for the γ features (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Guard {
+    /// The `if`/`while` statement node.
+    pub site: NodeId,
+    /// `true` for the then/loop-taken branch.
+    pub polarity: bool,
+    /// A symbolic token describing the condition shape (e.g. the method name
+    /// called in the condition, `==`, or a variable name).
+    pub token: Symbol,
+}
+
+/// Block terminators. All edges go to *later* blocks — bodies are DAGs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch on `cond`.
+    Branch {
+        /// The branch condition variable.
+        cond: Var,
+        /// Target when the condition holds.
+        then_bb: BlockId,
+        /// Target when it does not.
+        else_bb: BlockId,
+    },
+    /// Function exit.
+    Return,
+}
+
+/// A basic block.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// How control leaves the block.
+    pub term: Terminator,
+    /// Conditions dominating this block (outermost first).
+    pub guards: Vec<Guard>,
+}
+
+/// Metadata about one variable slot.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VarInfo {
+    /// Source-level name, if the variable corresponds to one.
+    pub name: Option<Symbol>,
+    /// Inferred static type (the *join* over all assignments).
+    pub ty: VarType,
+}
+
+/// A lowered, acyclic, fully-inlined function body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Body {
+    /// Name of the entry function this body was lowered from.
+    pub func: Symbol,
+    /// Basic blocks; block 0 is the entry, edges only go forward.
+    pub blocks: Vec<BasicBlock>,
+    /// Variable metadata, indexed by [`Var`].
+    pub vars: Vec<VarInfo>,
+    /// Interned calling contexts, indexed by [`CtxId`]. Context 0 is the
+    /// empty (entry) context; contexts list call-site nodes innermost first.
+    pub ctxs: Vec<Vec<NodeId>>,
+    /// Variables holding the entry function's parameters.
+    pub params: Vec<Var>,
+    /// Declared parameter types of the entry function.
+    pub param_types: Vec<VarType>,
+}
+
+impl Body {
+    /// Entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The successors of a block.
+    pub fn succs(&self, bb: BlockId) -> Vec<BlockId> {
+        match &self.blocks[bb.0 as usize].term {
+            Terminator::Goto(t) => vec![*t],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Blocks in execution order. Bodies are constructed so that every edge
+    /// goes from a lower to a higher block id, making the identity order a
+    /// topological order; this is checked in debug builds.
+    pub fn topo_order(&self) -> Vec<BlockId> {
+        #[cfg(debug_assertions)]
+        for (i, _) in self.blocks.iter().enumerate() {
+            for s in self.succs(BlockId(i as u32)) {
+                debug_assert!(
+                    s.0 as usize > i,
+                    "body {} has non-forward edge bb{} -> bb{}",
+                    self.func,
+                    i,
+                    s.0
+                );
+            }
+        }
+        (0..self.blocks.len() as u32).map(BlockId).collect()
+    }
+
+    /// The calling context of a call site (innermost call node first).
+    pub fn ctx_of(&self, site: CallSite) -> &[NodeId] {
+        &self.ctxs[site.ctx.0 as usize]
+    }
+
+    /// Iterates over `(BlockId, &Instr)` pairs in topological order.
+    pub fn instrs(&self) -> impl Iterator<Item = (BlockId, &Instr)> {
+        self.blocks.iter().enumerate().flat_map(|(i, b)| {
+            b.instrs
+                .iter()
+                .map(move |instr| (BlockId(i as u32), instr))
+        })
+    }
+
+    /// Counts the API call sites in the body (distinct instructions, not
+    /// distinct sites).
+    pub fn num_api_calls(&self) -> usize {
+        self.instrs()
+            .filter(|(_, i)| matches!(i, Instr::CallApi { .. }))
+            .count()
+    }
+}

@@ -1,0 +1,718 @@
+//! Recursive-descent parser producing the [`ast`](crate::ast).
+
+use crate::ast::*;
+use crate::error::{LangError, LangErrorKind};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use crate::Symbol;
+
+/// Parses a complete source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// # use uspec_lang::parser::parse;
+/// let program = parse(r#"
+///     fn main(db: sql.Database) {
+///         map = new java.util.HashMap();
+///         f = db.getFile("a");
+///         map.put("key", f);
+///         x = map.get("key");
+///         s = x.getName();
+///     }
+/// "#)?;
+/// assert_eq!(program.funcs.len(), 1);
+/// # Ok::<(), uspec_lang::LangError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    }
+    .program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> TokenKind {
+        self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = *self.peek();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, LangError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> LangError {
+        LangError::new(
+            LangErrorKind::UnexpectedToken {
+                expected: expected.to_owned(),
+                found: self.peek().kind.describe(),
+            },
+            self.peek().span,
+        )
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(Symbol, Span), LangError> {
+        match self.peek().kind {
+            TokenKind::Ident(sym) => {
+                let span = self.bump().span;
+                Ok((sym, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, LangError> {
+        let mut classes: Vec<ClassDecl> = Vec::new();
+        let mut funcs: Vec<FuncDecl> = Vec::new();
+        loop {
+            match self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::KwClass => {
+                    let class = self.class_decl()?;
+                    if classes.iter().any(|c| c.name == class.name) {
+                        return Err(LangError::new(
+                            LangErrorKind::DuplicateClass(class.name.as_str().to_owned()),
+                            class.span,
+                        ));
+                    }
+                    classes.push(class);
+                }
+                TokenKind::KwFn => {
+                    let func = self.func_decl()?;
+                    if funcs.iter().any(|f| f.name == func.name) {
+                        return Err(LangError::new(
+                            LangErrorKind::DuplicateFunction(func.name.as_str().to_owned()),
+                            func.span,
+                        ));
+                    }
+                    funcs.push(func);
+                }
+                _ => return Err(self.unexpected("`class`, `fn` or end of input")),
+            }
+        }
+        Ok(Program {
+            classes,
+            funcs,
+            next_node_id: self.next_id,
+        })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, LangError> {
+        let start = self.expect(TokenKind::KwClass, "`class`")?.span;
+        let (name, _) = self.ident("class name")?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut methods: Vec<FuncDecl> = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let m = self.func_decl()?;
+            if methods.iter().any(|o| o.name == m.name) {
+                return Err(LangError::new(
+                    LangErrorKind::DuplicateFunction(format!("{name}.{}", m.name)),
+                    m.span,
+                ));
+            }
+            methods.push(m);
+        }
+        let end = self.expect(TokenKind::RBrace, "`}`")?.span;
+        Ok(ClassDecl {
+            name,
+            methods,
+            span: start.to(end),
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, LangError> {
+        let start = self.expect(TokenKind::KwFn, "`fn`")?.span;
+        let (name, _) = self.ident("function name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                let (pname, _) = self.ident("parameter name")?;
+                let ty = if self.peek().kind == TokenKind::Colon {
+                    self.bump();
+                    Some(self.dotted_name()?)
+                } else {
+                    None
+                };
+                params.push(Param { name: pname, ty });
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            body,
+            span: start,
+        })
+    }
+
+    /// Parses `a.b.c` into a single dot-joined symbol.
+    fn dotted_name(&mut self) -> Result<Symbol, LangError> {
+        let (first, _) = self.ident("name")?;
+        let mut text = first.as_str().to_owned();
+        while self.peek().kind == TokenKind::Dot {
+            self.bump();
+            let (seg, _) = self.ident("name segment")?;
+            text.push('.');
+            text.push_str(seg.as_str());
+        }
+        Ok(Symbol::intern(&text))
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let start = self.peek().span;
+        match self.peek().kind {
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_blk = self.block()?;
+                let else_blk = if self.peek().kind == TokenKind::KwElse {
+                    self.bump();
+                    Some(self.block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt {
+                    id: self.fresh_id(),
+                    kind: StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    },
+                    span: start,
+                })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    id: self.fresh_id(),
+                    kind: StmtKind::While { cond, body },
+                    span: start,
+                })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.peek().kind == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(TokenKind::Semi, "`;`")?.span;
+                Ok(Stmt {
+                    id: self.fresh_id(),
+                    kind: StmtKind::Return(value),
+                    span: start.to(end),
+                })
+            }
+            TokenKind::KwLet => {
+                self.bump();
+                self.assign_or_expr_stmt(start)
+            }
+            _ => self.assign_or_expr_stmt(start),
+        }
+    }
+
+    /// Parses `target = expr;` or a bare expression statement.
+    fn assign_or_expr_stmt(&mut self, start: Span) -> Result<Stmt, LangError> {
+        // Lookahead: IDENT (= | .IDENT =) means an assignment target.
+        if let TokenKind::Ident(name) = self.peek().kind {
+            if self.peek2() == TokenKind::Eq {
+                self.bump(); // ident
+                self.bump(); // `=`
+                let value = self.expr()?;
+                let end = self.expect(TokenKind::Semi, "`;`")?.span;
+                return Ok(Stmt {
+                    id: self.fresh_id(),
+                    kind: StmtKind::Assign {
+                        target: AssignTarget::Var(name),
+                        value,
+                    },
+                    span: start.to(end),
+                });
+            }
+            // `a.b = ...` field store: IDENT DOT IDENT EQ
+            if self.peek2() == TokenKind::Dot {
+                if let (TokenKind::Ident(field), TokenKind::Eq) = (
+                    self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].kind,
+                    self.tokens[(self.pos + 3).min(self.tokens.len() - 1)].kind,
+                ) {
+                    self.bump(); // base
+                    self.bump(); // dot
+                    self.bump(); // field
+                    self.bump(); // `=`
+                    let value = self.expr()?;
+                    let end = self.expect(TokenKind::Semi, "`;`")?.span;
+                    return Ok(Stmt {
+                        id: self.fresh_id(),
+                        kind: StmtKind::Assign {
+                            target: AssignTarget::Field { base: name, field },
+                            value,
+                        },
+                        span: start.to(end),
+                    });
+                }
+            }
+        }
+        let value = self.expr()?;
+        let end = self.expect(TokenKind::Semi, "`;`")?.span;
+        Ok(Stmt {
+            id: self.fresh_id(),
+            kind: StmtKind::Expr(value),
+            span: start.to(end),
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.unary()?;
+        match self.peek().kind {
+            TokenKind::EqEq | TokenKind::NotEq => {
+                let op = if self.bump().kind == TokenKind::EqEq {
+                    CmpOp::Eq
+                } else {
+                    CmpOp::Ne
+                };
+                let rhs = self.unary()?;
+                let span = lhs.span.to(rhs.span);
+                Ok(Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Cmp {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    span,
+                })
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.peek().kind == TokenKind::Bang {
+            let start = self.bump().span;
+            let inner = self.unary()?;
+            let span = start.to(inner.span);
+            return Ok(Expr {
+                id: self.fresh_id(),
+                kind: ExprKind::Not(Box::new(inner)),
+                span,
+            });
+        }
+        self.postfix()
+    }
+
+    /// Parses an atom followed by `.name` / `.name(args)` suffixes.
+    ///
+    /// Bare dotted paths stay unresolved ([`ExprKind::Path`] /
+    /// [`Callee::Path`]) because `a.b.m()` may be a field chain on local `a`
+    /// or a static call on class `a.b`; lowering decides with scope
+    /// information.
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        // Bare identifier: accumulate a dotted path while possible.
+        if let TokenKind::Ident(first) = self.peek().kind {
+            let start = self.bump().span;
+            let mut segments = vec![first];
+            let mut end = start;
+            loop {
+                if self.peek().kind != TokenKind::Dot {
+                    break;
+                }
+                // A segment must follow; if it is `name(`, this is a call.
+                let TokenKind::Ident(seg) = self.peek2() else {
+                    return Err(self.unexpected("name segment after `.`"));
+                };
+                self.bump(); // dot
+                let seg_span = self.bump().span; // segment
+                end = seg_span;
+                if self.peek().kind == TokenKind::LParen {
+                    segments.push(seg);
+                    let args = self.call_args()?;
+                    let call = Expr {
+                        id: self.fresh_id(),
+                        kind: ExprKind::Call {
+                            callee: Callee::Path(segments),
+                            args,
+                        },
+                        span: start.to(self.prev_span()),
+                    };
+                    return self.postfix_suffixes(call);
+                }
+                segments.push(seg);
+            }
+            // Bare `f(...)` free-function call.
+            if segments.len() == 1 && self.peek().kind == TokenKind::LParen {
+                let args = self.call_args()?;
+                let call = Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Call {
+                        callee: Callee::Free(first),
+                        args,
+                    },
+                    span: start.to(self.prev_span()),
+                };
+                return self.postfix_suffixes(call);
+            }
+            let path = Expr {
+                id: self.fresh_id(),
+                kind: ExprKind::Path(segments),
+                span: start.to(end),
+            };
+            return self.postfix_suffixes(path);
+        }
+        let atom = self.atom()?;
+        self.postfix_suffixes(atom)
+    }
+
+    /// Parses `.m(args)` and `.field` suffixes on an already-built base.
+    fn postfix_suffixes(&mut self, mut base: Expr) -> Result<Expr, LangError> {
+        while self.peek().kind == TokenKind::Dot {
+            self.bump();
+            let (name, name_span) = self.ident("method or field name")?;
+            if self.peek().kind == TokenKind::LParen {
+                let args = self.call_args()?;
+                let span = base.span.to(self.prev_span());
+                base = Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Call {
+                        callee: Callee::Method {
+                            recv: Box::new(base),
+                            name,
+                        },
+                        args,
+                    },
+                    span,
+                };
+            } else {
+                let span = base.span.to(name_span);
+                base = Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::FieldAccess {
+                        base: Box::new(base),
+                        field: name,
+                    },
+                    span,
+                };
+            }
+        }
+        Ok(base)
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, LangError> {
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let tok = *self.peek();
+        match tok.kind {
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Str(s),
+                    span: tok.span,
+                })
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Int(v),
+                    span: tok.span,
+                })
+            }
+            TokenKind::KwTrue | TokenKind::KwFalse => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Bool(tok.kind == TokenKind::KwTrue),
+                    span: tok.span,
+                })
+            }
+            TokenKind::KwNull => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::Null,
+                    span: tok.span,
+                })
+            }
+            TokenKind::KwNew => {
+                self.bump();
+                let class = self.dotted_name()?;
+                let args = self.call_args()?;
+                Ok(Expr {
+                    id: self.fresh_id(),
+                    kind: ExprKind::New { class, args },
+                    span: tok.span.to(self.prev_span()),
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fig2_snippet() {
+        let program = parse(
+            r#"
+            fn main(someApi: some.Api) {
+                map = new java.util.HashMap();
+                map.put("key", someApi.getFile());
+                name = map.get("key").getName();
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.funcs.len(), 1);
+        let body = &program.funcs[0].body;
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(
+            body.stmts[0].kind,
+            StmtKind::Assign {
+                target: AssignTarget::Var(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_class_with_methods() {
+        let program = parse(
+            r#"
+            class Helper {
+                fn fetch(self, db) {
+                    return db.getFile("x");
+                }
+            }
+            fn main() {
+                h = new Helper();
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.classes.len(), 1);
+        assert_eq!(program.classes[0].methods.len(), 1);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let program = parse(
+            r#"
+            fn main(c) {
+                x = 0;
+                while (c) {
+                    if (x == 1) { y = 2; } else { y = 3; }
+                }
+                return y;
+            }
+            "#,
+        )
+        .unwrap();
+        let stmts = &program.funcs[0].body.stmts;
+        assert!(matches!(stmts[1].kind, StmtKind::While { .. }));
+        assert!(matches!(stmts[2].kind, StmtKind::Return(Some(_))));
+    }
+
+    #[test]
+    fn distinguishes_static_and_chain_calls() {
+        let program = parse(
+            r#"
+            fn main() {
+                db = sql.Database.connect("dsn");
+                f = db.getFile("a").getName();
+            }
+            "#,
+        )
+        .unwrap();
+        let stmts = &program.funcs[0].body.stmts;
+        // First statement: Callee::Path([sql, Database, connect]).
+        let StmtKind::Assign { value, .. } = &stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call {
+            callee: Callee::Path(segs),
+            ..
+        } = &value.kind
+        else {
+            panic!("expected path call, got {value:?}")
+        };
+        assert_eq!(segs.len(), 3);
+        // Second statement: nested method call on a call result.
+        let StmtKind::Assign { value, .. } = &stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Call {
+            callee: Callee::Method { .. },
+            ..
+        } = &value.kind
+        else {
+            panic!("expected method call, got {value:?}")
+        };
+    }
+
+    #[test]
+    fn parses_field_store_and_load() {
+        let program = parse(
+            r#"
+            fn main() {
+                o = new Box();
+                o.item = "v";
+                x = o.item;
+            }
+            "#,
+        )
+        .unwrap();
+        let stmts = &program.funcs[0].body.stmts;
+        assert!(matches!(
+            stmts[1].kind,
+            StmtKind::Assign {
+                target: AssignTarget::Field { .. },
+                ..
+            }
+        ));
+        let StmtKind::Assign { value, .. } = &stmts[2].kind else {
+            panic!()
+        };
+        assert!(matches!(value.kind, ExprKind::Path(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let program = parse(
+            r#"
+            fn main() {
+                a = new A();
+                b = a.m(a.n());
+            }
+            "#,
+        )
+        .unwrap();
+        let mut ids = Vec::new();
+        program.funcs[0].body.walk_stmts(&mut |s| {
+            ids.push(s.id);
+            if let StmtKind::Assign { value, .. } = &s.kind {
+                value.walk(&mut |e| ids.push(e.id));
+            }
+        });
+        let unique: std::collections::HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let err = parse("fn a() {} fn a() {}").unwrap_err();
+        assert!(matches!(err.kind, LangErrorKind::DuplicateFunction(_)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("fn main() { x = ; }").is_err());
+        assert!(parse("fn main() { if x { } }").is_err());
+        assert!(parse("class {}").is_err());
+    }
+
+    #[test]
+    fn comparison_and_negation_in_conditions() {
+        let program = parse(
+            r#"
+            fn main(it) {
+                if (!it.hasNext()) { return; }
+                if (it.size() == 0) { return; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.funcs[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        let program = parse("").unwrap();
+        assert!(program.funcs.is_empty());
+        assert!(program.classes.is_empty());
+    }
+}

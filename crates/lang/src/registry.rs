@@ -1,0 +1,359 @@
+//! API registry: the frontend's knowledge about *external* library classes.
+//!
+//! The registry plays the role of the classpath/type stubs a Java or Python
+//! frontend would consult: it maps fully-qualified class names to method
+//! signatures so that the lowering can (a) resolve static calls, (b) type the
+//! return values of API calls, and thereby (c) assign fully-qualified
+//! [`MethodId`]s to call sites. Nothing here describes *aliasing* semantics —
+//! learning those is the whole point of the pipeline. (The ground-truth
+//! aliasing semantics used for evaluation live in `uspec-corpus`.)
+
+use crate::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fully-qualified method identifier: class, method name and arity.
+///
+/// This is the paper's `id(m)` — "the fully qualified method name and
+/// signature of the function called at m" (§3.1). Arity stands in for the
+/// signature since the mini-language is unityped at call boundaries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodId {
+    /// Fully-qualified class name (or `?` if the receiver type is unknown).
+    pub class: Symbol,
+    /// Simple method name.
+    pub method: Symbol,
+    /// Number of explicit arguments (excluding the receiver).
+    pub arity: u8,
+}
+
+impl MethodId {
+    /// Creates a method identifier.
+    pub fn new(class: impl Into<Symbol>, method: impl Into<Symbol>, arity: u8) -> MethodId {
+        MethodId {
+            class: class.into(),
+            method: method.into(),
+            arity,
+        }
+    }
+
+    /// The class used for receivers whose static type could not be inferred.
+    pub fn unknown_class() -> Symbol {
+        Symbol::intern("?")
+    }
+
+    /// The paper's `nargs(m)` for call sites with this identifier.
+    pub fn nargs(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Renders as `class.method/arity`, e.g. `java.util.HashMap.get/1`.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}/{}", self.class, self.method, self.arity)
+    }
+}
+
+impl std::fmt::Debug for MethodId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.qualified())
+    }
+}
+
+impl std::fmt::Display for MethodId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.qualified())
+    }
+}
+
+/// The static type the lowering tracks for each local variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarType {
+    /// An API class instance (fully-qualified class name).
+    Api(Symbol),
+    /// An instance of a user-defined class in the same file.
+    User(Symbol),
+    /// A string value.
+    Str,
+    /// An integer value.
+    Int,
+    /// A boolean value.
+    Bool,
+    /// The `null` constant.
+    Null,
+    /// Statically unknown (merged branches, unannotated parameters, ...).
+    Unknown,
+}
+
+impl VarType {
+    /// Least upper bound of two types; differing types collapse to
+    /// [`VarType::Unknown`] (`Null` is absorbed by any object type).
+    pub fn join(self, other: VarType) -> VarType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (VarType::Null, b) => b,
+            (a, VarType::Null) => a,
+            _ => VarType::Unknown,
+        }
+    }
+}
+
+/// Signature of one API method.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApiMethodSig {
+    /// Simple method name.
+    pub name: Symbol,
+    /// Declared number of arguments (excluding receiver).
+    pub arity: u8,
+    /// Static return type.
+    pub ret: VarType,
+    /// Whether the method is called on the class rather than an instance.
+    pub is_static: bool,
+}
+
+/// One API class visible to the frontend.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApiClassSig {
+    /// Fully-qualified name, e.g. `java.util.HashMap`.
+    pub name: Symbol,
+    /// Whether client code may `new` the class directly. Classes like
+    /// `java.sql.ResultSet` are only obtained through factory methods.
+    pub constructible: bool,
+    /// Known method signatures. Calls to unlisted methods are allowed and
+    /// default to an unknown return type.
+    pub methods: Vec<ApiMethodSig>,
+}
+
+impl ApiClassSig {
+    /// Looks up a method signature by name and arity (exact match first,
+    /// then by name only).
+    pub fn method(&self, name: Symbol, arity: usize) -> Option<&ApiMethodSig> {
+        self.methods
+            .iter()
+            .find(|m| m.name == name && m.arity as usize == arity)
+            .or_else(|| self.methods.iter().find(|m| m.name == name))
+    }
+}
+
+/// The full set of API classes known to the frontend.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ApiTable {
+    classes: HashMap<Symbol, ApiClassSig>,
+    /// Class names bound to the primitive types, e.g. `Str` →
+    /// `java.lang.String`, so method calls on literals resolve.
+    prim_classes: HashMap<PrimBinding, Symbol>,
+}
+
+/// The primitive kinds that can be bound to an API class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimBinding {
+    /// String values.
+    Str,
+    /// Integer values.
+    Int,
+    /// Boolean values.
+    Bool,
+}
+
+impl ApiTable {
+    /// Creates an empty table.
+    pub fn new() -> ApiTable {
+        ApiTable::default()
+    }
+
+    /// Registers (or replaces) a class signature.
+    pub fn insert(&mut self, class: ApiClassSig) {
+        self.classes.insert(class.name, class);
+    }
+
+    /// Binds a primitive kind to a class so that e.g. `"a".length()`
+    /// resolves against that class.
+    pub fn bind_prim(&mut self, prim: PrimBinding, class: Symbol) {
+        self.prim_classes.insert(prim, class);
+    }
+
+    /// Looks up a class by fully-qualified name.
+    pub fn class(&self, name: Symbol) -> Option<&ApiClassSig> {
+        self.classes.get(&name)
+    }
+
+    /// Resolves the API class corresponding to a variable type, if any.
+    pub fn class_of_type(&self, ty: VarType) -> Option<Symbol> {
+        match ty {
+            VarType::Api(c) => Some(c),
+            VarType::Str => self.prim_classes.get(&PrimBinding::Str).copied(),
+            VarType::Int => self.prim_classes.get(&PrimBinding::Int).copied(),
+            VarType::Bool => self.prim_classes.get(&PrimBinding::Bool).copied(),
+            _ => None,
+        }
+    }
+
+    /// Return type of `class.method/arity`, defaulting to
+    /// [`VarType::Unknown`] for unlisted methods.
+    pub fn ret_type(&self, class: Symbol, method: Symbol, arity: usize) -> VarType {
+        self.class(class)
+            .and_then(|c| c.method(method, arity))
+            .map(|m| m.ret)
+            .unwrap_or(VarType::Unknown)
+    }
+
+    /// Whether `name` is a registered class (used to resolve static calls).
+    pub fn is_class(&self, name: Symbol) -> bool {
+        self.classes.contains_key(&name)
+    }
+
+    /// Iterates over all registered classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ApiClassSig> {
+        self.classes.values()
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the table has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// Builder-style helper for declaring API classes tersely.
+///
+/// # Examples
+///
+/// ```
+/// use uspec_lang::registry::{ApiClassBuilder, VarType};
+///
+/// let class = ApiClassBuilder::new("java.util.HashMap")
+///     .method("put", 2, VarType::Unknown)
+///     .method("get", 1, VarType::Unknown)
+///     .build();
+/// assert_eq!(class.methods.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ApiClassBuilder {
+    sig: ApiClassSig,
+}
+
+impl ApiClassBuilder {
+    /// Starts a constructible class with the given fully-qualified name.
+    pub fn new(name: &str) -> ApiClassBuilder {
+        ApiClassBuilder {
+            sig: ApiClassSig {
+                name: Symbol::intern(name),
+                constructible: true,
+                methods: Vec::new(),
+            },
+        }
+    }
+
+    /// Marks the class as not directly constructible (factory-only).
+    pub fn factory_only(mut self) -> ApiClassBuilder {
+        self.sig.constructible = false;
+        self
+    }
+
+    /// Adds an instance method.
+    pub fn method(mut self, name: &str, arity: u8, ret: VarType) -> ApiClassBuilder {
+        self.sig.methods.push(ApiMethodSig {
+            name: Symbol::intern(name),
+            arity,
+            ret,
+            is_static: false,
+        });
+        self
+    }
+
+    /// Adds a static method.
+    pub fn static_method(mut self, name: &str, arity: u8, ret: VarType) -> ApiClassBuilder {
+        self.sig.methods.push(ApiMethodSig {
+            name: Symbol::intern(name),
+            arity,
+            ret,
+            is_static: true,
+        });
+        self
+    }
+
+    /// Finishes the class signature.
+    pub fn build(self) -> ApiClassSig {
+        self.sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_id_display() {
+        let id = MethodId::new("java.util.HashMap", "get", 1);
+        assert_eq!(id.qualified(), "java.util.HashMap.get/1");
+        assert_eq!(id.nargs(), 1);
+    }
+
+    #[test]
+    fn var_type_join() {
+        let hm = VarType::Api(Symbol::intern("HashMap"));
+        assert_eq!(hm.join(hm), hm);
+        assert_eq!(hm.join(VarType::Null), hm);
+        assert_eq!(VarType::Null.join(VarType::Str), VarType::Str);
+        assert_eq!(hm.join(VarType::Str), VarType::Unknown);
+    }
+
+    #[test]
+    fn table_lookup_and_ret_types() {
+        let mut table = ApiTable::new();
+        table.insert(
+            ApiClassBuilder::new("java.util.HashMap")
+                .method("get", 1, VarType::Unknown)
+                .method("put", 2, VarType::Unknown)
+                .build(),
+        );
+        let hm = Symbol::intern("java.util.HashMap");
+        assert!(table.is_class(hm));
+        assert_eq!(
+            table.ret_type(hm, Symbol::intern("get"), 1),
+            VarType::Unknown
+        );
+        assert_eq!(
+            table.ret_type(hm, Symbol::intern("nonexistent"), 1),
+            VarType::Unknown
+        );
+        assert!(!table.is_class(Symbol::intern("java.util.TreeMap")));
+    }
+
+    #[test]
+    fn prim_binding_resolves() {
+        let mut table = ApiTable::new();
+        let string = Symbol::intern("java.lang.String");
+        table.insert(
+            ApiClassBuilder::new("java.lang.String")
+                .method("length", 0, VarType::Int)
+                .build(),
+        );
+        table.bind_prim(PrimBinding::Str, string);
+        assert_eq!(table.class_of_type(VarType::Str), Some(string));
+        assert_eq!(table.class_of_type(VarType::Int), None);
+        assert_eq!(table.class_of_type(VarType::Api(string)), Some(string));
+    }
+
+    #[test]
+    fn factory_only_classes() {
+        let c = ApiClassBuilder::new("java.sql.ResultSet")
+            .factory_only()
+            .method("getString", 1, VarType::Str)
+            .build();
+        assert!(!c.constructible);
+    }
+
+    #[test]
+    fn method_lookup_falls_back_to_name_only() {
+        let c = ApiClassBuilder::new("X")
+            .method("m", 2, VarType::Int)
+            .build();
+        // Exact arity miss still finds the method by name.
+        assert!(c.method(Symbol::intern("m"), 3).is_some());
+        assert!(c.method(Symbol::intern("q"), 0).is_none());
+    }
+}

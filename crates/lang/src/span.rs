@@ -1,0 +1,109 @@
+//! Byte spans and line/column positions for diagnostics.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[lo, hi)` into a source file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub lo: u32,
+    /// Exclusive end byte offset.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Span {
+        assert!(lo <= hi, "span start {lo} past end {hi}");
+        Span { lo, hi }
+    }
+
+    /// A zero-width placeholder span.
+    pub fn dummy() -> Span {
+        Span { lo: 0, hi: 0 }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the span is zero width.
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Extracts the spanned text from `src`.
+    pub fn text(self, src: &str) -> &str {
+        &src[self.lo as usize..self.hi as usize]
+    }
+
+    /// Computes the 1-based line and column of the span start in `src`.
+    pub fn line_col(self, src: &str) -> (u32, u32) {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for (i, c) in src.char_indices() {
+            if i as u32 >= self.lo {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(8, 10);
+        assert_eq!(a.to(b), Span::new(3, 10));
+        assert_eq!(b.to(a), Span::new(3, 10));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn text_slices_source() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).text(src), "world");
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Token kinds produced by the [lexer](crate::lexer).
+
+use crate::span::Span;
+use crate::Symbol;
+
+/// The kind of a lexical token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or dotted-name segment, e.g. `map` or `HashMap`.
+    Ident(Symbol),
+    /// A string literal (contents, unescaped).
+    Str(Symbol),
+    /// An integer literal.
+    Int(i64),
+    /// `class`
+    KwClass,
+    /// `fn`
+    KwFn,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `return`
+    KwReturn,
+    /// `new`
+    KwNew,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `null`
+    KwNull,
+    /// `let`
+    KwLet,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `!`
+    Bang,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(_) => "string literal".to_owned(),
+            TokenKind::Int(_) => "integer literal".to_owned(),
+            TokenKind::KwClass => "`class`".to_owned(),
+            TokenKind::KwFn => "`fn`".to_owned(),
+            TokenKind::KwIf => "`if`".to_owned(),
+            TokenKind::KwElse => "`else`".to_owned(),
+            TokenKind::KwWhile => "`while`".to_owned(),
+            TokenKind::KwReturn => "`return`".to_owned(),
+            TokenKind::KwNew => "`new`".to_owned(),
+            TokenKind::KwTrue => "`true`".to_owned(),
+            TokenKind::KwFalse => "`false`".to_owned(),
+            TokenKind::KwNull => "`null`".to_owned(),
+            TokenKind::KwLet => "`let`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::Semi => "`;`".to_owned(),
+            TokenKind::Dot => "`.`".to_owned(),
+            TokenKind::Eq => "`=`".to_owned(),
+            TokenKind::EqEq => "`==`".to_owned(),
+            TokenKind::NotEq => "`!=`".to_owned(),
+            TokenKind::Bang => "`!`".to_owned(),
+            TokenKind::Colon => "`:`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}

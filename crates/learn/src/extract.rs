@@ -1,0 +1,344 @@
+//! Candidate extraction over a corpus of event graphs — Alg. 1 of the paper.
+
+use std::collections::BTreeMap;
+use uspec_graph::{EventGraph, Pos};
+use uspec_model::EdgeModel;
+use uspec_pta::Spec;
+
+use crate::matching::{induced_edges, match_patterns, match_ret_recv};
+
+/// Options for candidate extraction.
+#[derive(Clone, Debug)]
+pub struct ExtractOptions {
+    /// Maximum event-graph distance between the receiver events of a call
+    /// site pair (§7.1, "Bounded candidate extraction", default 10).
+    pub max_receiver_distance: u32,
+    /// Skip candidates whose class could not be resolved (`?`), since they
+    /// cannot be aggregated meaningfully across files.
+    pub skip_unknown_class: bool,
+    /// Maximum number of induced edges per match that are scored. The paper
+    /// ignores matches inducing more than a single edge; with our smaller
+    /// corpus, chained consumers (two induced edges) are common enough that
+    /// a small cap retains more signal. Set to 1 for strict Alg. 1
+    /// behaviour.
+    pub max_induced_edges: usize,
+    /// Also extract candidates for the `RetRecv` extension pattern
+    /// (builder-style "returns its receiver"); off by default to keep the
+    /// paper's hypothesis class.
+    pub enable_ret_recv: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> ExtractOptions {
+        ExtractOptions {
+            max_receiver_distance: 10,
+            skip_unknown_class: true,
+            max_induced_edges: 4,
+            enable_ret_recv: false,
+        }
+    }
+}
+
+/// Aggregated extraction state: for each candidate `S`, the list `Γ_S` of
+/// edge confidences plus bookkeeping counters.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateSet {
+    /// Per-candidate edge-confidence lists (the paper's `Γ_S`).
+    pub confidences: BTreeMap<Spec, Vec<f32>>,
+    /// Per-candidate number of pattern matches across the corpus.
+    pub match_counts: BTreeMap<Spec, usize>,
+    /// Matches skipped because they induced zero or more than one edge
+    /// (Alg. 1 considers only single-edge matches).
+    pub skipped_multi_edge: usize,
+    /// Matches skipped because the model has no ψ for the edge's position
+    /// pair.
+    pub skipped_no_model: usize,
+    /// Number of call-site pairs examined (|A_G| summed over graphs).
+    pub pairs_examined: usize,
+}
+
+impl CandidateSet {
+    /// Number of distinct candidate specifications.
+    pub fn len(&self) -> usize {
+        self.match_counts.len()
+    }
+
+    /// Whether no candidates were found.
+    pub fn is_empty(&self) -> bool {
+        self.match_counts.is_empty()
+    }
+
+    /// Merges another extraction (e.g. from a parallel shard).
+    pub fn merge(&mut self, other: CandidateSet) {
+        for (spec, gs) in other.confidences {
+            self.confidences.entry(spec).or_default().extend(gs);
+        }
+        for (spec, n) in other.match_counts {
+            *self.match_counts.entry(spec).or_default() += n;
+        }
+        self.skipped_multi_edge += other.skipped_multi_edge;
+        self.skipped_no_model += other.skipped_no_model;
+        self.pairs_examined += other.pairs_examined;
+    }
+
+    /// Number of distinct API classes spanned by the candidates.
+    pub fn num_classes(&self) -> usize {
+        let classes: std::collections::BTreeSet<_> =
+            self.match_counts.keys().map(|s| s.class()).collect();
+        classes.len()
+    }
+}
+
+/// Streaming extractor implementing Alg. 1: feed event graphs one at a
+/// time, then inspect the [`CandidateSet`].
+#[derive(Debug)]
+pub struct Extractor<'m> {
+    model: &'m EdgeModel,
+    opts: ExtractOptions,
+    set: CandidateSet,
+}
+
+impl<'m> Extractor<'m> {
+    /// Creates an extractor scoring induced edges with `model`.
+    pub fn new(model: &'m EdgeModel, opts: ExtractOptions) -> Extractor<'m> {
+        Extractor {
+            model,
+            opts,
+            set: CandidateSet::default(),
+        }
+    }
+
+    /// Processes one event graph (the loop body of Alg. 1).
+    pub fn add_graph(&mut self, g: &EventGraph) {
+        if self.opts.enable_ret_recv {
+            let sites: Vec<_> = g.api_sites().map(|(s, _)| s).collect();
+            for m in sites {
+                if let Some(pm) = match_ret_recv(g, m) {
+                    if !(self.opts.skip_unknown_class && pm.spec.class().as_str() == "?") {
+                        self.record_match(g, pm);
+                    }
+                }
+            }
+        }
+        // A_G: call-site pairs (m1, m2) whose receiver events are connected
+        // by an edge ⟨m2,0⟩ → ⟨m1,0⟩ within the distance bound.
+        for (m1, _info1) in g.api_sites() {
+            let Some(recv1) = g.event_id(m1, Pos::Recv) else {
+                continue;
+            };
+            for &p in g.parents(recv1) {
+                let pe = g.event(p);
+                if pe.pos != Pos::Recv {
+                    continue;
+                }
+                let m2 = pe.site;
+                if g.edge_distance(p, recv1)
+                    .is_none_or(|d| d > self.opts.max_receiver_distance)
+                {
+                    continue;
+                }
+                self.set.pairs_examined += 1;
+                for pm in match_patterns(g, m1, m2) {
+                    if self.opts.skip_unknown_class && pm.spec.class().as_str() == "?" {
+                        continue;
+                    }
+                    self.record_match(g, pm);
+                }
+            }
+        }
+    }
+
+    /// Records one pattern match: counts it and scores its induced edges
+    /// (Alg. 1 line 6, with the small-cap relaxation).
+    fn record_match(&mut self, g: &EventGraph, pm: crate::matching::PatternMatch) {
+        *self.set.match_counts.entry(pm.spec).or_default() += 1;
+        let edges = induced_edges(g, &pm);
+        if edges.is_empty() || edges.len() > self.opts.max_induced_edges {
+            self.set.skipped_multi_edge += 1;
+            return;
+        }
+        for (e1, e2) in edges {
+            match self.model.predict_pair(g, e1, e2) {
+                Some(conf) => {
+                    self.set.confidences.entry(pm.spec).or_default().push(conf);
+                }
+                None => self.set.skipped_no_model += 1,
+            }
+        }
+    }
+
+    /// Finishes extraction.
+    pub fn finish(self) -> CandidateSet {
+        self.set
+    }
+}
+
+/// Convenience wrapper running Alg. 1 over a slice of graphs.
+pub fn extract_candidates(
+    graphs: &[EventGraph],
+    model: &EdgeModel,
+    opts: &ExtractOptions,
+) -> CandidateSet {
+    let mut ex = Extractor::new(model, opts.clone());
+    for g in graphs {
+        ex.add_graph(g);
+    }
+    ex.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_model::TrainOptions;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    fn corpus() -> (Vec<EventGraph>, Vec<EventGraph>) {
+        // Training graphs: direct getFile/getName chains teach the model
+        // that objects produced by getFile are consumed by getName.
+        let mut train = Vec::new();
+        for _ in 0..15 {
+            train.push(graph_of(
+                "fn main(db) { f = db.getFile(\"x\"); n = f.getName(); }",
+            ));
+            train.push(graph_of(
+                "fn main(db) { c = db.openConn(\"d\"); c.execute(\"q\"); }",
+            ));
+        }
+        // Candidate graphs: the store/retrieve idiom.
+        let cand = vec![
+            graph_of(
+                r#"
+                fn main(db) {
+                    map = new HashMap();
+                    map.put("key", db.getFile("x"));
+                    y = map.get("key");
+                    n = y.getName();
+                }
+                "#,
+            ),
+            graph_of(
+                r#"
+                fn main(db) {
+                    map = new HashMap();
+                    map.put("id", db.getFile("z"));
+                    y = map.get("id");
+                    n = y.getName();
+                }
+                "#,
+            ),
+        ];
+        (train, cand)
+    }
+
+    #[test]
+    fn extracts_and_scores_retarg_candidate() {
+        let (train, cand) = corpus();
+        let model = EdgeModel::train_on_graphs(&train, &TrainOptions::default());
+        let set = extract_candidates(&cand, &model, &ExtractOptions::default());
+        let get = uspec_lang::MethodId::new("HashMap", "get", 1);
+        let put = uspec_lang::MethodId::new("HashMap", "put", 2);
+        let spec = Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2,
+        };
+        assert_eq!(set.match_counts.get(&spec), Some(&2));
+        let gamma = set.confidences.get(&spec).expect("confidences recorded");
+        assert_eq!(gamma.len(), 2);
+        assert!(
+            gamma.iter().all(|&c| c > 0.5),
+            "induced edges should be confident: {gamma:?}"
+        );
+    }
+
+    #[test]
+    fn distance_bound_prunes_pairs() {
+        let (train, _) = corpus();
+        let model = EdgeModel::train_on_graphs(&train, &TrainOptions::default());
+        // Receiver events 12 noise calls apart.
+        let noise: String = (0..12).map(|i| format!("map.noise{i}();\n")).collect();
+        let src = format!(
+            r#"
+            fn main(db) {{
+                map = new HashMap();
+                map.put("key", db.getFile("x"));
+                {noise}
+                y = map.get("key");
+            }}
+            "#
+        );
+        let g = graph_of(&src);
+        let tight = extract_candidates(
+            std::slice::from_ref(&g),
+            &model,
+            &ExtractOptions {
+                max_receiver_distance: 10,
+                ..ExtractOptions::default()
+            },
+        );
+        let loose = extract_candidates(
+            std::slice::from_ref(&g),
+            &model,
+            &ExtractOptions {
+                max_receiver_distance: 100,
+                ..ExtractOptions::default()
+            },
+        );
+        let is_put_get = |s: &Spec| matches!(s, Spec::RetArg { .. });
+        assert!(!tight.match_counts.keys().any(is_put_get));
+        assert!(loose.match_counts.keys().any(is_put_get));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let (train, cand) = corpus();
+        let model = EdgeModel::train_on_graphs(&train, &TrainOptions::default());
+        let opts = ExtractOptions::default();
+        let mut a = extract_candidates(&cand[..1], &model, &opts);
+        let b = extract_candidates(&cand[1..], &model, &opts);
+        let whole = extract_candidates(&cand, &model, &opts);
+        a.merge(b);
+        assert_eq!(a.match_counts, whole.match_counts);
+        assert_eq!(a.pairs_examined, whole.pairs_examined);
+    }
+
+    #[test]
+    fn unknown_class_candidates_skipped_by_default() {
+        let (train, _) = corpus();
+        let model = EdgeModel::train_on_graphs(&train, &TrainOptions::default());
+        // `m` is an unannotated parameter: receiver class is `?`.
+        let g = graph_of(
+            r#"
+            fn main(m, db) {
+                m.put("k", db.getFile("x"));
+                y = m.get("k");
+            }
+            "#,
+        );
+        let set = extract_candidates(std::slice::from_ref(&g), &model, &ExtractOptions::default());
+        assert!(set.is_empty(), "got {:?}", set.match_counts);
+        let keep = extract_candidates(
+            std::slice::from_ref(&g),
+            &model,
+            &ExtractOptions {
+                skip_unknown_class: false,
+                ..ExtractOptions::default()
+            },
+        );
+        assert!(!keep.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # uspec-learn
+//!
+//! Learning API aliasing specifications from event graphs — §5 of the paper.
+//!
+//! * [`matching`] — the hypothesis class: `RetSame(s)` / `RetArg(t, s, x)`
+//!   pattern matching (conditions C1–C4 / C1'–C4') and the edges each match
+//!   *induces*.
+//! * [`extract`] — Alg. 1: enumerate same-receiver call-site pairs within a
+//!   bounded event-graph distance, instantiate candidates, and query the
+//!   probabilistic model for each induced edge's confidence, accumulating
+//!   `Γ_S` per candidate.
+//! * [`scoring`] — `score(S)` functions (top-k average by default, the
+//!   alternatives kept for the §7.2 ablation), ranking and τ-thresholded
+//!   selection, with the §5.4 closure applied via
+//!   [`uspec_pta::SpecDb`].
+//!
+//! The selected [`uspec_pta::SpecDb`] plugs directly into the augmented
+//! points-to analysis of `uspec-pta` (§6).
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod matching;
+pub mod scoring;
+
+pub use extract::{extract_candidates, CandidateSet, ExtractOptions, Extractor};
+pub use matching::{induced_edges, match_patterns, PatternMatch};
+pub use scoring::{LearnedSpecs, ScoreFn, ScoredSpec};
+// Re-export the spec types for convenience.
+pub use uspec_pta::{Spec, SpecDb};

@@ -1,0 +1,472 @@
+//! Pattern matching and induced edges (§5.1).
+
+use uspec_graph::{EventGraph, EventId, Pos, SiteKind};
+use uspec_lang::mir::CallSite;
+use uspec_pta::Spec;
+
+/// A successful match of a specification pattern at a call-site pair
+/// `(m1, m2)` (with `m2` called before `m1`), together with the
+/// instantiated candidate specification.
+#[derive(Clone, Debug)]
+pub struct PatternMatch {
+    /// The later call site (the read, `t` for RetArg).
+    pub m1: CallSite,
+    /// The earlier call site (the write, `s`).
+    pub m2: CallSite,
+    /// The instantiated candidate specification `inst(R, m1, m2)`.
+    pub spec: Spec,
+}
+
+/// Checks conditions (C1)–(C4) for `RetSame` and (C1'),(C2),(C3),(C4') for
+/// `RetArg` on a call-site pair, returning every instantiated candidate.
+///
+/// Preconditions checked here: both sites are API calls with known events.
+/// Condition (C3) — `m2` ordered before `m1` — is the caller's
+/// responsibility (pairs come from receiver-event edges).
+pub fn match_patterns(g: &EventGraph, m1: CallSite, m2: CallSite) -> Vec<PatternMatch> {
+    let mut out = Vec::new();
+    let (Some(i1), Some(i2)) = (g.site_info(m1), g.site_info(m2)) else {
+        return out;
+    };
+    if i1.kind != SiteKind::ApiCall || i2.kind != SiteKind::ApiCall {
+        return out;
+    }
+    // (C2): same receiver.
+    if !g.same_receiver(m1, m2) {
+        return out;
+    }
+
+    // RetSame: (C1) same identifier, (C4) all arguments equal.
+    if i1.method == i2.method {
+        let n = i1.method.nargs();
+        let all_equal =
+            (1..=n).all(|i| g.equal_args(m1, Pos::Arg(i as u8), m2, Pos::Arg(i as u8)));
+        if all_equal {
+            out.push(PatternMatch {
+                m1,
+                m2,
+                spec: Spec::RetSame { method: i1.method },
+            });
+        }
+    }
+
+    // RetArg: (C1') nargs(m2) = nargs(m1) + 1, (C4') other args equal.
+    if i2.method.nargs() == i1.method.nargs() + 1 {
+        let n2 = i2.method.nargs();
+        for x in 1..=n2 {
+            let before_ok =
+                (1..x).all(|i| g.equal_args(m1, Pos::Arg(i as u8), m2, Pos::Arg(i as u8)));
+            let after_ok = ((x + 1)..=n2)
+                .all(|j| g.equal_args(m1, Pos::Arg((j - 1) as u8), m2, Pos::Arg(j as u8)));
+            if before_ok && after_ok {
+                out.push(PatternMatch {
+                    m1,
+                    m2,
+                    spec: Spec::RetArg {
+                        target: i1.method,
+                        source: i2.method,
+                        x: x as u8,
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The edges induced by a pattern match (§5.1, "Induced edges").
+///
+/// * `RetArg(t, s, x)`: edges from every allocation event of `⟨m2, x⟩` to
+///   every child of `⟨m1, ret⟩`.
+/// * `RetSame(s)`: edges from every child of `⟨m2, ret⟩` to every child of
+///   `⟨m1, ret⟩`.
+/// * `RetRecv(m)` (extension): edges from every allocation event of
+///   `⟨m1, 0⟩` to every child of `⟨m1, ret⟩`.
+pub fn induced_edges(g: &EventGraph, pm: &PatternMatch) -> Vec<(EventId, EventId)> {
+    let mut out = Vec::new();
+    match pm.spec {
+        Spec::RetArg { x, .. } => {
+            let Some(arg_ev) = g.event_id(pm.m2, Pos::Arg(x)) else {
+                return out;
+            };
+            let Some(ret_ev) = g.event_id(pm.m1, Pos::Ret) else {
+                return out;
+            };
+            for a in g.alloc_set(arg_ev) {
+                for &c in g.children(ret_ev) {
+                    out.push((a, c));
+                }
+            }
+        }
+        Spec::RetSame { .. } => {
+            let (Some(r2), Some(r1)) = (g.event_id(pm.m2, Pos::Ret), g.event_id(pm.m1, Pos::Ret))
+            else {
+                return out;
+            };
+            for &c2 in g.children(r2) {
+                for &c1 in g.children(r1) {
+                    if c1 != c2 {
+                        out.push((c2, c1));
+                    }
+                }
+            }
+        }
+        Spec::RetRecv { .. } => {
+            let (Some(recv), Some(ret)) =
+                (g.event_id(pm.m1, Pos::Recv), g.event_id(pm.m1, Pos::Ret))
+            else {
+                return out;
+            };
+            for a in g.alloc_set(recv) {
+                for &c in g.children(ret) {
+                    if a != c {
+                        out.push((a, c));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Matches the `RetRecv` extension pattern at a *single* call site: any API
+/// call with both a receiver and a used return value is a candidate; the
+/// probabilistic scoring of its induced edges does the filtering.
+pub fn match_ret_recv(g: &EventGraph, m: CallSite) -> Option<PatternMatch> {
+    let info = g.site_info(m)?;
+    if info.kind != SiteKind::ApiCall {
+        return None;
+    }
+    g.event_id(m, Pos::Recv)?;
+    g.event_id(m, Pos::Ret)?;
+    Some(PatternMatch {
+        m1: m,
+        m2: m,
+        spec: Spec::RetRecv {
+            method: info.method,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    fn site(g: &EventGraph, method: &str, nth: usize) -> CallSite {
+        let mut sites: Vec<CallSite> = g
+            .api_sites()
+            .filter(|(_, i)| i.method.method.as_str() == method)
+            .map(|(s, _)| s)
+            .collect();
+        sites.sort_by_key(|s| (s.node, s.ctx));
+        sites[nth]
+    }
+
+    #[test]
+    fn fig2_matches_retarg_get_put_2() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                map = new HashMap();
+                map.put("key", db.getFile("a"));
+                x = map.get("key");
+                n = x.getName();
+            }
+            "#,
+        );
+        let get = site(&g, "get", 0);
+        let put = site(&g, "put", 0);
+        let matches = match_patterns(&g, get, put);
+        assert_eq!(matches.len(), 1);
+        let Spec::RetArg { target, source, x } = matches[0].spec else {
+            panic!("expected RetArg, got {:?}", matches[0].spec)
+        };
+        assert_eq!(target.qualified(), "HashMap.get/1");
+        assert_eq!(source.qualified(), "HashMap.put/2");
+        assert_eq!(x, 2);
+
+        // The induced edge is exactly ℓ of Fig. 3:
+        // ⟨getFile,ret⟩ → ⟨getName,0⟩.
+        let edges = induced_edges(&g, &matches[0]);
+        assert_eq!(edges.len(), 1);
+        let (a, b) = edges[0];
+        let ea = g.event(a);
+        let eb = g.event(b);
+        assert_eq!(g.site_info(ea.site).unwrap().method.method.as_str(), "getFile");
+        assert_eq!(ea.pos, Pos::Ret);
+        assert_eq!(g.site_info(eb.site).unwrap().method.method.as_str(), "getName");
+        assert_eq!(eb.pos, Pos::Recv);
+    }
+
+    #[test]
+    fn different_keys_do_not_match() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                map = new HashMap();
+                map.put("k1", db.getFile("a"));
+                x = map.get("k2");
+                n = x.getName();
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, site(&g, "get", 0), site(&g, "put", 0));
+        assert!(matches.is_empty(), "got {matches:?}");
+    }
+
+    #[test]
+    fn different_receivers_do_not_match() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                m1 = new HashMap();
+                m2 = new HashMap();
+                m1.put("k", db.getFile("a"));
+                x = m2.get("k");
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, site(&g, "get", 0), site(&g, "put", 0));
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn ret_same_matches_repeated_calls() {
+        let g = graph_of(
+            r#"
+            fn main(view) {
+                a = view.findViewById(7);
+                b = view.findViewById(7);
+                a.show();
+                b.show();
+            }
+            "#,
+        );
+        let m2 = site(&g, "findViewById", 0);
+        let m1 = site(&g, "findViewById", 1);
+        let matches = match_patterns(&g, m1, m2);
+        assert_eq!(matches.len(), 1);
+        assert!(matches[0].spec.to_string().contains("RetSame"));
+        // Induced: ⟨find(0),ret⟩'s child ⟨show,0⟩ → ⟨find(1),ret⟩'s child.
+        let edges = induced_edges(&g, &matches[0]);
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn ret_same_different_args_do_not_match() {
+        let g = graph_of(
+            r#"
+            fn main(view) {
+                a = view.findViewById(7);
+                b = view.findViewById(8);
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, site(&g, "findViewById", 1), site(&g, "findViewById", 0));
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn zero_arg_ret_same_matches() {
+        // next()/next() structurally matches RetSame — the probabilistic
+        // scoring is what filters it out, not the matcher.
+        let g = graph_of(
+            r#"
+            fn main(it) {
+                a = it.next();
+                b = it.next();
+                a.use1();
+                b.use2();
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, site(&g, "next", 1), site(&g, "next", 0));
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn multiple_x_positions_all_instantiate() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                m = new Table();
+                m.store("k", "k");
+                x = m.fetch("k");
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, site(&g, "fetch", 0), site(&g, "store", 0));
+        let xs: Vec<u8> = matches
+            .iter()
+            .filter_map(|m| match m.spec {
+                Spec::RetArg { x, .. } => Some(x),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(xs, vec![1, 2], "both argument positions are candidates");
+    }
+}
+
+#[cfg(test)]
+mod ret_recv_tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    #[test]
+    fn builder_call_matches_ret_recv() {
+        let g = graph_of(
+            r#"
+            fn main() {
+                sb = new SB();
+                b = sb.append("a");
+                b.use1();
+            }
+            "#,
+        );
+        let append = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "append")
+            .map(|(s, _)| s)
+            .unwrap();
+        let pm = match_ret_recv(&g, append).expect("matches");
+        assert!(matches!(pm.spec, Spec::RetRecv { .. }));
+        // Induced edge: ⟨newSB,ret⟩ → ⟨use1,0⟩.
+        let edges = induced_edges(&g, &pm);
+        assert_eq!(edges.len(), 1);
+        let (a, b) = edges[0];
+        assert_eq!(g.site_info(g.event(a).site).unwrap().method.method.as_str(), "<new>");
+        assert_eq!(g.event(b).pos, Pos::Recv);
+    }
+
+    #[test]
+    fn unused_return_does_not_match_ret_recv() {
+        let g = graph_of(
+            r#"
+            fn main() {
+                sb = new SB();
+                sb.clear();
+            }
+            "#,
+        );
+        let clear = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "clear")
+            .map(|(s, _)| s)
+            .unwrap();
+        // clear() returns a value object per the API-unaware assumption,
+        // but nothing consumes it: no ⟨m,ret⟩ consumers means no induced
+        // edges; whether it "matches" depends on ret event presence.
+        if let Some(pm) = match_ret_recv(&g, clear) {
+            assert!(induced_edges(&g, &pm).is_empty());
+        }
+    }
+
+    #[test]
+    fn static_calls_never_match_ret_recv() {
+        let g = graph_of("fn main() { a = DB.connect(\"dsn\"); a.use1(); }");
+        let connect = g
+            .api_sites()
+            .find(|(_, i)| i.method.method.as_str() == "connect")
+            .map(|(s, _)| s)
+            .unwrap();
+        assert!(match_ret_recv(&g, connect).is_none(), "no receiver event");
+    }
+}
+
+#[cfg(test)]
+mod multi_key_matching_tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    fn sites(g: &EventGraph, m: &str) -> Vec<CallSite> {
+        let mut out: Vec<CallSite> = g
+            .api_sites()
+            .filter(|(_, i)| i.method.method.as_str() == m)
+            .map(|(s, _)| s)
+            .collect();
+        out.sort_by_key(|s| s.node);
+        out
+    }
+
+    #[test]
+    fn safeconfigparser_style_x3_match() {
+        // set(section, option, value) / get(section, option): the C4'
+        // conditions pair positions (1,1) and (2,2); x = 3.
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                c = new Cfg();
+                c.set("sec", "opt", db.make());
+                v = c.get("sec", "opt");
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, sites(&g, "get")[0], sites(&g, "set")[0]);
+        let xs: Vec<u8> = matches
+            .iter()
+            .filter_map(|m| match m.spec {
+                Spec::RetArg { x, .. } => Some(x),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(xs, vec![3]);
+    }
+
+    #[test]
+    fn wrong_section_breaks_x3_match() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                c = new Cfg();
+                c.set("sec", "opt", db.make());
+                v = c.get("other", "opt");
+            }
+            "#,
+        );
+        let matches = match_patterns(&g, sites(&g, "get")[0], sites(&g, "set")[0]);
+        assert!(matches.is_empty(), "got {matches:?}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Candidate scoring and specification selection (§5.2–5.4).
+
+use serde::{Deserialize, Serialize};
+use uspec_pta::{Spec, SpecDb};
+
+use crate::extract::CandidateSet;
+
+/// How `score(S)` is computed from the edge-confidence list `Γ_S`.
+///
+/// The paper's implementation uses the average of the `k = 10` highest
+/// values; the alternatives are kept for the §7.2 scoring-function
+/// ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScoreFn {
+    /// Mean of the `k` highest confidences (fewer if `|Γ_S| < k`).
+    TopKAvg(usize),
+    /// The single highest confidence.
+    Max,
+    /// The `q`-quantile of the confidences (e.g. 0.95).
+    Percentile(f64),
+    /// Match-count based scoring (ignores the probabilistic model):
+    /// `n / (n + c)` normalized into `[0, 1)`.
+    MatchCount {
+        /// Soft normalization constant `c`.
+        soft: f64,
+    },
+}
+
+impl Default for ScoreFn {
+    fn default() -> ScoreFn {
+        ScoreFn::TopKAvg(10)
+    }
+}
+
+impl ScoreFn {
+    /// Computes `score(S)` from `Γ_S` and the match count.
+    pub fn score(&self, gamma: &[f32], matches: usize) -> f64 {
+        match *self {
+            ScoreFn::TopKAvg(k) => {
+                if gamma.is_empty() {
+                    return 0.0;
+                }
+                let mut sorted: Vec<f32> = gamma.to_vec();
+                sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite confidences"));
+                let k = k.max(1).min(sorted.len());
+                sorted[..k].iter().map(|&v| v as f64).sum::<f64>() / k as f64
+            }
+            ScoreFn::Max => gamma.iter().copied().fold(0.0f32, f32::max) as f64,
+            ScoreFn::Percentile(q) => {
+                if gamma.is_empty() {
+                    return 0.0;
+                }
+                let mut sorted: Vec<f32> = gamma.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite confidences"));
+                let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                sorted[idx] as f64
+            }
+            ScoreFn::MatchCount { soft } => {
+                let n = matches as f64;
+                n / (n + soft.max(1e-9))
+            }
+        }
+    }
+}
+
+/// A candidate specification with its score and match count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScoredSpec {
+    /// The candidate.
+    pub spec: Spec,
+    /// `score(S)` under the chosen scoring function.
+    pub score: f64,
+    /// Number of pattern matches in the corpus.
+    pub matches: usize,
+    /// Number of scored induced edges (`|Γ_S|`).
+    pub scored_edges: usize,
+}
+
+/// The ranked outcome of the learning pipeline: all scored candidates,
+/// ready for τ-thresholded selection (§5.3).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LearnedSpecs {
+    /// Candidates sorted by descending score.
+    pub scored: Vec<ScoredSpec>,
+}
+
+impl LearnedSpecs {
+    /// Scores every candidate of an extraction.
+    ///
+    /// Following Alg. 1, a candidate only materializes through its `Γ_S`
+    /// list: matches whose induced edges were never scored (zero or
+    /// multiple induced edges at every match) do not produce a candidate.
+    pub fn from_candidates(set: &CandidateSet, score_fn: ScoreFn) -> LearnedSpecs {
+        let mut scored: Vec<ScoredSpec> = set
+            .confidences
+            .iter()
+            .filter(|(_, gamma)| !gamma.is_empty())
+            .map(|(&spec, gamma)| {
+                let matches = set.match_counts.get(&spec).copied().unwrap_or(0);
+                ScoredSpec {
+                    spec,
+                    score: score_fn.score(gamma, matches),
+                    matches,
+                    scored_edges: gamma.len(),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then_with(|| a.spec.cmp(&b.spec))
+        });
+        LearnedSpecs { scored }
+    }
+
+    /// Candidates with `score(S) ≥ τ`.
+    pub fn selected(&self, tau: f64) -> impl Iterator<Item = &ScoredSpec> {
+        self.scored.iter().filter(move |s| s.score >= tau)
+    }
+
+    /// Builds the closed [`SpecDb`] of specifications selected at `τ`
+    /// (§5.3 selection plus the §5.4 extension).
+    pub fn select(&self, tau: f64) -> SpecDb {
+        SpecDb::from_specs(self.selected(tau).map(|s| s.spec))
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.scored.len()
+    }
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.scored.is_empty()
+    }
+
+    /// Looks up one candidate's entry.
+    pub fn get(&self, spec: &Spec) -> Option<&ScoredSpec> {
+        self.scored.iter().find(|s| &s.spec == spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::MethodId;
+
+    fn spec(i: u8) -> Spec {
+        Spec::RetSame {
+            method: MethodId::new("C", format!("m{i}").as_str(), 0),
+        }
+    }
+
+    #[test]
+    fn top_k_avg_uses_highest_values() {
+        let f = ScoreFn::TopKAvg(3);
+        let gamma = [0.1, 0.9, 0.8, 0.7, 0.2];
+        let s = f.score(&gamma, 5);
+        assert!((s - (0.9 + 0.8 + 0.7) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_avg_with_fewer_values_averages_all() {
+        let f = ScoreFn::TopKAvg(10);
+        assert!((f.score(&[0.4, 0.6], 2) - 0.5).abs() < 1e-6);
+        assert_eq!(f.score(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn max_and_percentile() {
+        let gamma = [0.1, 0.5, 0.9];
+        assert!((ScoreFn::Max.score(&gamma, 3) - 0.9).abs() < 1e-6);
+        assert!((ScoreFn::Percentile(0.5).score(&gamma, 3) - 0.5).abs() < 1e-6);
+        assert!((ScoreFn::Percentile(1.0).score(&gamma, 3) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn match_count_scoring_monotone() {
+        let f = ScoreFn::MatchCount { soft: 20.0 };
+        assert!(f.score(&[], 100) > f.score(&[], 10));
+        assert!(f.score(&[], 1) < 0.1);
+        assert!(f.score(&[], 10_000) > 0.99);
+    }
+
+    #[test]
+    fn selection_thresholds() {
+        let mut set = CandidateSet::default();
+        set.match_counts.insert(spec(1), 5);
+        set.confidences.insert(spec(1), vec![0.9, 0.95]);
+        set.match_counts.insert(spec(2), 5);
+        set.confidences.insert(spec(2), vec![0.2, 0.3]);
+        let learned = LearnedSpecs::from_candidates(&set, ScoreFn::default());
+        assert_eq!(learned.len(), 2);
+        assert_eq!(learned.scored[0].spec, spec(1), "sorted by score");
+        assert_eq!(learned.selected(0.6).count(), 1);
+        assert_eq!(learned.selected(0.0).count(), 2);
+        let db = learned.select(0.6);
+        assert!(db.contains(&spec(1)));
+        assert!(!db.contains(&spec(2)));
+    }
+
+    #[test]
+    fn unscored_matches_do_not_materialize() {
+        // Alg. 1 only yields candidates through their Γ_S lists; a match
+        // whose induced edges were never scored produces no candidate.
+        let mut set = CandidateSet::default();
+        set.match_counts.insert(spec(3), 7);
+        let learned = LearnedSpecs::from_candidates(&set, ScoreFn::default());
+        assert!(learned.get(&spec(3)).is_none());
+        assert!(learned.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic feature hashing (the Vowpal-Wabbit-style hashing trick).
+
+/// 64-bit FNV-1a hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher for composing feature tokens without
+/// allocating strings.
+#[derive(Clone, Copy, Debug)]
+pub struct TokenHasher(u64);
+
+impl TokenHasher {
+    /// Starts a token with a namespace tag.
+    pub fn new(tag: &str) -> TokenHasher {
+        TokenHasher(fnv1a(tag.as_bytes()))
+    }
+
+    /// Mixes a string component.
+    pub fn str(mut self, s: &str) -> TokenHasher {
+        self.0 ^= fnv1a(s.as_bytes());
+        self.0 = self.0.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+        self
+    }
+
+    /// Mixes an integer component.
+    pub fn num(mut self, n: u64) -> TokenHasher {
+        self.0 ^= n.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        self.0 = self.0.rotate_left(31).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        self
+    }
+
+    /// Finishes the token.
+    pub fn finish(self) -> u64 {
+        // Final avalanche.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// Maps a 64-bit token into a `2^bits`-dimensional index.
+pub fn bucket(token: u64, bits: u32) -> usize {
+    (token & ((1u64 << bits) - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let a = TokenHasher::new("E").str("HashMap.get/1").num(0).finish();
+        let b = TokenHasher::new("E").str("HashMap.get/1").num(0).finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let a = TokenHasher::new("E").str("HashMap.get/1").num(0).finish();
+        let b = TokenHasher::new("E").str("HashMap.get/1").num(1).finish();
+        let c = TokenHasher::new("F").str("HashMap.get/1").num(0).finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn order_of_components_matters() {
+        let a = TokenHasher::new("t").str("x").str("y").finish();
+        let b = TokenHasher::new("t").str("y").str("x").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bucket_respects_bits() {
+        for bits in [1u32, 8, 16, 20] {
+            let idx = bucket(u64::MAX, bits);
+            assert!(idx < (1 << bits));
+        }
+    }
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

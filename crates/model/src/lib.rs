@@ -1,0 +1,28 @@
+//! # uspec-model
+//!
+//! The probabilistic event-graph model ϕ of §4: given the feature
+//! `ftr(e1, e2)` of an event pair, ϕ returns the probability that the edge
+//! `(e1, e2)` exists. Following §4.1 it is factorized into one logistic
+//! regression ψ(x1, x2) per argument-position pair, over a sparse hashed
+//! feature space (the paper uses Vowpal Wabbit; this crate implements the
+//! same model class from scratch: FNV-based feature hashing + SGD with log
+//! loss).
+//!
+//! Training data (§4.2): positives are graph edges with *censored* features
+//! (paths containing the opposite endpoint are dropped so the model cannot
+//! simply learn the transitive closure); negatives are subsampled
+//! unconnected pairs from the same graphs.
+//!
+//! The trained model's key use (§4.3) is scoring event pairs that are *not*
+//! connected — edge candidates induced by specification patterns.
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod hash;
+pub mod logreg;
+pub mod train;
+
+pub use features::{featurize, featurize_depth, featurize_with, PairFeature};
+pub use logreg::LogReg;
+pub use train::{extract_samples, EdgeModel, Sample, TrainOptions, TrainStats};

@@ -1,0 +1,132 @@
+//! Sparse logistic regression trained by SGD (the Vowpal Wabbit stand-in).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::bucket;
+
+/// A logistic regression over a `2^dim_bits`-dimensional hashed feature
+/// space with binary (presence) features.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogReg {
+    weights: Vec<f32>,
+    bias: f32,
+    dim_bits: u32,
+    updates: u64,
+}
+
+impl LogReg {
+    /// Creates a zero-initialized model with `2^dim_bits` weights.
+    pub fn new(dim_bits: u32) -> LogReg {
+        assert!(dim_bits <= 26, "dimension 2^{dim_bits} is excessive");
+        LogReg {
+            weights: vec![0.0; 1 << dim_bits],
+            bias: 0.0,
+            dim_bits,
+            updates: 0,
+        }
+    }
+
+    /// Predicted probability that the label is 1.
+    pub fn predict(&self, tokens: &[u64]) -> f32 {
+        sigmoid(self.margin(tokens))
+    }
+
+    /// Raw decision value `w·x + b`.
+    pub fn margin(&self, tokens: &[u64]) -> f32 {
+        let mut z = self.bias;
+        for &t in tokens {
+            z += self.weights[bucket(t, self.dim_bits)];
+        }
+        z
+    }
+
+    /// One SGD step on (tokens, label) with log loss and L2 regularization.
+    pub fn update(&mut self, tokens: &[u64], label: bool, lr: f32, l2: f32) {
+        let p = self.predict(tokens);
+        let g = p - (label as u8 as f32);
+        self.bias -= lr * g;
+        for &t in tokens {
+            let w = &mut self.weights[bucket(t, self.dim_bits)];
+            *w -= lr * (g + l2 * *w);
+        }
+        self.updates += 1;
+    }
+
+    /// Log loss of a single example.
+    pub fn loss(&self, tokens: &[u64], label: bool) -> f32 {
+        let p = self.predict(tokens).clamp(1e-7, 1.0 - 1e-7);
+        if label {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
+    }
+
+    /// Number of SGD updates performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_model_predicts_half() {
+        let m = LogReg::new(10);
+        assert!((m.predict(&[1, 2, 3]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let mut m = LogReg::new(12);
+        // Token 10 => positive, token 20 => negative.
+        for _ in 0..200 {
+            m.update(&[10, 30], true, 0.5, 0.0);
+            m.update(&[20, 30], false, 0.5, 0.0);
+        }
+        assert!(m.predict(&[10, 30]) > 0.9);
+        assert!(m.predict(&[20, 30]) < 0.1);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut m = LogReg::new(12);
+        let before = m.loss(&[10], true) + m.loss(&[20], false);
+        for _ in 0..50 {
+            m.update(&[10], true, 0.3, 0.0);
+            m.update(&[20], false, 0.3, 0.0);
+        }
+        let after = m.loss(&[10], true) + m.loss(&[20], false);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let mut a = LogReg::new(10);
+        let mut b = LogReg::new(10);
+        for _ in 0..500 {
+            a.update(&[5], true, 0.5, 0.0);
+            b.update(&[5], true, 0.5, 0.05);
+        }
+        assert!(b.predict(&[5]) < a.predict(&[5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "excessive")]
+    fn huge_dims_rejected() {
+        let _ = LogReg::new(40);
+    }
+
+    #[test]
+    fn sigmoid_sanity() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+}

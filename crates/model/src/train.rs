@@ -1,0 +1,550 @@
+//! Training-data extraction and the per-position edge model (§4.1–4.2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand_chacha::rand_core::SeedableRng;
+use std::collections::HashMap;
+use uspec_graph::{EventGraph, EventId};
+
+use crate::features::{featurize_depth, PairFeature};
+use crate::logreg::LogReg;
+
+/// Options controlling sample extraction and SGD training.
+#[derive(Clone, Debug)]
+pub struct TrainOptions {
+    /// Hashed feature-space size is `2^dim_bits` per position-pair model.
+    pub dim_bits: u32,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Learning-rate decay per epoch: `lr / (1 + decay·epoch)`.
+    pub lr_decay: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// RNG seed (negative sampling and shuffling).
+    pub seed: u64,
+    /// Number of negative samples per positive sample (§4.2 subsampling).
+    pub neg_per_pos: f32,
+    /// Whether to censor cross-pair paths in positive features (§4.2);
+    /// disabling this is the "learn the transitive closure" ablation.
+    pub censor_positive_paths: bool,
+    /// Use full (bidirectional) event contexts instead of the default
+    /// directional ones; see [`crate::features::featurize_with`].
+    pub full_contexts: bool,
+    /// Maximum context path length `k` of `ctx_{G,k}` (§4.1); the paper
+    /// uses 2.
+    pub context_depth: usize,
+    /// Restrict negative samples to event pairs "that occur in the same
+    /// calling context" (§4.2). With inlined bodies the calling context is
+    /// the inlining stack of each event's call site.
+    pub negatives_same_context: bool,
+    /// Cap on positive samples per event graph.
+    pub max_pos_per_graph: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> TrainOptions {
+        TrainOptions {
+            dim_bits: 18,
+            epochs: 6,
+            lr: 0.4,
+            lr_decay: 0.3,
+            l2: 1e-6,
+            seed: 42,
+            neg_per_pos: 1.0,
+            censor_positive_paths: true,
+            full_contexts: false,
+            context_depth: 2,
+            negatives_same_context: true,
+            max_pos_per_graph: 512,
+        }
+    }
+}
+
+/// One training sample: a featurized event pair with its edge label.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Position-pair key selecting the ψ model.
+    pub key: (u8, u8),
+    /// Hashed feature tokens.
+    pub tokens: Vec<u64>,
+    /// Whether the edge exists.
+    pub label: bool,
+}
+
+impl Sample {
+    fn from_feature(f: PairFeature, label: bool) -> Sample {
+        Sample {
+            key: (f.x1, f.x2),
+            tokens: f.tokens,
+            label,
+        }
+    }
+}
+
+/// Extracts positive (edges, censored) and negative (subsampled non-edges)
+/// training samples from one event graph (§4.2).
+pub fn extract_samples(g: &EventGraph, rng: &mut ChaCha8Rng, opts: &TrainOptions) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut edges: Vec<(EventId, EventId)> = g.edges().map(|(a, b, _)| (a, b)).collect();
+    edges.sort_unstable();
+    if edges.len() > opts.max_pos_per_graph {
+        edges.shuffle(rng);
+        edges.truncate(opts.max_pos_per_graph);
+    }
+    for &(a, b) in &edges {
+        let f = featurize_depth(
+            g,
+            a,
+            b,
+            opts.censor_positive_paths,
+            opts.full_contexts,
+            opts.context_depth,
+        );
+        samples.push(Sample::from_feature(f, true));
+    }
+
+    let n_events = g.num_events();
+    if n_events >= 2 {
+        let target = (edges.len() as f32 * opts.neg_per_pos).round() as usize;
+        let mut found = 0;
+        let mut tries = 0;
+        while found < target && tries < target * 20 + 50 {
+            tries += 1;
+            let a = EventId(rng.gen_range(0..n_events as u32));
+            let b = EventId(rng.gen_range(0..n_events as u32));
+            if a == b || g.has_edge(a, b) {
+                continue;
+            }
+            if opts.negatives_same_context
+                && g.event(a).site.ctx != g.event(b).site.ctx
+            {
+                continue;
+            }
+            let f = featurize_depth(g, a, b, true, opts.full_contexts, opts.context_depth);
+            samples.push(Sample::from_feature(f, false));
+            found += 1;
+        }
+    }
+    samples
+}
+
+/// Summary statistics of one training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// Number of positive samples.
+    pub n_pos: usize,
+    /// Number of negative samples.
+    pub n_neg: usize,
+    /// Number of per-position models instantiated.
+    pub n_models: usize,
+    /// Mean log loss over the final epoch.
+    pub final_loss: f64,
+    /// Training-set accuracy at threshold 0.5 after training.
+    pub train_accuracy: f64,
+}
+
+/// The probabilistic event-graph edge model ϕ: one logistic regression
+/// ψ(x1, x2) per argument-position pair (§4.1).
+#[derive(Clone, Debug)]
+pub struct EdgeModel {
+    models: HashMap<(u8, u8), LogReg>,
+    dim_bits: u32,
+    full_contexts: bool,
+    context_depth: usize,
+    stats: TrainStats,
+}
+
+impl EdgeModel {
+    /// Trains the model on pre-extracted samples.
+    pub fn train(samples: &[Sample], opts: &TrainOptions) -> EdgeModel {
+        let mut model = EdgeModel {
+            models: HashMap::new(),
+            dim_bits: opts.dim_bits,
+            full_contexts: opts.full_contexts,
+            context_depth: opts.context_depth,
+            stats: TrainStats {
+                n_pos: samples.iter().filter(|s| s.label).count(),
+                n_neg: samples.iter().filter(|s| !s.label).count(),
+                ..TrainStats::default()
+            },
+        };
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x7261_6e64);
+        for epoch in 0..opts.epochs {
+            order.shuffle(&mut rng);
+            let lr = opts.lr / (1.0 + opts.lr_decay * epoch as f32);
+            let mut loss = 0.0f64;
+            for &i in &order {
+                let s = &samples[i];
+                let m = model
+                    .models
+                    .entry(s.key)
+                    .or_insert_with(|| LogReg::new(opts.dim_bits));
+                if epoch == opts.epochs - 1 {
+                    loss += m.loss(&s.tokens, s.label) as f64;
+                }
+                m.update(&s.tokens, s.label, lr, opts.l2);
+            }
+            if epoch == opts.epochs - 1 && !samples.is_empty() {
+                model.stats.final_loss = loss / samples.len() as f64;
+            }
+        }
+        model.stats.n_models = model.models.len();
+        if !samples.is_empty() {
+            let correct = samples
+                .iter()
+                .filter(|s| {
+                    let p = model.predict_tokens(s.key, &s.tokens).unwrap_or(0.5);
+                    (p >= 0.5) == s.label
+                })
+                .count();
+            model.stats.train_accuracy = correct as f64 / samples.len() as f64;
+        }
+        model
+    }
+
+    /// Trains directly from a set of event graphs (extraction + SGD).
+    pub fn train_on_graphs<'a>(
+        graphs: impl IntoIterator<Item = &'a EventGraph>,
+        opts: &TrainOptions,
+    ) -> EdgeModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let mut samples = Vec::new();
+        for g in graphs {
+            samples.extend(extract_samples(g, &mut rng, opts));
+        }
+        EdgeModel::train(&samples, opts)
+    }
+
+    /// ϕ(ftr(e1, e2)): probability that the edge `(e1, e2)` exists.
+    ///
+    /// Returns `None` when no model exists for the pair's argument
+    /// positions (no such pair was ever seen in training).
+    pub fn predict_pair(&self, g: &EventGraph, e1: EventId, e2: EventId) -> Option<f32> {
+        let f = featurize_depth(g, e1, e2, true, self.full_contexts, self.context_depth);
+        self.predict_tokens((f.x1, f.x2), &f.tokens)
+    }
+
+    /// Prediction from pre-extracted tokens.
+    pub fn predict_tokens(&self, key: (u8, u8), tokens: &[u64]) -> Option<f32> {
+        self.models.get(&key).map(|m| m.predict(tokens))
+    }
+
+    /// Training statistics.
+    pub fn stats(&self) -> &TrainStats {
+        &self.stats
+    }
+
+    /// Hashed feature-space bits.
+    pub fn dim_bits(&self) -> u32 {
+        self.dim_bits
+    }
+
+    /// Number of position-pair models.
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions, Pos};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    fn ev(g: &EventGraph, method: &str, pos: Pos) -> EventId {
+        g.sites()
+            .find(|(_, i)| i.method.method.as_str() == method)
+            .and_then(|(s, _)| g.event_id(s, pos))
+            .unwrap_or_else(|| panic!("no event {method}@{pos:?}"))
+    }
+
+    fn training_graphs() -> Vec<EventGraph> {
+        let mut graphs = Vec::new();
+        for _ in 0..15 {
+            graphs.push(graph_of(
+                r#"
+                fn main(db) {
+                    f = db.getFile("x");
+                    n = f.getName();
+                }
+                "#,
+            ));
+            graphs.push(graph_of(
+                r#"
+                fn main(db) {
+                    c = db.openConn("dsn");
+                    c.execute("q");
+                }
+                "#,
+            ));
+        }
+        graphs
+    }
+
+    #[test]
+    fn extraction_balances_classes() {
+        let g = graph_of("fn main(db) { f = db.getFile(\"x\"); n = f.getName(); }");
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples = extract_samples(&g, &mut rng, &TrainOptions::default());
+        let pos = samples.iter().filter(|s| s.label).count();
+        let neg = samples.len() - pos;
+        assert!(pos > 0);
+        assert!(neg > 0);
+        assert!((pos as i64 - neg as i64).abs() <= pos as i64 / 2 + 2);
+    }
+
+    #[test]
+    fn model_learns_edges_and_generalizes_to_induced_pairs() {
+        let graphs = training_graphs();
+        let model = EdgeModel::train_on_graphs(&graphs, &TrainOptions::default());
+        assert!(model.stats().train_accuracy > 0.8, "{:?}", model.stats());
+
+        // The §4.3 key insight: in a store/retrieve program the (non-existent)
+        // induced edge ⟨getFile,ret⟩ → ⟨getName,0⟩ gets a high probability
+        // because the usage pattern was seen many times.
+        let test = graph_of(
+            r#"
+            fn main(db) {
+                map = new HashMap();
+                map.put("k", db.getFile("x"));
+                y = map.get("k");
+                n = y.getName();
+            }
+            "#,
+        );
+        let e1 = ev(&test, "getFile", Pos::Ret);
+        let e2 = ev(&test, "getName", Pos::Recv);
+        assert!(!test.has_edge(e1, e2), "edge must not exist API-unaware");
+        let p_induced = model.predict_pair(&test, e1, e2).expect("model for (ret,0)");
+
+        // Control: an implausible pairing in the same graph.
+        let lc = ev(&test, "str", Pos::Ret);
+        let p_control = model.predict_pair(&test, lc, e2).unwrap_or(0.0);
+        assert!(
+            p_induced > p_control,
+            "induced {p_induced} should beat control {p_control}"
+        );
+        assert!(p_induced > 0.5, "induced edge is likely: {p_induced}");
+    }
+
+    #[test]
+    fn wrong_direction_is_less_likely() {
+        let graphs = training_graphs();
+        let model = EdgeModel::train_on_graphs(&graphs, &TrainOptions::default());
+        let g = graph_of("fn main(db) { f = db.getFile(\"x\"); n = f.getName(); }");
+        let ret = ev(&g, "getFile", Pos::Ret);
+        let recv = ev(&g, "getName", Pos::Recv);
+        let fwd = model.predict_pair(&g, ret, recv).unwrap();
+        let bwd = model.predict_pair(&g, recv, ret).unwrap_or(0.0);
+        assert!(fwd > bwd);
+    }
+
+    #[test]
+    fn unseen_position_pair_returns_none() {
+        let model = EdgeModel::train(&[], &TrainOptions::default());
+        assert_eq!(model.predict_tokens((3, 4), &[1, 2]), None);
+        assert_eq!(model.num_models(), 0);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let graphs = training_graphs();
+        let opts = TrainOptions::default();
+        let m1 = EdgeModel::train_on_graphs(&graphs, &opts);
+        let m2 = EdgeModel::train_on_graphs(&graphs, &opts);
+        let g = &graphs[0];
+        let ret = ev(g, "getFile", Pos::Ret);
+        let recv = ev(g, "getName", Pos::Recv);
+        assert_eq!(m1.predict_pair(g, ret, recv), m2.predict_pair(g, ret, recv));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let graphs = training_graphs();
+        let model = EdgeModel::train_on_graphs(&graphs, &TrainOptions::default());
+        let s = model.stats();
+        assert!(s.n_pos > 0);
+        assert!(s.n_neg > 0);
+        assert!(s.n_models > 0);
+        assert!(s.final_loss > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod context_variant_tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions, Pos};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    #[test]
+    fn full_context_model_trains_and_predicts() {
+        let graphs: Vec<EventGraph> = (0..10)
+            .map(|_| graph_of("fn main(db) { f = db.getFile(\"x\"); n = f.getName(); }"))
+            .collect();
+        let opts = TrainOptions {
+            full_contexts: true,
+            ..TrainOptions::default()
+        };
+        let model = EdgeModel::train_on_graphs(&graphs, &opts);
+        assert!(model.stats().train_accuracy > 0.7);
+        let g = &graphs[0];
+        let ret = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "getFile")
+            .and_then(|(s, _)| g.event_id(s, Pos::Ret))
+            .unwrap();
+        let recv = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "getName")
+            .and_then(|(s, _)| g.event_id(s, Pos::Recv))
+            .unwrap();
+        assert!(model.predict_pair(g, ret, recv).is_some());
+    }
+
+    #[test]
+    fn negative_subsampling_ratio_is_respected() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                f = db.getFile("x");
+                n = f.getName();
+                c = db.openConn("d");
+                c.execute("q");
+            }
+            "#,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let half = TrainOptions {
+            neg_per_pos: 0.5,
+            ..TrainOptions::default()
+        };
+        let samples = extract_samples(&g, &mut rng, &half);
+        let pos = samples.iter().filter(|s| s.label).count();
+        let neg = samples.len() - pos;
+        assert!(neg <= pos / 2 + 1, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn logreg_serde_roundtrip() {
+        let mut m = crate::logreg::LogReg::new(8);
+        for _ in 0..50 {
+            m.update(&[3, 9], true, 0.4, 0.0);
+            m.update(&[5], false, 0.4, 0.0);
+        }
+        let json = serde_json::to_string(&m).unwrap();
+        let back: crate::logreg::LogReg = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.predict(&[3, 9]), back.predict(&[3, 9]));
+        assert_eq!(m.updates(), back.updates());
+    }
+}
+
+// Manual serde for EdgeModel: the per-position map is keyed by a tuple,
+// which JSON cannot represent directly, so it is flattened into pairs.
+impl serde::Serialize for EdgeModel {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = ser.serialize_struct("EdgeModel", 4)?;
+        let models: Vec<(&(u8, u8), &LogReg)> = {
+            let mut v: Vec<_> = self.models.iter().collect();
+            v.sort_by_key(|(k, _)| **k);
+            v
+        };
+        st.serialize_field("models", &models)?;
+        st.serialize_field("dim_bits", &self.dim_bits)?;
+        st.serialize_field("full_contexts", &self.full_contexts)?;
+        st.serialize_field("context_depth", &self.context_depth)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for EdgeModel {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<EdgeModel, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            models: Vec<((u8, u8), LogReg)>,
+            dim_bits: u32,
+            full_contexts: bool,
+            context_depth: usize,
+        }
+        let raw = Raw::deserialize(de)?;
+        Ok(EdgeModel {
+            models: raw.models.into_iter().collect(),
+            dim_bits: raw.dim_bits,
+            full_contexts: raw.full_contexts,
+            context_depth: raw.context_depth,
+            stats: TrainStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions, Pos};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    #[test]
+    fn edge_model_json_roundtrip_preserves_predictions() {
+        let graphs: Vec<EventGraph> = (0..8)
+            .map(|_| {
+                let program =
+                    parse("fn main(db) { f = db.getFile(\"x\"); n = f.getName(); }").unwrap();
+                let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+                    .unwrap()
+                    .pop()
+                    .unwrap();
+                let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+                build_event_graph(&body, &pta, &GraphOptions::default())
+            })
+            .collect();
+        let model = EdgeModel::train_on_graphs(&graphs, &TrainOptions::default());
+        let json = serde_json::to_string(&model).unwrap();
+        let back: EdgeModel = serde_json::from_str(&json).unwrap();
+        let g = &graphs[0];
+        let e1 = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "getFile")
+            .and_then(|(s, _)| g.event_id(s, Pos::Ret))
+            .unwrap();
+        let e2 = g
+            .sites()
+            .find(|(_, i)| i.method.method.as_str() == "getName")
+            .and_then(|(s, _)| g.event_id(s, Pos::Recv))
+            .unwrap();
+        assert_eq!(model.predict_pair(g, e1, e2), back.predict_pair(g, e1, e2));
+        assert_eq!(model.num_models(), back.num_models());
+    }
+}

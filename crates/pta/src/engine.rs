@@ -1,0 +1,1158 @@
+//! The flow-sensitive Andersen-style points-to engine.
+//!
+//! The engine analyzes one acyclic [`Body`] at a time. Local variables `ρ`
+//! are tracked flow-sensitively per basic block (strong updates on
+//! assignment); the heap `π` is global and flow-insensitive, as in classic
+//! Andersen analysis [Andersen 1994]. Because ghost-field reads may observe
+//! writes from later program points (and GhostR may allocate fresh objects),
+//! the engine iterates full passes until the heap stabilizes.
+//!
+//! The deduction rules implemented here are exactly Tab. 2 of the paper:
+//! Alloc, Assign, FieldW, FieldR plus the spec-driven GhostW/GhostR rules,
+//! with the App. A ⊤/⊥ extension available behind
+//! [`GhostMode::Coverage`].
+
+use std::collections::BTreeSet;
+use uspec_lang::mir::{Body, CallSite, Instr, Terminator, Var};
+use uspec_lang::registry::{MethodId, VarType};
+
+use crate::heap::{FieldKey, GhostField, Heap};
+use crate::obj::{AbsObj, ObjId, ObjKind, ObjPool, Value};
+use crate::specdb::SpecDb;
+
+/// A points-to set.
+pub type PtsSet = BTreeSet<ObjId>;
+
+/// Per-program-point variable environment `ρ`.
+pub type Env = Vec<PtsSet>;
+
+/// Whether the §6.4 / App. A coverage extension (⊤/⊥ ghost fields) is used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GhostMode {
+    /// Base semantics (Fig. 5): unknown argument values disable ghost
+    /// reads/writes.
+    #[default]
+    Base,
+    /// Coverage-increasing semantics (Fig. 9): unknown names fall back to
+    /// the ⊤/⊥ fields.
+    Coverage,
+}
+
+/// Engine options.
+#[derive(Clone, Debug)]
+pub struct PtaOptions {
+    /// Ghost-field handling mode.
+    pub ghost_mode: GhostMode,
+    /// Cap on the cross product of argument value sets used to build ghost
+    /// field names.
+    pub max_value_combos: usize,
+    /// Safety bound on fixpoint passes.
+    pub max_passes: usize,
+    /// Flow-sensitive `ρ` with strong updates (the paper's configuration).
+    /// When false, every assignment is a weak update and block order is
+    /// ignored — classic flow-insensitive Andersen, kept as a
+    /// precision-ablation mode.
+    pub flow_sensitive: bool,
+}
+
+impl Default for PtaOptions {
+    fn default() -> PtaOptions {
+        PtaOptions {
+            ghost_mode: GhostMode::Base,
+            max_value_combos: 16,
+            max_passes: 64,
+            flow_sensitive: true,
+        }
+    }
+}
+
+/// The result of one instruction, recorded during the final pass so that
+/// downstream passes (event-graph construction, clients) can replay the
+/// analysis without re-implementing the transfer functions.
+#[derive(Clone, Debug)]
+pub enum InstrRecord {
+    /// An allocation (`new`, literal, opaque).
+    Alloc {
+        /// Destination variable.
+        dst: Var,
+        /// The allocated abstract object.
+        obj: ObjId,
+    },
+    /// An API call with its observed points-to sets.
+    Call(CallRecord),
+    /// Anything else.
+    Other,
+}
+
+/// Observed points-to information at one API call instruction.
+#[derive(Clone, Debug)]
+pub struct CallRecord {
+    /// The call site `m`.
+    pub site: CallSite,
+    /// The method identifier `id(m)`.
+    pub method: MethodId,
+    /// Points-to set of the receiver (None for static calls).
+    pub recv: Option<Vec<ObjId>>,
+    /// Points-to sets of the arguments, 1-based positions.
+    pub args: Vec<Vec<ObjId>>,
+    /// Points-to set of the return value *after* the call.
+    pub ret: Vec<ObjId>,
+    /// Destination variable of the return value.
+    pub dst: Option<Var>,
+}
+
+/// The converged analysis result for one body.
+#[derive(Clone, Debug)]
+pub struct Pta {
+    /// All abstract objects.
+    pub objs: ObjPool,
+    /// The converged heap `π`.
+    pub heap: Heap,
+    /// Per-block instruction records, aligned with `body.blocks[b].instrs`.
+    /// Unreachable blocks have empty record vectors.
+    pub records: Vec<Vec<InstrRecord>>,
+    /// Entry environment of each reachable block.
+    pub entry_envs: Vec<Option<Env>>,
+    /// Number of fixpoint passes until convergence.
+    pub passes: usize,
+}
+
+impl Pta {
+    /// Runs the analysis on a lowered body.
+    ///
+    /// With [`SpecDb::empty`] this is the paper's API-unaware baseline: API
+    /// calls return fresh objects that alias nothing.
+    pub fn run(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
+        let mut engine = Engine {
+            body,
+            specs,
+            opts,
+            objs: ObjPool::new(),
+            heap: Heap::new(),
+            fi_env: (!opts.flow_sensitive).then(|| vec![PtsSet::new(); body.num_vars()]),
+        };
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            let grew = engine.pass(None);
+            if (!engine.heap.take_dirty() && !grew) || passes >= opts.max_passes {
+                break;
+            }
+        }
+        // Final recording pass over the converged heap.
+        let mut records: Vec<Vec<InstrRecord>> = vec![Vec::new(); body.blocks.len()];
+        let entry_envs = engine.pass_record(&mut records);
+        engine.heap.take_dirty();
+        Pta {
+            objs: engine.objs,
+            heap: engine.heap,
+            records,
+            entry_envs,
+            passes,
+        }
+    }
+
+    /// May-alias check: non-empty intersection of points-to sets (§3.3).
+    pub fn may_alias(a: &[ObjId], b: &[ObjId]) -> bool {
+        // Both sides are sorted (they come from BTreeSets).
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// All call records in topological block order.
+    pub fn call_records(&self) -> impl Iterator<Item = &CallRecord> {
+        self.records.iter().flatten().filter_map(|r| match r {
+            InstrRecord::Call(c) => Some(c),
+            _ => None,
+        })
+    }
+}
+
+struct Engine<'a> {
+    body: &'a Body,
+    specs: &'a SpecDb,
+    opts: &'a PtaOptions,
+    objs: ObjPool,
+    heap: Heap,
+    /// Persistent environment for the flow-insensitive mode.
+    fi_env: Option<Env>,
+}
+
+impl<'a> Engine<'a> {
+    /// Runs one forward pass, returning whether the flow-insensitive
+    /// environment grew (always false in flow-sensitive mode, where envs
+    /// are recomputed per pass and convergence is heap-driven).
+    fn pass(&mut self, records: Option<&mut Vec<Vec<InstrRecord>>>) -> bool {
+        if self.opts.flow_sensitive {
+            self.pass_fs(records);
+            false
+        } else {
+            let before: usize = self
+                .fi_env
+                .as_ref()
+                .expect("fi env present")
+                .iter()
+                .map(|s| s.len())
+                .sum();
+            let mut env = self.fi_env.take().expect("fi env present");
+            // Seed entry parameters (idempotent).
+            for (i, (&var, &ty)) in self
+                .body
+                .params
+                .iter()
+                .zip(&self.body.param_types)
+                .enumerate()
+            {
+                let class = match ty {
+                    VarType::Api(c) | VarType::User(c) => Some(c),
+                    _ => None,
+                };
+                let obj = self.objs.intern(AbsObj {
+                    site: CallSite {
+                        node: uspec_lang::NodeId(u32::MAX - i as u32),
+                        ctx: uspec_lang::mir::CtxId(0),
+                    },
+                    kind: ObjKind::Param {
+                        index: i as u8,
+                        class,
+                    },
+                });
+                env[var.0 as usize].insert(obj);
+            }
+            let mut recs = records;
+            for bb in 0..self.body.blocks.len() {
+                let mut block_recs = recs.as_ref().map(|_| Vec::new());
+                for instr in &self.body.blocks[bb].instrs {
+                    let rec = self.transfer(instr, &mut env, block_recs.is_some());
+                    if let Some(rs) = block_recs.as_mut() {
+                        rs.push(rec);
+                    }
+                }
+                if let (Some(out), Some(rs)) = (recs.as_deref_mut(), block_recs) {
+                    out[bb] = rs;
+                }
+            }
+            let after: usize = env.iter().map(|s| s.len()).sum();
+            self.fi_env = Some(env);
+            after > before
+        }
+    }
+
+    /// Final pass with record collection; returns block entry envs.
+    fn pass_record(&mut self, records: &mut Vec<Vec<InstrRecord>>) -> Vec<Option<Env>> {
+        if self.opts.flow_sensitive {
+            self.pass_fs(Some(records))
+        } else {
+            self.pass(Some(records));
+            let env = self.fi_env.clone().expect("fi env present");
+            vec![Some(env); 1]
+        }
+    }
+
+    /// Flow-sensitive forward pass over the acyclic body, returning block
+    /// entry environments. If `records` is given, fills it with
+    /// per-instruction observations.
+    fn pass_fs(&mut self, mut records: Option<&mut Vec<Vec<InstrRecord>>>) -> Vec<Option<Env>> {
+        let nblocks = self.body.blocks.len();
+        let nvars = self.body.num_vars();
+        let mut entry: Vec<Option<Env>> = vec![None; nblocks];
+
+        let mut init = vec![PtsSet::new(); nvars];
+        for (i, (&var, &ty)) in self
+            .body
+            .params
+            .iter()
+            .zip(&self.body.param_types)
+            .enumerate()
+        {
+            let class = match ty {
+                VarType::Api(c) | VarType::User(c) => Some(c),
+                _ => None,
+            };
+            let obj = self.objs.intern(AbsObj {
+                site: CallSite {
+                    node: uspec_lang::NodeId(u32::MAX - i as u32),
+                    ctx: uspec_lang::mir::CtxId(0),
+                },
+                kind: ObjKind::Param {
+                    index: i as u8,
+                    class,
+                },
+            });
+            init[var.0 as usize].insert(obj);
+        }
+        entry[0] = Some(init);
+
+        for bb in 0..nblocks {
+            let Some(env0) = entry[bb].clone() else {
+                continue;
+            };
+            let mut env = env0;
+            let mut recs = records.as_ref().map(|_| Vec::new());
+            for instr in &self.body.blocks[bb].instrs {
+                let rec = self.transfer(instr, &mut env, recs.is_some());
+                if let Some(rs) = recs.as_mut() {
+                    rs.push(rec);
+                }
+            }
+            if let (Some(out), Some(rs)) = (records.as_deref_mut(), recs) {
+                out[bb] = rs;
+            }
+            let succs: Vec<u32> = match &self.body.blocks[bb].term {
+                Terminator::Goto(t) => vec![t.0],
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => vec![then_bb.0, else_bb.0],
+                Terminator::Return => vec![],
+            };
+            for s in succs {
+                match &mut entry[s as usize] {
+                    Some(dest) => {
+                        for (d, src) in dest.iter_mut().zip(&env) {
+                            d.extend(src.iter().copied());
+                        }
+                    }
+                    slot @ None => *slot = Some(env.clone()),
+                }
+            }
+        }
+        entry
+    }
+
+    /// Assigns `set` to `dst`: strong update when flow sensitive, weak
+    /// accumulation otherwise.
+    fn assign(&self, env: &mut Env, dst: Var, set: PtsSet) {
+        if self.opts.flow_sensitive {
+            env[dst.0 as usize] = set;
+        } else {
+            env[dst.0 as usize].extend(set);
+        }
+    }
+
+    fn transfer(&mut self, instr: &Instr, env: &mut Env, record: bool) -> InstrRecord {
+        match instr {
+            Instr::New {
+                dst,
+                class,
+                site,
+                user_class,
+            } => {
+                let obj = self.objs.intern(AbsObj {
+                    site: *site,
+                    kind: ObjKind::New {
+                        class: *class,
+                        user: *user_class,
+                    },
+                });
+                self.assign(env, *dst, PtsSet::from([obj]));
+                InstrRecord::Alloc { dst: *dst, obj }
+            }
+            Instr::Lit { dst, value, site } => {
+                let obj = self.objs.intern(AbsObj {
+                    site: *site,
+                    kind: ObjKind::Lit(*value),
+                });
+                self.assign(env, *dst, PtsSet::from([obj]));
+                InstrRecord::Alloc { dst: *dst, obj }
+            }
+            Instr::Opaque { dst, site } => {
+                let obj = self.objs.intern(AbsObj {
+                    site: *site,
+                    kind: ObjKind::Opaque,
+                });
+                self.assign(env, *dst, PtsSet::from([obj]));
+                InstrRecord::Alloc { dst: *dst, obj }
+            }
+            Instr::Copy { dst, src } => {
+                let set = env[src.0 as usize].clone();
+                self.assign(env, *dst, set);
+                InstrRecord::Other
+            }
+            Instr::FieldLoad { dst, obj, field } => {
+                let mut out = PtsSet::new();
+                for o in env[obj.0 as usize].clone() {
+                    if let Some(pts) = self.heap.read(o, &FieldKey::Real(*field)) {
+                        out.extend(pts.iter().copied());
+                    }
+                }
+                self.assign(env, *dst, out);
+                InstrRecord::Other
+            }
+            Instr::FieldStore { obj, field, src } => {
+                let vals: Vec<ObjId> = env[src.0 as usize].iter().copied().collect();
+                for o in env[obj.0 as usize].clone() {
+                    self.heap.write(o, FieldKey::Real(*field), vals.iter().copied());
+                }
+                InstrRecord::Other
+            }
+            Instr::Cmp { dst, .. } | Instr::Not { dst, .. } => {
+                env[dst.0 as usize] = PtsSet::new();
+                InstrRecord::Other
+            }
+            Instr::CallApi {
+                dst,
+                method,
+                recv,
+                args,
+                site,
+            } => self.transfer_call(env, *dst, *method, *recv, args, *site, record),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_call(
+        &mut self,
+        env: &mut Env,
+        dst: Option<Var>,
+        method: MethodId,
+        recv: Option<Var>,
+        args: &[Var],
+        site: CallSite,
+        record: bool,
+    ) -> InstrRecord {
+        let recv_pts: Option<Vec<ObjId>> =
+            recv.map(|r| env[r.0 as usize].iter().copied().collect());
+        let arg_pts: Vec<Vec<ObjId>> = args
+            .iter()
+            .map(|a| env[a.0 as usize].iter().copied().collect())
+            .collect();
+
+        let mut ret = PtsSet::new();
+        let mut read_applied = false;
+
+        if let Some(rp) = &recv_pts {
+            // RetRecv extension: the call may return its receiver.
+            if self.specs.has_ret_recv(method) {
+                ret.extend(rp.iter().copied());
+                read_applied = true;
+            }
+
+            // GhostW (Tab. 2): spec-driven writes into ghost fields.
+            for &(target, x) in self.specs.ret_args_from(method) {
+                let x = x as usize;
+                if x == 0 || x > arg_pts.len() {
+                    continue;
+                }
+                let stored = &arg_pts[x - 1];
+                if stored.is_empty() {
+                    continue;
+                }
+                let other_vals: Vec<Vec<Value>> = arg_pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != x - 1)
+                    .map(|(_, pts)| self.objs.values_of(pts))
+                    .collect();
+                let combos = cross_product(&other_vals, self.opts.max_value_combos);
+                let mut fields: Vec<GhostField> = combos
+                    .into_iter()
+                    .map(|vals| GhostField::Named(target, vals))
+                    .collect();
+                if self.opts.ghost_mode == GhostMode::Coverage {
+                    if fields.is_empty() {
+                        fields.push(GhostField::Top(target));
+                    }
+                    fields.push(GhostField::Bot(target));
+                }
+                for o in rp {
+                    for f in &fields {
+                        self.heap
+                            .write(*o, FieldKey::Ghost(f.clone()), stored.iter().copied());
+                    }
+                }
+            }
+
+            // GhostR (Tab. 2): spec-driven reads from ghost fields.
+            if self.specs.has_ret_same(method) {
+                let arg_vals: Vec<Vec<Value>> =
+                    arg_pts.iter().map(|pts| self.objs.values_of(pts)).collect();
+                let combos = cross_product(&arg_vals, self.opts.max_value_combos);
+                let mut fields: Vec<GhostField> = combos
+                    .into_iter()
+                    .map(|vals| GhostField::Named(method, vals))
+                    .collect();
+                if self.opts.ghost_mode == GhostMode::Coverage {
+                    if fields.is_empty() {
+                        // ⋆ case of Fig. 9: unknown name reads ⊥.
+                        fields.push(GhostField::Bot(method));
+                    } else {
+                        fields.push(GhostField::Top(method));
+                    }
+                }
+                if !fields.is_empty() {
+                    read_applied = true;
+                    for o in rp {
+                        for f in &fields {
+                            let key = FieldKey::Ghost(f.clone());
+                            // Allocate z ∈ π(o, f) for empty fields so two
+                            // matching reads alias; never for ⊤ (App. A).
+                            if self.heap.is_empty_at(*o, &key)
+                                && !matches!(f, GhostField::Top(_))
+                            {
+                                let z = self.objs.intern(AbsObj {
+                                    site,
+                                    kind: ObjKind::Ghost {
+                                        owner: *o,
+                                        field: f.clone(),
+                                    },
+                                });
+                                self.heap.write(*o, key.clone(), [z]);
+                            }
+                            if let Some(pts) = self.heap.read(*o, &key) {
+                                ret.extend(pts.iter().copied());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !read_applied {
+            // API-unaware default (§3.2): a fresh object per call site.
+            let obj = self.objs.intern(AbsObj {
+                site,
+                kind: ObjKind::ApiRet(method),
+            });
+            ret.insert(obj);
+        }
+
+        if let Some(d) = dst {
+            self.assign(env, d, ret.clone());
+        }
+
+        if record {
+            InstrRecord::Call(CallRecord {
+                site,
+                method,
+                recv: recv_pts,
+                args: arg_pts,
+                ret: ret.into_iter().collect(),
+                dst,
+            })
+        } else {
+            InstrRecord::Other
+        }
+    }
+}
+
+/// Cross product of value choices per position; empty if any position has
+/// no values; truncated at `cap` combinations.
+fn cross_product(positions: &[Vec<Value>], cap: usize) -> Vec<Vec<Value>> {
+    if positions.iter().any(|p| p.is_empty()) {
+        return Vec::new();
+    }
+    let mut acc: Vec<Vec<Value>> = vec![Vec::new()];
+    for pos in positions {
+        let mut next = Vec::new();
+        for prefix in &acc {
+            for v in pos {
+                if next.len() >= cap {
+                    break;
+                }
+                let mut combo = prefix.clone();
+                combo.push(*v);
+                next.push(combo);
+            }
+        }
+        acc = next;
+        if acc.len() >= cap {
+            acc.truncate(cap);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specdb::Spec;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+
+    fn analyze(src: &str, specs: &SpecDb, opts: &PtaOptions) -> (Body, Pta) {
+        let program = parse(src).unwrap();
+        let bodies = lower_program(&program, &ApiTable::new(), &LowerOptions::default()).unwrap();
+        let body = bodies.into_iter().next().unwrap();
+        let pta = Pta::run(&body, specs, opts);
+        (body, pta)
+    }
+
+    fn record_for<'p>(pta: &'p Pta, method: &str, occurrence: usize) -> &'p CallRecord {
+        pta.call_records()
+            .filter(|c| c.method.method.as_str() == method)
+            .nth(occurrence)
+            .unwrap_or_else(|| panic!("no call record #{occurrence} for {method}"))
+    }
+
+    fn hashmap_specs() -> SpecDb {
+        // `new HashMap()` types the receiver as class `HashMap` even with an
+        // empty ApiTable, so call sites get `HashMap.get/1` etc.
+        let get = MethodId::new("HashMap", "get", 1);
+        let put = MethodId::new("HashMap", "put", 2);
+        SpecDb::from_specs([Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2,
+        }])
+    }
+
+    const FIG2: &str = r#"
+        fn main(someApi, db) {
+            map = new HashMap();
+            f = db.getFile("a");
+            map.put("key", f);
+            x = map.get("key");
+            s = x.getName();
+        }
+    "#;
+
+    #[test]
+    fn baseline_api_returns_are_fresh() {
+        let (_, pta) = analyze(FIG2, &SpecDb::empty(), &PtaOptions::default());
+        let put = record_for(&pta, "put", 0);
+        let get = record_for(&pta, "get", 0);
+        // Under the API-unaware assumption, get's return does NOT alias the
+        // object stored by put.
+        assert!(!Pta::may_alias(&put.args[1], &get.ret));
+        assert_eq!(get.ret.len(), 1);
+        assert!(matches!(
+            pta.objs.get(get.ret[0]).kind,
+            ObjKind::ApiRet(_)
+        ));
+    }
+
+    #[test]
+    fn ghost_fields_introduce_retarg_aliasing() {
+        let (_, pta) = analyze(FIG2, &hashmap_specs(), &PtaOptions::default());
+        let put = record_for(&pta, "put", 0);
+        let get = record_for(&pta, "get", 0);
+        assert!(
+            Pta::may_alias(&put.args[1], &get.ret),
+            "get(\"key\") must return the object stored by put(\"key\", f)"
+        );
+        // The returned object is the getFile result, not a fresh object.
+        let get_file = record_for(&pta, "getFile", 0);
+        assert!(Pta::may_alias(&get_file.ret, &get.ret));
+    }
+
+    #[test]
+    fn different_keys_do_not_alias() {
+        let src = r#"
+            fn main(db) {
+                map = new HashMap();
+                map.put("k1", db.getFile("a"));
+                x = map.get("k2");
+                y = x.getName();
+            }
+        "#;
+        let (_, pta) = analyze(src, &hashmap_specs(), &PtaOptions::default());
+        let put = record_for(&pta, "put", 0);
+        let get = record_for(&pta, "get", 0);
+        assert!(
+            !Pta::may_alias(&put.args[1], &get.ret),
+            "different keys must stay separate"
+        );
+        // get("k2") still returns a ghost object (RetSame allocation).
+        assert!(matches!(
+            pta.objs.get(get.ret[0]).kind,
+            ObjKind::Ghost { .. }
+        ));
+    }
+
+    #[test]
+    fn ret_same_reads_alias_each_other() {
+        let src = r#"
+            fn main(view) {
+                a = view.findViewById(7);
+                b = view.findViewById(7);
+                c = view.findViewById(8);
+            }
+        "#;
+        let find = MethodId::new("?", "findViewById", 1);
+        let specs = SpecDb::from_specs([Spec::RetSame { method: find }]);
+        let (_, pta) = analyze(src, &specs, &PtaOptions::default());
+        let a = record_for(&pta, "findViewById", 0);
+        let b = record_for(&pta, "findViewById", 1);
+        let c = record_for(&pta, "findViewById", 2);
+        assert!(Pta::may_alias(&a.ret, &b.ret), "same id aliases");
+        assert!(!Pta::may_alias(&a.ret, &c.ret), "different id does not");
+    }
+
+    #[test]
+    fn different_receivers_do_not_share_ghost_fields() {
+        let src = r#"
+            fn main(db) {
+                m1 = new HashMap();
+                m2 = new HashMap();
+                m1.put("k", db.getFile("a"));
+                x = m2.get("k");
+            }
+        "#;
+        let (_, pta) = analyze(src, &hashmap_specs(), &PtaOptions::default());
+        let put = record_for(&pta, "put", 0);
+        let get = record_for(&pta, "get", 0);
+        assert!(!Pta::may_alias(&put.args[1], &get.ret));
+    }
+
+    #[test]
+    fn unknown_key_base_mode_misses_coverage_mode_hits() {
+        // Fig. 6b: map.put("k", obj); map.get(api.foo()).
+        let src = r#"
+            fn main(api, db) {
+                map = new HashMap();
+                map.put("k", db.getFile("a"));
+                x = map.get(api.foo());
+                y = map.get("k");
+            }
+        "#;
+        let specs = hashmap_specs();
+        let (_, base) = analyze(src, &specs, &PtaOptions::default());
+        let put = record_for(&base, "put", 0);
+        let get_unknown = record_for(&base, "get", 0);
+        assert!(
+            !Pta::may_alias(&put.args[1], &get_unknown.ret),
+            "base mode cannot resolve unknown keys"
+        );
+
+        let opts = PtaOptions {
+            ghost_mode: GhostMode::Coverage,
+            ..PtaOptions::default()
+        };
+        let (_, cov) = analyze(src, &specs, &opts);
+        let put = record_for(&cov, "put", 0);
+        let get_unknown = record_for(&cov, "get", 0);
+        let get_known = record_for(&cov, "get", 1);
+        assert!(
+            Pta::may_alias(&put.args[1], &get_unknown.ret),
+            "coverage mode reads ⊥ for unknown keys"
+        );
+        assert!(Pta::may_alias(&put.args[1], &get_known.ret));
+    }
+
+    #[test]
+    fn coverage_mode_unknown_write_reaches_known_reads() {
+        // Fig. 6a: map.put(api.foo(), obj); map.get("k1").
+        let src = r#"
+            fn main(api, db) {
+                map = new HashMap();
+                map.put(api.foo(), db.getFile("a"));
+                x = map.get("k1");
+                y = map.get("k2");
+            }
+        "#;
+        let specs = hashmap_specs();
+        let opts = PtaOptions {
+            ghost_mode: GhostMode::Coverage,
+            ..PtaOptions::default()
+        };
+        let (_, cov) = analyze(src, &specs, &opts);
+        let put = record_for(&cov, "put", 0);
+        let x = record_for(&cov, "get", 0);
+        let y = record_for(&cov, "get", 1);
+        assert!(Pta::may_alias(&put.args[1], &x.ret), "⊤ write reaches get(k1)");
+        assert!(Pta::may_alias(&put.args[1], &y.ret), "⊤ write reaches get(k2)");
+    }
+
+    #[test]
+    fn coverage_mode_no_put_keeps_reads_separate() {
+        // App. A: without any write, the two reads of different unknown keys
+        // must not alias through ⊤ (z is not allocated for ⊤).
+        let src = r#"
+            fn main(api) {
+                map = new HashMap();
+                x = map.get("k1");
+                y = map.get("k2");
+            }
+        "#;
+        let specs = hashmap_specs();
+        let opts = PtaOptions {
+            ghost_mode: GhostMode::Coverage,
+            ..PtaOptions::default()
+        };
+        let (_, cov) = analyze(src, &specs, &opts);
+        let x = record_for(&cov, "get", 0);
+        let y = record_for(&cov, "get", 1);
+        assert!(!Pta::may_alias(&x.ret, &y.ret));
+    }
+
+    #[test]
+    fn field_store_load_flow() {
+        let src = r#"
+            class Box { fn noop(self) { return self; } }
+            fn main(db) {
+                b = new Box();
+                b.item = db.getFile("a");
+                x = b.item;
+                y = x.getName();
+            }
+        "#;
+        let (_, pta) = analyze(src, &SpecDb::empty(), &PtaOptions::default());
+        let get_file = record_for(&pta, "getFile", 0);
+        let get_name = record_for(&pta, "getName", 0);
+        assert_eq!(get_name.recv.as_ref().unwrap(), &get_file.ret);
+    }
+
+    #[test]
+    fn branches_join_points_to_sets() {
+        let src = r#"
+            fn main(c, db) {
+                if (c) { x = db.getFile("a"); } else { x = db.getFile("b"); }
+                y = x.getName();
+            }
+        "#;
+        let (_, pta) = analyze(src, &SpecDb::empty(), &PtaOptions::default());
+        let get_name = record_for(&pta, "getName", 0);
+        assert_eq!(
+            get_name.recv.as_ref().unwrap().len(),
+            2,
+            "receiver may be either branch's file"
+        );
+    }
+
+    #[test]
+    fn params_are_distinct_objects() {
+        let (_, pta) = analyze(
+            "fn main(a, b) { x = a.m(); y = b.m(); }",
+            &SpecDb::empty(),
+            &PtaOptions::default(),
+        );
+        let x = record_for(&pta, "m", 0);
+        let y = record_for(&pta, "m", 1);
+        assert!(!Pta::may_alias(
+            x.recv.as_ref().unwrap(),
+            y.recv.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn analysis_terminates_on_loops() {
+        let src = r#"
+            fn main(db, c) {
+                map = new HashMap();
+                while (c) {
+                    map.put("k", db.getFile("a"));
+                    x = map.get("k");
+                }
+            }
+        "#;
+        let (_, pta) = analyze(src, &hashmap_specs(), &PtaOptions::default());
+        assert!(pta.passes < 10);
+    }
+
+    #[test]
+    fn ret_recv_returns_the_receiver() {
+        let src = r#"
+            fn main() {
+                sb = new StringBuilder();
+                b = sb.append("a");
+                c = b.append("b");
+            }
+        "#;
+        let specs = SpecDb::from_specs([Spec::RetRecv {
+            method: MethodId::new("StringBuilder", "append", 1),
+        }]);
+        let (_, pta) = analyze(src, &specs, &PtaOptions::default());
+        let first = record_for(&pta, "append", 0);
+        let second = record_for(&pta, "append", 1);
+        assert!(Pta::may_alias(
+            first.recv.as_ref().unwrap(),
+            &first.ret
+        ));
+        // The chained receiver keeps pointing at the original builder (the
+        // second call is on `b`, which now aliases `sb`).
+        assert!(Pta::may_alias(
+            first.recv.as_ref().unwrap(),
+            second.recv.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn cross_product_caps_and_handles_empty() {
+        let v1 = vec![Value::from_literal(uspec_lang::Literal::Int(1))];
+        let empty: Vec<Value> = vec![];
+        assert!(cross_product(&[v1.clone(), empty], 16).is_empty());
+        assert_eq!(cross_product(&[], 16), vec![Vec::<Value>::new()]);
+        let many: Vec<Value> = (0..10)
+            .map(|i| Value::from_literal(uspec_lang::Literal::Int(i)))
+            .collect();
+        let combos = cross_product(&[many.clone(), many], 16);
+        assert!(combos.len() <= 16);
+    }
+}
+
+#[cfg(test)]
+mod more_engine_tests {
+    use super::*;
+    use crate::specdb::Spec;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+
+    fn analyze(src: &str, specs: &SpecDb, opts: &PtaOptions) -> Pta {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        Pta::run(&body, specs, opts)
+    }
+
+    fn rec<'p>(pta: &'p Pta, method: &str, n: usize) -> &'p CallRecord {
+        pta.call_records()
+            .filter(|c| c.method.method.as_str() == method)
+            .nth(n)
+            .unwrap_or_else(|| panic!("no record #{n} for {method}"))
+    }
+
+    #[test]
+    fn multi_key_ghost_fields_distinguish_all_positions() {
+        // SafeConfigParser-style set(s, o, v) / get(s, o): both key
+        // positions must match.
+        let get = MethodId::new("Cfg", "get", 2);
+        let set = MethodId::new("Cfg", "set", 3);
+        let specs = SpecDb::from_specs([Spec::RetArg {
+            target: get,
+            source: set,
+            x: 3,
+        }]);
+        let pta = analyze(
+            r#"
+            fn main(db) {
+                c = new Cfg();
+                c.set("sec", "opt", db.make());
+                a = c.get("sec", "opt");
+                b = c.get("sec", "other");
+                d = c.get("other", "opt");
+            }
+            "#,
+            &specs,
+            &PtaOptions::default(),
+        );
+        let stored = &rec(&pta, "set", 0).args[2];
+        assert!(Pta::may_alias(stored, &rec(&pta, "get", 0).ret));
+        assert!(!Pta::may_alias(stored, &rec(&pta, "get", 1).ret));
+        assert!(!Pta::may_alias(stored, &rec(&pta, "get", 2).ret));
+    }
+
+    #[test]
+    fn user_field_aliasing_across_branches() {
+        let pta = analyze(
+            r#"
+            fn main(db, c) {
+                box1 = new Box();
+                if (c) { box1.item = db.a(); } else { box1.item = db.b(); }
+                x = box1.item;
+                x.use1();
+            }
+            "#,
+            &SpecDb::empty(),
+            &PtaOptions::default(),
+        );
+        let use1 = rec(&pta, "use1", 0);
+        assert_eq!(
+            use1.recv.as_ref().unwrap().len(),
+            2,
+            "field may hold either branch's object"
+        );
+    }
+
+    #[test]
+    fn bottom_field_reads_all_writes_in_coverage_mode() {
+        let get = MethodId::new("M", "get", 1);
+        let put = MethodId::new("M", "put", 2);
+        let specs = SpecDb::from_specs([Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2,
+        }]);
+        let opts = PtaOptions {
+            ghost_mode: GhostMode::Coverage,
+            ..PtaOptions::default()
+        };
+        let pta = analyze(
+            r#"
+            fn main(db, api) {
+                m = new M();
+                m.put("k1", db.a());
+                m.put("k2", db.b());
+                x = m.get(api.unknownKey());
+            }
+            "#,
+            &specs,
+            &opts,
+        );
+        let a = &rec(&pta, "a", 0).ret;
+        let b = &rec(&pta, "b", 0).ret;
+        let x = &rec(&pta, "get", 0).ret;
+        assert!(Pta::may_alias(a, x), "⊥ read sees the k1 write");
+        assert!(Pta::may_alias(b, x), "⊥ read sees the k2 write");
+    }
+
+    #[test]
+    fn records_align_with_instructions() {
+        let pta = analyze(
+            r#"
+            fn main(db, c) {
+                if (c) { x = db.a(); } else { y = db.b(); }
+                z = db.c();
+            }
+            "#,
+            &SpecDb::empty(),
+            &PtaOptions::default(),
+        );
+        assert_eq!(pta.call_records().count(), 3);
+        // Every record's ret set is sorted (may_alias relies on it).
+        for r in pta.call_records() {
+            let mut sorted = r.ret.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, r.ret);
+        }
+    }
+
+    #[test]
+    fn max_passes_is_respected() {
+        let opts = PtaOptions {
+            max_passes: 1,
+            ..PtaOptions::default()
+        };
+        let get = MethodId::new("M", "get", 1);
+        let put = MethodId::new("M", "put", 2);
+        let specs = SpecDb::from_specs([Spec::RetArg {
+            target: get,
+            source: put,
+            x: 2,
+        }]);
+        let pta = analyze(
+            r#"
+            fn main(db) {
+                m = new M();
+                m.put("k", db.a());
+                x = m.get("k");
+            }
+            "#,
+            &specs,
+            &opts,
+        );
+        assert!(pta.passes <= 1);
+    }
+
+    #[test]
+    fn static_calls_have_no_ghost_interactions() {
+        let connect = MethodId::new("DB", "connect", 1);
+        let specs = SpecDb::from_specs([Spec::RetSame { method: connect }]);
+        let pta = analyze(
+            r#"
+            fn main() {
+                a = DB.connect("dsn");
+                b = DB.connect("dsn");
+            }
+            "#,
+            &specs,
+            &PtaOptions::default(),
+        );
+        // No receiver → RetSame cannot apply; both returns stay fresh.
+        let a = &rec(&pta, "connect", 0).ret;
+        let b = &rec(&pta, "connect", 1).ret;
+        assert!(!Pta::may_alias(a, b));
+    }
+}
+
+#[cfg(test)]
+mod flow_insensitive_tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+
+    fn analyze_fi(src: &str, flow_sensitive: bool) -> Pta {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let opts = PtaOptions {
+            flow_sensitive,
+            ..PtaOptions::default()
+        };
+        Pta::run(&body, &SpecDb::empty(), &opts)
+    }
+
+    fn recv_of<'p>(pta: &'p Pta, method: &str) -> &'p [ObjId] {
+        pta.call_records()
+            .find(|c| c.method.method.as_str() == method)
+            .and_then(|c| c.recv.as_deref())
+            .unwrap_or_else(|| panic!("no receiver for {method}"))
+    }
+
+    const REASSIGN: &str = r#"
+        fn main() {
+            x = new A();
+            x = new B();
+            x.use1();
+        }
+    "#;
+
+    #[test]
+    fn strong_updates_kill_old_values() {
+        let pta = analyze_fi(REASSIGN, true);
+        assert_eq!(recv_of(&pta, "use1").len(), 1, "only the B object");
+    }
+
+    #[test]
+    fn weak_updates_accumulate() {
+        let pta = analyze_fi(REASSIGN, false);
+        assert_eq!(
+            recv_of(&pta, "use1").len(),
+            2,
+            "flow-insensitive ρ keeps both allocations"
+        );
+    }
+
+    #[test]
+    fn flow_insensitive_sees_later_assignments_earlier() {
+        // In FI mode the use *before* the assignment still observes it.
+        let src = r#"
+            fn main() {
+                y = new A();
+                y.use1();
+                y = new B();
+            }
+        "#;
+        let fs = analyze_fi(src, true);
+        let fi = analyze_fi(src, false);
+        assert_eq!(recv_of(&fs, "use1").len(), 1);
+        assert_eq!(recv_of(&fi, "use1").len(), 2);
+    }
+
+    #[test]
+    fn flow_insensitive_is_a_superset_of_flow_sensitive() {
+        let src = r#"
+            fn main(db, c) {
+                m = new Map();
+                if (c) { v = db.a(); } else { v = db.b(); }
+                m.put("k", v);
+                v.use1();
+            }
+        "#;
+        let fs = analyze_fi(src, true);
+        let fi = analyze_fi(src, false);
+        for (a, b) in fs.call_records().zip(fi.call_records()) {
+            assert_eq!(a.method, b.method);
+            assert!(a.args.len() == b.args.len());
+            // Every flow-sensitive receiver object's stable identity also
+            // appears flow-insensitively (compare by count here; identity
+            // comparison lives in the core eval tests).
+            if let (Some(ra), Some(rb)) = (&a.recv, &b.recv) {
+                assert!(rb.len() >= ra.len());
+            }
+        }
+    }
+}

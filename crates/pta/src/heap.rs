@@ -1,0 +1,149 @@
+//! The abstract heap `π`, including ghost fields.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use uspec_lang::registry::MethodId;
+use uspec_lang::Symbol;
+
+use crate::obj::{ObjId, Value};
+
+/// Name of a ghost field (§6.2 and App. A).
+///
+/// The first component of a named ghost field is the method that *reads*
+/// the field; the value tuple is derived from argument values. `Top(M)`
+/// receives writes whose full name is unknown; `Bot(M)` receives *all*
+/// writes destined for fields `(M, ...)` and is read when a read's field
+/// name is unknown.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GhostField {
+    /// Fully-resolved field `(reader, v_1, ..., v_k)`.
+    Named(MethodId, Vec<Value>),
+    /// `⊤_M`: writes with unresolvable names for reader `M`.
+    Top(MethodId),
+    /// `⊥_M`: all writes for reader `M`; read when the read name is unknown.
+    Bot(MethodId),
+}
+
+impl GhostField {
+    /// The reading method of the field.
+    pub fn reader(&self) -> MethodId {
+        match self {
+            GhostField::Named(m, _) | GhostField::Top(m) | GhostField::Bot(m) => *m,
+        }
+    }
+}
+
+/// A field selector on an abstract object.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FieldKey {
+    /// A real (user-object) field.
+    Real(Symbol),
+    /// A ghost field abstracting API-internal storage.
+    Ghost(GhostField),
+}
+
+/// The global, flow-insensitive heap `π : (obj, field) → P(obj)`.
+///
+/// Monotonically growing; the engine iterates to a fixpoint over it.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    map: BTreeMap<(ObjId, FieldKey), BTreeSet<ObjId>>,
+    dirty: bool,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Weakly updates `π(obj, field) ∪= vals`, flagging the heap dirty if
+    /// anything changed.
+    pub fn write(&mut self, obj: ObjId, field: FieldKey, vals: impl IntoIterator<Item = ObjId>) {
+        let slot = self.map.entry((obj, field)).or_default();
+        for v in vals {
+            if slot.insert(v) {
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Reads `π(obj, field)`.
+    pub fn read(&self, obj: ObjId, field: &FieldKey) -> Option<&BTreeSet<ObjId>> {
+        self.map.get(&(obj, field.clone()))
+    }
+
+    /// Whether `π(obj, field)` is empty or absent.
+    pub fn is_empty_at(&self, obj: ObjId, field: &FieldKey) -> bool {
+        self.read(obj, field).is_none_or(|s| s.is_empty())
+    }
+
+    /// Clears and returns the dirty flag.
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Number of non-empty field slots.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the heap has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all `(obj, field) → pts` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ObjId, FieldKey), &BTreeSet<ObjId>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid() -> MethodId {
+        MethodId::new("C", "get", 1)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut heap = Heap::new();
+        let f = FieldKey::Ghost(GhostField::Top(mid()));
+        heap.write(ObjId(0), f.clone(), [ObjId(1), ObjId(2)]);
+        let pts = heap.read(ObjId(0), &f).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(heap.take_dirty());
+        assert!(!heap.take_dirty(), "dirty flag resets");
+    }
+
+    #[test]
+    fn rewriting_same_value_is_not_dirty() {
+        let mut heap = Heap::new();
+        let f = FieldKey::Real(Symbol::intern("x"));
+        heap.write(ObjId(0), f.clone(), [ObjId(1)]);
+        heap.take_dirty();
+        heap.write(ObjId(0), f.clone(), [ObjId(1)]);
+        assert!(!heap.take_dirty());
+    }
+
+    #[test]
+    fn fields_are_disjoint() {
+        let mut heap = Heap::new();
+        let f1 = FieldKey::Real(Symbol::intern("a"));
+        let f2 = FieldKey::Real(Symbol::intern("b"));
+        heap.write(ObjId(0), f1.clone(), [ObjId(1)]);
+        assert!(heap.is_empty_at(ObjId(0), &f2));
+        assert!(!heap.is_empty_at(ObjId(0), &f1));
+        assert!(heap.is_empty_at(ObjId(9), &f1));
+    }
+
+    #[test]
+    fn ghost_field_reader_accessor() {
+        let m = mid();
+        assert_eq!(GhostField::Named(m, vec![]).reader(), m);
+        assert_eq!(GhostField::Top(m).reader(), m);
+        assert_eq!(GhostField::Bot(m).reader(), m);
+    }
+}

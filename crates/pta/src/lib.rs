@@ -1,0 +1,60 @@
+//! # uspec-pta
+//!
+//! Andersen-style points-to analysis for the USpec reproduction.
+//!
+//! The paper (§3.2, §6) uses a flow- and context-sensitive Andersen-style
+//! analysis in two roles:
+//!
+//! 1. **API-unaware baseline** — API calls return fresh objects, providing
+//!    the abstract objects and points-to sets from which event graphs are
+//!    built (run with [`SpecDb::empty`]).
+//! 2. **Spec-augmented may-alias analysis** — learned [`Spec`]s drive ghost
+//!    field reads/writes (GhostW/GhostR of Tab. 2), optionally with the
+//!    §6.4 / App. A ⊤/⊥ coverage extension
+//!    ([`GhostMode::Coverage`]).
+//!
+//! Context sensitivity comes from the frontend: `uspec-lang` lowers programs
+//! into acyclic bodies with user calls inlined and calling contexts
+//! materialized in every [`uspec_lang::CallSite`].
+//!
+//! ## Example
+//!
+//! ```
+//! use uspec_lang::{parse, lower_program, LowerOptions, ApiTable, MethodId};
+//! use uspec_pta::{Pta, PtaOptions, Spec, SpecDb};
+//!
+//! let program = parse(r#"
+//!     fn main(db) {
+//!         map = new HashMap();
+//!         map.put("key", db.getFile("a"));
+//!         x = map.get("key");
+//!     }
+//! "#)?;
+//! let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())?
+//!     .pop()
+//!     .expect("one function");
+//!
+//! let specs = SpecDb::from_specs([Spec::RetArg {
+//!     target: MethodId::new("HashMap", "get", 1),
+//!     source: MethodId::new("HashMap", "put", 2),
+//!     x: 2,
+//! }]);
+//! let pta = Pta::run(&body, &specs, &PtaOptions::default());
+//! let put = pta.call_records().find(|c| c.method.method.as_str() == "put").unwrap();
+//! let get = pta.call_records().find(|c| c.method.method.as_str() == "get").unwrap();
+//! assert!(Pta::may_alias(&put.args[1], &get.ret));
+//! # Ok::<(), uspec_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod heap;
+pub mod obj;
+mod rules_tests;
+pub mod specdb;
+
+pub use engine::{CallRecord, Env, GhostMode, InstrRecord, Pta, PtaOptions, PtsSet};
+pub use heap::{FieldKey, GhostField, Heap};
+pub use obj::{AbsObj, ObjId, ObjKind, ObjPool, Value};
+pub use specdb::{Spec, SpecDb};

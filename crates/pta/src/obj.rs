@@ -1,0 +1,267 @@
+//! Abstract objects and values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use uspec_lang::mir::{CallSite, Literal};
+use uspec_lang::registry::MethodId;
+use uspec_lang::Symbol;
+
+use crate::heap::GhostField;
+
+/// Index of an abstract object in an [`ObjPool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjId(pub u32);
+
+impl std::fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// What kind of allocation an abstract object stands for.
+///
+/// Under the paper's API-unaware starting assumption (§3.2), the return
+/// value of every API call is a *fresh* abstract object
+/// ([`ObjKind::ApiRet`]); learned specifications later introduce aliasing on
+/// top of this.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjKind {
+    /// `new C()` allocation (the paper's `⟨newT, ret⟩` events).
+    New {
+        /// Allocated class.
+        class: Symbol,
+        /// Whether `class` is user-defined in the same file.
+        user: bool,
+    },
+    /// A literal construction (the paper's `⟨lc_i, ret⟩` events).
+    Lit(Literal),
+    /// Fresh object returned by an API call site.
+    ApiRet(MethodId),
+    /// Fresh object standing for an entry-function parameter.
+    Param {
+        /// Parameter index.
+        index: u8,
+        /// Declared type, if annotated.
+        class: Option<Symbol>,
+    },
+    /// Result of an unresolvable operation (inlining cut-off etc.).
+    Opaque,
+    /// Object allocated by the GhostR rule when a RetSame field is read
+    /// before any write (Tab. 2, bottom-right note).
+    Ghost {
+        /// The receiver object owning the ghost field.
+        owner: ObjId,
+        /// The field that was read.
+        field: GhostField,
+    },
+}
+
+/// An abstract object: an allocation site plus its kind.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AbsObj {
+    /// The site the object was allocated at ([`CallSite::node`] is a dummy
+    /// for parameters).
+    pub site: CallSite,
+    /// The allocation kind.
+    pub kind: ObjKind,
+}
+
+impl AbsObj {
+    /// The `val_G` contribution of this object (§5.1): literal values carry
+    /// their literal, `new` allocations carry their unique site identity,
+    /// everything else has no known value.
+    pub fn value(&self) -> Option<Value> {
+        match &self.kind {
+            ObjKind::Lit(l) => Some(Value::from_literal(*l)),
+            ObjKind::New { .. } => Some(Value::Obj(self.site)),
+            _ => None,
+        }
+    }
+
+    /// The class of the object, if statically known.
+    pub fn class(&self) -> Option<Symbol> {
+        match &self.kind {
+            ObjKind::New { class, .. } => Some(*class),
+            ObjKind::Param { class, .. } => *class,
+            _ => None,
+        }
+    }
+}
+
+/// A value usable for argument-equality checks and ghost-field names.
+///
+/// This is the paper's value set `V`: literal constants plus unique
+/// identifiers of allocated objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A literal constant.
+    Lit(LitKey),
+    /// The identity of a `new` allocation site.
+    Obj(CallSite),
+}
+
+impl Value {
+    /// Wraps a literal.
+    pub fn from_literal(l: Literal) -> Value {
+        Value::Lit(LitKey::from(l))
+    }
+}
+
+/// Orderable key form of a literal (f64-free, so `Ord` is derivable).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LitKey {
+    /// String literal.
+    Str(u32),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl From<Literal> for LitKey {
+    fn from(l: Literal) -> LitKey {
+        match l {
+            Literal::Str(s) => LitKey::Str(s.index()),
+            Literal::Int(i) => LitKey::Int(i),
+            Literal::Bool(b) => LitKey::Bool(b),
+            Literal::Null => LitKey::Null,
+        }
+    }
+}
+
+impl std::fmt::Debug for LitKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LitKey::Str(i) => write!(f, "str#{i}"),
+            LitKey::Int(i) => write!(f, "{i}"),
+            LitKey::Bool(b) => write!(f, "{b}"),
+            LitKey::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Interning pool of abstract objects for one analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct ObjPool {
+    objs: Vec<AbsObj>,
+    index: HashMap<AbsObj, ObjId>,
+}
+
+impl ObjPool {
+    /// Creates an empty pool.
+    pub fn new() -> ObjPool {
+        ObjPool::default()
+    }
+
+    /// Interns an abstract object, returning its id.
+    pub fn intern(&mut self, obj: AbsObj) -> ObjId {
+        if let Some(&id) = self.index.get(&obj) {
+            return id;
+        }
+        let id = ObjId(self.objs.len() as u32);
+        self.objs.push(obj.clone());
+        self.index.insert(obj, id);
+        id
+    }
+
+    /// Returns the object for an id.
+    pub fn get(&self, id: ObjId) -> &AbsObj {
+        &self.objs[id.0 as usize]
+    }
+
+    /// Number of interned objects.
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+
+    /// Iterates over `(ObjId, &AbsObj)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &AbsObj)> {
+        self.objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// The set of values (`val_G`) of a points-to set.
+    pub fn values_of(&self, pts: &[ObjId]) -> Vec<Value> {
+        let mut vals: Vec<Value> = pts.iter().filter_map(|&o| self.get(o).value()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::ast::NodeId;
+    use uspec_lang::mir::CtxId;
+
+    fn site(n: u32) -> CallSite {
+        CallSite {
+            node: NodeId(n),
+            ctx: CtxId(0),
+        }
+    }
+
+    #[test]
+    fn pool_interns_structurally() {
+        let mut pool = ObjPool::new();
+        let a = pool.intern(AbsObj {
+            site: site(1),
+            kind: ObjKind::Opaque,
+        });
+        let b = pool.intern(AbsObj {
+            site: site(1),
+            kind: ObjKind::Opaque,
+        });
+        let c = pool.intern(AbsObj {
+            site: site(2),
+            kind: ObjKind::Opaque,
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn values_of_collects_literals_and_new_sites() {
+        let mut pool = ObjPool::new();
+        let lit = pool.intern(AbsObj {
+            site: site(1),
+            kind: ObjKind::Lit(Literal::Int(7)),
+        });
+        let new = pool.intern(AbsObj {
+            site: site(2),
+            kind: ObjKind::New {
+                class: Symbol::intern("A"),
+                user: false,
+            },
+        });
+        let api = pool.intern(AbsObj {
+            site: site(3),
+            kind: ObjKind::ApiRet(MethodId::new("C", "m", 0)),
+        });
+        let vals = pool.values_of(&[lit, new, api]);
+        assert_eq!(vals.len(), 2, "API returns contribute no value");
+        assert!(vals.contains(&Value::from_literal(Literal::Int(7))));
+        assert!(vals.contains(&Value::Obj(site(2))));
+    }
+
+    #[test]
+    fn api_ret_has_no_value() {
+        // Models val_G(⟨m, ret⟩) = ∅ for API calls (§5.1).
+        let obj = AbsObj {
+            site: site(9),
+            kind: ObjKind::ApiRet(MethodId::new("C", "m", 1)),
+        };
+        assert_eq!(obj.value(), None);
+    }
+}

@@ -1,0 +1,274 @@
+//! Aliasing specifications and the database the analysis consumes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use uspec_lang::registry::MethodId;
+
+/// An API aliasing specification (Tab. 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Spec {
+    /// `RetSame(s)`: calling `s` multiple times with equal arguments and
+    /// receiver may return the same object.
+    RetSame {
+        /// The method `s`.
+        method: MethodId,
+    },
+    /// `RetArg(t, s, x)`: calling `t` may return the `x`-th argument of a
+    /// preceding call of `s` on the same receiver where all other arguments
+    /// are equal.
+    RetArg {
+        /// The reading method `t`.
+        target: MethodId,
+        /// The writing method `s`.
+        source: MethodId,
+        /// 1-based argument position of the stored value in `s`.
+        x: u8,
+    },
+    /// `RetRecv(m)`: calling `m` may return its receiver (builder-style
+    /// APIs). This pattern is *not* in the paper's hypothesis class; §5.3
+    /// notes the approach "is fundamentally not restricted to these
+    /// patterns" — `RetRecv` is the implemented extension of that remark.
+    RetRecv {
+        /// The method `m`.
+        method: MethodId,
+    },
+}
+
+impl Spec {
+    /// The API class the specification concerns (the class of `s`).
+    pub fn class(&self) -> uspec_lang::Symbol {
+        match self {
+            Spec::RetSame { method } | Spec::RetRecv { method } => method.class,
+            Spec::RetArg { source, .. } => source.class,
+        }
+    }
+}
+
+impl std::fmt::Debug for Spec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Spec::RetSame { method } => write!(f, "RetSame({method})"),
+            Spec::RetArg { target, source, x } => {
+                write!(f, "RetArg({target}, {source}, {x})")
+            }
+            Spec::RetRecv { method } => write!(f, "RetRecv({method})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Spec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An indexed set of specifications, closed under the §5.4 extension rule
+/// `RetArg(t, s, x) ∈ S ⟹ RetSame(t) ∈ S`.
+#[derive(Clone, Debug, Default)]
+pub struct SpecDb {
+    specs: BTreeSet<Spec>,
+    ret_same: HashSet<MethodId>,
+    ret_recv: HashSet<MethodId>,
+    ret_arg_by_source: HashMap<MethodId, Vec<(MethodId, u8)>>,
+    /// RetSame specs added by the closure rather than supplied directly.
+    extended: BTreeSet<Spec>,
+}
+
+impl SpecDb {
+    /// The empty database: the paper's API-unaware baseline analysis.
+    pub fn empty() -> SpecDb {
+        SpecDb::default()
+    }
+
+    /// Builds a closed database from raw specifications.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uspec_pta::specdb::{Spec, SpecDb};
+    /// use uspec_lang::MethodId;
+    ///
+    /// let get = MethodId::new("java.util.HashMap", "get", 1);
+    /// let put = MethodId::new("java.util.HashMap", "put", 2);
+    /// let db = SpecDb::from_specs([Spec::RetArg { target: get, source: put, x: 2 }]);
+    /// // §5.4 closure: RetSame(get) is implied.
+    /// assert!(db.has_ret_same(get));
+    /// assert_eq!(db.len(), 2);
+    /// ```
+    pub fn from_specs(specs: impl IntoIterator<Item = Spec>) -> SpecDb {
+        let mut db = SpecDb::default();
+        for s in specs {
+            db.insert(s);
+        }
+        db
+    }
+
+    /// Inserts one specification (and its closure consequence).
+    pub fn insert(&mut self, spec: Spec) {
+        if !self.specs.insert(spec) {
+            return;
+        }
+        match spec {
+            Spec::RetSame { method } => {
+                self.ret_same.insert(method);
+                self.extended.remove(&spec);
+            }
+            Spec::RetRecv { method } => {
+                self.ret_recv.insert(method);
+            }
+            Spec::RetArg { target, source, x } => {
+                self.ret_arg_by_source
+                    .entry(source)
+                    .or_default()
+                    .push((target, x));
+                let implied = Spec::RetSame { method: target };
+                if self.specs.insert(implied) {
+                    self.ret_same.insert(target);
+                    self.extended.insert(implied);
+                }
+            }
+        }
+    }
+
+    /// Whether `RetSame(m)` is in the database.
+    pub fn has_ret_same(&self, m: MethodId) -> bool {
+        self.ret_same.contains(&m)
+    }
+
+    /// Whether `RetRecv(m)` is in the database.
+    pub fn has_ret_recv(&self, m: MethodId) -> bool {
+        self.ret_recv.contains(&m)
+    }
+
+    /// All `RetArg(t, source, x)` specs with the given write method.
+    pub fn ret_args_from(&self, source: MethodId) -> &[(MethodId, u8)] {
+        self.ret_arg_by_source
+            .get(&source)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All specifications, sorted.
+    pub fn iter(&self) -> impl Iterator<Item = &Spec> {
+        self.specs.iter()
+    }
+
+    /// Specifications added solely by the §5.4 closure.
+    pub fn extension_added(&self) -> impl Iterator<Item = &Spec> {
+        self.extended.iter()
+    }
+
+    /// Number of specifications (after closure).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Whether a particular spec is present.
+    pub fn contains(&self, spec: &Spec) -> bool {
+        self.specs.contains(spec)
+    }
+}
+
+impl FromIterator<Spec> for SpecDb {
+    fn from_iter<T: IntoIterator<Item = Spec>>(iter: T) -> SpecDb {
+        SpecDb::from_specs(iter)
+    }
+}
+
+impl Extend<Spec> for SpecDb {
+    fn extend<T: IntoIterator<Item = Spec>>(&mut self, iter: T) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get() -> MethodId {
+        MethodId::new("C", "get", 1)
+    }
+    fn put() -> MethodId {
+        MethodId::new("C", "put", 2)
+    }
+
+    #[test]
+    fn closure_adds_ret_same_of_target() {
+        let db = SpecDb::from_specs([Spec::RetArg {
+            target: get(),
+            source: put(),
+            x: 2,
+        }]);
+        assert!(db.has_ret_same(get()));
+        assert_eq!(db.extension_added().count(), 1);
+        // Property (3) of §5.4 holds.
+        for spec in db.iter() {
+            if let Spec::RetArg { target, .. } = spec {
+                assert!(db.has_ret_same(*target));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_ret_same_is_not_counted_as_extension() {
+        let db = SpecDb::from_specs([
+            Spec::RetSame { method: get() },
+            Spec::RetArg {
+                target: get(),
+                source: put(),
+                x: 2,
+            },
+        ]);
+        assert_eq!(db.extension_added().count(), 0);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_source() {
+        let db = SpecDb::from_specs([Spec::RetArg {
+            target: get(),
+            source: put(),
+            x: 2,
+        }]);
+        assert_eq!(db.ret_args_from(put()), &[(get(), 2)]);
+        assert!(db.ret_args_from(get()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut db = SpecDb::empty();
+        db.insert(Spec::RetSame { method: get() });
+        db.insert(Spec::RetSame { method: get() });
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn ret_recv_lookup() {
+        let m = MethodId::new("java.lang.StringBuilder", "append", 1);
+        let db = SpecDb::from_specs([Spec::RetRecv { method: m }]);
+        assert!(db.has_ret_recv(m));
+        assert!(!db.has_ret_same(m), "RetRecv does not imply RetSame in the db");
+        assert_eq!(Spec::RetRecv { method: m }.class(), m.class);
+        assert_eq!(
+            Spec::RetRecv { method: m }.to_string(),
+            "RetRecv(java.lang.StringBuilder.append/1)"
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Spec::RetArg {
+            target: get(),
+            source: put(),
+            x: 2,
+        };
+        assert_eq!(s.to_string(), "RetArg(C.get/1, C.put/2, 2)");
+    }
+}

@@ -1,0 +1,76 @@
+//! §7.5: the dynamic Atlas baseline side by side with USpec.
+//!
+//! Atlas executes synthesized unit tests against the (here: interpreted)
+//! library and generalizes observed object flows; USpec never runs the
+//! library — it learns from static usage alone.
+//!
+//! Run with: `cargo run --release --example atlas_comparison`
+
+use uspec_repro::atlas::{evaluate, run_atlas, AtlasOptions, CArg, CKey, ClassStatus, Interp};
+use uspec_repro::corpus::{generate_corpus, java_library, GenOptions};
+use uspec_repro::lang::Symbol;
+use uspec_repro::uspec::{run_pipeline, PipelineOptions};
+
+fn main() {
+    let lib = java_library();
+
+    // ---- A taste of the concrete interpreter Atlas tests against -------
+    let mut m = Interp::new(&lib);
+    let map = m
+        .construct(Symbol::intern("java.util.HashMap"))
+        .expect("constructible");
+    let v = m.fresh(None);
+    m.call(
+        map,
+        Symbol::intern("put"),
+        &[CArg::Key(CKey::Str("k".into())), CArg::Obj(v)],
+    )
+    .expect("put works");
+    let got = m
+        .call(map, Symbol::intern("get"), &[CArg::Key(CKey::Str("k".into()))])
+        .expect("get works");
+    println!("concrete run: get(\"k\") == put value? {}", got == Some(v));
+
+    // ---- Atlas over the whole library ------------------------------------
+    let results = run_atlas(&lib, &AtlasOptions::default());
+    let evals = evaluate(&lib, &results);
+    let count = |status: ClassStatus| evals.iter().filter(|e| e.status == status).count();
+    println!("\nAtlas over {} classes:", evals.len());
+    println!("  sound:           {}", count(ClassStatus::Sound));
+    println!("  unsound:         {}", count(ClassStatus::Unsound));
+    println!("  no constructor:  {}", count(ClassStatus::NoConstructor));
+    println!("  trivially empty: {}", count(ClassStatus::TriviallyEmpty));
+    println!("\nfailures the paper highlights:");
+    for class in ["java.util.Properties", "java.sql.ResultSet", "java.security.KeyStore"] {
+        let e = evals
+            .iter()
+            .find(|e| e.class == Symbol::intern(class))
+            .expect("evaluated");
+        println!("  {class}: {:?} (missed {} true flows)", e.status, e.missed.len());
+    }
+
+    // ---- USpec on the same classes ----------------------------------------
+    let sources: Vec<(String, String)> = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 1500,
+            seed: 21,
+            ..GenOptions::default()
+        },
+    )
+    .into_iter()
+    .map(|f| (f.name, f.source))
+    .collect();
+    let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+    let specs = result.select(0.6);
+    println!("\nUSpec (static, unsupervised) on the same classes:");
+    for class in ["java.util.Properties", "java.sql.ResultSet", "java.security.KeyStore"] {
+        let sym = Symbol::intern(class);
+        let learned: Vec<String> = specs
+            .iter()
+            .filter(|s| s.class() == sym)
+            .map(|s| format!("{s:?}"))
+            .collect();
+        println!("  {class}: {}", if learned.is_empty() { "-".into() } else { learned.join(", ") });
+    }
+}

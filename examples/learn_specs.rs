@@ -1,0 +1,103 @@
+//! Specification mining in depth: inspect every stage of the pipeline —
+//! event graphs, the probabilistic model's edge predictions, candidate
+//! matching, induced edges, and scoring.
+//!
+//! Run with: `cargo run --release --example learn_specs`
+
+use uspec_repro::corpus::{generate_corpus, python_library, GenOptions};
+use uspec_repro::graph::Pos;
+use uspec_repro::learn::{induced_edges, match_patterns};
+use uspec_repro::uspec::{analyze_source, run_pipeline, PipelineOptions};
+
+fn main() {
+    let lib = python_library();
+    let table = lib.api_table();
+    let opts = PipelineOptions::default();
+
+    // ---- Stage 1: event graphs (§3) ------------------------------------
+    let snippet = r#"
+        fn main(flag0) {
+            kwargs = new Dict();
+            v = "hello";
+            kwargs.SubscriptStore("greeting", v);
+            w = kwargs.SubscriptLoad("greeting");
+            s = w.strip();
+        }
+    "#;
+    let graphs = analyze_source(snippet, &table, &opts).expect("snippet analyzes");
+    let g = &graphs[0];
+    println!("event graph: {} events, {} edges", g.num_events(), g.num_edges());
+    for (site, info) in g.sites() {
+        let events: Vec<String> = [Pos::Recv, Pos::Arg(1), Pos::Arg(2), Pos::Ret]
+            .iter()
+            .filter(|&&p| g.event_id(site, p).is_some())
+            .map(|p| format!("⟨{},{p}⟩", info.method.method))
+            .collect();
+        println!("  site {}: {}", info.method, events.join(" "));
+    }
+
+    // ---- Stage 2: pattern matching (§5.1) --------------------------------
+    let load = g
+        .api_sites()
+        .find(|(_, i)| i.method.method.as_str() == "SubscriptLoad")
+        .map(|(s, _)| s)
+        .expect("load site");
+    let store = g
+        .api_sites()
+        .find(|(_, i)| i.method.method.as_str() == "SubscriptStore")
+        .map(|(s, _)| s)
+        .expect("store site");
+    let matches = match_patterns(g, load, store);
+    println!("\npattern matches at (SubscriptLoad, SubscriptStore):");
+    for m in &matches {
+        let edges = induced_edges(g, m);
+        println!("  {:?} induces {} edge(s)", m.spec, edges.len());
+        for (a, b) in edges {
+            println!(
+            "    {:?}@{:?} → {:?}@{:?}",
+            g.site_info(g.event(a).site).map(|i| i.method.method),
+            g.event(a).pos,
+            g.site_info(g.event(b).site).map(|i| i.method.method),
+            g.event(b).pos
+            );
+        }
+    }
+
+    // ---- Stage 3: the full pipeline on a corpus (§4–5) -------------------
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 1500,
+            seed: 3,
+            ..GenOptions::default()
+        },
+    );
+    let sources: Vec<(String, String)> = files.into_iter().map(|f| (f.name, f.source)).collect();
+    let result = run_pipeline(&sources, &table, &opts);
+
+    println!(
+        "\ncorpus: {} files, {} candidate specifications",
+        result.corpus.files,
+        result.learned.len()
+    );
+    println!("\nall candidates with ground-truth label (✓ valid, ✗ invalid):");
+    for s in &result.learned.scored {
+        let mark = if lib.is_true_spec(&s.spec) { "✓" } else { "✗" };
+        println!(
+            "  {mark} {:.3}  Γ={:<3} matches={:<3} {:?}",
+            s.score, s.scored_edges, s.matches, s.spec
+        );
+    }
+
+    // ---- Stage 4: the §5.4 extension -------------------------------------
+    let db = result.select(0.6);
+    let extended: Vec<_> = db.extension_added().collect();
+    println!(
+        "\nselected {} specs at τ = 0.6; the §5.4 closure added {} RetSame specs:",
+        db.len(),
+        extended.len()
+    );
+    for s in extended.iter().take(5) {
+        println!("  {s:?}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace-level umbrella crate for the USpec reproduction.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See [`uspec`] for the end-to-end pipeline API.
+
+pub use uspec;
+pub use uspec_atlas as atlas;
+pub use uspec_clients as clients;
+pub use uspec_corpus as corpus;
+pub use uspec_graph as graph;
+pub use uspec_lang as lang;
+pub use uspec_learn as learn;
+pub use uspec_model as model;
+pub use uspec_pta as pta;

@@ -1,0 +1,105 @@
+//! Integration of client analyses (§7.4) and the Atlas baseline (§7.5)
+//! with specifications learned by the real pipeline (not hand-written
+//! ones).
+
+use uspec_repro::atlas::{evaluate, run_atlas, AtlasOptions, ClassStatus};
+use uspec_repro::clients::{check_taint, check_typestate, TaintConfig, TypestateProtocol};
+use uspec_repro::corpus::{generate_corpus, java_library, python_library, GenOptions, Library};
+use uspec_repro::lang::{lower_program, parse, LowerOptions, Symbol};
+use uspec_repro::pta::{Pta, PtaOptions, SpecDb};
+use uspec_repro::uspec::{run_pipeline, PipelineOptions};
+
+fn learned_specs(lib: &Library, seed: u64) -> SpecDb {
+    let sources: Vec<(String, String)> = generate_corpus(
+        lib,
+        &GenOptions {
+            num_files: 1200,
+            seed,
+            ..GenOptions::default()
+        },
+    )
+    .into_iter()
+    .map(|f| (f.name, f.source))
+    .collect();
+    run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default()).select(0.6)
+}
+
+#[test]
+fn learned_specs_fix_fig8a_typestate_false_positive() {
+    let lib = java_library();
+    let table = lib.api_table();
+    let specs = learned_specs(&lib, 42);
+    let src = r#"
+        fn main(flag0) {
+            iters = new java.util.ArrayList();
+            c = iters.get(0).hasNext();
+            if (c) { x = iters.get(0).next(); }
+        }
+    "#;
+    let program = parse(src).unwrap();
+    let body = lower_program(&program, &table, &LowerOptions::default())
+        .unwrap()
+        .pop()
+        .unwrap();
+    let protocol = TypestateProtocol::iterator();
+    let base = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+    let aug = Pta::run(&body, &specs, &PtaOptions::default());
+    assert_eq!(check_typestate(&body, &base, &protocol).len(), 1, "baseline FP");
+    assert_eq!(check_typestate(&body, &aug, &protocol).len(), 0, "learned specs fix it");
+}
+
+#[test]
+fn learned_specs_fix_fig8b_taint_false_negative() {
+    let lib = python_library();
+    let table = lib.api_table();
+    let specs = learned_specs(&lib, 7);
+    let src = r#"
+        fn main(request, html) {
+            kwargs = new Dict();
+            v = request.getParam("value");
+            kwargs.setdefault("data-value", v);
+            w = kwargs.SubscriptLoad("data-value");
+            html.render(w);
+        }
+    "#;
+    let program = parse(src).unwrap();
+    let body = lower_program(&program, &table, &LowerOptions::default())
+        .unwrap()
+        .pop()
+        .unwrap();
+    let config = TaintConfig::new(&["getParam"], &["render"], &["escape"]);
+    let base = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+    let aug = Pta::run(&body, &specs, &PtaOptions::default());
+    assert_eq!(check_taint(&base, &config).len(), 0, "baseline FN");
+    assert_eq!(check_taint(&aug, &config).len(), 1, "learned specs find it");
+}
+
+#[test]
+fn atlas_fails_where_uspec_succeeds() {
+    let lib = java_library();
+    let results = run_atlas(&lib, &AtlasOptions::default());
+    let evals = evaluate(&lib, &results);
+    let status = |class: &str| {
+        evals
+            .iter()
+            .find(|e| e.class == Symbol::intern(class))
+            .map(|e| e.status)
+            .expect("class evaluated")
+    };
+    // §7.5 qualitative claims.
+    assert_eq!(status("java.util.HashMap"), ClassStatus::Sound);
+    assert_eq!(status("java.util.Properties"), ClassStatus::Unsound);
+    assert_eq!(status("java.sql.ResultSet"), ClassStatus::NoConstructor);
+    assert_eq!(status("java.security.KeyStore"), ClassStatus::NoConstructor);
+    assert_eq!(status("org.w3c.dom.NodeList"), ClassStatus::NoConstructor);
+
+    // USpec learns (argument-sensitive!) specs for exactly those classes.
+    let specs = learned_specs(&lib, 42);
+    for class in ["java.util.Properties", "java.sql.ResultSet", "java.security.KeyStore"] {
+        let sym = Symbol::intern(class);
+        assert!(
+            specs.iter().any(|s| s.class() == sym && lib.is_true_spec(s)),
+            "USpec should learn a correct spec for {class}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's running example (Fig. 2 / Fig. 3 / §5.1 / §6.2) end to end.
+
+use uspec_repro::graph::Pos;
+use uspec_repro::lang::{lower_program, parse, ApiTable, LowerOptions, MethodId};
+use uspec_repro::learn::{induced_edges, match_patterns};
+use uspec_repro::pta::{Pta, PtaOptions, Spec, SpecDb};
+use uspec_repro::uspec::{analyze_source, analyze_source_with_specs, PipelineOptions};
+
+const FIG2: &str = r#"
+    fn main(someApi) {
+        map = new HashMap();
+        map.put("key", someApi.getFile());
+        name = map.get("key").getName();
+    }
+"#;
+
+fn hashmap_specs() -> SpecDb {
+    SpecDb::from_specs([Spec::RetArg {
+        target: MethodId::new("HashMap", "get", 1),
+        source: MethodId::new("HashMap", "put", 2),
+        x: 2,
+    }])
+}
+
+#[test]
+fn fig3_solid_edges_in_api_unaware_graph() {
+    let g = &analyze_source(FIG2, &ApiTable::new(), &PipelineOptions::default()).unwrap()[0];
+    let ev = |method: &str, pos: Pos| {
+        g.sites()
+            .find(|(_, i)| i.method.method.as_str() == method)
+            .and_then(|(s, _)| g.event_id(s, pos))
+            .unwrap_or_else(|| panic!("missing ⟨{method},{pos:?}⟩"))
+    };
+    // The solid edges of Fig. 3.
+    assert!(g.has_edge(ev("<new>", Pos::Ret), ev("put", Pos::Recv)));
+    assert!(g.has_edge(ev("put", Pos::Recv), ev("get", Pos::Recv)));
+    assert!(g.has_edge(ev("getFile", Pos::Ret), ev("put", Pos::Arg(2))));
+    assert!(g.has_edge(ev("get", Pos::Ret), ev("getName", Pos::Recv)));
+    // The dashed edge ℓ does NOT exist API-unaware.
+    assert!(!g.has_edge(ev("getFile", Pos::Ret), ev("getName", Pos::Recv)));
+}
+
+#[test]
+fn candidate_matching_instantiates_the_spec_of_section_5_1() {
+    let g = &analyze_source(FIG2, &ApiTable::new(), &PipelineOptions::default()).unwrap()[0];
+    let site = |m: &str| {
+        g.api_sites()
+            .find(|(_, i)| i.method.method.as_str() == m)
+            .map(|(s, _)| s)
+            .unwrap()
+    };
+    let matches = match_patterns(g, site("get"), site("put"));
+    assert_eq!(matches.len(), 1);
+    let Spec::RetArg { target, source, x } = matches[0].spec else {
+        panic!("expected RetArg")
+    };
+    assert_eq!((target.method.as_str(), source.method.as_str(), x), ("get", "put", 2));
+
+    // Exactly the single induced edge ℓ of Fig. 3.
+    let edges = induced_edges(g, &matches[0]);
+    assert_eq!(edges.len(), 1);
+    let (a, b) = edges[0];
+    assert_eq!(g.site_info(g.event(a).site).unwrap().method.method.as_str(), "getFile");
+    assert_eq!(g.event(b).pos, Pos::Recv);
+}
+
+#[test]
+fn fig3_dashed_edges_appear_after_history_merge() {
+    // §3.3: an analysis aware of the HashMap spec merges the histories of
+    // o1 and o2, adding the dashed edges of Fig. 3, including ℓ.
+    let g = &analyze_source_with_specs(
+        FIG2,
+        &ApiTable::new(),
+        &hashmap_specs(),
+        &PipelineOptions::default(),
+    )
+    .unwrap()[0];
+    let ev = |method: &str, pos: Pos| {
+        g.sites()
+            .find(|(_, i)| i.method.method.as_str() == method)
+            .and_then(|(s, _)| g.event_id(s, pos))
+            .unwrap_or_else(|| panic!("missing ⟨{method},{pos:?}⟩"))
+    };
+    // ℓ: ⟨getFile,ret⟩ → ⟨getName,0⟩.
+    assert!(g.has_edge(ev("getFile", Pos::Ret), ev("getName", Pos::Recv)));
+    // The merged history of §3.3:
+    // (⟨getFile,ret⟩, ⟨put,2⟩, ⟨get,ret⟩, ⟨getName,0⟩).
+    assert!(g.has_edge(ev("put", Pos::Arg(2)), ev("get", Pos::Ret)));
+    assert!(g.has_edge(ev("getFile", Pos::Ret), ev("get", Pos::Ret)));
+}
+
+#[test]
+fn ghost_fields_of_section_6_2() {
+    // §6.2's example: the ghost field (get, "key") written by put, read by
+    // get — observable as the put value flowing to the get return.
+    let program = parse(FIG2).unwrap();
+    let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+        .unwrap()
+        .pop()
+        .unwrap();
+    let pta = Pta::run(&body, &hashmap_specs(), &PtaOptions::default());
+    let put = pta
+        .call_records()
+        .find(|c| c.method.method.as_str() == "put")
+        .unwrap();
+    let get = pta
+        .call_records()
+        .find(|c| c.method.method.as_str() == "get")
+        .unwrap();
+    let get_name = pta
+        .call_records()
+        .find(|c| c.method.method.as_str() == "getName")
+        .unwrap();
+    assert!(Pta::may_alias(&put.args[1], &get.ret));
+    assert_eq!(
+        get.ret,
+        *get_name.recv.as_ref().unwrap(),
+        "getName's receiver is exactly get's return"
+    );
+    // The heap contains a ghost field entry.
+    assert!(pta.heap.iter().any(|((_, f), _)| matches!(
+        f,
+        uspec_repro::pta::FieldKey::Ghost(_)
+    )));
+}
+
+#[test]
+fn fig4_low_confidence_match_is_still_a_match() {
+    // Fig. 4: map.put("key","value"); map.get("key") — matches the pattern
+    // even though its induced edge will score low (the value is a literal
+    // with no consistent consumer relation).
+    let src = r#"
+        fn main() {
+            map = new HashMap();
+            map.put("key", "value");
+            value = map.get("key");
+        }
+    "#;
+    let g = &analyze_source(src, &ApiTable::new(), &PipelineOptions::default()).unwrap()[0];
+    let site = |m: &str| {
+        g.api_sites()
+            .find(|(_, i)| i.method.method.as_str() == m)
+            .map(|(s, _)| s)
+            .unwrap()
+    };
+    let matches = match_patterns(g, site("get"), site("put"));
+    assert_eq!(matches.len(), 1, "Fig. 4 is a pattern match");
+}

@@ -1,0 +1,181 @@
+//! Property-based tests over the whole stack: the corpus generator serves
+//! as a program fuzzer (every generated file must flow through
+//! parse → lower → PTA → event graph without panicking and with the §3
+//! invariants intact), plus targeted properties of the core data
+//! structures.
+
+use proptest::prelude::*;
+use uspec_repro::corpus::{generate_corpus, java_library, python_library, GenOptions};
+use uspec_repro::graph::Pos;
+use uspec_repro::lang::{lexer::lex, parse, MethodId, Symbol};
+use uspec_repro::learn::ScoreFn;
+use uspec_repro::pta::{Spec, SpecDb};
+use uspec_repro::uspec::{analyze_source, PipelineOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated file analyzes end to end, and the resulting event
+    /// graphs satisfy the §3.3 invariants: transitive closure, acyclicity,
+    /// allocation events having no parents.
+    #[test]
+    fn generated_files_satisfy_event_graph_invariants(seed in 0u64..5000, java in any::<bool>()) {
+        let lib = if java { java_library() } else { python_library() };
+        let table = lib.api_table();
+        let files = generate_corpus(&lib, &GenOptions { num_files: 2, seed, ..GenOptions::default() });
+        for f in files {
+            let graphs = analyze_source(&f.source, &table, &PipelineOptions::default())
+                .expect("generated files analyze");
+            for g in graphs {
+                // Transitive closure: (a,b),(b,c) ∈ E ⟹ (a,c) ∈ E.
+                for (a, b, _) in g.edges() {
+                    prop_assert!(a != b, "no self edges");
+                    for &c in g.children(b) {
+                        if c != a {
+                            prop_assert!(g.has_edge(a, c), "closure violated");
+                        }
+                    }
+                    prop_assert!(!g.has_edge(b, a), "antisymmetry violated");
+                }
+                // alloc_G(e) only contains parent-less ret events.
+                for e in g.event_ids() {
+                    for a in g.alloc_set(e) {
+                        prop_assert!(g.parents(a).is_empty());
+                        prop_assert_eq!(g.event(a).pos, Pos::Ret);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(input in "\\PC*") {
+        let _ = lex(&input);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_total(input in "[a-z(){};=.\" ]{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// SpecDb closure invariant holds for arbitrary spec sets.
+    #[test]
+    fn specdb_closure_invariant(raw in proptest::collection::vec((0u8..6, 0u8..6, 1u8..3), 0..12)) {
+        let specs: Vec<Spec> = raw
+            .into_iter()
+            .map(|(t, s, x)| Spec::RetArg {
+                target: MethodId::new("C", format!("t{t}").as_str(), x - 1),
+                source: MethodId::new("C", format!("s{s}").as_str(), x),
+                x,
+            })
+            .collect();
+        let db = SpecDb::from_specs(specs);
+        for spec in db.iter() {
+            if let Spec::RetArg { target, .. } = spec {
+                prop_assert!(db.has_ret_same(*target));
+            }
+        }
+    }
+
+    /// Scoring functions are monotone in the confidence values and bounded
+    /// in [0, 1].
+    #[test]
+    fn score_functions_bounded(gamma in proptest::collection::vec(0.0f32..1.0, 0..40), matches in 0usize..10_000) {
+        for f in [ScoreFn::TopKAvg(10), ScoreFn::Max, ScoreFn::Percentile(0.95), ScoreFn::MatchCount { soft: 20.0 }] {
+            let s = f.score(&gamma, matches);
+            prop_assert!((0.0..=1.0).contains(&s), "{f:?} out of range: {s}");
+        }
+        // Adding a higher value never lowers TopKAvg/Max.
+        if !gamma.is_empty() {
+            let mut more = gamma.clone();
+            more.push(1.0);
+            for f in [ScoreFn::TopKAvg(10), ScoreFn::Max] {
+                prop_assert!(f.score(&more, matches) >= f.score(&gamma, matches) - 1e-6);
+            }
+        }
+    }
+
+    /// Pretty-printing is a parser inverse on every generated file.
+    #[test]
+    fn generated_files_pretty_print_roundtrip(seed in 0u64..5000) {
+        use uspec_repro::lang::pretty::print_program;
+        let lib = java_library();
+        let files = generate_corpus(&lib, &GenOptions { num_files: 1, seed, ..GenOptions::default() });
+        let p1 = parse(&files[0].source).expect("generated files parse");
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).expect("printed files parse");
+        prop_assert_eq!(print_program(&p1), print_program(&p2));
+    }
+
+    /// Specification sets survive JSON serialization.
+    #[test]
+    fn spec_json_roundtrip(raw in proptest::collection::vec((0u8..4, 1u8..3), 0..8)) {
+        let specs: Vec<Spec> = raw
+            .into_iter()
+            .map(|(m, x)| Spec::RetArg {
+                target: MethodId::new("a.B", format!("t{m}").as_str(), x - 1),
+                source: MethodId::new("a.B", format!("s{m}").as_str(), x),
+                x,
+            })
+            .collect();
+        let json = serde_json::to_string(&specs).expect("serializes");
+        let back: Vec<Spec> = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(specs, back);
+    }
+
+    /// Interning respects string identity for arbitrary strings.
+    #[test]
+    fn symbol_roundtrip(s in "\\PC{0,40}") {
+        let sym = Symbol::intern(&s);
+        prop_assert_eq!(sym.as_str(), s.as_str());
+        prop_assert_eq!(Symbol::intern(&s), sym);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The augmented analysis with arbitrary (true-spec subset) databases
+    /// never panics and only ever *adds* aliasing relative to baseline
+    /// may-alias on return values.
+    #[test]
+    fn augmented_analysis_monotone(seed in 0u64..2000, mask in 0u64..1024) {
+        use uspec_repro::lang::{lower_program, LowerOptions};
+        use uspec_repro::pta::{Pta, PtaOptions};
+
+        let lib = java_library();
+        let table = lib.api_table();
+        let all = lib.true_specs();
+        let subset: Vec<Spec> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 10)) != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let db = SpecDb::from_specs(subset);
+
+        let files = generate_corpus(&lib, &GenOptions { num_files: 1, seed, ..GenOptions::default() });
+        let program = parse(&files[0].source).expect("parses");
+        let bodies = lower_program(&program, &table, &LowerOptions::default()).expect("lowers");
+        for body in &bodies {
+            let base = Pta::run(body, &SpecDb::empty(), &PtaOptions::default());
+            let aug = Pta::run(body, &db, &PtaOptions::default());
+            // Count aliasing ret-pairs under both; augmented ⊇ baseline.
+            let pairs = |pta: &Pta| {
+                let recs: Vec<_> = pta.call_records().collect();
+                let mut n = 0;
+                for i in 0..recs.len() {
+                    for j in (i + 1)..recs.len() {
+                        if Pta::may_alias(&recs[i].ret, &recs[j].ret) {
+                            n += 1;
+                        }
+                    }
+                }
+                n
+            };
+            prop_assert!(pairs(&aug) >= pairs(&base));
+        }
+    }
+}
