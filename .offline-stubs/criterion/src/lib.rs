@@ -1,0 +1,120 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness API this workspace's benches use
+//! (`Criterion::default().sample_size(..)`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`) with a plain wall-clock timer and mean-per-iteration
+//! reporting — no statistics, plots, or CLI filtering.
+
+use std::time::Instant;
+
+/// How batched inputs are sized (ignored by the stub timer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        if b.timed_iters > 0 {
+            let per_iter = b.elapsed_ns / b.timed_iters as u128;
+            println!("bench {name}: {per_iter} ns/iter ({} iters)", b.timed_iters);
+        } else {
+            println!("bench {name}: no iterations recorded");
+        }
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.timed_iters += self.iters;
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` input per iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+/// Prevents the optimizer from eliding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Defines `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the data-parallel iterator API surface this workspace uses
+//! (`par_iter`, `par_chunks`, `map`, `enumerate`, `filter`, `flat_map`,
+//! `collect`, `reduce`, `sum`, `count`) executed **sequentially**. This keeps
+//! the workspace buildable and its tests runnable without crates.io access;
+//! results are identical to real rayon for the order-preserving operations
+//! used here (rayon's `collect`/`reduce` on indexed iterators preserve
+//! sequence order).
+
+/// Common traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential one.
+pub struct Par<I> {
+    inner: I,
+}
+
+/// Conversion of `&collection` into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: 'a;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par { inner: self.iter() }
+    }
+}
+
+/// Parallel chunking of slices (`par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Returns a parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par {
+            inner: self.chunks(chunk_size),
+        }
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    /// Maps each element through `f`.
+    pub fn map<F, R>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        Par {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Pairs each element with its sequence index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Keeps elements for which `f` returns `true`.
+    pub fn filter<F>(self, f: F) -> Par<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        Par {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Maps and filters in one step.
+    pub fn filter_map<F, R>(self, f: F) -> Par<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        Par {
+            inner: self.inner.filter_map(f),
+        }
+    }
+
+    /// Maps each element to an iterator and flattens the results in order.
+    pub fn flat_map<F, U>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        Par {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<B>(self) -> B
+    where
+        B: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Reduces all elements with `op`, starting from `identity()`.
+    ///
+    /// Real rayon may apply `op` in any association; every use in this
+    /// workspace passes an associative `op`, for which the sequential
+    /// left fold used here produces the same result.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Sums all elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = vec![1, 2, 3, 4];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn enumerate_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let folded: Vec<u64> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| vec![i as u64 + x])
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        let expect: Vec<u64> = (0..100).map(|x| 2 * x).collect();
+        assert_eq!(folded, expect);
+    }
+
+    #[test]
+    fn par_chunks_sizes() {
+        let v: Vec<u8> = (0..10).collect();
+        let sizes: Vec<usize> = v[..].par_chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+}

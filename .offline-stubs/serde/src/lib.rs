@@ -1,0 +1,750 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Implements the serde API surface this workspace uses — `Serialize` /
+//! `Deserialize` traits with derive support, `Serializer::{serialize_str,
+//! serialize_struct}`, and `ser::SerializeStruct` — over an internal
+//! self-describing [`value::Value`] tree. The companion `serde_json` stub
+//! prints/parses that tree. Not a general serde replacement: custom
+//! `Serializer`/`Deserializer` backends beyond the provided value-based one
+//! and `#[serde(...)]` attributes are unsupported.
+
+pub mod value {
+    //! The self-describing data tree all (de)serialization routes through.
+
+    /// A serialized value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// JSON `null` / Rust `None` / unit.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer (negative values).
+        I64(i64),
+        /// An unsigned integer (non-negative values).
+        U64(u64),
+        /// A 32-bit float, kept narrow so it prints with `f32` precision.
+        F32(f32),
+        /// A 64-bit float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// A sequence.
+        Seq(Vec<Value>),
+        /// A map with string keys, in insertion order.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Short description of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F32(_) | Value::F64(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+pub mod ser {
+    //! Serialization-side helper traits.
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Creates an error with an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Builder returned by `Serializer::serialize_struct`.
+    pub trait SerializeStruct {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one named field.
+        fn serialize_field<T: crate::Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>
+        where
+            Self: Sized;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side helper traits.
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Creates an error with an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format backend that data structures serialize into.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Struct builder type.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Consumes an already-built value tree (the stub's primitive).
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Begins serializing a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.serialize_value(Value::U64(v as u64))
+        } else {
+            self.serialize_value(Value::I64(v))
+        }
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v))
+    }
+
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F32(v))
+    }
+
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error>;
+}
+
+/// A format backend that data structures deserialize from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the whole input as a value tree (the stub's primitive).
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Derive-macro and container-impl support; not part of the public API
+/// surface mirrored from real serde.
+pub mod __private {
+    use super::{de, ser, value::Value, Deserialize, Deserializer, Serialize, Serializer};
+    use std::marker::PhantomData;
+
+    /// Serializer that builds a [`Value`] tree.
+    pub struct ValueSerializer<E>(PhantomData<E>);
+
+    impl<E> ValueSerializer<E> {
+        /// Creates a value-building serializer.
+        pub fn new() -> Self {
+            ValueSerializer(PhantomData)
+        }
+    }
+
+    impl<E> Default for ValueSerializer<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Struct builder for [`ValueSerializer`].
+    pub struct ValueStructBuilder<E> {
+        fields: Vec<(String, Value)>,
+        _marker: PhantomData<E>,
+    }
+
+    impl<E: ser::Error> ser::SerializeStruct for ValueStructBuilder<E> {
+        type Ok = Value;
+        type Error = E;
+
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), E> {
+            let v = to_value::<T, E>(value)?;
+            self.fields.push((name.to_owned(), v));
+            Ok(())
+        }
+
+        fn end(self) -> Result<Value, E> {
+            Ok(Value::Map(self.fields))
+        }
+    }
+
+    impl<E: ser::Error> Serializer for ValueSerializer<E> {
+        type Ok = Value;
+        type Error = E;
+        type SerializeStruct = ValueStructBuilder<E>;
+
+        fn serialize_value(self, v: Value) -> Result<Value, E> {
+            Ok(v)
+        }
+
+        fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Self::SerializeStruct, E> {
+            Ok(ValueStructBuilder {
+                fields: Vec::with_capacity(len),
+                _marker: PhantomData,
+            })
+        }
+    }
+
+    /// Serializes any value into a [`Value`] tree.
+    pub fn to_value<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Value, E> {
+        value.serialize(ValueSerializer::<E>::new())
+    }
+
+    /// Deserializer that reads from a [`Value`] tree.
+    pub struct ValueDeserializer<E> {
+        value: Value,
+        _marker: PhantomData<E>,
+    }
+
+    impl<E> ValueDeserializer<E> {
+        /// Wraps a value tree.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer {
+                value,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_value(self) -> Result<Value, E> {
+            Ok(self.value)
+        }
+    }
+
+    /// Deserializes any value from a [`Value`] tree.
+    pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(v: Value) -> Result<T, E> {
+        T::deserialize(ValueDeserializer::<E>::new(v))
+    }
+
+    /// Unwraps a map value, for struct deserialization.
+    pub fn into_map<E: de::Error>(v: Value, what: &str) -> Result<Vec<(String, Value)>, E> {
+        match v {
+            Value::Map(m) => Ok(m),
+            other => Err(E::custom(format!("expected map for {what}, got {}", other.kind()))),
+        }
+    }
+
+    /// Unwraps a sequence value, for tuple deserialization.
+    pub fn into_seq<E: de::Error>(v: Value, what: &str) -> Result<Vec<Value>, E> {
+        match v {
+            Value::Seq(s) => Ok(s),
+            other => Err(E::custom(format!(
+                "expected sequence for {what}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Removes and deserializes the named field from a struct map.
+    pub fn take_field<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &mut Vec<(String, Value)>,
+        owner: &str,
+        name: &str,
+    ) -> Result<T, E> {
+        let idx = map
+            .iter()
+            .position(|(k, _)| k == name)
+            .ok_or_else(|| E::custom(format!("missing field `{name}` in {owner}")))?;
+        let (_, v) = map.remove(idx);
+        from_value(v)
+    }
+
+    /// Checks that a sequence has exactly `n` elements and returns an
+    /// iterator over them.
+    pub fn seq_arity<E: de::Error>(
+        seq: Vec<Value>,
+        n: usize,
+        what: &str,
+    ) -> Result<std::vec::IntoIter<Value>, E> {
+        if seq.len() != n {
+            return Err(E::custom(format!(
+                "expected {n} elements for {what}, got {}",
+                seq.len()
+            )));
+        }
+        Ok(seq.into_iter())
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, content)`:
+    /// a plain string is a unit variant, a one-entry map a variant with
+    /// content.
+    pub fn enum_parts<E: de::Error>(v: Value) -> Result<(String, Option<Value>), E> {
+        match v {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Map(mut m) if m.len() == 1 => {
+                let (tag, content) = m.pop().expect("len checked");
+                Ok((tag, Some(content)))
+            }
+            other => Err(E::custom(format!(
+                "expected enum (string or single-entry map), got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps the content of a non-unit enum variant.
+    pub fn variant_content<E: de::Error>(
+        content: Option<Value>,
+        owner: &str,
+        variant: &str,
+    ) -> Result<Value, E> {
+        content.ok_or_else(|| E::custom(format!("variant {owner}::{variant} requires content")))
+    }
+
+    /// Serializes a unit enum variant (externally tagged: just the name).
+    pub fn unit_variant<S: Serializer>(ser: S, variant: &'static str) -> Result<S::Ok, S::Error> {
+        ser.serialize_value(Value::Str(variant.to_owned()))
+    }
+
+    /// Serializes a newtype enum variant (`{"Variant": value}`).
+    pub fn newtype_variant<S: Serializer, T: Serialize + ?Sized>(
+        ser: S,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<S::Ok, S::Error> {
+        let v = to_value::<T, S::Error>(value)?;
+        ser.serialize_value(Value::Map(vec![(variant.to_owned(), v)]))
+    }
+
+    /// Serializes a tuple enum variant (`{"Variant": [v0, v1, ...]}`).
+    pub fn tuple_variant<S: Serializer>(
+        ser: S,
+        variant: &'static str,
+        values: Vec<Value>,
+    ) -> Result<S::Ok, S::Error> {
+        ser.serialize_value(Value::Map(vec![(variant.to_owned(), Value::Seq(values))]))
+    }
+
+    /// Serializes a struct enum variant (`{"Variant": {field: value, ...}}`).
+    pub fn struct_variant<S: Serializer>(
+        ser: S,
+        variant: &'static str,
+        fields: Vec<(String, Value)>,
+    ) -> Result<S::Ok, S::Error> {
+        ser.serialize_value(Value::Map(vec![(variant.to_owned(), Value::Map(fields))]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+                ser.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+                ser.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_f32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(ser)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(ser)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => ser.serialize_value(Value::Null),
+            Some(v) => v.serialize(ser),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a, E: ser::Error>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, E> {
+    let vs: Result<Vec<Value>, E> = items.map(|x| __private::to_value(x)).collect();
+    Ok(Value::Seq(vs?))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        ser.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(ser)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(ser)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+                let vs = vec![$(__private::to_value::<_, S::Error>(&self.$n)?),+];
+                ser.serialize_value(Value::Seq(vs))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a, E: ser::Error>(
+    items: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Value, E> {
+    let mut out = Vec::new();
+    for (k, v) in items {
+        let key = match __private::to_value::<K, E>(k)? {
+            Value::Str(s) => s,
+            other => {
+                return Err(E::custom(format!(
+                    "map key must serialize to a string, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        out.push((key, __private::to_value::<V, E>(v)?));
+    }
+    Ok(Value::Map(out))
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, S::Error>(self.iter())?;
+        ser.serialize_value(v)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, S::Error>(self.iter())?;
+        ser.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        ser.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S::Error>(self.iter())?;
+        ser.serialize_value(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match de.deserialize_value()? {
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match de.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+fn value_to_f64<E: de::Error>(v: Value) -> Result<f64, E> {
+    match v {
+        Value::F64(f) => Ok(f),
+        Value::F32(f) => Ok(f as f64),
+        Value::U64(n) => Ok(n as f64),
+        Value::I64(n) => Ok(n as f64),
+        other => Err(E::custom(format!("expected number, got {}", other.kind()))),
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        value_to_f64(de.deserialize_value()?)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        // Matches real serde_json: parse as f64, narrow with `as`.
+        Ok(value_to_f64::<D::Error>(de.deserialize_value()?)? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match de.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        use de::Error;
+        let s = String::deserialize(de)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match de.deserialize_value()? {
+            Value::Null => Ok(()),
+            other => Err(D::Error::custom(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        T::deserialize(de).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        match de.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => __private::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let seq = __private::into_seq::<D::Error>(de.deserialize_value()?, "Vec")?;
+        seq.into_iter().map(__private::from_value).collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+                let seq = __private::into_seq::<D::Error>(de.deserialize_value()?, "tuple")?;
+                let mut it = __private::seq_arity::<D::Error>(seq, $len, "tuple")?;
+                Ok(($({
+                    let _ = $n;
+                    __private::from_value::<$t, D::Error>(it.next().expect("arity checked"))?
+                },)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 T0)
+    (2; 0 T0, 1 T1)
+    (3; 0 T0, 1 T1, 2 T2)
+    (4; 0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+fn value_to_map_entries<'de, K: Deserialize<'de>, V: Deserialize<'de>, E: de::Error>(
+    v: Value,
+) -> Result<Vec<(K, V)>, E> {
+    let entries = __private::into_map::<E>(v, "map")?;
+    entries
+        .into_iter()
+        .map(|(k, v)| {
+            let key = __private::from_value::<K, E>(Value::Str(k))?;
+            let val = __private::from_value::<V, E>(v)?;
+            Ok((key, val))
+        })
+        .collect()
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let entries = value_to_map_entries::<K, V, D::Error>(de.deserialize_value()?)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let entries = value_to_map_entries::<K, V, D::Error>(de.deserialize_value()?)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let seq = __private::into_seq::<D::Error>(de.deserialize_value()?, "set")?;
+        seq.into_iter().map(__private::from_value).collect()
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::BTreeSet<T>
+where
+    T: Deserialize<'de> + Ord,
+{
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let seq = __private::into_seq::<D::Error>(de.deserialize_value()?, "set")?;
+        seq.into_iter().map(__private::from_value).collect()
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the item's token stream is parsed directly (only field and
+//! variant *names* and arities are needed — never types, which stay fully
+//! inferred in the generated code). Supports non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple, and struct variants) with the
+//! externally-tagged representation real serde uses by default.
+//! `#[serde(...)]` attributes and generic types are unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive stub: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive stub: unexpected enum body: {other:?}"),
+            };
+            let variants = split_top_level(body)
+                .into_iter()
+                .map(|chunk| parse_variant(&chunk))
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token stream on commas at angle-bracket depth 0 (delimiters are
+/// groups and already balanced); drops empty chunks (trailing commas).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk, 0);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive stub: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> (String, Fields) {
+    let i = skip_attrs_and_vis(chunk, 0);
+    let name = match &chunk[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected variant name, got {other}"),
+    };
+    let fields = match chunk.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_field_names(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(split_top_level(g.stream()).len())
+        }
+        None => Fields::Unit,
+        Some(other) => panic!("serde_derive stub: unexpected variant body: {other}"),
+    };
+    (name, fields)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __ser: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn ser_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__ser, \"{name}\", {}usize)?;\n",
+                names.len()
+            );
+            for f in names {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0, __ser)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::to_value::<_, __S::Error>(&self.{i})?"))
+                .collect();
+            format!(
+                "let __vs = ::std::vec![{}];\n\
+                 ::serde::Serializer::serialize_value(__ser, ::serde::value::Value::Seq(__vs))",
+                elems.join(", ")
+            )
+        }
+        Fields::Unit => "::serde::Serializer::serialize_unit(__ser)".to_string(),
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::__private::unit_variant(__ser, \"{v}\"),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{v}(__f0) => ::serde::__private::newtype_variant(__ser, \"{v}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let vals: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::__private::to_value::<_, __S::Error>(__f{i})?"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{v}({}) => ::serde::__private::tuple_variant(__ser, \"{v}\", ::std::vec![{}]),\n",
+                    binds.join(", "),
+                    vals.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let binds: Vec<String> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __b{i}"))
+                    .collect();
+                let entries: Vec<String> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::__private::to_value::<_, __S::Error>(__b{i})?)"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {} }} => ::serde::__private::struct_variant(__ser, \"{v}\", ::std::vec![{}]),\n",
+                    binds.join(", "),
+                    entries.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__de: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn de_named_fields(name: &str, path: &str, names: &[String], map_expr: &str) -> String {
+    let mut s = format!("let mut __m = ::serde::__private::into_map::<__D::Error>({map_expr}, \"{name}\")?;\n");
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::__private::take_field::<_, __D::Error>(&mut __m, \"{name}\", \"{f}\")?")
+        })
+        .collect();
+    s.push_str(&format!(
+        "::core::result::Result::Ok({path} {{ {} }})",
+        fields.join(", ")
+    ));
+    s
+}
+
+fn de_tuple_fields(what: &str, path: &str, n: usize, seq_expr: &str) -> String {
+    let mut s = format!(
+        "let __seq = ::serde::__private::into_seq::<__D::Error>({seq_expr}, \"{what}\")?;\n\
+         let mut __it = ::serde::__private::seq_arity::<__D::Error>(__seq, {n}usize, \"{what}\")?;\n"
+    );
+    let elems: Vec<String> = (0..n)
+        .map(|_| {
+            "::serde::__private::from_value::<_, __D::Error>(__it.next().expect(\"arity checked\"))?"
+                .to_string()
+        })
+        .collect();
+    s.push_str(&format!(
+        "::core::result::Result::Ok({path}({}))",
+        elems.join(", ")
+    ));
+    s
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => de_named_fields(
+            name,
+            name,
+            names,
+            "::serde::Deserializer::deserialize_value(__de)?",
+        ),
+        Fields::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__de)?))"
+        ),
+        Fields::Tuple(n) => de_tuple_fields(
+            name,
+            name,
+            *n,
+            "::serde::Deserializer::deserialize_value(__de)?",
+        ),
+        Fields::Unit => format!(
+            "let _ = ::serde::Deserializer::deserialize_value(__de)?;\n\
+             ::core::result::Result::Ok({name})"
+        ),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (v, fields) in variants {
+        let what = format!("{name}::{v}");
+        match fields {
+            Fields::Unit => arms.push_str(&format!("\"{v}\" => ::core::result::Result::Ok({what}),\n")),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "\"{v}\" => {{\n\
+                 let __c = ::serde::__private::variant_content::<__D::Error>(__content, \"{name}\", \"{v}\")?;\n\
+                 ::core::result::Result::Ok({what}(::serde::__private::from_value::<_, __D::Error>(__c)?))\n\
+                 }}\n"
+            )),
+            Fields::Tuple(n) => {
+                let body = de_tuple_fields(&what, &what, *n, "__c");
+                arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let __c = ::serde::__private::variant_content::<__D::Error>(__content, \"{name}\", \"{v}\")?;\n\
+                     {body}\n}}\n"
+                ));
+            }
+            Fields::Named(fs) => {
+                let body = de_named_fields(&what, &what, fs, "__c");
+                arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let __c = ::serde::__private::variant_content::<__D::Error>(__content, \"{name}\", \"{v}\")?;\n\
+                     {body}\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "let __v = ::serde::Deserializer::deserialize_value(__de)?;\n\
+         let (__tag, __content) = ::serde::__private::enum_parts::<__D::Error>(__v)?;\n\
+         match __tag.as_str() {{\n{arms}\
+         __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+         ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}"
+    )
+}

@@ -314,9 +314,15 @@ mod tests {
         let lib = java_library();
         let mut m = Interp::new(&lib);
         let vg = m.construct(sym("android.view.ViewGroup")).unwrap();
-        let a = m.call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(7))]).unwrap();
-        let b = m.call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(7))]).unwrap();
-        let c = m.call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(8))]).unwrap();
+        let a = m
+            .call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(7))])
+            .unwrap();
+        let b = m
+            .call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(7))])
+            .unwrap();
+        let c = m
+            .call(vg, sym("findViewById"), &[CArg::Key(CKey::Int(8))])
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -54,10 +54,14 @@ impl Default for AtlasOptions {
             max_seq_len: 8,
             untuned_pool: 100_000,
             tuned_pool: 2,
-            tuned_classes: ["java.util.HashMap", "java.util.Hashtable", "java.util.ArrayList"]
-                .iter()
-                .map(|s| Symbol::intern(s))
-                .collect(),
+            tuned_classes: [
+                "java.util.HashMap",
+                "java.util.Hashtable",
+                "java.util.ArrayList",
+            ]
+            .iter()
+            .map(|s| Symbol::intern(s))
+            .collect(),
             seed: 0xA71A5,
         }
     }
@@ -224,8 +228,7 @@ pub fn true_flows(lib: &Library, class: Symbol) -> Vec<FlowSpec> {
         match s.sem {
             MethodSem::Store { value_arg } => {
                 for t in &c.methods {
-                    if matches!(t.sem, MethodSem::Load | MethodSem::Take)
-                        && t.arity + 1 == s.arity
+                    if matches!(t.sem, MethodSem::Load | MethodSem::Take) && t.arity + 1 == s.arity
                     {
                         out.push(FlowSpec {
                             source: mid(s.name, s.arity),
@@ -319,7 +322,11 @@ mod tests {
 
     #[test]
     fn factory_only_classes_get_nothing() {
-        for c in ["java.sql.ResultSet", "java.security.KeyStore", "org.w3c.dom.NodeList"] {
+        for c in [
+            "java.sql.ResultSet",
+            "java.security.KeyStore",
+            "org.w3c.dom.NodeList",
+        ] {
             let e = eval_for(c);
             assert_eq!(e.status, ClassStatus::NoConstructor, "{c}");
         }
@@ -378,7 +385,8 @@ mod tuning_tests {
         // libraries) makes it sound.
         let lib = java_library();
         let mut opts = AtlasOptions::default();
-        opts.tuned_classes.push(Symbol::intern("java.util.Properties"));
+        opts.tuned_classes
+            .push(Symbol::intern("java.util.Properties"));
         let results = run_atlas(&lib, &opts);
         let evals = evaluate(&lib, &results);
         let e = evals
@@ -398,9 +406,15 @@ mod tuning_tests {
         };
         let results = run_atlas(&lib, &starving);
         let evals = evaluate(&lib, &results);
-        let sound = evals.iter().filter(|e| e.status == ClassStatus::Sound).count();
+        let sound = evals
+            .iter()
+            .filter(|e| e.status == ClassStatus::Sound)
+            .count();
         let full = evaluate(&lib, &run_atlas(&lib, &AtlasOptions::default()));
-        let sound_full = full.iter().filter(|e| e.status == ClassStatus::Sound).count();
+        let sound_full = full
+            .iter()
+            .filter(|e| e.status == ClassStatus::Sound)
+            .count();
         assert!(sound <= sound_full, "starved run cannot find more");
     }
 

@@ -73,8 +73,7 @@ pub fn spec_holds(lib: &Library, spec: &Spec) -> Option<bool> {
             // reads — see §5.1's matching conditions).
             let read_args = fixed_args(&m.args, 7);
             for s in &c.methods {
-                if let MethodSem::Store { value_arg } | MethodSem::StackPush { value_arg } = s.sem
-                {
+                if let MethodSem::Store { value_arg } | MethodSem::StackPush { value_arg } = s.sem {
                     if s.arity == m.arity + 1 {
                         let marker = interp.fresh(None);
                         let mut args = Vec::new();
@@ -148,9 +147,9 @@ mod tests {
             for spec in lib.true_specs() {
                 match spec_holds(&lib, &spec) {
                     Some(true) => {}
-                    Some(false) => panic!(
-                        "{spec:?} is declared true but the interpreter refutes it"
-                    ),
+                    Some(false) => {
+                        panic!("{spec:?} is declared true but the interpreter refutes it")
+                    }
                     None => {} // unobtainable receiver — cannot validate
                 }
             }

@@ -79,7 +79,10 @@ fn main() {
         ]);
     };
 
-    add("default (interproc depth 2, dist 10)", PipelineOptions::default());
+    add(
+        "default (interproc depth 2, dist 10)",
+        PipelineOptions::default(),
+    );
 
     let mut intra = PipelineOptions::default();
     intra.lower = LowerOptions { inline_depth: 0 };

@@ -11,8 +11,8 @@
 //!   NodeList);
 //! * USpec learns argument-sensitive specifications for all of these.
 
-use uspec_bench::{print_table, standard_run, BenchUniverse};
 use uspec_atlas::{evaluate, run_atlas, AtlasOptions, ClassStatus};
+use uspec_bench::{print_table, standard_run, BenchUniverse};
 use uspec_lang::Symbol;
 
 fn main() {
@@ -36,7 +36,10 @@ fn main() {
     let mut rows = Vec::new();
     for class in showcase {
         let sym = Symbol::intern(class);
-        let e = evals.iter().find(|e| e.class == sym).expect("class evaluated");
+        let e = evals
+            .iter()
+            .find(|e| e.class == sym)
+            .expect("class evaluated");
         let atlas_status = match e.status {
             ClassStatus::NoConstructor => "no constructor → empty".to_string(),
             ClassStatus::Sound => format!("sound ({} flows, arg-insensitive)", e.found.len()),

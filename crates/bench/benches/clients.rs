@@ -14,7 +14,9 @@
 //! specifications eliminate (nearly) all of them, matching the oracle.
 
 use uspec_bench::{print_table, standard_run, BenchUniverse};
-use uspec_clients::{check_leaks, check_taint, check_typestate, LeakConfig, TaintConfig, TypestateProtocol};
+use uspec_clients::{
+    check_leaks, check_taint, check_typestate, LeakConfig, TaintConfig, TypestateProtocol,
+};
 use uspec_lang::lower::lower_program;
 use uspec_lang::parser::parse;
 use uspec_lang::registry::ApiTable;
@@ -57,7 +59,11 @@ fn taint_files(n: usize) -> (Vec<String>, Vec<String>) {
     let mut safe = Vec::new();
     for i in 0..n {
         let key = ["value", "data", "q", "input"][i % 4];
-        let store = if i % 2 == 0 { "SubscriptStore" } else { "setdefault" };
+        let store = if i % 2 == 0 {
+            "SubscriptStore"
+        } else {
+            "setdefault"
+        };
         vulnerable.push(format!(
             r#"
             fn main(req, html) {{
@@ -186,11 +192,7 @@ fn main() {
     .map(|(name, specs)| {
         let fps = count_typestate(&ok_files, &table, &specs);
         let tps = count_typestate(&buggy_files, &table, &specs);
-        vec![
-            name.to_string(),
-            format!("{fps}/{n}"),
-            format!("{tps}/{n}"),
-        ]
+        vec![name.to_string(), format!("{fps}/{n}"), format!("{tps}/{n}")]
     })
     .collect();
     print_table(
@@ -245,7 +247,11 @@ fn main() {
     .collect();
     print_table(
         "Fig. 8b: taint client (user input through a dict round-trip into HTML)",
-        &["analysis", "vulnerabilities found", "false alarms on sanitized"],
+        &[
+            "analysis",
+            "vulnerabilities found",
+            "false alarms on sanitized",
+        ],
         &rows,
     );
 }

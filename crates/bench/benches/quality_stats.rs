@@ -51,7 +51,15 @@ fn main() {
         .collect();
     print_table(
         "§7.2 pipeline counts (τ = 0.6)",
-        &["lang", "files", "candidates", "cand classes", "selected", "sel classes", "sel/cand"],
+        &[
+            "lang",
+            "files",
+            "candidates",
+            "cand classes",
+            "selected",
+            "sel classes",
+            "sel/cand",
+        ],
         &rows,
     );
 
@@ -109,7 +117,8 @@ fn main() {
         let (mut accepted, mut wrong) = (0usize, 0usize);
         for (_, src) in &eval {
             let base = analyze_source(src, &table, &ctx.opts).unwrap_or_default();
-            let oracle = analyze_source_with_specs(src, &table, &truth, &ctx.opts).unwrap_or_default();
+            let oracle =
+                analyze_source_with_specs(src, &table, &truth, &ctx.opts).unwrap_or_default();
             for (bg, og) in base.iter().zip(&oracle) {
                 for a in bg.event_ids() {
                     for b in bg.event_ids() {
@@ -128,9 +137,7 @@ fn main() {
                         let eb = bg.event(b);
                         let ok = match (og.event_id(ea.site, ea.pos), og.event_id(eb.site, eb.pos))
                         {
-                            (Some(oa), Some(ob)) => {
-                                og.has_edge(oa, ob) || og.may_alias(oa, ob)
-                            }
+                            (Some(oa), Some(ob)) => og.has_edge(oa, ob) || og.may_alias(oa, ob),
                             _ => false,
                         };
                         if !ok {
@@ -182,13 +189,16 @@ fn main() {
             .lib
             .classes()
             .flat_map(|c| {
-                c.methods.iter().filter(|m| !m.is_static).map(|m| Spec::RetSame {
-                    method: uspec_lang::MethodId {
-                        class: c.name,
-                        method: m.name,
-                        arity: m.arity,
-                    },
-                })
+                c.methods
+                    .iter()
+                    .filter(|m| !m.is_static)
+                    .map(|m| Spec::RetSame {
+                        method: uspec_lang::MethodId {
+                            class: c.name,
+                            method: m.name,
+                            arity: m.arity,
+                        },
+                    })
             })
             .collect();
         let imprecise = |db: &SpecDb| {

@@ -31,13 +31,20 @@ fn main() {
     let mut rows = Vec::new();
     for s in &ctx.result.learned.scored {
         if let Spec::RetRecv { method } = s.spec {
-            let truth = if ctx.lib.is_true_spec(&s.spec) { "valid" } else { "invalid" };
-            rows.push((s.score, vec![
-                method.qualified(),
-                f3(s.score),
-                s.matches.to_string(),
-                truth.to_string(),
-            ]));
+            let truth = if ctx.lib.is_true_spec(&s.spec) {
+                "valid"
+            } else {
+                "invalid"
+            };
+            rows.push((
+                s.score,
+                vec![
+                    method.qualified(),
+                    f3(s.score),
+                    s.matches.to_string(),
+                    truth.to_string(),
+                ],
+            ));
         }
     }
     rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));

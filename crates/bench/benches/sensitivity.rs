@@ -75,7 +75,13 @@ fn main() {
     }
     print_table(
         "Noise robustness (Java, 2000 files, τ = 0.6)",
-        &["mismatch rate", "noise weight", "precision", "recall", "candidates"],
+        &[
+            "mismatch rate",
+            "noise weight",
+            "precision",
+            "recall",
+            "candidates",
+        ],
         &rows,
     );
     println!("  expected: recall degrades gracefully with noise; precision holds.");

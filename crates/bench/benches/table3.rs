@@ -18,14 +18,23 @@ fn showcase(universe: BenchUniverse) -> Vec<(&'static str, &'static str)> {
     match universe {
         BenchUniverse::Java => vec![
             ("java.util.HashMap", "RetArg(java.util.HashMap.get"),
-            ("java.security.KeyStore", "RetSame(java.security.KeyStore.getKey"),
+            (
+                "java.security.KeyStore",
+                "RetSame(java.security.KeyStore.getKey",
+            ),
             ("java.sql.ResultSet", "RetSame(java.sql.ResultSet.getString"),
-            ("android.util.SparseArray", "RetArg(android.util.SparseArray.get"),
+            (
+                "android.util.SparseArray",
+                "RetArg(android.util.SparseArray.get",
+            ),
             (
                 "com.fasterxml.jackson.databind.JsonNode",
                 "RetSame(com.fasterxml.jackson.databind.JsonNode.path",
             ),
-            ("android.view.ViewGroup", "RetSame(android.view.ViewGroup.findViewById"),
+            (
+                "android.view.ViewGroup",
+                "RetSame(android.view.ViewGroup.findViewById",
+            ),
             (
                 "org.antlr.runtime.tree.TreeAdaptor",
                 "RetArg(org.antlr.runtime.tree.TreeAdaptor.rulePostProcessing",
@@ -34,7 +43,10 @@ fn showcase(universe: BenchUniverse) -> Vec<(&'static str, &'static str)> {
         BenchUniverse::Python => vec![
             ("Dict", "RetArg(Dict.SubscriptLoad/1, Dict.SubscriptStore/2"),
             ("List", "RetSame(List.pop"),
-            ("configParser.SafeConfigParser", "RetArg(configParser.SafeConfigParser.get"),
+            (
+                "configParser.SafeConfigParser",
+                "RetArg(configParser.SafeConfigParser.get",
+            ),
         ],
     }
 }
@@ -48,7 +60,11 @@ fn rows_for(lib: &Library, learned: &LearnedSpecs, universe: BenchUniverse) -> V
             .find(|s| format!("{:?}", s.spec).starts_with(pattern));
         match entry {
             Some(s) => {
-                let correct = if lib.is_true_spec(&s.spec) { "" } else { "incorrect" };
+                let correct = if lib.is_true_spec(&s.spec) {
+                    ""
+                } else {
+                    "incorrect"
+                };
                 rows.push(vec![
                     class.to_string(),
                     strip_class(&s.spec),

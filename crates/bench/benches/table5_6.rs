@@ -37,8 +37,14 @@ fn main() {
             .map(|(g, n, c)| vec![g.to_string(), n.to_string(), c.to_string()])
             .collect();
         let (title, col) = match universe {
-            BenchUniverse::Java => ("Tab. 5: selected Java specifications by package prefix", "Java package prefix"),
-            BenchUniverse::Python => ("Tab. 6: selected Python specifications by library", "Python library"),
+            BenchUniverse::Java => (
+                "Tab. 5: selected Java specifications by package prefix",
+                "Java package prefix",
+            ),
+            BenchUniverse::Python => (
+                "Tab. 6: selected Python specifications by library",
+                "Python library",
+            ),
         };
         print_table(
             &format!("{title} (τ = {tau})"),

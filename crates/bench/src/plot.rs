@@ -23,7 +23,10 @@ impl AsciiPlot {
         y_label: &str,
     ) -> AsciiPlot {
         assert!(width >= 10 && height >= 4, "canvas too small");
-        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "empty range");
+        assert!(
+            x_range.1 > x_range.0 && y_range.1 > y_range.0,
+            "empty range"
+        );
         AsciiPlot {
             width,
             height,
@@ -39,8 +42,8 @@ impl AsciiPlot {
     pub fn point(&mut self, x: f64, y: f64, marker: char) {
         let fx = (x - self.x_range.0) / (self.x_range.1 - self.x_range.0);
         let fy = (y - self.y_range.0) / (self.y_range.1 - self.y_range.0);
-        let cx = ((fx * (self.width - 1) as f64).round() as isize)
-            .clamp(0, self.width as isize - 1) as usize;
+        let cx = ((fx * (self.width - 1) as f64).round() as isize).clamp(0, self.width as isize - 1)
+            as usize;
         let cy = ((fy * (self.height - 1) as f64).round() as isize)
             .clamp(0, self.height as isize - 1) as usize;
         // Row 0 is the top of the canvas.

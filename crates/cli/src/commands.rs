@@ -4,10 +4,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
-use uspec::{analyze_source, run_pipeline, PipelineOptions};
+use uspec::{analyze_source, run_pipeline_streaming, PipelineOptions, PipelineResult};
 use uspec_atlas::{evaluate, run_atlas, AtlasOptions, ClassStatus};
 use uspec_clients::{check_taint, check_typestate, TaintConfig, TypestateProtocol};
-use uspec_corpus::{generate_corpus, java_library, python_library, GenOptions, Library};
+use uspec_corpus::{
+    generate_corpus, java_library, python_library, GenOptions, GeneratedSource, Library,
+    SliceSource,
+};
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
 use uspec_learn::LearnedSpecs;
 use uspec_pta::{Pta, PtaOptions, SpecDb};
@@ -27,12 +30,45 @@ fn library_for(opts: &Opts) -> Result<Library, OptError> {
     match opts.value_or("lang", "java") {
         "java" => Ok(java_library()),
         "python" => Ok(python_library()),
-        other => Err(OptError(format!("--lang must be java or python, got `{other}`"))),
+        other => Err(OptError(format!(
+            "--lang must be java or python, got `{other}`"
+        ))),
     }
 }
 
 fn io_err(e: std::io::Error, what: &str) -> OptError {
     OptError(format!("{what}: {e}"))
+}
+
+/// Builds [`PipelineOptions`] from the shared streaming flags
+/// (`--shard-size`, `--max-diagnostics`).
+fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
+    let defaults = PipelineOptions::default();
+    Ok(PipelineOptions {
+        shard_size: opts.num("shard-size", defaults.shard_size)?,
+        max_diagnostics: opts.num("max-diagnostics", defaults.max_diagnostics)?,
+        ..defaults
+    })
+}
+
+/// Prints the corpus-level summary shared by `learn` and `eval`: analysis
+/// failures (with their capped diagnostics) and the streaming memory bound.
+fn print_corpus_summary(result: &PipelineResult) {
+    let c = &result.corpus;
+    if c.failures > 0 {
+        println!(
+            "{} file(s) failed analysis (showing first {}):",
+            c.failures,
+            c.diagnostics.len()
+        );
+        for d in &c.diagnostics {
+            println!("  {d}");
+        }
+    }
+    println!(
+        "peak resident event graphs: {} (of {} total)",
+        c.peak_resident_graphs, c.graphs
+    );
 }
 
 /// `uspec generate`.
@@ -69,9 +105,7 @@ fn collect_sources(root: &Path, out: &mut Vec<(String, String)>) -> Result<(), O
         return Ok(());
     }
     let entries = fs::read_dir(root).map_err(|e| io_err(e, "reading directory"))?;
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
     paths.sort();
     for p in paths {
         collect_sources(&p, out)?;
@@ -81,9 +115,13 @@ fn collect_sources(root: &Path, out: &mut Vec<(String, String)>) -> Result<(), O
 
 /// `uspec learn`.
 pub fn learn(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["lang", "tau", "out"])?;
+    let opts = Opts::parse(
+        args,
+        &["lang", "tau", "out", "shard-size", "max-diagnostics"],
+    )?;
     let lib = library_for(&opts)?;
     let tau: f64 = opts.num("tau", 0.6)?;
+    let popts = pipeline_opts(&opts)?;
     if opts.positional.is_empty() {
         return Err(OptError("at least one corpus directory is required".into()));
     }
@@ -94,8 +132,13 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
     if sources.is_empty() {
         return Err(OptError("no *.u files found".into()));
     }
-    println!("learning from {} files ...", sources.len());
-    let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+    println!(
+        "learning from {} files (shards of {}) ...",
+        sources.len(),
+        popts.shard_size
+    );
+    let result = run_pipeline_streaming(&SliceSource::new(&sources), &lib.api_table(), &popts);
+    print_corpus_summary(&result);
     println!(
         "{} event graphs, {} candidates, {} selected at τ = {tau}",
         result.corpus.graphs,
@@ -103,7 +146,10 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
         result.learned.selected(tau).count()
     );
     for s in result.learned.selected(tau) {
-        println!("  {:.3}  (matches: {:>4})  {:?}", s.score, s.matches, s.spec);
+        println!(
+            "  {:.3}  (matches: {:>4})  {:?}",
+            s.score, s.matches, s.spec
+        );
     }
     if let Some(path) = opts.value("out") {
         let file = SpecFile {
@@ -141,7 +187,10 @@ pub fn show(args: Vec<String>) -> Result<(), OptError> {
         file.learned.len()
     );
     for s in file.learned.selected(tau) {
-        println!("  {:.3}  (matches: {:>4})  {:?}", s.score, s.matches, s.spec);
+        println!(
+            "  {:.3}  (matches: {:>4})  {:?}",
+            s.score, s.matches, s.spec
+        );
     }
     Ok(())
 }
@@ -194,7 +243,10 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
             .into_iter()
             .filter(|p| !base_pairs.contains(p))
             .collect();
-        println!("  return-value alias pairs (baseline): {}", base_pairs.len());
+        println!(
+            "  return-value alias pairs (baseline): {}",
+            base_pairs.len()
+        );
         println!("  added by specifications: {}", added.len());
         for (a, b) in added.iter().take(20) {
             println!("    {a}.ret ~ {b}.ret");
@@ -209,18 +261,35 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
                 action: Symbol::intern(action),
             };
             let violations = check_typestate(body, &aug, &protocol);
-            println!("  typestate ({guard}/{action}): {} violation(s)", violations.len());
+            println!(
+                "  typestate ({guard}/{action}): {} violation(s)",
+                violations.len()
+            );
         }
         if let Some(t) = opts.value("taint") {
             let parts: Vec<&str> = t.split(':').collect();
             if parts.len() != 3 {
                 return Err(OptError("--taint expects sources:sinks:sanitizers".into()));
             }
-            let split = |s: &str| s.split(',').filter(|x| !x.is_empty()).map(|x| x.to_owned()).collect::<Vec<_>>();
+            let split = |s: &str| {
+                s.split(',')
+                    .filter(|x| !x.is_empty())
+                    .map(|x| x.to_owned())
+                    .collect::<Vec<_>>()
+            };
             let config = TaintConfig::new(
-                &split(parts[0]).iter().map(String::as_str).collect::<Vec<_>>(),
-                &split(parts[1]).iter().map(String::as_str).collect::<Vec<_>>(),
-                &split(parts[2]).iter().map(String::as_str).collect::<Vec<_>>(),
+                &split(parts[0])
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>(),
+                &split(parts[1])
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>(),
+                &split(parts[2])
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>(),
             );
             let findings = check_taint(&aug, &config);
             println!("  taint: {} finding(s)", findings.len());
@@ -244,12 +313,13 @@ pub fn graph(args: Vec<String>) -> Result<(), OptError> {
         if opts.switch("dot") {
             println!("{}", g.to_dot());
         } else {
-            println!("event graph: {} events, {} edges", g.num_events(), g.num_edges());
+            println!(
+                "event graph: {} events, {} edges",
+                g.num_events(),
+                g.num_edges()
+            );
             for (site, info) in g.sites() {
-                let n = g
-                    .event_ids()
-                    .filter(|&e| g.event(e).site == site)
-                    .count();
+                let n = g.event_ids().filter(|&e| g.event(e).site == site).count();
                 println!("  {}  ({} events)", info.method, n);
             }
         }
@@ -295,12 +365,16 @@ pub fn report(args: Vec<String>) -> Result<(), OptError> {
         by_class.len()
     ));
     for (class, specs) in &by_class {
-        md.push_str(&format!("## `{class}`
+        md.push_str(&format!(
+            "## `{class}`
 
-"));
-        md.push_str("| specification | score | matches |
+"
+        ));
+        md.push_str(
+            "| specification | score | matches |
 |---|---|---|
-");
+",
+        );
         let mut sorted = specs.clone();
         sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
         for s in sorted {
@@ -326,10 +400,21 @@ pub fn report(args: Vec<String>) -> Result<(), OptError> {
 /// learned candidates against the builtin ground truth (a CLI rendition of
 /// Fig. 7).
 pub fn eval(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["lang", "files", "seed", "taus"])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "lang",
+            "files",
+            "seed",
+            "taus",
+            "shard-size",
+            "max-diagnostics",
+        ],
+    )?;
     let lib = library_for(&opts)?;
     let n: usize = opts.num("files", 1000)?;
     let seed: u64 = opts.num("seed", 42)?;
+    let popts = pipeline_opts(&opts)?;
     let taus: Vec<f64> = opts
         .value_or("taus", "0.0,0.2,0.4,0.6,0.8,0.9")
         .split(',')
@@ -339,18 +424,16 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
                 .map_err(|_| OptError(format!("bad τ value `{t}`")))
         })
         .collect::<Result<_, _>>()?;
-    let sources: Vec<(String, String)> = generate_corpus(
-        &lib,
-        &GenOptions {
-            num_files: n,
-            seed,
-            ..GenOptions::default()
-        },
-    )
-    .into_iter()
-    .map(|f| (f.name, f.source))
-    .collect();
-    let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+    // Corpus files are generated on demand, shard by shard — the full
+    // corpus text is never materialized.
+    let gen = GenOptions {
+        num_files: n,
+        seed,
+        ..GenOptions::default()
+    };
+    let result =
+        run_pipeline_streaming(&GeneratedSource::new(&lib, &gen), &lib.api_table(), &popts);
+    print_corpus_summary(&result);
     let points = uspec::precision_recall(&result.learned, |s| lib.is_true_spec(s), &taus);
     println!(
         "{} files → {} candidates ({} classes)",
@@ -364,7 +447,10 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             .collect::<std::collections::BTreeSet<_>>()
             .len()
     );
-    println!("{:>6}  {:>9}  {:>6}  {:>8}", "tau", "precision", "recall", "selected");
+    println!(
+        "{:>6}  {:>9}  {:>6}  {:>8}",
+        "tau", "precision", "recall", "selected"
+    );
     for p in points {
         println!(
             "{:>6.2}  {:>9.3}  {:>6.3}  {:>8}",
@@ -404,7 +490,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("uspec-cli-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("uspec-cli-test-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -433,6 +520,10 @@ mod tests {
         learn(vec![
             "--lang".into(),
             "java".into(),
+            "--shard-size".into(),
+            "32".into(),
+            "--max-diagnostics".into(),
+            "5".into(),
             "--out".into(),
             specs.display().to_string(),
             corpus.display().to_string(),
@@ -477,7 +568,11 @@ mod tests {
     fn graph_command_produces_dot() {
         let dir = tmpdir("graph");
         let file = dir.join("prog.u");
-        fs::write(&file, "fn main(db) { f = db.getFile(\"a\"); n = f.getName(); }").unwrap();
+        fs::write(
+            &file,
+            "fn main(db) { f = db.getFile(\"a\"); n = f.getName(); }",
+        )
+        .unwrap();
         graph(vec![
             "--lang".into(),
             "java".into(),
@@ -525,16 +620,29 @@ mod tests {
 
     #[test]
     fn errors_are_reported_not_panicked() {
-        assert!(generate(vec!["--lang".into(), "cobol".into(), "--out".into(), "/tmp/x".into()]).is_err());
+        assert!(generate(vec![
+            "--lang".into(),
+            "cobol".into(),
+            "--out".into(),
+            "/tmp/x".into()
+        ])
+        .is_err());
         assert!(learn(vec!["--lang".into(), "java".into()]).is_err());
         assert!(show(vec!["/nonexistent/specs.json".into()]).is_err());
-        assert!(analyze(vec!["--lang".into(), "java".into(), "/nonexistent.u".into()]).is_err());
+        assert!(analyze(vec![
+            "--lang".into(),
+            "java".into(),
+            "/nonexistent.u".into()
+        ])
+        .is_err());
     }
 
     #[test]
     fn library_selection() {
         assert_eq!(
-            library_for(&opts(&["--lang", "python"], &["lang"])).unwrap().universe,
+            library_for(&opts(&["--lang", "python"], &["lang"]))
+                .unwrap()
+                .universe,
             uspec_corpus::Universe::Python
         );
         assert!(library_for(&opts(&["--lang", "perl"], &["lang"])).is_err());

@@ -68,7 +68,9 @@ pub fn check_leaks(body: &Body, pta: &Pta, config: &LeakConfig) -> Vec<LeakRepor
         };
         let mut states = states;
         for rec in &pta.records[bb] {
-            let InstrRecord::Call(call) = rec else { continue };
+            let InstrRecord::Call(call) = rec else {
+                continue;
+            };
             if config.opens.contains(&call.method.method) {
                 for st in &mut states {
                     for &o in &call.ret {
@@ -165,7 +167,10 @@ mod tests {
 
     #[test]
     fn unclosed_resource_leaks() {
-        let v = leaks("fn main(db) { c = db.open(\"f\"); c.read(); }", &SpecDb::empty());
+        let v = leaks(
+            "fn main(db) { c = db.open(\"f\"); c.read(); }",
+            &SpecDb::empty(),
+        );
         assert_eq!(v.len(), 1);
     }
 

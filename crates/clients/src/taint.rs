@@ -60,7 +60,9 @@ pub fn check_taint(pta: &Pta, config: &TaintConfig) -> Vec<TaintFinding> {
     loop {
         let before = tainted.len();
         for rec in pta.records.iter().flatten() {
-            let InstrRecord::Call(call) = rec else { continue };
+            let InstrRecord::Call(call) = rec else {
+                continue;
+            };
             let name = call.method.method;
             if config.sources.contains(&name) {
                 tainted.extend(call.ret.iter().copied());
@@ -86,7 +88,9 @@ pub fn check_taint(pta: &Pta, config: &TaintConfig) -> Vec<TaintFinding> {
     let mut findings = Vec::new();
     let mut seen = BTreeSet::new();
     for rec in pta.records.iter().flatten() {
-        let InstrRecord::Call(call) = rec else { continue };
+        let InstrRecord::Call(call) = rec else {
+            continue;
+        };
         if !config.sinks.contains(&call.method.method) {
             continue;
         }

@@ -68,16 +68,16 @@ pub fn check_typestate(
         };
         let mut state = state0;
         for rec in &pta.records[bb] {
-            let InstrRecord::Call(call) = rec else { continue };
+            let InstrRecord::Call(call) = rec else {
+                continue;
+            };
             let Some(recv) = &call.recv else { continue };
             if call.method.method == protocol.guard {
                 for &o in recv {
                     state.insert(o, true);
                 }
             } else if call.method.method == protocol.action {
-                let unguarded = recv
-                    .iter()
-                    .any(|o| !state.get(o).copied().unwrap_or(false));
+                let unguarded = recv.iter().any(|o| !state.get(o).copied().unwrap_or(false));
                 if unguarded && seen.insert(call.site) {
                     violations.push(TypestateViolation {
                         site: call.site,
@@ -100,7 +100,8 @@ pub fn check_typestate(
             match &mut entry[s as usize] {
                 Some(dest) => {
                     // Must-join: guarded only if guarded on every path.
-                    let keys: Vec<ObjId> = dest.keys().copied().chain(state.keys().copied()).collect();
+                    let keys: Vec<ObjId> =
+                        dest.keys().copied().chain(state.keys().copied()).collect();
                     for k in keys {
                         let a = dest.get(&k).copied().unwrap_or(false);
                         let b = state.get(&k).copied().unwrap_or(false);

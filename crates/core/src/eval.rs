@@ -9,7 +9,10 @@ use uspec_lang::parser::parse;
 use uspec_lang::registry::ApiTable;
 use uspec_lang::MethodId;
 use uspec_learn::LearnedSpecs;
-use uspec_pta::{GhostField, GhostMode, InstrRecord, ObjId, ObjKind, ObjPool, Pta, PtaOptions, Spec, SpecDb, Value};
+use uspec_pta::{
+    GhostField, GhostMode, InstrRecord, ObjId, ObjKind, ObjPool, Pta, PtaOptions, Spec, SpecDb,
+    Value,
+};
 
 use crate::pipeline::PipelineOptions;
 
@@ -223,8 +226,10 @@ pub fn compare_on_corpus(
                             learned_base.get(site).map(|(_, s)| s).unwrap_or(&empty);
                         let extra: BTreeSet<&String> =
                             added.difference(&oracle_added).copied().collect();
-                        let extra_in_base: Vec<&&String> =
-                            extra.iter().filter(|k| base_mode_set.contains(**k)).collect();
+                        let extra_in_base: Vec<&&String> = extra
+                            .iter()
+                            .filter(|k| base_mode_set.contains(**k))
+                            .collect();
                         if extra_in_base.is_empty() {
                             DiffCategory::CoverageApproach
                         } else if false_read_methods.contains(method) {
@@ -305,7 +310,7 @@ fn alias_partners(pta: &Pta) -> BTreeMap<CallSite, (MethodId, BTreeSet<String>)>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uspec_learn::{ScoredSpec, ScoreFn};
+    use uspec_learn::{ScoreFn, ScoredSpec};
 
     fn mk_learned(entries: &[(Spec, f64)]) -> LearnedSpecs {
         let _ = ScoreFn::default();
@@ -335,7 +340,8 @@ mod tests {
             (spec("b"), 0.8), // invalid
             (spec("c"), 0.4), // valid
         ]);
-        let valid = |s: &Spec| matches!(s, Spec::RetSame { method } if method.method.as_str() != "b");
+        let valid =
+            |s: &Spec| matches!(s, Spec::RetSame { method } if method.method.as_str() != "b");
         let points = precision_recall(&learned, valid, &[0.0, 0.6, 0.95]);
         // τ=0: all selected → precision 2/3, recall 1.
         assert!((points[0].precision - 2.0 / 3.0).abs() < 1e-9);
@@ -415,10 +421,20 @@ mod tests {
                 .to_owned(),
             ),
         ];
-        let report = compare_on_corpus(&sources, &table, &learned, &truth, &PipelineOptions::default());
+        let report = compare_on_corpus(
+            &sources,
+            &table,
+            &learned,
+            &truth,
+            &PipelineOptions::default(),
+        );
         let counts = report.counts();
         assert!(
-            counts.get(&DiffCategory::PreciseCoverage).copied().unwrap_or(0) >= 1,
+            counts
+                .get(&DiffCategory::PreciseCoverage)
+                .copied()
+                .unwrap_or(0)
+                >= 1,
             "{counts:?}"
         );
         assert!(
@@ -426,7 +442,11 @@ mod tests {
             "{counts:?}"
         );
         assert!(
-            counts.get(&DiffCategory::CoverageApproach).copied().unwrap_or(0) >= 1,
+            counts
+                .get(&DiffCategory::CoverageApproach)
+                .copied()
+                .unwrap_or(0)
+                >= 1,
             "{counts:?}"
         );
         assert!(report.total_loc > 0);
@@ -483,12 +503,11 @@ mod stable_key_tests {
         // Every baseline object except the get-return fresh object (which
         // the specs replace) reappears with an identical key.
         let aug_set: std::collections::BTreeSet<_> = aug.iter().cloned().collect();
-        let missing: Vec<&String> = base
-            .iter()
-            .filter(|k| !aug_set.contains(*k))
-            .collect();
+        let missing: Vec<&String> = base.iter().filter(|k| !aug_set.contains(*k)).collect();
         assert!(
-            missing.iter().all(|k| k.starts_with("api:java.util.HashMap.get")),
+            missing
+                .iter()
+                .all(|k| k.starts_with("api:java.util.HashMap.get")),
             "only the replaced fresh return may disappear: {missing:?}"
         );
     }
@@ -500,7 +519,10 @@ mod stable_key_tests {
             method: MethodId::new("java.util.HashMap", "get", 1),
         }]);
         let ks = keys_of(SRC, &specs);
-        let ghost = ks.iter().find(|k| k.starts_with("ghost:")).expect("ghost allocated");
+        let ghost = ks
+            .iter()
+            .find(|k| k.starts_with("ghost:"))
+            .expect("ghost allocated");
         assert!(ghost.contains("new:java.util.HashMap"), "{ghost}");
         assert!(ghost.contains("get"), "{ghost}");
     }

@@ -40,14 +40,19 @@
 
 pub mod eval;
 pub mod pipeline;
+pub mod stage;
 
 pub use eval::{
     compare_on_corpus, precision_recall, stable_obj_key, ClassifiedSite, DiffCategory, DiffReport,
     PrPoint,
 };
 pub use pipeline::{
-    analyze_source, analyze_source_with_specs, run_pipeline, CorpusStats, PipelineOptions,
-    PipelineResult,
+    analyze_source, analyze_source_with_specs, run_pipeline, run_pipeline_streaming, CorpusStats,
+    CorpusTotals, PipelineOptions, PipelineResult,
+};
+pub use stage::{
+    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedShard, DedupFilter, ExtractStage,
+    SampleStage,
 };
 
 // Re-export the member crates for downstream convenience.

@@ -6,20 +6,36 @@
 //!   event graphs + ϕ ──Alg. 1──▶ candidates Γ_S ──score/τ──▶ specs S
 //! ```
 //!
-//! File analysis is embarrassingly parallel and runs on rayon; training is
-//! sequential SGD (as in the paper's single Vowpal Wabbit instance).
+//! The pipeline ingests its corpus through the shard-streaming
+//! [`CorpusSource`] abstraction and folds the explicit stages of
+//! [`crate::stage`] over one shard at a time, in two passes:
+//!
+//! * **pass A** — analyze each shard and extract training samples, then
+//!   train the edge model ϕ (sequential SGD, as in the paper's single
+//!   Vowpal Wabbit instance);
+//! * **pass B** — re-analyze each shard and run Alg. 1 candidate
+//!   extraction with the trained model.
+//!
+//! At most one shard's event graphs are alive at any point
+//! ([`CorpusStats::peak_resident_graphs`] tracks the high-water mark), and
+//! every per-shard result is keyed on stable corpus indices, so the output
+//! is bit-identical for every `shard_size` — including the single-shard
+//! batch mode of [`run_pipeline`]. File analysis is embarrassingly
+//! parallel and runs on rayon within each shard.
 
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use uspec_corpus::{shards, CorpusSource, SliceSource};
 use uspec_graph::{build_event_graph, EventGraph, GraphOptions};
 use uspec_lang::lower::{lower_program, LowerOptions};
 use uspec_lang::parser::parse;
 use uspec_lang::registry::ApiTable;
 use uspec_lang::LangError;
-use uspec_learn::{CandidateSet, ExtractOptions, Extractor, LearnedSpecs, ScoreFn};
-use uspec_model::{extract_samples, EdgeModel, Sample, TrainOptions, TrainStats};
+use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ScoreFn};
+use uspec_model::{EdgeModel, Sample, TrainOptions, TrainStats};
 use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+use crate::stage::{
+    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, DedupFilter, ExtractStage, SampleStage,
+};
 
 /// All knobs of the pipeline in one place.
 #[derive(Clone, Debug)]
@@ -41,6 +57,13 @@ pub struct PipelineOptions {
     /// (§7.1). Duplicates would otherwise multiply match counts and bias
     /// the edge model toward whatever the duplicated files do.
     pub dedup: bool,
+    /// Files per ingestion shard in [`run_pipeline_streaming`]: event-graph
+    /// memory is bounded by one shard's worth. Has no effect on the
+    /// learned result — only on peak memory.
+    pub shard_size: usize,
+    /// Cap on the structured [`AnalysisDiagnostic`] records retained in
+    /// [`CorpusStats::diagnostics`] (the failure *count* is never capped).
+    pub max_diagnostics: usize,
 }
 
 impl Default for PipelineOptions {
@@ -53,6 +76,8 @@ impl Default for PipelineOptions {
             extract: ExtractOptions::default(),
             score_fn: ScoreFn::default(),
             dedup: true,
+            shard_size: 256,
+            max_diagnostics: 20,
         }
     }
 }
@@ -72,6 +97,46 @@ pub struct CorpusStats {
     pub events: usize,
     /// Total edges.
     pub edges: usize,
+    /// High-water mark of event graphs resident in memory at once. For the
+    /// streaming pipeline this is the largest single shard's graph count;
+    /// for batch runs it equals `graphs`. Depends on `shard_size` by
+    /// design and is excluded from [`CorpusStats::totals`].
+    pub peak_resident_graphs: usize,
+    /// Structured records of failed files, in corpus order, capped at
+    /// [`PipelineOptions::max_diagnostics`].
+    pub diagnostics: Vec<AnalysisDiagnostic>,
+}
+
+/// The shard-size-invariant counters of a [`CorpusStats`], for equality
+/// assertions across pipeline configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorpusTotals {
+    /// Files successfully analyzed.
+    pub files: usize,
+    /// Files that failed to parse or lower.
+    pub failures: usize,
+    /// Exact-duplicate files dropped before analysis.
+    pub duplicates: usize,
+    /// Event graphs.
+    pub graphs: usize,
+    /// Total events.
+    pub events: usize,
+    /// Total edges.
+    pub edges: usize,
+}
+
+impl CorpusStats {
+    /// The counters that are invariant under `shard_size`.
+    pub fn totals(&self) -> CorpusTotals {
+        CorpusTotals {
+            files: self.files,
+            failures: self.failures,
+            duplicates: self.duplicates,
+            graphs: self.graphs,
+            events: self.events,
+            edges: self.edges,
+        }
+    }
 }
 
 /// The outcome of a full pipeline run.
@@ -92,14 +157,6 @@ impl PipelineResult {
     pub fn select(&self, tau: f64) -> SpecDb {
         self.learned.select(tau)
     }
-}
-
-/// A cheap content hash for duplicate pruning.
-fn content_hash(src: &str) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    src.hash(&mut h);
-    h.finish()
 }
 
 /// Parses, lowers and analyzes one source file into its event graphs (one
@@ -124,8 +181,20 @@ pub fn analyze_source_with_specs(
     specs: &SpecDb,
     opts: &PipelineOptions,
 ) -> Result<Vec<EventGraph>, LangError> {
-    let program = parse(source)?;
-    let bodies = lower_program(&program, table, &opts.lower)?;
+    analyze_source_staged(source, table, specs, opts).map_err(|(_, e)| e)
+}
+
+/// [`analyze_source_with_specs`] with the failing stage attached, feeding
+/// the structured diagnostics of [`crate::stage::AnalyzeStage`].
+pub(crate) fn analyze_source_staged(
+    source: &str,
+    table: &ApiTable,
+    specs: &SpecDb,
+    opts: &PipelineOptions,
+) -> Result<Vec<EventGraph>, (AnalysisStage, LangError)> {
+    let program = parse(source).map_err(|e| (AnalysisStage::Parse, e))?;
+    let bodies =
+        lower_program(&program, table, &opts.lower).map_err(|e| (AnalysisStage::Lower, e))?;
     Ok(bodies
         .iter()
         .map(|body| {
@@ -135,93 +204,79 @@ pub fn analyze_source_with_specs(
         .collect())
 }
 
-/// Runs the complete learning pipeline over `(name, source)` pairs.
+/// Runs the complete learning pipeline over a shard-streaming corpus
+/// source, holding at most one shard's event graphs in memory.
 ///
-/// Held-out design: the same graphs serve as training data for ϕ and as the
-/// candidate-extraction corpus, exactly as in the paper (the model is not
-/// used to *verify* its own training edges — candidates are scored on
-/// *non-existent* induced edges).
-pub fn run_pipeline(
-    sources: &[(String, String)],
+/// Held-out design: the same graphs serve as training data for ϕ and as
+/// the candidate-extraction corpus, exactly as in the paper (the model is
+/// not used to *verify* its own training edges — candidates are scored on
+/// *non-existent* induced edges). The corpus is therefore traversed twice:
+/// pass A analyzes each shard and collects training samples, pass B
+/// re-analyzes and extracts candidates with the trained model.
+///
+/// The result is identical for every `opts.shard_size` (and to
+/// [`run_pipeline`]): all per-shard computation is keyed on stable corpus
+/// indices and merged in corpus order.
+pub fn run_pipeline_streaming<S: CorpusSource + ?Sized>(
+    source: &S,
     table: &ApiTable,
     opts: &PipelineOptions,
 ) -> PipelineResult {
-    let mut corpus = CorpusStats::default();
-    // Phase 0: dataset pruning (§7.1): drop exact duplicates.
-    let mut seen = std::collections::HashSet::new();
-    let sources: Vec<&(String, String)> = sources
-        .iter()
-        .filter(|(_, src)| {
-            if !opts.dedup {
-                return true;
-            }
-            let keep = seen.insert(content_hash(src));
-            if !keep {
-                corpus.duplicates += 1;
-            }
-            keep
-        })
-        .collect();
+    let analyze = AnalyzeStage::new(table, opts);
 
-    // Phase 1: per-file analysis (parallel).
-    let results: Vec<Option<Vec<EventGraph>>> = sources
-        .par_iter()
-        .map(|(_, src)| analyze_source(src, table, opts).ok())
-        .collect();
-    let mut graphs: Vec<EventGraph> = Vec::new();
-    for r in results {
-        match r {
-            Some(gs) => {
-                corpus.files += 1;
-                for g in gs {
-                    corpus.graphs += 1;
-                    corpus.events += g.num_events();
-                    corpus.edges += g.num_edges();
-                    graphs.push(g);
-                }
-            }
-            None => corpus.failures += 1,
-        }
+    // Pass A: per-shard analysis and sample extraction, then SGD training.
+    let sample = SampleStage::new(&opts.train);
+    let mut stats = CorpusStats::default();
+    let mut dedup = DedupFilter::new(opts.dedup);
+    let mut samples: Vec<Sample> = Vec::new();
+    for shard in shards(source, opts.shard_size) {
+        let analyzed = analyze.run(&shard, &mut dedup, &mut stats);
+        samples.extend(sample.run(&analyzed));
+        // `analyzed` — this shard's event graphs — drops here.
     }
-
-    // Phase 2: training-sample extraction (parallel, per-graph seeds) and
-    // SGD training (sequential).
-    let samples: Vec<Sample> = graphs
-        .par_iter()
-        .enumerate()
-        .map(|(i, g)| {
-            let mut rng = ChaCha8Rng::seed_from_u64(opts.train.seed ^ (i as u64).wrapping_mul(0x9E37));
-            extract_samples(g, &mut rng, &opts.train)
-        })
-        .reduce(Vec::new, |mut a, b| {
-            a.extend(b);
-            a
-        });
     let model = EdgeModel::train(&samples, &opts.train);
+    drop(samples);
 
-    // Phase 3: candidate extraction and scoring (parallel shards, Alg. 1).
-    let shards: Vec<CandidateSet> = graphs
-        .par_chunks(64.max(graphs.len() / 64 + 1))
-        .map(|chunk| {
-            let mut ex = Extractor::new(&model, opts.extract.clone());
-            for g in chunk {
-                ex.add_graph(g);
-            }
-            ex.finish()
-        })
-        .collect();
+    // Pass B: re-analyze each shard and extract candidates with ϕ. Counts
+    // go to a scratch CorpusStats — pass A already accounted for them —
+    // except the resident-graph high-water mark, which spans both passes.
+    let extract = ExtractStage::new(&model, &opts.extract);
+    let mut scratch = CorpusStats::default();
+    let mut dedup = DedupFilter::new(opts.dedup);
     let mut candidates = CandidateSet::default();
-    for s in shards {
-        candidates.merge(s);
+    for shard in shards(source, opts.shard_size) {
+        let analyzed = analyze.run(&shard, &mut dedup, &mut scratch);
+        candidates.merge(extract.run(&analyzed));
     }
+    stats.peak_resident_graphs = stats.peak_resident_graphs.max(scratch.peak_resident_graphs);
 
     let learned = LearnedSpecs::from_candidates(&candidates, opts.score_fn);
     PipelineResult {
         learned,
         candidates,
         model_stats: model.stats().clone(),
-        corpus,
+        corpus: stats,
     }
+}
+
+/// Runs the complete learning pipeline over in-memory `(name, source)`
+/// pairs as a single batch.
+///
+/// This is a thin wrapper over [`run_pipeline_streaming`] with one
+/// all-corpus shard; `opts.shard_size` is ignored. It produces exactly the
+/// same result as the streaming form — the difference is only that every
+/// event graph is resident at once (see
+/// [`CorpusStats::peak_resident_graphs`]).
+pub fn run_pipeline(
+    sources: &[(String, String)],
+    table: &ApiTable,
+    opts: &PipelineOptions,
+) -> PipelineResult {
+    let batch = PipelineOptions {
+        shard_size: usize::MAX,
+        ..opts.clone()
+    };
+    run_pipeline_streaming(&SliceSource::new(sources), table, &batch)
 }
 
 #[cfg(test)]
@@ -250,6 +305,10 @@ mod tests {
         assert!(result.corpus.failures == 0, "all files analyze");
         assert!(result.corpus.graphs > result.corpus.files / 2);
         assert!(!result.learned.is_empty(), "candidates found");
+        assert_eq!(
+            result.corpus.peak_resident_graphs, result.corpus.graphs,
+            "batch mode holds the whole corpus"
+        );
 
         let get = MethodId::new("java.util.HashMap", "get", 1);
         let put = MethodId::new("java.util.HashMap", "put", 2);
@@ -258,11 +317,12 @@ mod tests {
             source: put,
             x: 2,
         };
-        let entry = result
-            .learned
-            .get(&spec)
-            .unwrap_or_else(|| panic!("HashMap RetArg candidate missing: {:?}",
-                result.learned.scored.iter().take(10).collect::<Vec<_>>()));
+        let entry = result.learned.get(&spec).unwrap_or_else(|| {
+            panic!(
+                "HashMap RetArg candidate missing: {:?}",
+                result.learned.scored.iter().take(10).collect::<Vec<_>>()
+            )
+        });
         assert!(
             entry.score > 0.6,
             "HashMap.get/put should score high, got {}",
@@ -273,6 +333,41 @@ mod tests {
         assert!(db.contains(&spec));
         // §5.4 closure: the implied RetSame(get) is present too.
         assert!(db.has_ret_same(get));
+    }
+
+    #[test]
+    fn failures_produce_capped_diagnostics() {
+        let lib = java_library();
+        let table = lib.api_table();
+        let mut sources: Vec<(String, String)> = vec![
+            (
+                "ok.u".into(),
+                "fn main(db) { f = db.getFile(\"x\"); f.getName(); }".into(),
+            ),
+            ("bad_parse.u".into(), "fn main( {".into()),
+            ("bad_lower.u".into(), "fn main() { y = x; }".into()),
+        ];
+        for i in 0..10 {
+            sources.push((format!("bad{i}.u"), format!("fn broken{i}( {{")));
+        }
+        let opts = PipelineOptions {
+            max_diagnostics: 4,
+            ..PipelineOptions::default()
+        };
+        let result = run_pipeline(&sources, &table, &opts);
+        assert_eq!(result.corpus.files, 1);
+        assert_eq!(result.corpus.failures, 12, "every bad file counted");
+        assert_eq!(result.corpus.diagnostics.len(), 4, "records capped");
+        let d = &result.corpus.diagnostics[0];
+        assert_eq!(d.file, "bad_parse.u");
+        assert_eq!(d.stage, crate::stage::AnalysisStage::Parse);
+        let d = &result.corpus.diagnostics[1];
+        assert_eq!(d.file, "bad_lower.u");
+        assert_eq!(d.stage, crate::stage::AnalysisStage::Lower);
+        assert!(
+            d.to_string().contains("bad_lower.u"),
+            "display names the file"
+        );
     }
 }
 

@@ -1,0 +1,327 @@
+//! Explicit pipeline stages over corpus shards.
+//!
+//! [`run_pipeline_streaming`](crate::run_pipeline_streaming) folds these
+//! stages over one shard at a time:
+//!
+//! * [`AnalyzeStage`] — parse/lower/PTA each file of a shard into event
+//!   graphs, recording per-shard [`CorpusStats`] and structured
+//!   [`AnalysisDiagnostic`]s instead of silently dropping failures;
+//! * [`SampleStage`] — extract §4.2 training samples from a shard's graphs
+//!   with per-`(file, graph)` deterministic RNG streams;
+//! * [`ExtractStage`] — run Alg. 1 over a shard's graphs, producing a
+//!   [`CandidateSet`] mergeable across shards.
+//!
+//! Every stage is deterministic with respect to the *stable file index*
+//! (corpus position), never the shard layout, which is what makes the
+//! streaming pipeline's output invariant under `shard_size`.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use uspec_corpus::Shard;
+use uspec_graph::EventGraph;
+use uspec_lang::registry::ApiTable;
+use uspec_lang::LangError;
+use uspec_learn::{CandidateSet, ExtractOptions, Extractor};
+use uspec_model::seed::mix_seed;
+use uspec_model::{extract_samples, EdgeModel, Sample, TrainOptions};
+use uspec_pta::SpecDb;
+
+use crate::pipeline::{analyze_source_staged, CorpusStats, PipelineOptions};
+
+/// The frontend stage at which a file was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnalysisStage {
+    /// Lexing/parsing the source text.
+    Parse,
+    /// Lowering the AST against the API table.
+    Lower,
+}
+
+impl std::fmt::Display for AnalysisStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisStage::Parse => write!(f, "parse"),
+            AnalysisStage::Lower => write!(f, "lower"),
+        }
+    }
+}
+
+/// A structured record of one file that failed analysis.
+///
+/// Replaces the old `analyze_source(..).ok()` silent swallowing: failures
+/// are still skipped (a corpus file that does not parse carries no
+/// training signal), but the *first* `max_diagnostics` of them are kept in
+/// [`CorpusStats::diagnostics`] so corpus problems are visible.
+#[derive(Clone, Debug)]
+pub struct AnalysisDiagnostic {
+    /// File name as reported by the corpus source.
+    pub file: String,
+    /// Which stage rejected the file.
+    pub stage: AnalysisStage,
+    /// The underlying frontend error.
+    pub error: LangError,
+}
+
+impl std::fmt::Display for AnalysisDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} error: {}", self.file, self.stage, self.error)
+    }
+}
+
+/// Streaming duplicate filter (§7.1 dataset pruning), stateful across the
+/// shards of one pass. Decisions depend only on file *content order*, so
+/// replaying the same corpus — under any shard size — reproduces them.
+pub struct DedupFilter {
+    enabled: bool,
+    seen: std::collections::HashSet<u64>,
+}
+
+impl DedupFilter {
+    /// Creates a filter; when `enabled` is false every file is kept.
+    pub fn new(enabled: bool) -> DedupFilter {
+        DedupFilter {
+            enabled,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Whether `source` is the first occurrence of its content.
+    pub fn keep(&mut self, source: &str) -> bool {
+        !self.enabled || self.seen.insert(content_hash(source))
+    }
+}
+
+/// A cheap content hash for duplicate pruning.
+fn content_hash(src: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    src.hash(&mut h);
+    h.finish()
+}
+
+/// Per-file frontend outcome: event graphs, or the stage and error that
+/// rejected the file.
+type FileAnalysis = Result<Vec<EventGraph>, (AnalysisStage, LangError)>;
+
+/// One shard's analysis output: event graphs grouped per file, tagged with
+/// the file's stable corpus index.
+#[derive(Debug, Default)]
+pub struct AnalyzedShard {
+    /// `(stable file index, that file's event graphs)` in corpus order.
+    pub graphs: Vec<(usize, Vec<EventGraph>)>,
+}
+
+impl AnalyzedShard {
+    /// Total event graphs in the shard.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.iter().map(|(_, gs)| gs.len()).sum()
+    }
+}
+
+/// Stage 1: parse, lower and analyze a shard's files into event graphs
+/// (parallel across files), folding counts and capped diagnostics into a
+/// [`CorpusStats`].
+pub struct AnalyzeStage<'a> {
+    table: &'a ApiTable,
+    opts: &'a PipelineOptions,
+}
+
+impl<'a> AnalyzeStage<'a> {
+    /// Creates the stage for one pipeline configuration.
+    pub fn new(table: &'a ApiTable, opts: &'a PipelineOptions) -> AnalyzeStage<'a> {
+        AnalyzeStage { table, opts }
+    }
+
+    /// Analyzes one shard. `dedup` carries duplicate state across shards;
+    /// `stats` accumulates corpus-wide counters and diagnostics.
+    pub fn run(
+        &self,
+        shard: &Shard,
+        dedup: &mut DedupFilter,
+        stats: &mut CorpusStats,
+    ) -> AnalyzedShard {
+        // Duplicate pruning is sequential (it is stateful), analysis of the
+        // surviving files is parallel.
+        let mut kept: Vec<(usize, &str, &str)> = Vec::new();
+        for (idx, name, source) in shard.iter() {
+            if dedup.keep(source) {
+                kept.push((idx, name, source));
+            } else {
+                stats.duplicates += 1;
+            }
+        }
+
+        let results: Vec<(usize, &str, FileAnalysis)> = kept
+            .par_iter()
+            .map(|&(idx, name, source)| {
+                (
+                    idx,
+                    name,
+                    analyze_source_staged(source, self.table, &SpecDb::empty(), self.opts),
+                )
+            })
+            .collect();
+
+        let mut out = AnalyzedShard::default();
+        for (idx, name, result) in results {
+            match result {
+                Ok(graphs) => {
+                    stats.files += 1;
+                    stats.graphs += graphs.len();
+                    for g in &graphs {
+                        stats.events += g.num_events();
+                        stats.edges += g.num_edges();
+                    }
+                    out.graphs.push((idx, graphs));
+                }
+                Err((stage, error)) => {
+                    stats.failures += 1;
+                    if stats.diagnostics.len() < self.opts.max_diagnostics {
+                        stats.diagnostics.push(AnalysisDiagnostic {
+                            file: name.to_owned(),
+                            stage,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        stats.peak_resident_graphs = stats.peak_resident_graphs.max(out.num_graphs());
+        out
+    }
+}
+
+/// Stage 2: extract §4.2 training samples from an analyzed shard.
+///
+/// Each graph's RNG stream is keyed on `(stable file index, graph index
+/// within the file)` via [`mix_seed`], so the samples — and therefore the
+/// trained model — do not depend on how the corpus was sharded.
+pub struct SampleStage<'a> {
+    opts: &'a TrainOptions,
+}
+
+impl<'a> SampleStage<'a> {
+    /// Creates the stage for one training configuration.
+    pub fn new(opts: &'a TrainOptions) -> SampleStage<'a> {
+        SampleStage { opts }
+    }
+
+    /// Extracts this shard's samples, in stable corpus order.
+    pub fn run(&self, shard: &AnalyzedShard) -> Vec<Sample> {
+        shard
+            .graphs
+            .par_iter()
+            .map(|(file_idx, graphs)| {
+                let file_seed = mix_seed(self.opts.seed, *file_idx as u64);
+                let mut samples = Vec::new();
+                for (j, g) in graphs.iter().enumerate() {
+                    let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(file_seed, j as u64));
+                    samples.extend(extract_samples(g, &mut rng, self.opts));
+                }
+                samples
+            })
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            })
+    }
+}
+
+/// Splits `len` items into at most `max_chunks` chunks of at least
+/// `min_chunk` items, returning the chunk length.
+pub(crate) fn chunk_len(len: usize, max_chunks: usize, min_chunk: usize) -> usize {
+    min_chunk.max(len.div_ceil(max_chunks.max(1))).max(1)
+}
+
+/// Stage 3: run Alg. 1 candidate extraction over an analyzed shard.
+///
+/// The per-spec Γ lists come out in stable graph order: chunks preserve
+/// graph order internally and [`CandidateSet::merge`] concatenates them in
+/// chunk order, so the merged result is independent of both the chunking
+/// here and the shard size upstream.
+pub struct ExtractStage<'a> {
+    model: &'a EdgeModel,
+    opts: &'a ExtractOptions,
+}
+
+impl<'a> ExtractStage<'a> {
+    /// Creates the stage for a trained edge model.
+    pub fn new(model: &'a EdgeModel, opts: &'a ExtractOptions) -> ExtractStage<'a> {
+        ExtractStage { model, opts }
+    }
+
+    /// Extracts this shard's candidates.
+    pub fn run(&self, shard: &AnalyzedShard) -> CandidateSet {
+        let graphs: Vec<&EventGraph> = shard.graphs.iter().flat_map(|(_, gs)| gs.iter()).collect();
+        let chunks: Vec<CandidateSet> = graphs
+            .par_chunks(chunk_len(graphs.len(), 64, 16))
+            .map(|chunk| {
+                let mut ex = Extractor::new(self.model, self.opts.clone());
+                for g in chunk {
+                    ex.add_graph(g);
+                }
+                ex.finish()
+            })
+            .collect();
+        let mut out = CandidateSet::default();
+        for c in chunks {
+            out.merge(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_bounds_chunk_count_and_size() {
+        // At most 64 chunks...
+        for len in [
+            0,
+            1,
+            15,
+            16,
+            64,
+            100,
+            1024,
+            1025,
+            64 * 16,
+            64 * 16 + 1,
+            10_000,
+        ] {
+            let c = chunk_len(len, 64, 16);
+            assert!(c >= 1);
+            assert!(
+                len.div_ceil(c.max(1)) <= 64,
+                "len {len}: {} chunks",
+                len.div_ceil(c)
+            );
+            // ...and no chunk smaller than min unless the corpus itself is.
+            assert!(c >= 16);
+        }
+        // The old expression `64.max(len / 64 + 1)` was off by one exactly
+        // when len is a multiple of 64: for len = 64·64 it yields 65, i.e.
+        // 64 chunks of 65 — one chunk short of the intended split.
+        assert_eq!(chunk_len(64 * 64, 64, 16), 64);
+    }
+
+    #[test]
+    fn dedup_filter_is_content_keyed() {
+        let mut d = DedupFilter::new(true);
+        assert!(d.keep("a"));
+        assert!(!d.keep("a"));
+        assert!(d.keep("b"));
+        let mut off = DedupFilter::new(false);
+        assert!(off.keep("a"));
+        assert!(off.keep("a"));
+    }
+
+    #[test]
+    fn stage_display_is_lowercase() {
+        assert_eq!(AnalysisStage::Parse.to_string(), "parse");
+        assert_eq!(AnalysisStage::Lower.to_string(), "lower");
+    }
+}

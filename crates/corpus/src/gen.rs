@@ -111,32 +111,69 @@ pub struct GeneratedFile {
 /// assert!(files[0].source.contains("fn main"));
 /// ```
 pub fn generate_corpus(lib: &Library, opts: &GenOptions) -> Vec<GeneratedFile> {
-    let producers = collect_producers(lib);
-    let containers = collect_containers(lib);
-    let repeatables = collect_repeatables(lib);
-    let builders = collect_builders(lib);
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    (0..opts.num_files)
-        .map(|i| {
-            let mut fg = FileGen {
-                lib,
-                opts,
-                producers: &producers,
-                containers: &containers,
-                repeatables: &repeatables,
-                builders: &builders,
-                rng: ChaCha8Rng::seed_from_u64(opts.seed ^ rng.gen::<u64>()),
-                lines: Vec::new(),
-                helpers: Vec::new(),
-                indent: 1,
-                counter: 0,
-            };
-            GeneratedFile {
-                name: format!("file_{i:05}.u"),
-                source: fg.generate(),
-            }
-        })
-        .collect()
+    let ctx = GenContext::new(lib, opts.clone());
+    (0..opts.num_files).map(|i| ctx.generate_file(i)).collect()
+}
+
+/// Precomputed generation state shared by every file of one corpus: the
+/// library-derived idiom tables plus the per-file RNG seeds.
+///
+/// Deriving the seeds upfront (8 bytes per file) is what makes on-demand
+/// generation possible: file `i` can be produced in isolation, in any order,
+/// byte-identical to its position in [`generate_corpus`]'s output.
+pub(crate) struct GenContext<'a> {
+    lib: &'a Library,
+    opts: GenOptions,
+    producers: Vec<Producer>,
+    containers: Vec<Container>,
+    repeatables: Vec<Repeatable>,
+    builders: Vec<BuilderInfo>,
+    file_seeds: Vec<u64>,
+}
+
+impl<'a> GenContext<'a> {
+    pub(crate) fn new(lib: &'a Library, opts: GenOptions) -> GenContext<'a> {
+        // The per-file seeds come from sequential draws of a master RNG, so
+        // they must be materialized in file order once.
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let file_seeds = (0..opts.num_files)
+            .map(|_| opts.seed ^ rng.gen::<u64>())
+            .collect();
+        GenContext {
+            lib,
+            producers: collect_producers(lib),
+            containers: collect_containers(lib),
+            repeatables: collect_repeatables(lib),
+            builders: collect_builders(lib),
+            file_seeds,
+            opts,
+        }
+    }
+
+    pub(crate) fn num_files(&self) -> usize {
+        self.opts.num_files
+    }
+
+    /// Generates file `i` of the corpus (`i < num_files`).
+    pub(crate) fn generate_file(&self, i: usize) -> GeneratedFile {
+        let mut fg = FileGen {
+            lib: self.lib,
+            opts: &self.opts,
+            producers: &self.producers,
+            containers: &self.containers,
+            repeatables: &self.repeatables,
+            builders: &self.builders,
+            rng: ChaCha8Rng::seed_from_u64(self.file_seeds[i]),
+            lines: Vec::new(),
+            helpers: Vec::new(),
+            indent: 1,
+            counter: 0,
+        };
+        GeneratedFile {
+            name: format!("file_{i:05}.u"),
+            source: fg.generate(),
+        }
+    }
 }
 
 /// A way to produce an object with a known usage profile.
@@ -419,7 +456,11 @@ impl<'a> FileGen<'a> {
     /// Produces a value object, returning `(var, class)`; class is `None`
     /// for values with no known profile.
     fn produce(&mut self) -> (String, Option<Symbol>) {
-        let p = self.producers.choose(&mut self.rng).expect("producers").clone();
+        let p = self
+            .producers
+            .choose(&mut self.rng)
+            .expect("producers")
+            .clone();
         match p {
             Producer::Lit => {
                 let v = self.fresh("s");
@@ -495,8 +536,10 @@ impl<'a> FileGen<'a> {
             "fn {name}(x: {class}) {{
 {}
 }}",
-            body.join("
-")
+            body.join(
+                "
+"
+            )
         ));
         name
     }
@@ -505,7 +548,10 @@ impl<'a> FileGen<'a> {
         let profile = class.and_then(|c| self.lib.class(c)).map(|c| &c.profile);
         let consumers: Vec<(Symbol, Vec<ArgKind>)> = match profile {
             Some(p) if !p.consumers.is_empty() => {
-                let lc = self.lib.class(class.expect("profiled class")).expect("class");
+                let lc = self
+                    .lib
+                    .class(class.expect("profiled class"))
+                    .expect("class");
                 let weights: Vec<f64> = p.consumers.iter().map(|(_, _, w)| *w).collect();
                 let total: f64 = weights.iter().sum();
                 let mut picked = Vec::new();
@@ -515,10 +561,8 @@ impl<'a> FileGen<'a> {
                     for ((name, _, w), _) in p.consumers.iter().zip(&weights) {
                         roll -= w;
                         if roll <= 0.0 {
-                            let kinds = lc
-                                .method(*name)
-                                .map(|m| m.args.clone())
-                                .unwrap_or_default();
+                            let kinds =
+                                lc.method(*name).map(|m| m.args.clone()).unwrap_or_default();
                             picked.push((*name, kinds));
                             break;
                         }
@@ -575,7 +619,11 @@ impl<'a> FileGen<'a> {
             None
         };
         if let Some(kw) = wrap {
-            let flag = if self.rng.gen_bool(0.5) { "flag0" } else { "flag1" };
+            let flag = if self.rng.gen_bool(0.5) {
+                "flag0"
+            } else {
+                "flag1"
+            };
             self.emit(&format!("{kw} ({flag}) {{"));
             self.indent += 1;
         }
@@ -625,10 +673,15 @@ impl<'a> FileGen<'a> {
                 store_args.push(lit);
             }
         }
-        self.emit(&format!("{cvar}.{}({});", cont.store, store_args.join(", ")));
+        self.emit(&format!(
+            "{cvar}.{}({});",
+            cont.store,
+            store_args.join(", ")
+        ));
         self.maybe_distract();
         // Retrieve: same keys (aliasing) or mismatched ones.
-        let mismatch = self.rng.gen_bool(self.opts.mismatch_prob) && !cont.stack && !keys.is_empty();
+        let mismatch =
+            self.rng.gen_bool(self.opts.mismatch_prob) && !cont.stack && !keys.is_empty();
         let load_args: Vec<String> = if cont.stack {
             Vec::new()
         } else if mismatch {
@@ -661,7 +714,11 @@ impl<'a> FileGen<'a> {
         let recv = self.obtain(rep.class);
         let args = self.lits(&rep.args);
         let a = self.fresh("a");
-        self.emit(&format!("{a} = {recv}.{}({});", rep.method, args.join(", ")));
+        self.emit(&format!(
+            "{a} = {recv}.{}({});",
+            rep.method,
+            args.join(", ")
+        ));
         self.consume(&a, rep.ret);
         self.maybe_distract();
         let args2 = if self.rng.gen_bool(self.opts.mismatch_prob) && !rep.args.is_empty() {
@@ -725,7 +782,11 @@ impl<'a> FileGen<'a> {
                 })
                 .collect();
             let next = self.fresh("b");
-            self.emit(&format!("{next} = {cur}.{}({});", b.method, args.join(", ")));
+            self.emit(&format!(
+                "{next} = {cur}.{}({});",
+                b.method,
+                args.join(", ")
+            ));
             cur = next;
         }
         // Finish the chain with the class's non-builder consumers.
@@ -787,8 +848,8 @@ mod tests {
             let files = generate_corpus(&lib, &opts(60, 7));
             assert_eq!(files.len(), 60);
             for f in &files {
-                let program = parse(&f.source)
-                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
+                let program =
+                    parse(&f.source).unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
                 lower_program(&program, &table, &LowerOptions::default())
                     .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
             }

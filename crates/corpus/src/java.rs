@@ -18,7 +18,9 @@ use crate::library::{ArgKind, ClassBuilder, FactoryStep, Library, MethodSem, Obt
 use uspec_lang::Symbol;
 
 use ArgKind::{Int, Obj, Str};
-use MethodSem::{FreshPerCall, Load, LoadSame, ReturnsSelf, StackPop, StackPush, Store, Take, Void};
+use MethodSem::{
+    FreshPerCall, Load, LoadSame, ReturnsSelf, StackPop, StackPush, Store, Take, Void,
+};
 
 fn step(on: Option<&str>, method: &str, args: &[ArgKind]) -> FactoryStep {
     FactoryStep {
@@ -86,7 +88,12 @@ pub fn java_library() -> Library {
     classes.push(
         ClassBuilder::new("java.sql.DriverManager", "java.sql")
             .factory_only()
-            .static_method("getConnection", &[Str], Some("java.sql.Connection"), FreshPerCall)
+            .static_method(
+                "getConnection",
+                &[Str],
+                Some("java.sql.Connection"),
+                FreshPerCall,
+            )
             .build(),
     );
     classes.push(
@@ -97,7 +104,12 @@ pub fn java_library() -> Library {
                 "getConnection",
                 &[Str],
             )]))
-            .method("createStatement", &[], Some("java.sql.Statement"), FreshPerCall)
+            .method(
+                "createStatement",
+                &[],
+                Some("java.sql.Statement"),
+                FreshPerCall,
+            )
             .method("close", &[], None, Void)
             .build(),
     );
@@ -108,7 +120,12 @@ pub fn java_library() -> Library {
                 step(Some("java.sql.DriverManager"), "getConnection", &[Str]),
                 step(None, "createStatement", &[]),
             ]))
-            .method("executeQuery", &[Str], Some("java.sql.ResultSet"), FreshPerCall)
+            .method(
+                "executeQuery",
+                &[Str],
+                Some("java.sql.ResultSet"),
+                FreshPerCall,
+            )
             .build(),
     );
     classes.push(
@@ -124,7 +141,10 @@ pub fn java_library() -> Library {
             .method("next", &[], None, FreshPerCall)
             .true_ret_same("getString")
             .true_ret_same("getInt")
-            .profile(&[("getString", 1, 4.0), ("next", 0, 2.0), ("getInt", 1, 2.0)], 0.4)
+            .profile(
+                &[("getString", 1, 4.0), ("next", 0, 2.0), ("getInt", 1, 2.0)],
+                0.4,
+            )
             .build(),
     );
 
@@ -209,7 +229,12 @@ pub fn java_library() -> Library {
                 "getInstance",
                 &[Str],
             )]))
-            .static_method("getInstance", &[Str], Some("java.security.KeyStore"), FreshPerCall)
+            .static_method(
+                "getInstance",
+                &[Str],
+                Some("java.security.KeyStore"),
+                FreshPerCall,
+            )
             .method("getKey", &[Str, Str], Some("java.security.Key"), LoadSame)
             .method("setKeyEntry", &[Str, Obj], None, Store { value_arg: 2 })
             .true_ret_same("getKey")
@@ -281,14 +306,17 @@ pub fn java_library() -> Library {
 
     // ---- Jackson / JSON ---------------------------------------------------
     classes.push(
-        ClassBuilder::new("com.fasterxml.jackson.databind.ObjectMapper", "com.fasterxml")
-            .method(
-                "readTree",
-                &[Str],
-                Some("com.fasterxml.jackson.databind.JsonNode"),
-                FreshPerCall,
-            )
-            .build(),
+        ClassBuilder::new(
+            "com.fasterxml.jackson.databind.ObjectMapper",
+            "com.fasterxml",
+        )
+        .method(
+            "readTree",
+            &[Str],
+            Some("com.fasterxml.jackson.databind.JsonNode"),
+            FreshPerCall,
+        )
+        .build(),
     );
     classes.push(
         ClassBuilder::new("com.fasterxml.jackson.databind.JsonNode", "com.fasterxml")
@@ -298,15 +326,28 @@ pub fn java_library() -> Library {
                 "parse",
                 &[Str],
             )]))
-            .method("path", &[Str], Some("com.fasterxml.jackson.databind.JsonNode"), LoadSame)
-            .method("get", &[Str], Some("com.fasterxml.jackson.databind.JsonNode"), LoadSame)
+            .method(
+                "path",
+                &[Str],
+                Some("com.fasterxml.jackson.databind.JsonNode"),
+                LoadSame,
+            )
+            .method(
+                "get",
+                &[Str],
+                Some("com.fasterxml.jackson.databind.JsonNode"),
+                LoadSame,
+            )
             .method("asText", &[], Some("java.lang.String"), LoadSame)
             .method("isNull", &[], None, LoadSame)
             .true_ret_same("path")
             .true_ret_same("get")
             .true_ret_same("asText")
             .true_ret_same("isNull")
-            .profile(&[("asText", 0, 3.0), ("path", 1, 2.0), ("isNull", 0, 1.0)], 0.5)
+            .profile(
+                &[("asText", 0, 3.0), ("path", 1, 2.0), ("isNull", 0, 1.0)],
+                0.5,
+            )
             .build(),
     );
     classes.push(
@@ -387,8 +428,18 @@ pub fn java_library() -> Library {
     // ---- The Tab. 3 "incorrect" candidates ---------------------------------
     classes.push(
         ClassBuilder::new("org.antlr.runtime.tree.TreeAdaptor", "org.antlr")
-            .method("nil", &[], Some("org.antlr.runtime.tree.Tree"), FreshPerCall)
-            .method("create", &[Str], Some("org.antlr.runtime.tree.Tree"), FreshPerCall)
+            .method(
+                "nil",
+                &[],
+                Some("org.antlr.runtime.tree.Tree"),
+                FreshPerCall,
+            )
+            .method(
+                "create",
+                &[Str],
+                Some("org.antlr.runtime.tree.Tree"),
+                FreshPerCall,
+            )
             .method("addChild", &[Obj, Obj], None, Void)
             .method(
                 "rulePostProcessing",
@@ -409,7 +460,12 @@ pub fn java_library() -> Library {
     );
     classes.push(
         ClassBuilder::new("java.lang.StringBuilder", "java.lang")
-            .method("append", &[Obj], Some("java.lang.StringBuilder"), ReturnsSelf)
+            .method(
+                "append",
+                &[Obj],
+                Some("java.lang.StringBuilder"),
+                ReturnsSelf,
+            )
             .method("toString", &[], Some("java.lang.String"), LoadSame)
             .true_ret_same("toString")
             .true_ret_same("append")
@@ -421,19 +477,74 @@ pub fn java_library() -> Library {
     // ---- Per-group container fillers (Tab. 5 breadth) ----------------------
     let fillers: &[(&str, &str, &str, &str)] = &[
         ("org.eclipse.core.Preferences", "org.eclipse", "put", "get"),
-        ("org.eclipse.jface.IDialogSettings", "org.eclipse", "put", "get"),
-        ("org.eclipse.swt.widgets.Widget", "org.eclipse", "setData", "getData"),
-        ("com.google.common.cache.Cache", "com.google", "put", "getIfPresent"),
+        (
+            "org.eclipse.jface.IDialogSettings",
+            "org.eclipse",
+            "put",
+            "get",
+        ),
+        (
+            "org.eclipse.swt.widgets.Widget",
+            "org.eclipse",
+            "setData",
+            "getData",
+        ),
+        (
+            "com.google.common.cache.Cache",
+            "com.google",
+            "put",
+            "getIfPresent",
+        ),
         ("com.google.gson.JsonObject", "com.google", "add", "get"),
-        ("javax.swing.JComponent", "javax.swing", "putClientProperty", "getClientProperty"),
+        (
+            "javax.swing.JComponent",
+            "javax.swing",
+            "putClientProperty",
+            "getClientProperty",
+        ),
         ("javax.naming.Context", "javax.naming", "bind", "lookup"),
-        ("javax.servlet.http.HttpSession", "javax.servlet", "setAttribute", "getAttribute"),
-        ("net.minecraft.nbt.NBTTagCompound", "net.minecraft", "setTag", "getTag"),
-        ("org.apache.commons.configuration.Configuration", "org.apache", "setProperty", "getProperty"),
-        ("org.apache.http.HttpMessage", "org.apache", "setHeader", "getFirstHeader"),
-        ("org.codehaus.jackson.node.ObjectNode", "org.codehaus", "put", "get"),
-        ("org.codehaus.plexus.PlexusContainer", "org.codehaus", "addComponent", "lookup"),
-        ("org.w3c.dom.Element", "org.w3c", "setAttribute", "getAttribute"),
+        (
+            "javax.servlet.http.HttpSession",
+            "javax.servlet",
+            "setAttribute",
+            "getAttribute",
+        ),
+        (
+            "net.minecraft.nbt.NBTTagCompound",
+            "net.minecraft",
+            "setTag",
+            "getTag",
+        ),
+        (
+            "org.apache.commons.configuration.Configuration",
+            "org.apache",
+            "setProperty",
+            "getProperty",
+        ),
+        (
+            "org.apache.http.HttpMessage",
+            "org.apache",
+            "setHeader",
+            "getFirstHeader",
+        ),
+        (
+            "org.codehaus.jackson.node.ObjectNode",
+            "org.codehaus",
+            "put",
+            "get",
+        ),
+        (
+            "org.codehaus.plexus.PlexusContainer",
+            "org.codehaus",
+            "addComponent",
+            "lookup",
+        ),
+        (
+            "org.w3c.dom.Element",
+            "org.w3c",
+            "setAttribute",
+            "getAttribute",
+        ),
         ("java.util.prefs.Preferences", "java.util", "put", "get"),
         ("android.util.LruCache", "android.util", "put", "get"),
     ];
@@ -525,7 +636,11 @@ mod tests {
         assert!(!lib.is_true_spec(&Spec::RetSame { method: next }));
         assert!(!lib.is_true_spec(&Spec::RetSame { method: next_int }));
         // The Tab. 3 incorrect RetArg.
-        let rule = MethodId::new("org.antlr.runtime.tree.TreeAdaptor", "rulePostProcessing", 1);
+        let rule = MethodId::new(
+            "org.antlr.runtime.tree.TreeAdaptor",
+            "rulePostProcessing",
+            1,
+        );
         let add = MethodId::new("org.antlr.runtime.tree.TreeAdaptor", "addChild", 2);
         assert!(!lib.is_true_spec(&Spec::RetArg {
             target: rule,
@@ -568,7 +683,11 @@ mod tests {
         for c in lib.classes() {
             if let Obtain::Factory(steps) = &c.obtain {
                 assert!(!steps.is_empty());
-                assert!(steps[0].on.is_some(), "{}: first step must be static", c.name);
+                assert!(
+                    steps[0].on.is_some(),
+                    "{}: first step must be static",
+                    c.name
+                );
                 for s in steps {
                     if let Some(on) = s.on {
                         let host = lib.class(on).unwrap_or_else(|| panic!("{on} missing"));

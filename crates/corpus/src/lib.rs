@@ -22,6 +22,7 @@ pub mod gen;
 pub mod java;
 pub mod library;
 pub mod python;
+pub mod source;
 
 pub use gen::{generate_corpus, GenOptions, GeneratedFile};
 pub use java::java_library;
@@ -30,3 +31,4 @@ pub use library::{
     UsageProfile,
 };
 pub use python::python_library;
+pub use source::{shards, CorpusSource, GeneratedSource, Shard, SliceSource};

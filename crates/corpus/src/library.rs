@@ -413,7 +413,12 @@ mod tests {
         Library::new(
             Universe::Java,
             vec![ClassBuilder::new("a.b.Map", "a.b")
-                .method("put", &[ArgKind::Str, ArgKind::Obj], None, MethodSem::Store { value_arg: 2 })
+                .method(
+                    "put",
+                    &[ArgKind::Str, ArgKind::Obj],
+                    None,
+                    MethodSem::Store { value_arg: 2 },
+                )
                 .method("get", &[ArgKind::Str], None, MethodSem::Load)
                 .true_ret_arg("get", "put", 2)
                 .build()],

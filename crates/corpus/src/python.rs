@@ -209,7 +209,10 @@ pub fn python_library() -> Library {
             .true_ret_same("SubscriptLoad")
             .true_ret_same("reshape")
             .true_ret_same("transpose")
-            .profile(&[("sum", 0, 2.0), ("reshape", 1, 2.0), ("transpose", 0, 1.0)], 0.5)
+            .profile(
+                &[("sum", 0, 2.0), ("reshape", 1, 2.0), ("transpose", 0, 1.0)],
+                0.5,
+            )
             .build(),
     );
 
@@ -223,7 +226,11 @@ pub fn python_library() -> Library {
     classes.push(
         ClassBuilder::new("pandas.DataFrame", "pandas")
             .factory_only()
-            .obtain_via(Obtain::Factory(vec![step(Some("pandas"), "read_csv", &[Str])]))
+            .obtain_via(Obtain::Factory(vec![step(
+                Some("pandas"),
+                "read_csv",
+                &[Str],
+            )]))
             .method("SubscriptStore", &[Str, Obj], None, Store { value_arg: 2 })
             .method("SubscriptLoad", &[Str], Some("pandas.Series"), Load)
             .method("head", &[], Some("pandas.DataFrame"), FreshPerCall)
@@ -285,7 +292,11 @@ pub fn python_library() -> Library {
     classes.push(
         ClassBuilder::new("sqlite3.Connection", "sqlite3")
             .factory_only()
-            .obtain_via(Obtain::Factory(vec![step(Some("sqlite3"), "connect", &[Str])]))
+            .obtain_via(Obtain::Factory(vec![step(
+                Some("sqlite3"),
+                "connect",
+                &[Str],
+            )]))
             .method("execute", &[Str], Some("sqlite3.Cursor"), FreshPerCall)
             .build(),
     );
@@ -404,7 +415,19 @@ mod tests {
         let lib = python_library();
         let groups: std::collections::BTreeSet<&str> =
             lib.classes().map(|c| c.group.as_str()).collect();
-        for g in ["numpy", "pandas", "os", "re", "django", "collections", "yaml", "json", "flask", "ConfigParser", "xml"] {
+        for g in [
+            "numpy",
+            "pandas",
+            "os",
+            "re",
+            "django",
+            "collections",
+            "yaml",
+            "json",
+            "flask",
+            "ConfigParser",
+            "xml",
+        ] {
             assert!(groups.contains(g), "missing group {g}");
         }
     }

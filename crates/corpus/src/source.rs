@@ -1,0 +1,221 @@
+//! Shard-streaming corpus ingestion.
+//!
+//! The paper's corpora (~4M Java files) do not fit in memory alongside
+//! their event graphs. [`CorpusSource`] abstracts *where files come from*
+//! so the pipeline can ingest a corpus in bounded-size shards, keeping at
+//! most one shard's worth of analysis state alive at a time:
+//!
+//! * [`SliceSource`] — files already in memory (CLI directory walks,
+//!   tests);
+//! * [`GeneratedSource`] — files produced on demand from the synthetic
+//!   generator, so even the source *text* is never fully resident.
+//!
+//! Sources must be **replayable**: the learning pipeline makes two passes
+//! (train the edge model ϕ, then extract candidates Γ_S with it), and both
+//! must see exactly the same files at the same stable indices.
+
+use crate::gen::{GenContext, GenOptions};
+use crate::library::Library;
+
+/// A contiguous run of corpus files with their stable global indices.
+#[derive(Clone, Debug, Default)]
+pub struct Shard {
+    /// Stable global index of `files[0]`; file `files[k]` has index
+    /// `start + k`. Indices are assigned by corpus position and never
+    /// change with shard size — per-file RNG streams key off them.
+    pub start: usize,
+    /// The `(name, source)` pairs of this shard, in corpus order.
+    pub files: Vec<(String, String)>,
+}
+
+impl Shard {
+    /// Iterates `(stable_index, name, source)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(k, (name, source))| (self.start + k, name.as_str(), source.as_str()))
+    }
+}
+
+/// A corpus ingestible shard-by-shard in a deterministic order.
+///
+/// `shard(start, len)` must be a pure function of its arguments: the
+/// pipeline replays shards across its two passes and relies on getting
+/// byte-identical files both times.
+pub trait CorpusSource {
+    /// Total number of files in the corpus.
+    fn num_files(&self) -> usize;
+
+    /// Materializes files `[start, start + len)`, clamped to the corpus
+    /// end. `start` past the end yields an empty shard.
+    fn shard(&self, start: usize, len: usize) -> Shard;
+}
+
+/// Iterates `source` in shards of `shard_size` files (the last shard may be
+/// shorter). A `shard_size` of 0 is treated as 1.
+pub fn shards<S: CorpusSource + ?Sized>(
+    source: &S,
+    shard_size: usize,
+) -> impl Iterator<Item = Shard> + '_ {
+    let size = shard_size.max(1);
+    let total = source.num_files();
+    (0..total.div_ceil(size)).map(move |k| source.shard(k * size, size))
+}
+
+/// An in-memory corpus over borrowed `(name, source)` pairs.
+pub struct SliceSource<'a> {
+    files: &'a [(String, String)],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice of `(name, source)` pairs.
+    pub fn new(files: &'a [(String, String)]) -> SliceSource<'a> {
+        SliceSource { files }
+    }
+}
+
+impl CorpusSource for SliceSource<'_> {
+    fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    fn shard(&self, start: usize, len: usize) -> Shard {
+        let end = start.saturating_add(len).min(self.files.len());
+        let start = start.min(self.files.len());
+        Shard {
+            start,
+            files: self.files[start..end].to_vec(),
+        }
+    }
+}
+
+/// An on-demand generated corpus: each shard's files are synthesized when
+/// requested and dropped with the shard, so the corpus text is never fully
+/// resident. Produces byte-identical files to
+/// [`generate_corpus`](crate::generate_corpus) with the same options.
+///
+/// ```
+/// use uspec_corpus::{generate_corpus, java_library, CorpusSource, GenOptions, GeneratedSource};
+/// let lib = java_library();
+/// let opts = GenOptions { num_files: 10, ..GenOptions::default() };
+/// let eager = generate_corpus(&lib, &opts);
+/// let lazy = GeneratedSource::new(&lib, &opts);
+/// let shard = lazy.shard(4, 3);
+/// assert_eq!(shard.files[0].1, eager[4].source);
+/// ```
+pub struct GeneratedSource<'a> {
+    ctx: GenContext<'a>,
+}
+
+impl<'a> GeneratedSource<'a> {
+    /// Prepares on-demand generation for `lib` with `opts`.
+    pub fn new(lib: &'a Library, opts: &GenOptions) -> GeneratedSource<'a> {
+        GeneratedSource {
+            ctx: GenContext::new(lib, opts.clone()),
+        }
+    }
+}
+
+impl CorpusSource for GeneratedSource<'_> {
+    fn num_files(&self) -> usize {
+        self.ctx.num_files()
+    }
+
+    fn shard(&self, start: usize, len: usize) -> Shard {
+        let total = self.ctx.num_files();
+        let end = start.saturating_add(len).min(total);
+        let start = start.min(total);
+        Shard {
+            start,
+            files: (start..end)
+                .map(|i| {
+                    let f = self.ctx.generate_file(i);
+                    (f.name, f.source)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_corpus;
+    use crate::java::java_library;
+
+    fn pairs(n: usize, seed: u64) -> Vec<(String, String)> {
+        (0..n)
+            .map(|i| (format!("f{i}"), format!("src{i}-{seed}")))
+            .collect()
+    }
+
+    #[test]
+    fn slice_source_shards_cover_the_corpus_once() {
+        let files = pairs(10, 0);
+        let src = SliceSource::new(&files);
+        for size in [1, 3, 4, 10, 99] {
+            let collected: Vec<(String, String)> =
+                shards(&src, size).flat_map(|s| s.files).collect();
+            assert_eq!(collected, files, "shard_size {size}");
+        }
+        let sizes: Vec<usize> = shards(&src, 4).map(|s| s.files.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        let starts: Vec<usize> = shards(&src, 4).map(|s| s.start).collect();
+        assert_eq!(starts, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn shard_iter_exposes_stable_indices() {
+        let files = pairs(7, 1);
+        let src = SliceSource::new(&files);
+        let shard = src.shard(5, 5);
+        let idx: Vec<usize> = shard.iter().map(|(i, _, _)| i).collect();
+        assert_eq!(idx, vec![5, 6]);
+    }
+
+    #[test]
+    fn generated_source_matches_eager_generation() {
+        let lib = java_library();
+        let opts = GenOptions {
+            num_files: 30,
+            seed: 1234,
+            ..GenOptions::default()
+        };
+        let eager = generate_corpus(&lib, &opts);
+        let lazy = GeneratedSource::new(&lib, &opts);
+        assert_eq!(lazy.num_files(), 30);
+        for size in [1, 7, 30] {
+            let collected: Vec<(String, String)> =
+                shards(&lazy, size).flat_map(|s| s.files).collect();
+            assert_eq!(collected.len(), eager.len());
+            for (got, want) in collected.iter().zip(&eager) {
+                assert_eq!(got.0, want.name);
+                assert_eq!(got.1, want.source, "shard_size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_shards_are_replayable_out_of_order() {
+        let lib = java_library();
+        let opts = GenOptions {
+            num_files: 12,
+            seed: 9,
+            ..GenOptions::default()
+        };
+        let lazy = GeneratedSource::new(&lib, &opts);
+        let late = lazy.shard(8, 4);
+        let early = lazy.shard(0, 4);
+        let again = lazy.shard(8, 4);
+        assert_eq!(late.files, again.files);
+        assert_ne!(late.files, early.files);
+    }
+
+    #[test]
+    fn zero_shard_size_is_clamped() {
+        let files = pairs(3, 2);
+        let src = SliceSource::new(&files);
+        assert_eq!(shards(&src, 0).count(), 3);
+    }
+}

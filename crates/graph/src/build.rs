@@ -90,7 +90,12 @@ impl<'a> Builder<'a> {
                     join_state(&mut finals, &state, self.opts, &mut self.graph.truncated);
                 }
                 Terminator::Goto(t) => {
-                    merge_into(&mut entry[t.0 as usize], state, self.opts, &mut self.graph.truncated);
+                    merge_into(
+                        &mut entry[t.0 as usize],
+                        state,
+                        self.opts,
+                        &mut self.graph.truncated,
+                    );
                 }
                 Terminator::Branch {
                     then_bb, else_bb, ..
@@ -101,7 +106,12 @@ impl<'a> Builder<'a> {
                         self.opts,
                         &mut self.graph.truncated,
                     );
-                    merge_into(&mut entry[else_bb.0 as usize], state, self.opts, &mut self.graph.truncated);
+                    merge_into(
+                        &mut entry[else_bb.0 as usize],
+                        state,
+                        self.opts,
+                        &mut self.graph.truncated,
+                    );
                 }
             }
         }
@@ -136,7 +146,14 @@ impl<'a> Builder<'a> {
         self.graph.vals[ev.0 as usize] = vals;
     }
 
-    fn note_site(&mut self, bb: usize, site: CallSite, method: MethodId, kind: SiteKind, type_tokens: Vec<Symbol>) {
+    fn note_site(
+        &mut self,
+        bb: usize,
+        site: CallSite,
+        method: MethodId,
+        kind: SiteKind,
+        type_tokens: Vec<Symbol>,
+    ) {
         let guards = self.body.blocks[bb].guards.clone();
         let entry = self.graph.sites.entry(site).or_insert_with(|| SiteInfo {
             method,
@@ -256,7 +273,13 @@ impl<'a> Builder<'a> {
 
 /// Appends `ev` to every history of `obj`, starting a new history if none
 /// exists. Histories at the length cap are frozen.
-fn append_event(state: &mut State, obj: ObjId, ev: EventId, opts: &GraphOptions, truncated: &mut bool) {
+fn append_event(
+    state: &mut State,
+    obj: ObjId,
+    ev: EventId,
+    opts: &GraphOptions,
+    truncated: &mut bool,
+) {
     let histories = state.entry(obj).or_default();
     if histories.is_empty() {
         histories.insert(vec![ev]);
@@ -586,8 +609,14 @@ mod equal_args_tests {
             .find(|(_, i)| i.method.method.as_str() == "rulePostProcessing")
             .map(|(s, _)| s)
             .unwrap();
-        assert!(g.equal_args(rule, Pos::Arg(1), add, Pos::Arg(1)), "same root object");
-        assert!(!g.equal_args(rule, Pos::Arg(1), add, Pos::Arg(2)), "root != child");
+        assert!(
+            g.equal_args(rule, Pos::Arg(1), add, Pos::Arg(1)),
+            "same root object"
+        );
+        assert!(
+            !g.equal_args(rule, Pos::Arg(1), add, Pos::Arg(2)),
+            "root != child"
+        );
     }
 }
 
@@ -716,7 +745,8 @@ mod edge_case_tests {
             &GraphOptions::default(),
         );
         assert!(
-            g.sites().all(|(_, i)| i.method.method.as_str() != "getFile"),
+            g.sites()
+                .all(|(_, i)| i.method.method.as_str() != "getFile"),
             "dead code must not produce events"
         );
     }

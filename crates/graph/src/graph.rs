@@ -1,6 +1,6 @@
 //! The event graph `G_P = (V, E)` (§3.3).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use uspec_lang::mir::CallSite;
 use uspec_pta::{ObjId, Value};
 
@@ -14,7 +14,9 @@ use crate::event::{Event, EventId, Pos, SiteInfo, SiteKind};
 pub struct EventGraph {
     pub(crate) events: Vec<Event>,
     pub(crate) index: HashMap<Event, EventId>,
-    pub(crate) sites: HashMap<CallSite, SiteInfo>,
+    // BTreeMap, not HashMap: extraction iterates sites, and Γ_S list order
+    // must be reproducible run-to-run and across shard layouts.
+    pub(crate) sites: BTreeMap<CallSite, SiteInfo>,
     pub(crate) succs: Vec<Vec<EventId>>,
     pub(crate) preds: Vec<Vec<EventId>>,
     pub(crate) dist: HashMap<(EventId, EventId), u32>,
@@ -157,10 +159,8 @@ impl EventGraph {
     /// Same-receiver check, condition (C2) of §5.1: the receiver events'
     /// observed points-to sets are equal and non-empty.
     pub fn same_receiver(&self, m1: CallSite, m2: CallSite) -> bool {
-        let (Some(e1), Some(e2)) = (
-            self.event_id(m1, Pos::Recv),
-            self.event_id(m2, Pos::Recv),
-        ) else {
+        let (Some(e1), Some(e2)) = (self.event_id(m1, Pos::Recv), self.event_id(m2, Pos::Recv))
+        else {
             return false;
         };
         let p1 = self.pts(e1);
@@ -179,7 +179,9 @@ impl EventGraph {
     /// for history orderings.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph event_graph {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n");
+        let mut out = String::from(
+            "digraph event_graph {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n",
+        );
         // Group events by call site into clusters.
         let mut sites: Vec<CallSite> = self.sites.keys().copied().collect();
         sites.sort_by_key(|s| (s.node, s.ctx));

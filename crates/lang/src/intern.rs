@@ -137,7 +137,9 @@ mod tests {
 
     #[test]
     fn many_symbols_stay_distinct() {
-        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("sym{i}"))).collect();
+        let syms: Vec<Symbol> = (0..1000)
+            .map(|i| Symbol::intern(&format!("sym{i}")))
+            .collect();
         for (i, s) in syms.iter().enumerate() {
             assert_eq!(s.as_str(), format!("sym{i}"));
         }

@@ -385,7 +385,11 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_expr(&mut self, expr: &Expr, inst: &mut Instance) -> Result<(Var, VarType), LangError> {
+    fn lower_expr(
+        &mut self,
+        expr: &Expr,
+        inst: &mut Instance,
+    ) -> Result<(Var, VarType), LangError> {
         match &expr.kind {
             ExprKind::Str(s) => Ok(self.lower_lit(Literal::Str(*s), expr.id)),
             ExprKind::Int(i) => Ok(self.lower_lit(Literal::Int(*i), expr.id)),
@@ -507,7 +511,15 @@ impl<'a> Lowerer<'a> {
                     // Local variable plus field chain, then an instance call.
                     let (recv, recv_ty) = self.lower_path(prefix, expr.span, inst)?;
                     let arg_vars = self.lower_args(args, inst)?;
-                    self.lower_instance_call(expr, recv, recv_ty, method, arg_vars, args.len(), inst)
+                    self.lower_instance_call(
+                        expr,
+                        recv,
+                        recv_ty,
+                        method,
+                        arg_vars,
+                        args.len(),
+                        inst,
+                    )
                 } else {
                     // Static call on a (possibly dotted) class name.
                     let class = join_dotted(prefix);
@@ -1043,7 +1055,9 @@ mod nesting_tests {
             .instrs()
             .find(|(_, i)| matches!(i, Instr::CallApi { .. }))
             .unwrap();
-        let Instr::CallApi { site, .. } = instr else { unreachable!() };
+        let Instr::CallApi { site, .. } = instr else {
+            unreachable!()
+        };
         assert_eq!(main.ctx_of(*site).len(), 2);
     }
 
@@ -1059,7 +1073,9 @@ mod nesting_tests {
         );
         let main = bodies.iter().find(|b| b.func.as_str() == "main").unwrap();
         assert_eq!(count_calls(main, "fetch"), 0, "budget of 2 exhausted");
-        assert!(main.instrs().any(|(_, i)| matches!(i, Instr::Opaque { .. })));
+        assert!(main
+            .instrs()
+            .any(|(_, i)| matches!(i, Instr::Opaque { .. })));
     }
 
     #[test]
@@ -1142,7 +1158,9 @@ mod nesting_tests {
             .instrs()
             .find(|(_, i)| matches!(i, Instr::CallApi { .. }))
             .unwrap();
-        let Instr::CallApi { method, .. } = instr else { unreachable!() };
+        let Instr::CallApi { method, .. } = instr else {
+            unreachable!()
+        };
         assert_eq!(method.qualified(), "Box.undefinedMethod/0");
     }
 

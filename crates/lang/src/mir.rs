@@ -337,11 +337,10 @@ impl Body {
 
     /// Iterates over `(BlockId, &Instr)` pairs in topological order.
     pub fn instrs(&self) -> impl Iterator<Item = (BlockId, &Instr)> {
-        self.blocks.iter().enumerate().flat_map(|(i, b)| {
-            b.instrs
-                .iter()
-                .map(move |instr| (BlockId(i as u32), instr))
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| b.instrs.iter().map(move |instr| (BlockId(i as u32), instr)))
     }
 
     /// Counts the API call sites in the body (distinct instructions, not

@@ -56,9 +56,7 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
         StmtKind::Assign { target, value } => {
             match target {
                 AssignTarget::Var(v) => out.push_str(&format!("{v} = ")),
-                AssignTarget::Field { base, field } => {
-                    out.push_str(&format!("{base}.{field} = "))
-                }
+                AssignTarget::Field { base, field } => out.push_str(&format!("{base}.{field} = ")),
             }
             print_expr(value, out);
             out.push_str(";\n");

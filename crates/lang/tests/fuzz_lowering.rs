@@ -21,8 +21,20 @@ struct ProgGen {
 
 fn gen_stmts(depth: usize) -> BoxedStrategy<Vec<String>> {
     let var = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
-    let method = prop_oneof![Just("m0"), Just("m1"), Just("put"), Just("get"), Just("use1")];
-    let key = prop_oneof![Just("\"k\""), Just("\"x\""), Just("7"), Just("true"), Just("null")];
+    let method = prop_oneof![
+        Just("m0"),
+        Just("m1"),
+        Just("put"),
+        Just("get"),
+        Just("use1")
+    ];
+    let key = prop_oneof![
+        Just("\"k\""),
+        Just("\"x\""),
+        Just("7"),
+        Just("true"),
+        Just("null")
+    ];
 
     let assign = (var.clone(), method.clone(), key.clone())
         .prop_map(|(v, m, k)| format!("{v} = root.{m}({k});"));
@@ -30,15 +42,17 @@ fn gen_stmts(depth: usize) -> BoxedStrategy<Vec<String>> {
     let alloc = var.clone().prop_map(|v| format!("{v} = new T();"));
     let chain =
         (var.clone(), method.clone()).prop_map(|(v, m)| format!("x = root.{m}(); {v} = x.{m}();"));
-    let cmp = var.clone().prop_map(|v| format!("{v} = root.m0() == root.m1();"));
+    let cmp = var
+        .clone()
+        .prop_map(|v| format!("{v} = root.m0() == root.m1();"));
 
     let leaf = prop_oneof![assign, call, alloc, chain, cmp];
     if depth == 0 {
         return proptest::collection::vec(leaf, 1..4).boxed();
     }
     let nested = gen_stmts(depth - 1);
-    let wrapped = (nested.clone(), any::<bool>(), any::<bool>()).prop_map(
-        |(inner, use_while, negate)| {
+    let wrapped =
+        (nested.clone(), any::<bool>(), any::<bool>()).prop_map(|(inner, use_while, negate)| {
             let body = inner.join("\n");
             let cond = if negate { "!flag" } else { "flag" };
             if use_while {
@@ -46,8 +60,7 @@ fn gen_stmts(depth: usize) -> BoxedStrategy<Vec<String>> {
             } else {
                 format!("if ({cond}) {{ {body} }} else {{ {body} }}")
             }
-        },
-    );
+        });
     let ret = Just("return root.m0();".to_owned());
     proptest::collection::vec(prop_oneof![4 => leaf, 2 => wrapped, 1 => ret], 1..5).boxed()
 }

@@ -39,8 +39,7 @@ pub fn match_patterns(g: &EventGraph, m1: CallSite, m2: CallSite) -> Vec<Pattern
     // RetSame: (C1) same identifier, (C4) all arguments equal.
     if i1.method == i2.method {
         let n = i1.method.nargs();
-        let all_equal =
-            (1..=n).all(|i| g.equal_args(m1, Pos::Arg(i as u8), m2, Pos::Arg(i as u8)));
+        let all_equal = (1..=n).all(|i| g.equal_args(m1, Pos::Arg(i as u8), m2, Pos::Arg(i as u8)));
         if all_equal {
             out.push(PatternMatch {
                 m1,
@@ -207,9 +206,15 @@ mod tests {
         let (a, b) = edges[0];
         let ea = g.event(a);
         let eb = g.event(b);
-        assert_eq!(g.site_info(ea.site).unwrap().method.method.as_str(), "getFile");
+        assert_eq!(
+            g.site_info(ea.site).unwrap().method.method.as_str(),
+            "getFile"
+        );
         assert_eq!(ea.pos, Pos::Ret);
-        assert_eq!(g.site_info(eb.site).unwrap().method.method.as_str(), "getName");
+        assert_eq!(
+            g.site_info(eb.site).unwrap().method.method.as_str(),
+            "getName"
+        );
         assert_eq!(eb.pos, Pos::Recv);
     }
 
@@ -363,7 +368,10 @@ mod ret_recv_tests {
         let edges = induced_edges(&g, &pm);
         assert_eq!(edges.len(), 1);
         let (a, b) = edges[0];
-        assert_eq!(g.site_info(g.event(a).site).unwrap().method.method.as_str(), "<new>");
+        assert_eq!(
+            g.site_info(g.event(a).site).unwrap().method.method.as_str(),
+            "<new>"
+        );
         assert_eq!(g.event(b).pos, Pos::Recv);
     }
 

@@ -303,7 +303,10 @@ mod tests {
         let g = graph_of(SRC);
         let ret = ev(&g, "getFile", Pos::Ret);
         let recv = ev(&g, "getName", Pos::Recv);
-        assert_eq!(featurize(&g, ret, recv, false), featurize(&g, ret, recv, true));
+        assert_eq!(
+            featurize(&g, ret, recv, false),
+            featurize(&g, ret, recv, true)
+        );
         let full = featurize_with(&g, ret, recv, false, true);
         assert!(full.tokens.len() > featurize(&g, ret, recv, false).tokens.len());
     }
@@ -313,7 +316,10 @@ mod tests {
         let g = graph_of(SRC);
         let ret = ev(&g, "getFile", Pos::Ret);
         let recv = ev(&g, "getName", Pos::Recv);
-        assert_eq!(featurize(&g, ret, recv, true), featurize(&g, ret, recv, true));
+        assert_eq!(
+            featurize(&g, ret, recv, true),
+            featurize(&g, ret, recv, true)
+        );
     }
 
     #[test]
@@ -412,8 +418,12 @@ mod depth_tests {
         // descendants none; check on a pair with real depth:
         let q_ret = ev(&g, "query", Pos::Ret);
         let fr_recv = ev(&g, "firstRow", Pos::Recv);
-        let d2 = featurize_depth(&g, q_ret, fr_recv, true, false, 2).tokens.len();
-        let d3 = featurize_depth(&g, q_ret, fr_recv, true, false, 3).tokens.len();
+        let d2 = featurize_depth(&g, q_ret, fr_recv, true, false, 2)
+            .tokens
+            .len();
+        let d3 = featurize_depth(&g, q_ret, fr_recv, true, false, 3)
+            .tokens
+            .len();
         assert!(d3 >= d2);
     }
 

@@ -21,8 +21,10 @@
 pub mod features;
 pub mod hash;
 pub mod logreg;
+pub mod seed;
 pub mod train;
 
 pub use features::{featurize, featurize_depth, featurize_with, PairFeature};
 pub use logreg::LogReg;
+pub use seed::{mix_seed, splitmix64};
 pub use train::{extract_samples, EdgeModel, Sample, TrainOptions, TrainStats};

@@ -1,0 +1,60 @@
+//! Deterministic per-stream seed derivation.
+//!
+//! Every place that derives an independent RNG stream from a base seed plus
+//! a stream index (per-file corpus generation, per-graph negative sampling)
+//! goes through [`mix_seed`], so the derivation is strong and identical
+//! everywhere. The previous ad-hoc mix (`seed ^ i.wrapping_mul(0x9E37)`)
+//! only perturbed the low bits and produced correlated neighbouring
+//! streams.
+
+/// The splitmix64 finalizer: a full-avalanche bijection on `u64`.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the seed of stream `index` from `base`.
+///
+/// Both arguments are avalanched before combining, so neighbouring indices
+/// (or neighbouring base seeds) yield uncorrelated streams. Nest calls to
+/// derive from multi-part indices: `mix_seed(mix_seed(base, file), graph)`.
+pub fn mix_seed(base: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(base) ^ splitmix64(index ^ 0xA0761D6478BD642F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // Reference values for the standard splitmix64 constants.
+        assert_eq!(splitmix64(0), 0xE220A8397B1DCDAF);
+        assert_eq!(splitmix64(1), 0x910A2DEC89025CC1);
+    }
+
+    #[test]
+    fn neighbouring_indices_are_uncorrelated() {
+        let base = 42;
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            let s = mix_seed(base, i);
+            assert!(seen.insert(s), "collision at index {i}");
+            // The old weak mix kept the high 48 bits of neighbouring seeds
+            // nearly equal; the strong mix must not.
+            let next = mix_seed(base, i + 1);
+            assert_ne!(s >> 32, next >> 32, "high bits repeat at index {i}");
+        }
+    }
+
+    #[test]
+    fn nested_mixing_separates_dimensions() {
+        // (file=1, graph=2) and (file=2, graph=1) must differ.
+        let a = mix_seed(mix_seed(7, 1), 2);
+        let b = mix_seed(mix_seed(7, 2), 1);
+        assert_ne!(a, b);
+    }
+}

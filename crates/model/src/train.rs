@@ -2,8 +2,8 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use uspec_graph::{EventGraph, EventId};
 
@@ -118,9 +118,7 @@ pub fn extract_samples(g: &EventGraph, rng: &mut ChaCha8Rng, opts: &TrainOptions
             if a == b || g.has_edge(a, b) {
                 continue;
             }
-            if opts.negatives_same_context
-                && g.event(a).site.ctx != g.event(b).site.ctx
-            {
+            if opts.negatives_same_context && g.event(a).site.ctx != g.event(b).site.ctx {
                 continue;
             }
             let f = featurize_depth(g, a, b, true, opts.full_contexts, opts.context_depth);
@@ -332,7 +330,9 @@ mod tests {
         let e1 = ev(&test, "getFile", Pos::Ret);
         let e2 = ev(&test, "getName", Pos::Recv);
         assert!(!test.has_edge(e1, e2), "edge must not exist API-unaware");
-        let p_induced = model.predict_pair(&test, e1, e2).expect("model for (ret,0)");
+        let p_induced = model
+            .predict_pair(&test, e1, e2)
+            .expect("model for (ret,0)");
 
         // Control: an implausible pairing in the same graph.
         let lc = ev(&test, "str", Pos::Ret);

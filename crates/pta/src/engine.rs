@@ -388,7 +388,8 @@ impl<'a> Engine<'a> {
             Instr::FieldStore { obj, field, src } => {
                 let vals: Vec<ObjId> = env[src.0 as usize].iter().copied().collect();
                 for o in env[obj.0 as usize].clone() {
-                    self.heap.write(o, FieldKey::Real(*field), vals.iter().copied());
+                    self.heap
+                        .write(o, FieldKey::Real(*field), vals.iter().copied());
                 }
                 InstrRecord::Other
             }
@@ -493,9 +494,7 @@ impl<'a> Engine<'a> {
                             let key = FieldKey::Ghost(f.clone());
                             // Allocate z ∈ π(o, f) for empty fields so two
                             // matching reads alias; never for ⊤ (App. A).
-                            if self.heap.is_empty_at(*o, &key)
-                                && !matches!(f, GhostField::Top(_))
-                            {
+                            if self.heap.is_empty_at(*o, &key) && !matches!(f, GhostField::Top(_)) {
                                 let z = self.objs.intern(AbsObj {
                                     site,
                                     kind: ObjKind::Ghost {
@@ -623,10 +622,7 @@ mod tests {
         // object stored by put.
         assert!(!Pta::may_alias(&put.args[1], &get.ret));
         assert_eq!(get.ret.len(), 1);
-        assert!(matches!(
-            pta.objs.get(get.ret[0]).kind,
-            ObjKind::ApiRet(_)
-        ));
+        assert!(matches!(pta.objs.get(get.ret[0]).kind, ObjKind::ApiRet(_)));
     }
 
     #[test]
@@ -757,8 +753,14 @@ mod tests {
         let put = record_for(&cov, "put", 0);
         let x = record_for(&cov, "get", 0);
         let y = record_for(&cov, "get", 1);
-        assert!(Pta::may_alias(&put.args[1], &x.ret), "⊤ write reaches get(k1)");
-        assert!(Pta::may_alias(&put.args[1], &y.ret), "⊤ write reaches get(k2)");
+        assert!(
+            Pta::may_alias(&put.args[1], &x.ret),
+            "⊤ write reaches get(k1)"
+        );
+        assert!(
+            Pta::may_alias(&put.args[1], &y.ret),
+            "⊤ write reaches get(k2)"
+        );
     }
 
     #[test]
@@ -862,10 +864,7 @@ mod tests {
         let (_, pta) = analyze(src, &specs, &PtaOptions::default());
         let first = record_for(&pta, "append", 0);
         let second = record_for(&pta, "append", 1);
-        assert!(Pta::may_alias(
-            first.recv.as_ref().unwrap(),
-            &first.ret
-        ));
+        assert!(Pta::may_alias(first.recv.as_ref().unwrap(), &first.ret));
         // The chained receiver keeps pointing at the original builder (the
         // second call is on `b`, which now aliases `sb`).
         assert!(Pta::may_alias(

@@ -254,7 +254,10 @@ mod tests {
         let m = MethodId::new("java.lang.StringBuilder", "append", 1);
         let db = SpecDb::from_specs([Spec::RetRecv { method: m }]);
         assert!(db.has_ret_recv(m));
-        assert!(!db.has_ret_same(m), "RetRecv does not imply RetSame in the db");
+        assert!(
+            !db.has_ret_same(m),
+            "RetRecv does not imply RetSame in the db"
+        );
         assert_eq!(Spec::RetRecv { method: m }.class(), m.class);
         assert_eq!(
             Spec::RetRecv { method: m }.to_string(),

@@ -27,7 +27,11 @@ fn main() {
     )
     .expect("put works");
     let got = m
-        .call(map, Symbol::intern("get"), &[CArg::Key(CKey::Str("k".into()))])
+        .call(
+            map,
+            Symbol::intern("get"),
+            &[CArg::Key(CKey::Str("k".into()))],
+        )
         .expect("get works");
     println!("concrete run: get(\"k\") == put value? {}", got == Some(v));
 
@@ -41,12 +45,20 @@ fn main() {
     println!("  no constructor:  {}", count(ClassStatus::NoConstructor));
     println!("  trivially empty: {}", count(ClassStatus::TriviallyEmpty));
     println!("\nfailures the paper highlights:");
-    for class in ["java.util.Properties", "java.sql.ResultSet", "java.security.KeyStore"] {
+    for class in [
+        "java.util.Properties",
+        "java.sql.ResultSet",
+        "java.security.KeyStore",
+    ] {
         let e = evals
             .iter()
             .find(|e| e.class == Symbol::intern(class))
             .expect("evaluated");
-        println!("  {class}: {:?} (missed {} true flows)", e.status, e.missed.len());
+        println!(
+            "  {class}: {:?} (missed {} true flows)",
+            e.status,
+            e.missed.len()
+        );
     }
 
     // ---- USpec on the same classes ----------------------------------------
@@ -64,13 +76,24 @@ fn main() {
     let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
     let specs = result.select(0.6);
     println!("\nUSpec (static, unsupervised) on the same classes:");
-    for class in ["java.util.Properties", "java.sql.ResultSet", "java.security.KeyStore"] {
+    for class in [
+        "java.util.Properties",
+        "java.sql.ResultSet",
+        "java.security.KeyStore",
+    ] {
         let sym = Symbol::intern(class);
         let learned: Vec<String> = specs
             .iter()
             .filter(|s| s.class() == sym)
             .map(|s| format!("{s:?}"))
             .collect();
-        println!("  {class}: {}", if learned.is_empty() { "-".into() } else { learned.join(", ") });
+        println!(
+            "  {class}: {}",
+            if learned.is_empty() {
+                "-".into()
+            } else {
+                learned.join(", ")
+            }
+        );
     }
 }

@@ -26,7 +26,11 @@ fn main() {
     "#;
     let graphs = analyze_source(snippet, &table, &opts).expect("snippet analyzes");
     let g = &graphs[0];
-    println!("event graph: {} events, {} edges", g.num_events(), g.num_edges());
+    println!(
+        "event graph: {} events, {} edges",
+        g.num_events(),
+        g.num_edges()
+    );
     for (site, info) in g.sites() {
         let events: Vec<String> = [Pos::Recv, Pos::Arg(1), Pos::Arg(2), Pos::Ret]
             .iter()
@@ -54,11 +58,11 @@ fn main() {
         println!("  {:?} induces {} edge(s)", m.spec, edges.len());
         for (a, b) in edges {
             println!(
-            "    {:?}@{:?} → {:?}@{:?}",
-            g.site_info(g.event(a).site).map(|i| i.method.method),
-            g.event(a).pos,
-            g.site_info(g.event(b).site).map(|i| i.method.method),
-            g.event(b).pos
+                "    {:?}@{:?} → {:?}@{:?}",
+                g.site_info(g.event(a).site).map(|i| i.method.method),
+                g.event(a).pos,
+                g.site_info(g.event(b).site).map(|i| i.method.method),
+                g.event(b).pos
             );
         }
     }
@@ -82,7 +86,11 @@ fn main() {
     );
     println!("\nall candidates with ground-truth label (✓ valid, ✗ invalid):");
     for s in &result.learned.scored {
-        let mark = if lib.is_true_spec(&s.spec) { "✓" } else { "✗" };
+        let mark = if lib.is_true_spec(&s.spec) {
+            "✓"
+        } else {
+            "✗"
+        };
         println!(
             "  {mark} {:.3}  Γ={:<3} matches={:<3} {:?}",
             s.score, s.scored_edges, s.matches, s.spec

@@ -38,7 +38,10 @@ fn main() {
     let specs = result.select(0.6);
     println!("\nlearned {} specifications; top 10 by score:", specs.len());
     for s in result.learned.scored.iter().take(10) {
-        println!("  {:.3}  (matches: {:>3})  {:?}", s.score, s.matches, s.spec);
+        println!(
+            "  {:.3}  (matches: {:>3})  {:?}",
+            s.score, s.matches, s.spec
+        );
     }
 
     // 4. Use the learned specifications in the augmented may-alias analysis

@@ -44,8 +44,16 @@ fn learned_specs_fix_fig8a_typestate_false_positive() {
     let protocol = TypestateProtocol::iterator();
     let base = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
     let aug = Pta::run(&body, &specs, &PtaOptions::default());
-    assert_eq!(check_typestate(&body, &base, &protocol).len(), 1, "baseline FP");
-    assert_eq!(check_typestate(&body, &aug, &protocol).len(), 0, "learned specs fix it");
+    assert_eq!(
+        check_typestate(&body, &base, &protocol).len(),
+        1,
+        "baseline FP"
+    );
+    assert_eq!(
+        check_typestate(&body, &aug, &protocol).len(),
+        0,
+        "learned specs fix it"
+    );
 }
 
 #[test]
@@ -95,10 +103,16 @@ fn atlas_fails_where_uspec_succeeds() {
 
     // USpec learns (argument-sensitive!) specs for exactly those classes.
     let specs = learned_specs(&lib, 42);
-    for class in ["java.util.Properties", "java.sql.ResultSet", "java.security.KeyStore"] {
+    for class in [
+        "java.util.Properties",
+        "java.sql.ResultSet",
+        "java.security.KeyStore",
+    ] {
         let sym = Symbol::intern(class);
         assert!(
-            specs.iter().any(|s| s.class() == sym && lib.is_true_spec(s)),
+            specs
+                .iter()
+                .any(|s| s.class() == sym && lib.is_true_spec(s)),
             "USpec should learn a correct spec for {class}"
         );
     }

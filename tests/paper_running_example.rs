@@ -54,13 +54,19 @@ fn candidate_matching_instantiates_the_spec_of_section_5_1() {
     let Spec::RetArg { target, source, x } = matches[0].spec else {
         panic!("expected RetArg")
     };
-    assert_eq!((target.method.as_str(), source.method.as_str(), x), ("get", "put", 2));
+    assert_eq!(
+        (target.method.as_str(), source.method.as_str(), x),
+        ("get", "put", 2)
+    );
 
     // Exactly the single induced edge ℓ of Fig. 3.
     let edges = induced_edges(g, &matches[0]);
     assert_eq!(edges.len(), 1);
     let (a, b) = edges[0];
-    assert_eq!(g.site_info(g.event(a).site).unwrap().method.method.as_str(), "getFile");
+    assert_eq!(
+        g.site_info(g.event(a).site).unwrap().method.method.as_str(),
+        "getFile"
+    );
     assert_eq!(g.event(b).pos, Pos::Recv);
 }
 
@@ -118,10 +124,10 @@ fn ghost_fields_of_section_6_2() {
         "getName's receiver is exactly get's return"
     );
     // The heap contains a ghost field entry.
-    assert!(pta.heap.iter().any(|((_, f), _)| matches!(
-        f,
-        uspec_repro::pta::FieldKey::Ghost(_)
-    )));
+    assert!(pta
+        .heap
+        .iter()
+        .any(|((_, f), _)| matches!(f, uspec_repro::pta::FieldKey::Ghost(_))));
 }
 
 #[test]

@@ -43,13 +43,21 @@ fn java_pipeline_meets_quality_gates() {
     let db = result.select(0.6);
     let get = MethodId::new("java.util.HashMap", "get", 1);
     let put = MethodId::new("java.util.HashMap", "put", 2);
-    assert!(db.contains(&Spec::RetArg { target: get, source: put, x: 2 }));
+    assert!(db.contains(&Spec::RetArg {
+        target: get,
+        source: put,
+        x: 2
+    }));
     assert!(db.has_ret_same(MethodId::new("android.view.ViewGroup", "findViewById", 1)));
     assert!(db.has_ret_same(MethodId::new("java.security.KeyStore", "getKey", 2)));
     assert!(db.has_ret_same(MethodId::new("java.sql.ResultSet", "getString", 1)));
     let sp_get = MethodId::new("android.util.SparseArray", "get", 1);
     let sp_put = MethodId::new("android.util.SparseArray", "put", 2);
-    assert!(db.contains(&Spec::RetArg { target: sp_get, source: sp_put, x: 2 }));
+    assert!(db.contains(&Spec::RetArg {
+        target: sp_get,
+        source: sp_put,
+        x: 2
+    }));
 }
 
 #[test]
@@ -84,11 +92,19 @@ fn python_pipeline_learns_dict_and_config_parser() {
     let db = result.select(0.6);
     let load = MethodId::new("Dict", "SubscriptLoad", 1);
     let store = MethodId::new("Dict", "SubscriptStore", 2);
-    assert!(db.contains(&Spec::RetArg { target: load, source: store, x: 2 }));
+    assert!(db.contains(&Spec::RetArg {
+        target: load,
+        source: store,
+        x: 2
+    }));
     // The three-argument SafeConfigParser spec of Tab. 3.
     let get = MethodId::new("configParser.SafeConfigParser", "get", 2);
     let set = MethodId::new("configParser.SafeConfigParser", "set", 3);
-    assert!(db.contains(&Spec::RetArg { target: get, source: set, x: 3 }));
+    assert!(db.contains(&Spec::RetArg {
+        target: get,
+        source: set,
+        x: 3
+    }));
 }
 
 #[test]
@@ -98,13 +114,21 @@ fn planted_false_positives_survive_like_in_table3() {
     let java = java_library();
     let jr = run(&java, 2500, 42);
     let rule = Spec::RetArg {
-        target: MethodId::new("org.antlr.runtime.tree.TreeAdaptor", "rulePostProcessing", 1),
+        target: MethodId::new(
+            "org.antlr.runtime.tree.TreeAdaptor",
+            "rulePostProcessing",
+            1,
+        ),
         source: MethodId::new("org.antlr.runtime.tree.TreeAdaptor", "addChild", 2),
         x: 2,
     };
     assert!(!java.is_true_spec(&rule));
     let entry = jr.learned.get(&rule).expect("candidate extracted");
-    assert!(entry.score > 0.6, "FP survives selection: {:.3}", entry.score);
+    assert!(
+        entry.score > 0.6,
+        "FP survives selection: {:.3}",
+        entry.score
+    );
 
     let py = python_library();
     let pr = run(&py, 2500, 7);
@@ -113,7 +137,11 @@ fn planted_false_positives_survive_like_in_table3() {
     };
     assert!(!py.is_true_spec(&pop));
     let entry = pr.learned.get(&pop).expect("candidate extracted");
-    assert!(entry.score > 0.6, "FP survives selection: {:.3}", entry.score);
+    assert!(
+        entry.score > 0.6,
+        "FP survives selection: {:.3}",
+        entry.score
+    );
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! The streaming pipeline's output must be invariant under `shard_size`
+//! and identical to the batch [`run_pipeline`] wrapper — same learned
+//! scores, same selected `SpecDb` at τ = 0.6, same corpus totals — while
+//! bounding resident event graphs to one shard's worth.
+
+use uspec::{run_pipeline, run_pipeline_streaming, PipelineOptions};
+use uspec_corpus::{generate_corpus, java_library, GenOptions, GeneratedSource, SliceSource};
+use uspec_pta::{Spec, SpecDb};
+
+fn spec_list(db: &SpecDb) -> Vec<Spec> {
+    let mut v: Vec<Spec> = db.iter().copied().collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn streaming_is_equivalent_to_batch_for_every_shard_size() {
+    let lib = java_library();
+    let table = lib.api_table();
+    let gen = GenOptions {
+        num_files: 500,
+        seed: 11,
+        ..GenOptions::default()
+    };
+    let sources: Vec<(String, String)> = generate_corpus(&lib, &gen)
+        .into_iter()
+        .map(|f| (f.name, f.source))
+        .collect();
+
+    let batch = run_pipeline(&sources, &table, &PipelineOptions::default());
+    assert_eq!(
+        batch.corpus.peak_resident_graphs, batch.corpus.graphs,
+        "batch holds every graph at once"
+    );
+
+    // Shard sizes chosen to cover: an even divisor, a ragged last shard,
+    // and a size larger than the corpus (single shard).
+    for shard_size in [64usize, 17, 1000] {
+        let opts = PipelineOptions {
+            shard_size,
+            ..PipelineOptions::default()
+        };
+        let streamed = run_pipeline_streaming(&SliceSource::new(&sources), &table, &opts);
+
+        assert_eq!(
+            streamed.corpus.totals(),
+            batch.corpus.totals(),
+            "corpus totals at shard_size {shard_size}"
+        );
+
+        // Identical candidates: same Γ lists in the same order, same
+        // match counts.
+        assert_eq!(
+            streamed.candidates.confidences, batch.candidates.confidences,
+            "Γ_S lists at shard_size {shard_size}"
+        );
+        assert_eq!(
+            streamed.candidates.match_counts,
+            batch.candidates.match_counts
+        );
+
+        // Identical scores, bit for bit.
+        assert_eq!(streamed.learned.scored.len(), batch.learned.scored.len());
+        for (s, b) in streamed.learned.scored.iter().zip(&batch.learned.scored) {
+            assert_eq!(s.spec, b.spec, "shard_size {shard_size}");
+            assert_eq!(
+                s.score.to_bits(),
+                b.score.to_bits(),
+                "score of {:?}",
+                s.spec
+            );
+            assert_eq!(s.matches, b.matches);
+        }
+
+        // Identical SpecDb at the paper's τ = 0.6.
+        assert_eq!(
+            spec_list(&streamed.select(0.6)),
+            spec_list(&batch.select(0.6)),
+            "SpecDb at shard_size {shard_size}"
+        );
+
+        // Memory boundedness: a proper shard split never holds the whole
+        // corpus (sanity floor: at least one shard's worth).
+        if shard_size < sources.len() {
+            assert!(
+                streamed.corpus.peak_resident_graphs < batch.corpus.peak_resident_graphs,
+                "shard_size {shard_size}: peak {} should be below batch {}",
+                streamed.corpus.peak_resident_graphs,
+                batch.corpus.peak_resident_graphs
+            );
+        } else {
+            assert_eq!(
+                streamed.corpus.peak_resident_graphs,
+                batch.corpus.peak_resident_graphs
+            );
+        }
+        assert!(streamed.corpus.peak_resident_graphs > 0);
+    }
+}
+
+#[test]
+fn generated_source_streams_identically_to_materialized_corpus() {
+    // The on-demand generator must feed the pipeline the same corpus as an
+    // eagerly materialized slice — nothing about streaming generation may
+    // leak into the learned result.
+    let lib = java_library();
+    let table = lib.api_table();
+    let gen = GenOptions {
+        num_files: 200,
+        seed: 23,
+        ..GenOptions::default()
+    };
+    let opts = PipelineOptions {
+        shard_size: 64,
+        ..PipelineOptions::default()
+    };
+
+    let sources: Vec<(String, String)> = generate_corpus(&lib, &gen)
+        .into_iter()
+        .map(|f| (f.name, f.source))
+        .collect();
+    let from_slice = run_pipeline_streaming(&SliceSource::new(&sources), &table, &opts);
+    let from_gen = run_pipeline_streaming(&GeneratedSource::new(&lib, &gen), &table, &opts);
+
+    assert_eq!(from_gen.corpus.totals(), from_slice.corpus.totals());
+    assert_eq!(
+        from_gen.candidates.confidences,
+        from_slice.candidates.confidences
+    );
+    assert_eq!(
+        spec_list(&from_gen.select(0.6)),
+        spec_list(&from_slice.select(0.6))
+    );
+}
