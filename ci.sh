@@ -29,4 +29,9 @@ fi
 cargo fmt --all -- --check
 cargo clippy "${FLAGS[@]+"${FLAGS[@]}"}" --workspace --all-targets -- -D warnings
 cargo test "${FLAGS[@]+"${FLAGS[@]}"}" -q --workspace
+cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" --workspace --no-run
+# Points-to engine perf smoke: verifies the worklist solver is byte-identical
+# to the naive reference on the bench bodies and records throughput,
+# propagation counts, and the peak constraint count in BENCH_pta.json.
+cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_pta -- --smoke
 echo "ci: all checks passed"

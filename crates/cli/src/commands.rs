@@ -13,7 +13,7 @@ use uspec_corpus::{
 };
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
 use uspec_learn::LearnedSpecs;
-use uspec_pta::{Pta, PtaOptions, SpecDb};
+use uspec_pta::{EngineKind, Pta, PtaOptions, SpecDb};
 
 use crate::opt::{OptError, Opts};
 
@@ -40,25 +40,37 @@ fn io_err(e: std::io::Error, what: &str) -> OptError {
     OptError(format!("{what}: {e}"))
 }
 
-/// Builds [`PipelineOptions`] from the shared streaming flags
-/// (`--shard-size`, `--max-diagnostics`).
+/// Parses `--engine naive|worklist` into an [`EngineKind`].
+fn engine_for(opts: &Opts) -> Result<EngineKind, OptError> {
+    match opts.value("engine") {
+        None => Ok(EngineKind::default()),
+        Some(v) => v.parse().map_err(OptError),
+    }
+}
+
+/// Builds [`PipelineOptions`] from the shared analysis flags
+/// (`--shard-size`, `--max-diagnostics`, `--engine`).
 fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
     let defaults = PipelineOptions::default();
-    Ok(PipelineOptions {
+    let mut popts = PipelineOptions {
         shard_size: opts.num("shard-size", defaults.shard_size)?,
         max_diagnostics: opts.num("max-diagnostics", defaults.max_diagnostics)?,
         ..defaults
-    })
+    };
+    popts.pta.engine = engine_for(opts)?;
+    Ok(popts)
 }
 
 /// Prints the corpus-level summary shared by `learn` and `eval`: analysis
-/// failures (with their capped diagnostics) and the streaming memory bound.
+/// failures and truncated fixpoints (with their capped diagnostics) and the
+/// streaming memory bound.
 fn print_corpus_summary(result: &PipelineResult) {
     let c = &result.corpus;
-    if c.failures > 0 {
+    if c.failures > 0 || c.non_converged > 0 {
         println!(
-            "{} file(s) failed analysis (showing first {}):",
+            "{} file(s) failed analysis, {} body(ies) not converged (showing first {}):",
             c.failures,
+            c.non_converged,
             c.diagnostics.len()
         );
         for d in &c.diagnostics {
@@ -117,7 +129,14 @@ fn collect_sources(root: &Path, out: &mut Vec<(String, String)>) -> Result<(), O
 pub fn learn(args: Vec<String>) -> Result<(), OptError> {
     let opts = Opts::parse(
         args,
-        &["lang", "tau", "out", "shard-size", "max-diagnostics"],
+        &[
+            "lang",
+            "tau",
+            "out",
+            "shard-size",
+            "max-diagnostics",
+            "engine",
+        ],
     )?;
     let lib = library_for(&opts)?;
     let tau: f64 = opts.num("tau", 0.6)?;
@@ -197,7 +216,10 @@ pub fn show(args: Vec<String>) -> Result<(), OptError> {
 
 /// `uspec analyze`.
 pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["lang", "specs", "tau", "typestate", "taint"])?;
+    let opts = Opts::parse(
+        args,
+        &["lang", "specs", "tau", "typestate", "taint", "engine"],
+    )?;
     let lib = library_for(&opts)?;
     let table = lib.api_table();
     let path = opts
@@ -219,10 +241,19 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
     let bodies = lower_program(&program, &table, &LowerOptions::default())
         .map_err(|e| OptError(format!("{path}: {}", e.render(&src))))?;
 
+    let pta_opts = PtaOptions {
+        engine: engine_for(&opts)?,
+        ..PtaOptions::default()
+    };
     for body in &bodies {
         println!("fn {}:", body.func);
-        let base = Pta::run(body, &SpecDb::empty(), &PtaOptions::default());
-        let aug = Pta::run(body, &specs, &PtaOptions::default());
+        let base = Pta::run(body, &SpecDb::empty(), &pta_opts);
+        let aug = Pta::run(body, &specs, &pta_opts);
+        let s = &aug.stats;
+        println!(
+            "  analysis: engine={} passes={} propagations={} constraints={} converged={}",
+            s.engine, s.passes, s.propagations, s.constraints, s.converged
+        );
 
         // Report the may-alias pairs between call returns that the
         // specifications add.
@@ -409,6 +440,7 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             "taus",
             "shard-size",
             "max-diagnostics",
+            "engine",
         ],
     )?;
     let lib = library_for(&opts)?;
@@ -635,6 +667,40 @@ mod tests {
             "/nonexistent.u".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn engine_flag_selects_engine() {
+        assert_eq!(
+            engine_for(&opts(&["--engine", "naive"], &["engine"])).unwrap(),
+            EngineKind::Naive
+        );
+        assert_eq!(
+            engine_for(&opts(&["--engine", "worklist"], &["engine"])).unwrap(),
+            EngineKind::Worklist
+        );
+        assert_eq!(
+            engine_for(&opts(&[], &["engine"])).unwrap(),
+            EngineKind::default()
+        );
+        let err = engine_for(&opts(&["--engine", "magic"], &["engine"])).unwrap_err();
+        assert!(err.0.contains("unknown engine"), "{err}");
+
+        // End to end: analyze accepts the flag with both engines.
+        let dir = tmpdir("engine");
+        let file = dir.join("prog.u");
+        fs::write(&file, "fn main(db) { f = db.getFile(\"a\"); f.getName(); }").unwrap();
+        for engine in ["naive", "worklist"] {
+            analyze(vec![
+                "--lang".into(),
+                "java".into(),
+                "--engine".into(),
+                engine.into(),
+                file.display().to_string(),
+            ])
+            .unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,13 +51,17 @@ USAGE:
   uspec learn --lang <java|python> [--tau T] [--out specs.json] DIR...
       Learn aliasing specifications from every *.u file under the given
       directories; print the ranked candidates and optionally save them.
+      Shared analysis flags: --shard-size N  --max-diagnostics N
+      --engine <worklist|naive>  (points-to solver; worklist is the default,
+      naive is the reference implementation — results are identical)
 
   uspec show FILE [--tau T]
       Pretty-print a saved specification file.
 
   uspec analyze --lang <java|python> [--specs FILE] [--tau T] FILE.u
       Analyze one file with the API-unaware baseline and (if specs are
-      given) the augmented analysis; report the aliasing differences.
+      given) the augmented analysis; report solver statistics and the
+      aliasing differences. Accepts --engine <worklist|naive>.
       Optional clients: --typestate guard:action  --taint srcs:sinks:sans
 
   uspec graph --lang <java|python> FILE.u [--dot]

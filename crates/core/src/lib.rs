@@ -51,8 +51,8 @@ pub use pipeline::{
     CorpusTotals, PipelineOptions, PipelineResult,
 };
 pub use stage::{
-    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedShard, DedupFilter, ExtractStage,
-    SampleStage,
+    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, AnalyzedShard, DedupFilter,
+    DiagnosticKind, ExtractStage, SampleStage,
 };
 
 // Re-export the member crates for downstream convenience.

@@ -34,7 +34,8 @@ use uspec_model::{EdgeModel, Sample, TrainOptions, TrainStats};
 use uspec_pta::{Pta, PtaOptions, SpecDb};
 
 use crate::stage::{
-    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, DedupFilter, ExtractStage, SampleStage,
+    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, DedupFilter, ExtractStage,
+    SampleStage,
 };
 
 /// All knobs of the pipeline in one place.
@@ -97,6 +98,9 @@ pub struct CorpusStats {
     pub events: usize,
     /// Total edges.
     pub edges: usize,
+    /// Function bodies whose points-to analysis hit the pass cap without
+    /// converging (their truncated graphs are still used).
+    pub non_converged: usize,
     /// High-water mark of event graphs resident in memory at once. For the
     /// streaming pipeline this is the largest single shard's graph count;
     /// for batch runs it equals `graphs`. Depends on `shard_size` by
@@ -123,6 +127,8 @@ pub struct CorpusTotals {
     pub events: usize,
     /// Total edges.
     pub edges: usize,
+    /// Non-converged function bodies.
+    pub non_converged: usize,
 }
 
 impl CorpusStats {
@@ -135,6 +141,7 @@ impl CorpusStats {
             graphs: self.graphs,
             events: self.events,
             edges: self.edges,
+            non_converged: self.non_converged,
         }
     }
 }
@@ -181,27 +188,33 @@ pub fn analyze_source_with_specs(
     specs: &SpecDb,
     opts: &PipelineOptions,
 ) -> Result<Vec<EventGraph>, LangError> {
-    analyze_source_staged(source, table, specs, opts).map_err(|(_, e)| e)
+    analyze_source_staged(source, table, specs, opts)
+        .map(|file| file.graphs)
+        .map_err(|(_, e)| e)
 }
 
-/// [`analyze_source_with_specs`] with the failing stage attached, feeding
-/// the structured diagnostics of [`crate::stage::AnalyzeStage`].
+/// [`analyze_source_with_specs`] with the failing stage attached and
+/// non-converged bodies reported, feeding the structured diagnostics of
+/// [`crate::stage::AnalyzeStage`].
 pub(crate) fn analyze_source_staged(
     source: &str,
     table: &ApiTable,
     specs: &SpecDb,
     opts: &PipelineOptions,
-) -> Result<Vec<EventGraph>, (AnalysisStage, LangError)> {
+) -> Result<AnalyzedFile, (AnalysisStage, LangError)> {
     let program = parse(source).map_err(|e| (AnalysisStage::Parse, e))?;
     let bodies =
         lower_program(&program, table, &opts.lower).map_err(|e| (AnalysisStage::Lower, e))?;
-    Ok(bodies
-        .iter()
-        .map(|body| {
-            let pta = Pta::run(body, specs, &opts.pta);
-            build_event_graph(body, &pta, &opts.graph)
-        })
-        .collect())
+    let mut file = AnalyzedFile::default();
+    for body in &bodies {
+        let pta = Pta::run(body, specs, &opts.pta);
+        if !pta.stats.converged {
+            file.non_converged
+                .push((body.func.to_string(), pta.stats.passes));
+        }
+        file.graphs.push(build_event_graph(body, &pta, &opts.graph));
+    }
+    Ok(file)
 }
 
 /// Runs the complete learning pipeline over a shard-streaming corpus
@@ -358,16 +371,79 @@ mod tests {
         assert_eq!(result.corpus.files, 1);
         assert_eq!(result.corpus.failures, 12, "every bad file counted");
         assert_eq!(result.corpus.diagnostics.len(), 4, "records capped");
+        use crate::stage::DiagnosticKind;
         let d = &result.corpus.diagnostics[0];
         assert_eq!(d.file, "bad_parse.u");
-        assert_eq!(d.stage, crate::stage::AnalysisStage::Parse);
+        assert!(matches!(
+            d.kind,
+            DiagnosticKind::Frontend {
+                stage: crate::stage::AnalysisStage::Parse,
+                ..
+            }
+        ));
         let d = &result.corpus.diagnostics[1];
         assert_eq!(d.file, "bad_lower.u");
-        assert_eq!(d.stage, crate::stage::AnalysisStage::Lower);
+        assert!(matches!(
+            d.kind,
+            DiagnosticKind::Frontend {
+                stage: crate::stage::AnalysisStage::Lower,
+                ..
+            }
+        ));
         assert!(
             d.to_string().contains("bad_lower.u"),
             "display names the file"
         );
+    }
+
+    #[test]
+    fn non_converged_bodies_are_counted_and_diagnosed() {
+        use crate::stage::DiagnosticKind;
+        let lib = java_library();
+        let table = lib.api_table();
+        // A field read *before* its write: the stored fact flows backwards
+        // through the heap, so the analysis needs a second pass — which a
+        // cap of 1 forbids.
+        let sources = vec![(
+            "feedback.u".into(),
+            "class Box { fn noop(self) { return self; } }\n\
+             fn main(db) {\n\
+                 b = new Box();\n\
+                 x = b.item;\n\
+                 b.item = db.getFile(\"a\");\n\
+                 y = x;\n\
+             }"
+            .to_owned(),
+        )];
+        let capped = PipelineOptions {
+            pta: uspec_pta::PtaOptions {
+                max_passes: 1,
+                ..uspec_pta::PtaOptions::default()
+            },
+            ..PipelineOptions::default()
+        };
+        let result = run_pipeline(&sources, &table, &capped);
+        assert_eq!(result.corpus.failures, 0, "the file itself analyzes");
+        assert_eq!(result.corpus.non_converged, 1);
+        assert_eq!(result.corpus.totals().non_converged, 1);
+        let d = result
+            .corpus
+            .diagnostics
+            .iter()
+            .find(|d| matches!(d.kind, DiagnosticKind::NonConverged { .. }))
+            .expect("non-convergence diagnostic recorded");
+        assert_eq!(d.file, "feedback.u");
+        let DiagnosticKind::NonConverged { ref func, passes } = d.kind else {
+            unreachable!()
+        };
+        assert_eq!(func, "main");
+        assert_eq!(passes, 1);
+        assert!(d.to_string().contains("not converged"), "{d}");
+
+        // At the default cap the same corpus converges cleanly.
+        let ok = run_pipeline(&sources, &table, &PipelineOptions::default());
+        assert_eq!(ok.corpus.non_converged, 0);
+        assert!(ok.corpus.diagnostics.is_empty());
     }
 }
 

@@ -47,25 +47,57 @@ impl std::fmt::Display for AnalysisStage {
     }
 }
 
-/// A structured record of one file that failed analysis.
+/// What went wrong (or was degraded) while analyzing one file.
+#[derive(Clone, Debug)]
+pub enum DiagnosticKind {
+    /// The frontend rejected the file; it contributes no graphs.
+    Frontend {
+        /// Which stage rejected the file.
+        stage: AnalysisStage,
+        /// The underlying frontend error.
+        error: LangError,
+    },
+    /// One function body's points-to analysis hit the `max_passes` cap
+    /// before reaching its fixpoint. The truncated (sound-but-incomplete)
+    /// result is still used, but the aliasing it reports may be missing
+    /// facts — previously this was silently indistinguishable from a
+    /// converged run.
+    NonConverged {
+        /// The entry function whose body was truncated.
+        func: String,
+        /// Rounds/passes executed before giving up (= `max_passes`).
+        passes: usize,
+    },
+}
+
+/// A structured record of one file that failed — or only partially
+/// completed — analysis.
 ///
-/// Replaces the old `analyze_source(..).ok()` silent swallowing: failures
-/// are still skipped (a corpus file that does not parse carries no
-/// training signal), but the *first* `max_diagnostics` of them are kept in
+/// Replaces the old `analyze_source(..).ok()` silent swallowing: frontend
+/// failures are still skipped (a corpus file that does not parse carries no
+/// training signal) and non-converged bodies still contribute their
+/// truncated graphs, but the *first* `max_diagnostics` records are kept in
 /// [`CorpusStats::diagnostics`] so corpus problems are visible.
 #[derive(Clone, Debug)]
 pub struct AnalysisDiagnostic {
     /// File name as reported by the corpus source.
     pub file: String,
-    /// Which stage rejected the file.
-    pub stage: AnalysisStage,
-    /// The underlying frontend error.
-    pub error: LangError,
+    /// What happened.
+    pub kind: DiagnosticKind,
 }
 
 impl std::fmt::Display for AnalysisDiagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {} error: {}", self.file, self.stage, self.error)
+        match &self.kind {
+            DiagnosticKind::Frontend { stage, error } => {
+                write!(f, "{}: {} error: {}", self.file, stage, error)
+            }
+            DiagnosticKind::NonConverged { func, passes } => write!(
+                f,
+                "{}: fn {}: points-to analysis not converged after {} passes",
+                self.file, func, passes
+            ),
+        }
     }
 }
 
@@ -100,9 +132,20 @@ fn content_hash(src: &str) -> u64 {
     h.finish()
 }
 
-/// Per-file frontend outcome: event graphs, or the stage and error that
-/// rejected the file.
-type FileAnalysis = Result<Vec<EventGraph>, (AnalysisStage, LangError)>;
+/// Per-file frontend outcome: an [`AnalyzedFile`], or the stage and error
+/// that rejected the file.
+type FileAnalysis = Result<AnalyzedFile, (AnalysisStage, LangError)>;
+
+/// One successfully analyzed file: its event graphs plus any bodies whose
+/// points-to analysis was truncated at the pass cap.
+#[derive(Debug, Default)]
+pub struct AnalyzedFile {
+    /// One event graph per entry function.
+    pub graphs: Vec<EventGraph>,
+    /// `(function name, passes executed)` for each body whose analysis hit
+    /// `max_passes` without converging.
+    pub non_converged: Vec<(String, usize)>,
+}
 
 /// One shard's analysis output: event graphs grouped per file, tagged with
 /// the file's stable corpus index.
@@ -166,22 +209,30 @@ impl<'a> AnalyzeStage<'a> {
         let mut out = AnalyzedShard::default();
         for (idx, name, result) in results {
             match result {
-                Ok(graphs) => {
+                Ok(file) => {
                     stats.files += 1;
-                    stats.graphs += graphs.len();
-                    for g in &graphs {
+                    stats.graphs += file.graphs.len();
+                    for g in &file.graphs {
                         stats.events += g.num_events();
                         stats.edges += g.num_edges();
                     }
-                    out.graphs.push((idx, graphs));
+                    stats.non_converged += file.non_converged.len();
+                    for (func, passes) in file.non_converged {
+                        if stats.diagnostics.len() < self.opts.max_diagnostics {
+                            stats.diagnostics.push(AnalysisDiagnostic {
+                                file: name.to_owned(),
+                                kind: DiagnosticKind::NonConverged { func, passes },
+                            });
+                        }
+                    }
+                    out.graphs.push((idx, file.graphs));
                 }
                 Err((stage, error)) => {
                     stats.failures += 1;
                     if stats.diagnostics.len() < self.opts.max_diagnostics {
                         stats.diagnostics.push(AnalysisDiagnostic {
                             file: name.to_owned(),
-                            stage,
-                            error,
+                            kind: DiagnosticKind::Frontend { stage, error },
                         });
                     }
                 }

@@ -1,0 +1,386 @@
+//! The constraint IR: a one-time lowering of a MIR body into sparse
+//! points-to constraints with static use-def edges.
+//!
+//! Bodies are acyclic with forward-only edges and the flow-sensitive
+//! environment performs strong updates, so the set a use observes is
+//! exactly the union over its *reaching definitions* — a property of the
+//! CFG alone, independent of any points-to facts. [`ConstraintGraph::build`]
+//! computes those reaching-def lists by symbolically replaying the naive
+//! engine's block walk over definition ids instead of points-to sets:
+//! blocks in index order, strong updates kill the def list, block joins
+//! union them. Unreachable blocks contribute no constraints, mirroring the
+//! naive engine, which never visits them.
+//!
+//! What remains dynamic at solve time is only the heap: which `(obj,
+//! field)` keys a Load or Call touches depends on points-to facts, so
+//! those dependency edges are discovered during evaluation (see
+//! [`solver`](crate::solver)) rather than lowered here. Ghost constraints
+//! are in this sense materialized dynamically — a GhostW/GhostR edge
+//! exists per `(obj, ghost-field)` key the call actually reaches.
+
+use uspec_lang::mir::{Body, CallSite, Instr, Literal, Terminator};
+use uspec_lang::registry::MethodId;
+use uspec_lang::Symbol;
+
+/// Index of a definition: `0..num_params` are the parameter seeds, the
+/// rest are instruction destinations in program order.
+pub(crate) type DefId = u32;
+
+/// Index of a constraint, in program order. Program order doubles as the
+/// solver's sweep order, which is what aligns worklist rounds with naive
+/// passes.
+pub(crate) type Cid = u32;
+
+/// What an allocation constraint allocates.
+#[derive(Debug)]
+pub(crate) enum AllocWhat {
+    /// `new C()`.
+    New {
+        /// Allocated class.
+        class: Symbol,
+        /// Whether it is user-defined.
+        user: bool,
+    },
+    /// A literal construction.
+    Lit(Literal),
+    /// An unresolved operation.
+    Opaque,
+}
+
+/// The rule a constraint applies (the Tab. 2 rule name in brackets).
+#[derive(Debug)]
+pub(crate) enum CKind {
+    /// [Alloc] `dst = fresh object at site`.
+    Alloc {
+        /// What is allocated.
+        what: AllocWhat,
+        /// The allocation site.
+        site: CallSite,
+    },
+    /// [Assign] `dst = union of slot 0`.
+    Copy,
+    /// [FieldR] `dst = π(o, field)` for each `o` in slot 0.
+    Load {
+        /// The real field name.
+        field: Symbol,
+    },
+    /// [FieldW] `π(o, field) ∪= slot 1` for each `o` in slot 0.
+    Store {
+        /// The real field name.
+        field: Symbol,
+    },
+    /// `dst = ∅` (untracked booleans from Cmp/Not).
+    Untracked,
+    /// [GhostW]/[GhostR]/fallback: an API call. Slot 0 is the receiver
+    /// when `has_recv`; remaining slots are the 1-based arguments.
+    Call {
+        /// The method identifier.
+        method: MethodId,
+        /// The call site.
+        site: CallSite,
+        /// Whether slot 0 is the receiver.
+        has_recv: bool,
+    },
+}
+
+/// One lowered constraint.
+#[derive(Debug)]
+pub(crate) struct Constraint {
+    /// The rule.
+    pub kind: CKind,
+    /// The definition this constraint produces, if any.
+    pub dst: Option<DefId>,
+    /// Operand slots; each slot is the sorted list of definitions reaching
+    /// that use.
+    pub ins: Vec<Vec<DefId>>,
+}
+
+/// The lowered body: constraints in program order plus the def→reader
+/// index the solver propagates deltas along.
+#[derive(Debug)]
+pub(crate) struct ConstraintGraph {
+    /// Number of parameter definitions (def ids `0..num_params`).
+    pub num_params: usize,
+    /// Total number of definitions.
+    pub num_defs: usize,
+    /// Constraints in program order.
+    pub constraints: Vec<Constraint>,
+    /// For each def, the constraints reading it (ascending, deduped).
+    pub readers: Vec<Vec<Cid>>,
+}
+
+impl ConstraintGraph {
+    /// Lowers a body. Only reachable blocks contribute constraints.
+    pub(crate) fn build(body: &Body) -> ConstraintGraph {
+        let nvars = body.num_vars();
+        let nparams = body.params.len();
+        let mut num_defs = nparams as u32;
+        let mut constraints: Vec<Constraint> = Vec::new();
+
+        // Reaching definitions per variable, propagated exactly like the
+        // naive engine propagates points-to environments.
+        type DefEnv = Vec<Vec<DefId>>;
+        let mut entry: Vec<Option<DefEnv>> = vec![None; body.blocks.len()];
+        let mut init: DefEnv = vec![Vec::new(); nvars];
+        for (i, &var) in body.params.iter().enumerate() {
+            init[var.0 as usize] = vec![i as DefId];
+        }
+        entry[0] = Some(init);
+
+        for bb in 0..body.blocks.len() {
+            let Some(mut env) = entry[bb].take() else {
+                continue;
+            };
+            for instr in &body.blocks[bb].instrs {
+                let (kind, ins) = match instr {
+                    Instr::New {
+                        class,
+                        site,
+                        user_class,
+                        ..
+                    } => (
+                        CKind::Alloc {
+                            what: AllocWhat::New {
+                                class: *class,
+                                user: *user_class,
+                            },
+                            site: *site,
+                        },
+                        Vec::new(),
+                    ),
+                    Instr::Lit { value, site, .. } => (
+                        CKind::Alloc {
+                            what: AllocWhat::Lit(*value),
+                            site: *site,
+                        },
+                        Vec::new(),
+                    ),
+                    Instr::Opaque { site, .. } => (
+                        CKind::Alloc {
+                            what: AllocWhat::Opaque,
+                            site: *site,
+                        },
+                        Vec::new(),
+                    ),
+                    Instr::Copy { src, .. } => (CKind::Copy, vec![env[src.0 as usize].clone()]),
+                    Instr::FieldLoad { obj, field, .. } => (
+                        CKind::Load { field: *field },
+                        vec![env[obj.0 as usize].clone()],
+                    ),
+                    Instr::FieldStore { obj, field, src } => (
+                        CKind::Store { field: *field },
+                        vec![env[obj.0 as usize].clone(), env[src.0 as usize].clone()],
+                    ),
+                    Instr::Cmp { .. } | Instr::Not { .. } => (CKind::Untracked, Vec::new()),
+                    Instr::CallApi {
+                        method,
+                        recv,
+                        args,
+                        site,
+                        ..
+                    } => {
+                        let mut ins: Vec<Vec<DefId>> = Vec::with_capacity(args.len() + 1);
+                        if let Some(r) = recv {
+                            ins.push(env[r.0 as usize].clone());
+                        }
+                        for a in args {
+                            ins.push(env[a.0 as usize].clone());
+                        }
+                        (
+                            CKind::Call {
+                                method: *method,
+                                site: *site,
+                                has_recv: recv.is_some(),
+                            },
+                            ins,
+                        )
+                    }
+                };
+                // Strong update: the destination's reaching defs collapse
+                // to this one (inputs were snapshotted above, so `x = x.m()`
+                // still reads the old defs of `x`).
+                let dst = instr.def().map(|v| {
+                    let d = num_defs;
+                    num_defs += 1;
+                    env[v.0 as usize] = vec![d];
+                    d
+                });
+                constraints.push(Constraint { kind, dst, ins });
+            }
+            let succs: Vec<u32> = match &body.blocks[bb].term {
+                Terminator::Goto(t) => vec![t.0],
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => vec![then_bb.0, else_bb.0],
+                Terminator::Return => vec![],
+            };
+            for s in succs {
+                match &mut entry[s as usize] {
+                    Some(dest) => {
+                        for (d, src) in dest.iter_mut().zip(&env) {
+                            merge_defs(d, src);
+                        }
+                    }
+                    slot @ None => *slot = Some(env.clone()),
+                }
+            }
+        }
+
+        let mut readers: Vec<Vec<Cid>> = vec![Vec::new(); num_defs as usize];
+        for (cid, c) in constraints.iter().enumerate() {
+            for slot in &c.ins {
+                for &d in slot {
+                    let r = &mut readers[d as usize];
+                    if r.last() != Some(&(cid as Cid)) {
+                        r.push(cid as Cid);
+                    }
+                }
+            }
+        }
+
+        ConstraintGraph {
+            num_params: nparams,
+            num_defs: num_defs as usize,
+            constraints,
+            readers,
+        }
+    }
+}
+
+/// Unions sorted def list `src` into sorted def list `dst`.
+fn merge_defs(dst: &mut Vec<DefId>, src: &[DefId]) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.is_empty() {
+        dst.extend_from_slice(src);
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + src.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < src.len() {
+        match dst[i].cmp(&src[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(dst[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(src[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(dst[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    merged.extend_from_slice(&src[j..]);
+    *dst = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+
+    fn build(src: &str) -> ConstraintGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        ConstraintGraph::build(&body)
+    }
+
+    #[test]
+    fn straight_line_defs_chain_forward() {
+        let cg = build("fn main(db) { x = db.a(); y = x.b(); }");
+        assert_eq!(cg.num_params, 1);
+        // Two calls, each defining one value.
+        let calls: Vec<&Constraint> = cg
+            .constraints
+            .iter()
+            .filter(|c| matches!(c.kind, CKind::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 2);
+        // The second call's receiver is a single def (possibly a Copy of
+        // the first call's result — lowering may insert temporaries).
+        assert_eq!(calls[1].ins[0].len(), 1);
+        // Def-flow edges are strictly forward: a constraint only reads
+        // defs produced by earlier constraints (or parameters).
+        for (cid, c) in cg.constraints.iter().enumerate() {
+            for slot in &c.ins {
+                for &d in slot {
+                    assert!(
+                        (d as usize) < cg.num_params
+                            || cg.constraints[..cid].iter().any(|p| p.dst == Some(d)),
+                        "constraint {cid} reads def {d} from the future"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_updates_kill_reaching_defs() {
+        let cg = build("fn main() { x = new A(); x = new B(); x.use1(); }");
+        let call = cg
+            .constraints
+            .iter()
+            .find(|c| matches!(c.kind, CKind::Call { .. }))
+            .unwrap();
+        // Only the B allocation reaches the call.
+        assert_eq!(call.ins[0].len(), 1, "strong update killed the A def");
+    }
+
+    #[test]
+    fn branch_joins_union_reaching_defs() {
+        let cg =
+            build("fn main(db, c) { if (c) { x = db.a(); } else { x = db.b(); } y = x.use1(); }");
+        let last_call = cg
+            .constraints
+            .iter()
+            .rev()
+            .find(|c| matches!(c.kind, CKind::Call { .. }))
+            .unwrap();
+        assert_eq!(last_call.ins[0].len(), 2, "both branch defs reach the join");
+    }
+
+    #[test]
+    fn readers_index_is_sorted_and_complete() {
+        let cg = build("fn main(db, c) { x = db.a(); if (c) { y = x.b(); } z = x.d(); }");
+        for (d, rs) in cg.readers.iter().enumerate() {
+            assert!(rs.windows(2).all(|w| w[0] < w[1]), "readers sorted");
+            for &cid in rs {
+                assert!(cg.constraints[cid as usize]
+                    .ins
+                    .iter()
+                    .any(|slot| slot.contains(&(d as DefId))));
+            }
+        }
+        // Every use is indexed.
+        for (cid, c) in cg.constraints.iter().enumerate() {
+            for slot in &c.ins {
+                for &d in slot {
+                    assert!(cg.readers[d as usize].contains(&(cid as Cid)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_defs_unions_sorted_lists() {
+        let mut a = vec![1, 3, 5];
+        merge_defs(&mut a, &[2, 3, 6]);
+        assert_eq!(a, vec![1, 2, 3, 5, 6]);
+        let mut b: Vec<DefId> = vec![];
+        merge_defs(&mut b, &[4]);
+        assert_eq!(b, vec![4]);
+        merge_defs(&mut b, &[]);
+        assert_eq!(b, vec![4]);
+    }
+}

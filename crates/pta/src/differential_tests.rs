@@ -1,0 +1,217 @@
+//! Differential tests pinning the worklist solver to the naive engine.
+//!
+//! The worklist engine's contract is *byte-identical* [`Pta`] results —
+//! same object pool (including [`crate::ObjId`] numbering), same heap,
+//! same records, same entry environments — on every body, spec database,
+//! ghost mode and pass cap. These tests enforce that contract over
+//! proptest-randomized program templates; the corpus-wide differential
+//! run lives in `crates/clients/tests/engine_differential.rs` (the
+//! corpus generator dev-depends on this crate, which would alias the
+//! `Spec` type here).
+//!
+//! Stats are intentionally *not* compared: the engines measure different
+//! work. The only verdict relationship checked is that the solver never
+//! claims non-convergence where the naive engine converged — the naive
+//! engine needs one extra (no-op) pass to *observe* a fixpoint, so at an
+//! exactly-tight `max_passes` cap it may conservatively report `false`
+//! where the solver proves `true`.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use uspec_lang::lower::{lower_program, LowerOptions};
+use uspec_lang::mir::Body;
+use uspec_lang::parser::parse;
+use uspec_lang::registry::{ApiTable, MethodId};
+
+use crate::engine::{EngineKind, GhostMode, Pta, PtaOptions};
+use crate::specdb::{Spec, SpecDb};
+
+/// Runs both engines and asserts the results are byte-identical.
+fn assert_engines_agree(body: &Body, specs: &SpecDb, opts: &PtaOptions, ctx: &str) {
+    let naive = Pta::run(
+        body,
+        specs,
+        &PtaOptions {
+            engine: EngineKind::Naive,
+            ..opts.clone()
+        },
+    );
+    let wl = Pta::run(
+        body,
+        specs,
+        &PtaOptions {
+            engine: EngineKind::Worklist,
+            ..opts.clone()
+        },
+    );
+    assert_eq!(naive.objs, wl.objs, "{ctx}: object pools differ");
+    assert_eq!(naive.heap, wl.heap, "{ctx}: heaps differ");
+    assert_eq!(naive.records, wl.records, "{ctx}: records differ");
+    assert_eq!(naive.entry_envs, wl.entry_envs, "{ctx}: entry envs differ");
+    assert!(
+        naive.stats.converged <= wl.stats.converged,
+        "{ctx}: solver claims non-convergence where naive converged"
+    );
+}
+
+/// Specs exercising all three spec kinds against the template methods.
+fn template_specs() -> SpecDb {
+    SpecDb::from_specs([
+        Spec::RetArg {
+            target: MethodId::new("HashMap", "get", 1),
+            source: MethodId::new("HashMap", "put", 2),
+            x: 2,
+        },
+        Spec::RetRecv {
+            method: MethodId::new("StringBuilder", "append", 1),
+        },
+        Spec::RetSame {
+            method: MethodId::new("?", "get", 1),
+        },
+        Spec::RetSame {
+            method: MethodId::new("?", "use1", 0),
+        },
+    ])
+}
+
+/// Statement templates over a fixed variable set; scoping is correct by
+/// construction (the prelude assigns every variable).
+fn gen_stmts(depth: usize) -> BoxedStrategy<Vec<String>> {
+    let var = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    let key = prop_oneof![
+        Just("\"k\""),
+        Just("\"x\""),
+        Just("7"),
+        Just("true"),
+        Just("null")
+    ];
+
+    let put = (key.clone(), var.clone()).prop_map(|(k, v)| format!("map.put({k}, {v});"));
+    let get = (var.clone(), key.clone()).prop_map(|(v, k)| format!("{v} = map.get({k});"));
+    // Reads the key through an unknown value — exercises ⊤/⊥ in coverage
+    // mode and the empty-combo path in base mode.
+    let get_unknown = var
+        .clone()
+        .prop_map(|v| format!("{v} = map.get(root.mk());"));
+    let append = (var.clone(), var.clone()).prop_map(|(v, w)| format!("{v} = sb.append({w});"));
+    let alloc = var.clone().prop_map(|v| format!("{v} = new T();"));
+    let root_call = (var.clone(), key.clone()).prop_map(|(v, k)| format!("{v} = root.get({k});"));
+    let use_call = (var.clone(), var.clone()).prop_map(|(v, w)| format!("{v} = {w}.use1();"));
+    let copy = (var.clone(), var.clone()).prop_map(|(v, w)| format!("{v} = {w};"));
+    let field_store = var.clone().prop_map(|v| format!("box1.item = {v};"));
+    let field_load = var.clone().prop_map(|v| format!("{v} = box1.item;"));
+    let cmp =
+        (var.clone(), var.clone(), var.clone()).prop_map(|(v, w, u)| format!("{v} = {w} == {u};"));
+
+    let leaf = prop_oneof![
+        3 => put,
+        3 => get,
+        1 => get_unknown,
+        2 => append,
+        2 => alloc,
+        2 => root_call,
+        2 => use_call,
+        2 => copy,
+        1 => field_store,
+        1 => field_load,
+        1 => cmp
+    ];
+    if depth == 0 {
+        return proptest::collection::vec(leaf, 1..5).boxed();
+    }
+    let nested = gen_stmts(depth - 1);
+    let wrapped = (nested, any::<bool>(), any::<bool>()).prop_map(|(inner, use_while, negate)| {
+        let body = inner.join("\n");
+        let cond = if negate { "!flag" } else { "flag" };
+        if use_while {
+            format!("while ({cond}) {{ {body} }}")
+        } else {
+            format!("if ({cond}) {{ {body} }} else {{ {body} }}")
+        }
+    });
+    proptest::collection::vec(prop_oneof![3 => leaf, 1 => wrapped], 1..6).boxed()
+}
+
+fn template_body(stmts: &[String]) -> Body {
+    let src = format!(
+        "class Box {{ fn noop(self) {{ return self; }} }}\n\
+         fn main(root, flag) {{\n\
+         map = new HashMap();\n\
+         sb = new StringBuilder();\n\
+         box1 = new Box();\n\
+         a = root.mk();\nb = root.mk();\nc = root.mk();\nd = root.mk();\n\
+         {}\n}}",
+        stmts.join("\n")
+    );
+    let program = parse(&src).expect("template parses");
+    lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+        .expect("template lowers")
+        .pop()
+        .expect("one body")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn worklist_matches_naive_on_random_bodies(
+        stmts in gen_stmts(2),
+        coverage in any::<bool>(),
+        with_specs in any::<bool>(),
+        max_passes in prop_oneof![Just(1usize), Just(2), Just(64)],
+    ) {
+        let body = template_body(&stmts);
+        let specs = if with_specs { template_specs() } else { SpecDb::empty() };
+        let opts = PtaOptions {
+            ghost_mode: if coverage { GhostMode::Coverage } else { GhostMode::Base },
+            max_passes,
+            ..PtaOptions::default()
+        };
+        assert_engines_agree(&body, &specs, &opts, "proptest");
+    }
+}
+
+#[test]
+fn read_before_write_needs_two_rounds_in_both_engines() {
+    // `get` precedes `put`, so the value flows backwards through the heap:
+    // both engines need a second round/pass, and at cap 1 both must
+    // report non-convergence with identical (truncated) results.
+    let src = r#"
+        fn main(db) {
+            m = new HashMap();
+            x = m.get("k");
+            m.put("k", db.a());
+            y = x.use1();
+        }
+    "#;
+    let program = parse(src).unwrap();
+    let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+        .unwrap()
+        .pop()
+        .unwrap();
+    let specs = SpecDb::from_specs([Spec::RetArg {
+        target: MethodId::new("HashMap", "get", 1),
+        source: MethodId::new("HashMap", "put", 2),
+        x: 2,
+    }]);
+    for max_passes in [1usize, 2, 64] {
+        let opts = PtaOptions {
+            max_passes,
+            ..PtaOptions::default()
+        };
+        assert_engines_agree(&body, &specs, &opts, &format!("cap{max_passes}"));
+    }
+    let wl = Pta::run(&body, &specs, &PtaOptions::default());
+    assert!(wl.stats.converged);
+    assert!(wl.stats.passes >= 2, "heap feedback needs a second round");
+    let capped = Pta::run(
+        &body,
+        &specs,
+        &PtaOptions {
+            max_passes: 1,
+            ..PtaOptions::default()
+        },
+    );
+    assert!(!capped.stats.converged, "cap 1 truncates the fixpoint");
+}

@@ -1,19 +1,30 @@
-//! The flow-sensitive Andersen-style points-to engine.
+//! Points-to engine front door: result types, options and the shared
+//! deduction-rule semantics.
 //!
-//! The engine analyzes one acyclic [`Body`] at a time. Local variables `ρ`
+//! The analysis runs one acyclic [`Body`] at a time. Local variables `ρ`
 //! are tracked flow-sensitively per basic block (strong updates on
 //! assignment); the heap `π` is global and flow-insensitive, as in classic
-//! Andersen analysis [Andersen 1994]. Because ghost-field reads may observe
-//! writes from later program points (and GhostR may allocate fresh objects),
-//! the engine iterates full passes until the heap stabilizes.
-//!
-//! The deduction rules implemented here are exactly Tab. 2 of the paper:
-//! Alloc, Assign, FieldW, FieldR plus the spec-driven GhostW/GhostR rules,
-//! with the App. A ⊤/⊥ extension available behind
+//! Andersen analysis [Andersen 1994]. The deduction rules are exactly
+//! Tab. 2 of the paper: Alloc, Assign, FieldW, FieldR plus the spec-driven
+//! GhostW/GhostR rules, with the App. A ⊤/⊥ extension available behind
 //! [`GhostMode::Coverage`].
+//!
+//! Two engines solve those rules to the same fixpoint:
+//!
+//! * [`EngineKind::Naive`] ([`naive`](crate::naive)) — the rule-by-rule
+//!   reference implementation: full passes over every instruction until
+//!   the heap stabilizes.
+//! * [`EngineKind::Worklist`] ([`constraints`](crate::constraints) +
+//!   [`solver`](crate::solver)) — the body is lowered once into a
+//!   constraint IR and only constraints whose inputs changed are
+//!   re-evaluated. Byte-identical results, far fewer rule evaluations.
+//!
+//! The call-rule semantics both engines share ([`eval_call`]) lives here so
+//! the two implementations can only differ in *which* rules they evaluate
+//! *when*, never in what a rule does.
 
 use std::collections::BTreeSet;
-use uspec_lang::mir::{Body, CallSite, Instr, Terminator, Var};
+use uspec_lang::mir::{Body, CallSite, Var};
 use uspec_lang::registry::{MethodId, VarType};
 
 use crate::heap::{FieldKey, GhostField, Heap};
@@ -38,6 +49,41 @@ pub enum GhostMode {
     Coverage,
 }
 
+/// Which fixpoint engine solves the deduction rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Rule-by-rule reference implementation: repeated full passes over
+    /// every instruction. Kept for differential testing and ablation.
+    Naive,
+    /// Constraint-IR worklist solver propagating points-to deltas.
+    /// Produces byte-identical [`Pta`] results to [`EngineKind::Naive`].
+    #[default]
+    Worklist,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Naive => write!(f, "naive"),
+            EngineKind::Worklist => write!(f, "worklist"),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "naive" => Ok(EngineKind::Naive),
+            "worklist" => Ok(EngineKind::Worklist),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'naive' or 'worklist')"
+            )),
+        }
+    }
+}
+
 /// Engine options.
 #[derive(Clone, Debug)]
 pub struct PtaOptions {
@@ -46,13 +92,16 @@ pub struct PtaOptions {
     /// Cap on the cross product of argument value sets used to build ghost
     /// field names.
     pub max_value_combos: usize,
-    /// Safety bound on fixpoint passes.
+    /// Safety bound on fixpoint passes (naive) / delta rounds (worklist).
     pub max_passes: usize,
     /// Flow-sensitive `ρ` with strong updates (the paper's configuration).
     /// When false, every assignment is a weak update and block order is
     /// ignored — classic flow-insensitive Andersen, kept as a
-    /// precision-ablation mode.
+    /// precision-ablation mode. The worklist IR encodes the flow-sensitive
+    /// kill structure, so this mode always runs on the naive engine.
     pub flow_sensitive: bool,
+    /// Which fixpoint engine to use.
+    pub engine: EngineKind,
 }
 
 impl Default for PtaOptions {
@@ -62,14 +111,37 @@ impl Default for PtaOptions {
             max_value_combos: 16,
             max_passes: 64,
             flow_sensitive: true,
+            engine: EngineKind::Worklist,
         }
     }
+}
+
+/// Convergence and effort statistics for one analysis run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PtaStats {
+    /// The engine that actually solved the fixpoint (flow-insensitive runs
+    /// always report [`EngineKind::Naive`]).
+    pub engine: EngineKind,
+    /// Fixpoint passes (naive) or delta rounds (worklist) until the heap
+    /// stabilized or the `max_passes` cap was hit.
+    pub passes: usize,
+    /// Individual rule evaluations during solving; the final recording
+    /// pass is not counted. This is the work metric the worklist engine
+    /// minimizes — the naive engine re-evaluates every reachable
+    /// instruction each pass.
+    pub propagations: usize,
+    /// Size of the lowered constraint IR (0 for the naive engine, which
+    /// interprets the MIR directly).
+    pub constraints: usize,
+    /// Whether the heap truly stabilized. `false` means the `max_passes`
+    /// cap truncated the fixpoint and the result is an under-approximation.
+    pub converged: bool,
 }
 
 /// The result of one instruction, recorded during the final pass so that
 /// downstream passes (event-graph construction, clients) can replay the
 /// analysis without re-implementing the transfer functions.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InstrRecord {
     /// An allocation (`new`, literal, opaque).
     Alloc {
@@ -85,7 +157,7 @@ pub enum InstrRecord {
 }
 
 /// Observed points-to information at one API call instruction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CallRecord {
     /// The call site `m`.
     pub site: CallSite,
@@ -102,7 +174,7 @@ pub struct CallRecord {
 }
 
 /// The converged analysis result for one body.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Pta {
     /// All abstract objects.
     pub objs: ObjPool,
@@ -113,8 +185,8 @@ pub struct Pta {
     pub records: Vec<Vec<InstrRecord>>,
     /// Entry environment of each reachable block.
     pub entry_envs: Vec<Option<Env>>,
-    /// Number of fixpoint passes until convergence.
-    pub passes: usize,
+    /// Solver statistics, including the real convergence verdict.
+    pub stats: PtaStats,
 }
 
 impl Pta {
@@ -123,32 +195,14 @@ impl Pta {
     /// With [`SpecDb::empty`] this is the paper's API-unaware baseline: API
     /// calls return fresh objects that alias nothing.
     pub fn run(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
-        let mut engine = Engine {
-            body,
-            specs,
-            opts,
-            objs: ObjPool::new(),
-            heap: Heap::new(),
-            fi_env: (!opts.flow_sensitive).then(|| vec![PtsSet::new(); body.num_vars()]),
-        };
-        let mut passes = 0;
-        loop {
-            passes += 1;
-            let grew = engine.pass(None);
-            if (!engine.heap.take_dirty() && !grew) || passes >= opts.max_passes {
-                break;
-            }
+        if !opts.flow_sensitive {
+            // The flow-insensitive ablation (persistent weak-update env)
+            // has no kill structure to exploit; it always runs naively.
+            return crate::naive::solve(body, specs, opts);
         }
-        // Final recording pass over the converged heap.
-        let mut records: Vec<Vec<InstrRecord>> = vec![Vec::new(); body.blocks.len()];
-        let entry_envs = engine.pass_record(&mut records);
-        engine.heap.take_dirty();
-        Pta {
-            objs: engine.objs,
-            heap: engine.heap,
-            records,
-            entry_envs,
-            passes,
+        match opts.engine {
+            EngineKind::Naive => crate::naive::solve(body, specs, opts),
+            EngineKind::Worklist => crate::solver::solve(body, specs, opts),
         }
     }
 
@@ -175,108 +229,23 @@ impl Pta {
     }
 }
 
-struct Engine<'a> {
-    body: &'a Body,
-    specs: &'a SpecDb,
-    opts: &'a PtaOptions,
-    objs: ObjPool,
-    heap: Heap,
-    /// Persistent environment for the flow-insensitive mode.
-    fi_env: Option<Env>,
-}
-
-impl<'a> Engine<'a> {
-    /// Runs one forward pass, returning whether the flow-insensitive
-    /// environment grew (always false in flow-sensitive mode, where envs
-    /// are recomputed per pass and convergence is heap-driven).
-    fn pass(&mut self, records: Option<&mut Vec<Vec<InstrRecord>>>) -> bool {
-        if self.opts.flow_sensitive {
-            self.pass_fs(records);
-            false
-        } else {
-            let before: usize = self
-                .fi_env
-                .as_ref()
-                .expect("fi env present")
-                .iter()
-                .map(|s| s.len())
-                .sum();
-            let mut env = self.fi_env.take().expect("fi env present");
-            // Seed entry parameters (idempotent).
-            for (i, (&var, &ty)) in self
-                .body
-                .params
-                .iter()
-                .zip(&self.body.param_types)
-                .enumerate()
-            {
-                let class = match ty {
-                    VarType::Api(c) | VarType::User(c) => Some(c),
-                    _ => None,
-                };
-                let obj = self.objs.intern(AbsObj {
-                    site: CallSite {
-                        node: uspec_lang::NodeId(u32::MAX - i as u32),
-                        ctx: uspec_lang::mir::CtxId(0),
-                    },
-                    kind: ObjKind::Param {
-                        index: i as u8,
-                        class,
-                    },
-                });
-                env[var.0 as usize].insert(obj);
-            }
-            let mut recs = records;
-            for bb in 0..self.body.blocks.len() {
-                let mut block_recs = recs.as_ref().map(|_| Vec::new());
-                for instr in &self.body.blocks[bb].instrs {
-                    let rec = self.transfer(instr, &mut env, block_recs.is_some());
-                    if let Some(rs) = block_recs.as_mut() {
-                        rs.push(rec);
-                    }
-                }
-                if let (Some(out), Some(rs)) = (recs.as_deref_mut(), block_recs) {
-                    out[bb] = rs;
-                }
-            }
-            let after: usize = env.iter().map(|s| s.len()).sum();
-            self.fi_env = Some(env);
-            after > before
-        }
-    }
-
-    /// Final pass with record collection; returns block entry envs.
-    fn pass_record(&mut self, records: &mut Vec<Vec<InstrRecord>>) -> Vec<Option<Env>> {
-        if self.opts.flow_sensitive {
-            self.pass_fs(Some(records))
-        } else {
-            self.pass(Some(records));
-            let env = self.fi_env.clone().expect("fi env present");
-            vec![Some(env); 1]
-        }
-    }
-
-    /// Flow-sensitive forward pass over the acyclic body, returning block
-    /// entry environments. If `records` is given, fills it with
-    /// per-instruction observations.
-    fn pass_fs(&mut self, mut records: Option<&mut Vec<Vec<InstrRecord>>>) -> Vec<Option<Env>> {
-        let nblocks = self.body.blocks.len();
-        let nvars = self.body.num_vars();
-        let mut entry: Vec<Option<Env>> = vec![None; nblocks];
-
-        let mut init = vec![PtsSet::new(); nvars];
-        for (i, (&var, &ty)) in self
-            .body
-            .params
-            .iter()
-            .zip(&self.body.param_types)
-            .enumerate()
-        {
+/// Interns the fresh abstract objects standing for the entry parameters, in
+/// declaration order, returning `(param var, object)` pairs.
+///
+/// Both engines must call this before evaluating any instruction so that
+/// parameter objects occupy the same low [`ObjId`]s — part of the
+/// byte-identity contract between the engines.
+pub(crate) fn intern_params(body: &Body, objs: &mut ObjPool) -> Vec<(Var, ObjId)> {
+    body.params
+        .iter()
+        .zip(&body.param_types)
+        .enumerate()
+        .map(|(i, (&var, &ty))| {
             let class = match ty {
                 VarType::Api(c) | VarType::User(c) => Some(c),
                 _ => None,
             };
-            let obj = self.objs.intern(AbsObj {
+            let obj = objs.intern(AbsObj {
                 site: CallSite {
                     node: uspec_lang::NodeId(u32::MAX - i as u32),
                     ctx: uspec_lang::mir::CtxId(0),
@@ -286,264 +255,153 @@ impl<'a> Engine<'a> {
                     class,
                 },
             });
-            init[var.0 as usize].insert(obj);
-        }
-        entry[0] = Some(init);
+            (var, obj)
+        })
+        .collect()
+}
 
-        for bb in 0..nblocks {
-            let Some(env0) = entry[bb].clone() else {
+/// Observer of the heap traffic of one rule evaluation. The worklist
+/// solver uses it to maintain its dynamic `(obj, field) → constraint`
+/// dependency edges; the naive engine plugs in the no-op [`NoTrace`].
+pub(crate) trait HeapTrace {
+    /// `π(obj, key)` was read (the slot may be absent — the dependency
+    /// still matters: a later write creates it).
+    fn read(&mut self, obj: ObjId, key: &FieldKey);
+    /// `π(obj, key)` was written; `changed` says whether the slot grew.
+    fn wrote(&mut self, obj: ObjId, key: &FieldKey, changed: bool);
+}
+
+/// [`HeapTrace`] that records nothing.
+pub(crate) struct NoTrace;
+
+impl HeapTrace for NoTrace {
+    fn read(&mut self, _: ObjId, _: &FieldKey) {}
+    fn wrote(&mut self, _: ObjId, _: &FieldKey, _: bool) {}
+}
+
+/// Applies the call rules of Tab. 2 — RetRecv, GhostW, GhostR and the
+/// API-unaware fresh-object fallback — and returns the call's return set.
+///
+/// This is the shared semantic core: both engines evaluate every API call
+/// through it, so they can only differ in evaluation *order*, never in
+/// what a call does to the heap or the object pool.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_call<T: HeapTrace>(
+    objs: &mut ObjPool,
+    heap: &mut Heap,
+    specs: &SpecDb,
+    opts: &PtaOptions,
+    method: MethodId,
+    site: CallSite,
+    recv_pts: Option<&[ObjId]>,
+    arg_pts: &[Vec<ObjId>],
+    trace: &mut T,
+) -> PtsSet {
+    let mut ret = PtsSet::new();
+    let mut read_applied = false;
+
+    if let Some(rp) = recv_pts {
+        // RetRecv extension: the call may return its receiver.
+        if specs.has_ret_recv(method) {
+            ret.extend(rp.iter().copied());
+            read_applied = true;
+        }
+
+        // GhostW (Tab. 2): spec-driven writes into ghost fields.
+        for &(target, x) in specs.ret_args_from(method) {
+            let x = x as usize;
+            if x == 0 || x > arg_pts.len() {
                 continue;
-            };
-            let mut env = env0;
-            let mut recs = records.as_ref().map(|_| Vec::new());
-            for instr in &self.body.blocks[bb].instrs {
-                let rec = self.transfer(instr, &mut env, recs.is_some());
-                if let Some(rs) = recs.as_mut() {
-                    rs.push(rec);
+            }
+            let stored = &arg_pts[x - 1];
+            if stored.is_empty() {
+                continue;
+            }
+            let other_vals: Vec<Vec<Value>> = arg_pts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != x - 1)
+                .map(|(_, pts)| objs.values_of(pts))
+                .collect();
+            let combos = cross_product(&other_vals, opts.max_value_combos);
+            let mut fields: Vec<GhostField> = combos
+                .into_iter()
+                .map(|vals| GhostField::Named(target, vals))
+                .collect();
+            if opts.ghost_mode == GhostMode::Coverage {
+                if fields.is_empty() {
+                    fields.push(GhostField::Top(target));
                 }
+                fields.push(GhostField::Bot(target));
             }
-            if let (Some(out), Some(rs)) = (records.as_deref_mut(), recs) {
-                out[bb] = rs;
-            }
-            let succs: Vec<u32> = match &self.body.blocks[bb].term {
-                Terminator::Goto(t) => vec![t.0],
-                Terminator::Branch {
-                    then_bb, else_bb, ..
-                } => vec![then_bb.0, else_bb.0],
-                Terminator::Return => vec![],
-            };
-            for s in succs {
-                match &mut entry[s as usize] {
-                    Some(dest) => {
-                        for (d, src) in dest.iter_mut().zip(&env) {
-                            d.extend(src.iter().copied());
-                        }
-                    }
-                    slot @ None => *slot = Some(env.clone()),
+            for o in rp {
+                for f in &fields {
+                    let key = FieldKey::Ghost(f.clone());
+                    let changed = heap.write(*o, key.clone(), stored.iter().copied());
+                    trace.wrote(*o, &key, changed);
                 }
             }
         }
-        entry
-    }
 
-    /// Assigns `set` to `dst`: strong update when flow sensitive, weak
-    /// accumulation otherwise.
-    fn assign(&self, env: &mut Env, dst: Var, set: PtsSet) {
-        if self.opts.flow_sensitive {
-            env[dst.0 as usize] = set;
-        } else {
-            env[dst.0 as usize].extend(set);
-        }
-    }
-
-    fn transfer(&mut self, instr: &Instr, env: &mut Env, record: bool) -> InstrRecord {
-        match instr {
-            Instr::New {
-                dst,
-                class,
-                site,
-                user_class,
-            } => {
-                let obj = self.objs.intern(AbsObj {
-                    site: *site,
-                    kind: ObjKind::New {
-                        class: *class,
-                        user: *user_class,
-                    },
-                });
-                self.assign(env, *dst, PtsSet::from([obj]));
-                InstrRecord::Alloc { dst: *dst, obj }
-            }
-            Instr::Lit { dst, value, site } => {
-                let obj = self.objs.intern(AbsObj {
-                    site: *site,
-                    kind: ObjKind::Lit(*value),
-                });
-                self.assign(env, *dst, PtsSet::from([obj]));
-                InstrRecord::Alloc { dst: *dst, obj }
-            }
-            Instr::Opaque { dst, site } => {
-                let obj = self.objs.intern(AbsObj {
-                    site: *site,
-                    kind: ObjKind::Opaque,
-                });
-                self.assign(env, *dst, PtsSet::from([obj]));
-                InstrRecord::Alloc { dst: *dst, obj }
-            }
-            Instr::Copy { dst, src } => {
-                let set = env[src.0 as usize].clone();
-                self.assign(env, *dst, set);
-                InstrRecord::Other
-            }
-            Instr::FieldLoad { dst, obj, field } => {
-                let mut out = PtsSet::new();
-                for o in env[obj.0 as usize].clone() {
-                    if let Some(pts) = self.heap.read(o, &FieldKey::Real(*field)) {
-                        out.extend(pts.iter().copied());
-                    }
+        // GhostR (Tab. 2): spec-driven reads from ghost fields.
+        if specs.has_ret_same(method) {
+            let arg_vals: Vec<Vec<Value>> = arg_pts.iter().map(|pts| objs.values_of(pts)).collect();
+            let combos = cross_product(&arg_vals, opts.max_value_combos);
+            let mut fields: Vec<GhostField> = combos
+                .into_iter()
+                .map(|vals| GhostField::Named(method, vals))
+                .collect();
+            if opts.ghost_mode == GhostMode::Coverage {
+                if fields.is_empty() {
+                    // ⋆ case of Fig. 9: unknown name reads ⊥.
+                    fields.push(GhostField::Bot(method));
+                } else {
+                    fields.push(GhostField::Top(method));
                 }
-                self.assign(env, *dst, out);
-                InstrRecord::Other
             }
-            Instr::FieldStore { obj, field, src } => {
-                let vals: Vec<ObjId> = env[src.0 as usize].iter().copied().collect();
-                for o in env[obj.0 as usize].clone() {
-                    self.heap
-                        .write(o, FieldKey::Real(*field), vals.iter().copied());
-                }
-                InstrRecord::Other
-            }
-            Instr::Cmp { dst, .. } | Instr::Not { dst, .. } => {
-                env[dst.0 as usize] = PtsSet::new();
-                InstrRecord::Other
-            }
-            Instr::CallApi {
-                dst,
-                method,
-                recv,
-                args,
-                site,
-            } => self.transfer_call(env, *dst, *method, *recv, args, *site, record),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn transfer_call(
-        &mut self,
-        env: &mut Env,
-        dst: Option<Var>,
-        method: MethodId,
-        recv: Option<Var>,
-        args: &[Var],
-        site: CallSite,
-        record: bool,
-    ) -> InstrRecord {
-        let recv_pts: Option<Vec<ObjId>> =
-            recv.map(|r| env[r.0 as usize].iter().copied().collect());
-        let arg_pts: Vec<Vec<ObjId>> = args
-            .iter()
-            .map(|a| env[a.0 as usize].iter().copied().collect())
-            .collect();
-
-        let mut ret = PtsSet::new();
-        let mut read_applied = false;
-
-        if let Some(rp) = &recv_pts {
-            // RetRecv extension: the call may return its receiver.
-            if self.specs.has_ret_recv(method) {
-                ret.extend(rp.iter().copied());
+            if !fields.is_empty() {
                 read_applied = true;
-            }
-
-            // GhostW (Tab. 2): spec-driven writes into ghost fields.
-            for &(target, x) in self.specs.ret_args_from(method) {
-                let x = x as usize;
-                if x == 0 || x > arg_pts.len() {
-                    continue;
-                }
-                let stored = &arg_pts[x - 1];
-                if stored.is_empty() {
-                    continue;
-                }
-                let other_vals: Vec<Vec<Value>> = arg_pts
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != x - 1)
-                    .map(|(_, pts)| self.objs.values_of(pts))
-                    .collect();
-                let combos = cross_product(&other_vals, self.opts.max_value_combos);
-                let mut fields: Vec<GhostField> = combos
-                    .into_iter()
-                    .map(|vals| GhostField::Named(target, vals))
-                    .collect();
-                if self.opts.ghost_mode == GhostMode::Coverage {
-                    if fields.is_empty() {
-                        fields.push(GhostField::Top(target));
-                    }
-                    fields.push(GhostField::Bot(target));
-                }
                 for o in rp {
                     for f in &fields {
-                        self.heap
-                            .write(*o, FieldKey::Ghost(f.clone()), stored.iter().copied());
-                    }
-                }
-            }
-
-            // GhostR (Tab. 2): spec-driven reads from ghost fields.
-            if self.specs.has_ret_same(method) {
-                let arg_vals: Vec<Vec<Value>> =
-                    arg_pts.iter().map(|pts| self.objs.values_of(pts)).collect();
-                let combos = cross_product(&arg_vals, self.opts.max_value_combos);
-                let mut fields: Vec<GhostField> = combos
-                    .into_iter()
-                    .map(|vals| GhostField::Named(method, vals))
-                    .collect();
-                if self.opts.ghost_mode == GhostMode::Coverage {
-                    if fields.is_empty() {
-                        // ⋆ case of Fig. 9: unknown name reads ⊥.
-                        fields.push(GhostField::Bot(method));
-                    } else {
-                        fields.push(GhostField::Top(method));
-                    }
-                }
-                if !fields.is_empty() {
-                    read_applied = true;
-                    for o in rp {
-                        for f in &fields {
-                            let key = FieldKey::Ghost(f.clone());
-                            // Allocate z ∈ π(o, f) for empty fields so two
-                            // matching reads alias; never for ⊤ (App. A).
-                            if self.heap.is_empty_at(*o, &key) && !matches!(f, GhostField::Top(_)) {
-                                let z = self.objs.intern(AbsObj {
-                                    site,
-                                    kind: ObjKind::Ghost {
-                                        owner: *o,
-                                        field: f.clone(),
-                                    },
-                                });
-                                self.heap.write(*o, key.clone(), [z]);
-                            }
-                            if let Some(pts) = self.heap.read(*o, &key) {
-                                ret.extend(pts.iter().copied());
-                            }
+                        let key = FieldKey::Ghost(f.clone());
+                        trace.read(*o, &key);
+                        // Allocate z ∈ π(o, f) for empty fields so two
+                        // matching reads alias; never for ⊤ (App. A).
+                        if heap.is_empty_at(*o, &key) && !matches!(f, GhostField::Top(_)) {
+                            let z = objs.intern(AbsObj {
+                                site,
+                                kind: ObjKind::Ghost {
+                                    owner: *o,
+                                    field: f.clone(),
+                                },
+                            });
+                            let changed = heap.write(*o, key.clone(), [z]);
+                            trace.wrote(*o, &key, changed);
+                        }
+                        if let Some(pts) = heap.read(*o, &key) {
+                            ret.extend(pts.iter().copied());
                         }
                     }
                 }
             }
         }
-
-        if !read_applied {
-            // API-unaware default (§3.2): a fresh object per call site.
-            let obj = self.objs.intern(AbsObj {
-                site,
-                kind: ObjKind::ApiRet(method),
-            });
-            ret.insert(obj);
-        }
-
-        if let Some(d) = dst {
-            self.assign(env, d, ret.clone());
-        }
-
-        if record {
-            InstrRecord::Call(CallRecord {
-                site,
-                method,
-                recv: recv_pts,
-                args: arg_pts,
-                ret: ret.into_iter().collect(),
-                dst,
-            })
-        } else {
-            InstrRecord::Other
-        }
     }
+
+    if !read_applied {
+        // API-unaware default (§3.2): a fresh object per call site.
+        let obj = objs.intern(AbsObj {
+            site,
+            kind: ObjKind::ApiRet(method),
+        });
+        ret.insert(obj);
+    }
+
+    ret
 }
 
 /// Cross product of value choices per position; empty if any position has
 /// no values; truncated at `cap` combinations.
-fn cross_product(positions: &[Vec<Value>], cap: usize) -> Vec<Vec<Value>> {
+pub(crate) fn cross_product(positions: &[Vec<Value>], cap: usize) -> Vec<Vec<Value>> {
     if positions.iter().any(|p| p.is_empty()) {
         return Vec::new();
     }
@@ -846,7 +704,8 @@ mod tests {
             }
         "#;
         let (_, pta) = analyze(src, &hashmap_specs(), &PtaOptions::default());
-        assert!(pta.passes < 10);
+        assert!(pta.stats.passes < 10);
+        assert!(pta.stats.converged);
     }
 
     #[test]
@@ -884,6 +743,45 @@ mod tests {
             .collect();
         let combos = cross_product(&[many.clone(), many], 16);
         assert!(combos.len() <= 16);
+    }
+
+    #[test]
+    fn engine_kind_parses_and_displays() {
+        assert_eq!("naive".parse::<EngineKind>().unwrap(), EngineKind::Naive);
+        assert_eq!(
+            "worklist".parse::<EngineKind>().unwrap(),
+            EngineKind::Worklist
+        );
+        assert!("fast".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::Naive.to_string(), "naive");
+        assert_eq!(EngineKind::Worklist.to_string(), "worklist");
+        assert_eq!(EngineKind::default(), EngineKind::Worklist);
+    }
+
+    #[test]
+    fn stats_report_the_engine_that_ran() {
+        let (_, wl) = analyze(FIG2, &hashmap_specs(), &PtaOptions::default());
+        assert_eq!(wl.stats.engine, EngineKind::Worklist);
+        assert!(wl.stats.constraints > 0);
+        assert!(wl.stats.converged);
+
+        let naive_opts = PtaOptions {
+            engine: EngineKind::Naive,
+            ..PtaOptions::default()
+        };
+        let (_, nv) = analyze(FIG2, &hashmap_specs(), &naive_opts);
+        assert_eq!(nv.stats.engine, EngineKind::Naive);
+        assert_eq!(nv.stats.constraints, 0);
+        assert!(nv.stats.propagations > 0);
+
+        // Flow-insensitive mode always solves naively, whatever was asked.
+        let fi_opts = PtaOptions {
+            flow_sensitive: false,
+            engine: EngineKind::Worklist,
+            ..PtaOptions::default()
+        };
+        let (_, fi) = analyze(FIG2, &hashmap_specs(), &fi_opts);
+        assert_eq!(fi.stats.engine, EngineKind::Naive);
     }
 }
 
@@ -1017,11 +915,7 @@ mod more_engine_tests {
     }
 
     #[test]
-    fn max_passes_is_respected() {
-        let opts = PtaOptions {
-            max_passes: 1,
-            ..PtaOptions::default()
-        };
+    fn max_passes_is_respected_and_reported() {
         let get = MethodId::new("M", "get", 1);
         let put = MethodId::new("M", "put", 2);
         let specs = SpecDb::from_specs([Spec::RetArg {
@@ -1029,18 +923,28 @@ mod more_engine_tests {
             source: put,
             x: 2,
         }]);
-        let pta = analyze(
-            r#"
+        // The read precedes the write, so the fact flows backwards through
+        // the heap: neither engine can settle in a single pass/round.
+        let src = r#"
             fn main(db) {
                 m = new M();
-                m.put("k", db.a());
                 x = m.get("k");
+                m.put("k", db.a());
             }
-            "#,
-            &specs,
-            &opts,
-        );
-        assert!(pta.passes <= 1);
+        "#;
+        for engine in [EngineKind::Naive, EngineKind::Worklist] {
+            let opts = PtaOptions {
+                max_passes: 1,
+                engine,
+                ..PtaOptions::default()
+            };
+            let pta = analyze(src, &specs, &opts);
+            assert!(pta.stats.passes <= 1);
+            assert!(
+                !pta.stats.converged,
+                "{engine}: one pass cannot settle the put-before-get heap"
+            );
+        }
     }
 
     #[test]

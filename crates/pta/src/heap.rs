@@ -45,7 +45,7 @@ pub enum FieldKey {
 /// The global, flow-insensitive heap `π : (obj, field) → P(obj)`.
 ///
 /// Monotonically growing; the engine iterates to a fixpoint over it.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Heap {
     map: BTreeMap<(ObjId, FieldKey), BTreeSet<ObjId>>,
     dirty: bool,
@@ -58,14 +58,24 @@ impl Heap {
     }
 
     /// Weakly updates `π(obj, field) ∪= vals`, flagging the heap dirty if
-    /// anything changed.
-    pub fn write(&mut self, obj: ObjId, field: FieldKey, vals: impl IntoIterator<Item = ObjId>) {
+    /// anything changed. Returns whether this particular write grew the
+    /// slot, so delta-propagating callers can dirty only the readers of
+    /// fields that actually changed.
+    pub fn write(
+        &mut self,
+        obj: ObjId,
+        field: FieldKey,
+        vals: impl IntoIterator<Item = ObjId>,
+    ) -> bool {
         let slot = self.map.entry((obj, field)).or_default();
+        let mut changed = false;
         for v in vals {
             if slot.insert(v) {
-                self.dirty = true;
+                changed = true;
             }
         }
+        self.dirty |= changed;
+        changed
     }
 
     /// Reads `π(obj, field)`.

@@ -49,12 +49,19 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+
+pub(crate) mod constraints;
+mod differential_tests;
 pub mod heap;
+pub(crate) mod naive;
 pub mod obj;
 mod rules_tests;
+pub(crate) mod solver;
 pub mod specdb;
 
-pub use engine::{CallRecord, Env, GhostMode, InstrRecord, Pta, PtaOptions, PtsSet};
+pub use engine::{
+    CallRecord, EngineKind, Env, GhostMode, InstrRecord, Pta, PtaOptions, PtaStats, PtsSet,
+};
 pub use heap::{FieldKey, GhostField, Heap};
 pub use obj::{AbsObj, ObjId, ObjKind, ObjPool, Value};
 pub use specdb::{Spec, SpecDb};

@@ -1,0 +1,359 @@
+//! The rule-by-rule naive reference engine.
+//!
+//! Each fixpoint pass walks every reachable instruction in topological
+//! block order and applies its transfer function; passes repeat until the
+//! heap stops changing (ghost-field reads may observe writes from later
+//! program points, and GhostR may allocate fresh objects). This is the
+//! simplest correct evaluation strategy and serves as the semantic ground
+//! truth the [`solver`](crate::solver) is differentially tested against.
+//!
+//! The final *recording* pass ([`record`]) also serves the worklist
+//! engine: it replays one pass over an already-converged `(objs, heap)`
+//! state to collect [`InstrRecord`]s and block entry environments, which
+//! is what guarantees both engines produce identical records.
+
+use uspec_lang::mir::{Body, CallSite, Instr, Terminator, Var};
+use uspec_lang::registry::MethodId;
+
+use crate::engine::{
+    eval_call, intern_params, CallRecord, EngineKind, Env, InstrRecord, NoTrace, Pta, PtaOptions,
+    PtaStats, PtsSet,
+};
+use crate::heap::{FieldKey, Heap};
+use crate::obj::{AbsObj, ObjId, ObjKind, ObjPool};
+use crate::specdb::SpecDb;
+
+/// Runs the naive engine to its fixpoint and records the result.
+pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
+    let mut engine = Engine::fresh(body, specs, opts);
+    let mut passes = 0;
+    let converged;
+    loop {
+        passes += 1;
+        let grew = engine.pass(None);
+        let dirty = engine.heap.take_dirty();
+        if !dirty && !grew {
+            converged = true;
+            break;
+        }
+        if passes >= opts.max_passes {
+            converged = false;
+            break;
+        }
+    }
+    let stats = PtaStats {
+        engine: EngineKind::Naive,
+        passes,
+        propagations: engine.evals,
+        constraints: 0,
+        converged,
+    };
+    record(engine, stats)
+}
+
+/// Runs the final recording pass over `engine`'s current `(objs, heap)`
+/// state and assembles the [`Pta`]. Shared by both engines — the worklist
+/// solver hands its converged state to [`Engine::resume`] and finishes
+/// here, so records and entry environments come from identical code.
+pub(crate) fn record(mut engine: Engine<'_>, stats: PtaStats) -> Pta {
+    let mut records: Vec<Vec<InstrRecord>> = vec![Vec::new(); engine.body.blocks.len()];
+    let entry_envs = engine.pass_record(&mut records);
+    engine.heap.take_dirty();
+    Pta {
+        objs: engine.objs,
+        heap: engine.heap,
+        records,
+        entry_envs,
+        stats,
+    }
+}
+
+/// The naive evaluation state: the MIR is interpreted directly, one full
+/// pass at a time.
+pub(crate) struct Engine<'a> {
+    body: &'a Body,
+    specs: &'a SpecDb,
+    opts: &'a PtaOptions,
+    pub(crate) objs: ObjPool,
+    pub(crate) heap: Heap,
+    /// Persistent environment for the flow-insensitive mode.
+    fi_env: Option<Env>,
+    /// Transfer-function evaluations performed so far.
+    evals: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// A fresh engine with empty state.
+    pub(crate) fn fresh(body: &'a Body, specs: &'a SpecDb, opts: &'a PtaOptions) -> Engine<'a> {
+        Engine::resume(body, specs, opts, ObjPool::new(), Heap::new())
+    }
+
+    /// An engine over an existing `(objs, heap)` state, ready to run the
+    /// recording pass.
+    pub(crate) fn resume(
+        body: &'a Body,
+        specs: &'a SpecDb,
+        opts: &'a PtaOptions,
+        objs: ObjPool,
+        heap: Heap,
+    ) -> Engine<'a> {
+        Engine {
+            body,
+            specs,
+            opts,
+            objs,
+            heap,
+            fi_env: (!opts.flow_sensitive).then(|| vec![PtsSet::new(); body.num_vars()]),
+            evals: 0,
+        }
+    }
+
+    /// Runs one forward pass, returning whether the flow-insensitive
+    /// environment grew (always false in flow-sensitive mode, where envs
+    /// are recomputed per pass and convergence is heap-driven).
+    fn pass(&mut self, records: Option<&mut Vec<Vec<InstrRecord>>>) -> bool {
+        if self.opts.flow_sensitive {
+            self.pass_fs(records);
+            false
+        } else {
+            let before: usize = self
+                .fi_env
+                .as_ref()
+                .expect("fi env present")
+                .iter()
+                .map(|s| s.len())
+                .sum();
+            let mut env = self.fi_env.take().expect("fi env present");
+            // Seed entry parameters (idempotent).
+            for (var, obj) in intern_params(self.body, &mut self.objs) {
+                env[var.0 as usize].insert(obj);
+            }
+            let mut recs = records;
+            for bb in 0..self.body.blocks.len() {
+                let mut block_recs = recs.as_ref().map(|_| Vec::new());
+                for instr in &self.body.blocks[bb].instrs {
+                    let rec = self.transfer(instr, &mut env, block_recs.is_some());
+                    if let Some(rs) = block_recs.as_mut() {
+                        rs.push(rec);
+                    }
+                }
+                if let (Some(out), Some(rs)) = (recs.as_deref_mut(), block_recs) {
+                    out[bb] = rs;
+                }
+            }
+            let after: usize = env.iter().map(|s| s.len()).sum();
+            self.fi_env = Some(env);
+            after > before
+        }
+    }
+
+    /// Final pass with record collection; returns block entry envs.
+    fn pass_record(&mut self, records: &mut Vec<Vec<InstrRecord>>) -> Vec<Option<Env>> {
+        if self.opts.flow_sensitive {
+            self.pass_fs(Some(records))
+        } else {
+            self.pass(Some(records));
+            let env = self.fi_env.clone().expect("fi env present");
+            vec![Some(env); 1]
+        }
+    }
+
+    /// Flow-sensitive forward pass over the acyclic body, returning block
+    /// entry environments. If `records` is given, fills it with
+    /// per-instruction observations and keeps all entry envs intact;
+    /// otherwise entry envs are consumed as blocks are processed (all
+    /// edges go forward, so a processed block is never re-entered).
+    fn pass_fs(&mut self, mut records: Option<&mut Vec<Vec<InstrRecord>>>) -> Vec<Option<Env>> {
+        let nblocks = self.body.blocks.len();
+        let nvars = self.body.num_vars();
+        let keep_entries = records.is_some();
+        let mut entry: Vec<Option<Env>> = vec![None; nblocks];
+
+        let mut init = vec![PtsSet::new(); nvars];
+        for (var, obj) in intern_params(self.body, &mut self.objs) {
+            init[var.0 as usize].insert(obj);
+        }
+        entry[0] = Some(init);
+
+        for bb in 0..nblocks {
+            let taken = if keep_entries {
+                entry[bb].clone()
+            } else {
+                entry[bb].take()
+            };
+            let Some(mut env) = taken else {
+                continue;
+            };
+            let mut recs = records.as_ref().map(|_| Vec::new());
+            for instr in &self.body.blocks[bb].instrs {
+                let rec = self.transfer(instr, &mut env, recs.is_some());
+                if let Some(rs) = recs.as_mut() {
+                    rs.push(rec);
+                }
+            }
+            if let (Some(out), Some(rs)) = (records.as_deref_mut(), recs) {
+                out[bb] = rs;
+            }
+            let succs: Vec<u32> = match &self.body.blocks[bb].term {
+                Terminator::Goto(t) => vec![t.0],
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => vec![then_bb.0, else_bb.0],
+                Terminator::Return => vec![],
+            };
+            let nsuccs = succs.len();
+            for (k, s) in succs.into_iter().enumerate() {
+                match &mut entry[s as usize] {
+                    Some(dest) => {
+                        for (d, src) in dest.iter_mut().zip(&env) {
+                            d.extend(src.iter().copied());
+                        }
+                    }
+                    slot @ None => {
+                        // The last successor takes the env by move — the
+                        // common straight-line case allocates nothing.
+                        *slot = Some(if k + 1 == nsuccs {
+                            std::mem::take(&mut env)
+                        } else {
+                            env.clone()
+                        });
+                    }
+                }
+            }
+        }
+        entry
+    }
+
+    /// Assigns `set` to `dst`: strong update when flow sensitive, weak
+    /// accumulation otherwise.
+    fn assign(&self, env: &mut Env, dst: Var, set: PtsSet) {
+        if self.opts.flow_sensitive {
+            env[dst.0 as usize] = set;
+        } else {
+            env[dst.0 as usize].extend(set);
+        }
+    }
+
+    fn transfer(&mut self, instr: &Instr, env: &mut Env, record: bool) -> InstrRecord {
+        self.evals += 1;
+        match instr {
+            Instr::New {
+                dst,
+                class,
+                site,
+                user_class,
+            } => {
+                let obj = self.objs.intern(AbsObj {
+                    site: *site,
+                    kind: ObjKind::New {
+                        class: *class,
+                        user: *user_class,
+                    },
+                });
+                self.assign(env, *dst, PtsSet::from([obj]));
+                InstrRecord::Alloc { dst: *dst, obj }
+            }
+            Instr::Lit { dst, value, site } => {
+                let obj = self.objs.intern(AbsObj {
+                    site: *site,
+                    kind: ObjKind::Lit(*value),
+                });
+                self.assign(env, *dst, PtsSet::from([obj]));
+                InstrRecord::Alloc { dst: *dst, obj }
+            }
+            Instr::Opaque { dst, site } => {
+                let obj = self.objs.intern(AbsObj {
+                    site: *site,
+                    kind: ObjKind::Opaque,
+                });
+                self.assign(env, *dst, PtsSet::from([obj]));
+                InstrRecord::Alloc { dst: *dst, obj }
+            }
+            Instr::Copy { dst, src } => {
+                let set = env[src.0 as usize].clone();
+                self.assign(env, *dst, set);
+                InstrRecord::Other
+            }
+            Instr::FieldLoad { dst, obj, field } => {
+                let mut out = PtsSet::new();
+                for &o in &env[obj.0 as usize] {
+                    if let Some(pts) = self.heap.read(o, &FieldKey::Real(*field)) {
+                        out.extend(pts.iter().copied());
+                    }
+                }
+                self.assign(env, *dst, out);
+                InstrRecord::Other
+            }
+            Instr::FieldStore { obj, field, src } => {
+                let vals: Vec<ObjId> = env[src.0 as usize].iter().copied().collect();
+                for &o in &env[obj.0 as usize] {
+                    self.heap
+                        .write(o, FieldKey::Real(*field), vals.iter().copied());
+                }
+                InstrRecord::Other
+            }
+            Instr::Cmp { dst, .. } | Instr::Not { dst, .. } => {
+                env[dst.0 as usize] = PtsSet::new();
+                InstrRecord::Other
+            }
+            Instr::CallApi {
+                dst,
+                method,
+                recv,
+                args,
+                site,
+            } => self.transfer_call(env, *dst, *method, *recv, args, *site, record),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_call(
+        &mut self,
+        env: &mut Env,
+        dst: Option<Var>,
+        method: MethodId,
+        recv: Option<Var>,
+        args: &[Var],
+        site: CallSite,
+        record: bool,
+    ) -> InstrRecord {
+        let recv_pts: Option<Vec<ObjId>> =
+            recv.map(|r| env[r.0 as usize].iter().copied().collect());
+        let arg_pts: Vec<Vec<ObjId>> = args
+            .iter()
+            .map(|a| env[a.0 as usize].iter().copied().collect())
+            .collect();
+
+        let ret = eval_call(
+            &mut self.objs,
+            &mut self.heap,
+            self.specs,
+            self.opts,
+            method,
+            site,
+            recv_pts.as_deref(),
+            &arg_pts,
+            &mut NoTrace,
+        );
+
+        // Copy the return set out only when a record needs it; the set
+        // itself moves into the environment.
+        let ret_vec: Option<Vec<ObjId>> = record.then(|| ret.iter().copied().collect());
+        if let Some(d) = dst {
+            self.assign(env, d, ret);
+        }
+
+        if record {
+            InstrRecord::Call(CallRecord {
+                site,
+                method,
+                recv: recv_pts,
+                args: arg_pts,
+                ret: ret_vec.expect("collected when recording"),
+                dst,
+            })
+        } else {
+            InstrRecord::Other
+        }
+    }
+}

@@ -143,7 +143,7 @@ impl std::fmt::Debug for LitKey {
 }
 
 /// Interning pool of abstract objects for one analysis run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ObjPool {
     objs: Vec<AbsObj>,
     index: HashMap<AbsObj, ObjId>,

@@ -1,0 +1,306 @@
+//! Worklist solver: delta propagation over the constraint IR.
+//!
+//! The solver keeps one points-to set per definition and re-evaluates a
+//! constraint only when one of its inputs changed — an input being either
+//! a definition it reads (static edges from the
+//! [`ConstraintGraph`]) or a heap key `(obj, field)` it read during an
+//! earlier evaluation (dynamic edges registered through
+//! [`HeapTrace`]). All rule semantics go through the shared
+//! [`eval_call`] / heap code, so the solver and the naive engine can only
+//! differ in *which* evaluations they perform.
+//!
+//! # Why results are byte-identical to the naive engine
+//!
+//! Identity of the result — including [`ObjId`] numbering, which depends
+//! on interning *order* — follows from round/pass alignment:
+//!
+//! * Round 0 evaluates **all** constraints in program order, exactly the
+//!   instruction order of the naive engine's first pass (parameters are
+//!   interned first by both, unreachable blocks are skipped by both), so
+//!   both engines intern the same objects in the same order.
+//! * Each later round sweeps the dirtied constraints in program order.
+//!   Dirt raised at a constraint *later* in the current sweep joins the
+//!   current round (the naive pass would also see that change later in
+//!   the same pass, since def flow is forward); dirt at or before the
+//!   sweep position waits for the next round (the naive engine would see
+//!   it next pass). By induction, solver state after round *k* equals
+//!   naive state after pass *k+1* — the constraints the solver skips are
+//!   those whose inputs did not change, for which re-evaluation is a
+//!   no-op (interning and heap unions are idempotent).
+//! * Rounds are capped at `max_passes` like naive passes, so even
+//!   truncated (non-converged) runs line up, and the final recording
+//!   pass is literally the naive engine's, resumed on the solver's
+//!   converged `(objs, heap)` state.
+//!
+//! Change detection uses full set equality, not growth: the
+//! `max_value_combos` truncation in ghost-field construction makes call
+//! transfer non-monotone, so a set can change without growing.
+
+use std::collections::HashMap;
+
+use uspec_lang::mir::Body;
+
+use crate::constraints::{AllocWhat, CKind, Cid, ConstraintGraph, DefId};
+use crate::engine::{
+    eval_call, intern_params, EngineKind, HeapTrace, Pta, PtaOptions, PtaStats, PtsSet,
+};
+use crate::heap::{FieldKey, Heap};
+use crate::naive;
+use crate::obj::{AbsObj, ObjId, ObjKind, ObjPool};
+use crate::specdb::SpecDb;
+
+/// Runs the worklist engine and records the result via the shared naive
+/// recording pass.
+pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
+    debug_assert!(
+        opts.flow_sensitive,
+        "worklist solver is flow-sensitive only"
+    );
+    let cg = ConstraintGraph::build(body);
+    let mut objs = ObjPool::new();
+    let mut sets: Vec<PtsSet> = vec![PtsSet::new(); cg.num_defs];
+    let params = intern_params(body, &mut objs);
+    debug_assert_eq!(params.len(), cg.num_params);
+    for (i, (_, obj)) in params.into_iter().enumerate() {
+        sets[i].insert(obj);
+    }
+    let mut solver = Solver {
+        specs,
+        opts,
+        cg: &cg,
+        objs,
+        heap: Heap::new(),
+        sets,
+        key_readers: HashMap::new(),
+        scratch: Vec::new(),
+        evals: 0,
+    };
+    let (passes, converged) = solver.run();
+    let stats = PtaStats {
+        engine: EngineKind::Worklist,
+        passes,
+        propagations: solver.evals,
+        constraints: cg.constraints.len(),
+        converged,
+    };
+    naive::record(
+        naive::Engine::resume(body, specs, opts, solver.objs, solver.heap),
+        stats,
+    )
+}
+
+struct Solver<'a> {
+    specs: &'a SpecDb,
+    opts: &'a PtaOptions,
+    cg: &'a ConstraintGraph,
+    objs: ObjPool,
+    heap: Heap,
+    /// Points-to set of each definition.
+    sets: Vec<PtsSet>,
+    /// Dynamic heap dependencies: key → constraints that read it.
+    key_readers: HashMap<(ObjId, FieldKey), Vec<Cid>>,
+    /// Reusable buffer of keys changed by one evaluation.
+    scratch: Vec<(ObjId, FieldKey)>,
+    evals: usize,
+}
+
+/// Registers heap reads as dynamic dependencies and collects changed
+/// writes, on behalf of the constraint currently being evaluated.
+struct SolverTrace<'m> {
+    readers: &'m mut HashMap<(ObjId, FieldKey), Vec<Cid>>,
+    changed: &'m mut Vec<(ObjId, FieldKey)>,
+    cid: Cid,
+}
+
+impl HeapTrace for SolverTrace<'_> {
+    fn read(&mut self, obj: ObjId, key: &FieldKey) {
+        let deps = self.readers.entry((obj, key.clone())).or_default();
+        if !deps.contains(&self.cid) {
+            deps.push(self.cid);
+        }
+    }
+
+    fn wrote(&mut self, obj: ObjId, key: &FieldKey, changed: bool) {
+        if changed {
+            self.changed.push((obj, key.clone()));
+        }
+    }
+}
+
+impl Solver<'_> {
+    /// Runs rounds until no constraint is dirty or the round cap is hit.
+    /// Returns `(rounds, converged)`.
+    fn run(&mut self) -> (usize, bool) {
+        let n = self.cg.constraints.len();
+        // Dirty bitmaps for the current and next round; round 0 evaluates
+        // everything in program order, replicating the naive first pass.
+        let mut in_cur = vec![true; n];
+        let mut in_next = vec![false; n];
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            for cid in 0..n {
+                if in_cur[cid] {
+                    in_cur[cid] = false;
+                    self.eval(cid as Cid, &mut in_cur, &mut in_next);
+                }
+            }
+            if !in_next.iter().any(|&d| d) {
+                return (passes, true);
+            }
+            if passes >= self.opts.max_passes {
+                return (passes, false);
+            }
+            // `in_cur` was fully cleared during the sweep; reuse it as the
+            // next round's (empty) next-bitmap.
+            std::mem::swap(&mut in_cur, &mut in_next);
+        }
+    }
+
+    /// Evaluates one constraint, updating its def and dirtying readers of
+    /// anything that changed.
+    fn eval(&mut self, cid: Cid, in_cur: &mut [bool], in_next: &mut [bool]) {
+        self.evals += 1;
+        let c = &self.cg.constraints[cid as usize];
+        let mut changed_keys = std::mem::take(&mut self.scratch);
+        let out: Option<PtsSet> = match &c.kind {
+            CKind::Alloc { what, site } => {
+                let kind = match what {
+                    AllocWhat::New { class, user } => ObjKind::New {
+                        class: *class,
+                        user: *user,
+                    },
+                    AllocWhat::Lit(l) => ObjKind::Lit(*l),
+                    AllocWhat::Opaque => ObjKind::Opaque,
+                };
+                let obj = self.objs.intern(AbsObj { site: *site, kind });
+                Some(PtsSet::from([obj]))
+            }
+            CKind::Untracked => Some(PtsSet::new()),
+            CKind::Copy => Some(self.union_of(&c.ins[0])),
+            CKind::Load { field } => {
+                let base = self.union_of(&c.ins[0]);
+                let key = FieldKey::Real(*field);
+                let mut out = PtsSet::new();
+                for &o in &base {
+                    // Register the dependency even when the slot is absent:
+                    // a later write must re-trigger this load.
+                    let deps = self.key_readers.entry((o, key.clone())).or_default();
+                    if !deps.contains(&cid) {
+                        deps.push(cid);
+                    }
+                    if let Some(pts) = self.heap.read(o, &key) {
+                        out.extend(pts.iter().copied());
+                    }
+                }
+                Some(out)
+            }
+            CKind::Store { field } => {
+                let base = self.union_of(&c.ins[0]);
+                let vals: Vec<ObjId> = self.vec_of(&c.ins[1]);
+                let key = FieldKey::Real(*field);
+                for &o in &base {
+                    if self.heap.write(o, key.clone(), vals.iter().copied()) {
+                        changed_keys.push((o, key.clone()));
+                    }
+                }
+                None
+            }
+            CKind::Call {
+                method,
+                site,
+                has_recv,
+            } => {
+                let (recv_slot, arg_slots) = if *has_recv {
+                    (Some(&c.ins[0]), &c.ins[1..])
+                } else {
+                    (None, &c.ins[..])
+                };
+                let recv_pts: Option<Vec<ObjId>> = recv_slot.map(|s| self.vec_of(s));
+                let arg_pts: Vec<Vec<ObjId>> = arg_slots.iter().map(|s| self.vec_of(s)).collect();
+                let mut trace = SolverTrace {
+                    readers: &mut self.key_readers,
+                    changed: &mut changed_keys,
+                    cid,
+                };
+                Some(eval_call(
+                    &mut self.objs,
+                    &mut self.heap,
+                    self.specs,
+                    self.opts,
+                    *method,
+                    *site,
+                    recv_pts.as_deref(),
+                    &arg_pts,
+                    &mut trace,
+                ))
+            }
+        };
+
+        if let (Some(d), Some(out)) = (c.dst, out) {
+            let slot = &mut self.sets[d as usize];
+            // Full equality, not growth: truncated ghost-name cross
+            // products make call transfers non-monotone.
+            if *slot != out {
+                *slot = out;
+                for &r in &self.cg.readers[d as usize] {
+                    mark(r, cid, in_cur, in_next);
+                }
+            }
+        }
+
+        for (o, key) in changed_keys.drain(..) {
+            if let Some(rs) = self.key_readers.get(&(o, key)) {
+                for &r in rs {
+                    if r != cid {
+                        mark(r, cid, in_cur, in_next);
+                    }
+                }
+            }
+        }
+        self.scratch = changed_keys;
+    }
+
+    /// Union of the points-to sets of a def slot, as a sorted `Vec` —
+    /// skips the intermediate set for the common single-def case (each
+    /// per-def set is already sorted and deduplicated).
+    fn vec_of(&self, defs: &[DefId]) -> Vec<ObjId> {
+        match defs {
+            [] => Vec::new(),
+            [d] => self.sets[*d as usize].iter().copied().collect(),
+            many => {
+                let mut out = PtsSet::new();
+                for &d in many {
+                    out.extend(self.sets[d as usize].iter().copied());
+                }
+                out.into_iter().collect()
+            }
+        }
+    }
+
+    /// Union of the points-to sets of a def slot.
+    fn union_of(&self, defs: &[DefId]) -> PtsSet {
+        match defs {
+            [] => PtsSet::new(),
+            [d] => self.sets[*d as usize].clone(),
+            many => {
+                let mut out = PtsSet::new();
+                for &d in many {
+                    out.extend(self.sets[d as usize].iter().copied());
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Dirties constraint `r`: into the current round if the sweep has not
+/// reached it yet (the naive pass would see the change within the same
+/// pass), otherwise into the next round.
+fn mark(r: Cid, cid: Cid, in_cur: &mut [bool], in_next: &mut [bool]) {
+    if r > cid {
+        in_cur[r as usize] = true;
+    } else {
+        in_next[r as usize] = true;
+    }
+}
