@@ -32,6 +32,16 @@ cargo test "${FLAGS[@]+"${FLAGS[@]}"}" -q --workspace
 cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" --workspace --no-run
 # Points-to engine perf smoke: verifies the worklist solver is byte-identical
 # to the naive reference on the bench bodies and records throughput,
-# propagation counts, and the peak constraint count in BENCH_pta.json.
+# per-config pass histograms, and the lowering/propagation timing split in
+# BENCH_pta.json.
 cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_pta -- --smoke
+# Telemetry overhead smoke: asserts the always-on metrics registry costs
+# < 3% wall time on the instrumented hot path (BENCH_telemetry.json).
+cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_telemetry -- --smoke
+# Run-report smoke: a real `eval` must emit a metrics file that the
+# validator accepts (schema version, exact key set at every level — our
+# unknown-field drift detector — and non-zero stage timings).
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    eval --lang java --files 120 --metrics-out target/ci-report.json -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_report -- target/ci-report.json
 echo "ci: all checks passed"

@@ -15,7 +15,7 @@ use uspec_corpus::{generate_corpus, java_library, GenOptions};
 use uspec_lang::lower::{lower_program, LowerOptions};
 use uspec_lang::mir::Body;
 use uspec_lang::parser::parse;
-use uspec_pta::{EngineKind, GhostMode, Pta, PtaOptions, SpecDb};
+use uspec_pta::{EngineKind, GhostMode, Pta, PtaAggregate, PtaOptions, SpecDb};
 
 struct Config {
     name: &'static str,
@@ -55,6 +55,13 @@ fn feedback_chain(n: usize) -> String {
 struct EngineRun {
     bodies_per_sec: f64,
     seconds: f64,
+    /// Per-trial average seconds in constraint lowering (`pta.lower`),
+    /// zero for the naive engine (it has no lowering phase).
+    lower_seconds: f64,
+    /// Per-trial average seconds reaching the fixpoint (`pta.propagate`).
+    propagate_seconds: f64,
+    /// Per-trial average seconds in the shared recording pass.
+    record_seconds: f64,
 }
 
 fn opts_for(cfg: &Config, engine: EngineKind) -> PtaOptions {
@@ -73,6 +80,10 @@ fn time_engine(cfg: &Config, engine: EngineKind, reps: usize) -> EngineRun {
     let opts = opts_for(cfg, engine);
     let mut sink = 0usize;
     let mut seconds = f64::INFINITY;
+    // The engines' phase spans (lower / propagate / record) accumulate in
+    // the process-global telemetry table; reset it so this run's snapshot
+    // covers exactly these trials.
+    uspec_telemetry::reset();
     for _ in 0..TRIALS {
         let start = Instant::now();
         for _ in 0..reps {
@@ -83,10 +94,20 @@ fn time_engine(cfg: &Config, engine: EngineKind, reps: usize) -> EngineRun {
         seconds = seconds.min(start.elapsed().as_secs_f64());
     }
     std::hint::black_box(sink);
+    let spans = uspec_telemetry::span::snapshot();
+    let per_trial = |name: &str| {
+        spans
+            .get(name)
+            .map(|s| s.total_seconds() / TRIALS as f64)
+            .unwrap_or(0.0)
+    };
     let analyzed = (cfg.bodies.len() * reps) as f64;
     EngineRun {
         bodies_per_sec: analyzed / seconds.max(1e-9),
         seconds,
+        lower_seconds: per_trial("pta.lower"),
+        propagate_seconds: per_trial("pta.propagate"),
+        record_seconds: per_trial("pta.record"),
     }
 }
 
@@ -158,12 +179,18 @@ fn main() {
 
     // Untimed verification sweep: the worklist engine must be
     // byte-identical to the naive reference on every body and config,
-    // and this is where the worklist-side solver statistics come from.
+    // and this is where the per-config solver statistics come from. The
+    // pass-count histograms are the shape that explains the speedup table:
+    // configs whose bodies converge in 2–3 passes are bound by the shared
+    // recording pass (worklist ≈ naive or worse, it pays for lowering),
+    // while deep-fixpoint bodies amortize lowering over many sparse rounds.
     let mut identical = true;
-    let mut propagations = 0usize;
     let mut peak_constraints = 0usize;
-    let mut non_converged = 0usize;
+    let mut naive_aggs: Vec<PtaAggregate> = Vec::new();
+    let mut wl_aggs: Vec<PtaAggregate> = Vec::new();
     for cfg in &configs {
+        let mut naive_agg = PtaAggregate::default();
+        let mut wl_agg = PtaAggregate::default();
         for body in &cfg.bodies {
             let naive = Pta::run(body, &cfg.specs, &opts_for(cfg, EngineKind::Naive));
             let wl = Pta::run(body, &cfg.specs, &opts_for(cfg, EngineKind::Worklist));
@@ -175,38 +202,77 @@ fn main() {
                 identical = false;
                 eprintln!("MISMATCH: {} fn {}", cfg.name, body.func);
             }
-            propagations += wl.stats.propagations;
+            naive_agg.record(&naive.stats);
+            wl_agg.record(&wl.stats);
             peak_constraints = peak_constraints.max(wl.stats.constraints);
-            non_converged += usize::from(!wl.stats.converged);
         }
+        naive_aggs.push(naive_agg);
+        wl_aggs.push(wl_agg);
     }
+    let propagations: usize = wl_aggs.iter().map(|a| a.propagations).sum();
+    let non_converged: usize = wl_aggs.iter().map(|a| a.non_converged).sum();
+
+    let hist_json = |agg: &PtaAggregate| -> String {
+        let entries: Vec<String> = agg
+            .pass_histogram()
+            .iter()
+            .map(|(passes, bodies)| format!("[{passes}, {bodies}]"))
+            .collect();
+        format!("[{}]", entries.join(", "))
+    };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_configs: Vec<String> = Vec::new();
     let mut naive_total = 0.0f64;
     let mut wl_total = 0.0f64;
-    for cfg in &configs {
+    for (i, cfg) in configs.iter().enumerate() {
         let naive = time_engine(cfg, EngineKind::Naive, reps);
         let wl = time_engine(cfg, EngineKind::Worklist, reps);
         naive_total += naive.seconds;
         wl_total += wl.seconds;
         let speedup = naive.seconds / wl.seconds.max(1e-9);
+        let wl_agg = &wl_aggs[i];
+        let mean_passes = wl_agg.passes as f64 / wl_agg.bodies.max(1) as f64;
         rows.push(vec![
             cfg.name.to_owned(),
             format!("{:.0}", naive.bodies_per_sec),
             format!("{:.0}", wl.bodies_per_sec),
             format!("{speedup:.2}x"),
+            format!("{mean_passes:.1}"),
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                wl.lower_seconds * 1e3,
+                wl.propagate_seconds * 1e3,
+                wl.record_seconds * 1e3
+            ),
         ]);
         json_configs.push(format!(
-            "    {{\"name\": \"{}\", \"naive_bodies_per_sec\": {:.1}, \"worklist_bodies_per_sec\": {:.1}, \"speedup\": {:.3}}}",
-            cfg.name, naive.bodies_per_sec, wl.bodies_per_sec, speedup
+            "    {{\"name\": \"{}\", \"naive_bodies_per_sec\": {:.1}, \"worklist_bodies_per_sec\": {:.1}, \"speedup\": {:.3},\n     \"pass_histogram\": {}, \"naive_pass_histogram\": {},\n     \"worklist_lower_seconds\": {:.6}, \"worklist_propagate_seconds\": {:.6}, \"worklist_record_seconds\": {:.6},\n     \"naive_propagate_seconds\": {:.6}, \"naive_record_seconds\": {:.6}}}",
+            cfg.name,
+            naive.bodies_per_sec,
+            wl.bodies_per_sec,
+            speedup,
+            hist_json(wl_agg),
+            hist_json(&naive_aggs[i]),
+            wl.lower_seconds,
+            wl.propagate_seconds,
+            wl.record_seconds,
+            naive.propagate_seconds,
+            naive.record_seconds,
         ));
     }
     let aggregate_speedup = naive_total / wl_total.max(1e-9);
 
     uspec_bench::print_table(
         "points-to engine: worklist vs naive (bodies/sec)",
-        &["config", "naive", "worklist", "speedup"],
+        &[
+            "config",
+            "naive",
+            "worklist",
+            "speedup",
+            "passes/body",
+            "wl lower/prop/rec (ms)",
+        ],
         &rows,
     );
     let total_bodies: usize = configs.iter().map(|c| c.bodies.len()).sum();

@@ -1,0 +1,146 @@
+//! Telemetry overhead benchmark: instrumented hot path with the registry
+//! enabled vs disabled at runtime.
+//!
+//! The telemetry layer stays on by default, so its cost on the densest
+//! instrumented path — points-to analysis (three spans per body) plus
+//! event-graph construction (one span, three counters per graph) — must be
+//! negligible. This bench times the same workload with `set_enabled(true)`
+//! and `set_enabled(false)`, interleaving the two arms across trials so
+//! frequency scaling and cache warmth hit both equally, and **asserts** the
+//! enabled/disabled ratio stays under [`MAX_OVERHEAD`].
+//!
+//! Pass `--smoke` for a quick CI-sized run; `USPEC_BENCH_FILES` scales the
+//! corpus for full runs. Writes `BENCH_telemetry.json` at the repo root.
+
+use std::time::Instant;
+
+use uspec_corpus::{generate_corpus, java_library, GenOptions};
+use uspec_graph::{build_event_graph, GraphOptions};
+use uspec_lang::lower::{lower_program, LowerOptions};
+use uspec_lang::mir::Body;
+use uspec_lang::parser::parse;
+use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+/// Maximum tolerated enabled/disabled wall-time ratio. The acceptance bar
+/// is < 3%; the slack above the typical sub-1% measurement absorbs shared-
+/// machine noise without letting a real regression through.
+const MAX_OVERHEAD: f64 = 1.03;
+
+/// Min-of-N trials per arm; more trials than the throughput benches because
+/// the assertion is on a ratio of two measurements.
+const TRIALS: usize = 7;
+
+fn workload(bodies: &[Body], specs: &SpecDb, reps: usize) -> usize {
+    let popts = PtaOptions::default();
+    let gopts = GraphOptions::default();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for body in bodies {
+            let pta = Pta::run(body, specs, &popts);
+            let graph = build_event_graph(body, &pta, &gopts);
+            sink += pta.heap.len() + graph.num_events();
+        }
+    }
+    sink
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (num_files, reps) = if smoke {
+        (32, 2)
+    } else {
+        let files = std::env::var("USPEC_BENCH_FILES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        (files, 4)
+    };
+
+    let lib = java_library();
+    let table = lib.api_table();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files,
+            seed: 23,
+            ..GenOptions::default()
+        },
+    );
+    let bodies: Vec<Body> = files
+        .iter()
+        .flat_map(|f| {
+            let program = parse(&f.source).expect("parses");
+            lower_program(&program, &table, &LowerOptions::default()).expect("lowers")
+        })
+        .collect();
+    let specs = SpecDb::empty();
+
+    // Warm up both arms once (first-touch registration of every span and
+    // counter happens here, outside the timed region).
+    uspec_telemetry::set_enabled(true);
+    std::hint::black_box(workload(&bodies, &specs, 1));
+    uspec_telemetry::set_enabled(false);
+    std::hint::black_box(workload(&bodies, &specs, 1));
+
+    let mut on_secs = f64::INFINITY;
+    let mut off_secs = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..TRIALS {
+        uspec_telemetry::set_enabled(false);
+        let start = Instant::now();
+        sink += workload(&bodies, &specs, reps);
+        off_secs = off_secs.min(start.elapsed().as_secs_f64());
+
+        uspec_telemetry::set_enabled(true);
+        let start = Instant::now();
+        sink += workload(&bodies, &specs, reps);
+        on_secs = on_secs.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    // Leave the process-global switch the way the rest of the suite
+    // expects it.
+    uspec_telemetry::set_enabled(true);
+
+    let overhead = on_secs / off_secs.max(1e-9);
+    let analyzed = (bodies.len() * reps) as f64;
+    uspec_bench::print_table(
+        "telemetry overhead: registry enabled vs disabled (bodies/sec)",
+        &["arm", "bodies/sec", "seconds"],
+        &[
+            vec![
+                "disabled".to_owned(),
+                format!("{:.0}", analyzed / off_secs.max(1e-9)),
+                format!("{off_secs:.4}"),
+            ],
+            vec![
+                "enabled".to_owned(),
+                format!("{:.0}", analyzed / on_secs.max(1e-9)),
+                format!("{on_secs:.4}"),
+            ],
+        ],
+    );
+    println!(
+        "  bodies: {}  reps: {reps}  trials: {TRIALS}  overhead: {:.2}% (budget {:.0}%)",
+        bodies.len(),
+        (overhead - 1.0) * 100.0,
+        (MAX_OVERHEAD - 1.0) * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_telemetry\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"bodies\": {},\n  \"reps\": {reps},\n  \"trials\": {TRIALS},\n  \"enabled_seconds\": {on_secs:.6},\n  \"disabled_seconds\": {off_secs:.6},\n  \"overhead_ratio\": {overhead:.4},\n  \"max_overhead_ratio\": {MAX_OVERHEAD}\n}}\n",
+        bodies.len()
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_telemetry.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", out.display()),
+    }
+
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "telemetry overhead {overhead:.4} exceeds budget {MAX_OVERHEAD} \
+         (enabled {on_secs:.4}s vs disabled {off_secs:.4}s)"
+    );
+}

@@ -2,9 +2,10 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use uspec::{analyze_source, run_pipeline_streaming, PipelineOptions, PipelineResult};
+use uspec::{analyze_source, run_pipeline_streaming, PipelineOptions};
 use uspec_atlas::{evaluate, run_atlas, AtlasOptions, ClassStatus};
 use uspec_clients::{check_taint, check_typestate, TaintConfig, TypestateProtocol};
 use uspec_corpus::{
@@ -13,7 +14,8 @@ use uspec_corpus::{
 };
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
 use uspec_learn::LearnedSpecs;
-use uspec_pta::{EngineKind, Pta, PtaOptions, SpecDb};
+use uspec_pta::{EngineKind, Pta, PtaAggregate, PtaOptions, SpecDb};
+use uspec_telemetry::{log_info, DiagnosticsSection, Level, RunReport};
 
 use crate::opt::{OptError, Opts};
 
@@ -61,31 +63,87 @@ fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
     Ok(popts)
 }
 
-/// Prints the corpus-level summary shared by `learn` and `eval`: analysis
-/// failures and truncated fixpoints (with their capped diagnostics) and the
-/// streaming memory bound.
-fn print_corpus_summary(result: &PipelineResult) {
-    let c = &result.corpus;
-    if c.failures > 0 || c.non_converged > 0 {
-        println!(
-            "{} file(s) failed analysis, {} body(ies) not converged (showing first {}):",
-            c.failures,
-            c.non_converged,
-            c.diagnostics.len()
+/// Applies the output-control flags (`-q`, `--log-level LEVEL`) before a
+/// command does any work. `-q` wins when both are given.
+fn init_logging(opts: &Opts) -> Result<(), OptError> {
+    if opts.switch("q") {
+        uspec_telemetry::log::set_level(Level::Error);
+    } else if let Some(l) = opts.value("log-level") {
+        let level: Level = l.parse().map_err(OptError)?;
+        uspec_telemetry::log::set_level(level);
+    }
+    Ok(())
+}
+
+/// Renders the run-wide summary shared by `learn` and `eval` from the
+/// assembled [`RunReport`]: analysis failures and truncated fixpoints (with
+/// their capped diagnostics), the streaming memory bound, and the candidate
+/// counts. The same report is what `--metrics-out` serializes, so the human
+/// and machine views cannot drift apart.
+fn render_summary(report: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let c = &report.counters;
+    let d = &report.diagnostics;
+    let mut out = String::new();
+    if d.total_problems > 0 {
+        let _ = writeln!(
+            out,
+            "{} file(s) failed analysis, {} body(ies) not converged:",
+            c.corpus.failures, c.pta.non_converged
         );
-        for d in &c.diagnostics {
-            println!("  {d}");
+        for line in &d.retained {
+            let _ = writeln!(out, "  {line}");
+        }
+        if d.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  … and {} more (total {} failures)",
+                d.dropped, d.total_problems
+            );
         }
     }
-    println!(
-        "peak resident event graphs: {} (of {} total)",
-        c.peak_resident_graphs, c.graphs
+    let peak = report
+        .timings
+        .gauges
+        .get("pipeline.peak_resident_graphs")
+        .copied()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "peak resident event graphs: {peak} (of {} total)",
+        c.corpus.graphs
     );
+    let _ = write!(
+        out,
+        "{} event graphs, {} candidates",
+        c.corpus.graphs, c.candidates.extracted
+    );
+    if report.command == "learn" {
+        let _ = write!(
+            out,
+            ", {} selected at τ = {}",
+            c.candidates.selected, c.candidates.tau
+        );
+    }
+    out
+}
+
+/// Serializes `report` to `--metrics-out PATH` when the flag is given.
+fn write_metrics(opts: &Opts, report: &RunReport) -> Result<(), OptError> {
+    let Some(path) = opts.value("metrics-out") else {
+        return Ok(());
+    };
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| OptError(format!("serializing run report: {e}")))?;
+    fs::write(path, json).map_err(|e| io_err(e, "writing metrics"))?;
+    log_info!("metrics written to {path}");
+    Ok(())
 }
 
 /// `uspec generate`.
 pub fn generate(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["lang", "files", "seed", "out"])?;
+    let opts = Opts::parse(args, &["lang", "files", "seed", "out", "log-level"])?;
+    init_logging(&opts)?;
     let lib = library_for(&opts)?;
     let out = PathBuf::from(
         opts.value("out")
@@ -103,7 +161,7 @@ pub fn generate(args: Vec<String>) -> Result<(), OptError> {
     for f in &files {
         fs::write(out.join(&f.name), &f.source).map_err(|e| io_err(e, "writing file"))?;
     }
-    println!("wrote {} files to {}", files.len(), out.display());
+    log_info!("wrote {} files to {}", files.len(), out.display());
     Ok(())
 }
 
@@ -136,8 +194,12 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
             "shard-size",
             "max-diagnostics",
             "engine",
+            "metrics-out",
+            "log-level",
         ],
     )?;
+    init_logging(&opts)?;
+    let start = Instant::now();
     let lib = library_for(&opts)?;
     let tau: f64 = opts.num("tau", 0.6)?;
     let popts = pipeline_opts(&opts)?;
@@ -151,19 +213,15 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
     if sources.is_empty() {
         return Err(OptError("no *.u files found".into()));
     }
-    println!(
+    log_info!(
         "learning from {} files (shards of {}) ...",
         sources.len(),
         popts.shard_size
     );
     let result = run_pipeline_streaming(&SliceSource::new(&sources), &lib.api_table(), &popts);
-    print_corpus_summary(&result);
-    println!(
-        "{} event graphs, {} candidates, {} selected at τ = {tau}",
-        result.corpus.graphs,
-        result.learned.len(),
-        result.learned.selected(tau).count()
-    );
+    let report =
+        uspec::build_run_report("learn", &result, &popts, tau, start.elapsed().as_secs_f64());
+    log_info!("{}", render_summary(&report));
     for s in result.learned.selected(tau) {
         println!(
             "  {:.3}  (matches: {:>4})  {:?}",
@@ -180,8 +238,9 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
         let json = serde_json::to_string_pretty(&file)
             .map_err(|e| OptError(format!("serializing specs: {e}")))?;
         fs::write(path, json).map_err(|e| io_err(e, "writing spec file"))?;
-        println!("saved to {path}");
+        log_info!("saved to {path}");
     }
+    write_metrics(&opts, &report)?;
     Ok(())
 }
 
@@ -192,7 +251,8 @@ fn load_specs(path: &str) -> Result<SpecFile, OptError> {
 
 /// `uspec show`.
 pub fn show(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["tau"])?;
+    let opts = Opts::parse(args, &["tau", "log-level"])?;
+    init_logging(&opts)?;
     let path = opts
         .positional
         .first()
@@ -218,8 +278,19 @@ pub fn show(args: Vec<String>) -> Result<(), OptError> {
 pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
     let opts = Opts::parse(
         args,
-        &["lang", "specs", "tau", "typestate", "taint", "engine"],
+        &[
+            "lang",
+            "specs",
+            "tau",
+            "typestate",
+            "taint",
+            "engine",
+            "metrics-out",
+            "log-level",
+        ],
     )?;
+    init_logging(&opts)?;
+    let start = Instant::now();
     let lib = library_for(&opts)?;
     let table = lib.api_table();
     let path = opts
@@ -245,11 +316,21 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
         engine: engine_for(&opts)?,
         ..PtaOptions::default()
     };
+    // Aggregated over the spec-augmented runs for `--metrics-out`.
+    let mut agg = PtaAggregate::default();
+    let mut problems: Vec<String> = Vec::new();
     for body in &bodies {
         println!("fn {}:", body.func);
         let base = Pta::run(body, &SpecDb::empty(), &pta_opts);
         let aug = Pta::run(body, &specs, &pta_opts);
         let s = &aug.stats;
+        agg.record(s);
+        if !s.converged {
+            problems.push(format!(
+                "fn {}: fixpoint not reached after {} passes",
+                body.func, s.passes
+            ));
+        }
         println!(
             "  analysis: engine={} passes={} propagations={} constraints={} converged={}",
             s.engine, s.passes, s.propagations, s.constraints, s.converged
@@ -326,12 +407,26 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
             println!("  taint: {} finding(s)", findings.len());
         }
     }
+    if opts.value("metrics-out").is_some() {
+        let mut report = RunReport::new("analyze", &pta_opts.engine.to_string());
+        report.counters.corpus.files = 1;
+        report.counters.pta = uspec::pta_counters(&agg);
+        report.counters.metrics = uspec_telemetry::metrics::global().snapshot().counters;
+        report.diagnostics = DiagnosticsSection {
+            dropped: 0,
+            total_problems: problems.len() as u64,
+            retained: problems,
+        };
+        report.timings = uspec::timings_section(start.elapsed().as_secs_f64());
+        write_metrics(&opts, &report)?;
+    }
     Ok(())
 }
 
 /// `uspec graph`.
 pub fn graph(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["lang"])?;
+    let opts = Opts::parse(args, &["lang", "log-level"])?;
+    init_logging(&opts)?;
     let lib = library_for(&opts)?;
     let path = opts
         .positional
@@ -363,7 +458,8 @@ pub fn graph(args: Vec<String>) -> Result<(), OptError> {
 /// specifications (the paper's "interpretable ... directly examined by an
 /// expert" claim, §1).
 pub fn report(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["tau", "out"])?;
+    let opts = Opts::parse(args, &["tau", "out", "log-level"])?;
+    init_logging(&opts)?;
     let path = opts
         .positional
         .first()
@@ -420,7 +516,7 @@ pub fn report(args: Vec<String>) -> Result<(), OptError> {
     match opts.value("out") {
         Some(out) => {
             fs::write(out, md).map_err(|e| io_err(e, "writing report"))?;
-            println!("wrote report to {out}");
+            log_info!("wrote report to {out}");
         }
         None => print!("{md}"),
     }
@@ -441,8 +537,12 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             "shard-size",
             "max-diagnostics",
             "engine",
+            "metrics-out",
+            "log-level",
         ],
     )?;
+    init_logging(&opts)?;
+    let start = Instant::now();
     let lib = library_for(&opts)?;
     let n: usize = opts.num("files", 1000)?;
     let seed: u64 = opts.num("seed", 42)?;
@@ -465,7 +565,11 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
     };
     let result =
         run_pipeline_streaming(&GeneratedSource::new(&lib, &gen), &lib.api_table(), &popts);
-    print_corpus_summary(&result);
+    // eval sweeps over τ values rather than selecting at a single one, so
+    // the report records τ = 0 (no selection).
+    let report =
+        uspec::build_run_report("eval", &result, &popts, 0.0, start.elapsed().as_secs_f64());
+    log_info!("{}", render_summary(&report));
     let points = uspec::precision_recall(&result.learned, |s| lib.is_true_spec(s), &taus);
     println!(
         "{} files → {} candidates ({} classes)",
@@ -489,12 +593,14 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             p.tau, p.precision, p.recall, p.selected
         );
     }
+    write_metrics(&opts, &report)?;
     Ok(())
 }
 
 /// `uspec atlas`.
 pub fn atlas(args: Vec<String>) -> Result<(), OptError> {
-    let opts = Opts::parse(args, &["lang", "tests", "seed"])?;
+    let opts = Opts::parse(args, &["lang", "tests", "seed", "log-level"])?;
+    init_logging(&opts)?;
     let lib = library_for(&opts)?;
     let results = run_atlas(
         &lib,
@@ -549,6 +655,7 @@ mod tests {
         .unwrap();
         assert!(fs::read_dir(&corpus).unwrap().count() >= 120);
 
+        let metrics = dir.join("metrics.json");
         learn(vec![
             "--lang".into(),
             "java".into(),
@@ -558,6 +665,8 @@ mod tests {
             "5".into(),
             "--out".into(),
             specs.display().to_string(),
+            "--metrics-out".into(),
+            metrics.display().to_string(),
             corpus.display().to_string(),
         ])
         .unwrap();
@@ -565,8 +674,40 @@ mod tests {
         assert_eq!(loaded.universe, "java");
         assert!(!loaded.learned.is_empty());
 
+        // --metrics-out wrote a parseable report for this run.
+        let json = fs::read_to_string(&metrics).unwrap();
+        let report: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.schema, uspec_telemetry::REPORT_SCHEMA_VERSION);
+        assert_eq!(report.command, "learn");
+        assert_eq!(report.counters.corpus.files, 120);
+        assert!(report.counters.candidates.extracted > 0);
+        assert!(report.timings.total_seconds > 0.0);
+
         show(vec![specs.display().to_string()]).unwrap();
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_caps_diagnostics_with_trailer() {
+        let mut r = RunReport::new("learn", "worklist");
+        r.counters.corpus.failures = 7;
+        r.counters.corpus.graphs = 10;
+        r.diagnostics = DiagnosticsSection {
+            retained: vec!["a.u: parse error".into(), "b.u: parse error".into()],
+            dropped: 5,
+            total_problems: 7,
+        };
+        let s = render_summary(&r);
+        assert!(s.contains("  a.u: parse error\n"), "{s}");
+        assert!(s.contains("… and 5 more (total 7 failures)"), "{s}");
+
+        // No trailer when nothing was dropped, no problem block when clean.
+        r.diagnostics.dropped = 0;
+        assert!(!render_summary(&r).contains("more (total"));
+        r.diagnostics = DiagnosticsSection::default();
+        let clean = render_summary(&r);
+        assert!(!clean.contains("failed analysis"), "{clean}");
+        assert!(clean.contains("10 total"), "{clean}");
     }
 
     #[test]

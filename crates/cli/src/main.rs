@@ -35,7 +35,7 @@ fn main() {
         ))),
     };
     if let Err(e) = result {
-        eprintln!("error: {e}");
+        uspec_telemetry::log_error!("{e}");
         std::process::exit(1);
     }
 }
@@ -54,6 +54,14 @@ USAGE:
       Shared analysis flags: --shard-size N  --max-diagnostics N
       --engine <worklist|naive>  (points-to solver; worklist is the default,
       naive is the reference implementation — results are identical)
+
+  Output control (every command):
+      --log-level <error|warn|info|debug|trace>   status verbosity (stderr;
+          default info; debug echoes timing spans)
+      -q                                          shorthand for errors only
+  Machine-readable metrics (learn, eval, analyze):
+      --metrics-out FILE.json    write the versioned run report (schema 1):
+          counters, diagnostics, and timings for the whole run
 
   uspec show FILE [--tau T]
       Pretty-print a saved specification file.

@@ -33,7 +33,10 @@ impl Opts {
         let mut out = Opts::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
-            if let Some(name) = arg.strip_prefix("--") {
+            if arg == "-q" {
+                // The one short flag: quiet mode (errors only).
+                out.switches.push("q".to_owned());
+            } else if let Some(name) = arg.strip_prefix("--") {
                 if let Some((k, v)) = name.split_once('=') {
                     if !value_flags.contains(&k) {
                         return Err(OptError(format!("unknown option --{k}")));
@@ -112,6 +115,14 @@ mod tests {
     fn unknown_eq_option_is_an_error() {
         let err = parse(&["--bogus=3"], &["lang"]).unwrap_err();
         assert!(err.0.contains("unknown option"));
+    }
+
+    #[test]
+    fn short_q_is_a_switch() {
+        let o = parse(&["-q", "file.u"], &[]).unwrap();
+        assert!(o.switch("q"));
+        assert_eq!(o.positional, vec!["file.u"]);
+        assert!(!parse(&["file.u"], &[]).unwrap().switch("q"));
     }
 
     #[test]

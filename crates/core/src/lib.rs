@@ -40,6 +40,7 @@
 
 pub mod eval;
 pub mod pipeline;
+pub mod report;
 pub mod stage;
 
 pub use eval::{
@@ -50,6 +51,7 @@ pub use pipeline::{
     analyze_source, analyze_source_with_specs, run_pipeline, run_pipeline_streaming, CorpusStats,
     CorpusTotals, PipelineOptions, PipelineResult,
 };
+pub use report::{build_run_report, pta_counters, timings_section};
 pub use stage::{
     AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, AnalyzedShard, DedupFilter,
     DiagnosticKind, ExtractStage, SampleStage,

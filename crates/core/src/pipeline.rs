@@ -31,7 +31,7 @@ use uspec_lang::registry::ApiTable;
 use uspec_lang::LangError;
 use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ScoreFn};
 use uspec_model::{EdgeModel, Sample, TrainOptions, TrainStats};
-use uspec_pta::{Pta, PtaOptions, SpecDb};
+use uspec_pta::{Pta, PtaAggregate, PtaOptions, SpecDb};
 
 use crate::stage::{
     AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, DedupFilter, ExtractStage,
@@ -106,6 +106,10 @@ pub struct CorpusStats {
     /// for batch runs it equals `graphs`. Depends on `shard_size` by
     /// design and is excluded from [`CorpusStats::totals`].
     pub peak_resident_graphs: usize,
+    /// Points-to solver statistics aggregated over every analyzed body
+    /// (first analysis pass only, so totals are shard-size-invariant),
+    /// including the per-body pass-count histogram.
+    pub pta: PtaAggregate,
     /// Structured records of failed files, in corpus order, capped at
     /// [`PipelineOptions::max_diagnostics`].
     pub diagnostics: Vec<AnalysisDiagnostic>,
@@ -208,6 +212,7 @@ pub(crate) fn analyze_source_staged(
     let mut file = AnalyzedFile::default();
     for body in &bodies {
         let pta = Pta::run(body, specs, &opts.pta);
+        file.pta.record(&pta.stats);
         if !pta.stats.converged {
             file.non_converged
                 .push((body.func.to_string(), pta.stats.passes));
@@ -247,7 +252,10 @@ pub fn run_pipeline_streaming<S: CorpusSource + ?Sized>(
         samples.extend(sample.run(&analyzed));
         // `analyzed` — this shard's event graphs — drops here.
     }
-    let model = EdgeModel::train(&samples, &opts.train);
+    let model = {
+        let _span = uspec_telemetry::span!("stage.train", "samples={}", samples.len());
+        EdgeModel::train(&samples, &opts.train)
+    };
     drop(samples);
 
     // Pass B: re-analyze each shard and extract candidates with ϕ. Counts

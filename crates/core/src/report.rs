@@ -1,0 +1,157 @@
+//! Assembling a [`RunReport`] from a pipeline run.
+//!
+//! The CLI's `--metrics-out` flag serializes the report this module
+//! builds. Deterministic sections (`counters`, `diagnostics`) come from
+//! the per-run result structures — [`PipelineResult`], its
+//! [`CorpusStats`](crate::CorpusStats) and [`PtaAggregate`] — plus the
+//! global counter registry; the `timings` section snapshots span
+//! aggregates, gauges, and histograms, which are wall-clock and therefore
+//! machine-local.
+
+use uspec_pta::PtaAggregate;
+use uspec_telemetry::{
+    metrics, span, CandidateCounters, CorpusCounters, DiagnosticsSection, ModelCounters,
+    PtaCounters, RunReport, TimingsSection,
+};
+
+use crate::pipeline::{PipelineOptions, PipelineResult};
+
+/// Converts a [`PtaAggregate`] into the report's `counters.pta` section.
+pub fn pta_counters(agg: &PtaAggregate) -> PtaCounters {
+    PtaCounters {
+        bodies: agg.bodies as u64,
+        passes: agg.passes as u64,
+        propagations: agg.propagations as u64,
+        constraints: agg.constraints as u64,
+        non_converged: agg.non_converged as u64,
+        pass_histogram: agg
+            .pass_histogram()
+            .iter()
+            .map(|(&passes, &bodies)| (passes as u64, bodies as u64))
+            .collect(),
+    }
+}
+
+/// Snapshots the global telemetry state into a report's [`TimingsSection`].
+/// `total_seconds` is the caller-measured end-to-end wall time.
+pub fn timings_section(total_seconds: f64) -> TimingsSection {
+    let snap = metrics::global().snapshot();
+    TimingsSection {
+        total_seconds,
+        spans: span::snapshot(),
+        gauges: snap.gauges,
+        histograms: snap.histograms,
+    }
+}
+
+/// Builds the full run report for a completed pipeline run.
+///
+/// `tau` is the selection threshold the command applied (`0.0` when the
+/// command did no selection). Counters come from `result` and the global
+/// registry; serializing [`RunReport::invariant`] of the returned report
+/// is byte-identical across `opts.shard_size` values for the same corpus
+/// and seed.
+pub fn build_run_report(
+    command: &str,
+    result: &PipelineResult,
+    opts: &PipelineOptions,
+    tau: f64,
+    total_seconds: f64,
+) -> RunReport {
+    let corpus = &result.corpus;
+    let mut report = RunReport::new(command, &opts.pta.engine.to_string());
+
+    report.counters.corpus = CorpusCounters {
+        files: corpus.files as u64,
+        failures: corpus.failures as u64,
+        duplicates: corpus.duplicates as u64,
+        graphs: corpus.graphs as u64,
+        events: corpus.events as u64,
+        edges: corpus.edges as u64,
+    };
+    report.counters.pta = pta_counters(&corpus.pta);
+    report.counters.model = ModelCounters {
+        samples_pos: result.model_stats.n_pos as u64,
+        samples_neg: result.model_stats.n_neg as u64,
+        models: result.model_stats.n_models as u64,
+        epochs: result.model_stats.epoch_loss.len() as u64,
+        epoch_loss: result.model_stats.epoch_loss.clone(),
+        final_loss: result.model_stats.final_loss,
+        train_accuracy: result.model_stats.train_accuracy,
+    };
+    report.counters.candidates = CandidateCounters {
+        extracted: result.learned.scored.len() as u64,
+        selected: result
+            .learned
+            .scored
+            .iter()
+            .filter(|s| s.score >= tau)
+            .count() as u64,
+        tau,
+    };
+    report.counters.metrics = metrics::global().snapshot().counters;
+
+    report.diagnostics = DiagnosticsSection {
+        retained: corpus.diagnostics.iter().map(|d| d.to_string()).collect(),
+        dropped: (corpus.failures + corpus.non_converged).saturating_sub(corpus.diagnostics.len())
+            as u64,
+        total_problems: (corpus.failures + corpus.non_converged) as u64,
+    };
+
+    report.timings = timings_section(total_seconds);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_corpus::{generate_corpus, java_library, GenOptions};
+
+    #[test]
+    fn report_reflects_pipeline_result() {
+        let lib = java_library();
+        let table = lib.api_table();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 40,
+                seed: 5,
+                ..GenOptions::default()
+            },
+        );
+        let sources: Vec<(String, String)> =
+            files.into_iter().map(|f| (f.name, f.source)).collect();
+        let opts = PipelineOptions::default();
+        let result = crate::run_pipeline(&sources, &table, &opts);
+        let report = build_run_report("learn", &result, &opts, 0.6, 0.5);
+
+        assert_eq!(report.schema, uspec_telemetry::REPORT_SCHEMA_VERSION);
+        assert_eq!(report.command, "learn");
+        assert_eq!(report.counters.corpus.files, result.corpus.files as u64);
+        assert_eq!(report.counters.pta.bodies, result.corpus.pta.bodies as u64);
+        assert!(
+            report.counters.pta.bodies >= report.counters.corpus.graphs,
+            "every graph comes from an analyzed body"
+        );
+        let hist_bodies: u64 = report
+            .counters
+            .pta
+            .pass_histogram
+            .iter()
+            .map(|&(_, n)| n)
+            .sum();
+        assert_eq!(hist_bodies, report.counters.pta.bodies);
+        assert_eq!(
+            report.counters.model.epochs as usize, opts.train.epochs,
+            "one loss entry per epoch"
+        );
+        assert_eq!(
+            report.counters.model.epoch_loss.last().copied().unwrap(),
+            report.counters.model.final_loss
+        );
+        assert_eq!(report.counters.candidates.tau, 0.6);
+        assert!(report.counters.candidates.extracted > 0);
+        assert_eq!(report.diagnostics.total_problems, 0);
+        assert_eq!(report.timings.total_seconds, 0.5);
+    }
+}

@@ -25,7 +25,7 @@ use uspec_lang::LangError;
 use uspec_learn::{CandidateSet, ExtractOptions, Extractor};
 use uspec_model::seed::mix_seed;
 use uspec_model::{extract_samples, EdgeModel, Sample, TrainOptions};
-use uspec_pta::SpecDb;
+use uspec_pta::{PtaAggregate, SpecDb};
 
 use crate::pipeline::{analyze_source_staged, CorpusStats, PipelineOptions};
 
@@ -145,6 +145,8 @@ pub struct AnalyzedFile {
     /// `(function name, passes executed)` for each body whose analysis hit
     /// `max_passes` without converging.
     pub non_converged: Vec<(String, usize)>,
+    /// Solver statistics aggregated over the file's bodies.
+    pub pta: PtaAggregate,
 }
 
 /// One shard's analysis output: event graphs grouped per file, tagged with
@@ -184,6 +186,18 @@ impl<'a> AnalyzeStage<'a> {
         dedup: &mut DedupFilter,
         stats: &mut CorpusStats,
     ) -> AnalyzedShard {
+        let _span = uspec_telemetry::span!(
+            "stage.analyze",
+            "shard@{} files={}",
+            shard.start,
+            shard.files.len()
+        );
+        // Shard structure is a streaming-configuration detail, so it is
+        // recorded only as a histogram (reports place those under the
+        // machine-local `timings` section; a counter here would break the
+        // shard-size invariance of `counters.metrics`). The histogram's
+        // `count` is the number of shards processed.
+        uspec_telemetry::histogram!("pipeline.shard_files").record(shard.files.len() as u64);
         // Duplicate pruning is sequential (it is stateful), analysis of the
         // surviving files is parallel.
         let mut kept: Vec<(usize, &str, &str)> = Vec::new();
@@ -216,6 +230,7 @@ impl<'a> AnalyzeStage<'a> {
                         stats.events += g.num_events();
                         stats.edges += g.num_edges();
                     }
+                    stats.pta.merge(&file.pta);
                     stats.non_converged += file.non_converged.len();
                     for (func, passes) in file.non_converged {
                         if stats.diagnostics.len() < self.opts.max_diagnostics {
@@ -239,6 +254,8 @@ impl<'a> AnalyzeStage<'a> {
             }
         }
         stats.peak_resident_graphs = stats.peak_resident_graphs.max(out.num_graphs());
+        uspec_telemetry::gauge!("pipeline.peak_resident_graphs")
+            .record_max(out.num_graphs() as u64);
         out
     }
 }
@@ -260,6 +277,7 @@ impl<'a> SampleStage<'a> {
 
     /// Extracts this shard's samples, in stable corpus order.
     pub fn run(&self, shard: &AnalyzedShard) -> Vec<Sample> {
+        let _span = uspec_telemetry::span!("stage.sample", "graphs={}", shard.num_graphs());
         shard
             .graphs
             .par_iter()
@@ -304,6 +322,7 @@ impl<'a> ExtractStage<'a> {
 
     /// Extracts this shard's candidates.
     pub fn run(&self, shard: &AnalyzedShard) -> CandidateSet {
+        let _span = uspec_telemetry::span!("stage.extract", "graphs={}", shard.num_graphs());
         let graphs: Vec<&EventGraph> = shard.graphs.iter().flat_map(|(_, gs)| gs.iter()).collect();
         let chunks: Vec<CandidateSet> = graphs
             .par_chunks(chunk_len(graphs.len(), 64, 16))

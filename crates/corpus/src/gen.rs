@@ -111,6 +111,7 @@ pub struct GeneratedFile {
 /// assert!(files[0].source.contains("fn main"));
 /// ```
 pub fn generate_corpus(lib: &Library, opts: &GenOptions) -> Vec<GeneratedFile> {
+    let _span = uspec_telemetry::span!("corpus.generate", "files={}", opts.num_files);
     let ctx = GenContext::new(lib, opts.clone());
     (0..opts.num_files).map(|i| ctx.generate_file(i)).collect()
 }
@@ -156,6 +157,7 @@ impl<'a> GenContext<'a> {
 
     /// Generates file `i` of the corpus (`i < num_files`).
     pub(crate) fn generate_file(&self, i: usize) -> GeneratedFile {
+        uspec_telemetry::counter!("corpus.files_generated").inc();
         let mut fg = FileGen {
             lib: self.lib,
             opts: &self.opts,

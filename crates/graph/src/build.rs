@@ -52,6 +52,7 @@ type State = BTreeMap<ObjId, HistorySet>;
 /// # Ok::<(), uspec_lang::LangError>(())
 /// ```
 pub fn build_event_graph(body: &Body, pta: &Pta, opts: &GraphOptions) -> EventGraph {
+    let _span = uspec_telemetry::span!("graph.build", "fn={}", body.func);
     let mut b = Builder {
         body,
         pta,
@@ -59,6 +60,9 @@ pub fn build_event_graph(body: &Body, pta: &Pta, opts: &GraphOptions) -> EventGr
         graph: EventGraph::default(),
     };
     b.run();
+    uspec_telemetry::counter!("graph.graphs_built").inc();
+    uspec_telemetry::counter!("graph.events").add(b.graph.num_events() as u64);
+    uspec_telemetry::counter!("graph.edges").add(b.graph.num_edges() as u64);
     b.graph
 }
 

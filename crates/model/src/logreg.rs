@@ -41,7 +41,9 @@ impl LogReg {
     }
 
     /// One SGD step on (tokens, label) with log loss and L2 regularization.
-    pub fn update(&mut self, tokens: &[u64], label: bool, lr: f32, l2: f32) {
+    /// Returns the example's log loss *before* the step (the prediction is
+    /// already computed for the gradient, so the loss costs one `ln`).
+    pub fn update(&mut self, tokens: &[u64], label: bool, lr: f32, l2: f32) -> f32 {
         let p = self.predict(tokens);
         let g = p - (label as u8 as f32);
         self.bias -= lr * g;
@@ -50,6 +52,12 @@ impl LogReg {
             *w -= lr * (g + l2 * *w);
         }
         self.updates += 1;
+        let p = p.clamp(1e-7, 1.0 - 1e-7);
+        if label {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
     }
 
     /// Log loss of a single example.

@@ -138,6 +138,10 @@ pub struct TrainStats {
     pub n_neg: usize,
     /// Number of per-position models instantiated.
     pub n_models: usize,
+    /// Mean log loss of each epoch, measured on each example *before* its
+    /// SGD step (free: the prediction is already computed for the
+    /// gradient). `epoch_loss.last()` equals `final_loss`.
+    pub epoch_loss: Vec<f64>,
     /// Mean log loss over the final epoch.
     pub final_loss: f64,
     /// Training-set accuracy at threshold 0.5 after training.
@@ -172,6 +176,7 @@ impl EdgeModel {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x7261_6e64);
         for epoch in 0..opts.epochs {
+            let _span = uspec_telemetry::span!("train.epoch", "epoch={}", epoch);
             order.shuffle(&mut rng);
             let lr = opts.lr / (1.0 + opts.lr_decay * epoch as f32);
             let mut loss = 0.0f64;
@@ -181,15 +186,13 @@ impl EdgeModel {
                     .models
                     .entry(s.key)
                     .or_insert_with(|| LogReg::new(opts.dim_bits));
-                if epoch == opts.epochs - 1 {
-                    loss += m.loss(&s.tokens, s.label) as f64;
-                }
-                m.update(&s.tokens, s.label, lr, opts.l2);
+                loss += m.update(&s.tokens, s.label, lr, opts.l2) as f64;
             }
-            if epoch == opts.epochs - 1 && !samples.is_empty() {
-                model.stats.final_loss = loss / samples.len() as f64;
+            if !samples.is_empty() {
+                model.stats.epoch_loss.push(loss / samples.len() as f64);
             }
         }
+        model.stats.final_loss = model.stats.epoch_loss.last().copied().unwrap_or(0.0);
         model.stats.n_models = model.models.len();
         if !samples.is_empty() {
             let correct = samples

@@ -1,0 +1,118 @@
+//! Corpus-level aggregation of per-body [`PtaStats`].
+//!
+//! One [`PtaAggregate`] folds the solver statistics of every analyzed body
+//! — totals plus a per-body pass-count histogram. The histogram is the
+//! diagnostic the engine benchmarks need: a corpus whose bodies converge in
+//! one or two passes is bound by the shared recording pass (where the
+//! worklist engine cannot win), while a long-tailed histogram marks the
+//! iteration-heavy workloads where delta propagation pays off.
+//!
+//! Aggregation is pure bookkeeping over [`PtaStats`] values, so it is
+//! deterministic and independent of shard layout or thread schedule; the
+//! streaming pipeline folds it into its corpus statistics and the run
+//! report's `counters.pta` section.
+
+use std::collections::BTreeMap;
+
+use crate::engine::PtaStats;
+
+/// Aggregated solver statistics over many analyzed bodies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PtaAggregate {
+    /// Bodies analyzed.
+    pub bodies: usize,
+    /// Fixpoint passes (naive) / rounds (worklist), summed.
+    pub passes: usize,
+    /// Transfer-function / constraint evaluations, summed.
+    pub propagations: usize,
+    /// Constraints built, summed (0 under the naive engine, which has no
+    /// constraint IR).
+    pub constraints: usize,
+    /// Bodies that hit the pass cap without converging.
+    pub non_converged: usize,
+    /// Per-body pass count → number of bodies.
+    pass_counts: BTreeMap<usize, usize>,
+}
+
+impl PtaAggregate {
+    /// Folds one body's statistics in.
+    pub fn record(&mut self, stats: &PtaStats) {
+        self.bodies += 1;
+        self.passes += stats.passes;
+        self.propagations += stats.propagations;
+        self.constraints += stats.constraints;
+        self.non_converged += usize::from(!stats.converged);
+        *self.pass_counts.entry(stats.passes).or_insert(0) += 1;
+    }
+
+    /// Merges another aggregate in (e.g. one shard's into the corpus').
+    pub fn merge(&mut self, other: &PtaAggregate) {
+        self.bodies += other.bodies;
+        self.passes += other.passes;
+        self.propagations += other.propagations;
+        self.constraints += other.constraints;
+        self.non_converged += other.non_converged;
+        for (&passes, &count) in &other.pass_counts {
+            *self.pass_counts.entry(passes).or_insert(0) += count;
+        }
+    }
+
+    /// The pass-count histogram: per-body pass count → number of bodies,
+    /// ascending by pass count.
+    pub fn pass_histogram(&self) -> &BTreeMap<usize, usize> {
+        &self.pass_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+
+    fn stats(passes: usize, converged: bool) -> PtaStats {
+        PtaStats {
+            engine: EngineKind::Worklist,
+            passes,
+            propagations: passes * 10,
+            constraints: 7,
+            converged,
+        }
+    }
+
+    #[test]
+    fn record_and_merge_agree() {
+        let all = [
+            stats(2, true),
+            stats(2, true),
+            stats(5, true),
+            stats(64, false),
+        ];
+        let mut whole = PtaAggregate::default();
+        for s in &all {
+            whole.record(s);
+        }
+
+        let mut left = PtaAggregate::default();
+        let mut right = PtaAggregate::default();
+        for s in &all[..2] {
+            left.record(s);
+        }
+        for s in &all[2..] {
+            right.record(s);
+        }
+        left.merge(&right);
+
+        assert_eq!(left, whole);
+        assert_eq!(whole.bodies, 4);
+        assert_eq!(whole.passes, 2 + 2 + 5 + 64);
+        assert_eq!(whole.propagations, (2 + 2 + 5 + 64) * 10);
+        assert_eq!(whole.constraints, 28);
+        assert_eq!(whole.non_converged, 1);
+        let hist: Vec<(usize, usize)> = whole
+            .pass_histogram()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(hist, vec![(2, 2), (5, 1), (64, 1)]);
+    }
+}

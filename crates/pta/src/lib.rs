@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod engine;
 
 pub(crate) mod constraints;
@@ -59,6 +60,7 @@ mod rules_tests;
 pub(crate) mod solver;
 pub mod specdb;
 
+pub use aggregate::PtaAggregate;
 pub use engine::{
     CallRecord, EngineKind, Env, GhostMode, InstrRecord, Pta, PtaOptions, PtaStats, PtsSet,
 };

@@ -28,6 +28,9 @@ pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
     let mut engine = Engine::fresh(body, specs, opts);
     let mut passes = 0;
     let converged;
+    // The naive engine has no lowering phase: the whole fixpoint loop is
+    // propagation, mirroring the worklist solver's `pta.propagate` span.
+    let span = uspec_telemetry::span!("pta.propagate", "fn={}", body.func);
     loop {
         passes += 1;
         let grew = engine.pass(None);
@@ -41,6 +44,7 @@ pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
             break;
         }
     }
+    drop(span);
     let stats = PtaStats {
         engine: EngineKind::Naive,
         passes,
@@ -56,6 +60,7 @@ pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
 /// solver hands its converged state to [`Engine::resume`] and finishes
 /// here, so records and entry environments come from identical code.
 pub(crate) fn record(mut engine: Engine<'_>, stats: PtaStats) -> Pta {
+    let _span = uspec_telemetry::span!("pta.record", "fn={}", engine.body.func);
     let mut records: Vec<Vec<InstrRecord>> = vec![Vec::new(); engine.body.blocks.len()];
     let entry_envs = engine.pass_record(&mut records);
     engine.heap.take_dirty();

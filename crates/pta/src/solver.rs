@@ -56,7 +56,10 @@ pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
         opts.flow_sensitive,
         "worklist solver is flow-sensitive only"
     );
-    let cg = ConstraintGraph::build(body);
+    let cg = {
+        let _span = uspec_telemetry::span!("pta.lower", "fn={}", body.func);
+        ConstraintGraph::build(body)
+    };
     let mut objs = ObjPool::new();
     let mut sets: Vec<PtsSet> = vec![PtsSet::new(); cg.num_defs];
     let params = intern_params(body, &mut objs);
@@ -75,7 +78,10 @@ pub(crate) fn solve(body: &Body, specs: &SpecDb, opts: &PtaOptions) -> Pta {
         scratch: Vec::new(),
         evals: 0,
     };
-    let (passes, converged) = solver.run();
+    let (passes, converged) = {
+        let _span = uspec_telemetry::span!("pta.propagate", "fn={}", body.func);
+        solver.run()
+    };
     let stats = PtaStats {
         engine: EngineKind::Worklist,
         passes,

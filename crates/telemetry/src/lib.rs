@@ -1,0 +1,63 @@
+//! Run-wide telemetry: spans, a metrics registry, a leveled logger, and
+//! machine-readable run reports.
+//!
+//! The design goal is that telemetry stays **on by default**: every hot-path
+//! primitive is a relaxed atomic behind a single branch on [`enabled`], the
+//! registry mutex is touched only at registration and snapshot time (call
+//! sites cache `&'static` metric handles in a local `OnceLock`), and benches
+//! assert end-to-end overhead under 3%.
+//!
+//! Three layers:
+//!
+//! * [`span!`] — RAII wall-clock timing with nesting and thread-safe
+//!   aggregation per span name. At `debug` log level, span entry/exit is
+//!   echoed as indented trace lines.
+//! * [`metrics`] — counters, gauges, and histograms registered by name in a
+//!   process-global registry, snapshotted into a [`metrics::MetricsSnapshot`].
+//! * [`report`] — the versioned [`report::RunReport`] schema serialized by
+//!   `--metrics-out`, split into deterministic `counters` (byte-identical
+//!   across shard sizes for the same seed) and machine-local `timings`.
+//!
+//! Two kill switches: [`set_enabled`] flips a runtime `AtomicBool` (used by
+//! the overhead bench), and the `off` cargo feature makes [`enabled`] a
+//! compile-time `false` so the optimizer erases every telemetry branch. The
+//! leveled [`log`] layer is user-facing output and ignores both switches.
+
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use log::Level;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use report::{
+    CandidateCounters, CorpusCounters, DiagnosticsSection, InvariantSections, ModelCounters,
+    PtaCounters, ReportCounters, RunReport, TimingsSection, REPORT_SCHEMA_VERSION,
+};
+pub use span::{SpanAgg, SpanGuard, SpanStat};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether metric and span recording is active. Constant `false` when the
+/// crate is built with the `off` feature; otherwise a relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    !cfg!(feature = "off") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Runtime kill switch for metric and span recording. Logging is
+/// unaffected. No-op (stuck `false`) under the `off` feature.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Zeroes every registered metric and span aggregate. Handles stay valid.
+///
+/// The registry is process-global, so callers that need per-run numbers
+/// (tests, benches timing several configurations) reset between runs.
+pub fn reset() {
+    metrics::global().reset();
+    span::reset();
+}

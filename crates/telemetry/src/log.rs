@@ -1,0 +1,163 @@
+//! Leveled logging to stderr.
+//!
+//! A deliberately small replacement for the CLI's former raw `eprintln!`s:
+//! one process-global level (an `AtomicU8`), five macros, no targets or
+//! sinks. Primary command *output* (spec listings, tables, DOT) does not go
+//! through here — it belongs on stdout; this layer carries status,
+//! progress, and diagnostics on stderr where `--log-level` / `-q` can
+//! control them.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the user must see even under `-q`.
+    Error = 0,
+    /// Suspicious but non-fatal conditions.
+    Warn = 1,
+    /// Normal status output (the default).
+    Info = 2,
+    /// Extra detail; span entry/exit echoing activates here.
+    Debug = 3,
+    /// Firehose.
+    Trace = 4,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Lower-case name, matching what [`FromStr`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current process-global log level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `at` would currently be emitted.
+#[inline]
+pub fn enabled_at(at: Level) -> bool {
+    at <= level()
+}
+
+/// Emits one line at `at` (no-op when filtered). Prefer the `log_*!` macros.
+pub fn write(at: Level, args: fmt::Arguments<'_>) {
+    if !enabled_at(at) {
+        return;
+    }
+    match at {
+        Level::Info => eprintln!("{args}"),
+        other => eprintln!("{}: {args}", other.name()),
+    }
+}
+
+/// Emits a span entry/exit echo line, indented two spaces per nesting
+/// depth. Only called by span guards when the level is at least `debug`.
+pub fn span_echo(depth: usize, text: fmt::Arguments<'_>) {
+    eprintln!("debug: {:indent$}{text}", "", indent = depth * 2);
+}
+
+/// Logs at [`Level::Error`]. Always visible, even under `-q`.
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        $crate::log::write($crate::Level::Error, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        $crate::log::write($crate::Level::Warn, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] — the default level for status output.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        $crate::log::write($crate::Level::Info, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        $crate::log::write($crate::Level::Debug, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! log_trace {
+    ($($arg:tt)*) => {
+        $crate::log::write($crate::Level::Trace, ::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("trace".parse::<Level>().unwrap(), Level::Trace);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Warn && Level::Debug < Level::Trace);
+        assert_eq!(Level::Debug.to_string(), "debug");
+    }
+}

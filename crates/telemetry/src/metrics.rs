@@ -1,0 +1,357 @@
+//! Counters, gauges, and histograms in a process-global registry.
+//!
+//! Hot-path updates are relaxed atomics guarded by one branch on
+//! [`crate::enabled`]; the registry's mutex is taken only when a metric is
+//! first registered or when a snapshot/reset walks the registry. Call
+//! sites cache the returned `&'static` handle in a local `OnceLock` via
+//! the [`counter!`] / [`gauge!`] / [`histogram!`] macros, so steady-state
+//! cost is one load, one branch, and one `fetch_add`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter. No-op when telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one. No-op when telemetry is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write or high-water value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge. No-op when telemetry is disabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (high-water tracking). No-op when
+    /// telemetry is disabled.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if crate::enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket 0 holds zeros and
+/// bucket `i` holds values in `[2^(i-1), 2^i)`, so 65 covers all of `u64`.
+const BUCKETS: usize = 65;
+
+/// Power-of-two bucketed distribution of `u64` samples.
+///
+/// The per-bucket increment sits behind the same [`crate::enabled`] branch
+/// as every other metric, keeping histograms cheap enough to leave
+/// registered on hot paths.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index for `v`: 0 for zero, otherwise `64 - leading_zeros`, i.e.
+/// one plus the position of the highest set bit.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`0` for the zero bucket).
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample. No-op when telemetry is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the current distribution out. Only non-empty buckets are
+    /// kept, each as `(inclusive_upper_bound, count)`.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_bound(i), n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serializable copy of a [`Histogram`]: sample count, sample sum, and the
+/// non-empty power-of-two buckets as `(inclusive_upper_bound, count)`.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Non-empty buckets, `(inclusive_upper_bound, count)`, bound-sorted.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram name → distribution.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Name-keyed registry of metrics. Handles are `&'static` (leaked once at
+/// registration) so hot paths never re-lock.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Takes the registry lock — cache the handle (see [`counter!`]).
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+    }
+
+    /// Copies every registered metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric; handles stay valid.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Returns the `&'static Counter` for a literal name, registering on first
+/// execution of the call site and caching the handle thereafter.
+///
+/// ```
+/// uspec_telemetry::counter!("doc.items").add(3);
+/// assert!(uspec_telemetry::counter!("doc.items").get() >= 3);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::global().counter($name))
+    }};
+}
+
+/// Returns the `&'static Gauge` for a literal name (cached per call site).
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::global().gauge($name))
+    }};
+}
+
+/// Returns the `&'static Histogram` for a literal name (cached per call
+/// site).
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-global registry with every other test in
+    // this binary, so each uses names unique to itself and never calls
+    // `reset` on the global registry.
+
+    #[test]
+    fn counter_accumulates() {
+        let c = counter!("test.metrics.counter_accumulates");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same handle through the registry.
+        assert_eq!(
+            global().counter("test.metrics.counter_accumulates").get(),
+            5
+        );
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = gauge!("test.metrics.gauge_set_and_max");
+        g.set(10);
+        g.record_max(7);
+        assert_eq!(g.get(), 10);
+        g.record_max(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let h = histogram!("test.metrics.histogram_buckets");
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1010);
+        // 0 → bound 0; 1 → bound 1; 2,3 → bound 3; 4 → bound 7; 1000 → bound 1023.
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_includes_registered_names() {
+        counter!("test.metrics.snapshot_presence").add(2);
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["test.metrics.snapshot_presence"], 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! The machine-readable run report emitted by `--metrics-out`.
+//!
+//! [`RunReport`] is a stable, versioned schema ([`REPORT_SCHEMA_VERSION`])
+//! merging corpus statistics, points-to solver aggregates, model-training
+//! statistics, registry counters, diagnostics accounting, and stage
+//! timings. The schema is split along a determinism boundary:
+//!
+//! * everything **outside** `timings` is a pure function of the input
+//!   corpus, seed, and options — byte-identical across shard sizes and
+//!   machines (the invariance tests serialize [`RunReport::invariant`]);
+//! * `timings` holds wall-clock spans, gauges, and size histograms —
+//!   machine- and schedule-dependent by nature.
+//!
+//! Consumers that diff or cache reports should compare the invariant
+//! sections; consumers that profile read `timings`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::HistogramSnapshot;
+use crate::span::SpanStat;
+
+/// Version of the report layout. Bump on any breaking schema change;
+/// `tools/check_report.rs` pins the full key set against drift.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Top-level run report. See the module docs for the determinism split.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// CLI command that produced the report (`learn`, `eval`, `analyze`).
+    pub command: String,
+    /// Points-to engine used (`naive` or `worklist`).
+    pub engine: String,
+    /// Deterministic counters: identical across shard sizes for one seed.
+    pub counters: ReportCounters,
+    /// Diagnostics accounting, including what `max_diagnostics` dropped.
+    pub diagnostics: DiagnosticsSection,
+    /// Wall-clock data; excluded from determinism comparisons.
+    pub timings: TimingsSection,
+}
+
+/// Deterministic counter sections of a [`RunReport`].
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct ReportCounters {
+    /// Corpus ingestion totals (from `CorpusStats`).
+    pub corpus: CorpusCounters,
+    /// Points-to solver aggregates over every analyzed body.
+    pub pta: PtaCounters,
+    /// Model-training statistics.
+    pub model: ModelCounters,
+    /// Candidate extraction and selection.
+    pub candidates: CandidateCounters,
+    /// Raw registry counters (name → value) for everything not broken out
+    /// above; deterministic because counters count work items, not time.
+    pub metrics: BTreeMap<String, u64>,
+}
+
+/// Corpus ingestion totals.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorpusCounters {
+    /// Files ingested.
+    pub files: u64,
+    /// Files that failed to parse or lower.
+    pub failures: u64,
+    /// Files skipped as duplicates.
+    pub duplicates: u64,
+    /// Event graphs built.
+    pub graphs: u64,
+    /// Events across all graphs.
+    pub events: u64,
+    /// Candidate edges across all graphs.
+    pub edges: u64,
+}
+
+/// Points-to solver aggregates across all analyzed bodies.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PtaCounters {
+    /// Bodies analyzed.
+    pub bodies: u64,
+    /// Fixpoint passes summed over bodies.
+    pub passes: u64,
+    /// Constraint/instruction evaluations summed over bodies.
+    pub propagations: u64,
+    /// Constraints summed over bodies (0 for the naive engine).
+    pub constraints: u64,
+    /// Bodies that hit the pass cap without converging.
+    pub non_converged: u64,
+    /// Distribution of per-body pass counts, `(passes, bodies)` sorted by
+    /// pass count.
+    pub pass_histogram: Vec<(u64, u64)>,
+}
+
+/// Model-training statistics.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct ModelCounters {
+    /// Positive training samples.
+    pub samples_pos: u64,
+    /// Negative (corrupted) training samples.
+    pub samples_neg: u64,
+    /// Per-event-kind-pair models trained.
+    pub models: u64,
+    /// SGD epochs run.
+    pub epochs: u64,
+    /// Mean training loss after each epoch.
+    pub epoch_loss: Vec<f64>,
+    /// Mean loss of the final epoch.
+    pub final_loss: f64,
+    /// Training-set accuracy of the final model.
+    pub train_accuracy: f64,
+}
+
+/// Candidate extraction and selection counts.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq)]
+pub struct CandidateCounters {
+    /// Candidate specs extracted.
+    pub extracted: u64,
+    /// Candidates at or above the selection threshold.
+    pub selected: u64,
+    /// Selection threshold τ used (0 when not applicable).
+    pub tau: f64,
+}
+
+/// Diagnostics accounting. `retained` honors `max_diagnostics`; the
+/// `dropped`/`total_problems` pair makes capped runs distinguishable from
+/// complete ones.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct DiagnosticsSection {
+    /// Rendered diagnostics kept under the `max_diagnostics` cap.
+    pub retained: Vec<String>,
+    /// Problems whose diagnostics were dropped by the cap.
+    pub dropped: u64,
+    /// Total problems observed (failures + non-converged bodies).
+    pub total_problems: u64,
+}
+
+/// Wall-clock section: spans, gauges, and size histograms. Excluded from
+/// determinism comparisons.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct TimingsSection {
+    /// End-to-end command wall time in seconds.
+    pub total_seconds: f64,
+    /// Span name → aggregated wall time.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Gauge name → value (e.g. `pipeline.peak_resident_graphs`).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram name → distribution (e.g. shard sizes).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The deterministic sections of a [`RunReport`], cloned into one struct
+/// so invariance tests can serialize and byte-compare them. (An owned
+/// clone rather than a borrowed view: the derive setup used offline does
+/// not support generic/lifetime parameters.)
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct InvariantSections {
+    /// Schema version.
+    pub schema: u32,
+    /// CLI command.
+    pub command: String,
+    /// Points-to engine.
+    pub engine: String,
+    /// Deterministic counters.
+    pub counters: ReportCounters,
+    /// Diagnostics accounting.
+    pub diagnostics: DiagnosticsSection,
+}
+
+impl RunReport {
+    /// Fresh report for `command` run with `engine`, at the current schema
+    /// version, with all counters zeroed.
+    pub fn new(command: &str, engine: &str) -> RunReport {
+        RunReport {
+            schema: REPORT_SCHEMA_VERSION,
+            command: command.to_owned(),
+            engine: engine.to_owned(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Clones the deterministic sections (everything except `timings`);
+    /// serializations of this value must be byte-identical across shard
+    /// sizes for the same corpus, seed, and options.
+    pub fn invariant(&self) -> InvariantSections {
+        InvariantSections {
+            schema: self.schema,
+            command: self.command.clone(),
+            engine: self.engine.clone(),
+            counters: self.counters.clone(),
+            diagnostics: self.diagnostics.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("learn", "worklist");
+        r.counters.corpus = CorpusCounters {
+            files: 300,
+            failures: 4,
+            duplicates: 2,
+            graphs: 294,
+            events: 1200,
+            edges: 5400,
+        };
+        r.counters.pta = PtaCounters {
+            bodies: 294,
+            passes: 600,
+            propagations: 9000,
+            constraints: 4200,
+            non_converged: 1,
+            pass_histogram: vec![(2, 290), (3, 3), (64, 1)],
+        };
+        r.counters.model = ModelCounters {
+            samples_pos: 100,
+            samples_neg: 100,
+            models: 6,
+            epochs: 6,
+            epoch_loss: vec![0.6, 0.5, 0.45, 0.41, 0.39, 0.38],
+            final_loss: 0.38,
+            train_accuracy: 0.92,
+        };
+        r.counters.candidates = CandidateCounters {
+            extracted: 40,
+            selected: 9,
+            tau: 0.8,
+        };
+        r.counters
+            .metrics
+            .insert("graph.graphs_built".to_owned(), 294);
+        r.diagnostics = DiagnosticsSection {
+            retained: vec!["file 12: parse error".to_owned()],
+            dropped: 4,
+            total_problems: 5,
+        };
+        r.timings.total_seconds = 1.25;
+        r.timings.spans.insert(
+            "stage.analyze".to_owned(),
+            SpanStat {
+                count: 5,
+                total_ns: 900_000_000,
+                max_ns: 300_000_000,
+            },
+        );
+        r.timings
+            .gauges
+            .insert("pipeline.peak_resident_graphs".to_owned(), 64);
+        r.timings.histograms.insert(
+            "pipeline.shard_files".to_owned(),
+            HistogramSnapshot {
+                count: 5,
+                sum: 300,
+                buckets: vec![(63, 4), (127, 1)],
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let report = sample_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // And once more through the pretty printer.
+        let pretty = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn invariant_excludes_timings() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.timings.total_seconds = 99.0;
+        b.timings.spans.clear();
+        assert_ne!(a, b);
+        let ja = serde_json::to_string(&a.invariant()).unwrap();
+        let jb = serde_json::to_string(&b.invariant()).unwrap();
+        assert_eq!(ja, jb);
+        // But counter changes do show up.
+        b.counters.corpus.files += 1;
+        assert_ne!(ja, serde_json::to_string(&b.invariant()).unwrap());
+    }
+
+    #[test]
+    fn new_report_carries_schema_version() {
+        let r = RunReport::new("eval", "naive");
+        assert_eq!(r.schema, REPORT_SCHEMA_VERSION);
+        assert_eq!(r.command, "eval");
+        assert_eq!(r.engine, "naive");
+    }
+}

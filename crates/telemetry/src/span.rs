@@ -1,0 +1,262 @@
+//! RAII timing spans with per-name thread-safe aggregation.
+//!
+//! `span!("stage.analyze")` returns a guard; when it drops, the elapsed
+//! wall time folds into the [`SpanAgg`] registered under that name (count,
+//! total, max — all relaxed atomics). Aggregates are keyed by name only,
+//! so concurrent spans from rayon workers fold into the same row.
+//!
+//! When the log level is at least `debug`, guards additionally echo entry
+//! and exit as indented trace lines; a thread-local depth counter drives
+//! the indentation. The optional field-formatting closure in
+//! `span!("name", "file={}", path)` runs *only* in that echo path, so
+//! formatting costs nothing at default levels.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::{self, Level};
+
+/// Thread-safe aggregate for one span name.
+#[derive(Debug, Default)]
+pub struct SpanAgg {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanAgg {
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Current aggregate values.
+    pub fn stat(&self) -> SpanStat {
+        SpanStat {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Serializable aggregate of all completed spans sharing one name.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed span count.
+    pub count: u64,
+    /// Summed wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Total wall time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+fn table() -> &'static Mutex<BTreeMap<&'static str, &'static SpanAgg>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, &'static SpanAgg>>> = OnceLock::new();
+    TABLE.get_or_init(Mutex::default)
+}
+
+/// Returns the aggregate registered under `name`, creating it on first
+/// use. Takes the table lock — cache the handle (the [`span!`] macro does).
+pub fn register(name: &'static str) -> &'static SpanAgg {
+    let mut map = table().lock().unwrap();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(SpanAgg::default())))
+}
+
+/// Copies every span aggregate with at least one completed span.
+pub fn snapshot() -> BTreeMap<String, SpanStat> {
+    table()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|(&name, agg)| {
+            let stat = agg.stat();
+            (stat.count > 0).then(|| (name.to_owned(), stat))
+        })
+        .collect()
+}
+
+/// Zeroes every span aggregate; handles stay valid.
+pub fn reset() {
+    for agg in table().lock().unwrap().values() {
+        agg.reset();
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Nesting depth of live echoing spans on this thread (test hook).
+pub fn current_depth() -> usize {
+    DEPTH.get()
+}
+
+/// RAII guard created by [`span!`]; folds elapsed wall time into the
+/// span's aggregate on drop. A disabled-telemetry guard is inert.
+pub struct SpanGuard {
+    live: Option<Live>,
+}
+
+struct Live {
+    start: Instant,
+    agg: &'static SpanAgg,
+    name: &'static str,
+    echoed: bool,
+}
+
+impl SpanGuard {
+    /// Starts a span (prefer the [`span!`] macro, which caches `agg`).
+    /// `fields` renders extra context and runs only when echoing at
+    /// `debug` level or below.
+    pub fn enter(
+        name: &'static str,
+        agg: &'static SpanAgg,
+        fields: impl FnOnce() -> String,
+    ) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { live: None };
+        }
+        let echoed = log::enabled_at(Level::Debug);
+        if echoed {
+            let depth = DEPTH.get();
+            DEPTH.set(depth + 1);
+            let extra = fields();
+            if extra.is_empty() {
+                log::span_echo(depth, format_args!("> {name}"));
+            } else {
+                log::span_echo(depth, format_args!("> {name} {extra}"));
+            }
+        }
+        SpanGuard {
+            live: Some(Live {
+                start: Instant::now(),
+                agg,
+                name,
+                echoed,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let ns = live.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        live.agg.record(ns);
+        if live.echoed {
+            let depth = DEPTH.get().saturating_sub(1);
+            DEPTH.set(depth);
+            log::span_echo(
+                depth,
+                format_args!("< {} {:.3}ms", live.name, ns as f64 / 1e6),
+            );
+        }
+    }
+}
+
+/// Times the enclosing scope under a literal span name.
+///
+/// `span!("name")` — bare; `span!("name", "fmt", args...)` — with a lazily
+/// formatted field string shown only in the `debug`-level echo.
+///
+/// ```
+/// let _span = uspec_telemetry::span!("doc.work", "items={}", 3);
+/// // ... timed work ...
+/// drop(_span);
+/// assert!(uspec_telemetry::span::snapshot()["doc.work"].count >= 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::span::SpanAgg> =
+            ::std::sync::OnceLock::new();
+        let agg = *HANDLE.get_or_init(|| $crate::span::register($name));
+        $crate::span::SpanGuard::enter($name, agg, ::std::string::String::new)
+    }};
+    ($name:literal, $($fields:tt)+) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::span::SpanAgg> =
+            ::std::sync::OnceLock::new();
+        let agg = *HANDLE.get_or_init(|| $crate::span::register($name));
+        $crate::span::SpanGuard::enter($name, agg, || ::std::format!($($fields)+))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Unique span names per test: the table is process-global and tests in
+    // this binary run concurrently.
+
+    #[test]
+    fn span_aggregates_count_total_max() {
+        for _ in 0..3 {
+            let _s = span!("test.span.agg");
+            std::hint::black_box(0u64);
+        }
+        let stat = snapshot()["test.span.agg"];
+        assert_eq!(stat.count, 3);
+        assert!(stat.total_ns >= stat.max_ns);
+        assert!(stat.max_ns > 0);
+    }
+
+    #[test]
+    fn nested_spans_each_recorded() {
+        {
+            let _outer = span!("test.span.outer");
+            {
+                let _inner = span!("test.span.inner", "k={}", 1);
+                std::hint::black_box(0u64);
+            }
+            {
+                let _inner = span!("test.span.inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap["test.span.outer"].count, 1);
+        assert_eq!(snap["test.span.inner"].count, 2);
+        assert!(snap["test.span.outer"].total_ns >= snap["test.span.inner"].max_ns);
+        // Depth balances back out regardless of echo state.
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn spans_fold_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span!("test.span.threads");
+                    std::hint::black_box(0u64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(snapshot()["test.span.threads"].count, 4);
+    }
+}

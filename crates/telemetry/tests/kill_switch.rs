@@ -1,0 +1,49 @@
+//! Runtime kill switch and global reset, in their own test binary: both
+//! mutate process-global state, so they must not share a process with the
+//! concurrent unit tests inside the crate.
+
+use uspec_telemetry::{counter, gauge, histogram, span};
+
+#[test]
+fn disable_reset_reenable() {
+    // `off` builds are compile-time disabled; nothing to assert here.
+    if cfg!(feature = "off") {
+        assert!(!uspec_telemetry::enabled());
+        return;
+    }
+
+    assert!(uspec_telemetry::enabled());
+    counter!("ks.counter").add(3);
+    gauge!("ks.gauge").record_max(7);
+    histogram!("ks.hist").record(10);
+    {
+        let _s = span!("ks.span");
+    }
+
+    // Disabled: every primitive becomes a no-op.
+    uspec_telemetry::set_enabled(false);
+    assert!(!uspec_telemetry::enabled());
+    counter!("ks.counter").add(100);
+    gauge!("ks.gauge").record_max(100);
+    histogram!("ks.hist").record(100);
+    {
+        let _s = span!("ks.span");
+    }
+    assert_eq!(counter!("ks.counter").get(), 3);
+    assert_eq!(gauge!("ks.gauge").get(), 7);
+    assert_eq!(histogram!("ks.hist").snapshot().count, 1);
+    assert_eq!(uspec_telemetry::span::snapshot()["ks.span"].count, 1);
+
+    // Reset zeroes values but keeps handles registered.
+    uspec_telemetry::set_enabled(true);
+    uspec_telemetry::reset();
+    assert_eq!(counter!("ks.counter").get(), 0);
+    assert_eq!(gauge!("ks.gauge").get(), 0);
+    assert_eq!(histogram!("ks.hist").snapshot().count, 0);
+    assert!(!uspec_telemetry::span::snapshot().contains_key("ks.span"));
+
+    counter!("ks.counter").inc();
+    assert_eq!(counter!("ks.counter").get(), 1);
+    let snap = uspec_telemetry::metrics::global().snapshot();
+    assert_eq!(snap.counters["ks.counter"], 1);
+}

@@ -1,0 +1,403 @@
+//! CI validator for `--metrics-out` run reports.
+//!
+//! Usage: `check_report <report.json>`
+//!
+//! Two complementary checks on the same bytes:
+//!
+//! 1. a **typed** round-trip (`serde_json::from_str::<RunReport>`) proving
+//!    the file deserializes into the current schema structs, and
+//! 2. a **structural** scan with the tiny JSON reader below, comparing the
+//!    key set at every level of the report against an explicit whitelist.
+//!
+//! The second pass is what catches schema drift in *both* directions: a
+//! field added to the structs without bumping `schema` (extra key) and a
+//! field dropped from the producer (missing key). The derive setup used
+//! offline cannot express `deny_unknown_fields`, so the scan is the only
+//! unknown-field detector we have.
+//!
+//! Also asserts run-level sanity: `schema == 1`, analyzed files > 0, and
+//! non-zero stage timings (a report whose spans are all empty means the
+//! instrumentation was compiled out or disabled — CI should notice).
+
+use std::process::ExitCode;
+
+use uspec_telemetry::{RunReport, REPORT_SCHEMA_VERSION};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects as ordered key/value lists).
+
+// The reader is a complete JSON parser but the checker only ever walks
+// objects, so scalar payloads go unread.
+#[allow(dead_code)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Reader<'a> {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{text}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc as char),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(self.err(&format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut r = Reader::new(text);
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(r.err("trailing data"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Schema whitelist (schema version 1). Every struct level of RunReport.
+
+const SCHEMA_1: &[(&str, &[&str])] = &[
+    (
+        "",
+        &[
+            "schema",
+            "command",
+            "engine",
+            "counters",
+            "diagnostics",
+            "timings",
+        ],
+    ),
+    (
+        "counters",
+        &["corpus", "pta", "model", "candidates", "metrics"],
+    ),
+    (
+        "counters.corpus",
+        &[
+            "files",
+            "failures",
+            "duplicates",
+            "graphs",
+            "events",
+            "edges",
+        ],
+    ),
+    (
+        "counters.pta",
+        &[
+            "bodies",
+            "passes",
+            "propagations",
+            "constraints",
+            "non_converged",
+            "pass_histogram",
+        ],
+    ),
+    (
+        "counters.model",
+        &[
+            "samples_pos",
+            "samples_neg",
+            "models",
+            "epochs",
+            "epoch_loss",
+            "final_loss",
+            "train_accuracy",
+        ],
+    ),
+    ("counters.candidates", &["extracted", "selected", "tau"]),
+    ("diagnostics", &["retained", "dropped", "total_problems"]),
+    (
+        "timings",
+        &["total_seconds", "spans", "gauges", "histograms"],
+    ),
+];
+
+fn lookup<'a>(root: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut node = root;
+    for part in path.split('.').filter(|p| !p.is_empty()) {
+        node = node.get(part)?;
+    }
+    Some(node)
+}
+
+fn check(report_text: &str) -> Result<String, String> {
+    // 1. Typed round-trip: the producer's structs can read the file back.
+    let typed: RunReport = serde_json::from_str(report_text)
+        .map_err(|e| format!("typed deserialization failed: {e}"))?;
+    if typed.schema != REPORT_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} != expected {REPORT_SCHEMA_VERSION}",
+            typed.schema
+        ));
+    }
+
+    // 2. Structural scan: exact key set at every level.
+    let root = parse(report_text)?;
+    for &(path, expected) in SCHEMA_1 {
+        let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
+        let mut keys = node.keys();
+        keys.sort_unstable();
+        let mut want: Vec<&str> = expected.to_vec();
+        want.sort_unstable();
+        for k in &keys {
+            if !want.contains(k) {
+                return Err(format!(
+                    "unknown field `{k}` in `{path}` — schema drift? bump the \
+                     schema version and teach check_report about the field"
+                ));
+            }
+        }
+        for w in &want {
+            if !keys.contains(w) {
+                return Err(format!("field `{w}` missing from `{path}`"));
+            }
+        }
+    }
+    // Each span stat must carry the three timing fields.
+    if let Some(Json::Obj(spans)) = lookup(&root, "timings.spans") {
+        for (name, stat) in spans {
+            let mut keys = stat.keys();
+            keys.sort_unstable();
+            if keys != ["count", "max_ns", "total_ns"] {
+                return Err(format!("span `{name}` has unexpected fields {keys:?}"));
+            }
+        }
+    }
+
+    // 3. Run-level sanity.
+    if typed.counters.corpus.files == 0 {
+        return Err("counters.corpus.files is 0 — the run analyzed nothing".into());
+    }
+    let timed_spans = typed
+        .timings
+        .spans
+        .values()
+        .filter(|s| s.count > 0 && s.total_ns > 0)
+        .count();
+    if timed_spans == 0 {
+        return Err("no span recorded any time — telemetry disabled or compiled out?".into());
+    }
+    if typed.timings.total_seconds <= 0.0 {
+        return Err("timings.total_seconds is not positive".into());
+    }
+
+    Ok(format!(
+        "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, {} timed spans",
+        typed.schema,
+        typed.command,
+        typed.engine,
+        typed.counters.corpus.files,
+        typed.counters.candidates.extracted,
+        timed_spans
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_report <report.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_report: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_report: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
