@@ -44,4 +44,20 @@ cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_telemetry --
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     eval --lang java --files 120 --metrics-out target/ci-report.json -q
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_report -- target/ci-report.json
+# Artifact-cache smoke: a cold eval populates the store, a warm re-run must
+# draw from it (nonzero hits in the machine-local timings.cache section,
+# which check_report cross-validates against lookups), and the store must
+# verify clean afterwards. The store bench compiles above via --no-run.
+rm -rf target/ci-cache
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    eval --lang java --files 120 --cache-dir target/ci-cache -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    eval --lang java --files 120 --cache-dir target/ci-cache \
+    --metrics-out target/ci-warm-report.json -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_report -- target/ci-warm-report.json
+if grep -q '"hits": 0,' target/ci-warm-report.json; then
+    echo "ci: warm eval recorded zero cache hits"; exit 1
+fi
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    cache verify --cache-dir target/ci-cache -q
 echo "ci: all checks passed"

@@ -1,0 +1,130 @@
+//! Artifact-store benchmark: cold vs warm pipeline runs.
+//!
+//! A warm run replays cached per-shard analysis and extraction payloads
+//! instead of re-running the frontend, points-to analysis, and graph
+//! construction — only SGD training and candidate scoring stay live. This
+//! bench measures the end-to-end `run_pipeline_cached` wall time over the
+//! same corpus with an empty cache (cold), a populated cache (warm), and
+//! no cache at all (baseline), asserts the learned specs are byte-identical
+//! across all three, and **asserts** warm is at least [`MIN_SPEEDUP`]×
+//! faster than cold.
+//!
+//! Pass `--smoke` for a quick CI-sized run; `USPEC_BENCH_FILES` scales the
+//! corpus for full runs. Writes `BENCH_store.json` at the repo root.
+
+use std::time::Instant;
+
+use uspec::{run_pipeline_cached, PipelineOptions};
+use uspec_corpus::{java_library, SliceSource};
+use uspec_store::ArtifactStore;
+
+/// Minimum tolerated cold/warm wall-time ratio — the acceptance bar for
+/// the cache actually skipping the expensive stages.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// Min-of-N trials per arm.
+const TRIALS: usize = 5;
+
+fn timed_run(
+    sources: &[(String, String)],
+    opts: &PipelineOptions,
+    store: Option<&ArtifactStore>,
+) -> (f64, String) {
+    let lib = java_library();
+    let start = Instant::now();
+    let result = run_pipeline_cached(&SliceSource::new(sources), &lib.api_table(), opts, store);
+    let secs = start.elapsed().as_secs_f64();
+    let specs = serde_json::to_string(&result.learned).expect("specs serialize");
+    (secs, specs)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let num_files = if smoke {
+        96
+    } else {
+        std::env::var("USPEC_BENCH_FILES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512)
+    };
+
+    let lib = java_library();
+    let sources = uspec_bench::corpus_sources(&lib, num_files, 31);
+    let opts = PipelineOptions {
+        shard_size: 64,
+        ..PipelineOptions::default()
+    };
+    let dir = std::env::temp_dir().join(format!("uspec-perf-store-{}", std::process::id()));
+
+    let mut baseline_secs = f64::INFINITY;
+    let mut cold_secs = f64::INFINITY;
+    let mut warm_secs = f64::INFINITY;
+    let mut reference: Option<String> = None;
+    for _ in 0..TRIALS {
+        let (secs, specs) = timed_run(&sources, &opts, None);
+        baseline_secs = baseline_secs.min(secs);
+        match &reference {
+            None => reference = Some(specs),
+            Some(r) => assert_eq!(r, &specs, "uncached runs disagree"),
+        }
+
+        // Cold: a fresh store populated from scratch.
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).expect("store opens");
+        let (secs, specs) = timed_run(&sources, &opts, Some(&store));
+        cold_secs = cold_secs.min(secs);
+        assert_eq!(reference.as_deref(), Some(specs.as_str()), "cold differs");
+
+        // Warm: every shard of both passes replays from the store.
+        let (secs, specs) = timed_run(&sources, &opts, Some(&store));
+        warm_secs = warm_secs.min(secs);
+        assert_eq!(reference.as_deref(), Some(specs.as_str()), "warm differs");
+    }
+    let bytes = ArtifactStore::open(&dir)
+        .and_then(|s| s.stats())
+        .map(|s| s.bytes)
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold_secs / warm_secs.max(1e-9);
+    let write_overhead = cold_secs / baseline_secs.max(1e-9);
+    let per_arm = |secs: f64| {
+        vec![
+            format!("{:.0}", num_files as f64 / secs.max(1e-9)),
+            format!("{secs:.4}"),
+        ]
+    };
+    uspec_bench::print_table(
+        "artifact store: cold vs warm pipeline runs (files/sec)",
+        &["arm", "files/sec", "seconds"],
+        &[
+            [vec!["no cache".to_owned()], per_arm(baseline_secs)].concat(),
+            [vec!["cold".to_owned()], per_arm(cold_secs)].concat(),
+            [vec!["warm".to_owned()], per_arm(warm_secs)].concat(),
+        ],
+    );
+    println!(
+        "  files: {num_files}  trials: {TRIALS}  cache: {bytes} bytes  \
+         warm speedup: {speedup:.1}x (floor {MIN_SPEEDUP:.0}x)  \
+         cold write overhead: {:.1}%",
+        (write_overhead - 1.0) * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_store\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"trials\": {TRIALS},\n  \"baseline_seconds\": {baseline_secs:.6},\n  \"cold_seconds\": {cold_secs:.6},\n  \"warm_seconds\": {warm_secs:.6},\n  \"warm_speedup\": {speedup:.4},\n  \"min_warm_speedup\": {MIN_SPEEDUP},\n  \"cache_bytes\": {bytes},\n  \"specs_identical\": true\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_store.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", out.display()),
+    }
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "warm speedup {speedup:.2}x below the {MIN_SPEEDUP:.0}x floor \
+         (cold {cold_secs:.4}s vs warm {warm_secs:.4}s)"
+    );
+}

@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use uspec::{analyze_source, run_pipeline_streaming, PipelineOptions};
+use uspec::{analyze_source, run_pipeline_cached, PipelineOptions};
 use uspec_atlas::{evaluate, run_atlas, AtlasOptions, ClassStatus};
 use uspec_clients::{check_taint, check_typestate, TaintConfig, TypestateProtocol};
 use uspec_corpus::{
@@ -15,17 +15,32 @@ use uspec_corpus::{
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
 use uspec_learn::LearnedSpecs;
 use uspec_pta::{EngineKind, Pta, PtaAggregate, PtaOptions, SpecDb};
+use uspec_store::ArtifactStore;
 use uspec_telemetry::{log_info, DiagnosticsSection, Level, RunReport};
 
 use crate::opt::{OptError, Opts};
 
+/// Version of the saved-specification file layout. Mirrors the run
+/// report's schema discipline: bump on any breaking change so consumers
+/// fail with a version message instead of a field-level parse error.
+const SPEC_FILE_SCHEMA_VERSION: u32 = 1;
+
 /// Saved output of `uspec learn`.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct SpecFile {
+    schema: u32,
     universe: String,
     tau: f64,
     files: usize,
     learned: LearnedSpecs,
+}
+
+/// The version probe for [`load_specs`]: parsing just this against a spec
+/// file distinguishes "wrong version" from "corrupt file" before the full
+/// layout is attempted.
+#[derive(Deserialize)]
+struct SpecFileProbe {
+    schema: u32,
 }
 
 fn library_for(opts: &Opts) -> Result<Library, OptError> {
@@ -61,6 +76,30 @@ fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
     };
     popts.pta.engine = engine_for(opts)?;
     Ok(popts)
+}
+
+/// Resolves the artifact-store directory: `--cache-dir` wins, then the
+/// `USPEC_CACHE_DIR` environment variable; neither set means no cache.
+fn cache_dir(opts: &Opts) -> Option<String> {
+    opts.value("cache-dir").map(ToOwned::to_owned).or_else(|| {
+        std::env::var("USPEC_CACHE_DIR")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+}
+
+/// Opens the artifact store configured by `--cache-dir`/`USPEC_CACHE_DIR`,
+/// or `None` when caching is off.
+fn cache_store(opts: &Opts) -> Result<Option<ArtifactStore>, OptError> {
+    match cache_dir(opts) {
+        None => Ok(None),
+        Some(dir) => {
+            let store = ArtifactStore::open(Path::new(&dir))
+                .map_err(|e| io_err(e, "opening cache directory"))?;
+            log_info!("artifact cache at {dir}");
+            Ok(Some(store))
+        }
+    }
 }
 
 /// Applies the output-control flags (`-q`, `--log-level LEVEL`) before a
@@ -194,6 +233,7 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
             "shard-size",
             "max-diagnostics",
             "engine",
+            "cache-dir",
             "metrics-out",
             "log-level",
         ],
@@ -218,7 +258,13 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
         sources.len(),
         popts.shard_size
     );
-    let result = run_pipeline_streaming(&SliceSource::new(&sources), &lib.api_table(), &popts);
+    let store = cache_store(&opts)?;
+    let result = run_pipeline_cached(
+        &SliceSource::new(&sources),
+        &lib.api_table(),
+        &popts,
+        store.as_ref(),
+    );
     let report =
         uspec::build_run_report("learn", &result, &popts, tau, start.elapsed().as_secs_f64());
     log_info!("{}", render_summary(&report));
@@ -230,6 +276,7 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
     }
     if let Some(path) = opts.value("out") {
         let file = SpecFile {
+            schema: SPEC_FILE_SCHEMA_VERSION,
             universe: opts.value_or("lang", "java").to_owned(),
             tau,
             files: sources.len(),
@@ -246,6 +293,19 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
 
 fn load_specs(path: &str) -> Result<SpecFile, OptError> {
     let json = fs::read_to_string(path).map_err(|e| io_err(e, "reading spec file"))?;
+    let probe: SpecFileProbe = serde_json::from_str(&json).map_err(|_| {
+        OptError(format!(
+            "{path}: not a spec file, or missing its `schema` version \
+             (written before schema {SPEC_FILE_SCHEMA_VERSION}?) — re-run `uspec learn`"
+        ))
+    })?;
+    if probe.schema != SPEC_FILE_SCHEMA_VERSION {
+        return Err(OptError(format!(
+            "{path}: spec file schema {} is not the supported schema \
+             {SPEC_FILE_SCHEMA_VERSION} — re-run `uspec learn` with this build",
+            probe.schema
+        )));
+    }
     serde_json::from_str(&json).map_err(|e| OptError(format!("parsing spec file: {e}")))
 }
 
@@ -285,6 +345,7 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
             "typestate",
             "taint",
             "engine",
+            "cache-dir",
             "metrics-out",
             "log-level",
         ],
@@ -292,6 +353,10 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
     init_logging(&opts)?;
     let start = Instant::now();
     let lib = library_for(&opts)?;
+    // analyze is a single-file command, so there is nothing to warm-start —
+    // but it accepts the shared flag (validating/creating the directory) so
+    // scripted invocations can pass one uniform flag set to every command.
+    let _store = cache_store(&opts)?;
     let table = lib.api_table();
     let path = opts
         .positional
@@ -537,6 +602,7 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             "shard-size",
             "max-diagnostics",
             "engine",
+            "cache-dir",
             "metrics-out",
             "log-level",
         ],
@@ -563,8 +629,13 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
         seed,
         ..GenOptions::default()
     };
-    let result =
-        run_pipeline_streaming(&GeneratedSource::new(&lib, &gen), &lib.api_table(), &popts);
+    let store = cache_store(&opts)?;
+    let result = run_pipeline_cached(
+        &GeneratedSource::new(&lib, &gen),
+        &lib.api_table(),
+        &popts,
+        store.as_ref(),
+    );
     // eval sweeps over τ values rather than selecting at a single one, so
     // the report records τ = 0 (no selection).
     let report =
@@ -621,6 +692,85 @@ pub fn atlas(args: Vec<String>) -> Result<(), OptError> {
         println!("  {:<50} {status}", e.class.as_str());
     }
     Ok(())
+}
+
+/// `uspec cache <stats|verify|gc>` — inspect and maintain the artifact store.
+pub fn cache(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["cache-dir", "max-bytes", "log-level"])?;
+    init_logging(&opts)?;
+    let action =
+        opts.positional.first().map(String::as_str).ok_or_else(|| {
+            OptError("usage: uspec cache <stats|verify|gc> --cache-dir DIR".into())
+        })?;
+    let dir = cache_dir(&opts)
+        .ok_or_else(|| OptError("uspec cache needs --cache-dir DIR (or USPEC_CACHE_DIR)".into()))?;
+    let store =
+        ArtifactStore::open(Path::new(&dir)).map_err(|e| io_err(e, "opening cache directory"))?;
+    match action {
+        "stats" => {
+            let s = store.stats().map_err(|e| io_err(e, "scanning cache"))?;
+            println!(
+                "cache {dir}: {} entr{}, {} bytes",
+                s.entries,
+                plural_y(s.entries),
+                s.bytes
+            );
+        }
+        "verify" => {
+            let v = store.verify().map_err(|e| io_err(e, "scanning cache"))?;
+            println!(
+                "cache {dir}: {} entr{} ok, {} corrupt",
+                v.ok,
+                plural_y(v.ok),
+                v.corrupt.len()
+            );
+            for (path, why) in &v.corrupt {
+                println!("  {}: {why}", path.display());
+            }
+            if !v.corrupt.is_empty() {
+                return Err(OptError(format!(
+                    "{} corrupt entr{} (each will be treated as a miss and rewritten; \
+                     delete the files or run `uspec cache gc` to reclaim the space)",
+                    v.corrupt.len(),
+                    plural_y(v.corrupt.len() as u64)
+                )));
+            }
+        }
+        "gc" => {
+            let max_bytes: u64 = opts
+                .value("max-bytes")
+                .ok_or_else(|| {
+                    OptError("uspec cache gc requires --max-bytes N (target size)".into())
+                })?
+                .parse()
+                .map_err(|_| OptError("--max-bytes expects a number of bytes".into()))?;
+            let g = store
+                .gc(max_bytes)
+                .map_err(|e| io_err(e, "collecting cache entries"))?;
+            println!(
+                "cache {dir}: evicted {} of {} entr{}, {} -> {} bytes",
+                g.evicted,
+                g.scanned,
+                plural_y(g.scanned),
+                g.bytes_before,
+                g.bytes_after
+            );
+        }
+        other => {
+            return Err(OptError(format!(
+                "unknown cache action `{other}`; expected stats, verify, or gc"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn plural_y(n: u64) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
 }
 
 #[cfg(test)]
@@ -684,6 +834,99 @@ mod tests {
         assert!(report.timings.total_seconds > 0.0);
 
         show(vec![specs.display().to_string()]).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_file_schema_is_enforced() {
+        let dir = tmpdir("spec-schema");
+        // No `schema` field at all: a pre-versioning or foreign file.
+        let unversioned = dir.join("old.json");
+        fs::write(&unversioned, r#"{"universe": "java", "tau": 0.6}"#).unwrap();
+        let err = load_specs(&unversioned.display().to_string()).unwrap_err();
+        assert!(err.0.contains("schema"), "{err}");
+        assert!(err.0.contains("uspec learn"), "{err}");
+
+        // Wrong version: names both versions, not a field-level parse error.
+        let future = dir.join("future.json");
+        fs::write(&future, r#"{"schema": 99, "universe": "java"}"#).unwrap();
+        let err = load_specs(&future.display().to_string()).unwrap_err();
+        assert!(err.0.contains("99"), "{err}");
+        assert!(
+            err.0.contains(&SPEC_FILE_SCHEMA_VERSION.to_string()),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_dir_flag_beats_environment() {
+        let o = opts(&["--cache-dir", "/from/flag"], &["cache-dir"]);
+        assert_eq!(cache_dir(&o), Some("/from/flag".to_owned()));
+        // No flag, no env (the test env never sets it): caching is off.
+        assert_eq!(cache_dir(&opts(&[], &["cache-dir"])), None);
+    }
+
+    #[test]
+    fn learn_with_cache_dir_and_cache_maintenance() {
+        let dir = tmpdir("cache-cli");
+        let corpus = dir.join("corpus");
+        let cache_root = dir.join("cache");
+        let specs_cold = dir.join("cold.json");
+        let specs_warm = dir.join("warm.json");
+        generate(vec![
+            "--lang".into(),
+            "java".into(),
+            "--files".into(),
+            "80".into(),
+            "--out".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        let learn_with = |out: &PathBuf| {
+            learn(vec![
+                "--lang".into(),
+                "java".into(),
+                "--shard-size".into(),
+                "24".into(),
+                "--cache-dir".into(),
+                cache_root.display().to_string(),
+                "--out".into(),
+                out.display().to_string(),
+                "-q".into(),
+                corpus.display().to_string(),
+            ])
+            .unwrap();
+        };
+        learn_with(&specs_cold);
+        learn_with(&specs_warm);
+        assert_eq!(
+            fs::read_to_string(&specs_cold).unwrap(),
+            fs::read_to_string(&specs_warm).unwrap(),
+            "warm learn must write byte-identical specs"
+        );
+
+        let cache_flag = || vec!["--cache-dir".into(), cache_root.display().to_string()];
+        cache([vec!["stats".into()], cache_flag()].concat()).unwrap();
+        cache([vec!["verify".into()], cache_flag()].concat()).unwrap();
+        // gc to zero bytes evicts everything; verify still succeeds (empty).
+        cache(
+            [
+                vec!["gc".into(), "--max-bytes".into(), "0".into()],
+                cache_flag(),
+            ]
+            .concat(),
+        )
+        .unwrap();
+        cache([vec!["verify".into()], cache_flag()].concat()).unwrap();
+
+        // Usage errors are reported, not panicked.
+        assert!(cache([vec!["polish".into()], cache_flag()].concat()).is_err());
+        assert!(cache(vec!["stats".into()]).is_err(), "no directory given");
+        assert!(
+            cache([vec!["gc".into()], cache_flag()].concat()).is_err(),
+            "gc without --max-bytes"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

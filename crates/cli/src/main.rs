@@ -30,6 +30,7 @@ fn main() {
         "atlas" => commands::atlas(args),
         "eval" => commands::eval(args),
         "report" => commands::report(args),
+        "cache" => commands::cache(args),
         other => Err(OptError(format!(
             "unknown command `{other}`; run `uspec help`"
         ))),
@@ -55,13 +56,21 @@ USAGE:
       --engine <worklist|naive>  (points-to solver; worklist is the default,
       naive is the reference implementation — results are identical)
 
+  Artifact cache (learn, eval, analyze):
+      --cache-dir DIR     persist per-shard analysis results, keyed by shard
+          content + analysis options; re-runs over an unchanged corpus skip
+          the frontend and points-to work. Results are byte-identical with
+          and without the cache. Falls back to the USPEC_CACHE_DIR
+          environment variable when the flag is absent (the flag wins).
+
   Output control (every command):
       --log-level <error|warn|info|debug|trace>   status verbosity (stderr;
           default info; debug echoes timing spans)
       -q                                          shorthand for errors only
   Machine-readable metrics (learn, eval, analyze):
-      --metrics-out FILE.json    write the versioned run report (schema 1):
-          counters, diagnostics, and timings for the whole run
+      --metrics-out FILE.json    write the versioned run report (schema 2):
+          counters, diagnostics, and timings for the whole run (cache
+          activity appears under the machine-local timings.cache section)
 
   uspec show FILE [--tau T]
       Pretty-print a saved specification file.
@@ -83,6 +92,11 @@ USAGE:
       builtin ground truth (precision/recall per τ, as in Fig. 7).
 
   uspec report FILE [--tau T] [--out report.md]
-      Render a saved specification file as a Markdown report per API class."
+      Render a saved specification file as a Markdown report per API class.
+
+  uspec cache <stats|verify|gc> --cache-dir DIR [--max-bytes N]
+      Inspect (stats), check (verify), or shrink (gc, to at most
+      --max-bytes, least-recently-used first) an artifact cache directory.
+      Also honors USPEC_CACHE_DIR."
     );
 }

@@ -1,0 +1,466 @@
+//! Cache keys and payload encodings for the persistent artifact store.
+//!
+//! A warm run must be **byte-identical** to a cold run, so a cached entry
+//! is only usable when *everything* that could influence the stage output
+//! went into its key:
+//!
+//! * the shard's own files — names (they appear in diagnostics) and
+//!   content — plus its stable start index (per-file RNG streams key off
+//!   stable corpus indices);
+//! * the content of **every file before the shard** (the duplicate filter
+//!   is stateful across shards: whether a file is analyzed here depends on
+//!   whether its content occurred earlier), folded into a rolling *prefix
+//!   digest*;
+//! * for pass B, the whole corpus digest — the trained edge model is a
+//!   function of every file, and candidates are scored with it;
+//! * every analysis-relevant [`PipelineOptions`] knob, via
+//!   [`options_fingerprint`];
+//! * a stage tag with its own payload-layout version, so a payload change
+//!   invalidates old entries without touching the envelope format.
+//!
+//! `shard_size` is deliberately **not** in [`options_fingerprint`]: shard
+//! boundaries are captured by the shard digests themselves (a different
+//! `shard_size` produces different shards, hence different keys), and the
+//! learned result is invariant under it. Likewise `score_fn` — scoring
+//! runs after the cached stages, on the merged candidate set.
+//!
+//! Payloads are flat, stub-serde-friendly structs: `BTreeMap`s become
+//! `Vec<(K, V)>` pairs (the vendored serde stack only supports string map
+//! keys) and every count is a `u64`. Cached per-shard stats exclude
+//! `duplicates` and `peak_resident_graphs`: duplicates are recomputed by
+//! the live dedup pass that cache hits still perform, and the resident
+//! high-water mark describes *this* run's memory, which a hit never pays.
+
+use serde::{Deserialize, Serialize};
+use uspec_corpus::Shard;
+use uspec_learn::CandidateSet;
+use uspec_model::Sample;
+use uspec_pta::PtaAggregate;
+use uspec_store::{Fingerprint, FpHasher};
+
+use crate::pipeline::{CorpusStats, PipelineOptions};
+use crate::stage::AnalysisDiagnostic;
+
+/// Fingerprint of every pipeline option that can influence a cached stage
+/// output. Uses the `Debug` renderings of the option structs: each derives
+/// `Debug` over all fields, so any knob change (including newly added
+/// fields) changes the text and invalidates old entries — a conservative
+/// but sound invalidation rule.
+pub fn options_fingerprint(opts: &PipelineOptions) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str(&format!("{:?}", opts.lower));
+    h.write_str(&format!("{:?}", opts.pta));
+    h.write_str(&format!("{:?}", opts.graph));
+    h.write_str(&format!("{:?}", opts.train));
+    h.write_str(&format!("{:?}", opts.extract));
+    h.write_u64(u64::from(opts.dedup));
+    h.write_u64(opts.max_diagnostics as u64);
+    h.digest()
+}
+
+/// Digest of one shard: stable start index, file names (diagnostics name
+/// files), and file content.
+pub fn shard_digest(shard: &Shard) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_u64(shard.start as u64);
+    h.write_u64(shard.files.len() as u64);
+    for (name, source) in &shard.files {
+        h.write_str(name);
+        h.write_str(source);
+    }
+    h.digest()
+}
+
+/// Folds one shard's file *content* into the rolling prefix hasher (names
+/// do not affect duplicate decisions).
+pub fn roll_shard(rolling: &mut FpHasher, shard: &Shard) {
+    for (_, source) in &shard.files {
+        rolling.write_str(source);
+    }
+}
+
+/// Key of a shard's pass-A entry (analysis stats delta + training
+/// samples). `prefix` is the rolling digest of all prior file content.
+pub fn analyze_key(
+    opts_fp: Fingerprint,
+    prefix: Fingerprint,
+    shard_fp: Fingerprint,
+) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("analyze+sample:v1");
+    h.write_fingerprint(opts_fp);
+    h.write_fingerprint(prefix);
+    h.write_fingerprint(shard_fp);
+    h.digest()
+}
+
+/// Key of the trained edge model. `corpus` is the digest of the entire
+/// corpus content: the model is a function of every training sample, and
+/// the samples are a function of every file (order included — per-file RNG
+/// streams key off stable corpus indices).
+pub fn model_key(opts_fp: Fingerprint, corpus: Fingerprint) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("model:v1");
+    h.write_fingerprint(opts_fp);
+    h.write_fingerprint(corpus);
+    h.digest()
+}
+
+/// Key of a shard's pass-B entry (extracted candidates). `corpus` is the
+/// digest of the *entire* corpus content — the identity of the trained
+/// model the candidates were scored with.
+pub fn extract_key(
+    opts_fp: Fingerprint,
+    corpus: Fingerprint,
+    prefix: Fingerprint,
+    shard_fp: Fingerprint,
+) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("extract:v1");
+    h.write_fingerprint(opts_fp);
+    h.write_fingerprint(corpus);
+    h.write_fingerprint(prefix);
+    h.write_fingerprint(shard_fp);
+    h.digest()
+}
+
+/// Flat encoding of a per-shard [`CorpusStats`] delta.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StatsDelta {
+    /// Files successfully analyzed.
+    pub files: u64,
+    /// Files that failed to parse or lower.
+    pub failures: u64,
+    /// Event graphs.
+    pub graphs: u64,
+    /// Total events.
+    pub events: u64,
+    /// Total edges.
+    pub edges: u64,
+    /// Non-converged function bodies.
+    pub non_converged: u64,
+    /// [`PtaAggregate::bodies`].
+    pub pta_bodies: u64,
+    /// [`PtaAggregate::passes`].
+    pub pta_passes: u64,
+    /// [`PtaAggregate::propagations`].
+    pub pta_propagations: u64,
+    /// [`PtaAggregate::constraints`].
+    pub pta_constraints: u64,
+    /// [`PtaAggregate::non_converged`].
+    pub pta_non_converged: u64,
+    /// Pass-count histogram as `(passes, bodies)` pairs.
+    pub pta_pass_counts: Vec<(u64, u64)>,
+    /// The shard's structured diagnostics, in corpus order, capped at
+    /// `max_diagnostics` within the shard.
+    pub diagnostics: Vec<AnalysisDiagnostic>,
+}
+
+impl StatsDelta {
+    /// Captures a per-shard delta (`duplicates` / `peak_resident_graphs`
+    /// intentionally dropped — see the module docs).
+    pub fn from_stats(stats: &CorpusStats) -> StatsDelta {
+        StatsDelta {
+            files: stats.files as u64,
+            failures: stats.failures as u64,
+            graphs: stats.graphs as u64,
+            events: stats.events as u64,
+            edges: stats.edges as u64,
+            non_converged: stats.non_converged as u64,
+            pta_bodies: stats.pta.bodies as u64,
+            pta_passes: stats.pta.passes as u64,
+            pta_propagations: stats.pta.propagations as u64,
+            pta_constraints: stats.pta.constraints as u64,
+            pta_non_converged: stats.pta.non_converged as u64,
+            pta_pass_counts: stats
+                .pta
+                .pass_histogram()
+                .iter()
+                .map(|(&p, &n)| (p as u64, n as u64))
+                .collect(),
+            diagnostics: stats.diagnostics.clone(),
+        }
+    }
+
+    /// Rebuilds the delta as a [`CorpusStats`] (with `duplicates` and
+    /// `peak_resident_graphs` zero, to be filled by the live run).
+    pub fn into_stats(self) -> CorpusStats {
+        CorpusStats {
+            files: self.files as usize,
+            failures: self.failures as usize,
+            duplicates: 0,
+            graphs: self.graphs as usize,
+            events: self.events as usize,
+            edges: self.edges as usize,
+            non_converged: self.non_converged as usize,
+            peak_resident_graphs: 0,
+            pta: PtaAggregate::from_parts(
+                self.pta_bodies as usize,
+                self.pta_passes as usize,
+                self.pta_propagations as usize,
+                self.pta_constraints as usize,
+                self.pta_non_converged as usize,
+                self.pta_pass_counts
+                    .into_iter()
+                    .map(|(p, n)| (p as usize, n as usize)),
+            ),
+            diagnostics: self.diagnostics,
+        }
+    }
+}
+
+/// Pass-A payload: one shard's analysis outcome and training samples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardAnalysisPayload {
+    /// The shard's stats delta.
+    pub stats: StatsDelta,
+    /// The shard's §4.2 training samples, in stable corpus order.
+    pub samples: Vec<Sample>,
+}
+
+/// Pass-B payload: one shard's candidate extraction.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShardExtractPayload {
+    /// Per-candidate Γ_S confidence lists as `(spec, confidences)` pairs,
+    /// in `Spec` order.
+    pub confidences: Vec<(uspec_pta::Spec, Vec<f32>)>,
+    /// Per-candidate match counts as `(spec, count)` pairs, in `Spec`
+    /// order.
+    pub match_counts: Vec<(uspec_pta::Spec, u64)>,
+    /// [`CandidateSet::skipped_multi_edge`].
+    pub skipped_multi_edge: u64,
+    /// [`CandidateSet::skipped_no_model`].
+    pub skipped_no_model: u64,
+    /// [`CandidateSet::pairs_examined`].
+    pub pairs_examined: u64,
+    /// Event graphs the live run built for this shard — replayed into the
+    /// `graph.*` counters on hits (those counters are part of the report's
+    /// invariant section, so a hit must account for the work it skipped).
+    pub graphs: u64,
+    /// Total events across those graphs (see `graphs`).
+    pub events: u64,
+    /// Total edges across those graphs (see `graphs`).
+    pub edges: u64,
+}
+
+impl ShardExtractPayload {
+    /// Captures one shard's candidate set; `stats` is the shard's analysis
+    /// delta, from which the graph counts are taken.
+    pub fn from_candidates(set: &CandidateSet, stats: &CorpusStats) -> ShardExtractPayload {
+        ShardExtractPayload {
+            confidences: set
+                .confidences
+                .iter()
+                .map(|(s, gs)| (*s, gs.clone()))
+                .collect(),
+            match_counts: set
+                .match_counts
+                .iter()
+                .map(|(s, &n)| (*s, n as u64))
+                .collect(),
+            skipped_multi_edge: set.skipped_multi_edge as u64,
+            skipped_no_model: set.skipped_no_model as u64,
+            pairs_examined: set.pairs_examined as u64,
+            graphs: stats.graphs as u64,
+            events: stats.events as u64,
+            edges: stats.edges as u64,
+        }
+    }
+
+    /// Rebuilds the candidate set.
+    pub fn into_candidates(self) -> CandidateSet {
+        CandidateSet {
+            confidences: self.confidences.into_iter().collect(),
+            match_counts: self
+                .match_counts
+                .into_iter()
+                .map(|(s, n)| (s, n as usize))
+                .collect(),
+            skipped_multi_edge: self.skipped_multi_edge as usize,
+            skipped_no_model: self.skipped_no_model as usize,
+            pairs_examined: self.pairs_examined as usize,
+        }
+    }
+}
+
+/// Serializes a payload for [`uspec_store::ArtifactStore::put`].
+pub fn encode_payload<T: Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_string(value)
+        .expect("cache payloads contain no unserializable values")
+        .into_bytes()
+}
+
+/// Deserializes a stored payload; `None` (a cache miss, not an error) when
+/// the bytes do not parse — e.g. an entry from a build whose payload layout
+/// predates the current stage tag.
+pub fn decode_payload<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Option<T> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    serde_json::from_str(text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{AnalysisStage, DiagnosticKind};
+    use uspec_lang::{LangError, LangErrorKind, MethodId, Span};
+    use uspec_pta::Spec;
+
+    #[test]
+    fn options_fingerprint_tracks_relevant_knobs_only() {
+        let base = PipelineOptions::default();
+        let fp = options_fingerprint(&base);
+        assert_eq!(fp, options_fingerprint(&base), "deterministic");
+
+        // shard_size and score_fn are streaming/post-processing details.
+        let mut sharded = base.clone();
+        sharded.shard_size = 7;
+        assert_eq!(fp, options_fingerprint(&sharded));
+
+        // Analysis-relevant knobs invalidate.
+        let mut seeded = base.clone();
+        seeded.train.seed += 1;
+        assert_ne!(fp, options_fingerprint(&seeded));
+        let mut capped = base.clone();
+        capped.max_diagnostics += 1;
+        assert_ne!(fp, options_fingerprint(&capped));
+        let mut nodedup = base.clone();
+        nodedup.dedup = false;
+        assert_ne!(fp, options_fingerprint(&nodedup));
+    }
+
+    #[test]
+    fn shard_digest_covers_start_names_and_content() {
+        let shard = Shard {
+            start: 3,
+            files: vec![("a.u".into(), "fn main() {}".into())],
+        };
+        let fp = shard_digest(&shard);
+        let mut moved = shard.clone();
+        moved.start = 4;
+        assert_ne!(fp, shard_digest(&moved));
+        let mut renamed = shard.clone();
+        renamed.files[0].0 = "b.u".into();
+        assert_ne!(fp, shard_digest(&renamed));
+        let mut edited = shard.clone();
+        edited.files[0].1.push(' ');
+        assert_ne!(fp, shard_digest(&edited));
+    }
+
+    #[test]
+    fn keys_are_stage_separated() {
+        let fp = fingerprint_parts();
+        let ka = analyze_key(fp.0, fp.1, fp.2);
+        let kb = extract_key(fp.0, fp.1, fp.1, fp.2);
+        assert_ne!(ka, kb, "pass A and pass B entries never collide");
+        // A different prefix (earlier corpus content) changes both.
+        assert_ne!(ka, analyze_key(fp.0, fp.2, fp.2));
+        assert_ne!(kb, extract_key(fp.0, fp.1, fp.2, fp.2));
+    }
+
+    fn fingerprint_parts() -> (Fingerprint, Fingerprint, Fingerprint) {
+        (
+            uspec_store::fingerprint_str("opts"),
+            uspec_store::fingerprint_str("prefix"),
+            uspec_store::fingerprint_str("shard"),
+        )
+    }
+
+    #[test]
+    fn stats_delta_round_trips_through_json() {
+        let mut stats = CorpusStats {
+            files: 9,
+            failures: 2,
+            duplicates: 5,
+            graphs: 11,
+            events: 40,
+            edges: 70,
+            non_converged: 1,
+            peak_resident_graphs: 11,
+            pta: PtaAggregate::from_parts(12, 30, 400, 90, 1, [(2, 10), (5, 2)]),
+            diagnostics: Vec::new(),
+        };
+        stats.diagnostics.push(AnalysisDiagnostic {
+            file: "bad.u".into(),
+            kind: DiagnosticKind::Frontend {
+                stage: AnalysisStage::Parse,
+                error: LangError::new(LangErrorKind::UnexpectedChar('~'), Span::new(3, 4)),
+            },
+        });
+        stats.diagnostics.push(AnalysisDiagnostic {
+            file: "slow.u".into(),
+            kind: DiagnosticKind::NonConverged {
+                func: "main".into(),
+                passes: 64,
+            },
+        });
+
+        let delta = StatsDelta::from_stats(&stats);
+        let back: StatsDelta = decode_payload(&encode_payload(&delta)).unwrap();
+        let rebuilt = back.into_stats();
+        assert_eq!(rebuilt.files, stats.files);
+        assert_eq!(rebuilt.failures, stats.failures);
+        assert_eq!(rebuilt.duplicates, 0, "recomputed live on hits");
+        assert_eq!(rebuilt.peak_resident_graphs, 0, "not resident on hits");
+        assert_eq!(rebuilt.pta, stats.pta);
+        assert_eq!(rebuilt.diagnostics.len(), 2);
+        assert_eq!(
+            rebuilt.diagnostics[0].to_string(),
+            stats.diagnostics[0].to_string()
+        );
+        assert_eq!(
+            rebuilt.diagnostics[1].to_string(),
+            stats.diagnostics[1].to_string()
+        );
+    }
+
+    #[test]
+    fn extract_payload_round_trips_candidates() {
+        let get = MethodId::new("java.util.HashMap", "get", 1);
+        let put = MethodId::new("java.util.HashMap", "put", 2);
+        let mut set = CandidateSet::default();
+        set.confidences
+            .insert(Spec::RetSame { method: get }, vec![0.25, 0.875]);
+        set.confidences.insert(
+            Spec::RetArg {
+                target: get,
+                source: put,
+                x: 2,
+            },
+            vec![0.5],
+        );
+        set.match_counts.insert(Spec::RetSame { method: get }, 2);
+        set.match_counts.insert(
+            Spec::RetArg {
+                target: get,
+                source: put,
+                x: 2,
+            },
+            1,
+        );
+        set.skipped_multi_edge = 3;
+        set.skipped_no_model = 1;
+        set.pairs_examined = 120;
+
+        let stats = CorpusStats {
+            graphs: 7,
+            events: 31,
+            edges: 44,
+            ..CorpusStats::default()
+        };
+        let payload = ShardExtractPayload::from_candidates(&set, &stats);
+        let back: ShardExtractPayload = decode_payload(&encode_payload(&payload)).unwrap();
+        assert_eq!((back.graphs, back.events, back.edges), (7, 31, 44));
+        let rebuilt = back.into_candidates();
+        assert_eq!(rebuilt.confidences, set.confidences, "f32 bit-exact");
+        assert_eq!(rebuilt.match_counts, set.match_counts);
+        assert_eq!(rebuilt.skipped_multi_edge, 3);
+        assert_eq!(rebuilt.pairs_examined, 120);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_as_miss() {
+        assert!(decode_payload::<StatsDelta>(b"not json").is_none());
+        assert!(decode_payload::<StatsDelta>(&[0xff, 0xfe]).is_none());
+        assert!(decode_payload::<ShardExtractPayload>(b"{}").is_none());
+    }
+}

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod eval;
 pub mod pipeline;
 pub mod report;
@@ -48,10 +49,10 @@ pub use eval::{
     PrPoint,
 };
 pub use pipeline::{
-    analyze_source, analyze_source_with_specs, run_pipeline, run_pipeline_streaming, CorpusStats,
-    CorpusTotals, PipelineOptions, PipelineResult,
+    analyze_source, analyze_source_with_specs, run_pipeline, run_pipeline_cached,
+    run_pipeline_streaming, CorpusStats, CorpusTotals, PipelineOptions, PipelineResult,
 };
-pub use report::{build_run_report, pta_counters, timings_section};
+pub use report::{build_run_report, cache_section, pta_counters, timings_section};
 pub use stage::{
     AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, AnalyzedShard, DedupFilter,
     DiagnosticKind, ExtractStage, SampleStage,

@@ -23,7 +23,7 @@
 //! batch mode of [`run_pipeline`]. File analysis is embarrassingly
 //! parallel and runs on rayon within each shard.
 
-use uspec_corpus::{shards, CorpusSource, SliceSource};
+use uspec_corpus::{shards, CorpusSource, Shard, SliceSource};
 use uspec_graph::{build_event_graph, EventGraph, GraphOptions};
 use uspec_lang::lower::{lower_program, LowerOptions};
 use uspec_lang::parser::parse;
@@ -32,7 +32,12 @@ use uspec_lang::LangError;
 use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ScoreFn};
 use uspec_model::{EdgeModel, Sample, TrainOptions, TrainStats};
 use uspec_pta::{Pta, PtaAggregate, PtaOptions, SpecDb};
+use uspec_store::{ArtifactStore, FpHasher};
 
+use crate::cache::{
+    analyze_key, decode_payload, encode_payload, extract_key, model_key, options_fingerprint,
+    roll_shard, shard_digest, ShardAnalysisPayload, ShardExtractPayload, StatsDelta,
+};
 use crate::stage::{
     AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, DedupFilter, ExtractStage,
     SampleStage,
@@ -136,6 +141,29 @@ pub struct CorpusTotals {
 }
 
 impl CorpusStats {
+    /// Folds one shard's delta (from [`AnalyzeStage::run`] or a cache hit)
+    /// into the corpus totals, re-applying the *global* diagnostics cap.
+    /// Deltas arrive in corpus order, so the retained diagnostics are the
+    /// first `max_diagnostics` corpus-wide — identical to accumulating
+    /// directly.
+    pub fn absorb(&mut self, delta: CorpusStats, max_diagnostics: usize) {
+        self.files += delta.files;
+        self.failures += delta.failures;
+        self.duplicates += delta.duplicates;
+        self.graphs += delta.graphs;
+        self.events += delta.events;
+        self.edges += delta.edges;
+        self.non_converged += delta.non_converged;
+        self.peak_resident_graphs = self.peak_resident_graphs.max(delta.peak_resident_graphs);
+        self.pta.merge(&delta.pta);
+        for d in delta.diagnostics {
+            if self.diagnostics.len() >= max_diagnostics {
+                break;
+            }
+            self.diagnostics.push(d);
+        }
+    }
+
     /// The counters that are invariant under `shard_size`.
     pub fn totals(&self) -> CorpusTotals {
         CorpusTotals {
@@ -240,36 +268,165 @@ pub fn run_pipeline_streaming<S: CorpusSource + ?Sized>(
     table: &ApiTable,
     opts: &PipelineOptions,
 ) -> PipelineResult {
+    run_pipeline_cached(source, table, opts, None)
+}
+
+/// Reads a shard's cached payload, treating any failure — absence,
+/// corruption (already recorded by the store), or an undecodable payload —
+/// as a miss.
+fn cached_shard<T: for<'de> serde::Deserialize<'de>>(
+    store: Option<&ArtifactStore>,
+    key: uspec_store::Fingerprint,
+) -> Option<T> {
+    let bytes = store?.get(key).hit()?;
+    let decoded = decode_payload(&bytes);
+    if decoded.is_none() {
+        uspec_telemetry::log_warn!("cache entry {key} has an undecodable payload; re-deriving");
+    }
+    decoded
+}
+
+/// Writes a shard's payload, degrading write failures (full disk,
+/// permissions) to a warning — the cache is an accelerator, never a
+/// correctness dependency.
+fn store_shard<T: serde::Serialize>(
+    store: &ArtifactStore,
+    key: uspec_store::Fingerprint,
+    payload: &T,
+) {
+    if let Err(e) = store.put(key, &encode_payload(payload)) {
+        uspec_telemetry::log_warn!("cache write for {key} failed: {e}");
+    }
+}
+
+/// Replays the `graph.*` counters a cache hit skipped. Those counters land
+/// in the report's invariant `counters.metrics` map, so warm and cold runs
+/// must account identically for the graphs the cold run built.
+fn replay_graph_counters(graphs: u64, events: u64, edges: u64) {
+    uspec_telemetry::counter!("graph.graphs_built").add(graphs);
+    uspec_telemetry::counter!("graph.events").add(events);
+    uspec_telemetry::counter!("graph.edges").add(edges);
+}
+
+/// Replays the duplicate filter over a shard whose analysis came from the
+/// cache, returning the number of duplicates. Hits skip the frontend but
+/// never the dedup pass: the filter's seen-set must be identical for later
+/// shards (which may be cold), and the duplicate *count* is recomputed
+/// live rather than trusted from the entry.
+fn replay_dedup(dedup: &mut DedupFilter, shard: &Shard) -> usize {
+    let mut duplicates = 0;
+    for (_, _, source) in shard.iter() {
+        if !dedup.keep(source) {
+            duplicates += 1;
+        }
+    }
+    duplicates
+}
+
+/// [`run_pipeline_streaming`] with an optional persistent artifact store.
+///
+/// With `Some(store)`, each shard's pass-A output (analysis stats delta +
+/// training samples) and pass-B output (extracted candidates) is looked up
+/// by a content fingerprint covering the shard, everything before it, the
+/// analysis-relevant options, and — for pass B — the whole corpus (see
+/// [`crate::cache`]). Hits skip parsing, lowering, points-to analysis, and
+/// graph construction for that shard; misses compute live and populate the
+/// store. The result is byte-identical with and without a store, warm or
+/// cold — the cache can only change *how fast* an answer is produced,
+/// never the answer.
+pub fn run_pipeline_cached<S: CorpusSource + ?Sized>(
+    source: &S,
+    table: &ApiTable,
+    opts: &PipelineOptions,
+    store: Option<&ArtifactStore>,
+) -> PipelineResult {
     let analyze = AnalyzeStage::new(table, opts);
+    let opts_fp = options_fingerprint(opts);
 
     // Pass A: per-shard analysis and sample extraction, then SGD training.
     let sample = SampleStage::new(&opts.train);
     let mut stats = CorpusStats::default();
     let mut dedup = DedupFilter::new(opts.dedup);
     let mut samples: Vec<Sample> = Vec::new();
+    let mut rolling = FpHasher::new();
     for shard in shards(source, opts.shard_size) {
-        let analyzed = analyze.run(&shard, &mut dedup, &mut stats);
-        samples.extend(sample.run(&analyzed));
-        // `analyzed` — this shard's event graphs — drops here.
+        let key = analyze_key(opts_fp, rolling.digest(), shard_digest(&shard));
+        match cached_shard::<ShardAnalysisPayload>(store, key) {
+            Some(payload) => {
+                let duplicates = replay_dedup(&mut dedup, &shard);
+                let s = &payload.stats;
+                replay_graph_counters(s.graphs, s.events, s.edges);
+                let mut delta = payload.stats.into_stats();
+                delta.duplicates = duplicates;
+                stats.absorb(delta, opts.max_diagnostics);
+                samples.extend(payload.samples);
+            }
+            None => {
+                let (analyzed, delta) = analyze.run(&shard, &mut dedup);
+                let shard_samples = sample.run(&analyzed);
+                if let Some(s) = store {
+                    let payload = ShardAnalysisPayload {
+                        stats: StatsDelta::from_stats(&delta),
+                        samples: shard_samples.clone(),
+                    };
+                    store_shard(s, key, &payload);
+                }
+                stats.absorb(delta, opts.max_diagnostics);
+                samples.extend(shard_samples);
+                // `analyzed` — this shard's event graphs — drops here.
+            }
+        }
+        roll_shard(&mut rolling, &shard);
     }
-    let model = {
-        let _span = uspec_telemetry::span!("stage.train", "samples={}", samples.len());
-        EdgeModel::train(&samples, &opts.train)
+    // The rolling digest now covers every corpus file: the identity of the
+    // model the next pass scores with. The trained model itself is cached
+    // under that digest — training is the one post-analysis stage heavy
+    // enough that replaying it would dominate a warm run.
+    let corpus_fp = rolling.digest();
+    let mkey = model_key(opts_fp, corpus_fp);
+    let model = match cached_shard::<uspec_model::ModelSnapshot>(store, mkey) {
+        Some(snap) => EdgeModel::from_snapshot(snap),
+        None => {
+            let model = {
+                let _span = uspec_telemetry::span!("stage.train", "samples={}", samples.len());
+                EdgeModel::train(&samples, &opts.train)
+            };
+            if let Some(s) = store {
+                store_shard(s, mkey, &model.snapshot());
+            }
+            model
+        }
     };
     drop(samples);
 
-    // Pass B: re-analyze each shard and extract candidates with ϕ. Counts
-    // go to a scratch CorpusStats — pass A already accounted for them —
-    // except the resident-graph high-water mark, which spans both passes.
+    // Pass B: re-analyze each shard and extract candidates with ϕ. Stats
+    // deltas are discarded — pass A already accounted for them — except
+    // the resident-graph high-water mark, which spans both passes.
     let extract = ExtractStage::new(&model, &opts.extract);
-    let mut scratch = CorpusStats::default();
     let mut dedup = DedupFilter::new(opts.dedup);
     let mut candidates = CandidateSet::default();
+    let mut rolling = FpHasher::new();
     for shard in shards(source, opts.shard_size) {
-        let analyzed = analyze.run(&shard, &mut dedup, &mut scratch);
-        candidates.merge(extract.run(&analyzed));
+        let key = extract_key(opts_fp, corpus_fp, rolling.digest(), shard_digest(&shard));
+        match cached_shard::<ShardExtractPayload>(store, key) {
+            Some(payload) => {
+                replay_dedup(&mut dedup, &shard);
+                replay_graph_counters(payload.graphs, payload.events, payload.edges);
+                candidates.merge(payload.into_candidates());
+            }
+            None => {
+                let (analyzed, delta) = analyze.run(&shard, &mut dedup);
+                stats.peak_resident_graphs =
+                    stats.peak_resident_graphs.max(delta.peak_resident_graphs);
+                let set = extract.run(&analyzed);
+                if let Some(s) = store {
+                    store_shard(s, key, &ShardExtractPayload::from_candidates(&set, &delta));
+                }
+                candidates.merge(set);
+            }
+        }
+        roll_shard(&mut rolling, &shard);
     }
-    stats.peak_resident_graphs = stats.peak_resident_graphs.max(scratch.peak_resident_graphs);
 
     let learned = LearnedSpecs::from_candidates(&candidates, opts.score_fn);
     PipelineResult {

@@ -10,8 +10,8 @@
 
 use uspec_pta::PtaAggregate;
 use uspec_telemetry::{
-    metrics, span, CandidateCounters, CorpusCounters, DiagnosticsSection, ModelCounters,
-    PtaCounters, RunReport, TimingsSection,
+    metrics, span, CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection,
+    ModelCounters, PtaCounters, RunReport, TimingsSection,
 };
 
 use crate::pipeline::{PipelineOptions, PipelineResult};
@@ -32,6 +32,24 @@ pub fn pta_counters(agg: &PtaAggregate) -> PtaCounters {
     }
 }
 
+/// Snapshots the artifact-store counters and incident log into the
+/// report's machine-local `timings.cache` section. All zeros/empty when no
+/// store was configured.
+pub fn cache_section() -> CacheSection {
+    let counters = metrics::global().snapshot().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    CacheSection {
+        lookups: get("store.lookup"),
+        hits: get("store.hit"),
+        misses: get("store.miss"),
+        bytes_read: get("store.bytes_read"),
+        bytes_written: get("store.bytes_written"),
+        evicted: get("store.evicted"),
+        corrupt: get("store.corrupt"),
+        incidents: uspec_store::incidents::snapshot(),
+    }
+}
+
 /// Snapshots the global telemetry state into a report's [`TimingsSection`].
 /// `total_seconds` is the caller-measured end-to-end wall time.
 pub fn timings_section(total_seconds: f64) -> TimingsSection {
@@ -41,6 +59,7 @@ pub fn timings_section(total_seconds: f64) -> TimingsSection {
         spans: span::snapshot(),
         gauges: snap.gauges,
         histograms: snap.histograms,
+        cache: cache_section(),
     }
 }
 
@@ -89,7 +108,16 @@ pub fn build_run_report(
             .count() as u64,
         tau,
     };
-    report.counters.metrics = metrics::global().snapshot().counters;
+    // `store.*` counters describe cache behavior, which depends on what
+    // previous runs left on disk — a warm run and a cold run must still
+    // produce byte-identical invariant sections, so those counters are
+    // routed to the machine-local `timings.cache` section instead.
+    report.counters.metrics = metrics::global()
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("store."))
+        .collect();
 
     report.diagnostics = DiagnosticsSection {
         retained: corpus.diagnostics.iter().map(|d| d.to_string()).collect(),

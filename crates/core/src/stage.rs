@@ -30,7 +30,7 @@ use uspec_pta::{PtaAggregate, SpecDb};
 use crate::pipeline::{analyze_source_staged, CorpusStats, PipelineOptions};
 
 /// The frontend stage at which a file was rejected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum AnalysisStage {
     /// Lexing/parsing the source text.
     Parse,
@@ -48,7 +48,7 @@ impl std::fmt::Display for AnalysisStage {
 }
 
 /// What went wrong (or was degraded) while analyzing one file.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum DiagnosticKind {
     /// The frontend rejected the file; it contributes no graphs.
     Frontend {
@@ -78,7 +78,7 @@ pub enum DiagnosticKind {
 /// training signal) and non-converged bodies still contribute their
 /// truncated graphs, but the *first* `max_diagnostics` records are kept in
 /// [`CorpusStats::diagnostics`] so corpus problems are visible.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct AnalysisDiagnostic {
     /// File name as reported by the corpus source.
     pub file: String,
@@ -178,14 +178,16 @@ impl<'a> AnalyzeStage<'a> {
         AnalyzeStage { table, opts }
     }
 
-    /// Analyzes one shard. `dedup` carries duplicate state across shards;
-    /// `stats` accumulates corpus-wide counters and diagnostics.
-    pub fn run(
-        &self,
-        shard: &Shard,
-        dedup: &mut DedupFilter,
-        stats: &mut CorpusStats,
-    ) -> AnalyzedShard {
+    /// Analyzes one shard. `dedup` carries duplicate state across shards.
+    ///
+    /// Returns the shard's graphs plus a *per-shard* [`CorpusStats`] delta
+    /// — diagnostics capped at `max_diagnostics` within the shard (the
+    /// global cap is re-applied by [`CorpusStats::absorb`], and since
+    /// absorption preserves corpus order the retained set is identical to
+    /// the old direct accumulation). The delta form is what makes a shard's
+    /// analysis output self-contained and therefore cacheable.
+    pub fn run(&self, shard: &Shard, dedup: &mut DedupFilter) -> (AnalyzedShard, CorpusStats) {
+        let mut stats = CorpusStats::default();
         let _span = uspec_telemetry::span!(
             "stage.analyze",
             "shard@{} files={}",
@@ -253,10 +255,10 @@ impl<'a> AnalyzeStage<'a> {
                 }
             }
         }
-        stats.peak_resident_graphs = stats.peak_resident_graphs.max(out.num_graphs());
+        stats.peak_resident_graphs = out.num_graphs();
         uspec_telemetry::gauge!("pipeline.peak_resident_graphs")
             .record_max(out.num_graphs() as u64);
-        out
+        (out, stats)
     }
 }
 

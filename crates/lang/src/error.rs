@@ -1,9 +1,13 @@
 //! Frontend error types.
 
+use serde::{Deserialize, Serialize};
+
 use crate::span::Span;
 
 /// An error produced while lexing, parsing or lowering a program.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Serializable so structured diagnostics that embed it can be cached by
+/// the artifact store.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LangError {
     /// What went wrong.
     pub kind: LangErrorKind,
@@ -12,7 +16,7 @@ pub struct LangError {
 }
 
 /// The category of a [`LangError`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LangErrorKind {
     /// The lexer met a character it does not understand.
     UnexpectedChar(char),

@@ -25,6 +25,6 @@ pub mod seed;
 pub mod train;
 
 pub use features::{featurize, featurize_depth, featurize_with, PairFeature};
-pub use logreg::LogReg;
+pub use logreg::{LogReg, LogRegSnapshot};
 pub use seed::{mix_seed, splitmix64};
-pub use train::{extract_samples, EdgeModel, Sample, TrainOptions, TrainStats};
+pub use train::{extract_samples, EdgeModel, ModelSnapshot, Sample, TrainOptions, TrainStats};

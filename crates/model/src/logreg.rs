@@ -74,6 +74,52 @@ impl LogReg {
     pub fn updates(&self) -> u64 {
         self.updates
     }
+
+    /// A sparse serializable copy: only the touched weights. The hashed
+    /// feature space is huge (`2^dim_bits` slots) but SGD reaches only the
+    /// slots its training tokens hash to, so this is orders of magnitude
+    /// smaller than the dense vector.
+    pub fn snapshot(&self) -> LogRegSnapshot {
+        LogRegSnapshot {
+            dim_bits: self.dim_bits,
+            bias: self.bias,
+            updates: self.updates,
+            nonzero: self
+                .weights
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w != 0.0)
+                .map(|(i, &w)| (i as u64, w))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the dense model from a [`snapshot`](LogReg::snapshot);
+    /// predictions are bit-identical to the snapshotted model.
+    pub fn from_snapshot(snap: LogRegSnapshot) -> LogReg {
+        let mut m = LogReg::new(snap.dim_bits);
+        m.bias = snap.bias;
+        m.updates = snap.updates;
+        for (i, w) in snap.nonzero {
+            if let Some(slot) = m.weights.get_mut(i as usize) {
+                *slot = w;
+            }
+        }
+        m
+    }
+}
+
+/// Sparse serialized form of a [`LogReg`] (see [`LogReg::snapshot`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogRegSnapshot {
+    /// Hashed feature-space bits of the dense model.
+    pub dim_bits: u32,
+    /// Intercept.
+    pub bias: f32,
+    /// SGD updates performed.
+    pub updates: u64,
+    /// `(slot, weight)` for every nonzero weight, in slot order.
+    pub nonzero: Vec<(u64, f32)>,
 }
 
 fn sigmoid(z: f32) -> f32 {

@@ -64,7 +64,8 @@ impl Default for TrainOptions {
 }
 
 /// One training sample: a featurized event pair with its edge label.
-#[derive(Clone, Debug)]
+/// Serializable so the artifact store can cache a shard's samples.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Sample {
     /// Position-pair key selecting the ψ model.
     pub key: (u8, u8),
@@ -130,7 +131,7 @@ pub fn extract_samples(g: &EventGraph, rng: &mut ChaCha8Rng, opts: &TrainOptions
 }
 
 /// Summary statistics of one training run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrainStats {
     /// Number of positive samples.
     pub n_pos: usize,
@@ -146,6 +147,23 @@ pub struct TrainStats {
     pub final_loss: f64,
     /// Training-set accuracy at threshold 0.5 after training.
     pub train_accuracy: f64,
+}
+
+/// Flat, serializable form of an [`EdgeModel`] — the per-position map as
+/// sorted pairs (the vendored serde stack only supports string map keys).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ModelSnapshot {
+    /// `((x1, x2), ψ)` per argument-position pair, sorted by position,
+    /// each regression in its sparse form.
+    pub models: Vec<((u8, u8), crate::LogRegSnapshot)>,
+    /// Hashed feature-space bits.
+    pub dim_bits: u32,
+    /// Whether full calling contexts were featurized.
+    pub full_contexts: bool,
+    /// Context depth used for featurization.
+    pub context_depth: usize,
+    /// Statistics of the training run that produced the model.
+    pub stats: TrainStats,
 }
 
 /// The probabilistic event-graph edge model ϕ: one logistic regression
@@ -237,6 +255,40 @@ impl EdgeModel {
     /// Training statistics.
     pub fn stats(&self) -> &TrainStats {
         &self.stats
+    }
+
+    /// A serializable copy of the whole model, per-position regressions
+    /// sorted by position pair.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        let mut models: Vec<((u8, u8), crate::LogRegSnapshot)> = self
+            .models
+            .iter()
+            .map(|(&k, m)| (k, m.snapshot()))
+            .collect();
+        models.sort_by_key(|&(k, _)| k);
+        ModelSnapshot {
+            models,
+            dim_bits: self.dim_bits,
+            full_contexts: self.full_contexts,
+            context_depth: self.context_depth,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuilds a model from a [`snapshot`](EdgeModel::snapshot). The
+    /// result predicts identically to the snapshotted model.
+    pub fn from_snapshot(snap: ModelSnapshot) -> EdgeModel {
+        EdgeModel {
+            models: snap
+                .models
+                .into_iter()
+                .map(|(k, m)| (k, LogReg::from_snapshot(m)))
+                .collect(),
+            dim_bits: snap.dim_bits,
+            full_contexts: snap.full_contexts,
+            context_depth: snap.context_depth,
+            stats: snap.stats,
+        }
     }
 
     /// Hashed feature-space bits.
@@ -455,6 +507,43 @@ mod context_variant_tests {
         let pos = samples.iter().filter(|s| s.label).count();
         let neg = samples.len() - pos;
         assert!(neg <= pos / 2 + 1, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn model_snapshot_roundtrip_is_bit_exact() {
+        let g = graph_of(
+            r#"
+            fn main(db) {
+                f = db.getFile("x");
+                n = f.getName();
+                c = db.openConn("d");
+                c.execute("q");
+            }
+            "#,
+        );
+        let opts = TrainOptions::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let samples = extract_samples(&g, &mut rng, &opts);
+        let model = EdgeModel::train(&samples, &opts);
+
+        let json = serde_json::to_string(&model.snapshot()).unwrap();
+        let snap: ModelSnapshot = serde_json::from_str(&json).unwrap();
+        // The sparse form is far smaller than the dense weight vectors.
+        assert!(
+            json.len() < model.stats().n_models * (1 << opts.dim_bits),
+            "snapshot is not sparse: {} bytes",
+            json.len()
+        );
+        let back = EdgeModel::from_snapshot(snap);
+        assert_eq!(back.stats().n_models, model.stats().n_models);
+        assert_eq!(back.stats().final_loss, model.stats().final_loss);
+        for s in &samples {
+            assert_eq!(
+                model.predict_tokens(s.key, &s.tokens),
+                back.predict_tokens(s.key, &s.tokens),
+                "prediction drifted through the snapshot"
+            );
+        }
     }
 
     #[test]

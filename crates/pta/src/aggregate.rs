@@ -62,6 +62,29 @@ impl PtaAggregate {
     pub fn pass_histogram(&self) -> &BTreeMap<usize, usize> {
         &self.pass_counts
     }
+
+    /// Rebuilds an aggregate from its totals and pass-count histogram —
+    /// the inverse of reading the public fields plus [`pass_histogram`]
+    /// (used by the artifact store's flat cache encoding).
+    ///
+    /// [`pass_histogram`]: PtaAggregate::pass_histogram
+    pub fn from_parts(
+        bodies: usize,
+        passes: usize,
+        propagations: usize,
+        constraints: usize,
+        non_converged: usize,
+        pass_counts: impl IntoIterator<Item = (usize, usize)>,
+    ) -> PtaAggregate {
+        PtaAggregate {
+            bodies,
+            passes,
+            propagations,
+            constraints,
+            non_converged,
+            pass_counts: pass_counts.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,249 @@
+//! The versioned on-disk entry envelope.
+//!
+//! Every object in the store is one file holding:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"USPC"
+//! 4       4     store format version (u32 LE)
+//! 8       16    key fingerprint (hi, lo — u64 LE each)
+//! 24      8     payload length (u64 LE)
+//! 32      n     payload bytes
+//! 32+n    8     checksum (u64 LE) over bytes [0, 32+n)
+//! ```
+//!
+//! Decoding is total: any deviation — wrong magic, foreign format version,
+//! truncation, trailing bytes, checksum mismatch, key mismatch — comes back
+//! as a typed [`EnvelopeError`], never a panic. The caller treats every
+//! error as a cache miss.
+
+use crate::fingerprint::{checksum64, Fingerprint};
+
+/// Magic bytes opening every store object.
+pub const MAGIC: [u8; 4] = *b"USPC";
+
+/// Version of the envelope + payload layout. Bump on any change to either;
+/// entries with a different version decode to
+/// [`EnvelopeError::VersionMismatch`] and are treated as misses.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Envelope header length in bytes.
+const HEADER_LEN: usize = 32;
+/// Trailing checksum length in bytes.
+const CHECKSUM_LEN: usize = 8;
+
+/// Why an envelope failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// The file is shorter than a minimal envelope or than its own declared
+    /// payload length.
+    Truncated {
+        /// Bytes present.
+        got: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The magic bytes are wrong — not a store object at all.
+    BadMagic,
+    /// The entry was written by a different store format version.
+    VersionMismatch {
+        /// Version found in the envelope.
+        found: u32,
+    },
+    /// The file is longer than header + payload + checksum.
+    TrailingBytes {
+        /// Extra byte count.
+        extra: usize,
+    },
+    /// The stored checksum does not match the bytes.
+    ChecksumMismatch,
+    /// The embedded key differs from the key the caller looked up — the
+    /// object landed under the wrong name.
+    KeyMismatch {
+        /// Key found in the envelope.
+        found: Fingerprint,
+    },
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Truncated { got, need } => {
+                write!(f, "truncated entry: {got} bytes, need {need}")
+            }
+            EnvelopeError::BadMagic => write!(f, "bad magic (not a store object)"),
+            EnvelopeError::VersionMismatch { found } => write!(
+                f,
+                "store format version {found} != expected {STORE_FORMAT_VERSION}"
+            ),
+            EnvelopeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after checksum")
+            }
+            EnvelopeError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            EnvelopeError::KeyMismatch { found } => {
+                write!(f, "entry holds key {found}, not the requested one")
+            }
+        }
+    }
+}
+
+/// Encodes `payload` under `key` into a self-checking envelope.
+pub fn encode(key: Fingerprint, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.hi.to_le_bytes());
+    out.extend_from_slice(&key.lo.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = checksum64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+/// Decodes an envelope, returning the embedded key and payload.
+///
+/// When `expect_key` is given, the embedded key must match it. All failure
+/// modes are [`EnvelopeError`] values — decoding never panics on arbitrary
+/// bytes.
+pub fn decode(
+    bytes: &[u8],
+    expect_key: Option<Fingerprint>,
+) -> Result<(Fingerprint, Vec<u8>), EnvelopeError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(EnvelopeError::Truncated {
+            got: bytes.len(),
+            need: HEADER_LEN + CHECKSUM_LEN,
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(EnvelopeError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != STORE_FORMAT_VERSION {
+        return Err(EnvelopeError::VersionMismatch { found: version });
+    }
+    let key = Fingerprint {
+        hi: read_u64(bytes, 8),
+        lo: read_u64(bytes, 16),
+    };
+    let len = read_u64(bytes, 24) as usize;
+    let need = HEADER_LEN
+        .checked_add(len)
+        .and_then(|n| n.checked_add(CHECKSUM_LEN))
+        .ok_or(EnvelopeError::Truncated {
+            got: bytes.len(),
+            need: usize::MAX,
+        })?;
+    if bytes.len() < need {
+        return Err(EnvelopeError::Truncated {
+            got: bytes.len(),
+            need,
+        });
+    }
+    if bytes.len() > need {
+        return Err(EnvelopeError::TrailingBytes {
+            extra: bytes.len() - need,
+        });
+    }
+    let body_end = HEADER_LEN + len;
+    let stored = read_u64(bytes, body_end);
+    if checksum64(&bytes[..body_end]) != stored {
+        return Err(EnvelopeError::ChecksumMismatch);
+    }
+    if let Some(expected) = expect_key {
+        if key != expected {
+            return Err(EnvelopeError::KeyMismatch { found: key });
+        }
+    }
+    Ok((key, bytes[HEADER_LEN..body_end].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_str;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let key = fingerprint_str("k");
+        let enc = encode(key, b"hello payload");
+        let (k, p) = decode(&enc, Some(key)).unwrap();
+        assert_eq!(k, key);
+        assert_eq!(p, b"hello payload");
+        // Empty payloads are valid too.
+        let enc = encode(key, b"");
+        assert_eq!(decode(&enc, Some(key)).unwrap().1, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let key = fingerprint_str("k");
+        let enc = encode(key, b"0123456789");
+        for cut in [0, 3, HEADER_LEN, enc.len() - 1] {
+            let err = decode(&enc[..cut], Some(key)).unwrap_err();
+            assert!(
+                matches!(err, EnvelopeError::Truncated { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let key = fingerprint_str("k");
+        let enc = encode(key, b"sensitive bytes");
+        // Flip one payload bit.
+        let mut bad = enc.clone();
+        bad[HEADER_LEN + 2] ^= 0x40;
+        assert_eq!(
+            decode(&bad, Some(key)).unwrap_err(),
+            EnvelopeError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn foreign_version_and_magic_are_rejected() {
+        let key = fingerprint_str("k");
+        let mut enc = encode(key, b"x");
+        enc[4] = STORE_FORMAT_VERSION as u8 + 1;
+        // Restore the checksum so only the version differs.
+        let sum_at = enc.len() - CHECKSUM_LEN;
+        let sum = checksum64(&enc[..sum_at]);
+        enc[sum_at..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&enc, Some(key)).unwrap_err(),
+            EnvelopeError::VersionMismatch { .. }
+        ));
+
+        let mut bad = encode(key, b"x");
+        bad[0] = b'Z';
+        assert_eq!(
+            decode(&bad, Some(key)).unwrap_err(),
+            EnvelopeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn key_and_length_mismatches_are_rejected() {
+        let key = fingerprint_str("k");
+        let other = fingerprint_str("other");
+        let enc = encode(key, b"x");
+        assert!(matches!(
+            decode(&enc, Some(other)).unwrap_err(),
+            EnvelopeError::KeyMismatch { .. }
+        ));
+        let mut long = enc.clone();
+        long.push(0);
+        assert!(matches!(
+            decode(&long, Some(key)).unwrap_err(),
+            EnvelopeError::TrailingBytes { extra: 1 }
+        ));
+    }
+}

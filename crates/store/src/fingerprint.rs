@@ -1,0 +1,205 @@
+//! Content fingerprints for cache keys.
+//!
+//! A [`Fingerprint`] is a 128-bit digest built from two independently
+//! seeded FNV-1a lanes, each finalized with a splitmix64-style avalanche.
+//! This is **not** a cryptographic hash — the store is a cache keyed on
+//! trusted local inputs, so the bar is "collisions are vanishingly
+//! unlikely for corpus-sized key sets", not adversarial resistance. Every
+//! multi-part input is length-prefixed before hashing so that
+//! `("ab", "c")` and `("a", "bc")` fingerprint differently.
+
+/// A 128-bit content fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// High 64 bits (lane A).
+    pub hi: u64,
+    /// Low 64 bits (lane B).
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// Renders the fingerprint as 32 lowercase hex digits (the on-disk
+    /// object name).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the [`Fingerprint::hex`] rendering back.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(Fingerprint {
+            hi: u64::from_str_radix(&s[..16], 16).ok()?,
+            lo: u64::from_str_radix(&s[16..], 16).ok()?,
+        })
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Lane B runs FNV with a different offset *and* a different odd
+/// multiplier so the two 64-bit lanes do not collapse into one.
+const LANE_B_OFFSET: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+const LANE_B_PRIME: u64 = 0x0000_0100_0000_01d9;
+
+/// Incremental fingerprint builder.
+///
+/// `Clone` is intentional: the pipeline keeps one rolling hasher per corpus
+/// pass and snapshots its [`digest`](FpHasher::digest) before each shard to
+/// key that shard on everything that came before it.
+#[derive(Clone, Debug)]
+pub struct FpHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> FpHasher {
+        FpHasher::new()
+    }
+}
+
+/// splitmix64 finalizer: full avalanche of one 64-bit word.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FpHasher {
+    /// A fresh hasher.
+    pub fn new() -> FpHasher {
+        FpHasher {
+            a: FNV_OFFSET,
+            b: LANE_B_OFFSET,
+        }
+    }
+
+    /// Feeds raw bytes (no length prefix — use the typed writers for
+    /// multi-part keys).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(LANE_B_PRIME);
+        }
+    }
+
+    /// Feeds one length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes);
+    }
+
+    /// Feeds one length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds one `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Feeds another fingerprint (e.g. a per-shard digest into a corpus
+    /// rolling digest).
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_u64(fp.hi);
+        self.write_u64(fp.lo);
+    }
+
+    /// The digest of everything written so far. Non-consuming, so a
+    /// rolling hasher can be sampled mid-stream.
+    pub fn digest(&self) -> Fingerprint {
+        Fingerprint {
+            hi: avalanche(self.a),
+            lo: avalanche(self.b ^ self.a.rotate_left(32)),
+        }
+    }
+}
+
+/// Fingerprints one string in a single call.
+pub fn fingerprint_str(s: &str) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str(s);
+    h.digest()
+}
+
+/// Domain-separation seed for the envelope checksum: without it,
+/// `checksum64` would be exactly lane A of [`FpHasher`] and an envelope's
+/// checksum could correlate with its key fingerprint.
+const CHECKSUM_OFFSET: u64 = FNV_OFFSET ^ 0x6a09_e667_f3bc_c908;
+
+/// 64-bit FNV-1a over raw bytes — the envelope checksum. Seeded apart
+/// from [`FpHasher`] so the checksum of an envelope does not depend on the
+/// key-fingerprint construction.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = CHECKSUM_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    avalanche(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let fp = fingerprint_str("hello");
+        let hex = fp.hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let mut h1 = FpHasher::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = FpHasher::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.digest(), h2.digest());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        assert_eq!(fingerprint_str("corpus"), fingerprint_str("corpus"));
+        assert_ne!(fingerprint_str("corpus"), fingerprint_str("corpuS"));
+        // The two lanes disagree, i.e. the fingerprint is wider than 64 bits.
+        let fp = fingerprint_str("corpus");
+        assert_ne!(fp.hi, fp.lo);
+    }
+
+    #[test]
+    fn rolling_snapshots_differ_per_prefix() {
+        let mut h = FpHasher::new();
+        let d0 = h.digest();
+        h.write_str("shard0");
+        let d1 = h.digest();
+        h.write_str("shard1");
+        let d2 = h.digest();
+        assert_ne!(d0, d1);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn checksum_differs_from_fingerprint_lanes() {
+        let c = checksum64(b"payload");
+        let mut h = FpHasher::new();
+        h.write_raw(b"payload");
+        assert_ne!(c, h.digest().hi);
+    }
+}

@@ -1,0 +1,35 @@
+//! Persistent content-addressed artifact store for warm-start runs.
+//!
+//! The streaming pipeline recomputes every stage from scratch on each run,
+//! even when most corpus shards have not changed. This crate gives the
+//! pipeline a durable memory: per-shard stage outputs are serialized into
+//! self-checking envelopes and stored under a 128-bit fingerprint of
+//! everything that could influence them — shard content, every prior
+//! file's content (dedup state is cross-shard), the analysis-relevant
+//! pipeline options, the sampling seed, and the store format version. A
+//! warm re-run looks each shard up by fingerprint and skips the frontend,
+//! points-to, and graph work for hits while producing byte-identical
+//! results to a cold run.
+//!
+//! Three layers:
+//!
+//! * [`fingerprint`] — 128-bit dual-lane FNV content fingerprints and the
+//!   rolling [`fingerprint::FpHasher`] used for prefix digests.
+//! * [`envelope`] — the versioned on-disk entry format: magic, format
+//!   version, embedded key, length-prefixed payload, trailing checksum.
+//!   Decoding is total; every deviation is a typed error.
+//! * [`store`] — the [`ArtifactStore`] itself: atomic puts, verified
+//!   gets that degrade corruption to recorded misses, `stats`/`verify`
+//!   and LRU-by-mtime `gc`.
+//!
+//! Cache *hits* depend on what previous runs left on disk, so everything
+//! observable about the store (counters, spans, incidents) is machine-local
+//! telemetry and must stay out of the deterministic run-report sections.
+
+pub mod envelope;
+pub mod fingerprint;
+pub mod store;
+
+pub use envelope::{EnvelopeError, STORE_FORMAT_VERSION};
+pub use fingerprint::{fingerprint_str, Fingerprint, FpHasher};
+pub use store::{incidents, ArtifactStore, GcReport, Lookup, MissReason, StoreStats, VerifyReport};

@@ -1,0 +1,462 @@
+//! The on-disk content-addressed artifact store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/objects/<first 2 hex of key>/<remaining 30 hex>.usc
+//! ```
+//!
+//! Writes are atomic: the envelope is written to a temp file in the final
+//! directory and `rename`d into place, so readers never observe a partial
+//! entry and concurrent writers of the same key are last-wins with either
+//! outcome valid (same key ⇒ same bytes).
+//!
+//! Reads are **total**: any problem — missing file, foreign format
+//! version, truncation, checksum failure, I/O error — degrades to a
+//! [`Lookup::Miss`] with a typed [`MissReason`]; the store never panics on
+//! bad bytes. Non-`Absent` misses are additionally recorded in a
+//! process-global incident log (see [`incidents`]) that the run report's
+//! machine-local cache section surfaces.
+//!
+//! Telemetry: `store.lookup` / `store.hit` / `store.miss` / `store.corrupt`
+//! / `store.bytes_read` / `store.bytes_written` / `store.evicted` counters
+//! and `store.read` / `store.write` spans. Cache behavior depends on what
+//! previous runs left on disk, so these must stay out of the deterministic
+//! report sections — the report assembler routes `store.*` counters into
+//! the machine-local `timings.cache` section.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use crate::envelope::{self, EnvelopeError};
+use crate::fingerprint::Fingerprint;
+use uspec_telemetry::{counter, span};
+
+/// File extension of store objects.
+const OBJECT_EXT: &str = "usc";
+
+/// Result of a [`ArtifactStore::get`] lookup.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// The entry was found, verified, and decoded.
+    Hit(Vec<u8>),
+    /// No usable entry; `MissReason` says why.
+    Miss(MissReason),
+}
+
+impl Lookup {
+    /// The payload, if this was a hit.
+    pub fn hit(self) -> Option<Vec<u8>> {
+        match self {
+            Lookup::Hit(bytes) => Some(bytes),
+            Lookup::Miss(_) => None,
+        }
+    }
+}
+
+/// Why a lookup missed. Everything except `Absent` is an *incident*: an
+/// entry existed but could not be used, which the store records in the
+/// incident log and counts under `store.corrupt`.
+#[derive(Clone, Debug)]
+pub enum MissReason {
+    /// No entry under this key — the ordinary cold-cache miss.
+    Absent,
+    /// The entry failed envelope validation (version mismatch, truncation,
+    /// checksum or key mismatch, bad magic).
+    Invalid(EnvelopeError),
+    /// The entry could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for MissReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MissReason::Absent => write!(f, "absent"),
+            MissReason::Invalid(e) => write!(f, "invalid entry: {e}"),
+            MissReason::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Aggregate size of a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of objects.
+    pub entries: u64,
+    /// Total object bytes on disk.
+    pub bytes: u64,
+}
+
+/// Outcome of [`ArtifactStore::verify`].
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Entries that decoded cleanly.
+    pub ok: u64,
+    /// `(path, problem)` for every entry that failed validation.
+    pub corrupt: Vec<(PathBuf, String)>,
+}
+
+/// Outcome of [`ArtifactStore::gc`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries examined.
+    pub scanned: u64,
+    /// Entries removed (oldest mtime first).
+    pub evicted: u64,
+    /// Total bytes before eviction.
+    pub bytes_before: u64,
+    /// Total bytes after eviction.
+    pub bytes_after: u64,
+}
+
+/// A content-addressed artifact store rooted at one directory.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    /// Distinguishes temp files of concurrent writers within one process.
+    temp_seq: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: &Path) -> io::Result<ArtifactStore> {
+        fs::create_dir_all(dir.join("objects"))?;
+        Ok(ArtifactStore {
+            root: dir.to_path_buf(),
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// On-disk path of `key`'s object.
+    pub fn object_path(&self, key: Fingerprint) -> PathBuf {
+        let hex = key.hex();
+        self.root
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{}.{OBJECT_EXT}", &hex[2..]))
+    }
+
+    /// Looks `key` up, returning the verified payload or a typed miss.
+    /// Hits refresh the object's mtime so `gc` evicts least-recently-used
+    /// entries first.
+    pub fn get(&self, key: Fingerprint) -> Lookup {
+        let _span = span!("store.read", "{key}");
+        counter!("store.lookup").inc();
+        let path = self.object_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                counter!("store.miss").inc();
+                return Lookup::Miss(MissReason::Absent);
+            }
+            Err(e) => {
+                counter!("store.miss").inc();
+                counter!("store.corrupt").inc();
+                let reason = MissReason::Io(e.to_string());
+                incidents::record(format!("{}: {reason}", path.display()));
+                return Lookup::Miss(reason);
+            }
+        };
+        match envelope::decode(&bytes, Some(key)) {
+            Ok((_, payload)) => {
+                counter!("store.hit").inc();
+                counter!("store.bytes_read").add(bytes.len() as u64);
+                // Best-effort LRU touch; a read-only store is still a cache.
+                let _ = fs::File::open(&path).and_then(|f| f.set_modified(SystemTime::now()));
+                Lookup::Hit(payload)
+            }
+            Err(e) => {
+                counter!("store.miss").inc();
+                counter!("store.corrupt").inc();
+                let reason = MissReason::Invalid(e);
+                incidents::record(format!("{}: {reason}", path.display()));
+                Lookup::Miss(reason)
+            }
+        }
+    }
+
+    /// Writes `payload` under `key` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a failed put leaves no partial object behind.
+    pub fn put(&self, key: Fingerprint, payload: &[u8]) -> io::Result<()> {
+        let _span = span!("store.write", "{key} bytes={}", payload.len());
+        let path = self.object_path(key);
+        let dir = path.parent().expect("object path has a parent");
+        fs::create_dir_all(dir)?;
+        let bytes = envelope::encode(key, payload);
+        let temp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.temp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = fs::write(&temp, &bytes);
+        let renamed = written.and_then(|()| fs::rename(&temp, &path));
+        if renamed.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        renamed?;
+        counter!("store.bytes_written").add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Every object in the store as `(path, mtime, size)`, sorted by path
+    /// for determinism.
+    fn objects(&self) -> io::Result<Vec<(PathBuf, SystemTime, u64)>> {
+        let mut out = Vec::new();
+        let objects = self.root.join("objects");
+        for bucket in sorted_dir(&objects)? {
+            if !bucket.is_dir() {
+                continue;
+            }
+            for path in sorted_dir(&bucket)? {
+                if path.extension().is_none_or(|e| e != OBJECT_EXT) {
+                    continue;
+                }
+                let meta = match fs::metadata(&path) {
+                    Ok(m) => m,
+                    Err(_) => continue, // racing gc/writer; skip
+                };
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                out.push((path, mtime, meta.len()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entry count and total bytes.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let objects = self.objects()?;
+        Ok(StoreStats {
+            entries: objects.len() as u64,
+            bytes: objects.iter().map(|(_, _, size)| size).sum(),
+        })
+    }
+
+    /// Decodes every entry, reporting the ones that fail validation.
+    /// The object's file name must also match its embedded key.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        for (path, _, _) in self.objects()? {
+            let named_key = key_of_path(&path);
+            let problem = match fs::read(&path) {
+                Err(e) => Some(format!("unreadable: {e}")),
+                Ok(bytes) => match envelope::decode(&bytes, named_key) {
+                    Ok(_) => None,
+                    Err(e) => Some(e.to_string()),
+                },
+            };
+            match problem {
+                None => report.ok += 1,
+                Some(p) => report.corrupt.push((path, p)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Evicts least-recently-used entries (oldest mtime first; path order
+    /// breaks ties) until total size is at most `max_bytes`.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let mut objects = self.objects()?;
+        objects.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let mut report = GcReport {
+            scanned: objects.len() as u64,
+            bytes_before: objects.iter().map(|(_, _, size)| size).sum(),
+            ..GcReport::default()
+        };
+        report.bytes_after = report.bytes_before;
+        for (path, _, size) in objects {
+            if report.bytes_after <= max_bytes {
+                break;
+            }
+            fs::remove_file(&path)?;
+            report.bytes_after -= size;
+            report.evicted += 1;
+        }
+        counter!("store.evicted").add(report.evicted);
+        Ok(report)
+    }
+}
+
+/// Directory entries sorted by path (stable iteration for stats/verify/gc).
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Reconstructs the key a well-formed object path names.
+fn key_of_path(path: &Path) -> Option<Fingerprint> {
+    let stem = path.file_stem()?.to_str()?;
+    let bucket = path.parent()?.file_name()?.to_str()?;
+    Fingerprint::from_hex(&format!("{bucket}{stem}"))
+}
+
+/// Process-global log of cache *incidents*: misses where an entry existed
+/// but could not be used (corruption, version skew, I/O failure).
+///
+/// This mirrors the telemetry registry pattern — a global sink that the
+/// run-report assembler snapshots into the machine-local `timings.cache`
+/// section. Incidents depend on what earlier runs left on disk, so they
+/// must never feed the deterministic report sections.
+pub mod incidents {
+    use std::sync::Mutex;
+
+    /// Cap on retained incident strings (the count is never capped — see
+    /// the `store.corrupt` counter).
+    pub const MAX_RETAINED: usize = 32;
+
+    static LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    /// Records one incident, keeping at most [`MAX_RETAINED`] strings.
+    pub fn record(incident: String) {
+        let mut log = LOG.lock().expect("incident log poisoned");
+        if log.len() < MAX_RETAINED {
+            log.push(incident);
+        }
+    }
+
+    /// A copy of the retained incidents, in record order.
+    pub fn snapshot() -> Vec<String> {
+        LOG.lock().expect("incident log poisoned").clone()
+    }
+
+    /// Clears the log (tests and multi-run processes).
+    pub fn reset() {
+        LOG.lock().expect("incident log poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_str;
+
+    fn tmp_store(name: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("uspec-store-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = tmp_store("roundtrip");
+        let key = fingerprint_str("entry");
+        assert!(matches!(store.get(key), Lookup::Miss(MissReason::Absent)));
+        store.put(key, b"payload bytes").unwrap();
+        assert_eq!(store.get(key).hit().unwrap(), b"payload bytes");
+        // Overwrite is last-wins.
+        store.put(key, b"second").unwrap();
+        assert_eq!(store.get(key).hit().unwrap(), b"second");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corruption_degrades_to_miss_and_incident() {
+        let store = tmp_store("corrupt");
+        incidents::reset();
+        let key = fingerprint_str("entry");
+        store.put(key, b"will be damaged").unwrap();
+        let path = store.object_path(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.get(key),
+            Lookup::Miss(MissReason::Invalid(_))
+        ));
+        assert!(incidents::snapshot()
+            .iter()
+            .any(|i| i.contains("checksum") || i.contains("invalid")));
+        // Truncation likewise.
+        fs::write(&path, &fs::read(&path).unwrap()[..10]).unwrap();
+        assert!(matches!(
+            store.get(key),
+            Lookup::Miss(MissReason::Invalid(EnvelopeError::Truncated { .. }))
+        ));
+        incidents::reset();
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stats_verify_and_gc() {
+        let store = tmp_store("gc");
+        let keys: Vec<Fingerprint> = (0..4).map(|i| fingerprint_str(&format!("k{i}"))).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            store
+                .put(k, format!("payload number {i}").as_bytes())
+                .unwrap();
+            // Space mtimes out so LRU order is deterministic.
+            let t = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1000 + i as u64);
+            fs::File::open(store.object_path(k))
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 4);
+        assert!(stats.bytes > 0);
+        let verify = store.verify().unwrap();
+        assert_eq!(verify.ok, 4);
+        assert!(verify.corrupt.is_empty());
+
+        // Evict down to roughly half: the two oldest go first.
+        let report = store.gc(stats.bytes / 2).unwrap();
+        assert_eq!(report.scanned, 4);
+        assert!(report.evicted >= 2, "{report:?}");
+        assert!(report.bytes_after <= stats.bytes / 2);
+        assert!(matches!(
+            store.get(keys[0]),
+            Lookup::Miss(MissReason::Absent)
+        ));
+        assert!(store.get(keys[3]).hit().is_some(), "newest survives");
+
+        // gc with a huge budget is a no-op.
+        let before = store.stats().unwrap();
+        let noop = store.gc(u64::MAX).unwrap();
+        assert_eq!(noop.evicted, 0);
+        assert_eq!(store.stats().unwrap(), before);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn verify_flags_damaged_and_misplaced_entries() {
+        let store = tmp_store("verify");
+        let key = fingerprint_str("good");
+        store.put(key, b"fine").unwrap();
+        // An object whose name does not match its embedded key.
+        let other = fingerprint_str("elsewhere");
+        let path = store.object_path(other);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, envelope::encode(key, b"misfiled")).unwrap();
+        let report = store.verify().unwrap();
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.corrupt.len(), 1);
+        assert!(report.corrupt[0].1.contains("key"), "{report:?}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn incident_log_is_capped() {
+        incidents::reset();
+        for i in 0..(incidents::MAX_RETAINED + 10) {
+            incidents::record(format!("incident {i}"));
+        }
+        assert_eq!(incidents::snapshot().len(), incidents::MAX_RETAINED);
+        incidents::reset();
+        assert!(incidents::snapshot().is_empty());
+    }
+}

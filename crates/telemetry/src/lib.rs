@@ -31,8 +31,8 @@ pub mod span;
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use report::{
-    CandidateCounters, CorpusCounters, DiagnosticsSection, InvariantSections, ModelCounters,
-    PtaCounters, ReportCounters, RunReport, TimingsSection, REPORT_SCHEMA_VERSION,
+    CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection, InvariantSections,
+    ModelCounters, PtaCounters, ReportCounters, RunReport, TimingsSection, REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanAgg, SpanGuard, SpanStat};
 

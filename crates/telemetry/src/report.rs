@@ -23,7 +23,10 @@ use crate::span::SpanStat;
 
 /// Version of the report layout. Bump on any breaking schema change;
 /// `tools/check_report.rs` pins the full key set against drift.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 — initial schema; 2 — `timings` gained the `cache` section
+/// (artifact-store activity).
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Top-level run report. See the module docs for the determinism split.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -148,6 +151,34 @@ pub struct TimingsSection {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram name → distribution (e.g. shard sizes).
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Artifact-store activity of this run.
+    pub cache: CacheSection,
+}
+
+/// Artifact-store activity. Lives under `timings` because cache behavior
+/// depends on what *previous* runs left on disk — the same command is a
+/// wall of misses cold and a wall of hits warm — so none of these numbers
+/// may cross the determinism boundary the invariant sections pin.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct CacheSection {
+    /// Store lookups attempted (0 when no `--cache-dir` was given).
+    pub lookups: u64,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups not answered (`hits + misses == lookups`).
+    pub misses: u64,
+    /// Payload bytes read on hits.
+    pub bytes_read: u64,
+    /// Envelope bytes written on puts.
+    pub bytes_written: u64,
+    /// Entries evicted by `gc` during this run.
+    pub evicted: u64,
+    /// Misses caused by an unusable entry (corruption, version skew, I/O
+    /// error) rather than plain absence.
+    pub corrupt: u64,
+    /// Rendered incident records for the `corrupt` misses, capped by the
+    /// store's incident log.
+    pub incidents: Vec<String>,
 }
 
 /// The deterministic sections of a [`RunReport`], cloned into one struct

@@ -1,0 +1,146 @@
+//! Warm/cold equivalence of the artifact cache.
+//!
+//! The cache is a pure memoization layer: for a fixed corpus and options,
+//! a run must produce byte-identical learned specifications and an
+//! identical invariant report section whether it runs with no cache, with
+//! a cold cache (all misses), or with a warm cache (all hits). Corrupted
+//! cache entries must degrade to misses — recorded as incidents in the
+//! machine-local `timings.cache` section — without changing any result.
+//!
+//! This test lives alone in its own binary: the telemetry registry and the
+//! store incident log are process-global, and the assertions on hit/miss
+//! counters need `uspec_telemetry::reset()` between runs without
+//! concurrent tests mutating them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use uspec::{run_pipeline_cached, PipelineOptions};
+use uspec_corpus::{generate_corpus, java_library, GenOptions, SliceSource};
+use uspec_store::ArtifactStore;
+use uspec_telemetry::CacheSection;
+
+/// One full pipeline run from a clean telemetry state. Returns the
+/// serialized learned specs, the serialized invariant report section, and
+/// the cache counters the run accumulated.
+fn run(
+    sources: &[(String, String)],
+    store: Option<&ArtifactStore>,
+) -> (String, String, CacheSection) {
+    uspec_telemetry::reset();
+    uspec_store::incidents::reset();
+    let lib = java_library();
+    let opts = PipelineOptions {
+        shard_size: 32,
+        ..PipelineOptions::default()
+    };
+    let result = run_pipeline_cached(&SliceSource::new(sources), &lib.api_table(), &opts, store);
+    let specs = serde_json::to_string_pretty(&result.learned).unwrap();
+    let report = uspec::build_run_report("learn", &result, &opts, 0.6, 0.0);
+    let invariant = serde_json::to_string_pretty(&report.invariant()).unwrap();
+    (specs, invariant, report.timings.cache)
+}
+
+/// Every object file currently in the store, sorted for determinism.
+fn object_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for bucket in fs::read_dir(dir.join("objects")).unwrap() {
+        let bucket = bucket.unwrap().path();
+        if !bucket.is_dir() {
+            continue;
+        }
+        for f in fs::read_dir(&bucket).unwrap() {
+            out.push(f.unwrap().path());
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn warm_runs_are_byte_identical_and_corruption_degrades_to_misses() {
+    let dir = std::env::temp_dir().join(format!("uspec-warm-cold-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    let lib = java_library();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 120,
+            seed: 11,
+            ..GenOptions::default()
+        },
+    );
+    let sources: Vec<(String, String)> = files.into_iter().map(|f| (f.name, f.source)).collect();
+
+    // Baseline: no cache at all.
+    let (specs0, invariant0, cache0) = run(&sources, None);
+    assert_eq!(cache0.lookups, 0, "no store, no lookups");
+    assert!(cache0.incidents.is_empty());
+
+    // Cold: every lookup misses, every shard result is written.
+    let store = ArtifactStore::open(&dir).unwrap();
+    let (specs1, invariant1, cache1) = run(&sources, Some(&store));
+    assert_eq!(specs1, specs0, "cold cached run changed the learned specs");
+    assert_eq!(
+        invariant1, invariant0,
+        "cold run changed the invariant report"
+    );
+    assert!(cache1.lookups > 0);
+    assert_eq!(cache1.hits, 0, "nothing to hit on a cold cache");
+    assert_eq!(cache1.misses, cache1.lookups);
+    assert!(cache1.bytes_written > 0);
+    assert_eq!(cache1.corrupt, 0);
+
+    // Warm: every lookup hits, nothing is rewritten.
+    let (specs2, invariant2, cache2) = run(&sources, Some(&store));
+    assert_eq!(specs2, specs0, "warm run changed the learned specs");
+    assert_eq!(
+        invariant2, invariant0,
+        "warm run changed the invariant report"
+    );
+    assert_eq!(cache2.lookups, cache1.lookups);
+    assert_eq!(
+        cache2.hits, cache2.lookups,
+        "warm run should hit every shard"
+    );
+    assert_eq!(cache2.misses, 0);
+    assert_eq!(cache2.bytes_written, 0);
+
+    // Corrupt two entries — truncate one, flip a payload byte in another.
+    let objects = object_files(&dir);
+    assert!(objects.len() >= 2, "expected several cached shards");
+    let victim_a = &objects[0];
+    let bytes = fs::read(victim_a).unwrap();
+    fs::write(victim_a, &bytes[..bytes.len() / 2]).unwrap();
+    let victim_b = &objects[objects.len() - 1];
+    let mut bytes = fs::read(victim_b).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(victim_b, &bytes).unwrap();
+
+    // Damaged entries read as misses (with incidents), everything else
+    // still hits, and the results are unchanged.
+    let (specs3, invariant3, cache3) = run(&sources, Some(&store));
+    assert_eq!(specs3, specs0, "corrupted cache changed the learned specs");
+    assert_eq!(
+        invariant3, invariant0,
+        "corrupted cache changed the invariant report"
+    );
+    assert_eq!(cache3.lookups, cache1.lookups);
+    assert_eq!(cache3.misses, 2, "each damaged entry is one miss");
+    assert_eq!(cache3.hits, cache3.lookups - 2);
+    assert_eq!(cache3.corrupt, 2);
+    assert_eq!(cache3.incidents.len(), 2, "{:?}", cache3.incidents);
+    assert!(cache3.bytes_written > 0, "damaged entries are rewritten");
+
+    // The rewrite healed the store: verify is clean and the next run is
+    // all hits again.
+    let verify = store.verify().unwrap();
+    assert!(verify.corrupt.is_empty(), "{:?}", verify.corrupt);
+    let (_, _, cache4) = run(&sources, Some(&store));
+    assert_eq!(cache4.hits, cache4.lookups);
+
+    let _ = fs::remove_dir_all(&dir);
+}

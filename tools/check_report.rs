@@ -15,9 +15,10 @@
 //! offline cannot express `deny_unknown_fields`, so the scan is the only
 //! unknown-field detector we have.
 //!
-//! Also asserts run-level sanity: `schema == 1`, analyzed files > 0, and
+//! Also asserts run-level sanity: `schema == 2`, analyzed files > 0,
 //! non-zero stage timings (a report whose spans are all empty means the
-//! instrumentation was compiled out or disabled — CI should notice).
+//! instrumentation was compiled out or disabled — CI should notice), and
+//! internally consistent cache accounting (`hits + misses == lookups`).
 
 use std::process::ExitCode;
 
@@ -238,9 +239,9 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Schema whitelist (schema version 1). Every struct level of RunReport.
+// Schema whitelist (schema version 2). Every struct level of RunReport.
 
-const SCHEMA_1: &[(&str, &[&str])] = &[
+const SCHEMA_2: &[(&str, &[&str])] = &[
     (
         "",
         &[
@@ -294,7 +295,20 @@ const SCHEMA_1: &[(&str, &[&str])] = &[
     ("diagnostics", &["retained", "dropped", "total_problems"]),
     (
         "timings",
-        &["total_seconds", "spans", "gauges", "histograms"],
+        &["total_seconds", "spans", "gauges", "histograms", "cache"],
+    ),
+    (
+        "timings.cache",
+        &[
+            "lookups",
+            "hits",
+            "misses",
+            "bytes_read",
+            "bytes_written",
+            "evicted",
+            "corrupt",
+            "incidents",
+        ],
     ),
 ];
 
@@ -319,7 +333,7 @@ fn check(report_text: &str) -> Result<String, String> {
 
     // 2. Structural scan: exact key set at every level.
     let root = parse(report_text)?;
-    for &(path, expected) in SCHEMA_1 {
+    for &(path, expected) in SCHEMA_2 {
         let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
         let mut keys = node.keys();
         keys.sort_unstable();
@@ -366,15 +380,25 @@ fn check(report_text: &str) -> Result<String, String> {
     if typed.timings.total_seconds <= 0.0 {
         return Err("timings.total_seconds is not positive".into());
     }
+    let cache = &typed.timings.cache;
+    if cache.hits + cache.misses != cache.lookups {
+        return Err(format!(
+            "cache accounting broken: {} hits + {} misses != {} lookups",
+            cache.hits, cache.misses, cache.lookups
+        ));
+    }
 
     Ok(format!(
-        "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, {} timed spans",
+        "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, \
+         {} timed spans, cache {}/{} hits",
         typed.schema,
         typed.command,
         typed.engine,
         typed.counters.corpus.files,
         typed.counters.candidates.extracted,
-        timed_spans
+        timed_spans,
+        typed.timings.cache.hits,
+        typed.timings.cache.lookups
     ))
 }
 
