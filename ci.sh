@@ -40,10 +40,24 @@ cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_pta -- --smo
 cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_telemetry -- --smoke
 # Run-report smoke: a real `eval` must emit a metrics file that the
 # validator accepts (schema version, exact key set at every level — our
-# unknown-field drift detector — and non-zero stage timings).
+# unknown-field drift detector — and non-zero stage timings), and a span
+# timeline that parses as a Chrome trace_events document (complete events,
+# monotonic timestamps).
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
-    eval --lang java --files 120 --metrics-out target/ci-report.json -q
+    eval --lang java --files 120 --metrics-out target/ci-report.json \
+    --trace-out target/ci-trace.json -q
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_report -- target/ci-report.json
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_trace -- target/ci-trace.json
+# Provenance smoke: a learned spec file must explain itself — every scored
+# spec's evidence back to corpus file:line plus a counterfactual.
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    generate --lang java --files 120 --out target/ci-corpus -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    learn --lang java --out target/ci-specs.json target/ci-corpus -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    explain target/ci-specs.json --all -q > target/ci-explain.txt
+grep -q "features:" target/ci-explain.txt \
+    || { echo "ci: explain printed no feature contributions"; exit 1; }
 # Artifact-cache smoke: a cold eval populates the store, a warm re-run must
 # draw from it (nonzero hits in the machine-local timings.cache section,
 # which check_report cross-validates against lookups), and the store must

@@ -13,7 +13,7 @@ use uspec_corpus::{
     SliceSource,
 };
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
-use uspec_learn::LearnedSpecs;
+use uspec_learn::{Counterfactual, EvidenceRecord, LearnedSpecs, ProvenanceIndex};
 use uspec_pta::{EngineKind, Pta, PtaAggregate, PtaOptions, SpecDb};
 use uspec_store::ArtifactStore;
 use uspec_telemetry::{log_info, DiagnosticsSection, Level, RunReport};
@@ -23,7 +23,10 @@ use crate::opt::{OptError, Opts};
 /// Version of the saved-specification file layout. Mirrors the run
 /// report's schema discipline: bump on any breaking change so consumers
 /// fail with a version message instead of a field-level parse error.
-const SPEC_FILE_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 — initial layout; 2 — added the `provenance` evidence index
+/// consumed by `uspec explain`.
+const SPEC_FILE_SCHEMA_VERSION: u32 = 2;
 
 /// Saved output of `uspec learn`.
 #[derive(Debug, Serialize, Deserialize)]
@@ -33,6 +36,9 @@ struct SpecFile {
     tau: f64,
     files: usize,
     learned: LearnedSpecs,
+    /// Evidence index restricted to the scored candidates, so
+    /// `uspec explain` can trace any listed spec back to the corpus.
+    provenance: ProvenanceIndex,
 }
 
 /// The version probe for [`load_specs`]: parsing just this against a spec
@@ -152,6 +158,22 @@ fn render_summary(report: &RunReport) -> String {
         "peak resident event graphs: {peak} (of {} total)",
         c.corpus.graphs
     );
+    if report.provenance.specs > 0 {
+        let p = &report.provenance;
+        let _ = write!(
+            out,
+            "provenance: {} evidence record(s) across {} spec(s)",
+            p.evidence_retained, p.specs
+        );
+        if p.evidence_overflow > 0 {
+            let _ = write!(
+                out,
+                " ({} more beyond the per-spec cap; totals in the report)",
+                p.evidence_overflow
+            );
+        }
+        let _ = writeln!(out);
+    }
     let _ = write!(
         out,
         "{} event graphs, {} candidates",
@@ -165,6 +187,26 @@ fn render_summary(report: &RunReport) -> String {
         );
     }
     out
+}
+
+/// Arms Chrome-trace span recording when `--trace-out` was given. Must run
+/// before the command does any timed work so the timeline is complete.
+fn arm_trace(opts: &Opts) {
+    if opts.value("trace-out").is_some() {
+        uspec_telemetry::trace::arm();
+    }
+}
+
+/// Writes the recorded span timeline to `--trace-out PATH` (a Chrome
+/// `trace_events` JSON document, loadable in Perfetto / `chrome://tracing`).
+fn write_trace(opts: &Opts) -> Result<(), OptError> {
+    let Some(path) = opts.value("trace-out") else {
+        return Ok(());
+    };
+    fs::write(path, uspec_telemetry::trace::export_json())
+        .map_err(|e| io_err(e, "writing trace"))?;
+    log_info!("span timeline written to {path}");
+    Ok(())
 }
 
 /// Serializes `report` to `--metrics-out PATH` when the flag is given.
@@ -235,10 +277,12 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
             "engine",
             "cache-dir",
             "metrics-out",
+            "trace-out",
             "log-level",
         ],
     )?;
     init_logging(&opts)?;
+    arm_trace(&opts);
     let start = Instant::now();
     let lib = library_for(&opts)?;
     let tau: f64 = opts.num("tau", 0.6)?;
@@ -275,12 +319,15 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
         );
     }
     if let Some(path) = opts.value("out") {
+        let mut provenance = result.provenance.clone();
+        provenance.retain_specs(|s| result.learned.get(s).is_some());
         let file = SpecFile {
             schema: SPEC_FILE_SCHEMA_VERSION,
             universe: opts.value_or("lang", "java").to_owned(),
             tau,
             files: sources.len(),
             learned: result.learned.clone(),
+            provenance,
         };
         let json = serde_json::to_string_pretty(&file)
             .map_err(|e| OptError(format!("serializing specs: {e}")))?;
@@ -288,6 +335,7 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
         log_info!("saved to {path}");
     }
     write_metrics(&opts, &report)?;
+    write_trace(&opts)?;
     Ok(())
 }
 
@@ -330,6 +378,125 @@ pub fn show(args: Vec<String>) -> Result<(), OptError> {
             "  {:.3}  (matches: {:>4})  {:?}",
             s.score, s.matches, s.spec
         );
+    }
+    Ok(())
+}
+
+/// One spec's explanation, as serialized by `uspec explain --json`.
+#[derive(Serialize)]
+struct ExplainEntry {
+    spec: String,
+    score: f64,
+    matches: u64,
+    evidence_total: u64,
+    evidence_overflow: u64,
+    evidence: Vec<EvidenceRecord>,
+    counterfactual: Option<Counterfactual>,
+}
+
+/// `uspec explain`: render the evidence behind learned specifications —
+/// which corpus call sites induced the scored edges, how the model judged
+/// each (per-feature logit contributions), and what the score becomes
+/// without the strongest piece of evidence.
+pub fn explain(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["tau", "top", "log-level"])?;
+    init_logging(&opts)?;
+    let _span = uspec_telemetry::span!("cli.explain");
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| OptError("a spec file is required".into()))?;
+    let file = load_specs(path)?;
+    let tau: f64 = opts.num("tau", file.tau)?;
+    let top: usize = opts.num("top", 4)?;
+    let query = opts.positional.get(1).map(String::as_str);
+    if query.is_none() && !opts.switch("all") {
+        return Err(OptError(
+            "usage: uspec explain FILE <spec substring> | --all [--json]".into(),
+        ));
+    }
+
+    let entries: Vec<ExplainEntry> = file
+        .provenance
+        .iter()
+        .filter(|(spec, _)| query.is_none_or(|q| spec.to_string().contains(q)))
+        .map(|(spec, sp)| {
+            let scored = file.learned.get(spec);
+            ExplainEntry {
+                spec: spec.to_string(),
+                score: scored.map_or(0.0, |s| s.score),
+                matches: scored.map_or(0, |s| s.matches as u64),
+                evidence_total: sp.total,
+                evidence_overflow: sp.overflow(),
+                evidence: sp.evidence.clone(),
+                counterfactual: sp.counterfactual.clone(),
+            }
+        })
+        .collect();
+    if entries.is_empty() {
+        return Err(OptError(match query {
+            Some(q) => format!("no learned spec matches `{q}` (try `uspec show {path}`)"),
+            None => format!("{path}: spec file carries no provenance"),
+        }));
+    }
+
+    if opts.switch("json") {
+        let json = serde_json::to_string_pretty(&entries)
+            .map_err(|e| OptError(format!("serializing explanation: {e}")))?;
+        println!("{json}");
+        return Ok(());
+    }
+    for e in &entries {
+        println!("{}", e.spec);
+        println!(
+            "  score {:.3} (matches {}), evidence: {} of {} scored edge(s) retained{}",
+            e.score,
+            e.matches,
+            e.evidence.len(),
+            e.evidence_total,
+            if e.evidence_overflow > 0 {
+                format!(" ({} beyond cap)", e.evidence_overflow)
+            } else {
+                String::new()
+            }
+        );
+        for (i, ev) in e.evidence.iter().enumerate() {
+            println!(
+                "  #{} {}:{} -> :{}  {}  {} -> {}  conf {:.3} (margin {:+.3}, bias {:+.3})",
+                i + 1,
+                ev.file,
+                ev.line_src,
+                ev.line_dst,
+                ev.kind,
+                ev.src_event,
+                ev.dst_event,
+                ev.conf,
+                ev.margin,
+                ev.bias
+            );
+            let feats: Vec<String> = ev
+                .contributions
+                .iter()
+                .take(top)
+                .map(|(label, w)| format!("{label} {w:+.3}"))
+                .collect();
+            if !feats.is_empty() {
+                println!("      features: {}", feats.join(", "));
+            }
+        }
+        if let Some(cf) = &e.counterfactual {
+            let flip = if cf.score >= tau && cf.score_without < tau {
+                format!(" — would fall below τ = {tau}")
+            } else if cf.score < tau && cf.score_without >= tau {
+                format!(" — would rise above τ = {tau}")
+            } else {
+                format!(" (selection at τ = {tau} unchanged)")
+            };
+            println!(
+                "  without top evidence (conf {:.3}): score {:.3} -> {:.3}{flip}",
+                cf.dropped_conf, cf.score, cf.score_without
+            );
+        }
     }
     Ok(())
 }
@@ -604,10 +771,12 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             "engine",
             "cache-dir",
             "metrics-out",
+            "trace-out",
             "log-level",
         ],
     )?;
     init_logging(&opts)?;
+    arm_trace(&opts);
     let start = Instant::now();
     let lib = library_for(&opts)?;
     let n: usize = opts.num("files", 1000)?;
@@ -665,6 +834,7 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
         );
     }
     write_metrics(&opts, &report)?;
+    write_trace(&opts)?;
     Ok(())
 }
 
@@ -706,26 +876,77 @@ pub fn cache(args: Vec<String>) -> Result<(), OptError> {
         .ok_or_else(|| OptError("uspec cache needs --cache-dir DIR (or USPEC_CACHE_DIR)".into()))?;
     let store =
         ArtifactStore::open(Path::new(&dir)).map_err(|e| io_err(e, "opening cache directory"))?;
+    let json = opts.switch("json");
     match action {
         "stats" => {
             let s = store.stats().map_err(|e| io_err(e, "scanning cache"))?;
-            println!(
-                "cache {dir}: {} entr{}, {} bytes",
-                s.entries,
-                plural_y(s.entries),
-                s.bytes
-            );
+            if json {
+                #[derive(Serialize)]
+                struct StatsJson {
+                    dir: String,
+                    entries: u64,
+                    bytes: u64,
+                }
+                let doc = StatsJson {
+                    dir: dir.clone(),
+                    entries: s.entries,
+                    bytes: s.bytes,
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&doc)
+                        .map_err(|e| OptError(format!("serializing cache stats: {e}")))?
+                );
+            } else {
+                println!(
+                    "cache {dir}: {} entr{}, {} bytes",
+                    s.entries,
+                    plural_y(s.entries),
+                    s.bytes
+                );
+            }
         }
         "verify" => {
             let v = store.verify().map_err(|e| io_err(e, "scanning cache"))?;
-            println!(
-                "cache {dir}: {} entr{} ok, {} corrupt",
-                v.ok,
-                plural_y(v.ok),
-                v.corrupt.len()
-            );
-            for (path, why) in &v.corrupt {
-                println!("  {}: {why}", path.display());
+            if json {
+                #[derive(Serialize)]
+                struct VerifyJson {
+                    dir: String,
+                    ok: u64,
+                    corrupt: Vec<CorruptEntry>,
+                }
+                #[derive(Serialize)]
+                struct CorruptEntry {
+                    path: String,
+                    reason: String,
+                }
+                let doc = VerifyJson {
+                    dir: dir.clone(),
+                    ok: v.ok,
+                    corrupt: v
+                        .corrupt
+                        .iter()
+                        .map(|(path, why)| CorruptEntry {
+                            path: path.display().to_string(),
+                            reason: why.clone(),
+                        })
+                        .collect(),
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&doc)
+                        .map_err(|e| OptError(format!("serializing cache verify: {e}")))?
+                );
+            } else {
+                println!(
+                    "cache {dir}: {} entr{} ok, {} corrupt",
+                    v.ok,
+                    plural_y(v.ok),
+                    v.corrupt.len()
+                );
+                for (path, why) in &v.corrupt {
+                    println!("  {}: {why}", path.display());
+                }
             }
             if !v.corrupt.is_empty() {
                 return Err(OptError(format!(
@@ -838,6 +1059,76 @@ mod tests {
     }
 
     #[test]
+    fn explain_renders_provenance_evidence() {
+        let dir = tmpdir("explain");
+        let corpus = dir.join("corpus");
+        let specs = dir.join("specs.json");
+        let trace = dir.join("trace.json");
+        generate(vec![
+            "--lang".into(),
+            "java".into(),
+            "--files".into(),
+            "80".into(),
+            "--out".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        learn(vec![
+            "--lang".into(),
+            "java".into(),
+            "--out".into(),
+            specs.display().to_string(),
+            "--trace-out".into(),
+            trace.display().to_string(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+
+        // The spec file carries provenance, and every evidence record names
+        // a corpus file and line, an edge kind, and feature contributions.
+        let loaded = load_specs(&specs.display().to_string()).unwrap();
+        assert!(!loaded.provenance.is_empty(), "provenance was saved");
+        let mut records = 0;
+        for (spec, sp) in loaded.provenance.iter() {
+            assert!(
+                loaded.learned.get(spec).is_some(),
+                "provenance is retained only for scored specs: {spec}"
+            );
+            assert_eq!(sp.overflow(), sp.total - sp.evidence.len() as u64);
+            for ev in &sp.evidence {
+                assert!(ev.file.ends_with(".u"), "corpus file name: {}", ev.file);
+                assert!(ev.line_src > 0, "known source line");
+                assert!(!ev.kind.is_empty());
+                assert!(!ev.contributions.is_empty(), "per-feature contributions");
+                records += 1;
+            }
+            let cf = sp.counterfactual.as_ref().expect("counterfactual attached");
+            assert_ne!(cf.score, cf.score_without, "dropping evidence moves score");
+        }
+        assert!(records > 0);
+
+        // explain: substring match, --all, and --json all succeed; a bogus
+        // query is an error rather than silent empty output.
+        let path = specs.display().to_string();
+        explain(vec![path.clone(), "RetArg".into()]).unwrap();
+        explain(vec![path.clone(), "--all".into()]).unwrap();
+        explain(vec![path.clone(), "--all".into(), "--json".into()]).unwrap();
+        let err = explain(vec![path.clone(), "NoSuchSpec".into()]).unwrap_err();
+        assert!(err.0.contains("NoSuchSpec"), "{err}");
+        let err = explain(vec![path]).unwrap_err();
+        assert!(err.0.contains("--all"), "{err}");
+
+        // --trace-out wrote a Chrome trace_events document.
+        let trace_json = fs::read_to_string(&trace).unwrap();
+        assert!(
+            trace_json.starts_with("{\"traceEvents\": ["),
+            "{trace_json}"
+        );
+        assert!(trace_json.contains("\"ph\": \"X\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn spec_file_schema_is_enforced() {
         let dir = tmpdir("spec-schema");
         // No `schema` field at all: a pre-versioning or foreign file.
@@ -935,14 +1226,16 @@ mod tests {
         let mut r = RunReport::new("learn", "worklist");
         r.counters.corpus.failures = 7;
         r.counters.corpus.graphs = 10;
+        r.counters.pta.non_converged = 2;
         r.diagnostics = DiagnosticsSection {
             retained: vec!["a.u: parse error".into(), "b.u: parse error".into()],
             dropped: 5,
-            total_problems: 7,
+            total_problems: 9,
         };
         let s = render_summary(&r);
         assert!(s.contains("  a.u: parse error\n"), "{s}");
-        assert!(s.contains("… and 5 more (total 7 failures)"), "{s}");
+        assert!(s.contains("2 body(ies) not converged"), "{s}");
+        assert!(s.contains("… and 5 more (total 9 failures)"), "{s}");
 
         // No trailer when nothing was dropped, no problem block when clean.
         r.diagnostics.dropped = 0;
@@ -951,6 +1244,22 @@ mod tests {
         let clean = render_summary(&r);
         assert!(!clean.contains("failed analysis"), "{clean}");
         assert!(clean.contains("10 total"), "{clean}");
+
+        // Provenance counts appear once recorded, with the over-cap tally.
+        assert!(!clean.contains("provenance:"), "{clean}");
+        r.provenance = uspec_telemetry::ProvenanceSection {
+            specs: 3,
+            evidence_total: 16,
+            evidence_retained: 12,
+            evidence_overflow: 4,
+            per_spec: Vec::new(),
+        };
+        let s = render_summary(&r);
+        assert!(
+            s.contains("provenance: 12 evidence record(s) across 3 spec(s)"),
+            "{s}"
+        );
+        assert!(s.contains("4 more beyond the per-spec cap"), "{s}");
     }
 
     #[test]

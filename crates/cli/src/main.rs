@@ -4,6 +4,7 @@
 //! uspec generate --lang java --files 500 --out corpus/      write a corpus
 //! uspec learn    --lang java --out specs.json corpus/       learn specs
 //! uspec show     specs.json [--tau 0.6]                     inspect specs
+//! uspec explain  specs.json RetArg [--json]                 spec evidence
 //! uspec analyze  --lang java --specs specs.json file.u      aliasing report
 //! uspec graph    --lang java file.u [--dot]                 event graph
 //! uspec atlas    --lang java                                dynamic baseline
@@ -25,6 +26,7 @@ fn main() {
         "generate" => commands::generate(args),
         "learn" => commands::learn(args),
         "show" => commands::show(args),
+        "explain" => commands::explain(args),
         "analyze" => commands::analyze(args),
         "graph" => commands::graph(args),
         "atlas" => commands::atlas(args),
@@ -68,12 +70,23 @@ USAGE:
           default info; debug echoes timing spans)
       -q                                          shorthand for errors only
   Machine-readable metrics (learn, eval, analyze):
-      --metrics-out FILE.json    write the versioned run report (schema 2):
-          counters, diagnostics, and timings for the whole run (cache
-          activity appears under the machine-local timings.cache section)
+      --metrics-out FILE.json    write the versioned run report (schema 3):
+          counters, diagnostics, provenance, and timings for the whole run
+          (cache activity appears under the machine-local timings.cache
+          section)
+  Span timeline (learn, eval):
+      --trace-out FILE.json      write the run's span tree in Chrome
+          trace_events format (complete \"X\" events; open in Perfetto or
+          chrome://tracing)
 
   uspec show FILE [--tau T]
       Pretty-print a saved specification file.
+
+  uspec explain FILE <spec substring> | --all [--json] [--tau T] [--top N]
+      Show the evidence behind learned specs: the corpus call sites
+      (file:line) whose induced edges scored each candidate, per-feature
+      logit contributions (--top per edge), and a counterfactual — the
+      score without the strongest edge, and whether selection at τ flips.
 
   uspec analyze --lang <java|python> [--specs FILE] [--tau T] FILE.u
       Analyze one file with the API-unaware baseline and (if specs are
@@ -94,9 +107,9 @@ USAGE:
   uspec report FILE [--tau T] [--out report.md]
       Render a saved specification file as a Markdown report per API class.
 
-  uspec cache <stats|verify|gc> --cache-dir DIR [--max-bytes N]
+  uspec cache <stats|verify|gc> --cache-dir DIR [--max-bytes N] [--json]
       Inspect (stats), check (verify), or shrink (gc, to at most
       --max-bytes, least-recently-used first) an artifact cache directory.
-      Also honors USPEC_CACHE_DIR."
+      stats and verify print JSON with --json. Also honors USPEC_CACHE_DIR."
     );
 }

@@ -33,7 +33,7 @@
 
 use serde::{Deserialize, Serialize};
 use uspec_corpus::Shard;
-use uspec_learn::CandidateSet;
+use uspec_learn::{CandidateSet, ProvenanceIndex};
 use uspec_model::Sample;
 use uspec_pta::PtaAggregate;
 use uspec_store::{Fingerprint, FpHasher};
@@ -116,7 +116,7 @@ pub fn extract_key(
     shard_fp: Fingerprint,
 ) -> Fingerprint {
     let mut h = FpHasher::new();
-    h.write_str("extract:v1");
+    h.write_str("extract:v2");
     h.write_fingerprint(opts_fp);
     h.write_fingerprint(corpus);
     h.write_fingerprint(prefix);
@@ -241,12 +241,19 @@ pub struct ShardExtractPayload {
     pub events: u64,
     /// Total edges across those graphs (see `graphs`).
     pub edges: u64,
+    /// The shard's evidence index, pre-counterfactual (counterfactuals are
+    /// a whole-corpus computation attached after every shard merged).
+    pub provenance: ProvenanceIndex,
 }
 
 impl ShardExtractPayload {
-    /// Captures one shard's candidate set; `stats` is the shard's analysis
-    /// delta, from which the graph counts are taken.
-    pub fn from_candidates(set: &CandidateSet, stats: &CorpusStats) -> ShardExtractPayload {
+    /// Captures one shard's candidate set and evidence; `stats` is the
+    /// shard's analysis delta, from which the graph counts are taken.
+    pub fn from_candidates(
+        set: &CandidateSet,
+        provenance: &ProvenanceIndex,
+        stats: &CorpusStats,
+    ) -> ShardExtractPayload {
         ShardExtractPayload {
             confidences: set
                 .confidences
@@ -264,12 +271,13 @@ impl ShardExtractPayload {
             graphs: stats.graphs as u64,
             events: stats.events as u64,
             edges: stats.edges as u64,
+            provenance: provenance.clone(),
         }
     }
 
-    /// Rebuilds the candidate set.
-    pub fn into_candidates(self) -> CandidateSet {
-        CandidateSet {
+    /// Rebuilds the candidate set and the shard's evidence index.
+    pub fn into_parts(self) -> (CandidateSet, ProvenanceIndex) {
+        let set = CandidateSet {
             confidences: self.confidences.into_iter().collect(),
             match_counts: self
                 .match_counts
@@ -279,7 +287,8 @@ impl ShardExtractPayload {
             skipped_multi_edge: self.skipped_multi_edge as usize,
             skipped_no_model: self.skipped_no_model as usize,
             pairs_examined: self.pairs_examined as usize,
-        }
+        };
+        (set, self.provenance)
     }
 }
 
@@ -447,14 +456,35 @@ mod tests {
             edges: 44,
             ..CorpusStats::default()
         };
-        let payload = ShardExtractPayload::from_candidates(&set, &stats);
+        let mut prov = uspec_learn::ProvenanceIndex::default();
+        prov.record(
+            Spec::RetSame { method: get },
+            uspec_learn::EvidenceRecord {
+                key: uspec_learn::EvidenceKey::default(),
+                file: "a.u".into(),
+                line_src: 3,
+                line_dst: 5,
+                kind: "RetSame".into(),
+                src_event: "HashMap.get/1@ret".into(),
+                dst_event: "HashMap.get/1@ret".into(),
+                conf: 0.875,
+                margin: 1.9459102,
+                bias: -0.125,
+                contributions: vec![("gamma ty recv".into(), 0.5)],
+            },
+        );
+        let payload = ShardExtractPayload::from_candidates(&set, &prov, &stats);
         let back: ShardExtractPayload = decode_payload(&encode_payload(&payload)).unwrap();
         assert_eq!((back.graphs, back.events, back.edges), (7, 31, 44));
-        let rebuilt = back.into_candidates();
+        let (rebuilt, rebuilt_prov) = back.into_parts();
         assert_eq!(rebuilt.confidences, set.confidences, "f32 bit-exact");
         assert_eq!(rebuilt.match_counts, set.match_counts);
         assert_eq!(rebuilt.skipped_multi_edge, 3);
         assert_eq!(rebuilt.pairs_examined, 120);
+        let sp = rebuilt_prov.get(&Spec::RetSame { method: get }).unwrap();
+        assert_eq!(sp.total, 1);
+        assert_eq!(sp.evidence[0].margin.to_bits(), 1.9459102f32.to_bits());
+        assert_eq!(sp.evidence[0].file, "a.u");
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub use pipeline::{
     analyze_source, analyze_source_with_specs, run_pipeline, run_pipeline_cached,
     run_pipeline_streaming, CorpusStats, CorpusTotals, PipelineOptions, PipelineResult,
 };
-pub use report::{build_run_report, cache_section, pta_counters, timings_section};
+pub use report::{
+    build_run_report, cache_section, provenance_section, pta_counters, timings_section,
+};
 pub use stage::{
     AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, AnalyzedShard, DedupFilter,
     DiagnosticKind, ExtractStage, SampleStage,

@@ -23,13 +23,16 @@
 //! batch mode of [`run_pipeline`]. File analysis is embarrassingly
 //! parallel and runs on rayon within each shard.
 
+use std::collections::HashMap;
+
 use uspec_corpus::{shards, CorpusSource, Shard, SliceSource};
 use uspec_graph::{build_event_graph, EventGraph, GraphOptions};
+use uspec_lang::ast::{Expr, NodeId, Program, StmtKind};
 use uspec_lang::lower::{lower_program, LowerOptions};
 use uspec_lang::parser::parse;
 use uspec_lang::registry::ApiTable;
 use uspec_lang::LangError;
-use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ScoreFn};
+use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ProvenanceIndex, ScoreFn};
 use uspec_model::{EdgeModel, Sample, TrainOptions, TrainStats};
 use uspec_pta::{Pta, PtaAggregate, PtaOptions, SpecDb};
 use uspec_store::{ArtifactStore, FpHasher};
@@ -189,6 +192,9 @@ pub struct PipelineResult {
     pub model_stats: TrainStats,
     /// Corpus statistics.
     pub corpus: CorpusStats,
+    /// Per-candidate evidence tracing (capped top-k scored edges with
+    /// file:line and feature contributions), merged across shards.
+    pub provenance: ProvenanceIndex,
 }
 
 impl PipelineResult {
@@ -237,6 +243,7 @@ pub(crate) fn analyze_source_staged(
     let program = parse(source).map_err(|e| (AnalysisStage::Parse, e))?;
     let bodies =
         lower_program(&program, table, &opts.lower).map_err(|e| (AnalysisStage::Lower, e))?;
+    let lines = node_line_table(source, &program);
     let mut file = AnalyzedFile::default();
     for body in &bodies {
         let pta = Pta::run(body, specs, &opts.pta);
@@ -245,9 +252,50 @@ pub(crate) fn analyze_source_staged(
             file.non_converged
                 .push((body.func.to_string(), pta.stats.passes));
         }
-        file.graphs.push(build_event_graph(body, &pta, &opts.graph));
+        let mut g = build_event_graph(body, &pta, &opts.graph);
+        g.annotate_lines(&lines);
+        file.graphs.push(g);
     }
     Ok(file)
+}
+
+/// Maps every statement/expression node id of `program` to its 1-based
+/// source line, so event-graph call sites can be cited as `file:line` in
+/// provenance evidence. A precomputed newline-offset index keeps the pass
+/// linear in source size.
+fn node_line_table(source: &str, program: &Program) -> HashMap<NodeId, u32> {
+    let line_starts: Vec<u32> = std::iter::once(0)
+        .chain(
+            source
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i as u32 + 1),
+        )
+        .collect();
+    // Number of line starts at or before `lo` = the 1-based line number.
+    let line_of = |lo: u32| line_starts.partition_point(|&s| s <= lo) as u32;
+    let mut table = HashMap::new();
+    for func in program.all_funcs() {
+        func.body.walk_stmts(&mut |stmt| {
+            table.insert(stmt.id, line_of(stmt.span.lo));
+            let mut note = |e: &Expr| {
+                e.walk(&mut |e| {
+                    table.insert(e.id, line_of(e.span.lo));
+                })
+            };
+            // `walk_stmts` visits nested blocks but not the expressions a
+            // statement contains; those carry the call-site node ids.
+            match &stmt.kind {
+                StmtKind::Assign { value, .. } => note(value),
+                StmtKind::Expr(e) => note(e),
+                StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => note(cond),
+                StmtKind::Return(Some(e)) => note(e),
+                StmtKind::Return(None) => {}
+            }
+        });
+    }
+    table
 }
 
 /// Runs the complete learning pipeline over a shard-streaming corpus
@@ -405,6 +453,7 @@ pub fn run_pipeline_cached<S: CorpusSource + ?Sized>(
     let extract = ExtractStage::new(&model, &opts.extract);
     let mut dedup = DedupFilter::new(opts.dedup);
     let mut candidates = CandidateSet::default();
+    let mut provenance = ProvenanceIndex::default();
     let mut rolling = FpHasher::new();
     for shard in shards(source, opts.shard_size) {
         let key = extract_key(opts_fp, corpus_fp, rolling.digest(), shard_digest(&shard));
@@ -412,21 +461,32 @@ pub fn run_pipeline_cached<S: CorpusSource + ?Sized>(
             Some(payload) => {
                 replay_dedup(&mut dedup, &shard);
                 replay_graph_counters(payload.graphs, payload.events, payload.edges);
-                candidates.merge(payload.into_candidates());
+                let (set, prov) = payload.into_parts();
+                candidates.merge(set);
+                provenance.merge(prov);
             }
             None => {
                 let (analyzed, delta) = analyze.run(&shard, &mut dedup);
                 stats.peak_resident_graphs =
                     stats.peak_resident_graphs.max(delta.peak_resident_graphs);
-                let set = extract.run(&analyzed);
+                let (set, prov) = extract.run(&analyzed);
                 if let Some(s) = store {
-                    store_shard(s, key, &ShardExtractPayload::from_candidates(&set, &delta));
+                    store_shard(
+                        s,
+                        key,
+                        &ShardExtractPayload::from_candidates(&set, &prov, &delta),
+                    );
                 }
                 candidates.merge(set);
+                provenance.merge(prov);
             }
         }
         roll_shard(&mut rolling, &shard);
     }
+    // Counterfactuals depend on the *merged* Γ lists, so they are attached
+    // once here — after every shard merged, warm or cold — never inside a
+    // cached payload.
+    provenance.attach_counterfactuals(&candidates, opts.score_fn);
 
     let learned = LearnedSpecs::from_candidates(&candidates, opts.score_fn);
     PipelineResult {
@@ -434,6 +494,7 @@ pub fn run_pipeline_cached<S: CorpusSource + ?Sized>(
         candidates,
         model_stats: model.stats().clone(),
         corpus: stats,
+        provenance,
     }
 }
 

@@ -8,10 +8,11 @@
 //! aggregates, gauges, and histograms, which are wall-clock and therefore
 //! machine-local.
 
+use uspec_learn::ProvenanceIndex;
 use uspec_pta::PtaAggregate;
 use uspec_telemetry::{
     metrics, span, CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection,
-    ModelCounters, PtaCounters, RunReport, TimingsSection,
+    ModelCounters, ProvenanceSection, PtaCounters, RunReport, TimingsSection,
 };
 
 use crate::pipeline::{PipelineOptions, PipelineResult};
@@ -48,6 +49,27 @@ pub fn cache_section() -> CacheSection {
         corrupt: get("store.corrupt"),
         incidents: uspec_store::incidents::snapshot(),
     }
+}
+
+/// Summarizes a [`ProvenanceIndex`] into the report's invariant
+/// `provenance` section: per-spec retained/total evidence counts in `Spec`
+/// order, plus corpus-wide totals. The per-spec cap means retained ≤
+/// total; the overflow is reported, never silently dropped.
+pub fn provenance_section(index: &ProvenanceIndex) -> ProvenanceSection {
+    let mut section = ProvenanceSection {
+        specs: index.len() as u64,
+        ..ProvenanceSection::default()
+    };
+    for (spec, sp) in index.iter() {
+        let retained = sp.evidence.len() as u64;
+        section.evidence_total += sp.total;
+        section.evidence_retained += retained;
+        section.evidence_overflow += sp.overflow();
+        section
+            .per_spec
+            .push((spec.to_string(), retained, sp.total));
+    }
+    section
 }
 
 /// Snapshots the global telemetry state into a report's [`TimingsSection`].
@@ -126,6 +148,7 @@ pub fn build_run_report(
         total_problems: (corpus.failures + corpus.non_converged) as u64,
     };
 
+    report.provenance = provenance_section(&result.provenance);
     report.timings = timings_section(total_seconds);
     report
 }
@@ -181,5 +204,26 @@ mod tests {
         assert!(report.counters.candidates.extracted > 0);
         assert_eq!(report.diagnostics.total_problems, 0);
         assert_eq!(report.timings.total_seconds, 0.5);
+
+        assert_eq!(report.provenance.specs, result.provenance.len() as u64);
+        assert!(report.provenance.specs > 0, "evidence was recorded");
+        assert_eq!(
+            report.provenance.per_spec.len() as u64,
+            report.provenance.specs
+        );
+        assert_eq!(
+            report.provenance.evidence_total,
+            report.provenance.evidence_retained + report.provenance.evidence_overflow
+        );
+        let spec_names: Vec<&str> = report
+            .provenance
+            .per_spec
+            .iter()
+            .map(|(s, _, _)| s.as_str())
+            .collect();
+        assert!(
+            spec_names.iter().any(|s| s.contains("RetArg")),
+            "per-spec rows name specs: {spec_names:?}"
+        );
     }
 }

@@ -22,7 +22,7 @@ use uspec_corpus::Shard;
 use uspec_graph::EventGraph;
 use uspec_lang::registry::ApiTable;
 use uspec_lang::LangError;
-use uspec_learn::{CandidateSet, ExtractOptions, Extractor};
+use uspec_learn::{CandidateSet, ExtractOptions, Extractor, ProvenanceIndex};
 use uspec_model::seed::mix_seed;
 use uspec_model::{extract_samples, EdgeModel, Sample, TrainOptions};
 use uspec_pta::{PtaAggregate, SpecDb};
@@ -150,17 +150,18 @@ pub struct AnalyzedFile {
 }
 
 /// One shard's analysis output: event graphs grouped per file, tagged with
-/// the file's stable corpus index.
+/// the file's stable corpus index and name (provenance records cite both).
 #[derive(Debug, Default)]
 pub struct AnalyzedShard {
-    /// `(stable file index, that file's event graphs)` in corpus order.
-    pub graphs: Vec<(usize, Vec<EventGraph>)>,
+    /// `(stable file index, file name, that file's event graphs)` in corpus
+    /// order.
+    pub graphs: Vec<(usize, String, Vec<EventGraph>)>,
 }
 
 impl AnalyzedShard {
     /// Total event graphs in the shard.
     pub fn num_graphs(&self) -> usize {
-        self.graphs.iter().map(|(_, gs)| gs.len()).sum()
+        self.graphs.iter().map(|(_, _, gs)| gs.len()).sum()
     }
 }
 
@@ -242,7 +243,7 @@ impl<'a> AnalyzeStage<'a> {
                             });
                         }
                     }
-                    out.graphs.push((idx, file.graphs));
+                    out.graphs.push((idx, name.to_owned(), file.graphs));
                 }
                 Err((stage, error)) => {
                     stats.failures += 1;
@@ -283,7 +284,7 @@ impl<'a> SampleStage<'a> {
         shard
             .graphs
             .par_iter()
-            .map(|(file_idx, graphs)| {
+            .map(|(file_idx, _name, graphs)| {
                 let file_seed = mix_seed(self.opts.seed, *file_idx as u64);
                 let mut samples = Vec::new();
                 for (j, g) in graphs.iter().enumerate() {
@@ -322,25 +323,36 @@ impl<'a> ExtractStage<'a> {
         ExtractStage { model, opts }
     }
 
-    /// Extracts this shard's candidates.
-    pub fn run(&self, shard: &AnalyzedShard) -> CandidateSet {
+    /// Extracts this shard's candidates and the provenance of every scored
+    /// induced edge. Provenance merging uses the same chunk-order discipline
+    /// as the candidate merge, and [`ProvenanceIndex::merge`] re-ranks under
+    /// a total order, so the index is invariant under chunking and shard
+    /// size just like the Γ lists.
+    pub fn run(&self, shard: &AnalyzedShard) -> (CandidateSet, ProvenanceIndex) {
         let _span = uspec_telemetry::span!("stage.extract", "graphs={}", shard.num_graphs());
-        let graphs: Vec<&EventGraph> = shard.graphs.iter().flat_map(|(_, gs)| gs.iter()).collect();
-        let chunks: Vec<CandidateSet> = graphs
+        let graphs: Vec<(usize, &str, &EventGraph)> = shard
+            .graphs
+            .iter()
+            .flat_map(|(idx, name, gs)| gs.iter().map(move |g| (*idx, name.as_str(), g)))
+            .collect();
+        let chunks: Vec<(CandidateSet, ProvenanceIndex)> = graphs
             .par_chunks(chunk_len(graphs.len(), 64, 16))
             .map(|chunk| {
                 let mut ex = Extractor::new(self.model, self.opts.clone());
-                for g in chunk {
+                for &(idx, name, g) in chunk {
+                    ex.set_file(idx as u64, name);
                     ex.add_graph(g);
                 }
-                ex.finish()
+                ex.finish_with_provenance()
             })
             .collect();
         let mut out = CandidateSet::default();
-        for c in chunks {
+        let mut prov = ProvenanceIndex::default();
+        for (c, p) in chunks {
             out.merge(c);
+            prov.merge(p);
         }
-        out
+        (out, prov)
     }
 }
 

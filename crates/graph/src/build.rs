@@ -165,6 +165,7 @@ impl<'a> Builder<'a> {
             nargs: method.arity,
             guards: Vec::new(),
             type_tokens,
+            line: 0,
         });
         for g in guards {
             if !entry.guards.contains(&g) {

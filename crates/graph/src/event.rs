@@ -97,6 +97,10 @@ pub struct SiteInfo {
     /// Coarse type tokens of receiver and arguments (for γ features):
     /// element 0 is the receiver (or `-`), then one per argument.
     pub type_tokens: Vec<Symbol>,
+    /// 1-based source line of the call site (`0` = unknown). Filled in by
+    /// [`EventGraph::annotate_lines`](crate::EventGraph::annotate_lines)
+    /// after construction; the builder has no access to source text.
+    pub line: u32,
 }
 
 /// Pseudo method identifier for an allocation site of `class`.

@@ -171,6 +171,18 @@ impl EventGraph {
     pub fn edges(&self) -> impl Iterator<Item = (EventId, EventId, u32)> + '_ {
         self.dist.iter().map(|(&(a, b), &d)| (a, b, d))
     }
+
+    /// Fills [`SiteInfo::line`] from a `NodeId → 1-based line` table built
+    /// against the file's source. The builder works on lowered MIR and has
+    /// no source text, so line annotation is a separate post-pass; sites
+    /// whose node is absent from the table keep `line = 0` (unknown).
+    pub fn annotate_lines(&mut self, lines: &HashMap<uspec_lang::ast::NodeId, u32>) {
+        for (site, info) in self.sites.iter_mut() {
+            if let Some(&line) = lines.get(&site.node) {
+                info.line = line;
+            }
+        }
+    }
 }
 
 impl EventGraph {

@@ -1,11 +1,12 @@
 //! Candidate extraction over a corpus of event graphs — Alg. 1 of the paper.
 
 use std::collections::BTreeMap;
-use uspec_graph::{EventGraph, Pos};
-use uspec_model::EdgeModel;
+use uspec_graph::{EventGraph, EventId, Pos};
+use uspec_model::{EdgeModel, PairExplanation};
 use uspec_pta::Spec;
 
-use crate::matching::{induced_edges, match_patterns, match_ret_recv};
+use crate::matching::{induced_edges, match_patterns, match_ret_recv, PatternMatch};
+use crate::provenance::{EvidenceKey, EvidenceRecord, ProvenanceIndex};
 
 /// Options for candidate extraction.
 #[derive(Clone, Debug)]
@@ -96,6 +97,10 @@ pub struct Extractor<'m> {
     model: &'m EdgeModel,
     opts: ExtractOptions,
     set: CandidateSet,
+    provenance: ProvenanceIndex,
+    /// Corpus-stable index and name of the file the graphs being added
+    /// belong to; see [`Extractor::set_file`].
+    file: (u64, String),
 }
 
 impl<'m> Extractor<'m> {
@@ -105,7 +110,17 @@ impl<'m> Extractor<'m> {
             model,
             opts,
             set: CandidateSet::default(),
+            provenance: ProvenanceIndex::default(),
+            file: (0, String::new()),
         }
+    }
+
+    /// Declares which corpus file subsequent [`add_graph`](Extractor::add_graph)
+    /// calls belong to, so provenance records carry a stable file identity.
+    /// Callers that never set a file get evidence attributed to an unnamed
+    /// file 0.
+    pub fn set_file(&mut self, index: u64, name: &str) {
+        self.file = (index, name.to_owned());
     }
 
     /// Processes one event graph (the loop body of Alg. 1).
@@ -149,8 +164,10 @@ impl<'m> Extractor<'m> {
     }
 
     /// Records one pattern match: counts it and scores its induced edges
-    /// (Alg. 1 line 6, with the small-cap relaxation).
-    fn record_match(&mut self, g: &EventGraph, pm: crate::matching::PatternMatch) {
+    /// (Alg. 1 line 6, with the small-cap relaxation). Each scored edge's
+    /// explanation — same confidence as `predict_pair`, plus the logit
+    /// decomposition — feeds both `Γ_S` and the provenance index.
+    fn record_match(&mut self, g: &EventGraph, pm: PatternMatch) {
         *self.set.match_counts.entry(pm.spec).or_default() += 1;
         let edges = induced_edges(g, &pm);
         if edges.is_empty() || edges.len() > self.opts.max_induced_edges {
@@ -158,18 +175,77 @@ impl<'m> Extractor<'m> {
             return;
         }
         for (e1, e2) in edges {
-            match self.model.predict_pair(g, e1, e2) {
-                Some(conf) => {
-                    self.set.confidences.entry(pm.spec).or_default().push(conf);
+            match self.model.explain_pair(g, e1, e2) {
+                Some(exp) => {
+                    self.set
+                        .confidences
+                        .entry(pm.spec)
+                        .or_default()
+                        .push(exp.conf);
+                    let rec = self.evidence_record(g, &pm, e1, e2, exp);
+                    self.provenance.record(pm.spec, rec);
                 }
                 None => self.set.skipped_no_model += 1,
             }
         }
     }
 
-    /// Finishes extraction.
+    /// Builds the provenance record of one scored induced edge.
+    fn evidence_record(
+        &self,
+        g: &EventGraph,
+        pm: &PatternMatch,
+        e1: EventId,
+        e2: EventId,
+        exp: PairExplanation,
+    ) -> EvidenceRecord {
+        let desc = |e: EventId| {
+            let ev = g.event(e);
+            let (method, line) = g
+                .site_info(ev.site)
+                .map(|i| (i.method.qualified(), i.line))
+                .unwrap_or_else(|| ("?".to_owned(), 0));
+            (format!("{method}@{}", ev.pos), line)
+        };
+        let (src_event, line_src) = desc(e1);
+        let (dst_event, line_dst) = desc(e2);
+        let kind = match pm.spec {
+            Spec::RetSame { .. } => "RetSame",
+            Spec::RetArg { .. } => "RetArg",
+            Spec::RetRecv { .. } => "RetRecv",
+        };
+        EvidenceRecord {
+            key: EvidenceKey {
+                file: self.file.0,
+                m1_node: pm.m1.node.0,
+                m1_ctx: pm.m1.ctx.0,
+                m2_node: pm.m2.node.0,
+                m2_ctx: pm.m2.ctx.0,
+                e1: e1.0,
+                e2: e2.0,
+            },
+            file: self.file.1.clone(),
+            line_src,
+            line_dst,
+            kind: kind.to_owned(),
+            src_event,
+            dst_event,
+            conf: exp.conf,
+            margin: exp.margin,
+            bias: exp.bias,
+            contributions: exp.contributions,
+        }
+    }
+
+    /// Finishes extraction, keeping only the candidate set.
     pub fn finish(self) -> CandidateSet {
         self.set
+    }
+
+    /// Finishes extraction, returning the candidate set together with the
+    /// provenance index accumulated alongside it.
+    pub fn finish_with_provenance(self) -> (CandidateSet, ProvenanceIndex) {
+        (self.set, self.provenance)
     }
 }
 
@@ -301,6 +377,35 @@ mod tests {
         let is_put_get = |s: &Spec| matches!(s, Spec::RetArg { .. });
         assert!(!tight.match_counts.keys().any(is_put_get));
         assert!(loose.match_counts.keys().any(is_put_get));
+    }
+
+    #[test]
+    fn provenance_records_every_scored_edge() {
+        let (train, cand) = corpus();
+        let model = EdgeModel::train_on_graphs(&train, &TrainOptions::default());
+        let mut ex = Extractor::new(&model, ExtractOptions::default());
+        for (i, g) in cand.iter().enumerate() {
+            ex.set_file(i as u64, &format!("file{i}.src"));
+            ex.add_graph(g);
+        }
+        let (set, prov) = ex.finish_with_provenance();
+        let spec = Spec::RetArg {
+            target: uspec_lang::MethodId::new("HashMap", "get", 1),
+            source: uspec_lang::MethodId::new("HashMap", "put", 2),
+            x: 2,
+        };
+        let gamma = set.confidences.get(&spec).unwrap();
+        let sp = prov.get(&spec).expect("provenance for the candidate");
+        assert_eq!(sp.total as usize, gamma.len(), "one record per Γ_S entry");
+        assert!(!sp.evidence.is_empty());
+        let top = &sp.evidence[0];
+        assert!(top.file.starts_with("file"), "{:?}", top.file);
+        assert_eq!(top.kind, "RetArg");
+        assert!(!top.contributions.is_empty());
+        assert!(
+            gamma.iter().any(|c| c.to_bits() == top.conf.to_bits()),
+            "evidence conf is an actual Γ_S entry"
+        );
     }
 
     #[test]

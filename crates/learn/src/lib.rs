@@ -13,6 +13,9 @@
 //!   alternatives kept for the §7.2 ablation), ranking and τ-thresholded
 //!   selection, with the §5.4 closure applied via
 //!   [`uspec_pta::SpecDb`].
+//! * [`provenance`] — evidence tracing: per-candidate capped top-k records
+//!   of the scored induced edges (file:line, pattern, per-feature logit
+//!   contributions) that produced each `Γ_S` entry.
 //!
 //! The selected [`uspec_pta::SpecDb`] plugs directly into the augmented
 //! points-to analysis of `uspec-pta` (§6).
@@ -21,10 +24,14 @@
 
 pub mod extract;
 pub mod matching;
+pub mod provenance;
 pub mod scoring;
 
 pub use extract::{extract_candidates, CandidateSet, ExtractOptions, Extractor};
 pub use matching::{induced_edges, match_patterns, PatternMatch};
+pub use provenance::{
+    Counterfactual, EvidenceKey, EvidenceRecord, ProvenanceIndex, SpecProvenance, EVIDENCE_CAP,
+};
 pub use scoring::{LearnedSpecs, ScoreFn, ScoredSpec};
 // Re-export the spec types for convenience.
 pub use uspec_pta::{Spec, SpecDb};

@@ -1,0 +1,366 @@
+//! Provenance: tracing a candidate specification's score back to the
+//! corpus evidence that produced it.
+//!
+//! Every confidence in a candidate's `Γ_S` list comes from the model
+//! scoring one *induced edge* of one pattern match in one file. This
+//! module records, per candidate spec, the strongest such pieces of
+//! evidence — source file and line of both call sites, the inducing
+//! pattern, and the model's per-feature logit contributions — in a
+//! deterministic, capped structure.
+//!
+//! ## Determinism
+//!
+//! Evidence is ranked by descending `|margin|` (the logit magnitude, i.e.
+//! how opinionated the model was), with the stable [`EvidenceKey`] as the
+//! tie-break. Insertion keeps only the current top [`EVIDENCE_CAP`]
+//! records and [`ProvenanceIndex::merge`] re-ranks concatenated lists
+//! under the same total order, so the retained set equals the global
+//! top-k over all evidence regardless of how the corpus was chunked into
+//! shards — the same argument that makes `Γ_S` lists shard-invariant.
+//! Overflow is counted, never silent: `total` is the number of scored
+//! edges including the ones the cap dropped.
+
+use serde::{Deserialize, Serialize};
+use uspec_pta::Spec;
+
+/// Maximum retained evidence records per candidate spec.
+pub const EVIDENCE_CAP: usize = 8;
+
+/// Stable identity of one piece of evidence: the corpus file index plus
+/// the matched call-site pair and induced-edge events inside that file's
+/// event graph. All components are invariant across shard layouts (file
+/// indices are corpus-stable, event ids are per-file deterministic), so
+/// ordering by key is reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EvidenceKey {
+    /// Corpus-stable index of the file.
+    pub file: u64,
+    /// AST node of the later (reading) call site `m1`.
+    pub m1_node: u32,
+    /// Calling context of `m1`.
+    pub m1_ctx: u32,
+    /// AST node of the earlier (writing) call site `m2`.
+    pub m2_node: u32,
+    /// Calling context of `m2`.
+    pub m2_ctx: u32,
+    /// Source event of the induced edge.
+    pub e1: u32,
+    /// Destination event of the induced edge.
+    pub e2: u32,
+}
+
+/// One scored induced edge: where it came from and how the model judged
+/// it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvidenceRecord {
+    /// Stable identity (also the ranking tie-break).
+    pub key: EvidenceKey,
+    /// Source file name.
+    pub file: String,
+    /// 1-based line of the edge's source event's call site (0 = unknown).
+    pub line_src: u32,
+    /// 1-based line of the edge's destination event's call site.
+    pub line_dst: u32,
+    /// Inducing pattern kind: `RetArg`, `RetSame`, or `RetRecv`.
+    pub kind: String,
+    /// Human-readable source event, e.g. `HashMap.put/2@2`.
+    pub src_event: String,
+    /// Human-readable destination event, e.g. `HashMap.get/1@ret`.
+    pub dst_event: String,
+    /// Model confidence ϕ for the edge (an entry of `Γ_S`).
+    pub conf: f32,
+    /// Raw logit behind `conf`.
+    pub margin: f32,
+    /// Intercept of the ψ model that scored the edge.
+    pub bias: f32,
+    /// Per-feature logit contributions, sorted by descending |weight|.
+    pub contributions: Vec<(String, f32)>,
+}
+
+/// Ranking order: |margin| descending, then [`EvidenceKey`] ascending.
+/// Total on finite margins, which SGD-trained models always produce.
+fn rank(a: &EvidenceRecord, b: &EvidenceRecord) -> std::cmp::Ordering {
+    b.margin
+        .abs()
+        .partial_cmp(&a.margin.abs())
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.key.cmp(&b.key))
+}
+
+/// What happens to a spec's score when its top evidence is removed from
+/// `Γ_S` — the "score would flip if …" counterfactual.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Counterfactual {
+    /// The confidence that was dropped (the top evidence's `conf`).
+    pub dropped_conf: f32,
+    /// Score with the full `Γ_S`.
+    pub score: f64,
+    /// Score after dropping one occurrence of `dropped_conf`.
+    pub score_without: f64,
+}
+
+/// Capped evidence for one candidate spec.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SpecProvenance {
+    /// Top-[`EVIDENCE_CAP`] records under [`rank`], strongest first.
+    pub evidence: Vec<EvidenceRecord>,
+    /// Total scored edges for the spec, including capped-out ones.
+    pub total: u64,
+    /// Attached after all shards merge; see
+    /// [`ProvenanceIndex::attach_counterfactuals`].
+    pub counterfactual: Option<Counterfactual>,
+}
+
+impl SpecProvenance {
+    /// Number of records the cap dropped.
+    pub fn overflow(&self) -> u64 {
+        self.total.saturating_sub(self.evidence.len() as u64)
+    }
+
+    fn insert(&mut self, rec: EvidenceRecord) {
+        self.total += 1;
+        let pos = self
+            .evidence
+            .iter()
+            .position(|e| rank(&rec, e) == std::cmp::Ordering::Less)
+            .unwrap_or(self.evidence.len());
+        if pos < EVIDENCE_CAP {
+            self.evidence.insert(pos, rec);
+            self.evidence.truncate(EVIDENCE_CAP);
+        }
+    }
+}
+
+/// Per-spec provenance for a whole candidate set. Deterministic: iteration
+/// and serialization order is the `Spec` order, evidence order is
+/// [`rank`].
+#[derive(Clone, Debug, Default)]
+pub struct ProvenanceIndex {
+    specs: std::collections::BTreeMap<Spec, SpecProvenance>,
+}
+
+impl ProvenanceIndex {
+    /// Records one scored induced edge for `spec`.
+    pub fn record(&mut self, spec: Spec, rec: EvidenceRecord) {
+        self.specs.entry(spec).or_default().insert(rec);
+    }
+
+    /// Merges another index (e.g. from a parallel chunk or a cached
+    /// shard). Re-ranking the concatenation under the same total order
+    /// keeps the result identical to a single-pass build over the union.
+    pub fn merge(&mut self, other: ProvenanceIndex) {
+        for (spec, sp) in other.specs {
+            let slot = self.specs.entry(spec).or_default();
+            slot.evidence.extend(sp.evidence);
+            slot.evidence.sort_by(rank);
+            slot.evidence.truncate(EVIDENCE_CAP);
+            slot.total += sp.total;
+            if slot.counterfactual.is_none() {
+                slot.counterfactual = sp.counterfactual;
+            }
+        }
+    }
+
+    /// Provenance of one spec.
+    pub fn get(&self, spec: &Spec) -> Option<&SpecProvenance> {
+        self.specs.get(spec)
+    }
+
+    /// Iterates specs in `Spec` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Spec, &SpecProvenance)> {
+        self.specs.iter()
+    }
+
+    /// Number of specs with recorded evidence.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no evidence was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Keeps only the given specs (e.g. the scored ones a spec file
+    /// carries).
+    pub fn retain_specs(&mut self, keep: impl Fn(&Spec) -> bool) {
+        self.specs.retain(|s, _| keep(s));
+    }
+
+    /// Computes, for every spec with evidence, what its score becomes when
+    /// the top evidence's confidence is removed from `Γ_S` (one bit-exact
+    /// occurrence). Called once after all shards merged, with the same
+    /// `score_fn` the selection used, so the counterfactual is invariant
+    /// across shard layouts.
+    pub fn attach_counterfactuals(
+        &mut self,
+        candidates: &crate::CandidateSet,
+        score_fn: crate::ScoreFn,
+    ) {
+        for (spec, sp) in self.specs.iter_mut() {
+            let Some(top) = sp.evidence.first() else {
+                continue;
+            };
+            let Some(gamma) = candidates.confidences.get(spec) else {
+                continue;
+            };
+            let matches = candidates.match_counts.get(spec).copied().unwrap_or(0);
+            let mut without: Vec<f32> = gamma.clone();
+            if let Some(pos) = without
+                .iter()
+                .position(|c| c.to_bits() == top.conf.to_bits())
+            {
+                without.remove(pos);
+            }
+            sp.counterfactual = Some(Counterfactual {
+                dropped_conf: top.conf,
+                score: score_fn.score(gamma, matches),
+                score_without: score_fn.score(&without, matches),
+            });
+        }
+    }
+}
+
+// Manual serde: the per-spec map is keyed by `Spec`, which the vendored
+// serde stack cannot use as a JSON map key, so it is flattened into
+// (already sorted) pairs — the same scheme the edge model uses.
+impl Serialize for ProvenanceIndex {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let specs: Vec<(&Spec, &SpecProvenance)> = self.specs.iter().collect();
+        let mut st = ser.serialize_struct("ProvenanceIndex", 1)?;
+        st.serialize_field("specs", &specs)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ProvenanceIndex {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<ProvenanceIndex, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            specs: Vec<(Spec, SpecProvenance)>,
+        }
+        let raw = Raw::deserialize(de)?;
+        Ok(ProvenanceIndex {
+            specs: raw.specs.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_lang::MethodId;
+
+    fn spec() -> Spec {
+        Spec::RetArg {
+            target: MethodId::new("HashMap", "get", 1),
+            source: MethodId::new("HashMap", "put", 2),
+            x: 2,
+        }
+    }
+
+    fn rec(file: u64, e1: u32, margin: f32) -> EvidenceRecord {
+        EvidenceRecord {
+            key: EvidenceKey {
+                file,
+                e1,
+                ..EvidenceKey::default()
+            },
+            file: format!("f{file}"),
+            line_src: 1,
+            line_dst: 2,
+            kind: "RetArg".into(),
+            src_event: "HashMap.put/2@2".into(),
+            dst_event: "HashMap.get/1@ret".into(),
+            conf: 1.0 / (1.0 + (-margin).exp()),
+            margin,
+            bias: 0.0,
+            contributions: vec![("ctx1 L HashMap.put/2@2".into(), margin)],
+        }
+    }
+
+    #[test]
+    fn cap_keeps_global_top_k_regardless_of_insertion_order() {
+        // 2*CAP records inserted in two different orders and via a merge of
+        // two halves all retain the same top CAP.
+        let n = 2 * EVIDENCE_CAP as u32;
+        let records: Vec<EvidenceRecord> =
+            (0..n).map(|i| rec(0, i, 0.1 * (i as f32 + 1.0))).collect();
+
+        let mut fwd = ProvenanceIndex::default();
+        for r in &records {
+            fwd.record(spec(), r.clone());
+        }
+        let mut rev = ProvenanceIndex::default();
+        for r in records.iter().rev() {
+            rev.record(spec(), r.clone());
+        }
+        let mut halves = ProvenanceIndex::default();
+        let mut left = ProvenanceIndex::default();
+        for r in &records[..records.len() / 2] {
+            left.record(spec(), r.clone());
+        }
+        let mut right = ProvenanceIndex::default();
+        for r in &records[records.len() / 2..] {
+            right.record(spec(), r.clone());
+        }
+        halves.merge(left);
+        halves.merge(right);
+
+        let json = |ix: &ProvenanceIndex| serde_json::to_string(ix).unwrap();
+        assert_eq!(json(&fwd), json(&rev));
+        assert_eq!(json(&fwd), json(&halves));
+
+        let sp = fwd.get(&spec()).unwrap();
+        assert_eq!(sp.evidence.len(), EVIDENCE_CAP);
+        assert_eq!(sp.total, n as u64);
+        assert_eq!(sp.overflow(), n as u64 - EVIDENCE_CAP as u64);
+        // Strongest first.
+        assert_eq!(sp.evidence[0].key.e1, n - 1);
+        for w in sp.evidence.windows(2) {
+            assert!(w[0].margin.abs() >= w[1].margin.abs());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_is_byte_identical() {
+        let mut ix = ProvenanceIndex::default();
+        for i in 0..5 {
+            ix.record(spec(), rec(1, i, -0.3 * (i as f32 + 1.0)));
+        }
+        ix.record(
+            Spec::RetSame {
+                method: MethodId::new("DB", "connect", 1),
+            },
+            rec(2, 0, 2.5),
+        );
+        let json = serde_json::to_string_pretty(&ix).unwrap();
+        let back: ProvenanceIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(json, serde_json::to_string_pretty(&back).unwrap());
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn counterfactual_drops_one_bit_exact_occurrence() {
+        let mut ix = ProvenanceIndex::default();
+        let r = rec(0, 0, 3.0);
+        let conf = r.conf;
+        ix.record(spec(), r);
+
+        let mut candidates = crate::CandidateSet::default();
+        candidates
+            .confidences
+            .insert(spec(), vec![conf, conf, 0.25]);
+        candidates.match_counts.insert(spec(), 3);
+        ix.attach_counterfactuals(&candidates, crate::ScoreFn::TopKAvg(10));
+
+        let cf = ix.get(&spec()).unwrap().counterfactual.clone().unwrap();
+        assert_eq!(cf.dropped_conf, conf);
+        let expected = (conf as f64 + conf as f64 + 0.25) / 3.0;
+        assert!((cf.score - expected).abs() < 1e-9);
+        let expected_without = (conf as f64 + 0.25) / 2.0;
+        assert!((cf.score_without - expected_without).abs() < 1e-9);
+        assert!(cf.score_without < cf.score);
+    }
+}

@@ -101,6 +101,84 @@ pub fn featurize_depth(
     }
 }
 
+/// One hashed token together with a human-readable description of what it
+/// encodes. Produced by [`featurize_labeled`] for provenance explanations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledToken {
+    /// The hashed token, identical to the one [`featurize_depth`] emits.
+    pub token: u64,
+    /// Human-readable rendering (e.g. `ctx1 L File.getName/0@0`).
+    pub label: String,
+}
+
+/// Labeled counterpart of [`PairFeature`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledPairFeature {
+    /// Position code of `e1`.
+    pub x1: u8,
+    /// Position code of `e2`.
+    pub x2: u8,
+    /// Labeled tokens, sorted by token with one label kept per token.
+    pub tokens: Vec<LabeledToken>,
+}
+
+/// Labeled mirror of [`featurize_depth`]: emits the *same* token set (the
+/// guard test `labeled_tokens_match_featurize_depth` pins this) plus a
+/// human-readable label per token. This is a cold path used only when
+/// explaining a prediction; the hot path stays label-free.
+pub fn featurize_labeled(
+    g: &EventGraph,
+    e1: EventId,
+    e2: EventId,
+    censor: bool,
+    full: bool,
+    k: usize,
+) -> LabeledPairFeature {
+    let ev1 = g.event(e1);
+    let ev2 = g.event(e2);
+    let mut tokens: Vec<LabeledToken> = Vec::with_capacity(16);
+
+    context_tokens_labeled(g, e1, censor.then_some(e2), "L", Dir::In, k, &mut tokens);
+    context_tokens_labeled(g, e2, censor.then_some(e1), "R", Dir::Out, k, &mut tokens);
+    if full {
+        context_tokens_labeled(g, e1, censor.then_some(e2), "L", Dir::Out, k, &mut tokens);
+        context_tokens_labeled(g, e2, censor.then_some(e1), "R", Dir::In, k, &mut tokens);
+    }
+    gamma_tokens_labeled(g, e1, e2, &mut tokens);
+
+    let (m1, p1) = event_desc(g, e1);
+    let (m2, p2) = event_desc(g, e2);
+    tokens.push(LabeledToken {
+        token: TokenHasher::new("cross")
+            .str(&m1)
+            .num(p1 as u64)
+            .str(&m2)
+            .num(p2 as u64)
+            .finish(),
+        label: format!("cross {m1}@{} x {m2}@{}", pos_label(p1), pos_label(p2)),
+    });
+
+    // Same ordering/dedup semantics as `featurize_depth`'s
+    // `sort_unstable(); dedup();` on bare tokens: sort by token (label as a
+    // deterministic tie-break) and keep one entry per token.
+    tokens.sort_by(|a, b| a.token.cmp(&b.token).then_with(|| a.label.cmp(&b.label)));
+    tokens.dedup_by(|a, b| a.token == b.token);
+    LabeledPairFeature {
+        x1: ev1.pos.code(),
+        x2: ev2.pos.code(),
+        tokens,
+    }
+}
+
+/// Renders a position code the way [`Pos`] displays (`ret` for 255).
+fn pos_label(code: u8) -> String {
+    if code == u8::MAX {
+        "ret".to_owned()
+    } else {
+        code.to_string()
+    }
+}
+
 /// Token describing a single event relative to its anchor role.
 fn event_desc(g: &EventGraph, e: EventId) -> (String, u8) {
     let ev = g.event(e);
@@ -185,6 +263,69 @@ fn context_tokens(
     }
 }
 
+/// Labeled mirror of [`context_tokens`]; must emit the identical token
+/// sequence (hash chains walked in the same order with the same inputs).
+fn context_tokens_labeled(
+    g: &EventGraph,
+    e: EventId,
+    exclude: Option<EventId>,
+    side: &str,
+    dir: Dir,
+    k: usize,
+    out: &mut Vec<LabeledToken>,
+) {
+    let (m, x) = event_desc(g, e);
+    out.push(LabeledToken {
+        token: TokenHasher::new("ctx1")
+            .str(side)
+            .str(&m)
+            .num(x as u64)
+            .finish(),
+        label: format!("ctx1 {side} {m}@{}", pos_label(x)),
+    });
+    if k < 2 {
+        return;
+    }
+    let step = |ev: EventId| -> &[EventId] {
+        if dir == Dir::In {
+            g.parents(ev)
+        } else {
+            g.children(ev)
+        }
+    };
+    let (tag, arrow) = if dir == Dir::In {
+        ("ctxin", "<-")
+    } else {
+        ("ctxout", "->")
+    };
+    let mut stack: Vec<(EventId, usize, TokenHasher, String)> = Vec::new();
+    let base = TokenHasher::new(tag).str(side).num(2).str(&m).num(x as u64);
+    let base_label = format!("{tag} {side} {m}@{}", pos_label(x));
+    for &n in step(e) {
+        if Some(n) == exclude {
+            continue;
+        }
+        stack.push((n, 2, base, base_label.clone()));
+    }
+    while let Some((ev, len, hash_so_far, label_so_far)) = stack.pop() {
+        let (nm, nx) = event_desc(g, ev);
+        let h = hash_so_far.str(&nm).num(nx as u64);
+        let label = format!("{label_so_far} {arrow} {nm}@{}", pos_label(nx));
+        out.push(LabeledToken {
+            token: h.num(len as u64).finish(),
+            label: label.clone(),
+        });
+        if len < k {
+            for &n in step(ev) {
+                if Some(n) == exclude {
+                    continue;
+                }
+                stack.push((n, len + 1, h, label.clone()));
+            }
+        }
+    }
+}
+
 /// Emits the γ(e1, e2) tokens: receiver/argument type tokens of both call
 /// sites and their guarding control-flow conditions, including a "shared
 /// guard" token when the same condition dominates both sites.
@@ -226,6 +367,64 @@ fn gamma_tokens(g: &EventGraph, e1: EventId, e2: EventId, out: &mut Vec<u64>) {
                             .num(g2.polarity as u64)
                             .finish(),
                     );
+                }
+            }
+        }
+    }
+}
+
+/// Labeled mirror of [`gamma_tokens`]; must emit the identical token
+/// sequence.
+fn gamma_tokens_labeled(g: &EventGraph, e1: EventId, e2: EventId, out: &mut Vec<LabeledToken>) {
+    let s1 = g.event(e1).site;
+    let s2 = g.event(e2).site;
+    let i1 = g.site_info(s1);
+    let i2 = g.site_info(s2);
+
+    for (side, info) in [("L", i1), ("R", i2)] {
+        let Some(info) = info else { continue };
+        for (i, t) in info.type_tokens.iter().enumerate() {
+            out.push(LabeledToken {
+                token: TokenHasher::new("ty")
+                    .str(side)
+                    .num(i as u64)
+                    .str(t.as_str())
+                    .finish(),
+                label: format!("ty {side} pos{} {}", i, t.as_str()),
+            });
+        }
+        for gd in &info.guards {
+            out.push(LabeledToken {
+                token: TokenHasher::new("guard")
+                    .str(side)
+                    .str(gd.token.as_str())
+                    .num(gd.polarity as u64)
+                    .finish(),
+                label: format!(
+                    "guard {side} {}{}",
+                    if gd.polarity { "" } else { "!" },
+                    gd.token.as_str()
+                ),
+            });
+        }
+    }
+    if let (Some(i1), Some(i2)) = (i1, i2) {
+        for g1 in &i1.guards {
+            for g2 in &i2.guards {
+                if g1.site == g2.site {
+                    out.push(LabeledToken {
+                        token: TokenHasher::new("sharedguard")
+                            .str(g1.token.as_str())
+                            .num(g1.polarity as u64)
+                            .num(g2.polarity as u64)
+                            .finish(),
+                        label: format!(
+                            "sharedguard {} L={} R={}",
+                            g1.token.as_str(),
+                            g1.polarity,
+                            g2.polarity
+                        ),
+                    });
                 }
             }
         }
@@ -367,6 +566,68 @@ mod tests {
             false,
         );
         assert!(fw.tokens.len() > fo.tokens.len());
+    }
+}
+
+#[cfg(test)]
+mod labeled_tests {
+    use super::*;
+    use uspec_graph::{build_event_graph, GraphOptions};
+    use uspec_lang::lower::{lower_program, LowerOptions};
+    use uspec_lang::parser::parse;
+    use uspec_lang::registry::ApiTable;
+    use uspec_pta::{Pta, PtaOptions, SpecDb};
+
+    fn graph_of(src: &str) -> EventGraph {
+        let program = parse(src).unwrap();
+        let body = lower_program(&program, &ApiTable::new(), &LowerOptions::default())
+            .unwrap()
+            .pop()
+            .unwrap();
+        let pta = Pta::run(&body, &SpecDb::empty(), &PtaOptions::default());
+        build_event_graph(&body, &pta, &GraphOptions::default())
+    }
+
+    #[test]
+    fn labeled_tokens_match_featurize_depth() {
+        // The labeled variant is a hand-maintained mirror of the plain one;
+        // this pins that they emit identical token sets under every
+        // censor/full/depth combination, on a graph with guards, chains,
+        // and shared guards.
+        let g = graph_of(
+            r#"
+            fn main(db, it) {
+                if (it.hasNext()) {
+                    c = db.connect("d");
+                    f = c.getFile("x");
+                    n = f.getName();
+                    e = f.exists();
+                }
+            }
+            "#,
+        );
+        let pairs: Vec<(EventId, EventId)> = g
+            .event_ids()
+            .flat_map(|a| g.event_ids().map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        for &(e1, e2) in &pairs {
+            for censor in [false, true] {
+                for full in [false, true] {
+                    for k in 1..=3 {
+                        let plain = featurize_depth(&g, e1, e2, censor, full, k);
+                        let labeled = featurize_labeled(&g, e1, e2, censor, full, k);
+                        let toks: Vec<u64> = labeled.tokens.iter().map(|t| t.token).collect();
+                        assert_eq!(
+                            plain.tokens, toks,
+                            "token drift at censor={censor} full={full} k={k}"
+                        );
+                        assert_eq!((plain.x1, plain.x2), (labeled.x1, labeled.x2));
+                        assert!(labeled.tokens.iter().all(|t| !t.label.is_empty()));
+                    }
+                }
+            }
+        }
     }
 }
 

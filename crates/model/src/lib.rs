@@ -24,7 +24,12 @@ pub mod logreg;
 pub mod seed;
 pub mod train;
 
-pub use features::{featurize, featurize_depth, featurize_with, PairFeature};
+pub use features::{
+    featurize, featurize_depth, featurize_labeled, featurize_with, LabeledPairFeature,
+    LabeledToken, PairFeature,
+};
 pub use logreg::{LogReg, LogRegSnapshot};
 pub use seed::{mix_seed, splitmix64};
-pub use train::{extract_samples, EdgeModel, ModelSnapshot, Sample, TrainOptions, TrainStats};
+pub use train::{
+    extract_samples, EdgeModel, ModelSnapshot, PairExplanation, Sample, TrainOptions, TrainStats,
+};

@@ -31,6 +31,19 @@ impl LogReg {
         sigmoid(self.margin(tokens))
     }
 
+    /// The weight a single hashed token contributes to the margin — the
+    /// per-feature logit contribution used by provenance explanations.
+    /// Hash collisions are inherent to the bucketed space: the weight is
+    /// the bucket's, shared by every token hashing there.
+    pub fn weight_of(&self, token: u64) -> f32 {
+        self.weights[bucket(token, self.dim_bits)]
+    }
+
+    /// Intercept `b` of the decision value.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
     /// Raw decision value `w·x + b`.
     pub fn margin(&self, tokens: &[u64]) -> f32 {
         let mut z = self.bias;

@@ -7,7 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use uspec_graph::{EventGraph, EventId};
 
-use crate::features::{featurize_depth, PairFeature};
+use crate::features::{featurize_depth, featurize_labeled, PairFeature};
 use crate::logreg::LogReg;
 
 /// Options controlling sample extraction and SGD training.
@@ -166,6 +166,21 @@ pub struct ModelSnapshot {
     pub stats: TrainStats,
 }
 
+/// The decomposition of one edge prediction into per-feature logit
+/// contributions; see [`EdgeModel::explain_pair`].
+#[derive(Clone, Debug)]
+pub struct PairExplanation {
+    /// ϕ(ftr(e1, e2)) — bit-identical to `predict_pair`.
+    pub conf: f32,
+    /// Raw decision value `w·x + b` behind `conf`.
+    pub margin: f32,
+    /// Intercept of the selected ψ model.
+    pub bias: f32,
+    /// `(label, weight)` per feature token, sorted by descending |weight|
+    /// (label as deterministic tie-break). Margin = bias + Σ weights.
+    pub contributions: Vec<(String, f32)>,
+}
+
 /// The probabilistic event-graph edge model ϕ: one logistic regression
 /// ψ(x1, x2) per argument-position pair (§4.1).
 #[derive(Clone, Debug)]
@@ -250,6 +265,40 @@ impl EdgeModel {
     /// Prediction from pre-extracted tokens.
     pub fn predict_tokens(&self, key: (u8, u8), tokens: &[u64]) -> Option<f32> {
         self.models.get(&key).map(|m| m.predict(tokens))
+    }
+
+    /// Explains ϕ(ftr(e1, e2)): the same prediction as
+    /// [`predict_pair`](EdgeModel::predict_pair) (bit-identical `conf` —
+    /// the tokens come from the labeled mirror of the same featurization
+    /// and the probability is computed by the same `predict` path) plus
+    /// the per-feature logit contribution of every token. Cold path used
+    /// only for provenance.
+    pub fn explain_pair(
+        &self,
+        g: &EventGraph,
+        e1: EventId,
+        e2: EventId,
+    ) -> Option<PairExplanation> {
+        let f = featurize_labeled(g, e1, e2, true, self.full_contexts, self.context_depth);
+        let m = self.models.get(&(f.x1, f.x2))?;
+        let tokens: Vec<u64> = f.tokens.iter().map(|t| t.token).collect();
+        let mut contributions: Vec<(String, f32)> = f
+            .tokens
+            .iter()
+            .map(|t| (t.label.clone(), m.weight_of(t.token)))
+            .collect();
+        contributions.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Some(PairExplanation {
+            conf: m.predict(&tokens),
+            margin: m.margin(&tokens),
+            bias: m.bias(),
+            contributions,
+        })
     }
 
     /// Training statistics.
@@ -428,6 +477,33 @@ mod tests {
         let ret = ev(g, "getFile", Pos::Ret);
         let recv = ev(g, "getName", Pos::Recv);
         assert_eq!(m1.predict_pair(g, ret, recv), m2.predict_pair(g, ret, recv));
+    }
+
+    #[test]
+    fn explain_pair_matches_predict_pair_bit_exactly() {
+        let graphs = training_graphs();
+        let model = EdgeModel::train_on_graphs(&graphs, &TrainOptions::default());
+        let g = &graphs[0];
+        let ret = ev(g, "getFile", Pos::Ret);
+        let recv = ev(g, "getName", Pos::Recv);
+        let conf = model.predict_pair(g, ret, recv).unwrap();
+        let exp = model.explain_pair(g, ret, recv).unwrap();
+        assert_eq!(exp.conf, conf, "explanation drifted from prediction");
+        assert!(!exp.contributions.is_empty());
+        // The contributions decompose the margin exactly.
+        let sum: f32 = exp.bias + exp.contributions.iter().map(|&(_, w)| w).sum::<f32>();
+        assert!(
+            (sum - exp.margin).abs() < 1e-4,
+            "bias + Σ contributions = {sum} vs margin {}",
+            exp.margin
+        );
+        // Sorted by descending |weight|.
+        for w in exp.contributions.windows(2) {
+            assert!(w[0].1.abs() >= w[1].1.abs());
+        }
+        // Unseen position pair explains to None, like predict_pair.
+        let empty = EdgeModel::train(&[], &TrainOptions::default());
+        assert!(empty.explain_pair(g, ret, recv).is_none());
     }
 
     #[test]

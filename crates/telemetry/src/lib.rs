@@ -18,6 +18,10 @@
 //!   `--metrics-out`, split into deterministic `counters` (byte-identical
 //!   across shard sizes for the same seed) and machine-local `timings`.
 //!
+//! A fourth, opt-in layer: [`trace`] buffers completed spans as Chrome
+//! `trace_events` when armed by the CLI's `--trace-out`, for timeline
+//! visualization in Perfetto.
+//!
 //! Two kill switches: [`set_enabled`] flips a runtime `AtomicBool` (used by
 //! the overhead bench), and the `off` cargo feature makes [`enabled`] a
 //! compile-time `false` so the optimizer erases every telemetry branch. The
@@ -27,12 +31,14 @@ pub mod log;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use report::{
     CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection, InvariantSections,
-    ModelCounters, PtaCounters, ReportCounters, RunReport, TimingsSection, REPORT_SCHEMA_VERSION,
+    ModelCounters, ProvenanceSection, PtaCounters, ReportCounters, RunReport, TimingsSection,
+    REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanAgg, SpanGuard, SpanStat};
 
@@ -53,11 +59,13 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Zeroes every registered metric and span aggregate. Handles stay valid.
+/// Zeroes every registered metric and span aggregate, and clears (and
+/// disarms) the span timeline buffer. Handles stay valid.
 ///
 /// The registry is process-global, so callers that need per-run numbers
 /// (tests, benches timing several configurations) reset between runs.
 pub fn reset() {
     metrics::global().reset();
     span::reset();
+    trace::reset();
 }

@@ -25,8 +25,9 @@ use crate::span::SpanStat;
 /// `tools/check_report.rs` pins the full key set against drift.
 ///
 /// History: 1 — initial schema; 2 — `timings` gained the `cache` section
-/// (artifact-store activity).
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// (artifact-store activity); 3 — invariant `provenance` section (per-spec
+/// evidence accounting).
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Top-level run report. See the module docs for the determinism split.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -41,6 +42,9 @@ pub struct RunReport {
     pub counters: ReportCounters,
     /// Diagnostics accounting, including what `max_diagnostics` dropped.
     pub diagnostics: DiagnosticsSection,
+    /// Per-spec evidence accounting from the provenance index. Invariant:
+    /// evidence ranking and the per-spec cap are deterministic.
+    pub provenance: ProvenanceSection,
     /// Wall-clock data; excluded from determinism comparisons.
     pub timings: TimingsSection,
 }
@@ -139,6 +143,23 @@ pub struct DiagnosticsSection {
     pub total_problems: u64,
 }
 
+/// Per-spec evidence accounting. Evidence is capped per spec
+/// (`uspec-learn`'s `EVIDENCE_CAP`), so `retained ≤ total`; the overflow
+/// is reported here rather than silently truncated.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct ProvenanceSection {
+    /// Candidate specs with at least one recorded scored edge.
+    pub specs: u64,
+    /// Scored induced edges across all specs (including capped-out ones).
+    pub evidence_total: u64,
+    /// Evidence records retained under the per-spec cap.
+    pub evidence_retained: u64,
+    /// Records dropped by the cap (`evidence_total - evidence_retained`).
+    pub evidence_overflow: u64,
+    /// Per-spec `(spec, retained, total)` rows, in spec order.
+    pub per_spec: Vec<(String, u64, u64)>,
+}
+
 /// Wall-clock section: spans, gauges, and size histograms. Excluded from
 /// determinism comparisons.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -197,6 +218,8 @@ pub struct InvariantSections {
     pub counters: ReportCounters,
     /// Diagnostics accounting.
     pub diagnostics: DiagnosticsSection,
+    /// Per-spec evidence accounting.
+    pub provenance: ProvenanceSection,
 }
 
 impl RunReport {
@@ -221,6 +244,7 @@ impl RunReport {
             engine: self.engine.clone(),
             counters: self.counters.clone(),
             diagnostics: self.diagnostics.clone(),
+            provenance: self.provenance.clone(),
         }
     }
 }
@@ -269,6 +293,16 @@ mod tests {
             dropped: 4,
             total_problems: 5,
         };
+        r.provenance = ProvenanceSection {
+            specs: 2,
+            evidence_total: 25,
+            evidence_retained: 16,
+            evidence_overflow: 9,
+            per_spec: vec![
+                ("RetArg(HashMap.get/1, HashMap.put/2, 2)".to_owned(), 8, 17),
+                ("RetSame(HashMap.get/1)".to_owned(), 8, 8),
+            ],
+        };
         r.timings.total_seconds = 1.25;
         r.timings.spans.insert(
             "stage.analyze".to_owned(),
@@ -316,6 +350,10 @@ mod tests {
         assert_eq!(ja, jb);
         // But counter changes do show up.
         b.counters.corpus.files += 1;
+        assert_ne!(ja, serde_json::to_string(&b.invariant()).unwrap());
+        // And so do provenance changes — the section is invariant.
+        b.counters.corpus.files -= 1;
+        b.provenance.evidence_total += 1;
         assert_ne!(ja, serde_json::to_string(&b.invariant()).unwrap());
     }
 

@@ -166,6 +166,9 @@ impl Drop for SpanGuard {
         };
         let ns = live.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         live.agg.record(ns);
+        if crate::trace::armed() {
+            crate::trace::record(live.name, live.start, ns);
+        }
         if live.echoed {
             let depth = DEPTH.get().saturating_sub(1);
             DEPTH.set(depth);

@@ -1,0 +1,165 @@
+//! Span timeline export in Chrome `trace_events` format.
+//!
+//! When armed (the CLI's `--trace-out FILE.json`), every completed
+//! [`span!`](crate::span!) additionally appends one *complete* (`ph: "X"`)
+//! event — name, start timestamp relative to the arming instant, and
+//! duration, both in microseconds — to a process-global buffer.
+//! [`export_json`] renders the buffer as a `{"traceEvents": [...]}`
+//! document loadable in Perfetto / `chrome://tracing`.
+//!
+//! Recording is gated on a single relaxed [`AtomicBool`] checked in the
+//! span-drop path, so the default (disarmed) cost is one predictable
+//! branch — the telemetry overhead budget is unaffected unless a timeline
+//! was explicitly requested. Timestamps are wall-clock and the buffer is
+//! append-ordered by completion, so the export is machine-local by nature
+//! (like the report's `timings` section) and never crosses the
+//! determinism boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// One complete-duration (`ph: "X"`) Chrome trace event.
+#[derive(Clone, Debug)]
+struct TraceEvent {
+    name: String,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn buffer() -> &'static Mutex<Vec<TraceEvent>> {
+    static BUF: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    BUF.get_or_init(Mutex::default)
+}
+
+thread_local! {
+    static TID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// Starts timeline recording. Idempotent; pins the trace epoch on first
+/// call so all timestamps share one origin.
+pub fn arm() {
+    epoch();
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recorded into the timeline.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Appends one completed span. `start` may predate the arming instant
+/// (a span armed mid-flight); its timestamp saturates to the epoch.
+pub(crate) fn record(name: &str, start: Instant, dur_ns: u64) {
+    let ts = start
+        .checked_duration_since(epoch())
+        .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64);
+    let ev = TraceEvent {
+        name: name.to_owned(),
+        ts,
+        dur: dur_ns / 1_000,
+        tid: TID.with(|t| *t),
+    };
+    buffer().lock().unwrap().push(ev);
+}
+
+/// JSON string escaping for event names (span names are code literals, but
+/// the format must stay well-formed for any input).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the buffered timeline as a Chrome `trace_events` JSON document
+/// (`{"traceEvents": [...]}`), events sorted by start timestamp (ties by
+/// thread id, then name) so consumers see a monotonic timeline.
+pub fn export_json() -> String {
+    let mut events = buffer().lock().unwrap().clone();
+    events.sort_by(|a, b| {
+        a.ts.cmp(&b.ts)
+            .then_with(|| a.tid.cmp(&b.tid))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}",
+            escape(&ev.name),
+            ev.ts,
+            ev.dur,
+            ev.tid
+        ));
+    }
+    if !events.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Number of buffered events (test hook).
+pub fn len() -> usize {
+    buffer().lock().unwrap().len()
+}
+
+/// Clears the buffered timeline and disarms recording.
+pub fn reset() {
+    ARMED.store(false, Ordering::Relaxed);
+    buffer().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The buffer and armed flag are process-global; this single test owns
+    // the whole lifecycle to avoid cross-test interference.
+    #[test]
+    fn armed_spans_export_sorted_complete_events() {
+        reset();
+        {
+            let _s = crate::span!("trace.test.disarmed");
+        }
+        assert_eq!(len(), 0, "disarmed spans record nothing");
+
+        arm();
+        assert!(armed());
+        {
+            let _outer = crate::span!("trace.test.outer");
+            let _inner = crate::span!("trace.test.inner");
+        }
+        assert_eq!(len(), 2);
+        let json = export_json();
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("trace.test.outer"));
+        assert!(json.contains("trace.test.inner"));
+
+        reset();
+        assert!(!armed());
+        assert_eq!(len(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Shard-size and warm/cold invariance of the provenance index.
+//!
+//! Provenance is part of the deterministic output of a run: for a fixed
+//! corpus and options, the serialized [`ProvenanceIndex`] and the report's
+//! invariant `provenance` section must be byte-identical whatever
+//! `shard_size` slices the corpus into, and whether shard results come
+//! from a cold pipeline or replay out of a warm artifact cache. The
+//! per-spec evidence cap makes this non-trivial — the streaming top-k
+//! merge must keep the *globally* strongest evidence, not whatever the
+//! last shard contributed.
+//!
+//! This test lives alone in its own binary: the telemetry registry and the
+//! store incident log are process-global and are reset between runs.
+
+use std::fs;
+
+use uspec::{provenance_section, run_pipeline_cached, PipelineOptions};
+use uspec_corpus::{generate_corpus, java_library, GenOptions, SliceSource};
+use uspec_store::ArtifactStore;
+
+/// One full pipeline run from a clean telemetry state. Returns the
+/// serialized provenance index and the serialized invariant `provenance`
+/// report section.
+fn run(
+    sources: &[(String, String)],
+    shard_size: usize,
+    store: Option<&ArtifactStore>,
+) -> (String, String) {
+    uspec_telemetry::reset();
+    uspec_store::incidents::reset();
+    let lib = java_library();
+    let opts = PipelineOptions {
+        shard_size,
+        ..PipelineOptions::default()
+    };
+    let result = run_pipeline_cached(&SliceSource::new(sources), &lib.api_table(), &opts, store);
+    let index = serde_json::to_string_pretty(&result.provenance).unwrap();
+    let report = uspec::build_run_report("learn", &result, &opts, 0.6, 0.0);
+    let section = serde_json::to_string_pretty(&report.invariant().provenance).unwrap();
+    (index, section)
+}
+
+#[test]
+fn provenance_is_invariant_across_shard_sizes_and_cache_state() {
+    let lib = java_library();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 120,
+            seed: 11,
+            ..GenOptions::default()
+        },
+    );
+    let sources: Vec<(String, String)> = files.into_iter().map(|f| (f.name, f.source)).collect();
+
+    // Baseline at shard_size 64, then a shard size that slices mid-file
+    // groups (17) and one that puts the whole corpus in a single shard
+    // (1000 > 120).
+    let (index64, section64) = run(&sources, 64, None);
+    assert!(index64.len() > 2, "provenance was recorded");
+    assert!(
+        section64.contains("evidence_total"),
+        "invariant report carries the provenance section: {section64}"
+    );
+
+    for shard_size in [17, 1000] {
+        let (index, section) = run(&sources, shard_size, None);
+        assert_eq!(
+            index, index64,
+            "shard_size {shard_size} changed the provenance index"
+        );
+        assert_eq!(
+            section, section64,
+            "shard_size {shard_size} changed the report's provenance section"
+        );
+    }
+
+    // Cold cache (all misses, provenance computed and stored) and warm
+    // cache (provenance replayed from the store) must both reproduce the
+    // uncached bytes — including counterfactuals, which are attached after
+    // the shard merge and are never part of cached payloads.
+    let dir = std::env::temp_dir().join(format!("uspec-prov-inv-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let store = ArtifactStore::open(&dir).unwrap();
+
+    let (index_cold, section_cold) = run(&sources, 64, Some(&store));
+    assert_eq!(index_cold, index64, "cold cache changed the provenance");
+    assert_eq!(section_cold, section64);
+
+    let (index_warm, section_warm) = run(&sources, 64, Some(&store));
+    assert_eq!(index_warm, index64, "warm cache changed the provenance");
+    assert_eq!(section_warm, section64);
+
+    // The section agrees with recomputing it directly from the index.
+    uspec_telemetry::reset();
+    uspec_store::incidents::reset();
+    let opts = PipelineOptions {
+        shard_size: 64,
+        ..PipelineOptions::default()
+    };
+    let result = run_pipeline_cached(&SliceSource::new(&sources), &lib.api_table(), &opts, None);
+    let direct = serde_json::to_string_pretty(&provenance_section(&result.provenance)).unwrap();
+    assert_eq!(direct, section64);
+
+    let _ = fs::remove_dir_all(&dir);
+}

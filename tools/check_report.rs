@@ -15,7 +15,7 @@
 //! offline cannot express `deny_unknown_fields`, so the scan is the only
 //! unknown-field detector we have.
 //!
-//! Also asserts run-level sanity: `schema == 2`, analyzed files > 0,
+//! Also asserts run-level sanity: `schema == 3`, analyzed files > 0,
 //! non-zero stage timings (a report whose spans are all empty means the
 //! instrumentation was compiled out or disabled — CI should notice), and
 //! internally consistent cache accounting (`hits + misses == lookups`).
@@ -239,9 +239,9 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Schema whitelist (schema version 2). Every struct level of RunReport.
+// Schema whitelist (schema version 3). Every struct level of RunReport.
 
-const SCHEMA_2: &[(&str, &[&str])] = &[
+const SCHEMA_3: &[(&str, &[&str])] = &[
     (
         "",
         &[
@@ -250,6 +250,7 @@ const SCHEMA_2: &[(&str, &[&str])] = &[
             "engine",
             "counters",
             "diagnostics",
+            "provenance",
             "timings",
         ],
     ),
@@ -294,6 +295,16 @@ const SCHEMA_2: &[(&str, &[&str])] = &[
     ("counters.candidates", &["extracted", "selected", "tau"]),
     ("diagnostics", &["retained", "dropped", "total_problems"]),
     (
+        "provenance",
+        &[
+            "specs",
+            "evidence_total",
+            "evidence_retained",
+            "evidence_overflow",
+            "per_spec",
+        ],
+    ),
+    (
         "timings",
         &["total_seconds", "spans", "gauges", "histograms", "cache"],
     ),
@@ -333,7 +344,7 @@ fn check(report_text: &str) -> Result<String, String> {
 
     // 2. Structural scan: exact key set at every level.
     let root = parse(report_text)?;
-    for &(path, expected) in SCHEMA_2 {
+    for &(path, expected) in SCHEMA_3 {
         let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
         let mut keys = node.keys();
         keys.sort_unstable();
@@ -387,15 +398,31 @@ fn check(report_text: &str) -> Result<String, String> {
             cache.hits, cache.misses, cache.lookups
         ));
     }
+    let prov = &typed.provenance;
+    if prov.per_spec.len() as u64 != prov.specs {
+        return Err(format!(
+            "provenance lists {} per-spec rows for {} specs",
+            prov.per_spec.len(),
+            prov.specs
+        ));
+    }
+    if prov.evidence_retained + prov.evidence_overflow != prov.evidence_total {
+        return Err(format!(
+            "provenance accounting broken: {} retained + {} overflow != {} total",
+            prov.evidence_retained, prov.evidence_overflow, prov.evidence_total
+        ));
+    }
 
     Ok(format!(
         "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, \
-         {} timed spans, cache {}/{} hits",
+         {} evidence records over {} specs, {} timed spans, cache {}/{} hits",
         typed.schema,
         typed.command,
         typed.engine,
         typed.counters.corpus.files,
         typed.counters.candidates.extracted,
+        typed.provenance.evidence_retained,
+        typed.provenance.specs,
         timed_spans,
         typed.timings.cache.hits,
         typed.timings.cache.lookups

@@ -1,0 +1,100 @@
+//! CI validator for `--trace-out` span timelines.
+//!
+//! Usage: `check_trace <trace.json>`
+//!
+//! Checks that the file is a loadable Chrome `trace_events` document of
+//! the shape our exporter promises:
+//!
+//! - top level is `{"traceEvents": [...]}` with at least one event;
+//! - every event is *complete* (`ph: "X"`) with a non-empty name and the
+//!   full `ts`/`dur`/`pid`/`tid` field set — begin/end (`B`/`E`) pairs
+//!   would also be a valid Chrome trace, but our exporter never emits
+//!   them, so seeing one means the writer drifted;
+//! - `ts` is monotonically non-decreasing in file order, which is what
+//!   lets Perfetto stream the file without a sort.
+
+use std::process::ExitCode;
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+#[allow(non_snake_case)]
+struct TraceDoc {
+    traceEvents: Vec<TraceEvent>,
+}
+
+#[derive(Deserialize)]
+struct TraceEvent {
+    name: String,
+    ph: String,
+    ts: u64,
+    dur: u64,
+    pid: u64,
+    tid: u64,
+}
+
+fn check(text: &str) -> Result<String, String> {
+    let doc: TraceDoc =
+        serde_json::from_str(text).map_err(|e| format!("not a trace_events document: {e}"))?;
+    if doc.traceEvents.is_empty() {
+        return Err("traceEvents is empty — were spans armed for this run?".into());
+    }
+    let mut last_ts = 0u64;
+    let mut total_dur = 0u64;
+    for (i, ev) in doc.traceEvents.iter().enumerate() {
+        if ev.name.is_empty() {
+            return Err(format!("event {i} has an empty name"));
+        }
+        if ev.ph != "X" {
+            return Err(format!(
+                "event {i} (`{}`) has ph `{}`; the exporter only emits complete \
+                 `X` events",
+                ev.name, ev.ph
+            ));
+        }
+        if ev.pid != 1 {
+            return Err(format!("event {i} (`{}`) has pid {}", ev.name, ev.pid));
+        }
+        if ev.tid == 0 {
+            return Err(format!("event {i} (`{}`) has tid 0", ev.name));
+        }
+        if ev.ts < last_ts {
+            return Err(format!(
+                "event {i} (`{}`) breaks ts monotonicity: {} after {last_ts}",
+                ev.name, ev.ts
+            ));
+        }
+        last_ts = ev.ts;
+        total_dur += ev.dur;
+    }
+    Ok(format!(
+        "trace OK: {} complete events, {} µs summed duration, last start at {} µs",
+        doc.traceEvents.len(),
+        total_dur,
+        last_ts
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_trace <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_trace: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
