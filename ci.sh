@@ -38,6 +38,10 @@ cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_pta -- --smo
 # Telemetry overhead smoke: asserts the always-on metrics registry costs
 # < 3% wall time on the instrumented hot path (BENCH_telemetry.json).
 cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_telemetry -- --smoke
+# Incremental job-graph smoke: cold vs warm vs single-file-edit reruns must
+# be byte-identical (BENCH_incremental.json; the 10x edit-speedup floor is
+# asserted only on full-sized runs, not in --smoke).
+cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_incremental -- --smoke
 # Run-report smoke: a real `eval` must emit a metrics file that the
 # validator accepts (schema version, exact key set at every level — our
 # unknown-field drift detector — and non-zero stage timings), and a span

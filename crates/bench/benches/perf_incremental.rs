@@ -1,0 +1,147 @@
+//! Incremental-rebuild benchmark: single-file edit vs full cold run.
+//!
+//! The job graph's acceptance bar: after editing ONE file of a large
+//! corpus, a warm `run_pipeline_cached` must re-execute only that file's
+//! analysis cone (plus the model fold and the cheap re-scoring it
+//! implies), and come in at least [`MIN_EDIT_SPEEDUP`]× faster than
+//! analyzing the whole corpus from scratch. This bench measures three
+//! arms over the same corpus:
+//!
+//! * **cold** — empty store, everything executes and is written;
+//! * **warm** — unchanged corpus, every durable job replays;
+//! * **edit** — one file's body is changed between runs; its per-file
+//!   jobs and the model re-execute, everything else replays.
+//!
+//! All arms must produce byte-identical learned specs for their corpus
+//! (the edit arm is checked against an uncached run of the *edited*
+//! corpus). Pass `--smoke` for a quick CI-sized run; `USPEC_BENCH_FILES`
+//! scales full runs. Writes `BENCH_incremental.json` at the repo root.
+
+use std::time::Instant;
+
+use uspec::{run_pipeline_cached, PipelineOptions};
+use uspec_corpus::{java_library, SliceSource};
+use uspec_store::ArtifactStore;
+
+/// Minimum tolerated cold / single-file-edit wall-time ratio.
+const MIN_EDIT_SPEEDUP: f64 = 10.0;
+
+/// Min-of-N trials per arm.
+const TRIALS: usize = 5;
+
+fn timed_run(
+    sources: &[(String, String)],
+    opts: &PipelineOptions,
+    store: Option<&ArtifactStore>,
+) -> (f64, String) {
+    let lib = java_library();
+    let start = Instant::now();
+    let result = run_pipeline_cached(&SliceSource::new(sources), &lib.api_table(), opts, store);
+    let secs = start.elapsed().as_secs_f64();
+    let specs = serde_json::to_string(&result.learned).expect("specs serialize");
+    (secs, specs)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let num_files = if smoke {
+        96
+    } else {
+        std::env::var("USPEC_BENCH_FILES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512)
+    };
+
+    let lib = java_library();
+    let sources = uspec_bench::corpus_sources(&lib, num_files, 31);
+    // The edited corpus: append a comment-free no-op statement to one
+    // mid-corpus file so its content fingerprint (and only its) changes.
+    let mut edited = sources.clone();
+    let victim = edited.len() / 2;
+    edited[victim]
+        .1
+        .push_str("\nfn edited9999() { s0 = \"edited\"; }\n");
+    let opts = PipelineOptions {
+        shard_size: 64,
+        ..PipelineOptions::default()
+    };
+    let dir = std::env::temp_dir().join(format!("uspec-perf-incr-{}", std::process::id()));
+
+    let mut cold_secs = f64::INFINITY;
+    let mut warm_secs = f64::INFINITY;
+    let mut edit_secs = f64::INFINITY;
+    let (_, reference) = timed_run(&sources, &opts, None);
+    let (_, reference_edited) = timed_run(&edited, &opts, None);
+    for _ in 0..TRIALS {
+        // Cold: a fresh store populated from scratch.
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).expect("store opens");
+        let (secs, specs) = timed_run(&sources, &opts, Some(&store));
+        cold_secs = cold_secs.min(secs);
+        assert_eq!(reference, specs, "cold differs from uncached");
+
+        // Warm: nothing changed, every durable job replays.
+        let (secs, specs) = timed_run(&sources, &opts, Some(&store));
+        warm_secs = warm_secs.min(secs);
+        assert_eq!(reference, specs, "warm differs from uncached");
+
+        // Edit: one file changed — only its cone re-executes.
+        let (secs, specs) = timed_run(&edited, &opts, Some(&store));
+        edit_secs = edit_secs.min(secs);
+        assert_eq!(
+            reference_edited, specs,
+            "edit rerun differs from an uncached run of the edited corpus"
+        );
+    }
+    let bytes = ArtifactStore::open(&dir)
+        .and_then(|s| s.stats())
+        .map(|s| s.bytes)
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let warm_speedup = cold_secs / warm_secs.max(1e-9);
+    let edit_speedup = cold_secs / edit_secs.max(1e-9);
+    let per_arm = |secs: f64| {
+        vec![
+            format!("{:.0}", num_files as f64 / secs.max(1e-9)),
+            format!("{secs:.4}"),
+        ]
+    };
+    uspec_bench::print_table(
+        "incremental job graph: full cold vs warm vs single-file edit",
+        &["arm", "files/sec", "seconds"],
+        &[
+            [vec!["cold".to_owned()], per_arm(cold_secs)].concat(),
+            [vec!["warm (no edit)".to_owned()], per_arm(warm_secs)].concat(),
+            [vec!["warm (1 edit)".to_owned()], per_arm(edit_secs)].concat(),
+        ],
+    );
+    println!(
+        "  files: {num_files}  trials: {TRIALS}  cache: {bytes} bytes  \
+         edit speedup: {edit_speedup:.1}x (floor {MIN_EDIT_SPEEDUP:.0}x)  \
+         warm speedup: {warm_speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_incremental\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"trials\": {TRIALS},\n  \"cold_seconds\": {cold_secs:.6},\n  \"warm_seconds\": {warm_secs:.6},\n  \"edit_seconds\": {edit_secs:.6},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"edit_speedup\": {edit_speedup:.4},\n  \"min_edit_speedup\": {MIN_EDIT_SPEEDUP},\n  \"cache_bytes\": {bytes},\n  \"specs_identical\": true\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_incremental.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", out.display()),
+    }
+
+    // The smoke corpus is too small for the floor to be meaningful (fixed
+    // per-run costs dominate); assert it only on full-sized runs.
+    if !smoke {
+        assert!(
+            edit_speedup >= MIN_EDIT_SPEEDUP,
+            "single-file-edit speedup {edit_speedup:.2}x below the \
+             {MIN_EDIT_SPEEDUP:.0}x floor (cold {cold_secs:.4}s vs edit \
+             {edit_secs:.4}s)"
+        );
+    }
+}

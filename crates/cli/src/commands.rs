@@ -147,6 +147,12 @@ fn render_summary(report: &RunReport) -> String {
             );
         }
     }
+    let j = &report.timings.jobs;
+    let _ = writeln!(
+        out,
+        "jobs: {} executed, {} reused, {} invalidated",
+        j.executed, j.reused, j.invalidated
+    );
     let peak = report
         .timings
         .gauges
@@ -276,6 +282,7 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
             "max-diagnostics",
             "engine",
             "cache-dir",
+            "dirty",
             "metrics-out",
             "trace-out",
             "log-level",
@@ -286,7 +293,16 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
     let start = Instant::now();
     let lib = library_for(&opts)?;
     let tau: f64 = opts.num("tau", 0.6)?;
-    let popts = pipeline_opts(&opts)?;
+    let mut popts = pipeline_opts(&opts)?;
+    // `--dirty a.u,b.u`: distrust these files' cached entries and force
+    // their per-file jobs to re-execute (see `PipelineOptions::dirty`).
+    if let Some(list) = opts.value("dirty") {
+        popts.dirty = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(ToOwned::to_owned)
+            .collect();
+    }
     if opts.positional.is_empty() {
         return Err(OptError("at least one corpus directory is required".into()));
     }

@@ -59,21 +59,27 @@ USAGE:
       naive is the reference implementation — results are identical)
 
   Artifact cache (learn, eval, analyze):
-      --cache-dir DIR     persist per-shard analysis results, keyed by shard
-          content + analysis options; re-runs over an unchanged corpus skip
-          the frontend and points-to work. Results are byte-identical with
-          and without the cache. Falls back to the USPEC_CACHE_DIR
-          environment variable when the flag is absent (the flag wins).
+      --cache-dir DIR     persist per-file job outputs (stats, samples, pair
+          blueprints, value digests) plus the trained model and corpus score
+          artifact, each keyed by a content fingerprint of its actual
+          inputs; a re-run re-executes only the edited files' cones.
+          Results are byte-identical with and without the cache. Falls back
+          to the USPEC_CACHE_DIR environment variable when the flag is
+          absent (the flag wins).
+      --dirty a.u,b.u     (learn) distrust the cached entries of these file
+          names and force their per-file jobs to re-execute; downstream
+          model/score work re-runs only if the recomputed outputs actually
+          changed. Cannot change the learned result.
 
   Output control (every command):
       --log-level <error|warn|info|debug|trace>   status verbosity (stderr;
           default info; debug echoes timing spans)
       -q                                          shorthand for errors only
   Machine-readable metrics (learn, eval, analyze):
-      --metrics-out FILE.json    write the versioned run report (schema 3):
+      --metrics-out FILE.json    write the versioned run report (schema 4):
           counters, diagnostics, provenance, and timings for the whole run
-          (cache activity appears under the machine-local timings.cache
-          section)
+          (cache and job-engine activity appear under the machine-local
+          timings.cache / timings.jobs sections)
   Span timeline (learn, eval):
       --trace-out FILE.json      write the run's span tree in Chrome
           trace_events format (complete \"X\" events; open in Perfetto or

@@ -1,51 +1,73 @@
-//! Cache keys and payload encodings for the persistent artifact store.
+//! Job keys and payload encodings for the incremental pipeline.
 //!
-//! A warm run must be **byte-identical** to a cold run, so a cached entry
-//! is only usable when *everything* that could influence the stage output
-//! went into its key:
+//! Every pipeline job is keyed by a **content fingerprint of its actual
+//! inputs** — the file's bytes plus the option fingerprints its output
+//! depends on — never by the file's position in the corpus or by what came
+//! before it. That is what makes invalidation *demand-shaped*: editing one
+//! file changes exactly the keys in that file's cone (its analyze / stats /
+//! samples / pairs jobs, the model, and — because the model changed — every
+//! score job), while every other key still resolves out of the store.
 //!
-//! * the shard's own files — names (they appear in diagnostics) and
-//!   content — plus its stable start index (per-file RNG streams key off
-//!   stable corpus indices);
-//! * the content of **every file before the shard** (the duplicate filter
-//!   is stateful across shards: whether a file is analyzed here depends on
-//!   whether its content occurred earlier), folded into a rolling *prefix
-//!   digest*;
-//! * for pass B, the whole corpus digest — the trained edge model is a
-//!   function of every file, and candidates are scored with it;
-//! * every analysis-relevant [`PipelineOptions`] knob, via
-//!   [`options_fingerprint`];
-//! * a stage tag with its own payload-layout version, so a payload change
-//!   invalidates old entries without touching the envelope format.
+//! The previous design keyed per-*shard* entries on a rolling prefix
+//! digest of all earlier corpus content, so an edit to file 0 invalidated
+//! every shard after it. Per-file content keys fix that over-invalidation
+//! structurally: there is no prefix in any key.
 //!
-//! `shard_size` is deliberately **not** in [`options_fingerprint`]: shard
-//! boundaries are captured by the shard digests themselves (a different
-//! `shard_size` produces different shards, hence different keys), and the
-//! learned result is invariant under it. Likewise `score_fn` — scoring
-//! runs after the cached stages, on the merged candidate set.
+//! Key discipline, per job kind:
 //!
-//! Payloads are flat, stub-serde-friendly structs: `BTreeMap`s become
-//! `Vec<(K, V)>` pairs (the vendored serde stack only supports string map
-//! keys) and every count is a `u64`. Cached per-shard stats exclude
-//! `duplicates` and `peak_resident_graphs`: duplicates are recomputed by
-//! the live dedup pass that cache hits still perform, and the resident
-//! high-water mark describes *this* run's memory, which a hit never pays.
+//! * **analyze** — analysis options + file content. In-memory only.
+//! * **stats** — same inputs as analyze (the stats payload is a pure
+//!   function of the analysis). Durable. The payload is *name-free*: file
+//!   names are stamped on when the delta is absorbed, so a rename is not
+//!   an invalidation.
+//! * **samples** — analysis options + training options + content + the
+//!   file's **stable corpus index** (per-graph RNG streams are seeded from
+//!   it, §4.2 determinism).
+//! * **pairs** — analysis options + extraction/featurization options +
+//!   content. Model-independent by construction (see
+//!   [`uspec_learn::FileBlueprints`]), so a retrain does not invalidate
+//!   blueprints.
+//! * **digest** — same content-level inputs as samples + pairs; the
+//!   payload is the pair of **value digests** (fingerprints of the encoded
+//!   samples and blueprints). Durable and tiny: it lets later stages key on
+//!   what a file's derivatives *are* rather than on the bytes they came
+//!   from.
+//! * **model** — an associative fold over the kept corpus: training
+//!   options plus each kept file's `(index, samples value digest)` in
+//!   corpus order. Keying on value digests gives **early cutoff**
+//!   (Adapton/Salsa-style): an edit that leaves a file's extracted samples
+//!   unchanged — formatting, dead code, non-API logic — does not retrain.
+//! * **score** — the model key + each kept file's `(index, name, pairs
+//!   value digest)` in corpus order (evidence records cite index and
+//!   name). One corpus-level artifact: the merged candidate set, capped
+//!   provenance, and the model's training stats.
+//!
+//! `shard_size` appears in **no** key: shard boundaries only bound memory.
+//! Likewise `score_fn` (applied after extraction) and `dirty` (a forcing
+//! directive, not an input).
+//!
+//! Ref slots (see [`uspec_store::ArtifactStore::set_ref`]) give the store
+//! a mutable notion of "current": one slot per corpus index holding that
+//! file's last-seen content fingerprint, plus one slot each for the model
+//! and score keys. Comparing them at plan time yields the
+//! `jobs.invalidated` count — the size of the edit's cone root set — and
+//! powers changed-file detection.
 
 use serde::{Deserialize, Serialize};
-use uspec_corpus::Shard;
-use uspec_learn::{CandidateSet, ProvenanceIndex};
-use uspec_model::Sample;
-use uspec_pta::PtaAggregate;
-use uspec_store::{Fingerprint, FpHasher};
+use uspec_lang::LangError;
+use uspec_learn::ProvenanceIndex;
+use uspec_model::TrainStats;
+use uspec_pta::{PtaAggregate, Spec};
+use uspec_store::{fingerprint_str, Fingerprint, FpHasher};
 
 use crate::pipeline::{CorpusStats, PipelineOptions};
-use crate::stage::AnalysisDiagnostic;
+use crate::stage::{AnalysisDiagnostic, AnalysisStage, AnalyzedFile, DiagnosticKind, FileAnalysis};
 
-/// Fingerprint of every pipeline option that can influence a cached stage
-/// output. Uses the `Debug` renderings of the option structs: each derives
-/// `Debug` over all fields, so any knob change (including newly added
-/// fields) changes the text and invalidates old entries — a conservative
-/// but sound invalidation rule.
+/// Fingerprint of every pipeline option that can influence any cached job
+/// output — the run's configuration identity, used for ref slots. Uses the
+/// `Debug` renderings of the option structs: each derives `Debug` over all
+/// fields, so any knob change (including newly added fields) changes the
+/// text and invalidates old entries — a conservative but sound rule.
 pub fn options_fingerprint(opts: &PipelineOptions) -> Fingerprint {
     let mut h = FpHasher::new();
     h.write_str(&format!("{:?}", opts.lower));
@@ -58,87 +80,174 @@ pub fn options_fingerprint(opts: &PipelineOptions) -> Fingerprint {
     h.digest()
 }
 
-/// Digest of one shard: stable start index, file names (diagnostics name
-/// files), and file content.
-pub fn shard_digest(shard: &Shard) -> Fingerprint {
+/// The option fingerprints job keys are built from, computed once per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptionFps {
+    /// Analysis-relevant knobs: lowering, points-to, graph construction.
+    pub analyze: Fingerprint,
+    /// Training knobs (covers the sampling RNG seed).
+    pub train: Fingerprint,
+    /// Extraction + featurization knobs (blueprints capture featurizations,
+    /// so `full_contexts` / `context_depth` are pair inputs, not model
+    /// inputs).
+    pub pairs: Fingerprint,
+}
+
+impl OptionFps {
+    /// Computes the per-stage option fingerprints.
+    pub fn new(opts: &PipelineOptions) -> OptionFps {
+        let mut h = FpHasher::new();
+        h.write_str(&format!("{:?}", opts.lower));
+        h.write_str(&format!("{:?}", opts.pta));
+        h.write_str(&format!("{:?}", opts.graph));
+        let analyze = h.digest();
+        let mut h = FpHasher::new();
+        h.write_str(&format!("{:?}", opts.train));
+        let train = h.digest();
+        let mut h = FpHasher::new();
+        h.write_str(&format!("{:?}", opts.extract));
+        h.write_u64(u64::from(opts.train.full_contexts));
+        h.write_u64(opts.train.context_depth as u64);
+        let pairs = h.digest();
+        OptionFps {
+            analyze,
+            train,
+            pairs,
+        }
+    }
+}
+
+/// Content fingerprint of one source file.
+pub fn content_fingerprint(source: &str) -> Fingerprint {
+    fingerprint_str(source)
+}
+
+fn key_of(tag: &str, parts: &[Fingerprint]) -> Fingerprint {
     let mut h = FpHasher::new();
-    h.write_u64(shard.start as u64);
-    h.write_u64(shard.files.len() as u64);
-    for (name, source) in &shard.files {
+    h.write_str(tag);
+    for p in parts {
+        h.write_fingerprint(*p);
+    }
+    h.digest()
+}
+
+/// Key of a file's analyze job (parse/lower/PTA/graphs; in-memory).
+pub fn analyze_job_key(fps: &OptionFps, content: Fingerprint) -> Fingerprint {
+    key_of("analyze:v2", &[fps.analyze, content])
+}
+
+/// Key of a file's stats job (durable, name-free).
+pub fn stats_job_key(fps: &OptionFps, content: Fingerprint) -> Fingerprint {
+    key_of("stats:v2", &[fps.analyze, content])
+}
+
+/// Key of a file's samples job. `index` is the stable corpus index: the
+/// per-graph RNG streams are seeded from it, so the same content at a
+/// different position yields different (but deterministic) samples.
+pub fn samples_job_key(fps: &OptionFps, content: Fingerprint, index: u64) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("samples:v2");
+    h.write_fingerprint(fps.analyze);
+    h.write_fingerprint(fps.train);
+    h.write_fingerprint(content);
+    h.write_u64(index);
+    h.digest()
+}
+
+/// Key of a file's pair-blueprints job (durable, model-independent).
+pub fn pairs_job_key(fps: &OptionFps, content: Fingerprint) -> Fingerprint {
+    key_of("pairs:v2", &[fps.analyze, fps.pairs, content])
+}
+
+/// Key of a file's digest job (durable): the content-level identity of
+/// the samples + pairs value digests it stores.
+pub fn digest_job_key(fps: &OptionFps, content: Fingerprint, index: u64) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("digest:v1");
+    h.write_fingerprint(fps.analyze);
+    h.write_fingerprint(fps.train);
+    h.write_fingerprint(fps.pairs);
+    h.write_fingerprint(content);
+    h.write_u64(index);
+    h.digest()
+}
+
+/// Fingerprint of a value's canonical encoding — the "what it is" identity
+/// early cutoff compares.
+pub fn value_digest<T: Serialize>(value: &T) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_bytes(&encode_payload(value));
+    h.digest()
+}
+
+/// Key of the trained edge model: training options plus a fold over each
+/// kept file's stable index and **samples value digest**, in corpus order.
+/// Index participation is required (RNG streams are seeded from indices);
+/// value-digest participation is the early cutoff — identical sample sets
+/// mean an identical model, no matter what the file bytes look like.
+pub fn model_job_key(fps: &OptionFps, kept: &[(u64, Fingerprint)]) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("model:v3");
+    h.write_fingerprint(fps.train);
+    h.write_u64(kept.len() as u64);
+    for &(index, samples_digest) in kept {
+        h.write_u64(index);
+        h.write_fingerprint(samples_digest);
+    }
+    h.digest()
+}
+
+/// Key of the corpus score artifact: every kept file's pairs scored under
+/// one model and merged in corpus order. Indices and names are inputs
+/// because evidence records cite them; pairs participate by **value
+/// digest**, so an edit that leaves a file's blueprints unchanged does not
+/// re-score.
+pub fn score_job_key(model: Fingerprint, kept: &[(u64, String, Fingerprint)]) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_str("score:v2");
+    h.write_fingerprint(model);
+    h.write_u64(kept.len() as u64);
+    for (index, name, pairs_digest) in kept {
+        h.write_u64(*index);
         h.write_str(name);
-        h.write_str(source);
+        h.write_fingerprint(*pairs_digest);
     }
     h.digest()
 }
 
-/// Folds one shard's file *content* into the rolling prefix hasher (names
-/// do not affect duplicate decisions).
-pub fn roll_shard(rolling: &mut FpHasher, shard: &Shard) {
-    for (_, source) in &shard.files {
-        rolling.write_str(source);
-    }
-}
-
-/// Key of a shard's pass-A entry (analysis stats delta + training
-/// samples). `prefix` is the rolling digest of all prior file content.
-pub fn analyze_key(
-    opts_fp: Fingerprint,
-    prefix: Fingerprint,
-    shard_fp: Fingerprint,
-) -> Fingerprint {
+/// Ref slot holding the last-seen content fingerprint of corpus index
+/// `index` under one run configuration.
+pub fn file_ref_slot(opts_fp: Fingerprint, index: u64) -> Fingerprint {
     let mut h = FpHasher::new();
-    h.write_str("analyze+sample:v1");
+    h.write_str("ref:file:v1");
     h.write_fingerprint(opts_fp);
-    h.write_fingerprint(prefix);
-    h.write_fingerprint(shard_fp);
+    h.write_u64(index);
     h.digest()
 }
 
-/// Key of the trained edge model. `corpus` is the digest of the entire
-/// corpus content: the model is a function of every training sample, and
-/// the samples are a function of every file (order included — per-file RNG
-/// streams key off stable corpus indices).
-pub fn model_key(opts_fp: Fingerprint, corpus: Fingerprint) -> Fingerprint {
-    let mut h = FpHasher::new();
-    h.write_str("model:v1");
-    h.write_fingerprint(opts_fp);
-    h.write_fingerprint(corpus);
-    h.digest()
+/// Ref slot holding the last-built model key under one run configuration.
+pub fn model_ref_slot(opts_fp: Fingerprint) -> Fingerprint {
+    key_of("ref:model:v1", &[opts_fp])
 }
 
-/// Key of a shard's pass-B entry (extracted candidates). `corpus` is the
-/// digest of the *entire* corpus content — the identity of the trained
-/// model the candidates were scored with.
-pub fn extract_key(
-    opts_fp: Fingerprint,
-    corpus: Fingerprint,
-    prefix: Fingerprint,
-    shard_fp: Fingerprint,
-) -> Fingerprint {
-    let mut h = FpHasher::new();
-    h.write_str("extract:v2");
-    h.write_fingerprint(opts_fp);
-    h.write_fingerprint(corpus);
-    h.write_fingerprint(prefix);
-    h.write_fingerprint(shard_fp);
-    h.digest()
+/// Ref slot holding the last-built corpus score key under one run
+/// configuration.
+pub fn score_ref_slot(opts_fp: Fingerprint) -> Fingerprint {
+    key_of("ref:score:v1", &[opts_fp])
 }
 
-/// Flat encoding of a per-shard [`CorpusStats`] delta.
+/// Durable per-file analysis outcome: everything [`CorpusStats`] needs
+/// from one file, minus the file's *name* (stamped on at absorb time, so
+/// renames do not invalidate) and minus `duplicates` /
+/// `peak_resident_graphs` (properties of the run, not the file).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct StatsDelta {
-    /// Files successfully analyzed.
-    pub files: u64,
-    /// Files that failed to parse or lower.
-    pub failures: u64,
-    /// Event graphs.
+pub struct FileStatsPayload {
+    /// Event graphs (one per entry function); 0 for failed files.
     pub graphs: u64,
-    /// Total events.
+    /// Total events across the file's graphs.
     pub events: u64,
-    /// Total edges.
+    /// Total edges across the file's graphs.
     pub edges: u64,
-    /// Non-converged function bodies.
-    pub non_converged: u64,
     /// [`PtaAggregate::bodies`].
     pub pta_bodies: u64,
     /// [`PtaAggregate::passes`].
@@ -151,145 +260,113 @@ pub struct StatsDelta {
     pub pta_non_converged: u64,
     /// Pass-count histogram as `(passes, bodies)` pairs.
     pub pta_pass_counts: Vec<(u64, u64)>,
-    /// The shard's structured diagnostics, in corpus order, capped at
-    /// `max_diagnostics` within the shard.
-    pub diagnostics: Vec<AnalysisDiagnostic>,
+    /// `(function name, passes)` per body that hit the pass cap.
+    pub non_converged: Vec<(String, u64)>,
+    /// The frontend rejection, if the file failed to analyze.
+    pub error: Option<(AnalysisStage, LangError)>,
 }
 
-impl StatsDelta {
-    /// Captures a per-shard delta (`duplicates` / `peak_resident_graphs`
-    /// intentionally dropped — see the module docs).
-    pub fn from_stats(stats: &CorpusStats) -> StatsDelta {
-        StatsDelta {
-            files: stats.files as u64,
-            failures: stats.failures as u64,
-            graphs: stats.graphs as u64,
-            events: stats.events as u64,
-            edges: stats.edges as u64,
-            non_converged: stats.non_converged as u64,
-            pta_bodies: stats.pta.bodies as u64,
-            pta_passes: stats.pta.passes as u64,
-            pta_propagations: stats.pta.propagations as u64,
-            pta_constraints: stats.pta.constraints as u64,
-            pta_non_converged: stats.pta.non_converged as u64,
-            pta_pass_counts: stats
+impl FileStatsPayload {
+    /// Captures one file's analysis outcome.
+    pub fn from_analysis(analysis: &FileAnalysis) -> FileStatsPayload {
+        match analysis {
+            Ok(file) => FileStatsPayload::from_file(file),
+            Err((stage, error)) => FileStatsPayload {
+                error: Some((*stage, error.clone())),
+                ..FileStatsPayload::default()
+            },
+        }
+    }
+
+    fn from_file(file: &AnalyzedFile) -> FileStatsPayload {
+        FileStatsPayload {
+            graphs: file.graphs.len() as u64,
+            events: file.graphs.iter().map(|g| g.num_events() as u64).sum(),
+            edges: file.graphs.iter().map(|g| g.num_edges() as u64).sum(),
+            pta_bodies: file.pta.bodies as u64,
+            pta_passes: file.pta.passes as u64,
+            pta_propagations: file.pta.propagations as u64,
+            pta_constraints: file.pta.constraints as u64,
+            pta_non_converged: file.pta.non_converged as u64,
+            pta_pass_counts: file
                 .pta
                 .pass_histogram()
                 .iter()
                 .map(|(&p, &n)| (p as u64, n as u64))
                 .collect(),
-            diagnostics: stats.diagnostics.clone(),
+            non_converged: file
+                .non_converged
+                .iter()
+                .map(|(f, p)| (f.clone(), *p as u64))
+                .collect(),
+            error: None,
         }
     }
 
-    /// Rebuilds the delta as a [`CorpusStats`] (with `duplicates` and
-    /// `peak_resident_graphs` zero, to be filled by the live run).
-    pub fn into_stats(self) -> CorpusStats {
-        CorpusStats {
-            files: self.files as usize,
-            failures: self.failures as usize,
-            duplicates: 0,
-            graphs: self.graphs as usize,
-            events: self.events as usize,
-            edges: self.edges as usize,
-            non_converged: self.non_converged as usize,
-            peak_resident_graphs: 0,
-            pta: PtaAggregate::from_parts(
-                self.pta_bodies as usize,
-                self.pta_passes as usize,
-                self.pta_propagations as usize,
-                self.pta_constraints as usize,
-                self.pta_non_converged as usize,
-                self.pta_pass_counts
-                    .into_iter()
-                    .map(|(p, n)| (p as usize, n as usize)),
-            ),
-            diagnostics: self.diagnostics,
+    /// Rebuilds the payload as a per-file [`CorpusStats`] delta, stamping
+    /// the live file name onto its diagnostics. `duplicates` and
+    /// `peak_resident_graphs` stay zero — they belong to the run.
+    pub fn to_delta(&self, name: &str) -> CorpusStats {
+        let mut delta = CorpusStats::default();
+        if let Some((stage, error)) = &self.error {
+            delta.failures = 1;
+            delta.diagnostics.push(AnalysisDiagnostic {
+                file: name.to_owned(),
+                kind: DiagnosticKind::Frontend {
+                    stage: *stage,
+                    error: error.clone(),
+                },
+            });
+            return delta;
         }
+        delta.files = 1;
+        delta.graphs = self.graphs as usize;
+        delta.events = self.events as usize;
+        delta.edges = self.edges as usize;
+        delta.non_converged = self.non_converged.len();
+        delta.pta = PtaAggregate::from_parts(
+            self.pta_bodies as usize,
+            self.pta_passes as usize,
+            self.pta_propagations as usize,
+            self.pta_constraints as usize,
+            self.pta_non_converged as usize,
+            self.pta_pass_counts
+                .iter()
+                .map(|&(p, n)| (p as usize, n as usize)),
+        );
+        for (func, passes) in &self.non_converged {
+            delta.diagnostics.push(AnalysisDiagnostic {
+                file: name.to_owned(),
+                kind: DiagnosticKind::NonConverged {
+                    func: func.clone(),
+                    passes: *passes as usize,
+                },
+            });
+        }
+        delta
     }
 }
 
-/// Pass-A payload: one shard's analysis outcome and training samples.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ShardAnalysisPayload {
-    /// The shard's stats delta.
-    pub stats: StatsDelta,
-    /// The shard's §4.2 training samples, in stable corpus order.
-    pub samples: Vec<Sample>,
-}
-
-/// Pass-B payload: one shard's candidate extraction.
+/// Durable corpus-score payload: the merged pass-2 result — per-candidate
+/// `Γ_S` confidence lists and counters as sorted pair lists (the vendored
+/// serde stack cannot key JSON maps by [`Spec`]), the capped provenance
+/// index, and the training stats of the model that produced the scores.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct ShardExtractPayload {
-    /// Per-candidate Γ_S confidence lists as `(spec, confidences)` pairs,
-    /// in `Spec` order.
-    pub confidences: Vec<(uspec_pta::Spec, Vec<f32>)>,
-    /// Per-candidate match counts as `(spec, count)` pairs, in `Spec`
-    /// order.
-    pub match_counts: Vec<(uspec_pta::Spec, u64)>,
-    /// [`CandidateSet::skipped_multi_edge`].
-    pub skipped_multi_edge: u64,
-    /// [`CandidateSet::skipped_no_model`].
-    pub skipped_no_model: u64,
-    /// [`CandidateSet::pairs_examined`].
-    pub pairs_examined: u64,
-    /// Event graphs the live run built for this shard — replayed into the
-    /// `graph.*` counters on hits (those counters are part of the report's
-    /// invariant section, so a hit must account for the work it skipped).
-    pub graphs: u64,
-    /// Total events across those graphs (see `graphs`).
-    pub events: u64,
-    /// Total edges across those graphs (see `graphs`).
-    pub edges: u64,
-    /// The shard's evidence index, pre-counterfactual (counterfactuals are
-    /// a whole-corpus computation attached after every shard merged).
+pub struct ScorePayload {
+    /// Per-candidate confidence lists (`Γ_S`), in `Spec` order.
+    pub confidences: Vec<(Spec, Vec<f32>)>,
+    /// Per-candidate corpus-wide match counts, in `Spec` order.
+    pub match_counts: Vec<(Spec, usize)>,
+    /// Matches skipped for inducing zero or too many edges.
+    pub skipped_multi_edge: usize,
+    /// Edges skipped because the model has no ψ for their position pair.
+    pub skipped_no_model: usize,
+    /// Call-site pairs examined across the corpus.
+    pub pairs_examined: usize,
+    /// Merged, capped provenance (already serde-flattened internally).
     pub provenance: ProvenanceIndex,
-}
-
-impl ShardExtractPayload {
-    /// Captures one shard's candidate set and evidence; `stats` is the
-    /// shard's analysis delta, from which the graph counts are taken.
-    pub fn from_candidates(
-        set: &CandidateSet,
-        provenance: &ProvenanceIndex,
-        stats: &CorpusStats,
-    ) -> ShardExtractPayload {
-        ShardExtractPayload {
-            confidences: set
-                .confidences
-                .iter()
-                .map(|(s, gs)| (*s, gs.clone()))
-                .collect(),
-            match_counts: set
-                .match_counts
-                .iter()
-                .map(|(s, &n)| (*s, n as u64))
-                .collect(),
-            skipped_multi_edge: set.skipped_multi_edge as u64,
-            skipped_no_model: set.skipped_no_model as u64,
-            pairs_examined: set.pairs_examined as u64,
-            graphs: stats.graphs as u64,
-            events: stats.events as u64,
-            edges: stats.edges as u64,
-            provenance: provenance.clone(),
-        }
-    }
-
-    /// Rebuilds the candidate set and the shard's evidence index.
-    pub fn into_parts(self) -> (CandidateSet, ProvenanceIndex) {
-        let set = CandidateSet {
-            confidences: self.confidences.into_iter().collect(),
-            match_counts: self
-                .match_counts
-                .into_iter()
-                .map(|(s, n)| (s, n as usize))
-                .collect(),
-            skipped_multi_edge: self.skipped_multi_edge as usize,
-            skipped_no_model: self.skipped_no_model as usize,
-            pairs_examined: self.pairs_examined as usize,
-        };
-        (set, self.provenance)
-    }
+    /// Training stats of the model the scores were computed under.
+    pub model_stats: TrainStats,
 }
 
 /// Serializes a payload for [`uspec_store::ArtifactStore::put`].
@@ -310,9 +387,7 @@ pub fn decode_payload<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Option<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stage::{AnalysisStage, DiagnosticKind};
-    use uspec_lang::{LangError, LangErrorKind, MethodId, Span};
-    use uspec_pta::Spec;
+    use uspec_lang::{LangErrorKind, Span};
 
     #[test]
     fn options_fingerprint_tracks_relevant_knobs_only() {
@@ -320,10 +395,13 @@ mod tests {
         let fp = options_fingerprint(&base);
         assert_eq!(fp, options_fingerprint(&base), "deterministic");
 
-        // shard_size and score_fn are streaming/post-processing details.
+        // shard_size, score_fn and dirty are streaming/driver details.
         let mut sharded = base.clone();
         sharded.shard_size = 7;
         assert_eq!(fp, options_fingerprint(&sharded));
+        let mut dirtied = base.clone();
+        dirtied.dirty.push("a.u".into());
+        assert_eq!(fp, options_fingerprint(&dirtied));
 
         // Analysis-relevant knobs invalidate.
         let mut seeded = base.clone();
@@ -338,159 +416,156 @@ mod tests {
     }
 
     #[test]
-    fn shard_digest_covers_start_names_and_content() {
-        let shard = Shard {
-            start: 3,
-            files: vec![("a.u".into(), "fn main() {}".into())],
-        };
-        let fp = shard_digest(&shard);
-        let mut moved = shard.clone();
-        moved.start = 4;
-        assert_ne!(fp, shard_digest(&moved));
-        let mut renamed = shard.clone();
-        renamed.files[0].0 = "b.u".into();
-        assert_ne!(fp, shard_digest(&renamed));
-        let mut edited = shard.clone();
-        edited.files[0].1.push(' ');
-        assert_ne!(fp, shard_digest(&edited));
+    fn option_fps_isolate_stages() {
+        let base = PipelineOptions::default();
+        let fps = OptionFps::new(&base);
+
+        // A training-knob change leaves analyze and pairs keys alone: a
+        // retrain must not rebuild graphs or blueprints.
+        let mut retrained = base.clone();
+        retrained.train.seed += 1;
+        let rf = OptionFps::new(&retrained);
+        assert_eq!(fps.analyze, rf.analyze);
+        assert_eq!(fps.pairs, rf.pairs);
+        assert_ne!(fps.train, rf.train);
+
+        // Featurization knobs live in both train and pairs fingerprints.
+        let mut refeat = base.clone();
+        refeat.train.context_depth += 1;
+        let ff = OptionFps::new(&refeat);
+        assert_ne!(fps.pairs, ff.pairs);
+        assert_ne!(fps.train, ff.train);
+        assert_eq!(fps.analyze, ff.analyze);
+
+        // An extraction-knob change touches pairs only.
+        let mut rex = base.clone();
+        rex.extract.max_receiver_distance += 1;
+        let xf = OptionFps::new(&rex);
+        assert_ne!(fps.pairs, xf.pairs);
+        assert_eq!(fps.analyze, xf.analyze);
+        assert_eq!(fps.train, xf.train);
     }
 
     #[test]
-    fn keys_are_stage_separated() {
-        let fp = fingerprint_parts();
-        let ka = analyze_key(fp.0, fp.1, fp.2);
-        let kb = extract_key(fp.0, fp.1, fp.1, fp.2);
-        assert_ne!(ka, kb, "pass A and pass B entries never collide");
-        // A different prefix (earlier corpus content) changes both.
-        assert_ne!(ka, analyze_key(fp.0, fp.2, fp.2));
-        assert_ne!(kb, extract_key(fp.0, fp.1, fp.2, fp.2));
-    }
+    fn job_keys_are_content_local() {
+        let opts = PipelineOptions::default();
+        let fps = OptionFps::new(&opts);
+        let a = content_fingerprint("fn main() {}");
+        let b = content_fingerprint("fn main() { }");
+        assert_ne!(a, b);
 
-    fn fingerprint_parts() -> (Fingerprint, Fingerprint, Fingerprint) {
-        (
-            uspec_store::fingerprint_str("opts"),
-            uspec_store::fingerprint_str("prefix"),
-            uspec_store::fingerprint_str("shard"),
-        )
+        // Kind separation on identical inputs.
+        let keys = [
+            analyze_job_key(&fps, a),
+            stats_job_key(&fps, a),
+            samples_job_key(&fps, a, 0),
+            pairs_job_key(&fps, a),
+            digest_job_key(&fps, a, 0),
+        ];
+        for (i, x) in keys.iter().enumerate() {
+            for y in &keys[i + 1..] {
+                assert_ne!(x, y, "kinds never collide");
+            }
+        }
+
+        // Content changes every per-file key; index changes samples and
+        // digests (samples are index-seeded) but not stats or pairs.
+        assert_ne!(stats_job_key(&fps, a), stats_job_key(&fps, b));
+        assert_ne!(samples_job_key(&fps, a, 0), samples_job_key(&fps, a, 1));
+        assert_ne!(digest_job_key(&fps, a, 0), digest_job_key(&fps, a, 1));
+        assert_eq!(pairs_job_key(&fps, a), pairs_job_key(&fps, a));
     }
 
     #[test]
-    fn stats_delta_round_trips_through_json() {
-        let mut stats = CorpusStats {
-            files: 9,
-            failures: 2,
-            duplicates: 5,
-            graphs: 11,
+    fn model_key_is_an_order_sensitive_fold() {
+        let opts = PipelineOptions::default();
+        let fps = OptionFps::new(&opts);
+        // Model keys fold sample *value digests*, not file contents: two
+        // files whose extracted samples are identical train one model.
+        let a = value_digest(&vec![1u64, 2, 3]);
+        let b = value_digest(&vec![4u64, 5]);
+        assert_ne!(a, b);
+        let k1 = model_job_key(&fps, &[(0, a), (1, b)]);
+        assert_eq!(k1, model_job_key(&fps, &[(0, a), (1, b)]));
+        // Order, membership and position all matter: the model is trained
+        // on index-seeded RNG streams over the kept corpus in order.
+        assert_ne!(k1, model_job_key(&fps, &[(1, b), (0, a)]));
+        assert_ne!(k1, model_job_key(&fps, &[(0, a)]));
+        assert_ne!(k1, model_job_key(&fps, &[(0, a), (2, b)]));
+        // And the score key tracks the model, the pairs digests, and the
+        // file names evidence cites: a retrain or rename re-scores, an
+        // edit that changes neither does not.
+        let p = value_digest(&"pairs");
+        let kept = vec![(0u64, "a.u".to_owned(), p)];
+        let k2 = model_job_key(&fps, &[(0, b), (1, b)]);
+        assert_ne!(score_job_key(k1, &kept), score_job_key(k2, &kept));
+        let renamed = vec![(0u64, "b.u".to_owned(), p)];
+        assert_ne!(score_job_key(k1, &kept), score_job_key(k1, &renamed));
+        assert_eq!(score_job_key(k1, &kept), score_job_key(k1, &kept.clone()));
+    }
+
+    #[test]
+    fn ref_slots_are_config_scoped() {
+        let opts_a = options_fingerprint(&PipelineOptions::default());
+        let mut other = PipelineOptions::default();
+        other.train.seed += 1;
+        let opts_b = options_fingerprint(&other);
+        assert_ne!(file_ref_slot(opts_a, 0), file_ref_slot(opts_b, 0));
+        assert_ne!(file_ref_slot(opts_a, 0), file_ref_slot(opts_a, 1));
+        assert_ne!(model_ref_slot(opts_a), model_ref_slot(opts_b));
+        assert_ne!(model_ref_slot(opts_a), file_ref_slot(opts_a, 0));
+        assert_ne!(score_ref_slot(opts_a), score_ref_slot(opts_b));
+        assert_ne!(score_ref_slot(opts_a), model_ref_slot(opts_a));
+    }
+
+    #[test]
+    fn stats_payload_round_trips_and_stamps_names() {
+        let payload = FileStatsPayload {
+            graphs: 3,
             events: 40,
             edges: 70,
-            non_converged: 1,
-            peak_resident_graphs: 11,
-            pta: PtaAggregate::from_parts(12, 30, 400, 90, 1, [(2, 10), (5, 2)]),
-            diagnostics: Vec::new(),
+            pta_bodies: 3,
+            pta_passes: 9,
+            pta_propagations: 400,
+            pta_constraints: 90,
+            pta_non_converged: 1,
+            pta_pass_counts: vec![(2, 2), (5, 1)],
+            non_converged: vec![("main".into(), 5)],
+            error: None,
         };
-        stats.diagnostics.push(AnalysisDiagnostic {
-            file: "bad.u".into(),
-            kind: DiagnosticKind::Frontend {
-                stage: AnalysisStage::Parse,
-                error: LangError::new(LangErrorKind::UnexpectedChar('~'), Span::new(3, 4)),
-            },
-        });
-        stats.diagnostics.push(AnalysisDiagnostic {
-            file: "slow.u".into(),
-            kind: DiagnosticKind::NonConverged {
-                func: "main".into(),
-                passes: 64,
-            },
-        });
+        let back: FileStatsPayload = decode_payload(&encode_payload(&payload)).unwrap();
+        let delta = back.to_delta("slow.u");
+        assert_eq!(delta.files, 1);
+        assert_eq!(delta.graphs, 3);
+        assert_eq!(delta.non_converged, 1);
+        assert_eq!(delta.duplicates, 0, "run property, not file property");
+        assert_eq!(delta.peak_resident_graphs, 0, "run property");
+        assert_eq!(delta.pta.bodies, 3);
+        assert_eq!(delta.diagnostics.len(), 1);
+        assert!(
+            delta.diagnostics[0].to_string().contains("slow.u"),
+            "name stamped at absorb time: {}",
+            delta.diagnostics[0]
+        );
 
-        let delta = StatsDelta::from_stats(&stats);
-        let back: StatsDelta = decode_payload(&encode_payload(&delta)).unwrap();
-        let rebuilt = back.into_stats();
-        assert_eq!(rebuilt.files, stats.files);
-        assert_eq!(rebuilt.failures, stats.failures);
-        assert_eq!(rebuilt.duplicates, 0, "recomputed live on hits");
-        assert_eq!(rebuilt.peak_resident_graphs, 0, "not resident on hits");
-        assert_eq!(rebuilt.pta, stats.pta);
-        assert_eq!(rebuilt.diagnostics.len(), 2);
-        assert_eq!(
-            rebuilt.diagnostics[0].to_string(),
-            stats.diagnostics[0].to_string()
-        );
-        assert_eq!(
-            rebuilt.diagnostics[1].to_string(),
-            stats.diagnostics[1].to_string()
-        );
-    }
-
-    #[test]
-    fn extract_payload_round_trips_candidates() {
-        let get = MethodId::new("java.util.HashMap", "get", 1);
-        let put = MethodId::new("java.util.HashMap", "put", 2);
-        let mut set = CandidateSet::default();
-        set.confidences
-            .insert(Spec::RetSame { method: get }, vec![0.25, 0.875]);
-        set.confidences.insert(
-            Spec::RetArg {
-                target: get,
-                source: put,
-                x: 2,
-            },
-            vec![0.5],
-        );
-        set.match_counts.insert(Spec::RetSame { method: get }, 2);
-        set.match_counts.insert(
-            Spec::RetArg {
-                target: get,
-                source: put,
-                x: 2,
-            },
-            1,
-        );
-        set.skipped_multi_edge = 3;
-        set.skipped_no_model = 1;
-        set.pairs_examined = 120;
-
-        let stats = CorpusStats {
-            graphs: 7,
-            events: 31,
-            edges: 44,
-            ..CorpusStats::default()
+        let failed = FileStatsPayload {
+            error: Some((
+                AnalysisStage::Parse,
+                LangError::new(LangErrorKind::UnexpectedChar('~'), Span::new(3, 4)),
+            )),
+            ..FileStatsPayload::default()
         };
-        let mut prov = uspec_learn::ProvenanceIndex::default();
-        prov.record(
-            Spec::RetSame { method: get },
-            uspec_learn::EvidenceRecord {
-                key: uspec_learn::EvidenceKey::default(),
-                file: "a.u".into(),
-                line_src: 3,
-                line_dst: 5,
-                kind: "RetSame".into(),
-                src_event: "HashMap.get/1@ret".into(),
-                dst_event: "HashMap.get/1@ret".into(),
-                conf: 0.875,
-                margin: 1.9459102,
-                bias: -0.125,
-                contributions: vec![("gamma ty recv".into(), 0.5)],
-            },
-        );
-        let payload = ShardExtractPayload::from_candidates(&set, &prov, &stats);
-        let back: ShardExtractPayload = decode_payload(&encode_payload(&payload)).unwrap();
-        assert_eq!((back.graphs, back.events, back.edges), (7, 31, 44));
-        let (rebuilt, rebuilt_prov) = back.into_parts();
-        assert_eq!(rebuilt.confidences, set.confidences, "f32 bit-exact");
-        assert_eq!(rebuilt.match_counts, set.match_counts);
-        assert_eq!(rebuilt.skipped_multi_edge, 3);
-        assert_eq!(rebuilt.pairs_examined, 120);
-        let sp = rebuilt_prov.get(&Spec::RetSame { method: get }).unwrap();
-        assert_eq!(sp.total, 1);
-        assert_eq!(sp.evidence[0].margin.to_bits(), 1.9459102f32.to_bits());
-        assert_eq!(sp.evidence[0].file, "a.u");
+        let back: FileStatsPayload = decode_payload(&encode_payload(&failed)).unwrap();
+        let delta = back.to_delta("bad.u");
+        assert_eq!((delta.files, delta.failures), (0, 1));
+        assert_eq!(delta.diagnostics.len(), 1);
+        assert!(delta.diagnostics[0].to_string().contains("bad.u"));
     }
 
     #[test]
     fn decode_rejects_garbage_as_miss() {
-        assert!(decode_payload::<StatsDelta>(b"not json").is_none());
-        assert!(decode_payload::<StatsDelta>(&[0xff, 0xfe]).is_none());
-        assert!(decode_payload::<ShardExtractPayload>(b"{}").is_none());
+        assert!(decode_payload::<FileStatsPayload>(b"not json").is_none());
+        assert!(decode_payload::<FileStatsPayload>(&[0xff, 0xfe]).is_none());
+        assert!(decode_payload::<Vec<(String, u64)>>(b"{oops").is_none());
     }
 }

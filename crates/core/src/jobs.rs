@@ -1,0 +1,463 @@
+//! The pipeline's job definitions for the demand-driven engine.
+//!
+//! Each stage of Fig. 1 is one [`Job`] implementation over the
+//! [`uspec_jobs::JobEngine`], keyed per the discipline in [`crate::cache`]:
+//!
+//! * [`AnalyzeJob`] — parse/lower/PTA/graph-build one file (in-memory);
+//! * [`StatsJob`] — the file's durable, name-free [`FileStatsPayload`];
+//! * [`SamplesJob`] — the file's §4.2 training samples (durable);
+//! * [`PairsJob`] — the file's model-independent pair blueprints (durable);
+//! * [`DigestJob`] — the file's samples + pairs value digests (durable,
+//!   tiny — the record early cutoff compares);
+//! * [`ModelJob`] — the edge model ϕ as a fold over per-file samples;
+//! * [`ScoreJob`] — the corpus-level merge of every kept file's
+//!   blueprints scored under one model (durable).
+//!
+//! Derived jobs demand [`AnalyzeJob`] through their context rather than
+//! calling the frontend directly, so one analysis serves stats, samples
+//! and pairs while the file's graphs are resident — and is skipped
+//! entirely when all three resolve from the durable store.
+
+use std::collections::HashSet;
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uspec_corpus::{shards, CorpusSource};
+use uspec_jobs::{Job, JobCx, JobKind};
+use uspec_lang::registry::ApiTable;
+use uspec_learn::{
+    score_blueprints_into, BlueprintExtractor, CandidateSet, FileBlueprints, ProvenanceIndex,
+};
+use uspec_model::seed::mix_seed;
+use uspec_model::{extract_samples, EdgeModel, ModelSnapshot, Sample, TrainStats};
+use uspec_pta::SpecDb;
+use uspec_store::Fingerprint;
+
+use crate::cache::{
+    analyze_job_key, content_fingerprint, decode_payload, digest_job_key, encode_payload,
+    pairs_job_key, samples_job_key, stats_job_key, value_digest, FileStatsPayload, OptionFps,
+    ScorePayload,
+};
+use crate::pipeline::{analyze_source_staged, PipelineOptions};
+use crate::stage::FileAnalysis;
+
+/// Shared identity of one kept corpus file across its per-file jobs: the
+/// borrowed inputs plus the precomputed content fingerprint.
+#[derive(Clone, Copy)]
+pub struct FileJob<'a> {
+    /// Stable corpus index (seeds the file's RNG streams).
+    pub index: u64,
+    /// File name — never part of durable keys; evidence and diagnostics
+    /// identity only.
+    pub name: &'a str,
+    /// The file's source text.
+    pub source: &'a str,
+    /// The API registry.
+    pub table: &'a ApiTable,
+    /// The run's options.
+    pub opts: &'a PipelineOptions,
+    /// The run's option fingerprints.
+    pub fps: &'a OptionFps,
+    /// Content fingerprint of `source`.
+    pub content: Fingerprint,
+}
+
+impl<'a> FileJob<'a> {
+    /// Builds the per-file job identity, fingerprinting `source`.
+    pub fn new(
+        index: usize,
+        name: &'a str,
+        source: &'a str,
+        table: &'a ApiTable,
+        opts: &'a PipelineOptions,
+        fps: &'a OptionFps,
+    ) -> FileJob<'a> {
+        FileJob {
+            index: index as u64,
+            name,
+            source,
+            table,
+            opts,
+            fps,
+            content: content_fingerprint(source),
+        }
+    }
+}
+
+/// Parse + lower + per-body points-to analysis + event-graph build for one
+/// file. In-memory only: graphs are large and cheap to rebuild relative to
+/// their serialized size, so the driver evicts them at shard boundaries.
+pub struct AnalyzeJob<'a>(pub FileJob<'a>);
+
+impl Job for AnalyzeJob<'_> {
+    type Output = FileAnalysis;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Analyze
+    }
+
+    fn key(&self) -> Fingerprint {
+        analyze_job_key(self.0.fps, self.0.content)
+    }
+
+    fn run(&self, _cx: &JobCx<'_, '_>) -> FileAnalysis {
+        analyze_source_staged(self.0.source, self.0.table, &SpecDb::empty(), self.0.opts)
+    }
+}
+
+/// One file's durable [`FileStatsPayload`] — the corpus-stats delta the
+/// driver folds, name-free so renames stay warm.
+pub struct StatsJob<'a>(pub FileJob<'a>);
+
+impl Job for StatsJob<'_> {
+    type Output = FileStatsPayload;
+    const DURABLE: bool = true;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Stats
+    }
+
+    fn key(&self) -> Fingerprint {
+        stats_job_key(self.0.fps, self.0.content)
+    }
+
+    fn run(&self, cx: &JobCx<'_, '_>) -> FileStatsPayload {
+        let analysis = cx.demand(&AnalyzeJob(self.0));
+        FileStatsPayload::from_analysis(&analysis.value)
+    }
+
+    fn encode(out: &FileStatsPayload) -> Option<Vec<u8>> {
+        Some(encode_payload(out))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<FileStatsPayload> {
+        decode_payload(bytes)
+    }
+}
+
+/// One file's §4.2 training samples, in stable `(file, graph)` RNG-stream
+/// order. Failed files contribute an empty sample set.
+pub struct SamplesJob<'a>(pub FileJob<'a>);
+
+impl Job for SamplesJob<'_> {
+    type Output = Vec<Sample>;
+    const DURABLE: bool = true;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Samples
+    }
+
+    fn key(&self) -> Fingerprint {
+        samples_job_key(self.0.fps, self.0.content, self.0.index)
+    }
+
+    fn run(&self, cx: &JobCx<'_, '_>) -> Vec<Sample> {
+        let analysis = cx.demand(&AnalyzeJob(self.0));
+        let Ok(file) = &*analysis.value else {
+            return Vec::new();
+        };
+        let file_seed = mix_seed(self.0.opts.train.seed, self.0.index);
+        let mut samples = Vec::new();
+        for (j, g) in file.graphs.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(file_seed, j as u64));
+            samples.extend(extract_samples(g, &mut rng, &self.0.opts.train));
+        }
+        samples
+    }
+
+    fn encode(out: &Vec<Sample>) -> Option<Vec<u8>> {
+        Some(encode_payload(out))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Vec<Sample>> {
+        decode_payload(bytes)
+    }
+}
+
+/// One file's model-independent pair blueprints (the enumeration half of
+/// Alg. 1). Durable and keyed without the model: a retrain re-scores
+/// blueprints, it never re-enumerates them.
+pub struct PairsJob<'a>(pub FileJob<'a>);
+
+impl Job for PairsJob<'_> {
+    type Output = FileBlueprints;
+    const DURABLE: bool = true;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Pairs
+    }
+
+    fn key(&self) -> Fingerprint {
+        pairs_job_key(self.0.fps, self.0.content)
+    }
+
+    fn run(&self, cx: &JobCx<'_, '_>) -> FileBlueprints {
+        let analysis = cx.demand(&AnalyzeJob(self.0));
+        let Ok(file) = &*analysis.value else {
+            return FileBlueprints::default();
+        };
+        let mut bp = BlueprintExtractor::new(
+            self.0.opts.extract.clone(),
+            self.0.opts.train.full_contexts,
+            self.0.opts.train.context_depth,
+        );
+        for g in &file.graphs {
+            bp.add_graph(g);
+        }
+        bp.finish()
+    }
+
+    fn encode(out: &FileBlueprints) -> Option<Vec<u8>> {
+        Some(encode_payload(out))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<FileBlueprints> {
+        decode_payload(bytes)
+    }
+}
+
+/// One file's samples + pairs **value digests** — the tiny durable record
+/// early cutoff reads instead of the payloads themselves. A changed file
+/// computes digests alongside its samples and blueprints in one resident
+/// pass (the run demands both siblings while the analysis memo is warm);
+/// an unchanged file resolves them from the store without decoding a
+/// single sample. Downstream, the model key folds the samples digests and
+/// the score key folds the pairs digests, so an edit whose derivatives
+/// come out identical stops propagating right here.
+pub struct DigestJob<'a>(pub FileJob<'a>);
+
+impl Job for DigestJob<'_> {
+    type Output = (Fingerprint, Fingerprint);
+    const DURABLE: bool = true;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Digest
+    }
+
+    fn key(&self) -> Fingerprint {
+        digest_job_key(self.0.fps, self.0.content, self.0.index)
+    }
+
+    fn run(&self, cx: &JobCx<'_, '_>) -> (Fingerprint, Fingerprint) {
+        let samples = cx.demand(&SamplesJob(self.0));
+        let pairs = cx.demand(&PairsJob(self.0));
+        (value_digest(&*samples.value), value_digest(&*pairs.value))
+    }
+
+    fn encode(out: &(Fingerprint, Fingerprint)) -> Option<Vec<u8>> {
+        Some(encode_payload(&(out.0.hex(), out.1.hex())))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<(Fingerprint, Fingerprint)> {
+        let (samples, pairs): (String, String) = decode_payload(bytes)?;
+        Some((
+            Fingerprint::from_hex(&samples)?,
+            Fingerprint::from_hex(&pairs)?,
+        ))
+    }
+}
+
+/// The trained edge model ϕ: an associative fold over the kept files'
+/// sample sets, in corpus order, followed by sequential SGD (the paper's
+/// single Vowpal Wabbit instance).
+///
+/// The job holds the corpus *source*, not materialized samples: on a store
+/// hit nothing is regenerated, and on a miss shards are re-streamed one at
+/// a time, demanding each kept file's [`SamplesJob`] — a memo hit when the
+/// driver just produced it, a store decode on the warm edit path.
+pub struct ModelJob<'a, S: CorpusSource + Sync + ?Sized> {
+    /// The corpus to stream samples from.
+    pub source: &'a S,
+    /// The API registry.
+    pub table: &'a ApiTable,
+    /// The run's options.
+    pub opts: &'a PipelineOptions,
+    /// The run's option fingerprints.
+    pub fps: &'a OptionFps,
+    /// The kept files' `(index, samples value digest)` list, corpus order.
+    pub kept: &'a [(u64, Fingerprint)],
+    /// The precomputed model key (a fold over `kept`; see
+    /// [`crate::cache::model_job_key`]).
+    pub key: Fingerprint,
+}
+
+impl<S: CorpusSource + Sync + ?Sized> Job for ModelJob<'_, S> {
+    type Output = EdgeModel;
+    const DURABLE: bool = true;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Model
+    }
+
+    fn key(&self) -> Fingerprint {
+        self.key
+    }
+
+    fn run(&self, cx: &JobCx<'_, '_>) -> EdgeModel {
+        let kept: HashSet<u64> = self.kept.iter().map(|&(i, _)| i).collect();
+        let mut samples: Vec<Sample> = Vec::new();
+        for shard in shards(self.source, self.opts.shard_size) {
+            let jobs: Vec<SamplesJob<'_>> = shard
+                .iter()
+                .filter(|(idx, _, _)| kept.contains(&(*idx as u64)))
+                .map(|(idx, name, src)| {
+                    SamplesJob(FileJob::new(
+                        idx, name, src, self.table, self.opts, self.fps,
+                    ))
+                })
+                .collect();
+            for r in cx.demand_par(&jobs) {
+                samples.extend_from_slice(&r.value);
+            }
+        }
+        let _span = uspec_telemetry::span!("stage.train", "samples={}", samples.len());
+        EdgeModel::train(&samples, &self.opts.train)
+    }
+
+    fn encode(out: &EdgeModel) -> Option<Vec<u8>> {
+        Some(encode_payload(&out.snapshot()))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<EdgeModel> {
+        decode_payload::<ModelSnapshot>(bytes).map(EdgeModel::from_snapshot)
+    }
+}
+
+/// The merged pass-2 result as one value: everything downstream of the
+/// model that [`crate::pipeline::PipelineResult`] needs.
+#[derive(Clone, Debug, Default)]
+pub struct ScoredCorpus {
+    /// The merged candidate set (`Γ_S` lists plus counters).
+    pub candidates: CandidateSet,
+    /// The merged, capped provenance index.
+    pub provenance: ProvenanceIndex,
+    /// Training stats of the model the scores were computed under —
+    /// carried here so a warm run never decodes the model itself.
+    pub model_stats: TrainStats,
+}
+
+impl ScoredCorpus {
+    fn to_payload(&self) -> ScorePayload {
+        ScorePayload {
+            confidences: self
+                .candidates
+                .confidences
+                .iter()
+                .map(|(s, v)| (*s, v.clone()))
+                .collect(),
+            match_counts: self
+                .candidates
+                .match_counts
+                .iter()
+                .map(|(&s, &n)| (s, n))
+                .collect(),
+            skipped_multi_edge: self.candidates.skipped_multi_edge,
+            skipped_no_model: self.candidates.skipped_no_model,
+            pairs_examined: self.candidates.pairs_examined,
+            provenance: self.provenance.clone(),
+            model_stats: self.model_stats.clone(),
+        }
+    }
+
+    fn from_payload(p: ScorePayload) -> ScoredCorpus {
+        ScoredCorpus {
+            candidates: CandidateSet {
+                confidences: p.confidences.into_iter().collect(),
+                match_counts: p.match_counts.into_iter().collect(),
+                skipped_multi_edge: p.skipped_multi_edge,
+                skipped_no_model: p.skipped_no_model,
+                pairs_examined: p.pairs_examined,
+            },
+            provenance: p.provenance,
+            model_stats: p.model_stats,
+        }
+    }
+}
+
+/// The corpus score artifact (the scoring half of Alg. 1, merged in corpus
+/// order, plus the provenance cap). Durable and keyed on the model key and
+/// each kept file's `(index, name, pairs value digest)` — see
+/// [`crate::cache::score_job_key`] — so a warm rerun of an unchanged
+/// corpus resolves all of pass 2, training stats included, from one store
+/// read without decoding the model or any file's blueprints. On a miss it
+/// demands [`ModelJob`], then re-streams the corpus shard by shard,
+/// scoring each kept file's [`PairsJob`] output.
+pub struct ScoreJob<'a, S: CorpusSource + Sync + ?Sized> {
+    /// The corpus to stream blueprints from.
+    pub source: &'a S,
+    /// The API registry.
+    pub table: &'a ApiTable,
+    /// The run's options.
+    pub opts: &'a PipelineOptions,
+    /// The run's option fingerprints.
+    pub fps: &'a OptionFps,
+    /// The kept files' `(index, samples value digest)` list, corpus order
+    /// — the model fold's identity, reused to construct the inner
+    /// [`ModelJob`] on a miss.
+    pub kept: &'a [(u64, Fingerprint)],
+    /// The precomputed model key.
+    pub model_key: Fingerprint,
+    /// The precomputed score key (a fold over kept names and pairs
+    /// digests; see [`crate::cache::score_job_key`]).
+    pub key: Fingerprint,
+}
+
+impl<S: CorpusSource + Sync + ?Sized> Job for ScoreJob<'_, S> {
+    type Output = ScoredCorpus;
+    const DURABLE: bool = true;
+
+    fn kind(&self) -> JobKind {
+        JobKind::Score
+    }
+
+    fn key(&self) -> Fingerprint {
+        self.key
+    }
+
+    fn run(&self, cx: &JobCx<'_, '_>) -> ScoredCorpus {
+        let model = cx.demand(&ModelJob {
+            source: self.source,
+            table: self.table,
+            opts: self.opts,
+            fps: self.fps,
+            kept: self.kept,
+            key: self.model_key,
+        });
+        let kept: HashSet<u64> = self.kept.iter().map(|&(i, _)| i).collect();
+        let mut candidates = CandidateSet::default();
+        let mut provenance = ProvenanceIndex::default();
+        for shard in shards(self.source, self.opts.shard_size) {
+            let files: Vec<FileJob<'_>> = shard
+                .iter()
+                .filter(|(idx, _, _)| kept.contains(&(*idx as u64)))
+                .map(|(idx, name, src)| {
+                    FileJob::new(idx, name, src, self.table, self.opts, self.fps)
+                })
+                .collect();
+            let jobs: Vec<PairsJob<'_>> = files.iter().map(|&f| PairsJob(f)).collect();
+            for (r, f) in cx.demand_par(&jobs).into_iter().zip(&files) {
+                score_blueprints_into(
+                    &model.value,
+                    f.index,
+                    f.name,
+                    &r.value,
+                    &mut candidates,
+                    &mut provenance,
+                );
+            }
+        }
+        ScoredCorpus {
+            candidates,
+            provenance,
+            model_stats: model.value.stats().clone(),
+        }
+    }
+
+    fn encode(out: &ScoredCorpus) -> Option<Vec<u8>> {
+        Some(encode_payload(&out.to_payload()))
+    }
+
+    fn decode(bytes: &[u8]) -> Option<ScoredCorpus> {
+        decode_payload::<ScorePayload>(bytes).map(ScoredCorpus::from_payload)
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod cache;
 pub mod eval;
+pub mod jobs;
 pub mod pipeline;
 pub mod report;
 pub mod stage;
@@ -53,11 +54,11 @@ pub use pipeline::{
     run_pipeline_streaming, CorpusStats, CorpusTotals, PipelineOptions, PipelineResult,
 };
 pub use report::{
-    build_run_report, cache_section, provenance_section, pta_counters, timings_section,
+    build_run_report, cache_section, jobs_section, provenance_section, pta_counters,
+    timings_section,
 };
 pub use stage::{
-    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, AnalyzedShard, DedupFilter,
-    DiagnosticKind, ExtractStage, SampleStage,
+    AnalysisDiagnostic, AnalysisStage, AnalyzedFile, DedupFilter, DiagnosticKind, FileAnalysis,
 };
 
 // Re-export the member crates for downstream convenience.

@@ -7,44 +7,61 @@
 //! ```
 //!
 //! The pipeline ingests its corpus through the shard-streaming
-//! [`CorpusSource`] abstraction and folds the explicit stages of
-//! [`crate::stage`] over one shard at a time, in two passes:
+//! [`CorpusSource`] abstraction and drives the per-file jobs of
+//! [`crate::jobs`] through a demand-driven [`JobEngine`], in two passes:
 //!
-//! * **pass A** — analyze each shard and extract training samples, then
-//!   train the edge model ϕ (sequential SGD, as in the paper's single
-//!   Vowpal Wabbit instance);
-//! * **pass B** — re-analyze each shard and run Alg. 1 candidate
-//!   extraction with the trained model.
+//! * **pass 1** — *plan and fold*: per shard, run the duplicate filter,
+//!   fingerprint each kept file's content, diff the store's ref slots
+//!   (counting `jobs.invalidated` — the edit's cone roots), then demand
+//!   each file's [`StatsJob`] and [`DigestJob`] in parallel and fold the
+//!   stats deltas in corpus order. A changed file's digest demand computes
+//!   its samples and pair blueprints while the graphs are resident; an
+//!   unchanged file's resolves two tiny fingerprints from the store. The
+//!   analyze outputs are evicted at the shard boundary.
+//! * **pass 2** — one demand of the corpus [`ScoreJob`], keyed on the
+//!   model key plus every kept file's pairs value digest. A store hit is
+//!   the *entire* back half of the pipeline (model stats included); a miss
+//!   demands the [`ModelJob`] — itself keyed on samples value digests, so
+//!   it too replays unless some file's samples actually changed — then
+//!   re-streams the corpus, scoring each kept file's blueprints under ϕ in
+//!   corpus order.
 //!
-//! At most one shard's event graphs are alive at any point
-//! ([`CorpusStats::peak_resident_graphs`] tracks the high-water mark), and
-//! every per-shard result is keyed on stable corpus indices, so the output
-//! is bit-identical for every `shard_size` — including the single-shard
-//! batch mode of [`run_pipeline`]. File analysis is embarrassingly
-//! parallel and runs on rayon within each shard.
+//! Every job is keyed by a content fingerprint of its actual inputs, and
+//! the model/score folds key on per-file **value digests** rather than
+//! file bytes (see [`crate::cache`]) — the Adapton-style early cutoff: an
+//! edit whose extracted samples and blueprints come out unchanged stops
+//! propagating at the digest layer, retraining and re-scoring nothing.
+//! At most one shard's event graphs are
+//! alive at any point ([`CorpusStats::peak_resident_graphs`] tracks the
+//! high-water mark), and all merging happens in stable corpus order, so
+//! the output is bit-identical for every `shard_size`, with or without a
+//! store, warm or cold — including the single-shard batch mode of
+//! [`run_pipeline`]. File analysis is embarrassingly parallel across files
+//! *and* across each file's function bodies.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use uspec_corpus::{shards, CorpusSource, Shard, SliceSource};
+use rayon::prelude::*;
+use uspec_corpus::{shards, CorpusSource, SliceSource};
 use uspec_graph::{build_event_graph, EventGraph, GraphOptions};
+use uspec_jobs::{JobEngine, Outcome};
 use uspec_lang::ast::{Expr, NodeId, Program, StmtKind};
 use uspec_lang::lower::{lower_program, LowerOptions};
 use uspec_lang::parser::parse;
 use uspec_lang::registry::ApiTable;
 use uspec_lang::LangError;
 use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ProvenanceIndex, ScoreFn};
-use uspec_model::{EdgeModel, Sample, TrainOptions, TrainStats};
-use uspec_pta::{Pta, PtaAggregate, PtaOptions, SpecDb};
-use uspec_store::{ArtifactStore, FpHasher};
+use uspec_model::{TrainOptions, TrainStats};
+use uspec_pta::{Pta, PtaAggregate, PtaOptions, PtaStats, SpecDb};
+use uspec_store::{ArtifactStore, Fingerprint};
 
 use crate::cache::{
-    analyze_key, decode_payload, encode_payload, extract_key, model_key, options_fingerprint,
-    roll_shard, shard_digest, ShardAnalysisPayload, ShardExtractPayload, StatsDelta,
+    analyze_job_key, digest_job_key, file_ref_slot, model_job_key, model_ref_slot,
+    options_fingerprint, pairs_job_key, samples_job_key, score_job_key, score_ref_slot,
+    stats_job_key, OptionFps,
 };
-use crate::stage::{
-    AnalysisDiagnostic, AnalysisStage, AnalyzeStage, AnalyzedFile, DedupFilter, ExtractStage,
-    SampleStage,
-};
+use crate::jobs::{DigestJob, FileJob, ScoreJob, StatsJob};
+use crate::stage::{AnalysisDiagnostic, AnalysisStage, AnalyzedFile, DedupFilter};
 
 /// All knobs of the pipeline in one place.
 #[derive(Clone, Debug)]
@@ -70,9 +87,21 @@ pub struct PipelineOptions {
     /// memory is bounded by one shard's worth. Has no effect on the
     /// learned result — only on peak memory.
     pub shard_size: usize,
-    /// Cap on the structured [`AnalysisDiagnostic`] records retained in
-    /// [`CorpusStats::diagnostics`] (the failure *count* is never capped).
+    /// Cap on the structured [`crate::stage::AnalysisDiagnostic`] records
+    /// retained in [`CorpusStats::diagnostics`] (the failure *count* is
+    /// never capped).
     pub max_diagnostics: usize,
+    /// File names asserted to have changed (the CLI's `--dirty`): their
+    /// per-file jobs are forced to re-execute even if content fingerprints
+    /// match what the store holds. An entry matches a corpus file whose
+    /// full name equals it *or* whose final path component equals it, so
+    /// `--dirty file_0001.u` works against path-named corpora.
+    /// The model and score artifacts are *not*
+    /// forced directly — the forced files' value digests are recomputed,
+    /// and if any derivative genuinely differs the downstream keys change
+    /// on their own. A forcing directive, not an input: it never
+    /// participates in job keys and cannot change the learned result.
+    pub dirty: Vec<String>,
 }
 
 impl Default for PipelineOptions {
@@ -87,6 +116,7 @@ impl Default for PipelineOptions {
             dedup: true,
             shard_size: 256,
             max_diagnostics: 20,
+            dirty: Vec::new(),
         }
     }
 }
@@ -144,11 +174,11 @@ pub struct CorpusTotals {
 }
 
 impl CorpusStats {
-    /// Folds one shard's delta (from [`AnalyzeStage::run`] or a cache hit)
-    /// into the corpus totals, re-applying the *global* diagnostics cap.
-    /// Deltas arrive in corpus order, so the retained diagnostics are the
-    /// first `max_diagnostics` corpus-wide — identical to accumulating
-    /// directly.
+    /// Folds one delta (per-file in the job pipeline, per-shard in older
+    /// callers) into the corpus totals, re-applying the *global*
+    /// diagnostics cap. Deltas arrive in corpus order, so the retained
+    /// diagnostics are the first `max_diagnostics` corpus-wide — identical
+    /// to accumulating directly.
     pub fn absorb(&mut self, delta: CorpusStats, max_diagnostics: usize) {
         self.files += delta.files;
         self.failures += delta.failures;
@@ -233,7 +263,7 @@ pub fn analyze_source_with_specs(
 
 /// [`analyze_source_with_specs`] with the failing stage attached and
 /// non-converged bodies reported, feeding the structured diagnostics of
-/// [`crate::stage::AnalyzeStage`].
+/// the per-file [`StatsJob`].
 pub(crate) fn analyze_source_staged(
     source: &str,
     table: &ApiTable,
@@ -244,16 +274,25 @@ pub(crate) fn analyze_source_staged(
     let bodies =
         lower_program(&program, table, &opts.lower).map_err(|e| (AnalysisStage::Lower, e))?;
     let lines = node_line_table(source, &program);
+    // Function bodies are analysis-independent: points-to and graph build
+    // run on rayon per body (order-preserving collect), and the stats fold
+    // below stays sequential in body order.
+    let analyzed: Vec<(PtaStats, EventGraph)> = bodies
+        .par_iter()
+        .map(|body| {
+            let pta = Pta::run(body, specs, &opts.pta);
+            let mut g = build_event_graph(body, &pta, &opts.graph);
+            g.annotate_lines(&lines);
+            (pta.stats, g)
+        })
+        .collect();
     let mut file = AnalyzedFile::default();
-    for body in &bodies {
-        let pta = Pta::run(body, specs, &opts.pta);
-        file.pta.record(&pta.stats);
-        if !pta.stats.converged {
+    for (body, (stats, g)) in bodies.iter().zip(analyzed) {
+        file.pta.record(&stats);
+        if !stats.converged {
             file.non_converged
-                .push((body.func.to_string(), pta.stats.passes));
+                .push((body.func.to_string(), stats.passes));
         }
-        let mut g = build_event_graph(body, &pta, &opts.graph);
-        g.annotate_lines(&lines);
         file.graphs.push(g);
     }
     Ok(file)
@@ -311,7 +350,7 @@ fn node_line_table(source: &str, program: &Program) -> HashMap<NodeId, u32> {
 /// The result is identical for every `opts.shard_size` (and to
 /// [`run_pipeline`]): all per-shard computation is keyed on stable corpus
 /// indices and merged in corpus order.
-pub fn run_pipeline_streaming<S: CorpusSource + ?Sized>(
+pub fn run_pipeline_streaming<S: CorpusSource + Sync + ?Sized>(
     source: &S,
     table: &ApiTable,
     opts: &PipelineOptions,
@@ -319,172 +358,174 @@ pub fn run_pipeline_streaming<S: CorpusSource + ?Sized>(
     run_pipeline_cached(source, table, opts, None)
 }
 
-/// Reads a shard's cached payload, treating any failure — absence,
-/// corruption (already recorded by the store), or an undecodable payload —
-/// as a miss.
-fn cached_shard<T: for<'de> serde::Deserialize<'de>>(
-    store: Option<&ArtifactStore>,
-    key: uspec_store::Fingerprint,
-) -> Option<T> {
-    let bytes = store?.get(key).hit()?;
-    let decoded = decode_payload(&bytes);
-    if decoded.is_none() {
-        uspec_telemetry::log_warn!("cache entry {key} has an undecodable payload; re-deriving");
-    }
-    decoded
-}
-
-/// Writes a shard's payload, degrading write failures (full disk,
-/// permissions) to a warning — the cache is an accelerator, never a
-/// correctness dependency.
-fn store_shard<T: serde::Serialize>(
-    store: &ArtifactStore,
-    key: uspec_store::Fingerprint,
-    payload: &T,
-) {
-    if let Err(e) = store.put(key, &encode_payload(payload)) {
-        uspec_telemetry::log_warn!("cache write for {key} failed: {e}");
+/// Writes a ref-slot pointer, degrading failures to a warning — refs power
+/// invalidation *accounting*, never correctness.
+fn write_ref(store: &ArtifactStore, slot: Fingerprint, value: Fingerprint, what: &str) {
+    if let Err(e) = store.set_ref(slot, value) {
+        uspec_telemetry::log_warn!("ref write for {what} failed: {e}");
     }
 }
 
-/// Replays the `graph.*` counters a cache hit skipped. Those counters land
-/// in the report's invariant `counters.metrics` map, so warm and cold runs
-/// must account identically for the graphs the cold run built.
-fn replay_graph_counters(graphs: u64, events: u64, edges: u64) {
-    uspec_telemetry::counter!("graph.graphs_built").add(graphs);
-    uspec_telemetry::counter!("graph.events").add(events);
-    uspec_telemetry::counter!("graph.edges").add(edges);
-}
-
-/// Replays the duplicate filter over a shard whose analysis came from the
-/// cache, returning the number of duplicates. Hits skip the frontend but
-/// never the dedup pass: the filter's seen-set must be identical for later
-/// shards (which may be cold), and the duplicate *count* is recomputed
-/// live rather than trusted from the entry.
-fn replay_dedup(dedup: &mut DedupFilter, shard: &Shard) -> usize {
-    let mut duplicates = 0;
-    for (_, _, source) in shard.iter() {
-        if !dedup.keep(source) {
-            duplicates += 1;
-        }
-    }
-    duplicates
-}
-
-/// [`run_pipeline_streaming`] with an optional persistent artifact store.
+/// [`run_pipeline_streaming`] with an optional persistent artifact store
+/// acting as the job engine's durable memo table.
 ///
-/// With `Some(store)`, each shard's pass-A output (analysis stats delta +
-/// training samples) and pass-B output (extracted candidates) is looked up
-/// by a content fingerprint covering the shard, everything before it, the
-/// analysis-relevant options, and — for pass B — the whole corpus (see
-/// [`crate::cache`]). Hits skip parsing, lowering, points-to analysis, and
-/// graph construction for that shard; misses compute live and populate the
-/// store. The result is byte-identical with and without a store, warm or
-/// cold — the cache can only change *how fast* an answer is produced,
-/// never the answer.
-pub fn run_pipeline_cached<S: CorpusSource + ?Sized>(
+/// With `Some(store)`, every durable job output — per-file stats, samples,
+/// pair blueprints and value digests, plus the trained model and the
+/// corpus score artifact — is looked up by a content fingerprint of its
+/// actual inputs (see [`crate::cache`]); hits skip parsing, lowering,
+/// points-to analysis, graph construction, sampling, training or scoring;
+/// misses compute live and populate the store. An edit re-executes only
+/// its cone: the edited file's per-file jobs always, the model and score
+/// folds only if the file's extracted samples or blueprints actually
+/// changed (early cutoff over value digests). The result is byte-identical
+/// with and without a store, warm or cold — the cache can only change
+/// *how fast* an answer is produced, never the answer.
+pub fn run_pipeline_cached<S: CorpusSource + Sync + ?Sized>(
     source: &S,
     table: &ApiTable,
     opts: &PipelineOptions,
     store: Option<&ArtifactStore>,
 ) -> PipelineResult {
-    let analyze = AnalyzeStage::new(table, opts);
+    let fps = OptionFps::new(opts);
     let opts_fp = options_fingerprint(opts);
+    let engine = JobEngine::new(store);
+    let dirty: HashSet<&str> = opts.dirty.iter().map(String::as_str).collect();
+    // CLI-collected corpora name files by path; a bare `--dirty file.u`
+    // should still hit them, so match on the full name or its basename.
+    let is_dirty = |name: &str| {
+        !dirty.is_empty()
+            && (dirty.contains(name)
+                || std::path::Path::new(name)
+                    .file_name()
+                    .and_then(|f| f.to_str())
+                    .is_some_and(|f| dirty.contains(f)))
+    };
 
-    // Pass A: per-shard analysis and sample extraction, then SGD training.
-    let sample = SampleStage::new(&opts.train);
+    // Pass 1: plan each shard (dedup, content fingerprints, ref-slot
+    // diffing), demand per-file stats and digest jobs, and fold the stats
+    // deltas in corpus order. A changed file's digest demand derives its
+    // samples and blueprints while the analysis memo is resident; an
+    // unchanged file's is a tiny store decode.
     let mut stats = CorpusStats::default();
     let mut dedup = DedupFilter::new(opts.dedup);
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut rolling = FpHasher::new();
+    let mut kept: Vec<(u64, String, Fingerprint, Fingerprint)> = Vec::new();
     for shard in shards(source, opts.shard_size) {
-        let key = analyze_key(opts_fp, rolling.digest(), shard_digest(&shard));
-        match cached_shard::<ShardAnalysisPayload>(store, key) {
-            Some(payload) => {
-                let duplicates = replay_dedup(&mut dedup, &shard);
-                let s = &payload.stats;
-                replay_graph_counters(s.graphs, s.events, s.edges);
-                let mut delta = payload.stats.into_stats();
-                delta.duplicates = duplicates;
-                stats.absorb(delta, opts.max_diagnostics);
-                samples.extend(payload.samples);
+        // Shard structure is a streaming-configuration detail, recorded
+        // only as a histogram (reports place those under the machine-local
+        // `timings` section; a counter here would break the shard-size
+        // invariance of `counters.metrics`). The histogram's `count` is
+        // the number of shards the driver planned; a score-artifact miss
+        // re-streams them again inside the score job.
+        uspec_telemetry::histogram!("pipeline.shard_files").record(shard.files.len() as u64);
+        let mut files: Vec<FileJob<'_>> = Vec::new();
+        for (idx, name, src) in shard.iter() {
+            if !dedup.keep(src) {
+                stats.duplicates += 1;
+                continue;
             }
-            None => {
-                let (analyzed, delta) = analyze.run(&shard, &mut dedup);
-                let shard_samples = sample.run(&analyzed);
-                if let Some(s) = store {
-                    let payload = ShardAnalysisPayload {
-                        stats: StatsDelta::from_stats(&delta),
-                        samples: shard_samples.clone(),
-                    };
-                    store_shard(s, key, &payload);
-                }
-                stats.absorb(delta, opts.max_diagnostics);
-                samples.extend(shard_samples);
-                // `analyzed` — this shard's event graphs — drops here.
-            }
-        }
-        roll_shard(&mut rolling, &shard);
-    }
-    // The rolling digest now covers every corpus file: the identity of the
-    // model the next pass scores with. The trained model itself is cached
-    // under that digest — training is the one post-analysis stage heavy
-    // enough that replaying it would dominate a warm run.
-    let corpus_fp = rolling.digest();
-    let mkey = model_key(opts_fp, corpus_fp);
-    let model = match cached_shard::<uspec_model::ModelSnapshot>(store, mkey) {
-        Some(snap) => EdgeModel::from_snapshot(snap),
-        None => {
-            let model = {
-                let _span = uspec_telemetry::span!("stage.train", "samples={}", samples.len());
-                EdgeModel::train(&samples, &opts.train)
-            };
+            let file = FileJob::new(idx, name, src, table, opts, &fps);
+            let mut invalidated = false;
             if let Some(s) = store {
-                store_shard(s, mkey, &model.snapshot());
-            }
-            model
-        }
-    };
-    drop(samples);
-
-    // Pass B: re-analyze each shard and extract candidates with ϕ. Stats
-    // deltas are discarded — pass A already accounted for them — except
-    // the resident-graph high-water mark, which spans both passes.
-    let extract = ExtractStage::new(&model, &opts.extract);
-    let mut dedup = DedupFilter::new(opts.dedup);
-    let mut candidates = CandidateSet::default();
-    let mut provenance = ProvenanceIndex::default();
-    let mut rolling = FpHasher::new();
-    for shard in shards(source, opts.shard_size) {
-        let key = extract_key(opts_fp, corpus_fp, rolling.digest(), shard_digest(&shard));
-        match cached_shard::<ShardExtractPayload>(store, key) {
-            Some(payload) => {
-                replay_dedup(&mut dedup, &shard);
-                replay_graph_counters(payload.graphs, payload.events, payload.edges);
-                let (set, prov) = payload.into_parts();
-                candidates.merge(set);
-                provenance.merge(prov);
-            }
-            None => {
-                let (analyzed, delta) = analyze.run(&shard, &mut dedup);
-                stats.peak_resident_graphs =
-                    stats.peak_resident_graphs.max(delta.peak_resident_graphs);
-                let (set, prov) = extract.run(&analyzed);
-                if let Some(s) = store {
-                    store_shard(
-                        s,
-                        key,
-                        &ShardExtractPayload::from_candidates(&set, &prov, &delta),
-                    );
+                let slot = file_ref_slot(opts_fp, file.index);
+                let old = s.get_ref(slot);
+                invalidated = old.is_some_and(|old| old != file.content);
+                // Rewriting an already-current ref would cost a write +
+                // rename per file per run — the dominant wall-time of a
+                // fully warm rerun. Only a genuinely moved pointer writes.
+                if old != Some(file.content) {
+                    write_ref(s, slot, file.content, name);
                 }
-                candidates.merge(set);
-                provenance.merge(prov);
+            }
+            if is_dirty(name) {
+                invalidated = true;
+                // Force the file's whole per-file cone: analysis and every
+                // durable derivative, even if the stored bytes look
+                // current. Model and score keys recompute from the fresh
+                // digests, so they follow automatically exactly when a
+                // derivative really differs.
+                engine.force(analyze_job_key(&fps, file.content));
+                engine.force(stats_job_key(&fps, file.content));
+                engine.force(samples_job_key(&fps, file.content, file.index));
+                engine.force(pairs_job_key(&fps, file.content));
+                engine.force(digest_job_key(&fps, file.content, file.index));
+            }
+            if invalidated {
+                uspec_telemetry::counter!("jobs.invalidated").inc();
+            }
+            files.push(file);
+        }
+
+        let stats_jobs: Vec<StatsJob<'_>> = files.iter().map(|&f| StatsJob(f)).collect();
+        let resolved = engine.demand_par(&stats_jobs);
+        // Value digests for every kept file. Changed files (their stats
+        // just executed, so the analysis is memo-resident) derive samples
+        // and blueprints here, which keeps the analyze output from ever
+        // being rebuilt after eviction; unchanged files hit the store.
+        let digest_jobs: Vec<DigestJob<'_>> = files.iter().map(|&f| DigestJob(f)).collect();
+        let digests = engine.demand_par(&digest_jobs);
+
+        let mut resident_graphs: u64 = 0;
+        for ((file, r), d) in files.iter().zip(&resolved).zip(&digests) {
+            if r.outcome == Outcome::Executed {
+                resident_graphs += r.value.graphs;
+            }
+            stats.absorb(r.value.to_delta(file.name), opts.max_diagnostics);
+            kept.push((file.index, file.name.to_owned(), d.value.0, d.value.1));
+        }
+        stats.peak_resident_graphs = stats.peak_resident_graphs.max(resident_graphs as usize);
+        uspec_telemetry::gauge!("pipeline.peak_resident_graphs").record_max(resident_graphs);
+        // Graphs drop at the shard boundary: the streaming memory contract.
+        engine.evict(files.iter().map(|f| analyze_job_key(&fps, f.content)));
+    }
+
+    // The model and score folds over the kept corpus. Their ref slots
+    // implement changed-artifact detection the same way file slots
+    // implement changed-file detection.
+    let model_kept: Vec<(u64, Fingerprint)> = kept.iter().map(|&(i, _, s, _)| (i, s)).collect();
+    let mkey = model_job_key(&fps, &model_kept);
+    let score_kept: Vec<(u64, String, Fingerprint)> = kept
+        .iter()
+        .map(|(i, name, _, p)| (*i, name.clone(), *p))
+        .collect();
+    let skey = score_job_key(mkey, &score_kept);
+    if let Some(s) = store {
+        for (slot, key, what) in [
+            (model_ref_slot(opts_fp), mkey, "model"),
+            (score_ref_slot(opts_fp), skey, "score"),
+        ] {
+            let old = s.get_ref(slot);
+            if old.is_some_and(|old| old != key) {
+                uspec_telemetry::counter!("jobs.invalidated").inc();
+            }
+            if old != Some(key) {
+                write_ref(s, slot, key, what);
             }
         }
-        roll_shard(&mut rolling, &shard);
     }
+
+    // Pass 2: one demand resolves the whole back half. A store hit decodes
+    // the merged candidates, capped provenance and training stats without
+    // touching the model; a miss trains (or decodes) ϕ and re-streams the
+    // corpus, scoring each kept file's blueprints in corpus order — the
+    // same Γ_S order as live extraction.
+    let scored = engine
+        .demand(&ScoreJob {
+            source,
+            table,
+            opts,
+            fps: &fps,
+            kept: &model_kept,
+            model_key: mkey,
+            key: skey,
+        })
+        .value;
+    let crate::jobs::ScoredCorpus {
+        candidates,
+        mut provenance,
+        model_stats,
+    } = (*scored).clone();
     // Counterfactuals depend on the *merged* Γ lists, so they are attached
-    // once here — after every shard merged, warm or cold — never inside a
+    // once here — after every file merged, warm or cold — never inside a
     // cached payload.
     provenance.attach_counterfactuals(&candidates, opts.score_fn);
 
@@ -492,7 +533,7 @@ pub fn run_pipeline_cached<S: CorpusSource + ?Sized>(
     PipelineResult {
         learned,
         candidates,
-        model_stats: model.stats().clone(),
+        model_stats,
         corpus: stats,
         provenance,
     }

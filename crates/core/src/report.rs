@@ -12,7 +12,8 @@ use uspec_learn::ProvenanceIndex;
 use uspec_pta::PtaAggregate;
 use uspec_telemetry::{
     metrics, span, CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection,
-    ModelCounters, ProvenanceSection, PtaCounters, RunReport, TimingsSection,
+    JobKindStats, JobsSection, ModelCounters, ProvenanceSection, PtaCounters, RunReport,
+    TimingsSection,
 };
 
 use crate::pipeline::{PipelineOptions, PipelineResult};
@@ -72,6 +73,34 @@ pub fn provenance_section(index: &ProvenanceIndex) -> ProvenanceSection {
     section
 }
 
+/// Snapshots the job-engine counters into the report's machine-local
+/// `timings.jobs` section. All zeros when the run predates the job engine
+/// or scheduled nothing.
+pub fn jobs_section() -> JobsSection {
+    let counters = metrics::global().snapshot().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    JobsSection {
+        executed: get("jobs.executed"),
+        reused: get("jobs.reused"),
+        invalidated: get("jobs.invalidated"),
+        kinds: uspec_jobs::ALL_KINDS
+            .iter()
+            .map(|kind| {
+                let k = kind.as_str();
+                (
+                    k.to_owned(),
+                    JobKindStats {
+                        executed: get(&format!("jobs.{k}.executed")),
+                        memo_hits: get(&format!("jobs.{k}.memo_hits")),
+                        store_hits: get(&format!("jobs.{k}.store_hits")),
+                        store_misses: get(&format!("jobs.{k}.store_misses")),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
 /// Snapshots the global telemetry state into a report's [`TimingsSection`].
 /// `total_seconds` is the caller-measured end-to-end wall time.
 pub fn timings_section(total_seconds: f64) -> TimingsSection {
@@ -82,6 +111,7 @@ pub fn timings_section(total_seconds: f64) -> TimingsSection {
         gauges: snap.gauges,
         histograms: snap.histograms,
         cache: cache_section(),
+        jobs: jobs_section(),
     }
 }
 
@@ -130,15 +160,22 @@ pub fn build_run_report(
             .count() as u64,
         tau,
     };
-    // `store.*` counters describe cache behavior, which depends on what
-    // previous runs left on disk — a warm run and a cold run must still
-    // produce byte-identical invariant sections, so those counters are
-    // routed to the machine-local `timings.cache` section instead.
+    // Cache-state-dependent counters stay out of the invariant sections: a
+    // warm run and a cold run must produce byte-identical invariant bytes.
+    // `store.*` and `jobs.*` describe cache/engine behavior directly;
+    // `graph.*` counts graphs *built*, which a store hit legitimately
+    // skips; `corpus.*` counts files *generated*, and the model job only
+    // regenerates the corpus stream when it actually retrains. All of them
+    // are broken out in the machine-local `timings` section instead
+    // (`timings.cache`, `timings.jobs`), and the graph totals remain
+    // invariantly reported via `counters.corpus`, which comes from the
+    // per-file stats payloads rather than live construction.
+    const CACHE_DEPENDENT: [&str; 4] = ["store.", "jobs.", "graph.", "corpus."];
     report.counters.metrics = metrics::global()
         .snapshot()
         .counters
         .into_iter()
-        .filter(|(name, _)| !name.starts_with("store."))
+        .filter(|(name, _)| !CACHE_DEPENDENT.iter().any(|p| name.starts_with(p)))
         .collect();
 
     report.diagnostics = DiagnosticsSection {

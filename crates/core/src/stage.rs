@@ -1,33 +1,25 @@
-//! Explicit pipeline stages over corpus shards.
+//! Per-file analysis outcomes and corpus-order bookkeeping shared by the
+//! job pipeline.
 //!
-//! [`run_pipeline_streaming`](crate::run_pipeline_streaming) folds these
-//! stages over one shard at a time:
+//! The shard-granular `AnalyzeStage`/`SampleStage`/`ExtractStage` fold of
+//! earlier revisions is gone — the pipeline now schedules per-file
+//! [`crate::jobs`] through the demand-driven engine. What remains here is
+//! the vocabulary those jobs and their driver share:
 //!
-//! * [`AnalyzeStage`] — parse/lower/PTA each file of a shard into event
-//!   graphs, recording per-shard [`CorpusStats`] and structured
-//!   [`AnalysisDiagnostic`]s instead of silently dropping failures;
-//! * [`SampleStage`] — extract §4.2 training samples from a shard's graphs
-//!   with per-`(file, graph)` deterministic RNG streams;
-//! * [`ExtractStage`] — run Alg. 1 over a shard's graphs, producing a
-//!   [`CandidateSet`] mergeable across shards.
+//! * [`AnalyzedFile`] / [`FileAnalysis`] — one file's frontend outcome;
+//! * [`AnalysisDiagnostic`] — structured failure/degradation records,
+//!   capped via `max_diagnostics` instead of silently dropped;
+//! * [`DedupFilter`] — the sequential, content-ordered duplicate filter
+//!   (§7.1 dataset pruning), run at plan time so job scheduling sees only
+//!   kept files.
 //!
-//! Every stage is deterministic with respect to the *stable file index*
-//! (corpus position), never the shard layout, which is what makes the
-//! streaming pipeline's output invariant under `shard_size`.
+//! Everything here is deterministic with respect to the *stable file
+//! index* (corpus position), never the shard layout, which is what makes
+//! the pipeline's output invariant under `shard_size`.
 
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use uspec_corpus::Shard;
 use uspec_graph::EventGraph;
-use uspec_lang::registry::ApiTable;
 use uspec_lang::LangError;
-use uspec_learn::{CandidateSet, ExtractOptions, Extractor, ProvenanceIndex};
-use uspec_model::seed::mix_seed;
-use uspec_model::{extract_samples, EdgeModel, Sample, TrainOptions};
-use uspec_pta::{PtaAggregate, SpecDb};
-
-use crate::pipeline::{analyze_source_staged, CorpusStats, PipelineOptions};
+use uspec_pta::PtaAggregate;
 
 /// The frontend stage at which a file was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -77,7 +69,7 @@ pub enum DiagnosticKind {
 /// failures are still skipped (a corpus file that does not parse carries no
 /// training signal) and non-converged bodies still contribute their
 /// truncated graphs, but the *first* `max_diagnostics` records are kept in
-/// [`CorpusStats::diagnostics`] so corpus problems are visible.
+/// [`crate::CorpusStats::diagnostics`] so corpus problems are visible.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct AnalysisDiagnostic {
     /// File name as reported by the corpus source.
@@ -133,8 +125,8 @@ fn content_hash(src: &str) -> u64 {
 }
 
 /// Per-file frontend outcome: an [`AnalyzedFile`], or the stage and error
-/// that rejected the file.
-type FileAnalysis = Result<AnalyzedFile, (AnalysisStage, LangError)>;
+/// that rejected the file. The output type of the analyze job.
+pub type FileAnalysis = Result<AnalyzedFile, (AnalysisStage, LangError)>;
 
 /// One successfully analyzed file: its event graphs plus any bodies whose
 /// points-to analysis was truncated at the pass cap.
@@ -149,248 +141,9 @@ pub struct AnalyzedFile {
     pub pta: PtaAggregate,
 }
 
-/// One shard's analysis output: event graphs grouped per file, tagged with
-/// the file's stable corpus index and name (provenance records cite both).
-#[derive(Debug, Default)]
-pub struct AnalyzedShard {
-    /// `(stable file index, file name, that file's event graphs)` in corpus
-    /// order.
-    pub graphs: Vec<(usize, String, Vec<EventGraph>)>,
-}
-
-impl AnalyzedShard {
-    /// Total event graphs in the shard.
-    pub fn num_graphs(&self) -> usize {
-        self.graphs.iter().map(|(_, _, gs)| gs.len()).sum()
-    }
-}
-
-/// Stage 1: parse, lower and analyze a shard's files into event graphs
-/// (parallel across files), folding counts and capped diagnostics into a
-/// [`CorpusStats`].
-pub struct AnalyzeStage<'a> {
-    table: &'a ApiTable,
-    opts: &'a PipelineOptions,
-}
-
-impl<'a> AnalyzeStage<'a> {
-    /// Creates the stage for one pipeline configuration.
-    pub fn new(table: &'a ApiTable, opts: &'a PipelineOptions) -> AnalyzeStage<'a> {
-        AnalyzeStage { table, opts }
-    }
-
-    /// Analyzes one shard. `dedup` carries duplicate state across shards.
-    ///
-    /// Returns the shard's graphs plus a *per-shard* [`CorpusStats`] delta
-    /// — diagnostics capped at `max_diagnostics` within the shard (the
-    /// global cap is re-applied by [`CorpusStats::absorb`], and since
-    /// absorption preserves corpus order the retained set is identical to
-    /// the old direct accumulation). The delta form is what makes a shard's
-    /// analysis output self-contained and therefore cacheable.
-    pub fn run(&self, shard: &Shard, dedup: &mut DedupFilter) -> (AnalyzedShard, CorpusStats) {
-        let mut stats = CorpusStats::default();
-        let _span = uspec_telemetry::span!(
-            "stage.analyze",
-            "shard@{} files={}",
-            shard.start,
-            shard.files.len()
-        );
-        // Shard structure is a streaming-configuration detail, so it is
-        // recorded only as a histogram (reports place those under the
-        // machine-local `timings` section; a counter here would break the
-        // shard-size invariance of `counters.metrics`). The histogram's
-        // `count` is the number of shards processed.
-        uspec_telemetry::histogram!("pipeline.shard_files").record(shard.files.len() as u64);
-        // Duplicate pruning is sequential (it is stateful), analysis of the
-        // surviving files is parallel.
-        let mut kept: Vec<(usize, &str, &str)> = Vec::new();
-        for (idx, name, source) in shard.iter() {
-            if dedup.keep(source) {
-                kept.push((idx, name, source));
-            } else {
-                stats.duplicates += 1;
-            }
-        }
-
-        let results: Vec<(usize, &str, FileAnalysis)> = kept
-            .par_iter()
-            .map(|&(idx, name, source)| {
-                (
-                    idx,
-                    name,
-                    analyze_source_staged(source, self.table, &SpecDb::empty(), self.opts),
-                )
-            })
-            .collect();
-
-        let mut out = AnalyzedShard::default();
-        for (idx, name, result) in results {
-            match result {
-                Ok(file) => {
-                    stats.files += 1;
-                    stats.graphs += file.graphs.len();
-                    for g in &file.graphs {
-                        stats.events += g.num_events();
-                        stats.edges += g.num_edges();
-                    }
-                    stats.pta.merge(&file.pta);
-                    stats.non_converged += file.non_converged.len();
-                    for (func, passes) in file.non_converged {
-                        if stats.diagnostics.len() < self.opts.max_diagnostics {
-                            stats.diagnostics.push(AnalysisDiagnostic {
-                                file: name.to_owned(),
-                                kind: DiagnosticKind::NonConverged { func, passes },
-                            });
-                        }
-                    }
-                    out.graphs.push((idx, name.to_owned(), file.graphs));
-                }
-                Err((stage, error)) => {
-                    stats.failures += 1;
-                    if stats.diagnostics.len() < self.opts.max_diagnostics {
-                        stats.diagnostics.push(AnalysisDiagnostic {
-                            file: name.to_owned(),
-                            kind: DiagnosticKind::Frontend { stage, error },
-                        });
-                    }
-                }
-            }
-        }
-        stats.peak_resident_graphs = out.num_graphs();
-        uspec_telemetry::gauge!("pipeline.peak_resident_graphs")
-            .record_max(out.num_graphs() as u64);
-        (out, stats)
-    }
-}
-
-/// Stage 2: extract §4.2 training samples from an analyzed shard.
-///
-/// Each graph's RNG stream is keyed on `(stable file index, graph index
-/// within the file)` via [`mix_seed`], so the samples — and therefore the
-/// trained model — do not depend on how the corpus was sharded.
-pub struct SampleStage<'a> {
-    opts: &'a TrainOptions,
-}
-
-impl<'a> SampleStage<'a> {
-    /// Creates the stage for one training configuration.
-    pub fn new(opts: &'a TrainOptions) -> SampleStage<'a> {
-        SampleStage { opts }
-    }
-
-    /// Extracts this shard's samples, in stable corpus order.
-    pub fn run(&self, shard: &AnalyzedShard) -> Vec<Sample> {
-        let _span = uspec_telemetry::span!("stage.sample", "graphs={}", shard.num_graphs());
-        shard
-            .graphs
-            .par_iter()
-            .map(|(file_idx, _name, graphs)| {
-                let file_seed = mix_seed(self.opts.seed, *file_idx as u64);
-                let mut samples = Vec::new();
-                for (j, g) in graphs.iter().enumerate() {
-                    let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(file_seed, j as u64));
-                    samples.extend(extract_samples(g, &mut rng, self.opts));
-                }
-                samples
-            })
-            .reduce(Vec::new, |mut a, b| {
-                a.extend(b);
-                a
-            })
-    }
-}
-
-/// Splits `len` items into at most `max_chunks` chunks of at least
-/// `min_chunk` items, returning the chunk length.
-pub(crate) fn chunk_len(len: usize, max_chunks: usize, min_chunk: usize) -> usize {
-    min_chunk.max(len.div_ceil(max_chunks.max(1))).max(1)
-}
-
-/// Stage 3: run Alg. 1 candidate extraction over an analyzed shard.
-///
-/// The per-spec Γ lists come out in stable graph order: chunks preserve
-/// graph order internally and [`CandidateSet::merge`] concatenates them in
-/// chunk order, so the merged result is independent of both the chunking
-/// here and the shard size upstream.
-pub struct ExtractStage<'a> {
-    model: &'a EdgeModel,
-    opts: &'a ExtractOptions,
-}
-
-impl<'a> ExtractStage<'a> {
-    /// Creates the stage for a trained edge model.
-    pub fn new(model: &'a EdgeModel, opts: &'a ExtractOptions) -> ExtractStage<'a> {
-        ExtractStage { model, opts }
-    }
-
-    /// Extracts this shard's candidates and the provenance of every scored
-    /// induced edge. Provenance merging uses the same chunk-order discipline
-    /// as the candidate merge, and [`ProvenanceIndex::merge`] re-ranks under
-    /// a total order, so the index is invariant under chunking and shard
-    /// size just like the Γ lists.
-    pub fn run(&self, shard: &AnalyzedShard) -> (CandidateSet, ProvenanceIndex) {
-        let _span = uspec_telemetry::span!("stage.extract", "graphs={}", shard.num_graphs());
-        let graphs: Vec<(usize, &str, &EventGraph)> = shard
-            .graphs
-            .iter()
-            .flat_map(|(idx, name, gs)| gs.iter().map(move |g| (*idx, name.as_str(), g)))
-            .collect();
-        let chunks: Vec<(CandidateSet, ProvenanceIndex)> = graphs
-            .par_chunks(chunk_len(graphs.len(), 64, 16))
-            .map(|chunk| {
-                let mut ex = Extractor::new(self.model, self.opts.clone());
-                for &(idx, name, g) in chunk {
-                    ex.set_file(idx as u64, name);
-                    ex.add_graph(g);
-                }
-                ex.finish_with_provenance()
-            })
-            .collect();
-        let mut out = CandidateSet::default();
-        let mut prov = ProvenanceIndex::default();
-        for (c, p) in chunks {
-            out.merge(c);
-            prov.merge(p);
-        }
-        (out, prov)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn chunk_len_bounds_chunk_count_and_size() {
-        // At most 64 chunks...
-        for len in [
-            0,
-            1,
-            15,
-            16,
-            64,
-            100,
-            1024,
-            1025,
-            64 * 16,
-            64 * 16 + 1,
-            10_000,
-        ] {
-            let c = chunk_len(len, 64, 16);
-            assert!(c >= 1);
-            assert!(
-                len.div_ceil(c.max(1)) <= 64,
-                "len {len}: {} chunks",
-                len.div_ceil(c)
-            );
-            // ...and no chunk smaller than min unless the corpus itself is.
-            assert!(c >= 16);
-        }
-        // The old expression `64.max(len / 64 + 1)` was off by one exactly
-        // when len is a multiple of 64: for len = 64·64 it yields 65, i.e.
-        // 64 chunks of 65 — one chunk short of the intended split.
-        assert_eq!(chunk_len(64 * 64, 64, 16), 64);
-    }
 
     #[test]
     fn dedup_filter_is_content_keyed() {

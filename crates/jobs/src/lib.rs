@@ -1,0 +1,648 @@
+//! Demand-driven incremental job engine.
+//!
+//! A [`Job`] is one unit of pipeline work keyed by a content fingerprint
+//! of its *actual inputs* — file bytes plus the option fingerprints the
+//! output depends on — never by position in the corpus or by what came
+//! before it. Demanding a job resolves it through three layers:
+//!
+//! 1. **Memo table** (in-process): outputs already produced this run are
+//!    shared as `Arc`s — counted as `jobs.<kind>.memo_hits`.
+//! 2. **Durable store** (optional [`ArtifactStore`]): jobs whose
+//!    [`Job::DURABLE`] flag is set encode their output into the
+//!    content-addressed store; a later run (or a later pass of this run)
+//!    decodes it back — counted as `jobs.<kind>.store_hits`. A missing or
+//!    undecodable entry degrades to a miss (`jobs.<kind>.store_misses`).
+//! 3. **Execution**: the job's [`Job::run`] body computes the output under
+//!    a `job.<kind>` span — counted as `jobs.<kind>.executed` — and, when
+//!    durable, writes it back to the store.
+//!
+//! Because keys are content fingerprints, the dependency graph needs no
+//! persisted edge list: an edit to one file changes exactly the keys in
+//! that file's cone, and every other key resolves out of the memo table or
+//! the store untouched. The engine records the parent→child demand edges
+//! it actually observes (see [`JobEngine::dep_edges`]) for tests and
+//! debugging, not for invalidation.
+//!
+//! Suspension is structured recursion: a job that needs another job's
+//! output demands it through its [`JobCx`] and continues when the demand
+//! returns. [`JobEngine::demand_par`] fans a batch of demands across
+//! rayon workers.
+//!
+//! Determinism: the same key always resolves to the same bytes, so
+//! concurrent demands of one key may duplicate work but never diverge —
+//! the store write is atomic last-wins of identical content. Counters
+//! (`jobs.*`) reflect cache state and scheduling, so they are
+//! machine-local telemetry and must stay out of deterministic report
+//! sections.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, RwLock};
+
+use rayon::prelude::*;
+use uspec_store::{ArtifactStore, Fingerprint, Lookup};
+use uspec_telemetry::{counter, log_warn, span, SpanGuard};
+
+/// The fixed set of job kinds the pipeline schedules.
+///
+/// Kinds name telemetry rows (`job.<kind>` spans, `jobs.<kind>.*`
+/// counters), so the set is closed: the `counter!`/`span!` macros need
+/// literal names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JobKind {
+    /// Parse + lower + per-body pointer analysis + event-graph build for
+    /// one file. In-memory only: graphs are large and cheap to rebuild
+    /// relative to their serialized size.
+    Analyze,
+    /// Per-file corpus statistics delta (durable).
+    Stats,
+    /// Per-file training samples (durable).
+    Samples,
+    /// Per-file candidate-pair blueprints: pattern matches with labeled
+    /// featurizations, scorable by any model (durable).
+    Pairs,
+    /// Per-file value digests of the samples and pairs outputs — the tiny
+    /// durable record that powers early cutoff: downstream keys fold these
+    /// digests instead of file contents.
+    Digest,
+    /// The trained edge model over the whole kept corpus (durable).
+    Model,
+    /// Corpus-level scoring of every kept file's blueprints under one
+    /// model, merged in corpus order (durable).
+    Score,
+}
+
+/// Every kind, in scheduling order (for report assembly and tests).
+pub const ALL_KINDS: [JobKind; 7] = [
+    JobKind::Analyze,
+    JobKind::Stats,
+    JobKind::Samples,
+    JobKind::Pairs,
+    JobKind::Digest,
+    JobKind::Model,
+    JobKind::Score,
+];
+
+impl JobKind {
+    /// The kind's telemetry name segment.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Analyze => "analyze",
+            JobKind::Stats => "stats",
+            JobKind::Samples => "samples",
+            JobKind::Pairs => "pairs",
+            JobKind::Digest => "digest",
+            JobKind::Model => "model",
+            JobKind::Score => "score",
+        }
+    }
+
+    fn count_executed(self) {
+        counter!("jobs.executed").inc();
+        match self {
+            JobKind::Analyze => counter!("jobs.analyze.executed").inc(),
+            JobKind::Stats => counter!("jobs.stats.executed").inc(),
+            JobKind::Samples => counter!("jobs.samples.executed").inc(),
+            JobKind::Pairs => counter!("jobs.pairs.executed").inc(),
+            JobKind::Digest => counter!("jobs.digest.executed").inc(),
+            JobKind::Model => counter!("jobs.model.executed").inc(),
+            JobKind::Score => counter!("jobs.score.executed").inc(),
+        }
+    }
+
+    fn count_memo_hit(self) {
+        counter!("jobs.reused").inc();
+        match self {
+            JobKind::Analyze => counter!("jobs.analyze.memo_hits").inc(),
+            JobKind::Stats => counter!("jobs.stats.memo_hits").inc(),
+            JobKind::Samples => counter!("jobs.samples.memo_hits").inc(),
+            JobKind::Pairs => counter!("jobs.pairs.memo_hits").inc(),
+            JobKind::Digest => counter!("jobs.digest.memo_hits").inc(),
+            JobKind::Model => counter!("jobs.model.memo_hits").inc(),
+            JobKind::Score => counter!("jobs.score.memo_hits").inc(),
+        }
+    }
+
+    fn count_store_hit(self) {
+        counter!("jobs.reused").inc();
+        match self {
+            JobKind::Analyze => counter!("jobs.analyze.store_hits").inc(),
+            JobKind::Stats => counter!("jobs.stats.store_hits").inc(),
+            JobKind::Samples => counter!("jobs.samples.store_hits").inc(),
+            JobKind::Pairs => counter!("jobs.pairs.store_hits").inc(),
+            JobKind::Digest => counter!("jobs.digest.store_hits").inc(),
+            JobKind::Model => counter!("jobs.model.store_hits").inc(),
+            JobKind::Score => counter!("jobs.score.store_hits").inc(),
+        }
+    }
+
+    fn count_store_miss(self) {
+        match self {
+            JobKind::Analyze => counter!("jobs.analyze.store_misses").inc(),
+            JobKind::Stats => counter!("jobs.stats.store_misses").inc(),
+            JobKind::Samples => counter!("jobs.samples.store_misses").inc(),
+            JobKind::Pairs => counter!("jobs.pairs.store_misses").inc(),
+            JobKind::Digest => counter!("jobs.digest.store_misses").inc(),
+            JobKind::Model => counter!("jobs.model.store_misses").inc(),
+            JobKind::Score => counter!("jobs.score.store_misses").inc(),
+        }
+    }
+
+    fn exec_span(self, key: Fingerprint) -> SpanGuard {
+        match self {
+            JobKind::Analyze => span!("job.analyze", "{key}"),
+            JobKind::Stats => span!("job.stats", "{key}"),
+            JobKind::Samples => span!("job.samples", "{key}"),
+            JobKind::Pairs => span!("job.pairs", "{key}"),
+            JobKind::Digest => span!("job.digest", "{key}"),
+            JobKind::Model => span!("job.model", "{key}"),
+            JobKind::Score => span!("job.score", "{key}"),
+        }
+    }
+
+    fn decode_span(self) -> SpanGuard {
+        match self {
+            JobKind::Analyze => span!("store.decode.analyze"),
+            JobKind::Stats => span!("store.decode.stats"),
+            JobKind::Samples => span!("store.decode.samples"),
+            JobKind::Pairs => span!("store.decode.pairs"),
+            JobKind::Digest => span!("store.decode.digest"),
+            JobKind::Model => span!("store.decode.model"),
+            JobKind::Score => span!("store.decode.score"),
+        }
+    }
+}
+
+impl std::fmt::Display for JobKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One unit of tracked pipeline work.
+///
+/// The contract that makes incremental reuse sound: [`Job::key`] must
+/// cover *every* input [`Job::run`] reads — file content, option
+/// fingerprints, seeds — so equal keys imply byte-identical outputs.
+pub trait Job: Send + Sync {
+    /// The output type; shared behind an `Arc` once produced.
+    type Output: Send + Sync + 'static;
+
+    /// Whether outputs round-trip through the durable store. Durable jobs
+    /// must implement [`Job::encode`] and [`Job::decode`].
+    const DURABLE: bool = false;
+
+    /// The kind (telemetry bucket) this job belongs to.
+    fn kind(&self) -> JobKind;
+
+    /// Content fingerprint of the job's full input set.
+    fn key(&self) -> Fingerprint;
+
+    /// Computes the output. Nested inputs are demanded through `cx`.
+    fn run(&self, cx: &JobCx<'_, '_>) -> Self::Output;
+
+    /// Serializes an output for the durable store (durable jobs only).
+    fn encode(_out: &Self::Output) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Deserializes a stored output. `None` degrades to a store miss and
+    /// re-execution, so a stale or foreign payload can never poison a run.
+    fn decode(_bytes: &[u8]) -> Option<Self::Output> {
+        None
+    }
+}
+
+/// How a demand was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Found in the in-process memo table.
+    MemoHit,
+    /// Decoded from the durable store.
+    StoreHit,
+    /// Computed by running the job body.
+    Executed,
+}
+
+/// A resolved demand: the shared output plus how it was obtained.
+pub struct Resolved<T> {
+    /// The job's output.
+    pub value: Arc<T>,
+    /// Which layer satisfied the demand.
+    pub outcome: Outcome,
+}
+
+impl<T> Clone for Resolved<T> {
+    fn clone(&self) -> Self {
+        Resolved {
+            value: Arc::clone(&self.value),
+            outcome: self.outcome,
+        }
+    }
+}
+
+/// One observed parent→child demand edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Demanding job, `None` when demanded from the driver.
+    pub parent: Option<(JobKind, Fingerprint)>,
+    /// Demanded job.
+    pub child: (JobKind, Fingerprint),
+}
+
+enum Entry {
+    Resident(Arc<dyn Any + Send + Sync>),
+}
+
+/// Execution context passed to a running job so it can demand its inputs;
+/// nested demands are recorded as dependency edges.
+pub struct JobCx<'e, 's> {
+    engine: &'e JobEngine<'s>,
+    me: (JobKind, Fingerprint),
+}
+
+impl JobCx<'_, '_> {
+    /// Demands `job` as an input of the running job.
+    pub fn demand<J: Job>(&self, job: &J) -> Resolved<J::Output> {
+        self.engine.demand_from(Some(self.me), job)
+    }
+
+    /// Demands every job in `jobs` across rayon workers, preserving order;
+    /// each is recorded as an input of the running job.
+    pub fn demand_par<J: Job>(&self, jobs: &[J]) -> Vec<Resolved<J::Output>> {
+        jobs.par_iter()
+            .map(|j| self.engine.demand_from(Some(self.me), j))
+            .collect()
+    }
+}
+
+/// The demand-driven executor: memo table, durable backing store, forced
+/// re-execution set, and observed dependency edges.
+pub struct JobEngine<'s> {
+    store: Option<&'s ArtifactStore>,
+    memo: RwLock<HashMap<Fingerprint, Entry>>,
+    forced: RwLock<HashSet<Fingerprint>>,
+    deps: Mutex<Vec<DepEdge>>,
+}
+
+impl<'s> JobEngine<'s> {
+    /// A fresh engine. With `store: None` every durable output stays
+    /// memo-resident for the lifetime of the engine; with a store, durable
+    /// outputs also survive into later runs.
+    pub fn new(store: Option<&'s ArtifactStore>) -> JobEngine<'s> {
+        JobEngine {
+            store,
+            memo: RwLock::new(HashMap::new()),
+            forced: RwLock::new(HashSet::new()),
+            deps: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The backing store, if any.
+    pub fn store(&self) -> Option<&'s ArtifactStore> {
+        self.store
+    }
+
+    /// Marks `key` for forced re-execution: its first demand skips the
+    /// memo table and the store, runs the job body, and (for durable jobs)
+    /// rewrites the store entry. Belt-and-suspenders for inputs the user
+    /// asserts have changed even if fingerprints say otherwise.
+    pub fn force(&self, key: Fingerprint) {
+        self.forced
+            .write()
+            .expect("forced set poisoned")
+            .insert(key);
+    }
+
+    /// Demands a job from the driver (no parent).
+    pub fn demand<J: Job>(&self, job: &J) -> Resolved<J::Output> {
+        self.demand_from(None, job)
+    }
+
+    /// Demands every job in `jobs` across rayon workers, preserving order.
+    pub fn demand_par<J: Job>(&self, jobs: &[J]) -> Vec<Resolved<J::Output>> {
+        jobs.par_iter().map(|j| self.demand(j)).collect()
+    }
+
+    /// Drops the memo entries for `keys` (typically analyze outputs at a
+    /// shard boundary, bounding resident graphs to one shard's worth).
+    /// Durable outputs remain recoverable from the store; non-durable ones
+    /// recompute on next demand.
+    pub fn evict(&self, keys: impl IntoIterator<Item = Fingerprint>) {
+        let mut memo = self.memo.write().expect("memo table poisoned");
+        for key in keys {
+            memo.remove(&key);
+        }
+    }
+
+    /// The parent→child demand edges observed so far, in completion order.
+    pub fn dep_edges(&self) -> Vec<DepEdge> {
+        self.deps.lock().expect("dep edges poisoned").clone()
+    }
+
+    fn demand_from<J: Job>(
+        &self,
+        parent: Option<(JobKind, Fingerprint)>,
+        job: &J,
+    ) -> Resolved<J::Output> {
+        let kind = job.kind();
+        let key = job.key();
+        self.deps.lock().expect("dep edges poisoned").push(DepEdge {
+            parent,
+            child: (kind, key),
+        });
+
+        let forced = self
+            .forced
+            .write()
+            .expect("forced set poisoned")
+            .remove(&key);
+        if !forced {
+            if let Some(Entry::Resident(any)) =
+                self.memo.read().expect("memo table poisoned").get(&key)
+            {
+                let value = Arc::clone(any)
+                    .downcast::<J::Output>()
+                    .expect("job key resolved to a foreign output type");
+                kind.count_memo_hit();
+                return Resolved {
+                    value,
+                    outcome: Outcome::MemoHit,
+                };
+            }
+            if J::DURABLE {
+                if let Some(store) = self.store {
+                    let lookup = store.get(key);
+                    if let Lookup::Hit(bytes) = lookup {
+                        let decoded = {
+                            let _span = kind.decode_span();
+                            J::decode(&bytes)
+                        };
+                        if let Some(out) = decoded {
+                            let value = Arc::new(out);
+                            self.remember(key, &value);
+                            kind.count_store_hit();
+                            return Resolved {
+                                value,
+                                outcome: Outcome::StoreHit,
+                            };
+                        }
+                        log_warn!("undecodable store entry for {kind} job {key}; recomputing");
+                    }
+                    kind.count_store_miss();
+                }
+            }
+        }
+
+        let out = {
+            let _span = kind.exec_span(key);
+            kind.count_executed();
+            job.run(&JobCx {
+                engine: self,
+                me: (kind, key),
+            })
+        };
+        let value = Arc::new(out);
+        if J::DURABLE {
+            if let Some(store) = self.store {
+                match J::encode(&value) {
+                    Some(bytes) => {
+                        if let Err(e) = store.put(key, &bytes) {
+                            log_warn!("failed to store {kind} job {key}: {e}");
+                        }
+                    }
+                    None => log_warn!("durable {kind} job {key} produced no encoding"),
+                }
+            }
+        }
+        self.remember(key, &value);
+        Resolved {
+            value,
+            outcome: Outcome::Executed,
+        }
+    }
+
+    fn remember<T: Send + Sync + 'static>(&self, key: Fingerprint, value: &Arc<T>) {
+        let any: Arc<dyn Any + Send + Sync> = Arc::clone(value) as Arc<dyn Any + Send + Sync>;
+        self.memo
+            .write()
+            .expect("memo table poisoned")
+            .insert(key, Entry::Resident(any));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use uspec_store::fingerprint_str;
+
+    struct Doubler<'a> {
+        input: u64,
+        runs: &'a AtomicU64,
+    }
+
+    impl Job for Doubler<'_> {
+        type Output = u64;
+        const DURABLE: bool = true;
+
+        fn kind(&self) -> JobKind {
+            JobKind::Stats
+        }
+
+        fn key(&self) -> Fingerprint {
+            fingerprint_str(&format!("doubler:{}", self.input))
+        }
+
+        fn run(&self, _cx: &JobCx<'_, '_>) -> u64 {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.input * 2
+        }
+
+        fn encode(out: &u64) -> Option<Vec<u8>> {
+            Some(out.to_le_bytes().to_vec())
+        }
+
+        fn decode(bytes: &[u8]) -> Option<u64> {
+            Some(u64::from_le_bytes(bytes.try_into().ok()?))
+        }
+    }
+
+    /// A job that demands another job through its context.
+    struct Chained<'a> {
+        input: u64,
+        runs: &'a AtomicU64,
+        inner_runs: &'a AtomicU64,
+    }
+
+    impl Job for Chained<'_> {
+        type Output = u64;
+
+        fn kind(&self) -> JobKind {
+            JobKind::Score
+        }
+
+        fn key(&self) -> Fingerprint {
+            fingerprint_str(&format!("chained:{}", self.input))
+        }
+
+        fn run(&self, cx: &JobCx<'_, '_>) -> u64 {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            let doubled = cx.demand(&Doubler {
+                input: self.input,
+                runs: self.inner_runs,
+            });
+            *doubled.value + 1
+        }
+    }
+
+    fn tmp_store(name: &str) -> (std::path::PathBuf, ArtifactStore) {
+        let dir =
+            std::env::temp_dir().join(format!("uspec-jobs-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn demand_memoizes_within_a_run() {
+        let runs = AtomicU64::new(0);
+        let engine = JobEngine::new(None);
+        let job = Doubler {
+            input: 21,
+            runs: &runs,
+        };
+        let first = engine.demand(&job);
+        assert_eq!(*first.value, 42);
+        assert_eq!(first.outcome, Outcome::Executed);
+        let second = engine.demand(&job);
+        assert_eq!(*second.value, 42);
+        assert_eq!(second.outcome, Outcome::MemoHit);
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn durable_outputs_survive_into_a_new_engine() {
+        let (dir, store) = tmp_store("durable");
+        let runs = AtomicU64::new(0);
+        {
+            let engine = JobEngine::new(Some(&store));
+            let r = engine.demand(&Doubler {
+                input: 7,
+                runs: &runs,
+            });
+            assert_eq!(r.outcome, Outcome::Executed);
+        }
+        let engine = JobEngine::new(Some(&store));
+        let r = engine.demand(&Doubler {
+            input: 7,
+            runs: &runs,
+        });
+        assert_eq!(*r.value, 14);
+        assert_eq!(r.outcome, Outcome::StoreHit, "second run decodes the store");
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_entry_degrades_to_execution_and_heals() {
+        let (dir, store) = tmp_store("corrupt");
+        let runs = AtomicU64::new(0);
+        let job = Doubler {
+            input: 5,
+            runs: &runs,
+        };
+        {
+            let engine = JobEngine::new(Some(&store));
+            engine.demand(&job);
+        }
+        let path = store.object_path(job.key());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let engine = JobEngine::new(Some(&store));
+        let r = engine.demand(&job);
+        assert_eq!(*r.value, 10);
+        assert_eq!(r.outcome, Outcome::Executed, "corruption re-executes");
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+        // The re-execution rewrote the entry.
+        let engine = JobEngine::new(Some(&store));
+        assert_eq!(engine.demand(&job).outcome, Outcome::StoreHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn force_bypasses_memo_and_store_once() {
+        let (dir, store) = tmp_store("force");
+        let runs = AtomicU64::new(0);
+        let job = Doubler {
+            input: 9,
+            runs: &runs,
+        };
+        let engine = JobEngine::new(Some(&store));
+        engine.demand(&job);
+        engine.force(job.key());
+        let r = engine.demand(&job);
+        assert_eq!(r.outcome, Outcome::Executed, "forced demand re-runs");
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+        // The force is consumed: the next demand memoizes again.
+        assert_eq!(engine.demand(&job).outcome, Outcome::MemoHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_recomputes_non_durable_and_redecodes_durable() {
+        let (dir, store) = tmp_store("evict");
+        let runs = AtomicU64::new(0);
+        let job = Doubler {
+            input: 3,
+            runs: &runs,
+        };
+        let engine = JobEngine::new(Some(&store));
+        engine.demand(&job);
+        engine.evict([job.key()]);
+        let r = engine.demand(&job);
+        assert_eq!(r.outcome, Outcome::StoreHit, "durable output redecodes");
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nested_demands_record_dependency_edges() {
+        let runs = AtomicU64::new(0);
+        let inner_runs = AtomicU64::new(0);
+        let engine = JobEngine::new(None);
+        let job = Chained {
+            input: 10,
+            runs: &runs,
+            inner_runs: &inner_runs,
+        };
+        let r = engine.demand(&job);
+        assert_eq!(*r.value, 21);
+        let edges = engine.dep_edges();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].parent, None);
+        assert_eq!(edges[0].child.0, JobKind::Score);
+        assert_eq!(edges[1].parent, Some(edges[0].child));
+        assert_eq!(edges[1].child.0, JobKind::Stats);
+    }
+
+    #[test]
+    fn demand_par_preserves_order() {
+        let runs = AtomicU64::new(0);
+        let engine = JobEngine::new(None);
+        let jobs: Vec<Doubler<'_>> = (0..32)
+            .map(|i| Doubler {
+                input: i,
+                runs: &runs,
+            })
+            .collect();
+        let results = engine.demand_par(&jobs);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.value, (i as u64) * 2);
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), 32);
+    }
+}

@@ -1,0 +1,275 @@
+//! Model-independent pair blueprints: the enumeration half of Alg. 1.
+//!
+//! Candidate extraction factors into two stages with very different
+//! inputs. *Enumeration* — walking `A_G`, matching the store/retrieve
+//! patterns, collecting induced edges and their labeled featurizations —
+//! depends only on a file's event graphs and the extraction options.
+//! *Scoring* — applying ψ to each induced edge — additionally depends on
+//! the trained model. Splitting them lets the incremental pipeline cache
+//! blueprints per file and re-score them under a fresh model without
+//! touching the event graphs at all, which is what makes a single-file
+//! edit cheap: every unchanged file re-enters extraction as a decoded
+//! blueprint, not a rebuilt graph.
+//!
+//! [`Extractor`](crate::Extractor) is reimplemented on top of this module
+//! (enumerate, then score immediately), so live and cached extraction
+//! share one enumeration and one scoring path by construction — there is
+//! no second implementation to drift.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use uspec_graph::{EventGraph, EventId, Pos};
+use uspec_model::{EdgeModel, LabeledToken};
+use uspec_pta::Spec;
+
+use crate::extract::{CandidateSet, ExtractOptions};
+use crate::matching::{induced_edges, match_patterns, match_ret_recv, PatternMatch};
+use crate::provenance::{EvidenceKey, EvidenceRecord, ProvenanceIndex};
+
+/// Everything needed to score one induced edge later: the featurization
+/// (position-pair key plus labeled tokens) and the provenance metadata of
+/// the match it came from. File identity is *not* part of a blueprint —
+/// the scorer stamps it on, so blueprints are content-addressed by file
+/// bytes alone and survive renames and corpus reordering.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairBlueprint {
+    /// The candidate specification this edge supports.
+    pub spec: Spec,
+    /// Position code of the edge's source event.
+    pub x1: u8,
+    /// Position code of the edge's destination event.
+    pub x2: u8,
+    /// Labeled tokens of the censored featurization, exactly what
+    /// [`EdgeModel::explain_tokens`] consumes.
+    pub tokens: Vec<LabeledToken>,
+    /// Evidence key with `file` left 0; the scorer fills it in.
+    pub key: EvidenceKey,
+    /// Source line of the edge's source event.
+    pub line_src: u32,
+    /// Source line of the edge's destination event.
+    pub line_dst: u32,
+    /// Pattern kind name (`RetSame` / `RetArg` / `RetRecv`).
+    pub kind: String,
+    /// Rendering of the source event (`method@pos`).
+    pub src_event: String,
+    /// Rendering of the destination event (`method@pos`).
+    pub dst_event: String,
+}
+
+/// The complete model-independent extraction state of one file: induced
+/// edges in enumeration order plus the counters Alg. 1 accumulates before
+/// any scoring happens.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FileBlueprints {
+    /// Scorable induced edges, in `A_G` enumeration order.
+    pub edges: Vec<PairBlueprint>,
+    /// Per-candidate pattern-match counts, in `Spec` order. A pair list
+    /// rather than a map: blueprints are durable cache payloads, and JSON
+    /// objects require string keys while [`Spec`] is structured.
+    pub match_counts: Vec<(Spec, usize)>,
+    /// Matches skipped for inducing zero or too many edges.
+    pub skipped_multi_edge: usize,
+    /// Call-site pairs examined (|A_G| summed over the file's graphs).
+    pub pairs_examined: usize,
+}
+
+/// Streaming blueprint builder: feed one file's event graphs in order,
+/// then take the [`FileBlueprints`].
+#[derive(Debug)]
+pub struct BlueprintExtractor {
+    opts: ExtractOptions,
+    full_contexts: bool,
+    context_depth: usize,
+    counts: BTreeMap<Spec, usize>,
+    out: FileBlueprints,
+}
+
+impl BlueprintExtractor {
+    /// Creates a builder. `full_contexts` and `context_depth` must match
+    /// the training options of whatever model will score the blueprints —
+    /// they pin the featurization, which is captured here rather than at
+    /// scoring time.
+    pub fn new(opts: ExtractOptions, full_contexts: bool, context_depth: usize) -> Self {
+        BlueprintExtractor {
+            opts,
+            full_contexts,
+            context_depth,
+            counts: BTreeMap::new(),
+            out: FileBlueprints::default(),
+        }
+    }
+
+    /// Processes one event graph (the enumeration half of Alg. 1's loop
+    /// body).
+    pub fn add_graph(&mut self, g: &EventGraph) {
+        if self.opts.enable_ret_recv {
+            let sites: Vec<_> = g.api_sites().map(|(s, _)| s).collect();
+            for m in sites {
+                if let Some(pm) = match_ret_recv(g, m) {
+                    if !(self.opts.skip_unknown_class && pm.spec.class().as_str() == "?") {
+                        self.record_match(g, pm);
+                    }
+                }
+            }
+        }
+        // A_G: call-site pairs (m1, m2) whose receiver events are connected
+        // by an edge ⟨m2,0⟩ → ⟨m1,0⟩ within the distance bound.
+        for (m1, _info1) in g.api_sites() {
+            let Some(recv1) = g.event_id(m1, Pos::Recv) else {
+                continue;
+            };
+            for &p in g.parents(recv1) {
+                let pe = g.event(p);
+                if pe.pos != Pos::Recv {
+                    continue;
+                }
+                let m2 = pe.site;
+                if g.edge_distance(p, recv1)
+                    .is_none_or(|d| d > self.opts.max_receiver_distance)
+                {
+                    continue;
+                }
+                self.out.pairs_examined += 1;
+                for pm in match_patterns(g, m1, m2) {
+                    if self.opts.skip_unknown_class && pm.spec.class().as_str() == "?" {
+                        continue;
+                    }
+                    self.record_match(g, pm);
+                }
+            }
+        }
+    }
+
+    /// Records one pattern match: counts it and captures blueprints for
+    /// its induced edges (Alg. 1 line 6, with the small-cap relaxation).
+    fn record_match(&mut self, g: &EventGraph, pm: PatternMatch) {
+        *self.counts.entry(pm.spec).or_default() += 1;
+        let edges = induced_edges(g, &pm);
+        if edges.is_empty() || edges.len() > self.opts.max_induced_edges {
+            self.out.skipped_multi_edge += 1;
+            return;
+        }
+        for (e1, e2) in edges {
+            self.out.edges.push(self.blueprint(g, &pm, e1, e2));
+        }
+    }
+
+    /// Captures one induced edge: featurization plus provenance metadata.
+    fn blueprint(
+        &self,
+        g: &EventGraph,
+        pm: &PatternMatch,
+        e1: EventId,
+        e2: EventId,
+    ) -> PairBlueprint {
+        let f =
+            uspec_model::featurize_labeled(g, e1, e2, true, self.full_contexts, self.context_depth);
+        let desc = |e: EventId| {
+            let ev = g.event(e);
+            let (method, line) = g
+                .site_info(ev.site)
+                .map(|i| (i.method.qualified(), i.line))
+                .unwrap_or_else(|| ("?".to_owned(), 0));
+            (format!("{method}@{}", ev.pos), line)
+        };
+        let (src_event, line_src) = desc(e1);
+        let (dst_event, line_dst) = desc(e2);
+        let kind = match pm.spec {
+            Spec::RetSame { .. } => "RetSame",
+            Spec::RetArg { .. } => "RetArg",
+            Spec::RetRecv { .. } => "RetRecv",
+        };
+        PairBlueprint {
+            spec: pm.spec,
+            x1: f.x1,
+            x2: f.x2,
+            tokens: f.tokens,
+            key: EvidenceKey {
+                file: 0,
+                m1_node: pm.m1.node.0,
+                m1_ctx: pm.m1.ctx.0,
+                m2_node: pm.m2.node.0,
+                m2_ctx: pm.m2.ctx.0,
+                e1: e1.0,
+                e2: e2.0,
+            },
+            line_src,
+            line_dst,
+            kind: kind.to_owned(),
+            src_event,
+            dst_event,
+        }
+    }
+
+    /// Finishes enumeration.
+    pub fn finish(self) -> FileBlueprints {
+        let mut out = self.out;
+        out.match_counts = self.counts.into_iter().collect();
+        out
+    }
+}
+
+/// Scores one file's blueprints under `model`, stamping `file_index` /
+/// `file_name` onto the evidence, and merges the result into `set` and
+/// `provenance`. Edge order — and therefore `Γ_S` order — is blueprint
+/// order, which is `A_G` enumeration order.
+pub fn score_blueprints_into(
+    model: &EdgeModel,
+    file_index: u64,
+    file_name: &str,
+    blueprints: &FileBlueprints,
+    set: &mut CandidateSet,
+    provenance: &mut ProvenanceIndex,
+) {
+    for &(spec, n) in &blueprints.match_counts {
+        *set.match_counts.entry(spec).or_default() += n;
+    }
+    set.skipped_multi_edge += blueprints.skipped_multi_edge;
+    set.pairs_examined += blueprints.pairs_examined;
+    for bp in &blueprints.edges {
+        match model.explain_tokens((bp.x1, bp.x2), &bp.tokens) {
+            Some(exp) => {
+                set.confidences.entry(bp.spec).or_default().push(exp.conf);
+                let rec = EvidenceRecord {
+                    key: EvidenceKey {
+                        file: file_index,
+                        ..bp.key
+                    },
+                    file: file_name.to_owned(),
+                    line_src: bp.line_src,
+                    line_dst: bp.line_dst,
+                    kind: bp.kind.clone(),
+                    src_event: bp.src_event.clone(),
+                    dst_event: bp.dst_event.clone(),
+                    conf: exp.conf,
+                    margin: exp.margin,
+                    bias: exp.bias,
+                    contributions: exp.contributions,
+                };
+                provenance.record(bp.spec, rec);
+            }
+            None => set.skipped_no_model += 1,
+        }
+    }
+}
+
+/// Convenience wrapper: score a file's blueprints into fresh accumulators.
+pub fn score_blueprints(
+    model: &EdgeModel,
+    file_index: u64,
+    file_name: &str,
+    blueprints: &FileBlueprints,
+) -> (CandidateSet, ProvenanceIndex) {
+    let mut set = CandidateSet::default();
+    let mut provenance = ProvenanceIndex::default();
+    score_blueprints_into(
+        model,
+        file_index,
+        file_name,
+        blueprints,
+        &mut set,
+        &mut provenance,
+    );
+    (set, provenance)
+}

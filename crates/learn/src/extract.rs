@@ -1,12 +1,12 @@
 //! Candidate extraction over a corpus of event graphs — Alg. 1 of the paper.
 
 use std::collections::BTreeMap;
-use uspec_graph::{EventGraph, EventId, Pos};
-use uspec_model::{EdgeModel, PairExplanation};
+use uspec_graph::EventGraph;
+use uspec_model::EdgeModel;
 use uspec_pta::Spec;
 
-use crate::matching::{induced_edges, match_patterns, match_ret_recv, PatternMatch};
-use crate::provenance::{EvidenceKey, EvidenceRecord, ProvenanceIndex};
+use crate::blueprint::{score_blueprints_into, BlueprintExtractor};
+use crate::provenance::ProvenanceIndex;
 
 /// Options for candidate extraction.
 #[derive(Clone, Debug)]
@@ -123,118 +123,25 @@ impl<'m> Extractor<'m> {
         self.file = (index, name.to_owned());
     }
 
-    /// Processes one event graph (the loop body of Alg. 1).
+    /// Processes one event graph (the loop body of Alg. 1): enumerates its
+    /// pair blueprints, then scores them immediately. Enumeration and
+    /// scoring are the exact same code paths the incremental pipeline uses
+    /// on cached blueprints, so live and replayed extraction cannot drift.
     pub fn add_graph(&mut self, g: &EventGraph) {
-        if self.opts.enable_ret_recv {
-            let sites: Vec<_> = g.api_sites().map(|(s, _)| s).collect();
-            for m in sites {
-                if let Some(pm) = match_ret_recv(g, m) {
-                    if !(self.opts.skip_unknown_class && pm.spec.class().as_str() == "?") {
-                        self.record_match(g, pm);
-                    }
-                }
-            }
-        }
-        // A_G: call-site pairs (m1, m2) whose receiver events are connected
-        // by an edge ⟨m2,0⟩ → ⟨m1,0⟩ within the distance bound.
-        for (m1, _info1) in g.api_sites() {
-            let Some(recv1) = g.event_id(m1, Pos::Recv) else {
-                continue;
-            };
-            for &p in g.parents(recv1) {
-                let pe = g.event(p);
-                if pe.pos != Pos::Recv {
-                    continue;
-                }
-                let m2 = pe.site;
-                if g.edge_distance(p, recv1)
-                    .is_none_or(|d| d > self.opts.max_receiver_distance)
-                {
-                    continue;
-                }
-                self.set.pairs_examined += 1;
-                for pm in match_patterns(g, m1, m2) {
-                    if self.opts.skip_unknown_class && pm.spec.class().as_str() == "?" {
-                        continue;
-                    }
-                    self.record_match(g, pm);
-                }
-            }
-        }
-    }
-
-    /// Records one pattern match: counts it and scores its induced edges
-    /// (Alg. 1 line 6, with the small-cap relaxation). Each scored edge's
-    /// explanation — same confidence as `predict_pair`, plus the logit
-    /// decomposition — feeds both `Γ_S` and the provenance index.
-    fn record_match(&mut self, g: &EventGraph, pm: PatternMatch) {
-        *self.set.match_counts.entry(pm.spec).or_default() += 1;
-        let edges = induced_edges(g, &pm);
-        if edges.is_empty() || edges.len() > self.opts.max_induced_edges {
-            self.set.skipped_multi_edge += 1;
-            return;
-        }
-        for (e1, e2) in edges {
-            match self.model.explain_pair(g, e1, e2) {
-                Some(exp) => {
-                    self.set
-                        .confidences
-                        .entry(pm.spec)
-                        .or_default()
-                        .push(exp.conf);
-                    let rec = self.evidence_record(g, &pm, e1, e2, exp);
-                    self.provenance.record(pm.spec, rec);
-                }
-                None => self.set.skipped_no_model += 1,
-            }
-        }
-    }
-
-    /// Builds the provenance record of one scored induced edge.
-    fn evidence_record(
-        &self,
-        g: &EventGraph,
-        pm: &PatternMatch,
-        e1: EventId,
-        e2: EventId,
-        exp: PairExplanation,
-    ) -> EvidenceRecord {
-        let desc = |e: EventId| {
-            let ev = g.event(e);
-            let (method, line) = g
-                .site_info(ev.site)
-                .map(|i| (i.method.qualified(), i.line))
-                .unwrap_or_else(|| ("?".to_owned(), 0));
-            (format!("{method}@{}", ev.pos), line)
-        };
-        let (src_event, line_src) = desc(e1);
-        let (dst_event, line_dst) = desc(e2);
-        let kind = match pm.spec {
-            Spec::RetSame { .. } => "RetSame",
-            Spec::RetArg { .. } => "RetArg",
-            Spec::RetRecv { .. } => "RetRecv",
-        };
-        EvidenceRecord {
-            key: EvidenceKey {
-                file: self.file.0,
-                m1_node: pm.m1.node.0,
-                m1_ctx: pm.m1.ctx.0,
-                m2_node: pm.m2.node.0,
-                m2_ctx: pm.m2.ctx.0,
-                e1: e1.0,
-                e2: e2.0,
-            },
-            file: self.file.1.clone(),
-            line_src,
-            line_dst,
-            kind: kind.to_owned(),
-            src_event,
-            dst_event,
-            conf: exp.conf,
-            margin: exp.margin,
-            bias: exp.bias,
-            contributions: exp.contributions,
-        }
+        let mut bp = BlueprintExtractor::new(
+            self.opts.clone(),
+            self.model.full_contexts(),
+            self.model.context_depth(),
+        );
+        bp.add_graph(g);
+        score_blueprints_into(
+            self.model,
+            self.file.0,
+            &self.file.1,
+            &bp.finish(),
+            &mut self.set,
+            &mut self.provenance,
+        );
     }
 
     /// Finishes extraction, keeping only the candidate set.

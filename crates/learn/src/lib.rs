@@ -5,6 +5,10 @@
 //! * [`matching`] — the hypothesis class: `RetSame(s)` / `RetArg(t, s, x)`
 //!   pattern matching (conditions C1–C4 / C1'–C4') and the edges each match
 //!   *induces*.
+//! * [`blueprint`] — the model-independent half of Alg. 1: per-file pair
+//!   blueprints (pattern matches, induced edges, labeled featurizations)
+//!   that any trained model can score later, enabling cached re-scoring
+//!   in the incremental pipeline.
 //! * [`extract`] — Alg. 1: enumerate same-receiver call-site pairs within a
 //!   bounded event-graph distance, instantiate candidates, and query the
 //!   probabilistic model for each induced edge's confidence, accumulating
@@ -22,11 +26,15 @@
 
 #![warn(missing_docs)]
 
+pub mod blueprint;
 pub mod extract;
 pub mod matching;
 pub mod provenance;
 pub mod scoring;
 
+pub use blueprint::{
+    score_blueprints, score_blueprints_into, BlueprintExtractor, FileBlueprints, PairBlueprint,
+};
 pub use extract::{extract_candidates, CandidateSet, ExtractOptions, Extractor};
 pub use matching::{induced_edges, match_patterns, PatternMatch};
 pub use provenance::{

@@ -103,7 +103,9 @@ pub fn featurize_depth(
 
 /// One hashed token together with a human-readable description of what it
 /// encodes. Produced by [`featurize_labeled`] for provenance explanations.
-#[derive(Clone, Debug, PartialEq)]
+/// Serializable so cached pair blueprints can carry the labeled tokens of
+/// an induced edge for later model application.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LabeledToken {
     /// The hashed token, identical to the one [`featurize_depth`] emits.
     pub token: u64,

@@ -280,10 +280,21 @@ impl EdgeModel {
         e2: EventId,
     ) -> Option<PairExplanation> {
         let f = featurize_labeled(g, e1, e2, true, self.full_contexts, self.context_depth);
-        let m = self.models.get(&(f.x1, f.x2))?;
-        let tokens: Vec<u64> = f.tokens.iter().map(|t| t.token).collect();
-        let mut contributions: Vec<(String, f32)> = f
-            .tokens
+        self.explain_tokens((f.x1, f.x2), &f.tokens)
+    }
+
+    /// Explanation from pre-extracted labeled tokens — the scoring core of
+    /// [`explain_pair`](EdgeModel::explain_pair), split out so cached pair
+    /// blueprints (tokens captured at enumeration time, model applied
+    /// later) score through the exact same arithmetic as live extraction.
+    pub fn explain_tokens(
+        &self,
+        key: (u8, u8),
+        labeled: &[crate::features::LabeledToken],
+    ) -> Option<PairExplanation> {
+        let m = self.models.get(&key)?;
+        let tokens: Vec<u64> = labeled.iter().map(|t| t.token).collect();
+        let mut contributions: Vec<(String, f32)> = labeled
             .iter()
             .map(|t| (t.label.clone(), m.weight_of(t.token)))
             .collect();
@@ -348,6 +359,16 @@ impl EdgeModel {
     /// Number of position-pair models.
     pub fn num_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// Whether featurization uses full calling contexts.
+    pub fn full_contexts(&self) -> bool {
+        self.full_contexts
+    }
+
+    /// Context truncation depth used by featurization.
+    pub fn context_depth(&self) -> usize {
+        self.context_depth
     }
 }
 

@@ -263,6 +263,51 @@ impl ArtifactStore {
         Ok(report)
     }
 
+    /// On-disk path of a mutable ref slot.
+    fn ref_path(&self, slot: Fingerprint) -> PathBuf {
+        let hex = slot.hex();
+        self.root
+            .join("refs")
+            .join(&hex[..2])
+            .join(format!("{}.ref", &hex[2..]))
+    }
+
+    /// Points the mutable ref `slot` at `key` (atomic temp file + rename).
+    ///
+    /// Refs are the store's only mutable state: named pointers from a
+    /// stable *slot* fingerprint (e.g. "content of corpus file #17") to
+    /// the content fingerprint last observed there. The job graph compares
+    /// them across runs to count invalidations and detect changed files.
+    /// Unlike objects they are not content-addressed, so they are excluded
+    /// from the `store.*` cache counters, from `verify`, and from `gc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a failed write leaves no partial ref behind.
+    pub fn set_ref(&self, slot: Fingerprint, key: Fingerprint) -> io::Result<()> {
+        let path = self.ref_path(slot);
+        let dir = path.parent().expect("ref path has a parent");
+        fs::create_dir_all(dir)?;
+        let temp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.temp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = fs::write(&temp, key.hex());
+        let renamed = written.and_then(|()| fs::rename(&temp, &path));
+        if renamed.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        renamed
+    }
+
+    /// Reads the key the ref `slot` currently points at. Total: a missing
+    /// or malformed ref is `None`.
+    pub fn get_ref(&self, slot: Fingerprint) -> Option<Fingerprint> {
+        let bytes = fs::read(self.ref_path(slot)).ok()?;
+        Fingerprint::from_hex(std::str::from_utf8(&bytes).ok()?.trim())
+    }
+
     /// Evicts least-recently-used entries (oldest mtime first; path order
     /// breaks ties) until total size is at most `max_bytes`.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
@@ -446,6 +491,26 @@ mod tests {
         assert_eq!(report.ok, 1);
         assert_eq!(report.corrupt.len(), 1);
         assert!(report.corrupt[0].1.contains("key"), "{report:?}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn refs_are_mutable_named_pointers() {
+        let store = tmp_store("refs");
+        let slot = fingerprint_str("slot:file:17");
+        assert_eq!(store.get_ref(slot), None, "unset ref reads as None");
+        let k1 = fingerprint_str("content v1");
+        let k2 = fingerprint_str("content v2");
+        store.set_ref(slot, k1).unwrap();
+        assert_eq!(store.get_ref(slot), Some(k1));
+        store.set_ref(slot, k2).unwrap();
+        assert_eq!(store.get_ref(slot), Some(k2), "refs overwrite in place");
+        // Refs live outside the object namespace: stats/verify ignore them.
+        assert_eq!(store.stats().unwrap().entries, 0);
+        assert_eq!(store.verify().unwrap().ok, 0);
+        // A malformed ref degrades to None.
+        fs::write(store.ref_path(slot), "not hex").unwrap();
+        assert_eq!(store.get_ref(slot), None);
         let _ = fs::remove_dir_all(store.root());
     }
 

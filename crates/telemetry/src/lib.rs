@@ -37,8 +37,8 @@ pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use report::{
     CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection, InvariantSections,
-    ModelCounters, ProvenanceSection, PtaCounters, ReportCounters, RunReport, TimingsSection,
-    REPORT_SCHEMA_VERSION,
+    JobKindStats, JobsSection, ModelCounters, ProvenanceSection, PtaCounters, ReportCounters,
+    RunReport, TimingsSection, REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanAgg, SpanGuard, SpanStat};
 

@@ -26,8 +26,9 @@ use crate::span::SpanStat;
 ///
 /// History: 1 — initial schema; 2 — `timings` gained the `cache` section
 /// (artifact-store activity); 3 — invariant `provenance` section (per-spec
-/// evidence accounting).
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// evidence accounting); 4 — `timings` gained the `jobs` section
+/// (demand-driven job-engine activity).
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// Top-level run report. See the module docs for the determinism split.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -174,6 +175,41 @@ pub struct TimingsSection {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Artifact-store activity of this run.
     pub cache: CacheSection,
+    /// Job-engine activity of this run.
+    pub jobs: JobsSection,
+}
+
+/// Demand-driven job-engine activity. Lives under `timings` for the same
+/// reason as [`CacheSection`]: how many jobs execute versus resolve from
+/// the memo table or the store depends on what previous runs left behind,
+/// so none of these numbers may cross the determinism boundary.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct JobsSection {
+    /// Job bodies executed (`jobs.executed`).
+    pub executed: u64,
+    /// Demands satisfied without executing — memo or store
+    /// (`jobs.reused`; equals the sum of per-kind `memo_hits +
+    /// store_hits`).
+    pub reused: u64,
+    /// Cone roots detected at plan time: kept files whose content
+    /// fingerprint differs from the store's ref slot, dirty-forced files,
+    /// and changed model / score fold keys (`jobs.invalidated`).
+    pub invalidated: u64,
+    /// Per-kind breakdown as `(kind, stats)` rows, in scheduling order.
+    pub kinds: Vec<(String, JobKindStats)>,
+}
+
+/// Per-job-kind resolution counts.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobKindStats {
+    /// Job bodies of this kind executed.
+    pub executed: u64,
+    /// Demands answered by the in-process memo table.
+    pub memo_hits: u64,
+    /// Demands answered by decoding the durable store.
+    pub store_hits: u64,
+    /// Durable lookups that found nothing usable.
+    pub store_misses: u64,
 }
 
 /// Artifact-store activity. Lives under `timings` because cache behavior
@@ -323,6 +359,31 @@ mod tests {
                 buckets: vec![(63, 4), (127, 1)],
             },
         );
+        r.timings.jobs = JobsSection {
+            executed: 12,
+            reused: 588,
+            invalidated: 2,
+            kinds: vec![
+                (
+                    "stats".to_owned(),
+                    JobKindStats {
+                        executed: 1,
+                        memo_hits: 0,
+                        store_hits: 293,
+                        store_misses: 1,
+                    },
+                ),
+                (
+                    "score".to_owned(),
+                    JobKindStats {
+                        executed: 294,
+                        memo_hits: 0,
+                        store_hits: 0,
+                        store_misses: 0,
+                    },
+                ),
+            ],
+        };
         r
     }
 

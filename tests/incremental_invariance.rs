@@ -1,0 +1,161 @@
+//! Incremental-rebuild invariance: an edit re-runs only its cone.
+//!
+//! The job graph's core promise has two halves. *Correctness*: a warm
+//! rerun after an edit produces specs byte-identical to a from-scratch run
+//! of the edited corpus. *Minimality*: the `jobs.*` counters prove that
+//! only the edited file's cone executed — and, thanks to value-digest
+//! early cutoff, that the cone stops at the digest layer when the edit
+//! does not change the file's extracted samples or blueprints.
+//!
+//! Two edits are exercised:
+//!
+//! * a **benign** edit (an appended function with no API calls) — the
+//!   file's five per-file jobs re-execute, but the model is never even
+//!   demanded and the corpus score artifact is a store hit;
+//! * an **API** edit (an appended store/retrieve idiom) — samples and
+//!   blueprints genuinely change, so the model retrains and the corpus
+//!   re-scores: seven executions, three invalidated cone roots.
+//!
+//! This test lives alone in its own binary: the telemetry registry is
+//! process-global and the counter assertions need
+//! `uspec_telemetry::reset()` between runs.
+
+use std::fs;
+
+use uspec::{run_pipeline_cached, PipelineOptions};
+use uspec_corpus::{generate_corpus, java_library, GenOptions, SliceSource};
+use uspec_store::ArtifactStore;
+use uspec_telemetry::{JobKindStats, JobsSection};
+
+/// One full pipeline run from a clean telemetry state: serialized learned
+/// specs plus the job-engine section of the run report.
+fn run(sources: &[(String, String)], store: Option<&ArtifactStore>) -> (String, JobsSection) {
+    run_dirty(sources, store, &[])
+}
+
+/// Like [`run`], with `--dirty` forcing directives.
+fn run_dirty(
+    sources: &[(String, String)],
+    store: Option<&ArtifactStore>,
+    dirty: &[&str],
+) -> (String, JobsSection) {
+    uspec_telemetry::reset();
+    let lib = java_library();
+    let opts = PipelineOptions {
+        shard_size: 24,
+        dirty: dirty.iter().map(|s| s.to_string()).collect(),
+        ..PipelineOptions::default()
+    };
+    let result = run_pipeline_cached(&SliceSource::new(sources), &lib.api_table(), &opts, store);
+    let specs = serde_json::to_string_pretty(&result.learned).unwrap();
+    let report = uspec::build_run_report("learn", &result, &opts, 0.6, 0.0);
+    (specs, report.timings.jobs)
+}
+
+fn kind<'a>(jobs: &'a JobsSection, name: &str) -> &'a JobKindStats {
+    jobs.kinds
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, s)| s)
+        .unwrap_or_else(|| panic!("no per-kind row for {name:?}"))
+}
+
+#[test]
+fn single_file_edit_reruns_only_its_cone() {
+    let dir = std::env::temp_dir().join(format!("uspec-incr-inv-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    let lib = java_library();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 60,
+            seed: 17,
+            ..GenOptions::default()
+        },
+    );
+    let sources: Vec<(String, String)> = files.into_iter().map(|f| (f.name, f.source)).collect();
+    let victim = sources.len() / 2;
+
+    // The benign edit appends a function that makes no API calls: the
+    // file's content fingerprint changes but its extracted samples and
+    // pair blueprints do not.
+    let mut benign = sources.clone();
+    benign[victim]
+        .1
+        .push_str("\nfn benign9999() { s0 = \"edited\"; }\n");
+    // The API edit appends a store/retrieve idiom: new samples, new
+    // blueprints, so the model and score folds genuinely change.
+    let mut api = sources.clone();
+    api[victim].1.push_str(
+        "\nfn api9999() {\n  v0 = new java.util.HashMap();\n  c0 = new java.util.HashMap();\n  c0.put(\"ik\", v0);\n  r0 = c0.get(\"ik\");\n  r0.size();\n}\n",
+    );
+
+    // Cold run populates the store and matches the uncached baseline.
+    let (reference, _) = run(&sources, None);
+    let store = ArtifactStore::open(&dir).unwrap();
+    let (specs_cold, jobs_cold) = run(&sources, Some(&store));
+    assert_eq!(specs_cold, reference, "cold cached run changed the specs");
+    assert_eq!(jobs_cold.invalidated, 0, "nothing to invalidate cold");
+    assert!(jobs_cold.executed > 0);
+
+    // Benign edit: correctness against a from-scratch run of the edited
+    // corpus...
+    let (reference_benign, _) = run(&benign, None);
+    let (specs_benign, jobs) = run(&benign, Some(&store));
+    assert_eq!(
+        specs_benign, reference_benign,
+        "benign-edit rerun differs from a from-scratch run"
+    );
+    // ...and minimality: exactly the edited file's five per-file jobs
+    // executed (analyze, stats, samples, pairs, digest), the cone root set
+    // is the one moved file ref, and early cutoff held — the model was
+    // never demanded, the corpus score artifact replayed from the store.
+    assert_eq!(jobs.executed, 5, "benign cone: {:?}", jobs.kinds);
+    assert_eq!(jobs.invalidated, 1, "one moved file ref");
+    for k in ["analyze", "stats", "samples", "pairs", "digest"] {
+        assert_eq!(kind(&jobs, k).executed, 1, "{k} executes once");
+    }
+    assert_eq!(*kind(&jobs, "model"), JobKindStats::default(), "cutoff");
+    let score = kind(&jobs, "score");
+    assert_eq!((score.executed, score.store_hits), (0, 1), "score replays");
+
+    // API edit: correctness again...
+    let (reference_api, _) = run(&api, None);
+    let (specs_api, jobs) = run(&api, Some(&store));
+    assert_eq!(
+        specs_api, reference_api,
+        "API-edit rerun differs from a from-scratch run"
+    );
+    // ...and the cone now extends through the digests to the model and
+    // score folds: 5 per-file jobs + model + score = 7 executions, with
+    // three invalidated roots (file ref, model key, score key).
+    assert_eq!(jobs.executed, 7, "API cone: {:?}", jobs.kinds);
+    assert_eq!(jobs.invalidated, 3, "file + model + score roots");
+    assert_eq!(kind(&jobs, "model").executed, 1, "model retrains");
+    assert_eq!(kind(&jobs, "score").executed, 1, "corpus re-scores");
+
+    // A fully warm rerun of the final corpus executes nothing at all.
+    let (specs_warm, jobs) = run(&api, Some(&store));
+    assert_eq!(specs_warm, reference_api);
+    assert_eq!(jobs.executed, 0, "warm rerun: {:?}", jobs.kinds);
+    assert_eq!(jobs.invalidated, 0);
+    assert!(jobs.reused > 0);
+
+    // `--dirty` distrusts a file's cached entries even though its content
+    // fingerprint still matches the store: the five per-file jobs are
+    // forced, and because the recomputed digests come out unchanged the
+    // model and score folds replay rather than re-execute. The directive
+    // matches the file's basename as well as its full name (CLI corpora
+    // are path-named), and cannot change the learned result.
+    let victim_name = &api[victim].0;
+    let basename = victim_name.rsplit('/').next().unwrap();
+    let (specs_dirty, jobs) = run_dirty(&api, Some(&store), &[basename]);
+    assert_eq!(specs_dirty, reference_api, "--dirty changed the result");
+    assert_eq!(jobs.executed, 5, "dirty forces the per-file cone");
+    assert_eq!(jobs.invalidated, 1, "the distrusted file is a cone root");
+    assert_eq!(*kind(&jobs, "model"), JobKindStats::default(), "cutoff");
+    assert_eq!(kind(&jobs, "score").executed, 0, "score replays");
+
+    let _ = fs::remove_dir_all(&dir);
+}

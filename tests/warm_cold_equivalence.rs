@@ -93,46 +93,61 @@ fn warm_runs_are_byte_identical_and_corruption_degrades_to_misses() {
     assert!(cache1.bytes_written > 0);
     assert_eq!(cache1.corrupt, 0);
 
-    // Warm: every lookup hits, nothing is rewritten.
+    // Warm: every lookup hits, nothing is rewritten. The warm run makes
+    // *fewer* lookups than the cold one — a model store hit means no
+    // file's samples are ever demanded — so only the hit/miss shape is
+    // asserted, not the lookup count.
     let (specs2, invariant2, cache2) = run(&sources, Some(&store));
     assert_eq!(specs2, specs0, "warm run changed the learned specs");
     assert_eq!(
         invariant2, invariant0,
         "warm run changed the invariant report"
     );
-    assert_eq!(cache2.lookups, cache1.lookups);
+    assert!(cache2.lookups > 0);
     assert_eq!(
         cache2.hits, cache2.lookups,
-        "warm run should hit every shard"
+        "warm run should hit every lookup"
     );
     assert_eq!(cache2.misses, 0);
     assert_eq!(cache2.bytes_written, 0);
 
-    // Corrupt two entries — truncate one, flip a payload byte in another.
+    // Corrupt EVERY object — truncate even indices, flip a payload byte in
+    // odd ones. Refs stay intact, so nothing is *invalidated*; every
+    // durable result is simply unreadable.
     let objects = object_files(&dir);
-    assert!(objects.len() >= 2, "expected several cached shards");
-    let victim_a = &objects[0];
-    let bytes = fs::read(victim_a).unwrap();
-    fs::write(victim_a, &bytes[..bytes.len() / 2]).unwrap();
-    let victim_b = &objects[objects.len() - 1];
-    let mut bytes = fs::read(victim_b).unwrap();
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0x40;
-    fs::write(victim_b, &bytes).unwrap();
+    assert!(objects.len() >= 2, "expected many cached objects");
+    for (i, path) in objects.iter().enumerate() {
+        let mut bytes = fs::read(path).unwrap();
+        if i % 2 == 0 {
+            bytes.truncate(bytes.len() / 2);
+        } else {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+        }
+        fs::write(path, &bytes).unwrap();
+    }
 
-    // Damaged entries read as misses (with incidents), everything else
-    // still hits, and the results are unchanged.
+    // Damaged entries read as misses (with incidents, capped at
+    // `MAX_RETAINED`), every job re-executes, and the results are
+    // unchanged.
     let (specs3, invariant3, cache3) = run(&sources, Some(&store));
     assert_eq!(specs3, specs0, "corrupted cache changed the learned specs");
     assert_eq!(
         invariant3, invariant0,
         "corrupted cache changed the invariant report"
     );
-    assert_eq!(cache3.lookups, cache1.lookups);
-    assert_eq!(cache3.misses, 2, "each damaged entry is one miss");
-    assert_eq!(cache3.hits, cache3.lookups - 2);
-    assert_eq!(cache3.corrupt, 2);
-    assert_eq!(cache3.incidents.len(), 2, "{:?}", cache3.incidents);
+    assert_eq!(cache3.hits, 0, "every object was damaged");
+    assert_eq!(cache3.misses, cache3.lookups);
+    assert_eq!(
+        cache3.corrupt, cache3.lookups,
+        "every miss was a corruption"
+    );
+    assert!(!cache3.incidents.is_empty());
+    assert!(
+        cache3.incidents.len() <= uspec_store::incidents::MAX_RETAINED,
+        "incident log is capped: {}",
+        cache3.incidents.len()
+    );
     assert!(cache3.bytes_written > 0, "damaged entries are rewritten");
 
     // The rewrite healed the store: verify is clean and the next run is

@@ -15,10 +15,12 @@
 //! offline cannot express `deny_unknown_fields`, so the scan is the only
 //! unknown-field detector we have.
 //!
-//! Also asserts run-level sanity: `schema == 3`, analyzed files > 0,
+//! Also asserts run-level sanity: `schema == 4`, analyzed files > 0,
 //! non-zero stage timings (a report whose spans are all empty means the
 //! instrumentation was compiled out or disabled — CI should notice), and
-//! internally consistent cache accounting (`hits + misses == lookups`).
+//! internally consistent cache and job-engine accounting
+//! (`hits + misses == lookups`; `reused` equals the per-kind
+//! `memo_hits + store_hits` sum).
 
 use std::process::ExitCode;
 
@@ -239,9 +241,9 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Schema whitelist (schema version 3). Every struct level of RunReport.
+// Schema whitelist (schema version 4). Every struct level of RunReport.
 
-const SCHEMA_3: &[(&str, &[&str])] = &[
+const SCHEMA_4: &[(&str, &[&str])] = &[
     (
         "",
         &[
@@ -306,7 +308,18 @@ const SCHEMA_3: &[(&str, &[&str])] = &[
     ),
     (
         "timings",
-        &["total_seconds", "spans", "gauges", "histograms", "cache"],
+        &[
+            "total_seconds",
+            "spans",
+            "gauges",
+            "histograms",
+            "cache",
+            "jobs",
+        ],
+    ),
+    (
+        "timings.jobs",
+        &["executed", "reused", "invalidated", "kinds"],
     ),
     (
         "timings.cache",
@@ -344,7 +357,7 @@ fn check(report_text: &str) -> Result<String, String> {
 
     // 2. Structural scan: exact key set at every level.
     let root = parse(report_text)?;
-    for &(path, expected) in SCHEMA_3 {
+    for &(path, expected) in SCHEMA_4 {
         let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
         let mut keys = node.keys();
         keys.sort_unstable();
@@ -398,6 +411,18 @@ fn check(report_text: &str) -> Result<String, String> {
             cache.hits, cache.misses, cache.lookups
         ));
     }
+    let jobs = &typed.timings.jobs;
+    let kind_reuse: u64 = jobs
+        .kinds
+        .iter()
+        .map(|(_, k)| k.memo_hits + k.store_hits)
+        .sum();
+    if jobs.reused != kind_reuse {
+        return Err(format!(
+            "job accounting broken: {} reused != {} per-kind memo + store hits",
+            jobs.reused, kind_reuse
+        ));
+    }
     let prov = &typed.provenance;
     if prov.per_spec.len() as u64 != prov.specs {
         return Err(format!(
@@ -415,7 +440,8 @@ fn check(report_text: &str) -> Result<String, String> {
 
     Ok(format!(
         "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, \
-         {} evidence records over {} specs, {} timed spans, cache {}/{} hits",
+         {} evidence records over {} specs, {} timed spans, cache {}/{} hits, \
+         jobs {} executed / {} reused",
         typed.schema,
         typed.command,
         typed.engine,
@@ -425,7 +451,9 @@ fn check(report_text: &str) -> Result<String, String> {
         typed.provenance.specs,
         timed_spans,
         typed.timings.cache.hits,
-        typed.timings.cache.lookups
+        typed.timings.cache.lookups,
+        typed.timings.jobs.executed,
+        typed.timings.jobs.reused
     ))
 }
 
