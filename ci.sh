@@ -62,6 +62,13 @@ cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     explain target/ci-specs.json --all -q > target/ci-explain.txt
 grep -q "features:" target/ci-explain.txt \
     || { echo "ci: explain printed no feature contributions"; exit 1; }
+# Analyze trace smoke: the single-file command exports a span timeline too
+# (at least the run-wide cli.analyze span), in the same Chrome format.
+src_file=$(ls target/ci-corpus/*.u | head -1)
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    analyze --lang java --trace-out target/ci-analyze-trace.json "$src_file" -q \
+    > /dev/null
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_trace -- target/ci-analyze-trace.json
 # Artifact-cache smoke: a cold eval populates the store, a warm re-run must
 # draw from it (nonzero hits in the machine-local timings.cache section,
 # which check_report cross-validates against lookups), and the store must
@@ -78,4 +85,33 @@ if grep -q '"hits": 0,' target/ci-warm-report.json; then
 fi
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     cache verify --cache-dir target/ci-cache -q
+# Run-ledger + perf sentinel: two identical evals against one cache append
+# ledger entries that validate structurally (check_ledger), diff clean
+# (identical invariant digests, zero counter drift), and satisfy the
+# declarative budgets in perf-budgets.toml. Then the negative test: a
+# seeded timing regression in a copied ledger must make `perf check` fail.
+rm -rf target/ci-perf-cache
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    eval --lang java --files 120 --cache-dir target/ci-perf-cache -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    eval --lang java --files 120 --cache-dir target/ci-perf-cache -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_ledger -- target/ci-perf-cache/ledger
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    perf list --cache-dir target/ci-perf-cache -q
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    perf diff prev latest --cache-dir target/ci-perf-cache -q > target/ci-perf-diff.txt
+grep -q "invariant digest: identical" target/ci-perf-diff.txt \
+    || { echo "ci: identical runs produced different invariant digests"; exit 1; }
+grep -q "counters: no drift" target/ci-perf-diff.txt \
+    || { echo "ci: perf diff found counter drift between identical runs"; exit 1; }
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    perf check --cache-dir target/ci-perf-cache --budgets perf-budgets.toml -q
+rm -rf target/ci-ledger-regressed
+cp -r target/ci-perf-cache/ledger target/ci-ledger-regressed
+latest=$(ls target/ci-ledger-regressed/*.json | sort | tail -1)
+sed -i -E 's/"total_seconds": [0-9.eE+-]+/"total_seconds": 9999.0/' "$latest"
+if cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    perf check --ledger target/ci-ledger-regressed --budgets perf-budgets.toml -q; then
+    echo "ci: perf check accepted a seeded regression"; exit 1
+fi
 echo "ci: all checks passed"

@@ -123,8 +123,9 @@ fn main() {
          warm speedup: {warm_speedup:.1}x"
     );
 
+    let envelope = uspec_bench::bench_envelope("perf_incremental", smoke);
     let json = format!(
-        "{{\n  \"bench\": \"perf_incremental\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"trials\": {TRIALS},\n  \"cold_seconds\": {cold_secs:.6},\n  \"warm_seconds\": {warm_secs:.6},\n  \"edit_seconds\": {edit_secs:.6},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"edit_speedup\": {edit_speedup:.4},\n  \"min_edit_speedup\": {MIN_EDIT_SPEEDUP},\n  \"cache_bytes\": {bytes},\n  \"specs_identical\": true\n}}\n"
+        "{{\n{envelope}  \"files\": {num_files},\n  \"trials\": {TRIALS},\n  \"cold_seconds\": {cold_secs:.6},\n  \"warm_seconds\": {warm_secs:.6},\n  \"edit_seconds\": {edit_secs:.6},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"edit_speedup\": {edit_speedup:.4},\n  \"min_edit_speedup\": {MIN_EDIT_SPEEDUP},\n  \"cache_bytes\": {bytes},\n  \"specs_identical\": true\n}}\n"
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -280,8 +280,9 @@ fn main() {
         "  bodies: {total_bodies}  reps: {reps}  identical results: {identical}  aggregate speedup: {aggregate_speedup:.2}x"
     );
 
+    let envelope = uspec_bench::bench_envelope("perf_pta", smoke);
     let json = format!(
-        "{{\n  \"bench\": \"perf_pta\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"bodies\": {total_bodies},\n  \"reps\": {reps},\n  \"identical_results\": {identical},\n  \"aggregate_speedup\": {aggregate_speedup:.3},\n  \"worklist_propagations\": {propagations},\n  \"peak_constraint_count\": {peak_constraints},\n  \"non_converged_bodies\": {non_converged},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        "{{\n{envelope}  \"files\": {num_files},\n  \"bodies\": {total_bodies},\n  \"reps\": {reps},\n  \"identical_results\": {identical},\n  \"aggregate_speedup\": {aggregate_speedup:.3},\n  \"worklist_propagations\": {propagations},\n  \"peak_constraint_count\": {peak_constraints},\n  \"non_converged_bodies\": {non_converged},\n  \"configs\": [\n{}\n  ]\n}}\n",
         json_configs.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

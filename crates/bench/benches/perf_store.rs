@@ -111,8 +111,9 @@ fn main() {
         (write_overhead - 1.0) * 100.0
     );
 
+    let envelope = uspec_bench::bench_envelope("perf_store", smoke);
     let json = format!(
-        "{{\n  \"bench\": \"perf_store\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"trials\": {TRIALS},\n  \"baseline_seconds\": {baseline_secs:.6},\n  \"cold_seconds\": {cold_secs:.6},\n  \"warm_seconds\": {warm_secs:.6},\n  \"warm_speedup\": {speedup:.4},\n  \"min_warm_speedup\": {MIN_SPEEDUP},\n  \"cache_bytes\": {bytes},\n  \"specs_identical\": true\n}}\n"
+        "{{\n{envelope}  \"files\": {num_files},\n  \"trials\": {TRIALS},\n  \"baseline_seconds\": {baseline_secs:.6},\n  \"cold_seconds\": {cold_secs:.6},\n  \"warm_seconds\": {warm_secs:.6},\n  \"warm_speedup\": {speedup:.4},\n  \"min_warm_speedup\": {MIN_SPEEDUP},\n  \"cache_bytes\": {bytes},\n  \"specs_identical\": true\n}}\n"
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -126,8 +126,9 @@ fn main() {
         (MAX_OVERHEAD - 1.0) * 100.0
     );
 
+    let envelope = uspec_bench::bench_envelope("perf_telemetry", smoke);
     let json = format!(
-        "{{\n  \"bench\": \"perf_telemetry\",\n  \"smoke\": {smoke},\n  \"files\": {num_files},\n  \"bodies\": {},\n  \"reps\": {reps},\n  \"trials\": {TRIALS},\n  \"enabled_seconds\": {on_secs:.6},\n  \"disabled_seconds\": {off_secs:.6},\n  \"overhead_ratio\": {overhead:.4},\n  \"max_overhead_ratio\": {MAX_OVERHEAD}\n}}\n",
+        "{{\n{envelope}  \"files\": {num_files},\n  \"bodies\": {},\n  \"reps\": {reps},\n  \"trials\": {TRIALS},\n  \"enabled_seconds\": {on_secs:.6},\n  \"disabled_seconds\": {off_secs:.6},\n  \"overhead_ratio\": {overhead:.4},\n  \"max_overhead_ratio\": {MAX_OVERHEAD}\n}}\n",
         bodies.len()
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

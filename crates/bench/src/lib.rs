@@ -102,6 +102,30 @@ pub fn f3(x: f64) -> String {
 /// The τ sweep used for Fig. 7.
 pub const TAUS: &[f64] = &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
 
+/// Version of the shared `BENCH_*.json` identification header emitted by
+/// [`bench_envelope`]. Bump when the header's key set changes.
+pub const BENCH_ENVELOPE_SCHEMA: u32 = 1;
+
+/// The shared identification header every `BENCH_*.json` writer opens
+/// with: bench name, envelope schema, git revision, timestamp, host, and
+/// whether this was a `--smoke` run. Keeping one producer for these lines
+/// means perf tooling (e.g. `uspec perf check --bench-dir`) can correlate
+/// a bench document with ledger entries from the same checkout and host.
+///
+/// Returns pre-indented `  "key": value,\n` lines ready to splice right
+/// after the opening `{` of the document.
+pub fn bench_envelope(bench: &str, smoke: bool) -> String {
+    use uspec_telemetry::ledger;
+    format!(
+        "  \"bench\": \"{bench}\",\n  \"schema\": {BENCH_ENVELOPE_SCHEMA},\n  \
+         \"git_rev\": \"{}\",\n  \"timestamp_ms\": {},\n  \"host\": \"{}\",\n  \
+         \"smoke\": {smoke},\n",
+        ledger::git_rev(),
+        ledger::timestamp_ms(),
+        ledger::host_name(),
+    )
+}
+
 /// Re-exported so the bench targets need only one dependency.
 pub use uspec_corpus::Universe as BenchUniverse;
 

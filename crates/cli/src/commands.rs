@@ -15,7 +15,7 @@ use uspec_corpus::{
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
 use uspec_learn::{Counterfactual, EvidenceRecord, LearnedSpecs, ProvenanceIndex};
 use uspec_pta::{EngineKind, Pta, PtaAggregate, PtaOptions, SpecDb};
-use uspec_store::ArtifactStore;
+use uspec_store::{fingerprint_str, ArtifactStore};
 use uspec_telemetry::{log_info, DiagnosticsSection, Level, RunReport};
 
 use crate::opt::{OptError, Opts};
@@ -86,7 +86,7 @@ fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
 
 /// Resolves the artifact-store directory: `--cache-dir` wins, then the
 /// `USPEC_CACHE_DIR` environment variable; neither set means no cache.
-fn cache_dir(opts: &Opts) -> Option<String> {
+pub(crate) fn cache_dir(opts: &Opts) -> Option<String> {
     opts.value("cache-dir").map(ToOwned::to_owned).or_else(|| {
         std::env::var("USPEC_CACHE_DIR")
             .ok()
@@ -110,7 +110,7 @@ fn cache_store(opts: &Opts) -> Result<Option<ArtifactStore>, OptError> {
 
 /// Applies the output-control flags (`-q`, `--log-level LEVEL`) before a
 /// command does any work. `-q` wins when both are given.
-fn init_logging(opts: &Opts) -> Result<(), OptError> {
+pub(crate) fn init_logging(opts: &Opts) -> Result<(), OptError> {
     if opts.switch("q") {
         uspec_telemetry::log::set_level(Level::Error);
     } else if let Some(l) = opts.value("log-level") {
@@ -153,6 +153,18 @@ fn render_summary(report: &RunReport) -> String {
         "jobs: {} executed, {} reused, {} invalidated",
         j.executed, j.reused, j.invalidated
     );
+    // Histogram tails, from the same power-of-two-bucket snapshots the
+    // report serializes (the bounds are inclusive bucket upper bounds).
+    for (name, h) in &report.timings.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{name}: n={} p50≤{} p95≤{} p99≤{}",
+            h.count, h.p50, h.p95, h.p99
+        );
+    }
     let peak = report
         .timings
         .gauges
@@ -227,6 +239,56 @@ fn write_metrics(opts: &Opts, report: &RunReport) -> Result<(), OptError> {
     Ok(())
 }
 
+/// Where this run's ledger entry goes, if anywhere: `--no-ledger` turns
+/// recording off, `--ledger DIR` names a directory outright, and otherwise
+/// the entry rides along with the artifact cache under
+/// `<cache-dir>/ledger/` (no cache configured means no ledger — a purely
+/// ephemeral run leaves no history).
+fn ledger_dest(opts: &Opts) -> Option<PathBuf> {
+    if opts.switch("no-ledger") {
+        return None;
+    }
+    match opts.value("ledger") {
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => cache_dir(opts).map(|d| Path::new(&d).join("ledger")),
+    }
+}
+
+/// Appends this run's report to the run ledger (see [`ledger_dest`]).
+/// `corpus_fp` is the hex content fingerprint of what was analyzed, so
+/// `uspec perf check` can tell comparable runs from corpus changes.
+fn write_ledger(opts: &Opts, report: &RunReport, corpus_fp: &str) -> Result<(), OptError> {
+    let Some(dir) = ledger_dest(opts) else {
+        return Ok(());
+    };
+    let entry = uspec_telemetry::ledger::LedgerEntry::from_report(
+        report,
+        uspec_telemetry::ledger::envelope(corpus_fp),
+    );
+    let json = serde_json::to_string_pretty(&entry)
+        .map_err(|e| OptError(format!("serializing ledger entry: {e}")))?;
+    let ledger =
+        uspec_store::LedgerDir::open(&dir).map_err(|e| io_err(e, "opening ledger directory"))?;
+    let id = ledger
+        .append(&json)
+        .map_err(|e| io_err(e, "appending ledger entry"))?;
+    log_info!("ledger entry {id} appended to {}", dir.display());
+    Ok(())
+}
+
+/// Writes the per-job cost tree as collapsed-stack lines to
+/// `--flame-out PATH` (one `kind;kind;kind self_ns` line per job,
+/// renderable with any flamegraph tool).
+fn write_flame(opts: &Opts) -> Result<(), OptError> {
+    let Some(path) = opts.value("flame-out") else {
+        return Ok(());
+    };
+    fs::write(path, uspec_telemetry::attribution::collapsed_stacks())
+        .map_err(|e| io_err(e, "writing flamegraph stacks"))?;
+    log_info!("collapsed flamegraph stacks written to {path}");
+    Ok(())
+}
+
 /// `uspec generate`.
 pub fn generate(args: Vec<String>) -> Result<(), OptError> {
     let opts = Opts::parse(args, &["lang", "files", "seed", "out", "log-level"])?;
@@ -285,6 +347,8 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
             "dirty",
             "metrics-out",
             "trace-out",
+            "flame-out",
+            "ledger",
             "log-level",
         ],
     )?;
@@ -351,6 +415,8 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
         log_info!("saved to {path}");
     }
     write_metrics(&opts, &report)?;
+    write_ledger(&opts, &report, &result.corpus_fingerprint.hex())?;
+    write_flame(&opts)?;
     write_trace(&opts)?;
     Ok(())
 }
@@ -530,11 +596,17 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
             "engine",
             "cache-dir",
             "metrics-out",
+            "trace-out",
+            "ledger",
             "log-level",
         ],
     )?;
     init_logging(&opts)?;
+    arm_trace(&opts);
     let start = Instant::now();
+    // Dropped before the trace is written, so the timeline always carries
+    // at least this one complete span covering the whole analysis.
+    let analyze_span = uspec_telemetry::span!("cli.analyze");
     let lib = library_for(&opts)?;
     // analyze is a single-file command, so there is nothing to warm-start —
     // but it accepts the shared flag (validating/creating the directory) so
@@ -655,7 +727,8 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
             println!("  taint: {} finding(s)", findings.len());
         }
     }
-    if opts.value("metrics-out").is_some() {
+    drop(analyze_span);
+    if opts.value("metrics-out").is_some() || ledger_dest(&opts).is_some() {
         let mut report = RunReport::new("analyze", &pta_opts.engine.to_string());
         report.counters.corpus.files = 1;
         report.counters.pta = uspec::pta_counters(&agg);
@@ -667,7 +740,9 @@ pub fn analyze(args: Vec<String>) -> Result<(), OptError> {
         };
         report.timings = uspec::timings_section(start.elapsed().as_secs_f64());
         write_metrics(&opts, &report)?;
+        write_ledger(&opts, &report, &fingerprint_str(&src).hex())?;
     }
+    write_trace(&opts)?;
     Ok(())
 }
 
@@ -788,6 +863,8 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
             "cache-dir",
             "metrics-out",
             "trace-out",
+            "flame-out",
+            "ledger",
             "log-level",
         ],
     )?;
@@ -850,6 +927,8 @@ pub fn eval(args: Vec<String>) -> Result<(), OptError> {
         );
     }
     write_metrics(&opts, &report)?;
+    write_ledger(&opts, &report, &result.corpus_fingerprint.hex())?;
+    write_flame(&opts)?;
     write_trace(&opts)?;
     Ok(())
 }

@@ -12,6 +12,7 @@
 
 mod commands;
 mod opt;
+mod perf;
 
 use opt::OptError;
 
@@ -33,6 +34,7 @@ fn main() {
         "eval" => commands::eval(args),
         "report" => commands::report(args),
         "cache" => commands::cache(args),
+        "perf" => perf::perf(args),
         other => Err(OptError(format!(
             "unknown command `{other}`; run `uspec help`"
         ))),
@@ -76,14 +78,23 @@ USAGE:
           default info; debug echoes timing spans)
       -q                                          shorthand for errors only
   Machine-readable metrics (learn, eval, analyze):
-      --metrics-out FILE.json    write the versioned run report (schema 4):
+      --metrics-out FILE.json    write the versioned run report (schema 5):
           counters, diagnostics, provenance, and timings for the whole run
-          (cache and job-engine activity appear under the machine-local
-          timings.cache / timings.jobs sections)
-  Span timeline (learn, eval):
+          (cache, job-engine, and per-job cost activity appear under the
+          machine-local timings.cache / timings.jobs / timings.attribution
+          sections)
+  Run ledger (learn, eval, analyze):
+      --ledger DIR        append this run's ledger entry (envelope +
+          invariant counters + timings) to DIR; without the flag, entries
+          go to <cache-dir>/ledger/ whenever a cache is configured
+      --no-ledger         record nothing, even with a cache configured
+  Span timeline (learn, eval, analyze):
       --trace-out FILE.json      write the run's span tree in Chrome
           trace_events format (complete \"X\" events; open in Perfetto or
           chrome://tracing)
+  Cost attribution (learn, eval):
+      --flame-out FILE    write the per-job cost tree as collapsed-stack
+          lines (kind;kind;kind self_ns), ready for any flamegraph tool
 
   uspec show FILE [--tau T]
       Pretty-print a saved specification file.
@@ -116,6 +127,19 @@ USAGE:
   uspec cache <stats|verify|gc> --cache-dir DIR [--max-bytes N] [--json]
       Inspect (stats), check (verify), or shrink (gc, to at most
       --max-bytes, least-recently-used first) an artifact cache directory.
-      stats and verify print JSON with --json. Also honors USPEC_CACHE_DIR."
+      stats and verify print JSON with --json. Also honors USPEC_CACHE_DIR.
+
+  uspec perf <list|show|diff|check> [--ledger DIR | --cache-dir DIR]
+      Inspect the run ledger and enforce performance budgets.
+        list                     one line per recorded run, oldest first
+        show [ID]                full JSON of one entry (default: latest)
+        diff [BEFORE AFTER]      compare two entries (default: prev latest);
+            invariant counters compare exactly, timings with a noise floor
+        check [--budgets FILE] [--bench-dir DIR]
+            evaluate perf-budgets.toml (warm_speedup, cache_hit_rate,
+            invariant_drift, telemetry_overhead) against the ledger and
+            exit non-zero on any violated budget.
+      Entry ids accept the aliases `latest` and `prev`. The ledger
+      directory defaults to <cache-dir>/ledger (gc never touches it)."
     );
 }

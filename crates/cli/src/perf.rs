@@ -1,0 +1,349 @@
+//! `uspec perf` — run-ledger inspection and the regression sentinel.
+//!
+//! `list`/`show` browse the append-only ledger a cached command wrote;
+//! `diff` compares two entries (invariant counters exactly, timings with
+//! a noise floor); `check` enforces the declarative budgets in
+//! `perf-budgets.toml` and exits non-zero on any violation, which is what
+//! CI runs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use uspec_store::LedgerDir;
+use uspec_telemetry::ledger::{LedgerEntry, LEDGER_SCHEMA_VERSION};
+use uspec_telemetry::perf::{BudgetStatus, Budgets, LedgerDiff};
+
+use crate::commands::{cache_dir, init_logging};
+use crate::opt::{OptError, Opts};
+
+const USAGE: &str = "usage: uspec perf <list|show|diff|check> \
+                     [--ledger DIR | --cache-dir DIR] [--budgets FILE] [--bench-dir DIR]";
+
+/// `uspec perf`.
+pub fn perf(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(
+        args,
+        &["cache-dir", "ledger", "budgets", "bench-dir", "log-level"],
+    )?;
+    init_logging(&opts)?;
+    let action = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| OptError(USAGE.into()))?;
+    let dir = ledger_location(&opts)?;
+    let ledger = LedgerDir::open(&dir)
+        .map_err(|e| OptError(format!("opening ledger {}: {e}", dir.display())))?;
+    match action {
+        "list" => list(&ledger),
+        "show" => show(&ledger, &opts),
+        "diff" => diff(&ledger, &opts),
+        "check" => check(&ledger, &opts),
+        other => Err(OptError(format!(
+            "unknown perf action `{other}`; expected list, show, diff, or check"
+        ))),
+    }
+}
+
+/// Resolves the ledger directory: `--ledger DIR` names it outright,
+/// otherwise it is the `ledger/` namespace of the configured cache
+/// directory (`--cache-dir` / `USPEC_CACHE_DIR`).
+fn ledger_location(opts: &Opts) -> Result<PathBuf, OptError> {
+    if let Some(dir) = opts.value("ledger") {
+        return Ok(PathBuf::from(dir));
+    }
+    match cache_dir(opts) {
+        Some(dir) => Ok(Path::new(&dir).join("ledger")),
+        None => Err(OptError(
+            "uspec perf needs --ledger DIR or --cache-dir DIR (or USPEC_CACHE_DIR)".into(),
+        )),
+    }
+}
+
+/// Loads and schema-checks one entry.
+fn load_entry(ledger: &LedgerDir, id: &str) -> Result<LedgerEntry, OptError> {
+    let json = ledger
+        .read(id)
+        .map_err(|e| OptError(format!("reading ledger entry {id}: {e}")))?;
+    let entry: LedgerEntry = serde_json::from_str(&json)
+        .map_err(|e| OptError(format!("parsing ledger entry {id}: {e}")))?;
+    if entry.schema != LEDGER_SCHEMA_VERSION {
+        return Err(OptError(format!(
+            "ledger entry {id} has schema {}, this build reads schema {LEDGER_SCHEMA_VERSION}",
+            entry.schema
+        )));
+    }
+    Ok(entry)
+}
+
+/// Resolves an entry reference: a literal id, or the aliases `latest`
+/// (newest entry) and `prev` (second newest).
+fn resolve_id(ledger: &LedgerDir, what: &str) -> Result<String, OptError> {
+    let ids = ledger
+        .ids()
+        .map_err(|e| OptError(format!("listing ledger: {e}")))?;
+    let from_end = match what {
+        "latest" => 1,
+        "prev" => 2,
+        id => {
+            return ids
+                .iter()
+                .find(|i| i.as_str() == id)
+                .cloned()
+                .ok_or_else(|| OptError(format!("no ledger entry `{id}` (see `uspec perf list`)")))
+        }
+    };
+    if ids.len() < from_end {
+        return Err(OptError(format!(
+            "`{what}` needs at least {from_end} ledger entr{}, found {}",
+            if from_end == 1 { "y" } else { "ies" },
+            ids.len()
+        )));
+    }
+    Ok(ids[ids.len() - from_end].clone())
+}
+
+/// `uspec perf list`: one line per entry, oldest first.
+fn list(ledger: &LedgerDir) -> Result<(), OptError> {
+    let ids = ledger
+        .ids()
+        .map_err(|e| OptError(format!("listing ledger: {e}")))?;
+    if ids.is_empty() {
+        println!("ledger {}: no entries", ledger.dir().display());
+        return Ok(());
+    }
+    for id in &ids {
+        let e = load_entry(ledger, id)?;
+        println!(
+            "{id}  {:<7} {:>8.3}s  digest {}  {} @ {}",
+            e.invariant.command,
+            e.timings.total_seconds,
+            &e.invariant.digest[..8.min(e.invariant.digest.len())],
+            e.envelope.git_rev,
+            e.envelope.host,
+        );
+    }
+    Ok(())
+}
+
+/// `uspec perf show [ID]`: the full JSON record (default: latest).
+fn show(ledger: &LedgerDir, opts: &Opts) -> Result<(), OptError> {
+    let what = opts
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("latest");
+    let id = resolve_id(ledger, what)?;
+    // Re-serialize the parsed entry rather than echoing the file: a schema
+    // mismatch or corrupt record errors out instead of printing garbage.
+    let entry = load_entry(ledger, &id)?;
+    let json = serde_json::to_string_pretty(&entry)
+        .map_err(|e| OptError(format!("serializing ledger entry: {e}")))?;
+    println!("{json}");
+    Ok(())
+}
+
+/// `uspec perf diff [BEFORE AFTER]` (default: `prev latest`).
+fn diff(ledger: &LedgerDir, opts: &Opts) -> Result<(), OptError> {
+    let before_ref = opts.positional.get(1).map(String::as_str).unwrap_or("prev");
+    let after_ref = opts
+        .positional
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("latest");
+    let before_id = resolve_id(ledger, before_ref)?;
+    let after_id = resolve_id(ledger, after_ref)?;
+    let before = load_entry(ledger, &before_id)?;
+    let after = load_entry(ledger, &after_id)?;
+    let d = uspec_telemetry::perf::diff(&before, &after);
+    print!("{}", render_diff(&before_id, &after_id, &d));
+    Ok(())
+}
+
+/// Renders a [`LedgerDiff`]. The stable first lines (`invariant digest:
+/// identical`, `counters: no drift`) are what CI greps for.
+fn render_diff(before_id: &str, after_id: &str, d: &LedgerDiff) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "diff {before_id} .. {after_id}");
+    let _ = writeln!(
+        out,
+        "invariant digest: {}",
+        if d.digest_equal {
+            "identical"
+        } else {
+            "DIFFERS"
+        }
+    );
+    if d.counter_drift.is_empty() {
+        let _ = writeln!(out, "counters: no drift");
+    } else {
+        let _ = writeln!(out, "counters: {} drifted", d.counter_drift.len());
+        for c in &d.counter_drift {
+            let _ = writeln!(out, "  {}: {} -> {}", c.name, c.before, c.after);
+        }
+    }
+    if d.timing_deltas.is_empty() {
+        let _ = writeln!(out, "timings: within noise");
+    } else {
+        let _ = writeln!(out, "timings: {} beyond noise", d.timing_deltas.len());
+        for t in &d.timing_deltas {
+            let ratio = if t.before > 0.0 {
+                t.after / t.before
+            } else {
+                f64::INFINITY
+            };
+            let _ = writeln!(
+                out,
+                "  {}: {:.3}s -> {:.3}s ({ratio:.2}x)",
+                t.name, t.before, t.after
+            );
+        }
+    }
+    out
+}
+
+/// `uspec perf check`: evaluate every budget in `--budgets FILE` (default
+/// `perf-budgets.toml`) against the ledger; any FAIL is a hard error.
+fn check(ledger: &LedgerDir, opts: &Opts) -> Result<(), OptError> {
+    let budgets_path = opts.value_or("budgets", "perf-budgets.toml");
+    let text = fs::read_to_string(budgets_path)
+        .map_err(|e| OptError(format!("reading {budgets_path}: {e}")))?;
+    let budgets = Budgets::parse(&text).map_err(|e| OptError(format!("{budgets_path}: {e}")))?;
+    let ids = ledger
+        .ids()
+        .map_err(|e| OptError(format!("listing ledger: {e}")))?;
+    let entries: Vec<LedgerEntry> = ids
+        .iter()
+        .map(|id| load_entry(ledger, id))
+        .collect::<Result<_, _>>()?;
+    let bench_dir = PathBuf::from(opts.value_or("bench-dir", "."));
+    let outcomes = uspec_telemetry::perf::check(&budgets, &entries, &bench_dir);
+    let mut failed = 0;
+    for o in &outcomes {
+        println!("{:<20} {:<5} {}", o.budget, o.status.as_str(), o.detail);
+        if o.status == BudgetStatus::Fail {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(OptError(format!(
+            "{failed} perf budget(s) violated (ledger {})",
+            ledger.dir().display()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uspec_telemetry::ledger::LedgerEnvelope;
+    use uspec_telemetry::RunReport;
+
+    fn tmp_ledger(name: &str) -> (PathBuf, LedgerDir) {
+        let dir =
+            std::env::temp_dir().join(format!("uspec-perf-cli-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (dir.clone(), LedgerDir::open(&dir).unwrap())
+    }
+
+    fn entry(total_seconds: f64) -> String {
+        let mut report = RunReport::new("eval", "worklist");
+        report.counters.corpus.files = 100;
+        report.timings.total_seconds = total_seconds;
+        let e = LedgerEntry::from_report(
+            &report,
+            LedgerEnvelope {
+                git_rev: "test".into(),
+                host: "test".into(),
+                timestamp_ms: 1,
+                corpus_fp: "00".into(),
+            },
+        );
+        serde_json::to_string_pretty(&e).unwrap()
+    }
+
+    #[test]
+    fn aliases_resolve_and_diff_renders_clean_runs() {
+        let (root, ledger) = tmp_ledger("alias");
+        let a = ledger.append(&entry(2.0)).unwrap();
+        let b = ledger.append(&entry(1.0)).unwrap();
+        assert_eq!(resolve_id(&ledger, "latest").unwrap(), b);
+        assert_eq!(resolve_id(&ledger, "prev").unwrap(), a);
+        assert_eq!(resolve_id(&ledger, &a).unwrap(), a);
+        assert!(resolve_id(&ledger, "nope").is_err());
+
+        let before = load_entry(&ledger, &a).unwrap();
+        let after = load_entry(&ledger, &b).unwrap();
+        let rendered = render_diff(&a, &b, &uspec_telemetry::perf::diff(&before, &after));
+        assert!(
+            rendered.contains("invariant digest: identical"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("counters: no drift"), "{rendered}");
+        assert!(
+            rendered.contains("total_seconds: 2.000s -> 1.000s (0.50x)"),
+            "{rendered}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn perf_command_end_to_end_over_a_real_ledger() {
+        let (root, ledger) = tmp_ledger("e2e");
+        let flags = || {
+            vec![
+                "--ledger".to_owned(),
+                root.display().to_string(),
+                "-q".to_owned(),
+            ]
+        };
+        // Empty ledger: list works, aliases do not resolve.
+        perf([vec!["list".into()], flags()].concat()).unwrap();
+        assert!(perf([vec!["show".into()], flags()].concat()).is_err());
+
+        ledger.append(&entry(2.0)).unwrap();
+        ledger.append(&entry(1.0)).unwrap();
+        perf([vec!["list".into()], flags()].concat()).unwrap();
+        perf([vec!["show".into(), "latest".into()], flags()].concat()).unwrap();
+        perf([vec!["diff".into()], flags()].concat()).unwrap();
+        perf([vec!["diff".into(), "prev".into(), "latest".into()], flags()].concat()).unwrap();
+        assert!(perf([vec!["polish".into()], flags()].concat()).is_err());
+        assert!(perf(vec!["list".into()]).is_err(), "no ledger configured");
+
+        // check: a budgets file with only an invariant-drift cap passes
+        // (identical invariants), and a zero-max warm-speedup style
+        // violation is a hard error.
+        let ok_budgets = root.join("ok.toml");
+        fs::write(&ok_budgets, "[invariant_drift]\nmax_counters = 0\n").unwrap();
+        perf(
+            [
+                vec![
+                    "check".into(),
+                    "--budgets".into(),
+                    ok_budgets.display().to_string(),
+                ],
+                flags(),
+            ]
+            .concat(),
+        )
+        .unwrap();
+        let strict = root.join("strict.toml");
+        fs::write(&strict, "[warm_speedup]\nmin = 1e9\n").unwrap();
+        let err = perf(
+            [
+                vec![
+                    "check".into(),
+                    "--budgets".into(),
+                    strict.display().to_string(),
+                ],
+                flags(),
+            ]
+            .concat(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("budget"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

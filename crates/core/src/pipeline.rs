@@ -53,7 +53,7 @@ use uspec_lang::LangError;
 use uspec_learn::{CandidateSet, ExtractOptions, LearnedSpecs, ProvenanceIndex, ScoreFn};
 use uspec_model::{TrainOptions, TrainStats};
 use uspec_pta::{Pta, PtaAggregate, PtaOptions, PtaStats, SpecDb};
-use uspec_store::{ArtifactStore, Fingerprint};
+use uspec_store::{ArtifactStore, Fingerprint, FpHasher};
 
 use crate::cache::{
     analyze_job_key, digest_job_key, file_ref_slot, model_job_key, model_ref_slot,
@@ -225,6 +225,11 @@ pub struct PipelineResult {
     /// Per-candidate evidence tracing (capped top-k scored edges with
     /// file:line and feature contributions), merged across shards.
     pub provenance: ProvenanceIndex,
+    /// Content fingerprint of the kept corpus (index + content of every
+    /// deduplicated file, folded in corpus order). Identifies *what* was
+    /// analyzed independently of options or sharding — the run ledger's
+    /// envelope records it so entries are comparable across history.
+    pub corpus_fingerprint: Fingerprint,
 }
 
 impl PipelineResult {
@@ -409,6 +414,11 @@ pub fn run_pipeline_cached<S: CorpusSource + Sync + ?Sized>(
     let mut stats = CorpusStats::default();
     let mut dedup = DedupFilter::new(opts.dedup);
     let mut kept: Vec<(u64, String, Fingerprint, Fingerprint)> = Vec::new();
+    // Corpus identity for the run ledger: fold every kept file's index and
+    // content fingerprint in corpus order. Shard-size independent because
+    // the fold follows corpus indices, not shard boundaries.
+    let mut corpus_hasher = FpHasher::new();
+    corpus_hasher.write_str("uspec.corpus.v1");
     for shard in shards(source, opts.shard_size) {
         // Shard structure is a streaming-configuration detail, recorded
         // only as a histogram (reports place those under the machine-local
@@ -470,6 +480,8 @@ pub fn run_pipeline_cached<S: CorpusSource + Sync + ?Sized>(
                 resident_graphs += r.value.graphs;
             }
             stats.absorb(r.value.to_delta(file.name), opts.max_diagnostics);
+            corpus_hasher.write_u64(file.index);
+            corpus_hasher.write_fingerprint(file.content);
             kept.push((file.index, file.name.to_owned(), d.value.0, d.value.1));
         }
         stats.peak_resident_graphs = stats.peak_resident_graphs.max(resident_graphs as usize);
@@ -536,6 +548,7 @@ pub fn run_pipeline_cached<S: CorpusSource + Sync + ?Sized>(
         model_stats,
         corpus: stats,
         provenance,
+        corpus_fingerprint: corpus_hasher.digest(),
     }
 }
 

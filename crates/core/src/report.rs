@@ -11,9 +11,9 @@
 use uspec_learn::ProvenanceIndex;
 use uspec_pta::PtaAggregate;
 use uspec_telemetry::{
-    metrics, span, CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection,
-    JobKindStats, JobsSection, ModelCounters, ProvenanceSection, PtaCounters, RunReport,
-    TimingsSection,
+    attribution, metrics, span, AttributionSection, CacheSection, CandidateCounters,
+    CorpusCounters, DiagnosticsSection, JobKindStats, JobsSection, ModelCounters,
+    ProvenanceSection, PtaCounters, RunReport, TimingsSection,
 };
 
 use crate::pipeline::{PipelineOptions, PipelineResult};
@@ -101,6 +101,18 @@ pub fn jobs_section() -> JobsSection {
     }
 }
 
+/// How many jobs the `timings.attribution.top_self` ranking retains.
+pub const ATTRIBUTION_TOP_N: usize = 10;
+
+/// Rolls the job engine's per-key cost records into the report's
+/// machine-local `timings.attribution` section, with per-kind rows in the
+/// engine's scheduling order (aligning them with [`jobs_section`] for
+/// cross-validation).
+pub fn attribution_section() -> AttributionSection {
+    let kinds: Vec<&str> = uspec_jobs::ALL_KINDS.iter().map(|k| k.as_str()).collect();
+    attribution::section(&kinds, ATTRIBUTION_TOP_N)
+}
+
 /// Snapshots the global telemetry state into a report's [`TimingsSection`].
 /// `total_seconds` is the caller-measured end-to-end wall time.
 pub fn timings_section(total_seconds: f64) -> TimingsSection {
@@ -112,6 +124,7 @@ pub fn timings_section(total_seconds: f64) -> TimingsSection {
         histograms: snap.histograms,
         cache: cache_section(),
         jobs: jobs_section(),
+        attribution: attribution_section(),
     }
 }
 
@@ -262,5 +275,21 @@ mod tests {
             spec_names.iter().any(|s| s.contains("RetArg")),
             "per-spec rows name specs: {spec_names:?}"
         );
+
+        // Attribution rows exist for every kind, in the same order as
+        // timings.jobs (exact-total equality is pinned by the dedicated
+        // ledger invariance suite, which owns a whole process).
+        let attr = &report.timings.attribution;
+        assert!(attr.records > 0, "pipeline demands recorded costs");
+        let attr_kinds: Vec<&str> = attr.kinds.iter().map(|(k, _)| k.as_str()).collect();
+        let job_kinds: Vec<&str> = report
+            .timings
+            .jobs
+            .kinds
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(attr_kinds, job_kinds);
+        assert!(!attr.top_self.is_empty());
     }
 }

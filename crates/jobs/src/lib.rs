@@ -34,6 +34,12 @@
 //! (`jobs.*`) reflect cache state and scheduling, so they are
 //! machine-local telemetry and must stay out of deterministic report
 //! sections.
+//!
+//! Cost attribution: alongside the aggregate counters, every resolved
+//! demand records a per-key cost record (kind, key, parent, hit class,
+//! wall time, decoded bytes) into `uspec_telemetry::attribution`, from
+//! which report assembly derives the `timings.attribution` cost tree and
+//! collapsed-stack flamegraph export.
 
 #![warn(missing_docs)]
 
@@ -43,6 +49,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use rayon::prelude::*;
 use uspec_store::{ArtifactStore, Fingerprint, Lookup};
+use uspec_telemetry::attribution::{self, CostOutcome, JobCostRec};
 use uspec_telemetry::{counter, log_warn, span, SpanGuard};
 
 /// The fixed set of job kinds the pipeline schedules.
@@ -342,11 +349,36 @@ impl<'s> JobEngine<'s> {
         self.deps.lock().expect("dep edges poisoned").clone()
     }
 
+    /// Records one per-key cost record for the attribution roll-up.
+    /// Separate from the `jobs.*` counters: counters are cheap aggregates,
+    /// records keep the key and parent so the cost *tree* is recoverable.
+    fn record_cost(
+        kind: JobKind,
+        key: Fingerprint,
+        parent: Option<(JobKind, Fingerprint)>,
+        outcome: CostOutcome,
+        started: std::time::Instant,
+        decoded_bytes: u64,
+    ) {
+        if !uspec_telemetry::enabled() {
+            return;
+        }
+        attribution::record(JobCostRec {
+            kind: kind.as_str(),
+            key: key.hex(),
+            parent: parent.map(|(k, f)| (k.as_str(), f.hex())),
+            outcome,
+            wall_ns: started.elapsed().as_nanos() as u64,
+            decoded_bytes,
+        });
+    }
+
     fn demand_from<J: Job>(
         &self,
         parent: Option<(JobKind, Fingerprint)>,
         job: &J,
     ) -> Resolved<J::Output> {
+        let started = std::time::Instant::now();
         let kind = job.kind();
         let key = job.key();
         self.deps.lock().expect("dep edges poisoned").push(DepEdge {
@@ -367,6 +399,7 @@ impl<'s> JobEngine<'s> {
                     .downcast::<J::Output>()
                     .expect("job key resolved to a foreign output type");
                 kind.count_memo_hit();
+                Self::record_cost(kind, key, parent, CostOutcome::MemoHit, started, 0);
                 return Resolved {
                     value,
                     outcome: Outcome::MemoHit,
@@ -384,6 +417,14 @@ impl<'s> JobEngine<'s> {
                             let value = Arc::new(out);
                             self.remember(key, &value);
                             kind.count_store_hit();
+                            Self::record_cost(
+                                kind,
+                                key,
+                                parent,
+                                CostOutcome::StoreHit,
+                                started,
+                                bytes.len() as u64,
+                            );
                             return Resolved {
                                 value,
                                 outcome: Outcome::StoreHit,
@@ -418,6 +459,10 @@ impl<'s> JobEngine<'s> {
             }
         }
         self.remember(key, &value);
+        // The executed wall spans the whole resolution — the `job.<kind>`
+        // span nests strictly inside it, so per-kind `exec_ns` is always at
+        // least the span's `total_ns` (cross-validated by check_report).
+        Self::record_cost(kind, key, parent, CostOutcome::Executed, started, 0);
         Resolved {
             value,
             outcome: Outcome::Executed,
@@ -627,6 +672,73 @@ mod tests {
         assert_eq!(edges[0].child.0, JobKind::Score);
         assert_eq!(edges[1].parent, Some(edges[0].child));
         assert_eq!(edges[1].child.0, JobKind::Stats);
+    }
+
+    #[test]
+    fn demands_record_per_key_costs_with_parents() {
+        let runs = AtomicU64::new(0);
+        let inner_runs = AtomicU64::new(0);
+        let engine = JobEngine::new(None);
+        let job = Chained {
+            input: 777,
+            runs: &runs,
+            inner_runs: &inner_runs,
+        };
+        engine.demand(&job);
+        engine.demand(&job); // memo hit
+                             // The attribution log is process-global and shared with the other
+                             // tests in this binary, so filter down to this job's unique keys.
+        let outer = job.key().hex();
+        let inner = Doubler {
+            input: 777,
+            runs: &inner_runs,
+        }
+        .key()
+        .hex();
+        let recs = attribution::snapshot();
+        let exec = recs
+            .iter()
+            .find(|r| r.key == outer && r.outcome == CostOutcome::Executed)
+            .expect("outer execution recorded");
+        assert_eq!(exec.kind, "score");
+        assert_eq!(exec.parent, None);
+        let nested = recs
+            .iter()
+            .find(|r| r.key == inner)
+            .expect("nested demand recorded");
+        assert_eq!(nested.kind, "stats");
+        assert_eq!(nested.parent, Some(("score", outer.clone())));
+        assert!(
+            exec.wall_ns >= nested.wall_ns,
+            "parent wall ({}) includes the nested demand ({})",
+            exec.wall_ns,
+            nested.wall_ns
+        );
+        assert!(recs
+            .iter()
+            .any(|r| r.key == outer && r.outcome == CostOutcome::MemoHit));
+    }
+
+    #[test]
+    fn store_hit_costs_carry_decoded_bytes() {
+        let (dir, store) = tmp_store("cost-bytes");
+        let runs = AtomicU64::new(0);
+        let job = Doubler {
+            input: 4242,
+            runs: &runs,
+        };
+        {
+            let engine = JobEngine::new(Some(&store));
+            engine.demand(&job);
+        }
+        let engine = JobEngine::new(Some(&store));
+        assert_eq!(engine.demand(&job).outcome, Outcome::StoreHit);
+        let rec = attribution::snapshot()
+            .into_iter()
+            .find(|r| r.key == job.key().hex() && r.outcome == CostOutcome::StoreHit)
+            .expect("store hit recorded");
+        assert_eq!(rec.decoded_bytes, 8, "u64 payload is 8 bytes");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

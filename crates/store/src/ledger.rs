@@ -1,0 +1,144 @@
+//! Append-only persistence for the run ledger.
+//!
+//! Ledger entries live under `<store-root>/ledger/<id>.json` — a sibling
+//! namespace to `objects/` and `refs/`, so `stats`, `verify`, and `gc`
+//! (which walk `objects/` only) never count or evict them: run history
+//! must survive cache eviction, since its whole point is comparing
+//! against the past.
+//!
+//! This module deliberately stores opaque JSON strings. The record schema
+//! ([`uspec_telemetry::ledger::LedgerEntry`]) lives in the telemetry
+//! crate; keeping the persistence layer schema-blind means the store
+//! needs no serde machinery and old entries keep loading after schema
+//! bumps (validation is the reader's job, see `tools/check_ledger.rs`).
+//!
+//! Entry ids are `<timestamp_ms>-<pid>-<seq>`, zero-padded so that
+//! lexicographic order is chronological order — [`LedgerDir::ids`] sorted
+//! ascending *is* the run history, and concurrent writers on one host
+//! cannot collide.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use uspec_telemetry::counter;
+
+/// Per-process appended-entry sequence number (disambiguates entries
+/// written in the same millisecond by the same process).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// An append-only directory of ledger entries.
+pub struct LedgerDir {
+    dir: PathBuf,
+}
+
+impl LedgerDir {
+    /// Opens (creating if needed) a ledger directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<LedgerDir> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(LedgerDir {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The ledger's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one entry (a serialized JSON record), returning its id.
+    /// The write is atomic: temp file then rename, so a crashed run never
+    /// leaves a half-written entry for readers to trip over.
+    pub fn append(&self, json: &str) -> io::Result<String> {
+        let id = format!(
+            "{:013}-{:05}-{:04}",
+            uspec_telemetry::ledger::timestamp_ms(),
+            std::process::id() % 100_000,
+            SEQ.fetch_add(1, Ordering::Relaxed) % 10_000,
+        );
+        let tmp = self.dir.join(format!(".tmp-{id}"));
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, self.dir.join(format!("{id}.json")))?;
+        counter!("store.ledger_appends").inc();
+        Ok(id)
+    }
+
+    /// All entry ids, oldest first (lexicographic = chronological).
+    pub fn ids(&self) -> io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                ids.push(stem.to_owned());
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Reads the entry with `id`.
+    pub fn read(&self, id: &str) -> io::Result<String> {
+        fs::read_to_string(self.dir.join(format!("{id}.json")))
+    }
+
+    /// Reads every entry, oldest first, as `(id, json)` pairs.
+    pub fn entries(&self) -> io::Result<Vec<(String, String)>> {
+        self.ids()?
+            .into_iter()
+            .map(|id| self.read(&id).map(|json| (id, json)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fingerprint_str, ArtifactStore};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uspec-ledger-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_list_read_round_trip_in_order() {
+        let root = tmp_dir("roundtrip");
+        let ledger = LedgerDir::open(&root).unwrap();
+        let a = ledger.append("{\"run\": 1}").unwrap();
+        let b = ledger.append("{\"run\": 2}").unwrap();
+        assert!(a < b, "ids are chronological: {a} !< {b}");
+        assert_eq!(ledger.ids().unwrap(), vec![a.clone(), b.clone()]);
+        assert_eq!(ledger.read(&a).unwrap(), "{\"run\": 1}");
+        let entries = ledger.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1], (b, "{\"run\": 2}".to_owned()));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn ledger_survives_gc_and_stays_out_of_stats() {
+        let root = tmp_dir("gc-exclusion");
+        let store = ArtifactStore::open(&root).unwrap();
+        store.put(fingerprint_str("object"), b"payload").unwrap();
+        let ledger = LedgerDir::open(root.join("ledger")).unwrap();
+        let id = ledger.append("{\"run\": 1}").unwrap();
+
+        // gc to zero evicts every object but never touches the ledger.
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(ledger.read(&id).unwrap(), "{\"run\": 1}");
+
+        // stats and verify walk objects/ only.
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 0);
+        let verify = store.verify().unwrap();
+        assert!(verify.ok == 0 && verify.corrupt.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

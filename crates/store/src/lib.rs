@@ -22,14 +22,20 @@
 //!   gets that degrade corruption to recorded misses, `stats`/`verify`
 //!   and LRU-by-mtime `gc`.
 //!
+//! A fourth, adjacent namespace: [`ledger`] — append-only run-history
+//! records under `<root>/ledger/`, outside the object walk and therefore
+//! exempt from `gc`/`stats`/`verify`.
+//!
 //! Cache *hits* depend on what previous runs left on disk, so everything
 //! observable about the store (counters, spans, incidents) is machine-local
 //! telemetry and must stay out of the deterministic run-report sections.
 
 pub mod envelope;
 pub mod fingerprint;
+pub mod ledger;
 pub mod store;
 
 pub use envelope::{EnvelopeError, STORE_FORMAT_VERSION};
 pub use fingerprint::{fingerprint_str, Fingerprint, FpHasher};
+pub use ledger::LedgerDir;
 pub use store::{incidents, ArtifactStore, GcReport, Lookup, MissReason, StoreStats, VerifyReport};

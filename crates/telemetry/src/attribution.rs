@@ -1,0 +1,345 @@
+//! Per-job cost records and their roll-up into `timings.attribution`.
+//!
+//! The job engine (`uspec-jobs`) records one [`JobCostRec`] per demand it
+//! resolves: which kind, which key, which parent demanded it, how the
+//! demand was satisfied, how long the whole resolution took, and how many
+//! payload bytes a store hit decoded. Records land in a process-global
+//! log (mirroring the metrics registry) so report assembly can roll them
+//! up without threading the engine through every layer:
+//!
+//! * [`section`] — the report's machine-local `timings.attribution`
+//!   section: per-kind demand/hit/executed counts, executed wall time,
+//!   *self* time (executed wall minus the wall of nested demands), decoded
+//!   bytes, and the top-N records by self time.
+//! * [`collapsed_stacks`] — the same records as collapsed-stack flamegraph
+//!   lines (`parent;child self_ns`), reconstructing each record's kind
+//!   stack from the observed parent edges.
+//!
+//! Everything here is cache- and schedule-dependent (a warm run executes
+//! nothing), so it must stay out of the deterministic report sections.
+//! Recording honors [`crate::enabled`] and the log is cleared by
+//! [`crate::reset`]. The log is capped at [`MAX_RETAINED`] records; the
+//! overflow count is carried into the section so consumers can tell a
+//! complete roll-up from a truncated one.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::report::{AttributedJob, AttributionSection, KindAttribution};
+
+/// Cap on retained cost records; one record is ~100 bytes, so the cap
+/// bounds the log at a few MB even for very large corpora.
+pub const MAX_RETAINED: usize = 1 << 16;
+
+/// How a recorded demand was satisfied (a plain mirror of the job
+/// engine's `Outcome`, kept here so this crate stays dependency-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostOutcome {
+    /// The job body ran.
+    Executed,
+    /// Answered from the in-process memo table.
+    MemoHit,
+    /// Decoded from the durable store.
+    StoreHit,
+}
+
+impl CostOutcome {
+    /// Stable name used in reports and flamegraph annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CostOutcome::Executed => "executed",
+            CostOutcome::MemoHit => "memo",
+            CostOutcome::StoreHit => "store",
+        }
+    }
+}
+
+/// One resolved demand, as recorded by the job engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobCostRec {
+    /// Job kind (telemetry name segment, e.g. `stats`).
+    pub kind: &'static str,
+    /// Hex content fingerprint of the job's key.
+    pub key: String,
+    /// The demanding job, `None` for driver demands.
+    pub parent: Option<(&'static str, String)>,
+    /// Which layer satisfied the demand.
+    pub outcome: CostOutcome,
+    /// Wall time of the whole resolution: memo lookup, store decode, or
+    /// body execution plus store write-back.
+    pub wall_ns: u64,
+    /// Payload bytes decoded on a store hit (0 otherwise).
+    pub decoded_bytes: u64,
+}
+
+static LOG: Mutex<Vec<JobCostRec>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Appends one cost record. No-op when telemetry is disabled; counts
+/// (rather than silently drops) records past [`MAX_RETAINED`].
+pub fn record(rec: JobCostRec) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut log = LOG.lock().expect("cost log poisoned");
+    if log.len() >= MAX_RETAINED {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        log.push(rec);
+    }
+}
+
+/// Copies the retained records out, in completion order.
+pub fn snapshot() -> Vec<JobCostRec> {
+    LOG.lock().expect("cost log poisoned").clone()
+}
+
+/// Records dropped by the [`MAX_RETAINED`] cap since the last reset.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Clears the log and the dropped count (called by [`crate::reset`]).
+pub fn reset() {
+    LOG.lock().expect("cost log poisoned").clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Self time of each record: executed records subtract the wall of every
+/// demand made with them as parent; hits have no children by construction.
+fn self_times(recs: &[JobCostRec]) -> Vec<u64> {
+    let mut child_wall: HashMap<(&str, &str), u64> = HashMap::new();
+    for r in recs {
+        if let Some((pk, pkey)) = &r.parent {
+            *child_wall.entry((pk, pkey.as_str())).or_insert(0) += r.wall_ns;
+        }
+    }
+    recs.iter()
+        .map(|r| match r.outcome {
+            CostOutcome::Executed => r.wall_ns.saturating_sub(
+                child_wall
+                    .get(&(r.kind, r.key.as_str()))
+                    .copied()
+                    .unwrap_or(0),
+            ),
+            _ => r.wall_ns,
+        })
+        .collect()
+}
+
+/// Rolls the recorded costs into the report's `timings.attribution`
+/// section. `kinds` fixes the row order (zero rows included, so per-kind
+/// totals line up with `timings.jobs` for cross-validation); kinds that
+/// appear in records but not in `kinds` are appended in name order.
+/// `top_n` bounds the by-self-time record list.
+pub fn section(kinds: &[&str], top_n: usize) -> AttributionSection {
+    let recs = snapshot();
+    let selfs = self_times(&recs);
+
+    let mut rows: BTreeMap<&str, KindAttribution> = BTreeMap::new();
+    for (r, &self_ns) in recs.iter().zip(&selfs) {
+        let row = rows.entry(r.kind).or_default();
+        row.demands += 1;
+        match r.outcome {
+            CostOutcome::Executed => {
+                row.executed += 1;
+                row.exec_ns += r.wall_ns;
+                row.self_ns += self_ns;
+            }
+            CostOutcome::MemoHit => row.memo_hits += 1,
+            CostOutcome::StoreHit => row.store_hits += 1,
+        }
+        row.decoded_bytes += r.decoded_bytes;
+    }
+
+    let mut ordered: Vec<(String, KindAttribution)> = Vec::new();
+    for &k in kinds {
+        ordered.push((k.to_owned(), rows.remove(k).unwrap_or_default()));
+    }
+    for (k, row) in rows {
+        ordered.push((k.to_owned(), row));
+    }
+
+    // Top-N by self time, deterministically tie-broken by kind then key.
+    let mut ranked: Vec<usize> = (0..recs.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        selfs[b]
+            .cmp(&selfs[a])
+            .then_with(|| recs[a].kind.cmp(recs[b].kind))
+            .then_with(|| recs[a].key.cmp(&recs[b].key))
+    });
+    let top_self = ranked
+        .into_iter()
+        .take(top_n)
+        .map(|i| AttributedJob {
+            kind: recs[i].kind.to_owned(),
+            key: recs[i].key.clone(),
+            outcome: recs[i].outcome.as_str().to_owned(),
+            wall_ns: recs[i].wall_ns,
+            self_ns: selfs[i],
+            decoded_bytes: recs[i].decoded_bytes,
+        })
+        .collect();
+
+    AttributionSection {
+        records: recs.len() as u64,
+        dropped: dropped(),
+        kinds: ordered,
+        top_self,
+    }
+}
+
+/// Exports the cost tree as collapsed-stack flamegraph lines: one
+/// `kind;kind;kind self_ns` line per distinct kind stack, sorted by
+/// stack. Feed to `flamegraph.pl` (or any collapsed-stack consumer) to
+/// visualize where the run's wall time went.
+pub fn collapsed_stacks() -> String {
+    let recs = snapshot();
+    let selfs = self_times(&recs);
+    // First-observed parent per job identity; stacks are reconstructed by
+    // walking up these edges (depth-capped — the job graph is a DAG, but a
+    // corrupt record must not hang the exporter).
+    let mut parent_of: HashMap<(&str, &str), (&str, &str)> = HashMap::new();
+    for r in &recs {
+        if let Some((pk, pkey)) = &r.parent {
+            parent_of
+                .entry((r.kind, r.key.as_str()))
+                .or_insert((pk, pkey.as_str()));
+        }
+    }
+    let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+    for (r, &self_ns) in recs.iter().zip(&selfs) {
+        if self_ns == 0 {
+            continue;
+        }
+        let mut frames = vec![r.kind];
+        let mut at = (r.kind, r.key.as_str());
+        for _ in 0..16 {
+            match parent_of.get(&at) {
+                Some(&p) => {
+                    frames.push(p.0);
+                    at = p;
+                }
+                None => break,
+            }
+        }
+        frames.reverse();
+        *lines.entry(frames.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in lines {
+        out.push_str(&format!("{stack} {ns}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The log is process-global and shared with every other test in this
+    // binary, so these tests use unique keys and assert on filtered views
+    // rather than resetting.
+
+    fn rec(
+        kind: &'static str,
+        key: &str,
+        parent: Option<(&'static str, &str)>,
+        outcome: CostOutcome,
+        wall_ns: u64,
+    ) -> JobCostRec {
+        JobCostRec {
+            kind,
+            key: key.to_owned(),
+            parent: parent.map(|(k, f)| (k, f.to_owned())),
+            outcome,
+            wall_ns,
+            decoded_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_demands() {
+        let recs = vec![
+            rec("score", "s1", None, CostOutcome::Executed, 100),
+            rec(
+                "model",
+                "m1",
+                Some(("score", "s1")),
+                CostOutcome::Executed,
+                60,
+            ),
+            rec(
+                "stats",
+                "f1",
+                Some(("model", "m1")),
+                CostOutcome::MemoHit,
+                10,
+            ),
+        ];
+        let selfs = self_times(&recs);
+        assert_eq!(selfs, vec![40, 50, 10]);
+    }
+
+    #[test]
+    fn section_orders_kinds_and_ranks_top_self() {
+        for r in [
+            rec("score", "sec-s", None, CostOutcome::Executed, 1000),
+            rec(
+                "stats",
+                "sec-f",
+                Some(("score", "sec-s")),
+                CostOutcome::Executed,
+                900,
+            ),
+            rec(
+                "stats",
+                "sec-g",
+                Some(("score", "sec-s")),
+                CostOutcome::StoreHit,
+                5,
+            ),
+        ] {
+            record(r);
+        }
+        let s = section(&["stats", "score", "digest"], 2);
+        assert!(s.records >= 3);
+        assert_eq!(s.dropped, 0);
+        let names: Vec<&str> = s.kinds.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(&names[..3], &["stats", "score", "digest"]);
+        let stats = &s.kinds[0].1;
+        assert!(stats.executed >= 1 && stats.store_hits >= 1);
+        assert_eq!(s.top_self.len(), 2);
+        assert!(s.top_self[0].self_ns >= s.top_self[1].self_ns);
+    }
+
+    #[test]
+    fn collapsed_stacks_reconstruct_parent_chains() {
+        for r in [
+            rec("score", "fl-s", None, CostOutcome::Executed, 500),
+            rec(
+                "model",
+                "fl-m",
+                Some(("score", "fl-s")),
+                CostOutcome::Executed,
+                300,
+            ),
+            rec(
+                "samples",
+                "fl-a",
+                Some(("model", "fl-m")),
+                CostOutcome::Executed,
+                100,
+            ),
+        ] {
+            record(r);
+        }
+        let flame = collapsed_stacks();
+        assert!(
+            flame.contains("score;model;samples 100"),
+            "stack lines:\n{flame}"
+        );
+        assert!(flame.contains("score;model 200"), "stack lines:\n{flame}");
+    }
+}

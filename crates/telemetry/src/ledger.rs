@@ -1,0 +1,256 @@
+//! The run ledger: one compact, schema-versioned record per instrumented
+//! run, designed to be appended to `<cache-dir>/ledger/` and compared
+//! across history.
+//!
+//! A [`LedgerEntry`] is a projection of the [`RunReport`] along the same
+//! determinism boundary the report itself pins:
+//!
+//! * `invariant` — command, engine, the deterministic counter sections,
+//!   and a content digest of the full serialized
+//!   [`RunReport::invariant`] sections. Two runs over the same corpus,
+//!   seed, and options must produce byte-identical `invariant` sections
+//!   regardless of shard size or cache state; `uspec perf diff` compares
+//!   these exactly.
+//! * `timings` — wall-clock totals plus the cache, jobs, and attribution
+//!   sections. Machine-local; `uspec perf diff` compares these with a
+//!   noise floor, and `uspec perf check` enforces budgets over them.
+//! * `envelope` — where the run happened: `git describe` of the working
+//!   tree, host name, wall-clock timestamp, and the corpus content
+//!   fingerprint, so ledger entries and `BENCH_*.json` history are
+//!   joinable.
+//!
+//! Persistence lives in `uspec-store` (`LedgerDir`); this module only
+//! defines the record and its derivation so that tests and tools can
+//! build entries without a store.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::{AttributionSection, CacheSection, JobsSection, ReportCounters, RunReport};
+
+/// Version of the ledger record layout. Bump on any breaking change;
+/// `tools/check_ledger.rs` pins the full key set against drift.
+///
+/// History: 1 — initial schema (report schema 5 sections).
+pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+
+/// One ledger record: a run's identity, deterministic outcome, and cost.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct LedgerEntry {
+    /// Ledger schema version ([`LEDGER_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Where and when the run happened.
+    pub envelope: LedgerEnvelope,
+    /// Deterministic outcome; byte-identical across shard sizes and cache
+    /// states for one corpus + seed + options.
+    pub invariant: LedgerInvariant,
+    /// Machine-local cost of this particular run.
+    pub timings: LedgerTimings,
+}
+
+/// Provenance of a ledger entry: enough to join it against git history,
+/// bench snapshots, and other hosts' ledgers.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct LedgerEnvelope {
+    /// `git describe --always --dirty` of the tree that ran, or
+    /// `"unknown"` outside a git checkout.
+    pub git_rev: String,
+    /// Host name (`"unknown"` when undeterminable).
+    pub host: String,
+    /// Milliseconds since the Unix epoch at entry creation.
+    pub timestamp_ms: u64,
+    /// Hex content fingerprint of the analyzed corpus.
+    pub corpus_fp: String,
+}
+
+/// The deterministic sections of a run, plus a digest over the *complete*
+/// invariant serialization so drift in fields not broken out here (e.g.
+/// diagnostics text) is still detected.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct LedgerInvariant {
+    /// CLI command (`learn`, `eval`, `analyze`).
+    pub command: String,
+    /// Points-to engine used.
+    pub engine: String,
+    /// Hex digest of the serialized [`RunReport::invariant`] sections.
+    pub digest: String,
+    /// Deterministic counter sections, verbatim from the report.
+    pub counters: ReportCounters,
+    /// Total problems observed (from the diagnostics section).
+    pub total_problems: u64,
+    /// Specs with recorded evidence (from the provenance section).
+    pub specs: u64,
+    /// Scored evidence rows across all specs.
+    pub evidence_total: u64,
+}
+
+/// Machine-local cost sections, verbatim from the report.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct LedgerTimings {
+    /// End-to-end command wall time in seconds.
+    pub total_seconds: f64,
+    /// Artifact-store activity.
+    pub cache: CacheSection,
+    /// Job-engine activity.
+    pub jobs: JobsSection,
+    /// Per-job cost attribution.
+    pub attribution: AttributionSection,
+}
+
+impl LedgerEntry {
+    /// Projects a [`RunReport`] into a ledger entry under `envelope`.
+    pub fn from_report(report: &RunReport, envelope: LedgerEnvelope) -> LedgerEntry {
+        LedgerEntry {
+            schema: LEDGER_SCHEMA_VERSION,
+            envelope,
+            invariant: LedgerInvariant {
+                command: report.command.clone(),
+                engine: report.engine.clone(),
+                digest: invariant_digest(report),
+                counters: report.counters.clone(),
+                total_problems: report.diagnostics.total_problems,
+                specs: report.provenance.specs,
+                evidence_total: report.provenance.evidence_total,
+            },
+            timings: LedgerTimings {
+                total_seconds: report.timings.total_seconds,
+                cache: report.timings.cache.clone(),
+                jobs: report.timings.jobs.clone(),
+                attribution: report.timings.attribution.clone(),
+            },
+        }
+    }
+}
+
+/// Hex digest (32 chars) of the serialized invariant sections of
+/// `report`. Equal digests ⇒ byte-identical deterministic outcome.
+pub fn invariant_digest(report: &RunReport) -> String {
+    let json =
+        serde_json::to_string(&report.invariant()).expect("invariant sections always serialize");
+    digest_hex(json.as_bytes())
+}
+
+/// 128-bit content digest as 32 hex chars: two FNV-1a lanes over the bytes
+/// with distinct offset bases. Not cryptographic — a drift tripwire, like
+/// the store's fingerprints (which this crate sits below and so cannot
+/// reuse).
+fn digest_hex(bytes: &[u8]) -> String {
+    const PRIME: u64 = 0x100000001b3;
+    let mut lo: u64 = 0xcbf29ce484222325;
+    let mut hi: u64 = 0x6c62272e07bb0142;
+    for &b in bytes {
+        lo = (lo ^ b as u64).wrapping_mul(PRIME);
+        hi = (hi ^ (b as u64).rotate_left(17)).wrapping_mul(PRIME);
+    }
+    format!("{lo:016x}{hi:016x}")
+}
+
+/// `git describe --always --dirty` of the current working tree, or
+/// `"unknown"` when git or the checkout is unavailable.
+pub fn git_rev() -> String {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output();
+    match out {
+        Ok(out) if out.status.success() => {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+            if rev.is_empty() {
+                "unknown".to_owned()
+            } else {
+                rev
+            }
+        }
+        _ => "unknown".to_owned(),
+    }
+}
+
+/// Best-effort host name: the kernel's hostname file, then the `HOSTNAME`
+/// environment variable, then `"unknown"`.
+pub fn host_name() -> String {
+    if let Ok(name) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let name = name.trim();
+        if !name.is_empty() {
+            return name.to_owned();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(name) if !name.trim().is_empty() => name.trim().to_owned(),
+        _ => "unknown".to_owned(),
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn timestamp_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Builds an envelope for the current process: live git revision, host,
+/// and timestamp around the caller-supplied corpus fingerprint.
+pub fn envelope(corpus_fp: &str) -> LedgerEnvelope {
+    LedgerEnvelope {
+        git_rev: git_rev(),
+        host: host_name(),
+        timestamp_ms: timestamp_ms(),
+        corpus_fp: corpus_fp.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_envelope() -> LedgerEnvelope {
+        LedgerEnvelope {
+            git_rev: "test".to_owned(),
+            host: "test".to_owned(),
+            timestamp_ms: 1,
+            corpus_fp: "00".repeat(16),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_and_projects_report() {
+        let mut report = RunReport::new("eval", "worklist");
+        report.counters.corpus.files = 120;
+        report.diagnostics.total_problems = 3;
+        report.provenance.specs = 2;
+        report.provenance.evidence_total = 40;
+        report.timings.total_seconds = 0.5;
+        let entry = LedgerEntry::from_report(&report, test_envelope());
+        assert_eq!(entry.schema, LEDGER_SCHEMA_VERSION);
+        assert_eq!(entry.invariant.command, "eval");
+        assert_eq!(entry.invariant.counters.corpus.files, 120);
+        assert_eq!(entry.invariant.total_problems, 3);
+        assert_eq!(entry.invariant.specs, 2);
+        assert_eq!(entry.invariant.evidence_total, 40);
+        assert_eq!(entry.timings.total_seconds, 0.5);
+        let json = serde_json::to_string_pretty(&entry).unwrap();
+        let back: LedgerEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn digest_tracks_invariant_sections_only() {
+        let mut report = RunReport::new("eval", "worklist");
+        report.counters.corpus.files = 120;
+        let a = invariant_digest(&report);
+        assert_eq!(a.len(), 32);
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()));
+        // Timings do not move the digest.
+        report.timings.total_seconds = 42.0;
+        assert_eq!(invariant_digest(&report), a);
+        // Counters do.
+        report.counters.corpus.files = 121;
+        assert_ne!(invariant_digest(&report), a);
+    }
+
+    #[test]
+    fn envelope_helpers_never_panic() {
+        let env = envelope("deadbeef");
+        assert!(!env.git_rev.is_empty());
+        assert!(!env.host.is_empty());
+        assert_eq!(env.corpus_fp, "deadbeef");
+    }
+}

@@ -27,8 +27,11 @@
 //! compile-time `false` so the optimizer erases every telemetry branch. The
 //! leveled [`log`] layer is user-facing output and ignores both switches.
 
+pub mod attribution;
+pub mod ledger;
 pub mod log;
 pub mod metrics;
+pub mod perf;
 pub mod report;
 pub mod span;
 pub mod trace;
@@ -36,9 +39,10 @@ pub mod trace;
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use report::{
-    CacheSection, CandidateCounters, CorpusCounters, DiagnosticsSection, InvariantSections,
-    JobKindStats, JobsSection, ModelCounters, ProvenanceSection, PtaCounters, ReportCounters,
-    RunReport, TimingsSection, REPORT_SCHEMA_VERSION,
+    AttributedJob, AttributionSection, CacheSection, CandidateCounters, CorpusCounters,
+    DiagnosticsSection, InvariantSections, JobKindStats, JobsSection, KindAttribution,
+    ModelCounters, ProvenanceSection, PtaCounters, ReportCounters, RunReport, TimingsSection,
+    REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanAgg, SpanGuard, SpanStat};
 
@@ -68,4 +72,5 @@ pub fn reset() {
     metrics::global().reset();
     span::reset();
     trace::reset();
+    attribution::reset();
 }

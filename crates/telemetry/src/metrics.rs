@@ -142,11 +142,18 @@ impl Histogram {
                 buckets.push((bucket_bound(i), n));
             }
         }
-        HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             buckets,
-        }
+            p50: 0,
+            p95: 0,
+            p99: 0,
+        };
+        snap.p50 = snap.quantile(0.50);
+        snap.p95 = snap.quantile(0.95);
+        snap.p99 = snap.quantile(0.99);
+        snap
     }
 
     fn reset(&self) {
@@ -158,8 +165,9 @@ impl Histogram {
     }
 }
 
-/// Serializable copy of a [`Histogram`]: sample count, sample sum, and the
-/// non-empty power-of-two buckets as `(inclusive_upper_bound, count)`.
+/// Serializable copy of a [`Histogram`]: sample count, sample sum, the
+/// non-empty power-of-two buckets as `(inclusive_upper_bound, count)`, and
+/// bucket-resolution percentiles.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of recorded samples.
@@ -168,6 +176,33 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Non-empty buckets, `(inclusive_upper_bound, count)`, bound-sorted.
     pub buckets: Vec<(u64, u64)>,
+    /// Median, as the upper bound of the bucket holding the p50 sample.
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (nearest-rank over the bucketed distribution; 0 when empty). The
+    /// result over-estimates the true quantile by at most the bucket
+    /// width — the price of constant-size histograms.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map(|&(bound, _)| bound).unwrap_or(0)
+    }
 }
 
 /// Point-in-time copy of every registered metric.
@@ -346,6 +381,28 @@ mod tests {
             snap.buckets,
             vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]
         );
+        // Nearest-rank over 6 samples: p50 is the 3rd sample (bucket bound
+        // 3), p95 and p99 are the 6th (bucket bound 1023).
+        assert_eq!(snap.p50, 3);
+        assert_eq!(snap.p95, 1023);
+        assert_eq!(snap.p99, 1023);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.99), 0);
+        let snap = HistogramSnapshot {
+            count: 100,
+            sum: 0,
+            buckets: vec![(1, 90), (1023, 10)],
+            p50: 0,
+            p95: 0,
+            p99: 0,
+        };
+        assert_eq!(snap.quantile(0.50), 1);
+        assert_eq!(snap.quantile(0.90), 1);
+        assert_eq!(snap.quantile(0.95), 1023);
     }
 
     #[test]

@@ -1,0 +1,663 @@
+//! Comparing ledger entries and enforcing performance budgets.
+//!
+//! Two consumers sit on top of the run ledger:
+//!
+//! * [`diff`] — compares two [`LedgerEntry`] records along the same
+//!   determinism boundary the ledger stores: invariant counters are
+//!   compared *exactly* (any drift is a correctness signal, not noise),
+//!   while timings are compared under a noise floor
+//!   ([`NOISE_FLOOR_RATIO`] / [`NOISE_FLOOR_SECONDS`]) so machine jitter
+//!   does not read as regression.
+//! * [`check`] — evaluates declarative budgets from `perf-budgets.toml`
+//!   ([`Budgets::parse`], a deliberately tiny TOML subset: tables,
+//!   `key = value` with numbers/strings/comments) against ledger history
+//!   and bench snapshots, returning per-budget outcomes the CLI turns
+//!   into an exit code.
+//!
+//! Budget semantics are chosen to be robust in CI: a budget whose
+//! precondition is absent (no warm run yet, no bench snapshot on disk)
+//! reports [`BudgetStatus::Skip`] rather than failing the build.
+
+use std::path::Path;
+
+use crate::ledger::LedgerEntry;
+
+/// Relative noise floor for timing comparisons: deltas under 10% are
+/// reported as within noise.
+pub const NOISE_FLOOR_RATIO: f64 = 0.10;
+
+/// Absolute noise floor for timing comparisons, in seconds: deltas under
+/// 5ms are within noise regardless of ratio.
+pub const NOISE_FLOOR_SECONDS: f64 = 0.005;
+
+/// One drifted invariant counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterDelta {
+    /// Dotted counter path, e.g. `counters.corpus.files`.
+    pub name: String,
+    /// Value in the older entry.
+    pub before: f64,
+    /// Value in the newer entry.
+    pub after: f64,
+}
+
+/// One timing that moved beyond the noise floor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingDelta {
+    /// Timing name, e.g. `total_seconds`.
+    pub name: String,
+    /// Seconds in the older entry.
+    pub before: f64,
+    /// Seconds in the newer entry.
+    pub after: f64,
+}
+
+/// Result of comparing two ledger entries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LedgerDiff {
+    /// Whether the invariant digests match (byte-identical deterministic
+    /// outcome).
+    pub digest_equal: bool,
+    /// Exact counter drift, in path order. Empty ⇒ no drift.
+    pub counter_drift: Vec<CounterDelta>,
+    /// Timing deltas beyond the noise floor.
+    pub timing_deltas: Vec<TimingDelta>,
+}
+
+/// Numeric leaves of an entry's deterministic sections (counters plus the
+/// broken-out diagnostics/provenance totals), as sorted dotted paths. The
+/// flattening is explicit field-by-field: the counter structs are part of
+/// the pinned report schema, so additions land here alongside the schema
+/// bump (and `check_report`'s key-set scan catches anything missed).
+fn invariant_numbers(entry: &LedgerEntry) -> Vec<(String, f64)> {
+    let c = &entry.invariant.counters;
+    let mut rows: Vec<(String, f64)> = vec![
+        ("counters.corpus.files".into(), c.corpus.files as f64),
+        ("counters.corpus.failures".into(), c.corpus.failures as f64),
+        (
+            "counters.corpus.duplicates".into(),
+            c.corpus.duplicates as f64,
+        ),
+        ("counters.corpus.graphs".into(), c.corpus.graphs as f64),
+        ("counters.corpus.events".into(), c.corpus.events as f64),
+        ("counters.corpus.edges".into(), c.corpus.edges as f64),
+        ("counters.pta.bodies".into(), c.pta.bodies as f64),
+        ("counters.pta.passes".into(), c.pta.passes as f64),
+        (
+            "counters.pta.propagations".into(),
+            c.pta.propagations as f64,
+        ),
+        ("counters.pta.constraints".into(), c.pta.constraints as f64),
+        (
+            "counters.pta.non_converged".into(),
+            c.pta.non_converged as f64,
+        ),
+        (
+            "counters.model.samples_pos".into(),
+            c.model.samples_pos as f64,
+        ),
+        (
+            "counters.model.samples_neg".into(),
+            c.model.samples_neg as f64,
+        ),
+        ("counters.model.models".into(), c.model.models as f64),
+        ("counters.model.epochs".into(), c.model.epochs as f64),
+        ("counters.model.final_loss".into(), c.model.final_loss),
+        (
+            "counters.model.train_accuracy".into(),
+            c.model.train_accuracy,
+        ),
+        (
+            "counters.candidates.extracted".into(),
+            c.candidates.extracted as f64,
+        ),
+        (
+            "counters.candidates.selected".into(),
+            c.candidates.selected as f64,
+        ),
+        ("counters.candidates.tau".into(), c.candidates.tau),
+        (
+            "total_problems".into(),
+            entry.invariant.total_problems as f64,
+        ),
+        ("specs".into(), entry.invariant.specs as f64),
+        (
+            "evidence_total".into(),
+            entry.invariant.evidence_total as f64,
+        ),
+    ];
+    for (passes, bodies) in &c.pta.pass_histogram {
+        rows.push((
+            format!("counters.pta.pass_histogram[{passes}]"),
+            *bodies as f64,
+        ));
+    }
+    for (i, loss) in c.model.epoch_loss.iter().enumerate() {
+        rows.push((format!("counters.model.epoch_loss[{i}]"), *loss));
+    }
+    for (name, value) in &c.metrics {
+        rows.push((format!("counters.metrics.{name}"), *value as f64));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Extracts the number following `"key":` in flat JSON text. The bench
+/// snapshots are flat objects with unique keys, so a scan is sufficient
+/// and avoids requiring an untyped JSON tree from the serializer.
+fn scan_json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Whether a `before → after` seconds pair clears the noise floor.
+fn beyond_noise(before: f64, after: f64) -> bool {
+    let abs = (after - before).abs();
+    let base = before.abs().max(after.abs());
+    abs >= NOISE_FLOOR_SECONDS && base > 0.0 && abs / base >= NOISE_FLOOR_RATIO
+}
+
+/// Compares two ledger entries, oldest first. Counters diff exactly;
+/// timings diff under the noise floor.
+pub fn diff(before: &LedgerEntry, after: &LedgerEntry) -> LedgerDiff {
+    let mut counter_drift = Vec::new();
+    let a = invariant_numbers(before);
+    let b = invariant_numbers(after);
+    let mut ai = a.iter().peekable();
+    let mut bi = b.iter().peekable();
+    // Sorted merge so counters present on only one side still surface.
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(&&(ref an, av)), Some(&&(ref bn, bv))) => {
+                if an == bn {
+                    if av != bv {
+                        counter_drift.push(CounterDelta {
+                            name: an.clone(),
+                            before: av,
+                            after: bv,
+                        });
+                    }
+                    ai.next();
+                    bi.next();
+                } else if an < bn {
+                    counter_drift.push(CounterDelta {
+                        name: an.clone(),
+                        before: av,
+                        after: 0.0,
+                    });
+                    ai.next();
+                } else {
+                    counter_drift.push(CounterDelta {
+                        name: bn.clone(),
+                        before: 0.0,
+                        after: bv,
+                    });
+                    bi.next();
+                }
+            }
+            (Some(&&(ref an, av)), None) => {
+                counter_drift.push(CounterDelta {
+                    name: an.clone(),
+                    before: av,
+                    after: 0.0,
+                });
+                ai.next();
+            }
+            (None, Some(&&(ref bn, bv))) => {
+                counter_drift.push(CounterDelta {
+                    name: bn.clone(),
+                    before: 0.0,
+                    after: bv,
+                });
+                bi.next();
+            }
+            (None, None) => break,
+        }
+    }
+
+    let mut timing_deltas = Vec::new();
+    let pairs = [(
+        "total_seconds",
+        before.timings.total_seconds,
+        after.timings.total_seconds,
+    )];
+    for (name, tb, ta) in pairs {
+        if beyond_noise(tb, ta) {
+            timing_deltas.push(TimingDelta {
+                name: name.to_owned(),
+                before: tb,
+                after: ta,
+            });
+        }
+    }
+    for (kind, row) in &after.timings.attribution.kinds {
+        let before_ns = before
+            .timings
+            .attribution
+            .kinds
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, r)| r.exec_ns)
+            .unwrap_or(0);
+        let tb = before_ns as f64 / 1e9;
+        let ta = row.exec_ns as f64 / 1e9;
+        if beyond_noise(tb, ta) {
+            timing_deltas.push(TimingDelta {
+                name: format!("attribution.{kind}.exec_seconds"),
+                before: tb,
+                after: ta,
+            });
+        }
+    }
+
+    LedgerDiff {
+        digest_equal: before.invariant.digest == after.invariant.digest,
+        counter_drift,
+        timing_deltas,
+    }
+}
+
+/// Declarative performance budgets, parsed from `perf-budgets.toml`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Budgets {
+    /// `[warm_speedup] min` — latest run over the oldest comparable run
+    /// (same command + invariant digest) must be at least this many times
+    /// faster.
+    pub warm_speedup_min: Option<f64>,
+    /// `[cache_hit_rate] min` — hits/lookups floor for the latest entry
+    /// that attempted lookups.
+    pub cache_hit_rate_min: Option<f64>,
+    /// `[invariant_drift] max_counters` — drifted-counter ceiling between
+    /// the two latest same-command entries (normally 0).
+    pub invariant_drift_max_counters: Option<u64>,
+    /// `[telemetry_overhead] max` — `overhead_ratio - 1` ceiling read from
+    /// the telemetry bench snapshot.
+    pub telemetry_overhead_max: Option<f64>,
+    /// `[telemetry_overhead] bench` — snapshot file name (default
+    /// `BENCH_telemetry.json`).
+    pub telemetry_bench: Option<String>,
+}
+
+/// Strips a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+impl Budgets {
+    /// Parses the supported TOML subset: `[table]` headers, `key = value`
+    /// with floats, integers, or double-quoted strings, and `#` comments.
+    /// Unknown tables or keys are errors — a typoed budget must not
+    /// silently pass.
+    pub fn parse(text: &str) -> Result<Budgets, String> {
+        let mut budgets = Budgets::default();
+        let mut table = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                table = name.trim().to_owned();
+                match table.as_str() {
+                    "warm_speedup" | "cache_hit_rate" | "invariant_drift"
+                    | "telemetry_overhead" => {}
+                    other => return Err(format!("line {}: unknown table [{other}]", lineno + 1)),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            let num = || -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {}: expected a number, got {value}", lineno + 1))
+            };
+            match (table.as_str(), key) {
+                ("warm_speedup", "min") => budgets.warm_speedup_min = Some(num()?),
+                ("cache_hit_rate", "min") => budgets.cache_hit_rate_min = Some(num()?),
+                ("invariant_drift", "max_counters") => {
+                    budgets.invariant_drift_max_counters = Some(num()? as u64)
+                }
+                ("telemetry_overhead", "max") => budgets.telemetry_overhead_max = Some(num()?),
+                ("telemetry_overhead", "bench") => {
+                    let s = value
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {}: expected a quoted string", lineno + 1))?;
+                    budgets.telemetry_bench = Some(s.to_owned());
+                }
+                (t, k) => {
+                    return Err(format!(
+                        "line {}: unknown key {k} in table [{t}]",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(budgets)
+    }
+}
+
+/// Outcome status of one budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetStatus {
+    /// Budget held.
+    Pass,
+    /// Budget violated — the caller should fail the build.
+    Fail,
+    /// Precondition absent (no comparable history, no snapshot on disk).
+    Skip,
+}
+
+impl BudgetStatus {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetStatus::Pass => "pass",
+            BudgetStatus::Fail => "FAIL",
+            BudgetStatus::Skip => "skip",
+        }
+    }
+}
+
+/// One evaluated budget with a human-readable explanation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetOutcome {
+    /// Budget name (the TOML table).
+    pub budget: String,
+    /// Pass / fail / skip.
+    pub status: BudgetStatus,
+    /// What was measured against what.
+    pub detail: String,
+}
+
+fn outcome(budget: &str, status: BudgetStatus, detail: String) -> BudgetOutcome {
+    BudgetOutcome {
+        budget: budget.to_owned(),
+        status,
+        detail,
+    }
+}
+
+/// Evaluates `budgets` against ledger `entries` (oldest first) and the
+/// bench snapshots in `bench_dir`. Unconfigured budgets produce no
+/// outcome; configured budgets with missing preconditions skip.
+pub fn check(budgets: &Budgets, entries: &[LedgerEntry], bench_dir: &Path) -> Vec<BudgetOutcome> {
+    let mut outcomes = Vec::new();
+    let latest = entries.last();
+
+    if let Some(min) = budgets.warm_speedup_min {
+        let name = "warm_speedup";
+        match latest {
+            None => outcomes.push(outcome(name, BudgetStatus::Skip, "ledger is empty".into())),
+            Some(last) => {
+                let baseline = entries[..entries.len() - 1].iter().find(|e| {
+                    e.invariant.command == last.invariant.command
+                        && e.invariant.digest == last.invariant.digest
+                });
+                match baseline {
+                    None => outcomes.push(outcome(
+                        name,
+                        BudgetStatus::Skip,
+                        "no earlier comparable run (same command + invariant digest)".into(),
+                    )),
+                    Some(_) if last.timings.total_seconds <= 0.0 => outcomes.push(outcome(
+                        name,
+                        BudgetStatus::Skip,
+                        format!(
+                            "latest run has no usable wall time ({}s)",
+                            last.timings.total_seconds
+                        ),
+                    )),
+                    Some(base) => {
+                        let speedup = base.timings.total_seconds / last.timings.total_seconds;
+                        let status = if speedup >= min {
+                            BudgetStatus::Pass
+                        } else {
+                            BudgetStatus::Fail
+                        };
+                        outcomes.push(outcome(
+                            name,
+                            status,
+                            format!(
+                                "{:.3}s -> {:.3}s = {:.1}x (min {:.1}x)",
+                                base.timings.total_seconds,
+                                last.timings.total_seconds,
+                                speedup,
+                                min
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(min) = budgets.cache_hit_rate_min {
+        let name = "cache_hit_rate";
+        let measured = entries
+            .iter()
+            .rev()
+            .find(|e| e.timings.cache.lookups > 0)
+            .map(|e| &e.timings.cache);
+        match measured {
+            None => outcomes.push(outcome(
+                name,
+                BudgetStatus::Skip,
+                "no entry attempted store lookups".into(),
+            )),
+            Some(cache) => {
+                let rate = cache.hits as f64 / cache.lookups as f64;
+                let status = if rate >= min {
+                    BudgetStatus::Pass
+                } else {
+                    BudgetStatus::Fail
+                };
+                outcomes.push(outcome(
+                    name,
+                    status,
+                    format!(
+                        "{}/{} hits = {:.2} (min {:.2})",
+                        cache.hits, cache.lookups, rate, min
+                    ),
+                ));
+            }
+        }
+    }
+
+    if let Some(max) = budgets.invariant_drift_max_counters {
+        let name = "invariant_drift";
+        let pair: Option<(&LedgerEntry, &LedgerEntry)> = latest.and_then(|last| {
+            entries[..entries.len() - 1]
+                .iter()
+                .rev()
+                .find(|e| e.invariant.command == last.invariant.command)
+                .map(|prev| (prev, last))
+        });
+        match pair {
+            None => outcomes.push(outcome(
+                name,
+                BudgetStatus::Skip,
+                "fewer than two same-command entries".into(),
+            )),
+            Some((prev, last)) => {
+                let drift = diff(prev, last).counter_drift;
+                let status = if drift.len() as u64 <= max {
+                    BudgetStatus::Pass
+                } else {
+                    BudgetStatus::Fail
+                };
+                let worst = drift
+                    .first()
+                    .map(|d| format!("; first: {} {} -> {}", d.name, d.before, d.after))
+                    .unwrap_or_default();
+                outcomes.push(outcome(
+                    name,
+                    status,
+                    format!("{} counters drifted (max {max}){worst}", drift.len()),
+                ));
+            }
+        }
+    }
+
+    if let Some(max) = budgets.telemetry_overhead_max {
+        let name = "telemetry_overhead";
+        let file = budgets
+            .telemetry_bench
+            .clone()
+            .unwrap_or_else(|| "BENCH_telemetry.json".to_owned());
+        let path = bench_dir.join(&file);
+        let ratio = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| scan_json_number(&text, "overhead_ratio"));
+        match ratio {
+            None => outcomes.push(outcome(
+                name,
+                BudgetStatus::Skip,
+                format!("no overhead_ratio in {}", path.display()),
+            )),
+            Some(ratio) => {
+                let overhead = ratio - 1.0;
+                let status = if overhead <= max {
+                    BudgetStatus::Pass
+                } else {
+                    BudgetStatus::Fail
+                };
+                outcomes.push(outcome(
+                    name,
+                    status,
+                    format!(
+                        "overhead {:.2}% (max {:.2}%)",
+                        overhead * 100.0,
+                        max * 100.0
+                    ),
+                ));
+            }
+        }
+    }
+
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{LedgerEntry, LedgerEnvelope};
+    use crate::report::RunReport;
+
+    fn entry(command: &str, files: u64, seconds: f64) -> LedgerEntry {
+        let mut report = RunReport::new(command, "worklist");
+        report.counters.corpus.files = files;
+        report.timings.total_seconds = seconds;
+        report.timings.cache.lookups = 10;
+        report.timings.cache.hits = 8;
+        report.timings.cache.misses = 2;
+        LedgerEntry::from_report(
+            &report,
+            LedgerEnvelope {
+                git_rev: "test".to_owned(),
+                host: "test".to_owned(),
+                timestamp_ms: 1,
+                corpus_fp: "aa".to_owned(),
+            },
+        )
+    }
+
+    #[test]
+    fn diff_identical_runs_is_clean() {
+        let d = diff(&entry("eval", 120, 2.0), &entry("eval", 120, 2.01));
+        assert!(d.digest_equal);
+        assert!(d.counter_drift.is_empty());
+        assert!(d.timing_deltas.is_empty(), "1% is under the noise floor");
+    }
+
+    #[test]
+    fn diff_reports_exact_counter_drift_and_big_timing_moves() {
+        let d = diff(&entry("eval", 120, 2.0), &entry("eval", 121, 0.2));
+        assert!(!d.digest_equal);
+        assert!(d
+            .counter_drift
+            .iter()
+            .any(|c| c.name == "counters.corpus.files" && c.before == 120.0 && c.after == 121.0));
+        assert_eq!(d.timing_deltas.len(), 1);
+        assert_eq!(d.timing_deltas[0].name, "total_seconds");
+    }
+
+    #[test]
+    fn parse_budgets_subset() {
+        let b = Budgets::parse(
+            "# repo budgets\n\
+             [warm_speedup]\n\
+             min = 1.5  # cold/warm\n\
+             [cache_hit_rate]\n\
+             min = 0.5\n\
+             [invariant_drift]\n\
+             max_counters = 0\n\
+             [telemetry_overhead]\n\
+             max = 0.03\n\
+             bench = \"BENCH_telemetry.json\"\n",
+        )
+        .unwrap();
+        assert_eq!(b.warm_speedup_min, Some(1.5));
+        assert_eq!(b.cache_hit_rate_min, Some(0.5));
+        assert_eq!(b.invariant_drift_max_counters, Some(0));
+        assert_eq!(b.telemetry_overhead_max, Some(0.03));
+        assert_eq!(b.telemetry_bench.as_deref(), Some("BENCH_telemetry.json"));
+        assert!(Budgets::parse("[nope]\n").is_err());
+        assert!(Budgets::parse("[warm_speedup]\nmax = 2\n").is_err());
+    }
+
+    #[test]
+    fn check_passes_warm_and_fails_seeded_regression() {
+        let budgets =
+            Budgets::parse("[warm_speedup]\nmin = 1.5\n[invariant_drift]\nmax_counters = 0\n")
+                .unwrap();
+        let cold = entry("eval", 120, 2.0);
+        let warm = entry("eval", 120, 0.2);
+        let outcomes = check(&budgets, &[cold.clone(), warm.clone()], Path::new("."));
+        assert!(
+            outcomes.iter().all(|o| o.status != BudgetStatus::Fail),
+            "{outcomes:?}"
+        );
+        // Seed a regression: the warm run got 10x slower than baseline.
+        let slow = entry("eval", 120, 9999.0);
+        let outcomes = check(&budgets, &[cold, warm, slow], Path::new("."));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "warm_speedup" && o.status == BudgetStatus::Fail));
+    }
+
+    #[test]
+    fn check_skips_when_history_is_missing() {
+        let budgets = Budgets::parse(
+            "[warm_speedup]\nmin = 1.5\n[cache_hit_rate]\nmin = 0.5\n[telemetry_overhead]\nmax = 0.03\nbench = \"no-such-bench.json\"\n",
+        )
+        .unwrap();
+        let outcomes = check(&budgets, &[entry("eval", 120, 2.0)], Path::new("."));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "warm_speedup" && o.status == BudgetStatus::Skip));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "cache_hit_rate" && o.status == BudgetStatus::Pass));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "telemetry_overhead" && o.status == BudgetStatus::Skip));
+    }
+}

@@ -27,8 +27,10 @@ use crate::span::SpanStat;
 /// History: 1 — initial schema; 2 — `timings` gained the `cache` section
 /// (artifact-store activity); 3 — invariant `provenance` section (per-spec
 /// evidence accounting); 4 — `timings` gained the `jobs` section
-/// (demand-driven job-engine activity).
-pub const REPORT_SCHEMA_VERSION: u32 = 4;
+/// (demand-driven job-engine activity); 5 — `timings` gained the
+/// `attribution` section (per-job cost tree roll-up) and histogram
+/// snapshots gained `p50`/`p95`/`p99`.
+pub const REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// Top-level run report. See the module docs for the determinism split.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -177,6 +179,65 @@ pub struct TimingsSection {
     pub cache: CacheSection,
     /// Job-engine activity of this run.
     pub jobs: JobsSection,
+    /// Per-job cost attribution over the job graph.
+    pub attribution: AttributionSection,
+}
+
+/// Per-job cost attribution: the roll-up of the job engine's cost records
+/// (see `uspec_telemetry::attribution`). Lives under `timings` because
+/// every field is cache- and schedule-dependent — a warm run executes
+/// nothing and attributes near-zero wall time.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct AttributionSection {
+    /// Cost records retained for this run (one per resolved demand).
+    pub records: u64,
+    /// Records dropped by the retention cap; cross-validation against
+    /// `timings.jobs` is exact only when this is 0.
+    pub dropped: u64,
+    /// Per-kind totals as `(kind, stats)` rows. Row order follows the job
+    /// engine's kind order; every known kind appears even when idle, so
+    /// rows align with `timings.jobs.kinds`.
+    pub kinds: Vec<(String, KindAttribution)>,
+    /// The top records by self time, most expensive first.
+    pub top_self: Vec<AttributedJob>,
+}
+
+/// Cost totals for one job kind.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindAttribution {
+    /// Demands resolved (executed + memo_hits + store_hits).
+    pub demands: u64,
+    /// Demands that executed the job body.
+    pub executed: u64,
+    /// Demands answered by the in-process memo table.
+    pub memo_hits: u64,
+    /// Demands answered by decoding the durable store.
+    pub store_hits: u64,
+    /// Total wall time of executed demands (body + store write-back);
+    /// at least the `job.<kind>` span total, which nests inside it.
+    pub exec_ns: u64,
+    /// Executed wall time minus the wall time of nested demands — where
+    /// this kind itself spent the run.
+    pub self_ns: u64,
+    /// Payload bytes decoded by store hits.
+    pub decoded_bytes: u64,
+}
+
+/// One job in the `top_self` ranking.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttributedJob {
+    /// Job kind.
+    pub kind: String,
+    /// Hex content fingerprint of the job's key.
+    pub key: String,
+    /// How the demand was satisfied: `executed`, `memo`, or `store`.
+    pub outcome: String,
+    /// Wall time of the whole resolution.
+    pub wall_ns: u64,
+    /// Wall time net of nested demands.
+    pub self_ns: u64,
+    /// Payload bytes decoded (store hits only).
+    pub decoded_bytes: u64,
 }
 
 /// Demand-driven job-engine activity. Lives under `timings` for the same
@@ -357,6 +418,9 @@ mod tests {
                 count: 5,
                 sum: 300,
                 buckets: vec![(63, 4), (127, 1)],
+                p50: 63,
+                p95: 127,
+                p99: 127,
             },
         );
         r.timings.jobs = JobsSection {
@@ -383,6 +447,30 @@ mod tests {
                     },
                 ),
             ],
+        };
+        r.timings.attribution = AttributionSection {
+            records: 600,
+            dropped: 0,
+            kinds: vec![(
+                "score".to_owned(),
+                KindAttribution {
+                    demands: 294,
+                    executed: 294,
+                    memo_hits: 0,
+                    store_hits: 0,
+                    exec_ns: 900_000_000,
+                    self_ns: 750_000_000,
+                    decoded_bytes: 0,
+                },
+            )],
+            top_self: vec![AttributedJob {
+                kind: "score".to_owned(),
+                key: "00112233445566778899aabbccddeeff".to_owned(),
+                outcome: "executed".to_owned(),
+                wall_ns: 12_000_000,
+                self_ns: 11_000_000,
+                decoded_bytes: 0,
+            }],
         };
         r
     }

@@ -1,0 +1,126 @@
+//! Invariance of the run-ledger entry across sharding and cache state.
+//!
+//! A ledger entry splits into an `invariant` section (command, engine,
+//! digest, deterministic counters) and machine-local `timings`. For a
+//! fixed corpus and options, the invariant section must be byte-identical
+//! no matter how the stream is sharded and no matter whether the artifact
+//! cache was cold or warm — otherwise `uspec perf diff` would report
+//! phantom regressions whenever the cache state changed. The corpus
+//! fingerprint in the envelope must be equally stable, since `perf check`
+//! uses it (via the digest) to decide which runs are comparable.
+//!
+//! Also pins the cost-attribution cross-validation exactly: per-kind
+//! executed/memo/store counts in `timings.attribution` must equal the
+//! independently-counted `timings.jobs` rows. This test lives alone in
+//! its own binary: the telemetry registry and attribution log are
+//! process-global, and exact equality needs `uspec_telemetry::reset()`
+//! between runs without concurrent tests mutating them.
+
+use uspec::{run_pipeline_cached, PipelineOptions};
+use uspec_corpus::{generate_corpus, java_library, GenOptions, SliceSource};
+use uspec_store::ArtifactStore;
+use uspec_telemetry::ledger::{LedgerEntry, LedgerEnvelope};
+
+fn fixed_envelope(corpus_fp: String) -> LedgerEnvelope {
+    // Identity fields are pinned so entry comparisons see only what the
+    // run computed, not where or when this test executed.
+    LedgerEnvelope {
+        git_rev: "test".into(),
+        host: "test".into(),
+        timestamp_ms: 1,
+        corpus_fp,
+    }
+}
+
+#[test]
+fn ledger_invariants_survive_sharding_and_cache_state() {
+    let lib = java_library();
+    let table = lib.api_table();
+    let files = generate_corpus(
+        &lib,
+        &GenOptions {
+            num_files: 150,
+            seed: 9,
+            ..GenOptions::default()
+        },
+    );
+    let sources: Vec<(String, String)> = files.into_iter().map(|f| (f.name, f.source)).collect();
+    let cache_root =
+        std::env::temp_dir().join(format!("uspec-ledger-invariance-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let store = ArtifactStore::open(&cache_root).unwrap();
+
+    // cold/warm at shards of 64, then ragged (17) and single-shard (1000)
+    // runs against the now-populated cache.
+    let mut runs: Vec<(&str, LedgerEntry)> = Vec::new();
+    for (label, shard_size) in [
+        ("cold-64", 64),
+        ("warm-64", 64),
+        ("ragged-17", 17),
+        ("one-shard-1000", 1000),
+    ] {
+        uspec_telemetry::reset();
+        let opts = PipelineOptions {
+            shard_size,
+            ..PipelineOptions::default()
+        };
+        let result = run_pipeline_cached(&SliceSource::new(&sources), &table, &opts, Some(&store));
+        let report = uspec::build_run_report("learn", &result, &opts, 0.6, 0.0);
+
+        // Exact attribution/jobs agreement: both sides count the same
+        // demands through independent paths (per-key cost records vs.
+        // per-kind counters), so with no dropped records they must match.
+        let attr = &report.timings.attribution;
+        let jobs = &report.timings.jobs;
+        assert_eq!(attr.dropped, 0, "{label}: cost log overflowed");
+        assert!(attr.records > 0, "{label}: no cost records");
+        assert_eq!(attr.kinds.len(), jobs.kinds.len());
+        let mut demand_sum = 0;
+        for ((ak, a), (jk, j)) in attr.kinds.iter().zip(jobs.kinds.iter()) {
+            assert_eq!(ak, jk, "{label}: kind rows out of order");
+            assert_eq!(a.executed, j.executed, "{label}/{ak}: executed");
+            assert_eq!(a.memo_hits, j.memo_hits, "{label}/{ak}: memo hits");
+            assert_eq!(a.store_hits, j.store_hits, "{label}/{ak}: store hits");
+            assert_eq!(
+                a.demands,
+                a.executed + a.memo_hits + a.store_hits,
+                "{label}/{ak}: demand accounting"
+            );
+            demand_sum += a.demands;
+        }
+        assert_eq!(attr.records, demand_sum, "{label}: record total");
+
+        let entry =
+            LedgerEntry::from_report(&report, fixed_envelope(result.corpus_fingerprint.hex()));
+        runs.push((label, entry));
+    }
+
+    // The warm run really did reuse the cold run's artifacts.
+    assert!(
+        runs[1].1.timings.cache.hits > 0,
+        "warm-64 run hit the store"
+    );
+
+    // Invariant section and corpus fingerprint: byte-identical everywhere.
+    let baseline = serde_json::to_string_pretty(&runs[0].1.invariant).unwrap();
+    for (label, entry) in &runs[1..] {
+        let bytes = serde_json::to_string_pretty(&entry.invariant).unwrap();
+        assert_eq!(baseline, bytes, "{label} changed the invariant section");
+        assert_eq!(
+            runs[0].1.envelope.corpus_fp, entry.envelope.corpus_fp,
+            "{label} changed the corpus fingerprint"
+        );
+    }
+
+    // And therefore perf diff between cold and warm is clean: identical
+    // digests, zero counter drift.
+    let d = uspec_telemetry::perf::diff(&runs[0].1, &runs[1].1);
+    assert!(d.digest_equal, "cold/warm digests differ");
+    assert!(
+        d.counter_drift.is_empty(),
+        "cold/warm counter drift: {:?}",
+        d.counter_drift
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_root);
+}

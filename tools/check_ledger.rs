@@ -1,0 +1,134 @@
+//! CI validator for run-ledger directories.
+//!
+//! Usage: `check_ledger <ledger-dir>`
+//!
+//! Validates every entry in the directory (and requires at least one):
+//!
+//! 1. a **typed** parse into [`LedgerEntry`] with the current
+//!    `LEDGER_SCHEMA_VERSION` — missing fields fail here;
+//! 2. an **exact key-set** check by byte round-trip: the CLI writes
+//!    entries with `serde_json::to_string_pretty` of the same struct, so
+//!    re-serializing the parsed entry must reproduce the file exactly.
+//!    Unknown fields (which typed parsing silently drops), reordered
+//!    fields, or a drifted producer all surface as a byte difference;
+//! 3. **envelope sanity**: non-empty git revision, host, command, and
+//!    corpus fingerprint, a non-zero timestamp, and a 32-hex invariant
+//!    digest;
+//! 4. **accounting**: cache `hits + misses == lookups`, per-kind
+//!    attribution `demands == executed + memo_hits + store_hits`, and
+//!    (when no records were dropped) the record total equals the
+//!    per-kind demand sum.
+
+use std::process::ExitCode;
+
+use uspec_store::LedgerDir;
+use uspec_telemetry::ledger::{LedgerEntry, LEDGER_SCHEMA_VERSION};
+
+fn check_entry(id: &str, text: &str) -> Result<LedgerEntry, String> {
+    let e: LedgerEntry = serde_json::from_str(text)
+        .map_err(|err| format!("{id}: typed deserialization failed: {err}"))?;
+    if e.schema != LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "{id}: schema {} != expected {LEDGER_SCHEMA_VERSION}",
+            e.schema
+        ));
+    }
+
+    // Exact key set via byte round-trip against the producer's serializer.
+    let round = serde_json::to_string_pretty(&e)
+        .map_err(|err| format!("{id}: re-serialization failed: {err}"))?;
+    if round != text {
+        return Err(format!(
+            "{id}: entry does not round-trip byte-identically — unknown, extra, \
+             or reordered fields (schema drift? bump LEDGER_SCHEMA_VERSION)"
+        ));
+    }
+
+    let env = &e.envelope;
+    if env.git_rev.is_empty() || env.host.is_empty() {
+        return Err(format!("{id}: empty git_rev or host in envelope"));
+    }
+    if env.timestamp_ms == 0 {
+        return Err(format!("{id}: envelope timestamp_ms is 0"));
+    }
+    if env.corpus_fp.is_empty() {
+        return Err(format!("{id}: envelope corpus_fp is empty"));
+    }
+    let inv = &e.invariant;
+    if inv.command.is_empty() || inv.engine.is_empty() {
+        return Err(format!("{id}: empty command or engine"));
+    }
+    if inv.digest.len() != 32 || !inv.digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!(
+            "{id}: invariant digest `{}` is not 32 hex chars",
+            inv.digest
+        ));
+    }
+
+    let cache = &e.timings.cache;
+    if cache.hits + cache.misses != cache.lookups {
+        return Err(format!(
+            "{id}: cache accounting broken: {} hits + {} misses != {} lookups",
+            cache.hits, cache.misses, cache.lookups
+        ));
+    }
+    let attr = &e.timings.attribution;
+    let mut demand_sum = 0u64;
+    for (kind, a) in &attr.kinds {
+        if a.demands != a.executed + a.memo_hits + a.store_hits {
+            return Err(format!(
+                "{id}: attribution accounting broken for `{kind}`: \
+                 {} demands != {} + {} + {}",
+                a.demands, a.executed, a.memo_hits, a.store_hits
+            ));
+        }
+        demand_sum += a.demands;
+    }
+    if attr.dropped == 0 && attr.records != demand_sum {
+        return Err(format!(
+            "{id}: attribution records {} != per-kind demand sum {demand_sum}",
+            attr.records
+        ));
+    }
+    Ok(e)
+}
+
+fn check(dir: &str) -> Result<String, String> {
+    let ledger = LedgerDir::open(dir).map_err(|e| format!("opening {dir}: {e}"))?;
+    let entries = ledger
+        .entries()
+        .map_err(|e| format!("reading {dir}: {e}"))?;
+    if entries.is_empty() {
+        return Err(format!(
+            "{dir}: no ledger entries — did the run record one?"
+        ));
+    }
+    let mut commands = Vec::new();
+    for (id, text) in &entries {
+        let e = check_entry(id, text)?;
+        commands.push(e.invariant.command.clone());
+    }
+    Ok(format!(
+        "ledger OK: {} entr{} ({}) in {dir}",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+        commands.join(", ")
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: check_ledger <ledger-dir>");
+        return ExitCode::FAILURE;
+    };
+    match check(&dir) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_ledger: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

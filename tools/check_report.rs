@@ -15,12 +15,16 @@
 //! offline cannot express `deny_unknown_fields`, so the scan is the only
 //! unknown-field detector we have.
 //!
-//! Also asserts run-level sanity: `schema == 4`, analyzed files > 0,
+//! Also asserts run-level sanity: `schema == 5`, analyzed files > 0,
 //! non-zero stage timings (a report whose spans are all empty means the
 //! instrumentation was compiled out or disabled — CI should notice), and
 //! internally consistent cache and job-engine accounting
 //! (`hits + misses == lookups`; `reused` equals the per-kind
-//! `memo_hits + store_hits` sum).
+//! `memo_hits + store_hits` sum). The cost-attribution roll-up is
+//! cross-validated against the independently-maintained job counters and
+//! spans: when no records were dropped, per-kind executed/memo/store
+//! counts must match `timings.jobs` exactly, and per-kind executed wall
+//! time must be at least the nested `job.<kind>` span total.
 
 use std::process::ExitCode;
 
@@ -241,9 +245,9 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Schema whitelist (schema version 4). Every struct level of RunReport.
+// Schema whitelist (schema version 5). Every struct level of RunReport.
 
-const SCHEMA_4: &[(&str, &[&str])] = &[
+const SCHEMA_5: &[(&str, &[&str])] = &[
     (
         "",
         &[
@@ -315,11 +319,16 @@ const SCHEMA_4: &[(&str, &[&str])] = &[
             "histograms",
             "cache",
             "jobs",
+            "attribution",
         ],
     ),
     (
         "timings.jobs",
         &["executed", "reused", "invalidated", "kinds"],
+    ),
+    (
+        "timings.attribution",
+        &["records", "dropped", "kinds", "top_self"],
     ),
     (
         "timings.cache",
@@ -357,7 +366,7 @@ fn check(report_text: &str) -> Result<String, String> {
 
     // 2. Structural scan: exact key set at every level.
     let root = parse(report_text)?;
-    for &(path, expected) in SCHEMA_4 {
+    for &(path, expected) in SCHEMA_5 {
         let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
         let mut keys = node.keys();
         keys.sort_unstable();
@@ -384,6 +393,16 @@ fn check(report_text: &str) -> Result<String, String> {
             keys.sort_unstable();
             if keys != ["count", "max_ns", "total_ns"] {
                 return Err(format!("span `{name}` has unexpected fields {keys:?}"));
+            }
+        }
+    }
+    // Each histogram snapshot carries its buckets plus the derived tails.
+    if let Some(Json::Obj(hists)) = lookup(&root, "timings.histograms") {
+        for (name, snap) in hists {
+            let mut keys = snap.keys();
+            keys.sort_unstable();
+            if keys != ["buckets", "count", "p50", "p95", "p99", "sum"] {
+                return Err(format!("histogram `{name}` has unexpected fields {keys:?}"));
             }
         }
     }
@@ -423,6 +442,56 @@ fn check(report_text: &str) -> Result<String, String> {
             jobs.reused, kind_reuse
         ));
     }
+    // Cost attribution cross-validates against the job-engine counters:
+    // both sides are recorded independently (per-key cost records vs.
+    // per-kind counters), so agreement means neither path lost events.
+    // Exactness requires the record log not to have hit its cap.
+    let attr = &typed.timings.attribution;
+    if attr.dropped == 0 {
+        for (kind, a) in &attr.kinds {
+            let Some((_, j)) = jobs.kinds.iter().find(|(k, _)| k == kind) else {
+                return Err(format!("attribution kind `{kind}` unknown to timings.jobs"));
+            };
+            if a.executed != j.executed
+                || a.memo_hits != j.memo_hits
+                || a.store_hits != j.store_hits
+            {
+                return Err(format!(
+                    "attribution/jobs disagree for `{kind}`: \
+                     executed {}/{}, memo {}/{}, store {}/{}",
+                    a.executed, j.executed, a.memo_hits, j.memo_hits, a.store_hits, j.store_hits
+                ));
+            }
+            if a.demands != a.executed + a.memo_hits + a.store_hits {
+                return Err(format!(
+                    "attribution accounting broken for `{kind}`: {} demands != {} + {} + {}",
+                    a.demands, a.executed, a.memo_hits, a.store_hits
+                ));
+            }
+            // The executed wall clock starts before the `job.<kind>` span
+            // guard is created, so it strictly contains the span.
+            let span_total = typed
+                .timings
+                .spans
+                .get(&format!("job.{kind}"))
+                .map(|s| s.total_ns)
+                .unwrap_or(0);
+            if a.exec_ns < span_total {
+                return Err(format!(
+                    "attribution exec_ns {} for `{kind}` is below the job.{kind} \
+                     span total {span_total}",
+                    a.exec_ns
+                ));
+            }
+        }
+        let kind_records: u64 = attr.kinds.iter().map(|(_, k)| k.demands).sum();
+        if attr.records != kind_records {
+            return Err(format!(
+                "attribution records {} != per-kind demand sum {kind_records}",
+                attr.records
+            ));
+        }
+    }
     let prov = &typed.provenance;
     if prov.per_spec.len() as u64 != prov.specs {
         return Err(format!(
@@ -441,7 +510,7 @@ fn check(report_text: &str) -> Result<String, String> {
     Ok(format!(
         "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, \
          {} evidence records over {} specs, {} timed spans, cache {}/{} hits, \
-         jobs {} executed / {} reused",
+         jobs {} executed / {} reused, {} cost records attributed",
         typed.schema,
         typed.command,
         typed.engine,
@@ -453,7 +522,8 @@ fn check(report_text: &str) -> Result<String, String> {
         typed.timings.cache.hits,
         typed.timings.cache.lookups,
         typed.timings.jobs.executed,
-        typed.timings.jobs.reused
+        typed.timings.jobs.reused,
+        typed.timings.attribution.records
     ))
 }
 
