@@ -42,6 +42,10 @@ cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_telemetry --
 # be byte-identical (BENCH_incremental.json; the 10x edit-speedup floor is
 # asserted only on full-sized runs, not in --smoke).
 cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_incremental -- --smoke
+# Serve daemon smoke: concurrent-client qps/latency, edit-to-fresh lag, and
+# byte-identity of served answers against the batch pipeline
+# (BENCH_serve.json; the edit-job-fraction cap is asserted on full runs).
+cargo bench "${FLAGS[@]+"${FLAGS[@]}"}" -p uspec-bench --bench perf_serve -- --smoke
 # Run-report smoke: a real `eval` must emit a metrics file that the
 # validator accepts (schema version, exact key set at every level — our
 # unknown-field drift detector — and non-zero stage timings), and a span
@@ -114,4 +118,43 @@ if cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     perf check --ledger target/ci-ledger-regressed --budgets perf-budgets.toml -q; then
     echo "ci: perf check accepted a seeded regression"; exit 1
 fi
+# Serve smoke: start the daemon over a small corpus, query it through the
+# one-shot client, edit a corpus file, poll until the new generation is
+# served (the watcher + incremental re-learn path), shut it down over the
+# protocol, and validate the final metrics report (whose timings.serve
+# section check_report cross-validates: requests = dispatched + rejected).
+rm -rf target/ci-serve-corpus target/ci-serve-cache
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    generate --lang java --files 40 --out target/ci-serve-corpus -q
+SOCK=target/ci-serve.sock
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    serve --lang java --socket "$SOCK" --cache-dir target/ci-serve-cache \
+    --metrics-out target/ci-serve-report.json target/ci-serve-corpus -q &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.2; done
+[ -S "$SOCK" ] || { echo "ci: serve daemon never bound its socket"; exit 1; }
+send() {
+    cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+        serve --send "$1" --socket "$SOCK" -q
+}
+send '{"id":1,"method":"status"}' | grep -q '"ok":true' \
+    || { echo "ci: serve status failed"; exit 1; }
+send '{"id":2,"method":"spec.lookup"}' | grep -q '"spec":' \
+    || { echo "ci: serve lookup returned no specs"; exit 1; }
+send '{"id":3,"method":"nonsense"}' | grep -q '"code":"method"' \
+    || { echo "ci: unknown method not rejected with a typed error"; exit 1; }
+# Edit a corpus file; the daemon must pick it up and serve a new generation.
+printf '\nfn ci_edit() { s0 = "edited"; }\n' >> "$(ls target/ci-serve-corpus/*.u | head -1)"
+fresh=""
+for _ in $(seq 1 150); do
+    if send '{"id":4,"method":"status"}' | grep -q '"gen":2'; then fresh=yes; break; fi
+    sleep 0.2
+done
+[ -n "$fresh" ] || { echo "ci: edited corpus never produced generation 2"; exit 1; }
+send '{"id":5,"method":"shutdown"}' | grep -q "shutting down" \
+    || { echo "ci: serve shutdown not acknowledged"; exit 1; }
+wait "$SERVE_PID"
+trap - EXIT
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_report -- target/ci-serve-report.json
 echo "ci: all checks passed"

@@ -1,0 +1,230 @@
+//! Serve-daemon benchmark: query throughput, tail latency, and the
+//! edit-to-fresh-answer path.
+//!
+//! An in-process [`uspec_serve::Server`] is started over a generated
+//! on-disk corpus (Unix socket, warm artifact store), then measured on
+//! three axes:
+//!
+//! * **throughput/latency** — N concurrent clients issue single-request
+//!   round trips; reported as qps plus p50/p95/p99 latency;
+//! * **edit-to-fresh** — one corpus file is edited on disk and clients
+//!   poll `status` until the generation moves; the elapsed wall time is
+//!   the user-visible freshness lag. Because the server and this harness
+//!   share one process, the global `jobs.executed` counter proves the
+//!   re-learn replayed unchanged files: the edit's executed-job delta
+//!   must stay well below the initial cold learn's;
+//! * **byte identity** — a served `explain` answer is compared against
+//!   the batch pipeline + serializer output for the same corpus, byte
+//!   for byte (the serve contract: never a private dialect).
+//!
+//! Pass `--smoke` for a CI-sized run. Writes `BENCH_serve.json` at the
+//! repo root in the shared envelope format.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use uspec::run_pipeline_cached;
+use uspec_corpus::{java_library, SliceSource};
+use uspec_serve::{roundtrip_unix, Listener, ServeOptions, Server};
+
+/// Non-smoke floor: the edit re-learn may execute at most this fraction
+/// of the cold learn's jobs (the rest must replay from the store).
+const MAX_EDIT_JOB_FRACTION: f64 = 0.5;
+
+fn counter(name: &str) -> u64 {
+    uspec_telemetry::metrics::global()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Extracts the `gen` a successful response was answered from.
+fn response_gen(line: &str) -> u64 {
+    uspec_serve::json::parse(line)
+        .ok()
+        .and_then(|v| v.get("gen").and_then(uspec_serve::json::Json::as_u64))
+        .unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let num_files = if smoke { 64 } else { 256 };
+    let clients = if smoke { 4 } else { 8 };
+    let requests_per_client = if smoke { 40 } else { 200 };
+
+    let lib = java_library();
+    let sources = uspec_bench::corpus_sources(&lib, num_files, 47);
+    let dir = std::env::temp_dir().join(format!("uspec-perf-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus_dir = dir.join("corpus");
+    std::fs::create_dir_all(&corpus_dir).expect("corpus dir");
+    let mut on_disk = Vec::new();
+    for (name, source) in &sources {
+        let path = corpus_dir.join(name);
+        std::fs::write(&path, source).expect("corpus file");
+        on_disk.push((path.display().to_string(), source.clone()));
+    }
+    on_disk.sort();
+
+    let opts = ServeOptions {
+        poll_ms: 10,
+        debounce_ms: 20,
+        workers: clients,
+        cache_dir: Some(dir.join("cache")),
+        ..ServeOptions::default()
+    };
+    let socket = dir.join("uspec.sock");
+    let listener = Listener::bind_unix(&socket).expect("socket binds");
+    let started = Instant::now();
+    let server = Server::start(&corpus_dir, &lib, opts.clone(), listener).expect("server starts");
+    let startup_secs = started.elapsed().as_secs_f64();
+    let jobs_cold = counter("jobs.executed");
+
+    // Byte identity: the batch pipeline over the same on-disk names, the
+    // same serializer — must equal the served `explain` result exactly.
+    let result = run_pipeline_cached(
+        &SliceSource::new(&on_disk),
+        &lib.api_table(),
+        &opts.pipeline,
+        None,
+    );
+    let mut provenance = result.provenance;
+    provenance.retain_specs(|s| result.learned.get(s).is_some());
+    let expected =
+        serde_json::to_string(&uspec::explain_entries(&result.learned, &provenance, None))
+            .expect("explain serializes");
+    let served = roundtrip_unix(&socket, &[r#"{"id":1,"method":"explain"}"#]).expect("explain");
+    let prefix = "{\"id\":1,\"gen\":1,\"ok\":true,\"result\":";
+    assert!(
+        served[0].starts_with(prefix) && served[0].ends_with('}'),
+        "unexpected envelope: {}",
+        served[0]
+    );
+    assert_eq!(
+        &served[0][prefix.len()..served[0].len() - 1],
+        expected,
+        "served explain differs from the batch pipeline"
+    );
+
+    // Throughput and tail latency under concurrent clients. Each request
+    // is its own connection round trip — the honest end-to-end cost a
+    // shell or editor integration pays.
+    let queries = [
+        r#"{"id":1,"method":"spec.lookup"}"#,
+        r#"{"id":1,"method":"status"}"#,
+        r#"{"id":1,"method":"alias.may","params":{"a":"java.util.HashMap.get/1","b":"java.util.HashMap.get/1"}}"#,
+    ];
+    let bench_start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let socket = &socket;
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut ns = Vec::with_capacity(requests_per_client);
+                    for i in 0..requests_per_client {
+                        let line = queries[(c + i) % queries.len()];
+                        let t0 = Instant::now();
+                        let r = roundtrip_unix(socket, &[line]).expect("query");
+                        ns.push(t0.elapsed().as_nanos() as u64);
+                        assert!(r[0].contains("\"ok\":true"), "query failed: {}", r[0]);
+                    }
+                    ns
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let bench_secs = bench_start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let total_requests = latencies.len();
+    let qps = total_requests as f64 / bench_secs.max(1e-9);
+    let p50_ms = percentile(&latencies, 0.50) as f64 / 1e6;
+    let p95_ms = percentile(&latencies, 0.95) as f64 / 1e6;
+    let p99_ms = percentile(&latencies, 0.99) as f64 / 1e6;
+
+    // Edit-to-fresh: touch one file, poll until the served generation
+    // moves past it. The daemon's poll + debounce + incremental re-learn
+    // all land inside this window.
+    let jobs_before_edit = counter("jobs.executed");
+    let victim = Path::new(&on_disk[on_disk.len() / 2].0);
+    let mut edited = std::fs::read_to_string(victim).expect("victim reads");
+    edited.push_str("\nfn edited9999() { s0 = \"edited\"; }\n");
+    let edit_start = Instant::now();
+    std::fs::write(victim, &edited).expect("victim writes");
+    loop {
+        let r = roundtrip_unix(&socket, &[r#"{"id":1,"method":"status"}"#]).expect("status");
+        if response_gen(&r[0]) >= 2 {
+            break;
+        }
+        assert!(
+            edit_start.elapsed() < Duration::from_secs(120),
+            "edit never became visible"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let edit_to_fresh_secs = edit_start.elapsed().as_secs_f64();
+    let jobs_edit_delta = counter("jobs.executed") - jobs_before_edit;
+    let edit_fraction = jobs_edit_delta as f64 / jobs_cold.max(1) as f64;
+
+    let server_requests = counter("serve.requests");
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    uspec_bench::print_table(
+        "serve daemon: concurrent query latency and freshness",
+        &["metric", "value"],
+        &[
+            vec!["qps".into(), format!("{qps:.0}")],
+            vec!["p50 (ms)".into(), format!("{p50_ms:.3}")],
+            vec!["p95 (ms)".into(), format!("{p95_ms:.3}")],
+            vec!["p99 (ms)".into(), format!("{p99_ms:.3}")],
+            vec!["edit→fresh (s)".into(), format!("{edit_to_fresh_secs:.3}")],
+            vec!["cold learn jobs".into(), jobs_cold.to_string()],
+            vec!["edit re-learn jobs".into(), jobs_edit_delta.to_string()],
+        ],
+    );
+    println!(
+        "  files: {num_files}  clients: {clients}  requests: {total_requests}  \
+         served: {server_requests}  startup: {startup_secs:.3}s  \
+         edit job fraction: {edit_fraction:.3} (cap {MAX_EDIT_JOB_FRACTION})"
+    );
+
+    let envelope = uspec_bench::bench_envelope("perf_serve", smoke);
+    let json = format!(
+        "{{\n{envelope}  \"files\": {num_files},\n  \"clients\": {clients},\n  \"requests\": {total_requests},\n  \"qps\": {qps:.2},\n  \"p50_ms\": {p50_ms:.4},\n  \"p95_ms\": {p95_ms:.4},\n  \"p99_ms\": {p99_ms:.4},\n  \"startup_seconds\": {startup_secs:.4},\n  \"edit_to_fresh_seconds\": {edit_to_fresh_secs:.4},\n  \"jobs_cold\": {jobs_cold},\n  \"jobs_edit_delta\": {jobs_edit_delta},\n  \"edit_job_fraction\": {edit_fraction:.4},\n  \"max_edit_job_fraction\": {MAX_EDIT_JOB_FRACTION},\n  \"batch_identical\": true\n}}\n"
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", out.display()),
+    }
+
+    // The incremental contract: the re-learn after a one-file edit must
+    // replay (not re-execute) most of the cold run's jobs. The smoke
+    // corpus is big enough for this to hold there too, but keep the hard
+    // assertion on full runs where fixed costs can't dominate.
+    if !smoke {
+        assert!(
+            edit_fraction <= MAX_EDIT_JOB_FRACTION,
+            "edit re-learn executed {jobs_edit_delta} of {jobs_cold} cold jobs \
+             ({edit_fraction:.3} > {MAX_EDIT_JOB_FRACTION}) — the job cone is not being reused"
+        );
+    }
+}

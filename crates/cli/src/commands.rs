@@ -13,7 +13,7 @@ use uspec_corpus::{
     SliceSource,
 };
 use uspec_lang::{lower_program, parse, LowerOptions, Symbol};
-use uspec_learn::{Counterfactual, EvidenceRecord, LearnedSpecs, ProvenanceIndex};
+use uspec_learn::{LearnedSpecs, ProvenanceIndex};
 use uspec_pta::{EngineKind, Pta, PtaAggregate, PtaOptions, SpecDb};
 use uspec_store::{fingerprint_str, ArtifactStore};
 use uspec_telemetry::{log_info, DiagnosticsSection, Level, RunReport};
@@ -49,7 +49,7 @@ struct SpecFileProbe {
     schema: u32,
 }
 
-fn library_for(opts: &Opts) -> Result<Library, OptError> {
+pub(crate) fn library_for(opts: &Opts) -> Result<Library, OptError> {
     match opts.value_or("lang", "java") {
         "java" => Ok(java_library()),
         "python" => Ok(python_library()),
@@ -73,7 +73,7 @@ fn engine_for(opts: &Opts) -> Result<EngineKind, OptError> {
 
 /// Builds [`PipelineOptions`] from the shared analysis flags
 /// (`--shard-size`, `--max-diagnostics`, `--engine`).
-fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
+pub(crate) fn pipeline_opts(opts: &Opts) -> Result<PipelineOptions, OptError> {
     let defaults = PipelineOptions::default();
     let mut popts = PipelineOptions {
         shard_size: opts.num("shard-size", defaults.shard_size)?,
@@ -228,7 +228,7 @@ fn write_trace(opts: &Opts) -> Result<(), OptError> {
 }
 
 /// Serializes `report` to `--metrics-out PATH` when the flag is given.
-fn write_metrics(opts: &Opts, report: &RunReport) -> Result<(), OptError> {
+pub(crate) fn write_metrics(opts: &Opts, report: &RunReport) -> Result<(), OptError> {
     let Some(path) = opts.value("metrics-out") else {
         return Ok(());
     };
@@ -244,7 +244,7 @@ fn write_metrics(opts: &Opts, report: &RunReport) -> Result<(), OptError> {
 /// the entry rides along with the artifact cache under
 /// `<cache-dir>/ledger/` (no cache configured means no ledger — a purely
 /// ephemeral run leaves no history).
-fn ledger_dest(opts: &Opts) -> Option<PathBuf> {
+pub(crate) fn ledger_dest(opts: &Opts) -> Option<PathBuf> {
     if opts.switch("no-ledger") {
         return None;
     }
@@ -377,6 +377,27 @@ pub fn learn(args: Vec<String>) -> Result<(), OptError> {
     if sources.is_empty() {
         return Err(OptError("no *.u files found".into()));
     }
+    // `--dirty` entries must name corpus files (full name or final path
+    // component, mirroring `PipelineOptions::dirty` matching) — a typo'd
+    // name would otherwise be accepted and silently force nothing.
+    let unknown: Vec<&str> = popts
+        .dirty
+        .iter()
+        .filter(|d| {
+            !sources.iter().any(|(name, _)| {
+                name == *d || Path::new(name).file_name().is_some_and(|f| f == d.as_str())
+            })
+        })
+        .map(String::as_str)
+        .collect();
+    if !unknown.is_empty() {
+        return Err(OptError(format!(
+            "--dirty names {} file(s) not in the corpus: {} \
+             (entries match a corpus file's full name or final path component)",
+            unknown.len(),
+            unknown.join(", ")
+        )));
+    }
     log_info!(
         "learning from {} files (shards of {}) ...",
         sources.len(),
@@ -464,18 +485,6 @@ pub fn show(args: Vec<String>) -> Result<(), OptError> {
     Ok(())
 }
 
-/// One spec's explanation, as serialized by `uspec explain --json`.
-#[derive(Serialize)]
-struct ExplainEntry {
-    spec: String,
-    score: f64,
-    matches: u64,
-    evidence_total: u64,
-    evidence_overflow: u64,
-    evidence: Vec<EvidenceRecord>,
-    counterfactual: Option<Counterfactual>,
-}
-
 /// `uspec explain`: render the evidence behind learned specifications —
 /// which corpus call sites induced the scored edges, how the model judged
 /// each (per-feature logit contributions), and what the score becomes
@@ -498,23 +507,9 @@ pub fn explain(args: Vec<String>) -> Result<(), OptError> {
         ));
     }
 
-    let entries: Vec<ExplainEntry> = file
-        .provenance
-        .iter()
-        .filter(|(spec, _)| query.is_none_or(|q| spec.to_string().contains(q)))
-        .map(|(spec, sp)| {
-            let scored = file.learned.get(spec);
-            ExplainEntry {
-                spec: spec.to_string(),
-                score: scored.map_or(0.0, |s| s.score),
-                matches: scored.map_or(0, |s| s.matches as u64),
-                evidence_total: sp.total,
-                evidence_overflow: sp.overflow(),
-                evidence: sp.evidence.clone(),
-                counterfactual: sp.counterfactual.clone(),
-            }
-        })
-        .collect();
+    // Shared with the serve daemon's `explain` method — one producer keeps
+    // batch and served answers byte-identical.
+    let entries = uspec::explain_entries(&file.learned, &file.provenance, query);
     if entries.is_empty() {
         return Err(OptError(match query {
             Some(q) => format!("no learned spec matches `{q}` (try `uspec show {path}`)"),
@@ -1242,6 +1237,53 @@ mod tests {
             err.0.contains(&SPEC_FILE_SCHEMA_VERSION.to_string()),
             "{err}"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn learn_rejects_dirty_names_absent_from_corpus() {
+        let dir = tmpdir("dirty-validate");
+        let corpus = dir.join("corpus");
+        generate(vec![
+            "--lang".into(),
+            "java".into(),
+            "--files".into(),
+            "10".into(),
+            "--out".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        let existing = fs::read_dir(&corpus)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .file_name()
+            .into_string()
+            .unwrap();
+        // A basename that exists is accepted; unknown names are a hard
+        // error that lists every offender.
+        learn(vec![
+            "--lang".into(),
+            "java".into(),
+            "--dirty".into(),
+            existing.clone(),
+            "-q".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap();
+        let err = learn(vec![
+            "--lang".into(),
+            "java".into(),
+            "--dirty".into(),
+            format!("{existing},ghost.u,typo.u"),
+            "-q".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("ghost.u"), "{err}");
+        assert!(err.0.contains("typo.u"), "{err}");
+        assert!(!err.0.contains(&existing), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -13,6 +13,7 @@
 mod commands;
 mod opt;
 mod perf;
+mod serve;
 
 use opt::OptError;
 
@@ -35,6 +36,7 @@ fn main() {
         "report" => commands::report(args),
         "cache" => commands::cache(args),
         "perf" => perf::perf(args),
+        "serve" => serve::serve(args),
         other => Err(OptError(format!(
             "unknown command `{other}`; run `uspec help`"
         ))),
@@ -78,7 +80,7 @@ USAGE:
           default info; debug echoes timing spans)
       -q                                          shorthand for errors only
   Machine-readable metrics (learn, eval, analyze):
-      --metrics-out FILE.json    write the versioned run report (schema 5):
+      --metrics-out FILE.json    write the versioned run report (schema 6):
           counters, diagnostics, provenance, and timings for the whole run
           (cache, job-engine, and per-job cost activity appear under the
           machine-local timings.cache / timings.jobs / timings.attribution
@@ -129,10 +131,27 @@ USAGE:
       --max-bytes, least-recently-used first) an artifact cache directory.
       stats and verify print JSON with --json. Also honors USPEC_CACHE_DIR.
 
+  uspec serve --lang <java|python> (--socket PATH | --tcp ADDR) DIR
+      Run the resident spec-query daemon: learn the corpus once, watch it
+      for edits (re-learning only the edited files' job cones through the
+      artifact cache), and answer newline-delimited JSON requests on the
+      socket. Methods: spec.lookup, alias.may, explain, analyze.snippet,
+      status, shutdown. Each response carries the spec generation it was
+      answered from. Accepts the shared analysis, cache, ledger, metrics,
+      and logging flags plus:
+        --poll-ms N       corpus scan interval (default 50)
+        --debounce-ms N   quiet period before re-learning a batch (100)
+        --workers N       concurrent request workers (default 4)
+      One-shot client mode (no corpus, daemon must be running):
+        uspec serve --send LINE (--socket PATH | --tcp ADDR)
+            send one request line, print the one response line, exit.
+
   uspec perf <list|show|diff|check> [--ledger DIR | --cache-dir DIR]
       Inspect the run ledger and enforce performance budgets.
-        list                     one line per recorded run, oldest first
-        show [ID]                full JSON of one entry (default: latest)
+        list [--json]            one line per recorded run, oldest first
+                                 (--json: array of entry summaries)
+        show [ID] [--json]       full JSON of one entry (default: latest;
+                                 --json: compact single-line output)
         diff [BEFORE AFTER]      compare two entries (default: prev latest);
             invariant counters compare exactly, timings with a noise floor
         check [--budgets FILE] [--bench-dir DIR]

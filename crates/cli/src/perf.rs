@@ -35,7 +35,7 @@ pub fn perf(args: Vec<String>) -> Result<(), OptError> {
     let ledger = LedgerDir::open(&dir)
         .map_err(|e| OptError(format!("opening ledger {}: {e}", dir.display())))?;
     match action {
-        "list" => list(&ledger),
+        "list" => list(&ledger, &opts),
         "show" => show(&ledger, &opts),
         "diff" => diff(&ledger, &opts),
         "check" => check(&ledger, &opts),
@@ -103,11 +103,48 @@ fn resolve_id(ledger: &LedgerDir, what: &str) -> Result<String, OptError> {
     Ok(ids[ids.len() - from_end].clone())
 }
 
-/// `uspec perf list`: one line per entry, oldest first.
-fn list(ledger: &LedgerDir) -> Result<(), OptError> {
+/// One `uspec perf list --json` row: the identifying slice of a ledger
+/// entry (`perf show ID` retrieves the full record).
+#[derive(serde::Serialize)]
+struct ListRow {
+    id: String,
+    command: String,
+    total_seconds: f64,
+    digest: String,
+    git_rev: String,
+    host: String,
+    timestamp_ms: u64,
+    corpus_fp: String,
+}
+
+/// `uspec perf list [--json]`: one line (or JSON row) per entry, oldest
+/// first.
+fn list(ledger: &LedgerDir, opts: &Opts) -> Result<(), OptError> {
     let ids = ledger
         .ids()
         .map_err(|e| OptError(format!("listing ledger: {e}")))?;
+    if opts.switch("json") {
+        let rows: Vec<ListRow> = ids
+            .iter()
+            .map(|id| {
+                let e = load_entry(ledger, id)?;
+                Ok(ListRow {
+                    id: id.clone(),
+                    command: e.invariant.command,
+                    total_seconds: e.timings.total_seconds,
+                    digest: e.invariant.digest,
+                    git_rev: e.envelope.git_rev,
+                    host: e.envelope.host,
+                    timestamp_ms: e.envelope.timestamp_ms,
+                    corpus_fp: e.envelope.corpus_fp,
+                })
+            })
+            .collect::<Result<_, OptError>>()?;
+        let json = serde_json::to_string_pretty(&rows)
+            .map_err(|e| OptError(format!("serializing list: {e}")))?;
+        println!("{json}");
+        return Ok(());
+    }
     if ids.is_empty() {
         println!("ledger {}: no entries", ledger.dir().display());
         return Ok(());
@@ -126,7 +163,9 @@ fn list(ledger: &LedgerDir) -> Result<(), OptError> {
     Ok(())
 }
 
-/// `uspec perf show [ID]`: the full JSON record (default: latest).
+/// `uspec perf show [ID] [--json]`: the full record (default: latest) —
+/// pretty-printed for humans, one compact line with `--json` so scripted
+/// callers can pipe entries without re-joining lines.
 fn show(ledger: &LedgerDir, opts: &Opts) -> Result<(), OptError> {
     let what = opts
         .positional
@@ -137,8 +176,12 @@ fn show(ledger: &LedgerDir, opts: &Opts) -> Result<(), OptError> {
     // Re-serialize the parsed entry rather than echoing the file: a schema
     // mismatch or corrupt record errors out instead of printing garbage.
     let entry = load_entry(ledger, &id)?;
-    let json = serde_json::to_string_pretty(&entry)
-        .map_err(|e| OptError(format!("serializing ledger entry: {e}")))?;
+    let json = if opts.switch("json") {
+        serde_json::to_string(&entry)
+    } else {
+        serde_json::to_string_pretty(&entry)
+    }
+    .map_err(|e| OptError(format!("serializing ledger entry: {e}")))?;
     println!("{json}");
     Ok(())
 }
@@ -344,6 +387,47 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.0.contains("budget"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn list_and_show_accept_json_mode() {
+        let (root, ledger) = tmp_ledger("json");
+        let flags = || {
+            vec![
+                "--ledger".to_owned(),
+                root.display().to_string(),
+                "--json".to_owned(),
+                "-q".to_owned(),
+            ]
+        };
+        // An empty ledger lists as an empty JSON array (not prose).
+        perf([vec!["list".into()], flags()].concat()).unwrap();
+        ledger.append(&entry(1.5)).unwrap();
+        perf([vec!["list".into()], flags()].concat()).unwrap();
+        perf([vec!["show".into(), "latest".into()], flags()].concat()).unwrap();
+        // The row type carries the fields scripts key on.
+        let e = load_entry(&ledger, &resolve_id(&ledger, "latest").unwrap()).unwrap();
+        let row = ListRow {
+            id: "x".into(),
+            command: e.invariant.command,
+            total_seconds: e.timings.total_seconds,
+            digest: e.invariant.digest,
+            git_rev: e.envelope.git_rev,
+            host: e.envelope.host,
+            timestamp_ms: e.envelope.timestamp_ms,
+            corpus_fp: e.envelope.corpus_fp,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        for key in [
+            "\"id\"",
+            "\"command\"",
+            "\"total_seconds\"",
+            "\"digest\"",
+            "\"corpus_fp\"",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
         let _ = fs::remove_dir_all(&root);
     }
 }

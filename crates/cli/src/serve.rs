@@ -1,0 +1,112 @@
+//! `uspec serve` — run (or query) the resident spec-query daemon.
+//!
+//! Server mode learns the corpus once, then stays resident: a polling
+//! watcher re-learns edited files' job cones and swaps generations while
+//! workers answer newline-JSON queries on a Unix (or TCP) socket. Client
+//! mode (`--send LINE`) connects, sends one request line, prints the one
+//! response line, and exits — enough for shell scripts and the CI smoke
+//! test without any external socket tool.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use uspec_serve::{Listener, ServeOptions, Server};
+use uspec_telemetry::log_info;
+
+use crate::commands::{
+    cache_dir, init_logging, ledger_dest, library_for, pipeline_opts, write_metrics,
+};
+use crate::opt::{OptError, Opts};
+
+const USAGE: &str = "usage: uspec serve --lang <java|python> (--socket PATH | --tcp ADDR) DIR\n\
+                     \x20      uspec serve --send LINE (--socket PATH | --tcp ADDR)";
+
+/// `uspec serve`.
+pub fn serve(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "lang",
+            "socket",
+            "tcp",
+            "send",
+            "tau",
+            "poll-ms",
+            "debounce-ms",
+            "workers",
+            "shard-size",
+            "max-diagnostics",
+            "engine",
+            "cache-dir",
+            "metrics-out",
+            "ledger",
+            "log-level",
+        ],
+    )?;
+    init_logging(&opts)?;
+
+    // One-shot client mode: no corpus, no daemon — talk to a running one.
+    if let Some(line) = opts.value("send") {
+        let response = match (opts.value("socket"), opts.value("tcp")) {
+            (Some(path), None) => uspec_serve::roundtrip_unix(Path::new(path), &[line]),
+            (None, Some(addr)) => uspec_serve::roundtrip_tcp(addr, &[line]),
+            _ => {
+                return Err(OptError(format!(
+                    "--send needs exactly one of --socket PATH or --tcp ADDR\n{USAGE}"
+                )))
+            }
+        }
+        .map_err(|e| OptError(format!("sending request: {e}")))?;
+        println!("{}", response[0]);
+        return Ok(());
+    }
+
+    let library = library_for(&opts)?;
+    let corpus = opts
+        .positional
+        .first()
+        .ok_or_else(|| OptError(format!("a corpus directory is required\n{USAGE}")))?;
+    let serve_opts = ServeOptions {
+        tau: opts.num("tau", 0.6)?,
+        poll_ms: opts.num("poll-ms", 50)?,
+        debounce_ms: opts.num("debounce-ms", 100)?,
+        workers: opts.num("workers", 4)?,
+        pipeline: pipeline_opts(&opts)?,
+        cache_dir: cache_dir(&opts).map(PathBuf::from),
+        ledger_dir: ledger_dest(&opts),
+        ..ServeOptions::default()
+    };
+    let listener = match (opts.value("socket"), opts.value("tcp")) {
+        (Some(path), None) => Listener::bind_unix(Path::new(path))
+            .map_err(|e| OptError(format!("binding socket {path}: {e}")))?,
+        (None, Some(addr)) => {
+            Listener::bind_tcp(addr).map_err(|e| OptError(format!("binding {addr}: {e}")))?
+        }
+        _ => {
+            return Err(OptError(format!(
+                "exactly one of --socket PATH or --tcp ADDR is required\n{USAGE}"
+            )))
+        }
+    };
+
+    let server = Server::start(Path::new(corpus), &library, serve_opts, listener)
+        .map_err(|e| OptError(format!("starting server: {e}")))?;
+    match (server.socket_path(), server.tcp_addr()) {
+        (Some(path), _) => log_info!("serve: listening on {}", path.display()),
+        (None, Some(addr)) => log_info!("serve: listening on {addr}"),
+        _ => {}
+    }
+    log_info!("serve: send {{\"method\":\"shutdown\"}} to stop");
+
+    // The daemon runs until a client requests shutdown. There is no signal
+    // handling (no such dependency is vendored) — kill(1) also works, it
+    // just skips the final metrics write below.
+    while !server.shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let report = server.final_report();
+    server.join();
+    write_metrics(&opts, &report)?;
+    log_info!("serve: stopped");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Shared assembly of spec explanations.
+//!
+//! `uspec explain` (batch CLI) and the `explain` method of `uspec serve`
+//! must produce **byte-identical** JSON for the same learned result — the
+//! serve bench asserts it. The only way to guarantee that is one producer:
+//! both callers build their entries here and serialize the same structs.
+
+use serde::Serialize;
+use uspec_learn::{Counterfactual, EvidenceRecord, LearnedSpecs, ProvenanceIndex};
+
+/// One spec's explanation, as serialized by `uspec explain --json` and the
+/// serve protocol's `explain` method.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplainEntry {
+    /// Rendered spec (`Display` of [`uspec_pta::Spec`]).
+    pub spec: String,
+    /// Selection score of the spec (0 when unscored).
+    pub score: f64,
+    /// Corpus match count backing the score.
+    pub matches: u64,
+    /// Scored induced edges recorded for the spec, including capped-out.
+    pub evidence_total: u64,
+    /// Records dropped by the per-spec evidence cap.
+    pub evidence_overflow: u64,
+    /// Retained evidence records (corpus file:line, features, margins).
+    pub evidence: Vec<EvidenceRecord>,
+    /// Score without the strongest edge, when recorded.
+    pub counterfactual: Option<Counterfactual>,
+}
+
+/// Builds the explanation entries for every provenance-carrying spec whose
+/// rendered form contains `query` (`None` selects all), in the provenance
+/// index's deterministic spec order.
+pub fn explain_entries(
+    learned: &LearnedSpecs,
+    provenance: &ProvenanceIndex,
+    query: Option<&str>,
+) -> Vec<ExplainEntry> {
+    provenance
+        .iter()
+        .filter(|(spec, _)| query.is_none_or(|q| spec.to_string().contains(q)))
+        .map(|(spec, sp)| {
+            let scored = learned.get(spec);
+            ExplainEntry {
+                spec: spec.to_string(),
+                score: scored.map_or(0.0, |s| s.score),
+                matches: scored.map_or(0, |s| s.matches as u64),
+                evidence_total: sp.total,
+                evidence_overflow: sp.overflow(),
+                evidence: sp.evidence.clone(),
+                counterfactual: sp.counterfactual.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_pipeline, PipelineOptions};
+    use uspec_corpus::{generate_corpus, java_library, GenOptions};
+
+    #[test]
+    fn entries_follow_provenance_and_filter_by_substring() {
+        let lib = java_library();
+        let files = generate_corpus(
+            &lib,
+            &GenOptions {
+                num_files: 60,
+                seed: 3,
+                ..GenOptions::default()
+            },
+        );
+        let sources: Vec<(String, String)> =
+            files.into_iter().map(|f| (f.name, f.source)).collect();
+        let result = run_pipeline(&sources, &lib.api_table(), &PipelineOptions::default());
+
+        let all = explain_entries(&result.learned, &result.provenance, None);
+        assert_eq!(all.len(), result.provenance.len());
+        for e in &all {
+            assert_eq!(
+                e.evidence_overflow,
+                e.evidence_total - e.evidence.len() as u64
+            );
+        }
+        let ret_arg = explain_entries(&result.learned, &result.provenance, Some("RetArg"));
+        assert!(ret_arg.iter().all(|e| e.spec.contains("RetArg")));
+        assert!(ret_arg.len() <= all.len());
+        let none = explain_entries(&result.learned, &result.provenance, Some("NoSuchSpec"));
+        assert!(none.is_empty());
+    }
+}

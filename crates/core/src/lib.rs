@@ -40,6 +40,7 @@
 
 pub mod cache;
 pub mod eval;
+pub mod explain;
 pub mod jobs;
 pub mod pipeline;
 pub mod report;
@@ -49,12 +50,13 @@ pub use eval::{
     compare_on_corpus, precision_recall, stable_obj_key, ClassifiedSite, DiffCategory, DiffReport,
     PrPoint,
 };
+pub use explain::{explain_entries, ExplainEntry};
 pub use pipeline::{
     analyze_source, analyze_source_with_specs, run_pipeline, run_pipeline_cached,
     run_pipeline_streaming, CorpusStats, CorpusTotals, PipelineOptions, PipelineResult,
 };
 pub use report::{
-    build_run_report, cache_section, jobs_section, provenance_section, pta_counters,
+    build_run_report, cache_section, jobs_section, provenance_section, pta_counters, serve_section,
     timings_section,
 };
 pub use stage::{

@@ -13,7 +13,7 @@ use uspec_pta::PtaAggregate;
 use uspec_telemetry::{
     attribution, metrics, span, AttributionSection, CacheSection, CandidateCounters,
     CorpusCounters, DiagnosticsSection, JobKindStats, JobsSection, ModelCounters,
-    ProvenanceSection, PtaCounters, RunReport, TimingsSection,
+    ProvenanceSection, PtaCounters, RunReport, ServeSection, TimingsSection,
 };
 
 use crate::pipeline::{PipelineOptions, PipelineResult};
@@ -101,6 +101,30 @@ pub fn jobs_section() -> JobsSection {
     }
 }
 
+/// Snapshots the `serve.*` counters into the report's machine-local
+/// `timings.serve` section. All zeros for batch commands; the spec-query
+/// daemon (`uspec serve`) increments them as it answers traffic.
+/// Per-method rows come from the `serve.method.<name>` counter namespace,
+/// so the section needs no compile-time list of protocol methods.
+pub fn serve_section() -> ServeSection {
+    let counters = metrics::global().snapshot().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    const METHOD_PREFIX: &str = "serve.method.";
+    ServeSection {
+        requests: get("serve.requests"),
+        rejected: get("serve.rejected"),
+        errors: get("serve.errors"),
+        batches: get("serve.batches"),
+        connections: get("serve.connections"),
+        relearns: get("serve.relearns"),
+        watch_scans: get("serve.watch.scans"),
+        by_method: counters
+            .iter()
+            .filter_map(|(name, &n)| name.strip_prefix(METHOD_PREFIX).map(|m| (m.to_owned(), n)))
+            .collect(),
+    }
+}
+
 /// How many jobs the `timings.attribution.top_self` ranking retains.
 pub const ATTRIBUTION_TOP_N: usize = 10;
 
@@ -125,6 +149,7 @@ pub fn timings_section(total_seconds: f64) -> TimingsSection {
         cache: cache_section(),
         jobs: jobs_section(),
         attribution: attribution_section(),
+        serve: serve_section(),
     }
 }
 
@@ -182,8 +207,10 @@ pub fn build_run_report(
     // are broken out in the machine-local `timings` section instead
     // (`timings.cache`, `timings.jobs`), and the graph totals remain
     // invariantly reported via `counters.corpus`, which comes from the
-    // per-file stats payloads rather than live construction.
-    const CACHE_DEPENDENT: [&str; 4] = ["store.", "jobs.", "graph.", "corpus."];
+    // per-file stats payloads rather than live construction. `serve.*`
+    // counts request traffic against a resident daemon, which is never
+    // a function of the corpus — it lives in `timings.serve`.
+    const CACHE_DEPENDENT: [&str; 5] = ["store.", "jobs.", "graph.", "corpus.", "serve."];
     report.counters.metrics = metrics::global()
         .snapshot()
         .counters

@@ -1,0 +1,35 @@
+//! # uspec-serve
+//!
+//! A resident spec-query daemon over the USpec pipeline: load-or-learn a
+//! specification database once, keep it fresh by watching the corpus
+//! directory, and answer concurrent queries over a Unix-domain (or TCP)
+//! socket without ever re-running the batch CLI.
+//!
+//! The protocol is newline-delimited JSON ([`protocol`]): each request
+//! line names a method (`spec.lookup`, `alias.may`, `explain`,
+//! `analyze.snippet`, `status`, `shutdown`) and each response line echoes
+//! the request id plus the specification **generation** it was answered
+//! from. Edits to the corpus are detected by a deterministic polling
+//! watcher ([`watcher`]), debounced, and re-learned incrementally through
+//! the cached job pipeline — only the edited files' job cones re-execute
+//! — while readers keep answering from the previous generation's
+//! immutable snapshot ([`server`]).
+//!
+//! Served payloads are serialized by the same code paths as the batch
+//! CLI (`uspec::explain_entries`, the typed serializer), so a served
+//! answer is byte-identical to what the CLI would print for the same
+//! learned state — the serve benchmark asserts exactly that.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod watcher;
+
+pub use protocol::{
+    err_response, ok_response, parse_request, ErrorCode, FrameEvent, FrameReader, Request,
+    MAX_FRAME_BYTES,
+};
+pub use server::{roundtrip_tcp, roundtrip_unix, Generation, Listener, ServeOptions, Server};
+pub use watcher::{diff, scan, Debouncer, FileMeta, Snapshot};

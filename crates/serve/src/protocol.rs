@@ -1,0 +1,323 @@
+//! The serve wire protocol: newline-delimited JSON frames.
+//!
+//! One request per line, one response line per request, in order. A
+//! response is either
+//!
+//! ```json
+//! {"id":1,"gen":3,"ok":true,"result":…}
+//! {"id":1,"gen":3,"ok":false,"error":{"code":"params","message":"…"}}
+//! ```
+//!
+//! `gen` is the specification generation the answer was computed against —
+//! clients watching for an edit to become visible poll `status` until it
+//! moves. The `result` payload is serialized by the same typed serializer
+//! the batch CLI uses, so served bytes can be compared against CLI output
+//! directly; only the envelope around it is hand-built (see
+//! [`crate::json`] for why).
+//!
+//! Malformed input of any shape — unparseable JSON, a megabyte line with
+//! no newline, a client that disconnects mid-write — must produce a typed
+//! error response or a clean connection close, never a panic or an
+//! unbounded buffer.
+
+use std::io::{BufRead, ErrorKind};
+
+use crate::json::{self, Json};
+
+/// Default cap on one frame's bytes (newline excluded). Oversized frames
+/// are drained (not buffered) up to their newline and answered with an
+/// `oversized` error, so one hostile client cannot balloon a worker.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Typed protocol error categories, serialized as `error.code`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not a well-formed request object.
+    Parse,
+    /// The method name is not one the server exposes.
+    Method,
+    /// The method is known but its parameters are missing or mistyped.
+    Params,
+    /// The frame exceeded [`MAX_FRAME_BYTES`].
+    Oversized,
+    /// The server failed while computing an answer.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Method => "method",
+            ErrorCode::Params => "params",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim (`null` when
+    /// absent or not a non-negative integer).
+    pub id: Option<u64>,
+    /// Method name, e.g. `spec.lookup`.
+    pub method: String,
+    /// Method parameters; `Json::Null` when absent.
+    pub params: Json,
+}
+
+/// Parses one frame into a [`Request`]. Errors carry whatever `id` could
+/// be recovered so the failure response still correlates.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ErrorCode, String)> {
+    let v = json::parse(line).map_err(|e| (None, ErrorCode::Parse, format!("bad JSON: {e}")))?;
+    let Json::Obj(_) = v else {
+        return Err((
+            None,
+            ErrorCode::Parse,
+            "request must be a JSON object".into(),
+        ));
+    };
+    let id = v.get("id").and_then(Json::as_u64);
+    let method = match v.get("method").and_then(Json::as_str) {
+        Some(m) if !m.is_empty() => m.to_owned(),
+        _ => {
+            return Err((
+                id,
+                ErrorCode::Parse,
+                "request carries no `method` string".into(),
+            ))
+        }
+    };
+    let params = v.get("params").cloned().unwrap_or(Json::Null);
+    Ok(Request { id, method, params })
+}
+
+fn id_json(id: Option<u64>) -> String {
+    match id {
+        Some(n) => n.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+/// Builds a success envelope around an already-serialized `result` payload.
+pub fn ok_response(id: Option<u64>, generation: u64, result_json: &str) -> String {
+    format!(
+        "{{\"id\":{},\"gen\":{generation},\"ok\":true,\"result\":{result_json}}}\n",
+        id_json(id)
+    )
+}
+
+/// Builds an error envelope.
+pub fn err_response(id: Option<u64>, generation: u64, code: ErrorCode, message: &str) -> String {
+    format!(
+        "{{\"id\":{},\"gen\":{generation},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{}}}}}\n",
+        id_json(id),
+        code.as_str(),
+        json::escape(message)
+    )
+}
+
+/// What one [`FrameReader::next`] call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame is available via [`FrameReader::frame`].
+    Msg,
+    /// A frame exceeded the byte cap; its bytes were drained, not kept.
+    Oversized,
+    /// The peer closed the connection.
+    Eof,
+    /// The read timed out (used to poll the shutdown flag); frame state is
+    /// preserved, call again.
+    Timeout,
+}
+
+/// Incremental newline-frame reader with a byte cap.
+///
+/// Resumable across read timeouts: a frame half-received when the socket
+/// times out is kept and completed by the next call, so workers can poll
+/// the server's shutdown flag without losing bytes.
+#[derive(Debug)]
+pub struct FrameReader {
+    max: usize,
+    buf: Vec<u8>,
+    overflowed: bool,
+    finished: bool,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max` bytes per frame.
+    pub fn new(max: usize) -> FrameReader {
+        FrameReader {
+            max,
+            buf: Vec::new(),
+            overflowed: false,
+            finished: false,
+        }
+    }
+
+    /// The last completed frame's bytes (valid after [`FrameEvent::Msg`]).
+    pub fn frame(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Reads until a frame completes, the peer closes, or the read times
+    /// out. Interrupted reads are retried; `WouldBlock`/`TimedOut` surface
+    /// as [`FrameEvent::Timeout`].
+    pub fn next(&mut self, r: &mut impl BufRead) -> std::io::Result<FrameEvent> {
+        if self.finished {
+            self.buf.clear();
+            self.overflowed = false;
+            self.finished = false;
+        }
+        loop {
+            let available = match r.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(FrameEvent::Timeout)
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF. A trailing unterminated frame still counts — the
+                // peer wrote it and hung up without the final newline.
+                self.finished = true;
+                return Ok(if self.overflowed {
+                    FrameEvent::Oversized
+                } else if self.buf.is_empty() {
+                    self.finished = false;
+                    FrameEvent::Eof
+                } else {
+                    FrameEvent::Msg
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !self.overflowed && self.buf.len() + pos > self.max {
+                        self.overflowed = true;
+                        self.buf.clear();
+                    }
+                    if !self.overflowed {
+                        self.buf.extend_from_slice(&available[..pos]);
+                        if self.buf.last() == Some(&b'\r') {
+                            self.buf.pop();
+                        }
+                    }
+                    r.consume(pos + 1);
+                    self.finished = true;
+                    return Ok(if self.overflowed {
+                        FrameEvent::Oversized
+                    } else {
+                        FrameEvent::Msg
+                    });
+                }
+                None => {
+                    let n = available.len();
+                    if !self.overflowed {
+                        self.buf.extend_from_slice(available);
+                        if self.buf.len() > self.max {
+                            self.overflowed = true;
+                            self.buf.clear();
+                        }
+                    }
+                    r.consume(n);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn events(input: &[u8], max: usize) -> Vec<(FrameEvent, String)> {
+        let mut r = std::io::BufReader::new(Cursor::new(input.to_vec()));
+        let mut fr = FrameReader::new(max);
+        let mut out = Vec::new();
+        loop {
+            let ev = fr.next(&mut r).unwrap();
+            let frame = String::from_utf8_lossy(fr.frame()).into_owned();
+            if ev == FrameEvent::Eof {
+                break;
+            }
+            out.push((ev, frame));
+        }
+        out
+    }
+
+    #[test]
+    fn frames_split_on_newlines_and_strip_cr() {
+        let got = events(b"one\r\ntwo\nlast-no-newline", 100);
+        assert_eq!(
+            got,
+            vec![
+                (FrameEvent::Msg, "one".into()),
+                (FrameEvent::Msg, "two".into()),
+                (FrameEvent::Msg, "last-no-newline".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_drained_not_buffered() {
+        let mut input = vec![b'x'; 50];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = events(&input, 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, FrameEvent::Oversized);
+        assert!(got[0].1.is_empty(), "oversized bytes must not be kept");
+        assert_eq!(got[1], (FrameEvent::Msg, "ok".into()));
+    }
+
+    #[test]
+    fn oversized_detection_counts_across_fill_buf_chunks() {
+        // An unterminated flood larger than the cap, closed without a
+        // newline: one Oversized event, then EOF.
+        let input = vec![b'y'; 1000];
+        let got = events(&input, 64);
+        assert_eq!(got, vec![(FrameEvent::Oversized, String::new())]);
+    }
+
+    #[test]
+    fn parse_request_recovers_id_for_error_correlation() {
+        let err = parse_request(r#"{"id": 9, "params": {}}"#).unwrap_err();
+        assert_eq!(err.0, Some(9));
+        assert_eq!(err.1, ErrorCode::Parse);
+
+        let err = parse_request("not json").unwrap_err();
+        assert_eq!(err.0, None);
+        assert_eq!(err.1, ErrorCode::Parse);
+
+        let req = parse_request(r#"{"method":"status"}"#).unwrap();
+        assert_eq!(req.id, None);
+        assert_eq!(req.method, "status");
+        assert_eq!(req.params, Json::Null);
+    }
+
+    #[test]
+    fn envelopes_are_valid_json() {
+        let ok = ok_response(Some(4), 2, "[1,2]");
+        let v = crate::json::parse(ok.trim_end()).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("gen").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+
+        let err = err_response(None, 7, ErrorCode::Params, "missing `a`\nsee docs");
+        let v = crate::json::parse(err.trim_end()).unwrap();
+        assert_eq!(v.get("id"), Some(&Json::Null));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("params"));
+        assert!(e
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains('\n'));
+    }
+}

@@ -1,0 +1,945 @@
+//! The resident spec-query server.
+//!
+//! One process owns the learned result and keeps it fresh:
+//!
+//! * an **accept thread** hands client connections to a bounded worker
+//!   pool over a channel;
+//! * **worker threads** answer newline-JSON requests against a
+//!   generation-stamped `Arc<Generation>` snapshot — a whole pipelined
+//!   batch of requests is answered under *one* snapshot, so a client
+//!   never sees two generations interleaved within a batch;
+//! * a **watcher thread** polls the corpus directory
+//!   ([`crate::watcher`]) and emits debounced dirty batches;
+//! * a **learner thread** re-runs the cached pipeline on each batch and
+//!   swaps the new generation in. Re-learning reuses the artifact store
+//!   and job memos, so an edit re-executes only the edited files' job
+//!   cones — readers keep answering from the old `Arc` the whole time
+//!   and never block.
+//!
+//! Every learned generation appends a run-ledger entry (when a ledger
+//! directory is configured), and all traffic feeds the `serve.*`
+//! counters that the run report's `serve` section snapshots.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use uspec::{build_run_report, run_pipeline_cached, PipelineOptions};
+use uspec_clients::{
+    check_leaks, check_taint, check_typestate, LeakConfig, TaintConfig, TypestateProtocol,
+};
+use uspec_corpus::{Library, SliceSource};
+use uspec_lang::{lower_program, parse, ApiTable, MethodId, Symbol};
+use uspec_learn::{LearnedSpecs, ProvenanceIndex};
+use uspec_pta::{Pta, Spec, SpecDb};
+use uspec_store::ArtifactStore;
+use uspec_telemetry::{counter, gauge, histogram, log_info, log_warn, span, RunReport};
+
+use crate::json::Json;
+use crate::protocol::{
+    err_response, ok_response, parse_request, ErrorCode, FrameEvent, FrameReader, Request,
+    MAX_FRAME_BYTES,
+};
+use crate::watcher::{self, Debouncer};
+
+/// How often blocked socket reads and channel waits wake up to check the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Selection threshold τ for the served [`SpecDb`].
+    pub tau: f64,
+    /// Corpus re-scan period in milliseconds.
+    pub poll_ms: u64,
+    /// Quiet period (milliseconds) a change burst must survive before a
+    /// re-learn starts; rounded up to whole scans.
+    pub debounce_ms: u64,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Per-frame byte cap (see [`MAX_FRAME_BYTES`]).
+    pub max_frame_bytes: usize,
+    /// Pipeline knobs shared with the batch CLI (engine, shard size, …).
+    pub pipeline: PipelineOptions,
+    /// Artifact store directory: the daemon's incremental memory. Without
+    /// it every re-learn is a cold run.
+    pub cache_dir: Option<PathBuf>,
+    /// Run-ledger directory; every learned generation appends an entry.
+    pub ledger_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            tau: 0.6,
+            poll_ms: 50,
+            debounce_ms: 100,
+            workers: 4,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            pipeline: PipelineOptions::default(),
+            cache_dir: None,
+            ledger_dir: None,
+        }
+    }
+}
+
+/// One immutable learned state, shared with readers via `Arc`.
+#[derive(Debug)]
+pub struct Generation {
+    /// 1-based generation counter; bumps on every re-learn.
+    pub gen: u64,
+    /// Corpus files the generation was learned from.
+    pub files: usize,
+    /// τ the served [`SpecDb`] was selected at.
+    pub tau: f64,
+    /// All scored candidates.
+    pub learned: LearnedSpecs,
+    /// Evidence index restricted to scored candidates (the same
+    /// restriction `uspec learn --out` applies before saving).
+    pub provenance: ProvenanceIndex,
+    /// The closed specification database at `tau`.
+    pub specs: SpecDb,
+    /// Hex corpus fingerprint — changes exactly when the analyzed corpus
+    /// does, so clients can await freshness.
+    pub corpus_fp: String,
+    /// The run report of the learn that produced this generation.
+    pub report: RunReport,
+}
+
+/// Where the server listens.
+pub enum Listener {
+    /// A Unix-domain socket (the default transport).
+    Unix(UnixListener),
+    /// A TCP socket (opt-in, for cross-host use).
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a Unix socket at `path`, replacing a stale socket file.
+    pub fn bind_unix(path: &Path) -> std::io::Result<Listener> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(Listener::Unix(UnixListener::bind(path)?))
+    }
+
+    /// Binds a TCP listener (e.g. `127.0.0.1:0`).
+    pub fn bind_tcp(addr: &str) -> std::io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+}
+
+enum Accepted {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+struct Shared {
+    table: ApiTable,
+    opts: ServeOptions,
+    corpus_dir: PathBuf,
+    current: RwLock<Arc<Generation>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn generation(&self) -> Arc<Generation> {
+        self.current.read().expect("generation lock").clone()
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running serve daemon. Dropping without [`Server::join`] detaches the
+/// threads; the usual lifecycle is `start` → (work) → `shutdown` → `join`.
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    socket_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
+    started: Instant,
+}
+
+impl Server {
+    /// Learns the initial generation synchronously (so a returned server
+    /// is immediately answerable), then starts the accept, worker,
+    /// watcher and learner threads.
+    pub fn start(
+        corpus_dir: &Path,
+        library: &Library,
+        opts: ServeOptions,
+        listener: Listener,
+    ) -> std::io::Result<Server> {
+        let store = match &opts.cache_dir {
+            Some(dir) => Some(ArtifactStore::open(dir)?),
+            None => None,
+        };
+        let (socket_path, tcp_addr) = match &listener {
+            Listener::Unix(l) => (
+                l.local_addr()
+                    .ok()
+                    .and_then(|a| a.as_pathname().map(Path::to_path_buf)),
+                None,
+            ),
+            Listener::Tcp(l) => (None, l.local_addr().ok()),
+        };
+
+        let shared = Arc::new(Shared {
+            table: library.api_table(),
+            opts,
+            corpus_dir: corpus_dir.to_path_buf(),
+            // Placeholder, replaced before any thread can observe it.
+            current: RwLock::new(Arc::new(empty_generation())),
+            shutdown: AtomicBool::new(false),
+        });
+        let first = learn_generation(&shared, store.as_ref(), 1)?;
+        log_info!(
+            "serve: generation 1 ready ({} files, {} specs at τ = {})",
+            first.files,
+            first.specs.len(),
+            first.tau
+        );
+        gauge!("serve.generation").record_max(1);
+        *shared.current.write().expect("generation lock") = Arc::new(first);
+
+        let mut threads = Vec::new();
+        let (conn_tx, conn_rx) = mpsc::channel::<Accepted>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (dirty_tx, dirty_rx) = mpsc::channel::<Vec<PathBuf>>();
+
+        threads.push(spawn_accept(shared.clone(), listener, conn_tx));
+        for _ in 0..shared.opts.workers.max(1) {
+            threads.push(spawn_worker(shared.clone(), conn_rx.clone()));
+        }
+        threads.push(spawn_watcher(shared.clone(), dirty_tx));
+        threads.push(spawn_learner(shared.clone(), store, dirty_rx));
+
+        Ok(Server {
+            shared,
+            threads,
+            socket_path,
+            tcp_addr,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound TCP address, when listening on TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path, when listening on a Unix socket.
+    pub fn socket_path(&self) -> Option<&Path> {
+        self.socket_path.as_deref()
+    }
+
+    /// The current generation snapshot.
+    pub fn generation(&self) -> Arc<Generation> {
+        self.shared.generation()
+    }
+
+    /// Whether a shutdown (flag or `shutdown` request) is in progress.
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Requests shutdown; threads drain within one poll tick.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The latest generation's report with its timing sections refreshed
+    /// over the server's whole uptime — what `--metrics-out` serializes at
+    /// exit, carrying the final `serve` traffic section.
+    pub fn final_report(&self) -> RunReport {
+        let gen = self.generation();
+        let mut report = gen.report.clone();
+        report.timings = uspec::timings_section(self.started.elapsed().as_secs_f64());
+        report
+    }
+
+    /// Signals shutdown (if not already signalled), joins every thread,
+    /// and removes the Unix socket file.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn empty_generation() -> Generation {
+    Generation {
+        gen: 0,
+        files: 0,
+        tau: 0.0,
+        learned: LearnedSpecs::default(),
+        provenance: ProvenanceIndex::default(),
+        specs: SpecDb::empty(),
+        corpus_fp: String::new(),
+        report: RunReport::new("serve", "worklist"),
+    }
+}
+
+/// Recursively collects `*.u` files under `root`, sorted (the same corpus
+/// order the batch CLI uses).
+fn collect_sources(root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "u") {
+            out.push((root.display().to_string(), std::fs::read_to_string(root)?));
+        }
+        return Ok(());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for p in paths {
+        collect_sources(&p, out)?;
+    }
+    Ok(())
+}
+
+/// Runs the cached pipeline over the corpus directory and packages the
+/// outcome as generation `gen_no`, appending a ledger entry when
+/// configured. Warm store + unchanged file ⇒ that file's jobs replay from
+/// the memo; only edited cones execute.
+fn learn_generation(
+    shared: &Shared,
+    store: Option<&ArtifactStore>,
+    gen_no: u64,
+) -> std::io::Result<Generation> {
+    let start = Instant::now();
+    let _span = span!("serve.learn");
+    let mut sources = Vec::new();
+    collect_sources(&shared.corpus_dir, &mut sources)?;
+    let result = run_pipeline_cached(
+        &SliceSource::new(&sources),
+        &shared.table,
+        &shared.opts.pipeline,
+        store,
+    );
+    let report = build_run_report(
+        "serve",
+        &result,
+        &shared.opts.pipeline,
+        shared.opts.tau,
+        start.elapsed().as_secs_f64(),
+    );
+    let corpus_fp = result.corpus_fingerprint.hex();
+    append_ledger(shared, &report, &corpus_fp);
+    // The same provenance restriction `uspec learn --out` applies: explain
+    // answers must match the batch CLI byte for byte.
+    let mut provenance = result.provenance;
+    provenance.retain_specs(|s| result.learned.get(s).is_some());
+    Ok(Generation {
+        gen: gen_no,
+        files: sources.len(),
+        tau: shared.opts.tau,
+        specs: result.learned.select(shared.opts.tau),
+        learned: result.learned,
+        provenance,
+        corpus_fp,
+        report,
+    })
+}
+
+fn append_ledger(shared: &Shared, report: &RunReport, corpus_fp: &str) {
+    let Some(dir) = &shared.opts.ledger_dir else {
+        return;
+    };
+    let entry = uspec_telemetry::ledger::LedgerEntry::from_report(
+        report,
+        uspec_telemetry::ledger::envelope(corpus_fp),
+    );
+    let appended = serde_json::to_string_pretty(&entry)
+        .map_err(std::io::Error::other)
+        .and_then(|json| uspec_store::LedgerDir::open(dir)?.append(&json));
+    match appended {
+        Ok(id) => log_info!("serve: ledger entry {id} appended to {}", dir.display()),
+        Err(e) => log_warn!("serve: ledger append failed: {e}"),
+    }
+}
+
+fn spawn_accept(
+    shared: Arc<Shared>,
+    listener: Listener,
+    conn_tx: mpsc::Sender<Accepted>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        match &listener {
+            Listener::Unix(l) => l.set_nonblocking(true).ok(),
+            Listener::Tcp(l) => l.set_nonblocking(true).ok(),
+        };
+        while !shared.shutting_down() {
+            let accepted = match &listener {
+                Listener::Unix(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_read_timeout(Some(POLL_TICK));
+                    Accepted::Unix(s)
+                }),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_read_timeout(Some(POLL_TICK));
+                    Accepted::Tcp(s)
+                }),
+            };
+            match accepted {
+                Ok(conn) => {
+                    counter!("serve.connections").inc();
+                    if conn_tx.send(conn).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    log_warn!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    })
+}
+
+fn spawn_worker(
+    shared: Arc<Shared>,
+    conn_rx: Arc<Mutex<mpsc::Receiver<Accepted>>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        let conn = {
+            let rx = conn_rx.lock().expect("connection queue lock");
+            match rx.recv_timeout(POLL_TICK) {
+                Ok(c) => c,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        // A connection failing mid-conversation (disconnect during a
+        // write, a broken pipe) ends that connection, never the worker.
+        let result = match conn {
+            Accepted::Unix(s) => s.try_clone().and_then(|r| serve_stream(&shared, r, s)),
+            Accepted::Tcp(s) => s.try_clone().and_then(|r| serve_stream(&shared, r, s)),
+        };
+        if let Err(e) = result {
+            counter!("serve.io_errors").inc();
+            log_warn!("serve: connection error: {e}");
+        }
+    })
+}
+
+fn spawn_watcher(shared: Arc<Shared>, dirty_tx: mpsc::Sender<Vec<PathBuf>>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let poll = Duration::from_millis(shared.opts.poll_ms.max(1));
+        let quiet_scans = shared.opts.debounce_ms.div_ceil(shared.opts.poll_ms.max(1)) as u32;
+        let mut debouncer = Debouncer::new(quiet_scans.max(1));
+        let mut snapshot = watcher::scan(&shared.corpus_dir);
+        while !shared.shutting_down() {
+            // Sleep the poll period in shutdown-checkable slices — a long
+            // poll interval must not delay a join by the whole interval.
+            let mut slept = Duration::ZERO;
+            while slept < poll && !shared.shutting_down() {
+                let slice = POLL_TICK.min(poll - slept);
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            if shared.shutting_down() {
+                return;
+            }
+            let next = watcher::scan(&shared.corpus_dir);
+            counter!("serve.watch.scans").inc();
+            let changed = watcher::diff(&snapshot, &next);
+            snapshot = next;
+            if !changed.is_empty() {
+                counter!("serve.watch.dirty_files").add(changed.len() as u64);
+            }
+            if let Some(batch) = debouncer.observe(changed) {
+                log_info!("serve: {} corpus path(s) changed, re-learning", batch.len());
+                if dirty_tx.send(batch).is_err() {
+                    return;
+                }
+            }
+        }
+    })
+}
+
+fn spawn_learner(
+    shared: Arc<Shared>,
+    store: Option<ArtifactStore>,
+    dirty_rx: mpsc::Receiver<Vec<PathBuf>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut gen_no = 1u64;
+        loop {
+            let mut batch = match dirty_rx.recv_timeout(POLL_TICK) {
+                Ok(b) => b,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            };
+            // Coalesce any batches that queued while a learn was running.
+            while let Ok(more) = dirty_rx.try_recv() {
+                batch.extend(more);
+            }
+            if shared.shutting_down() {
+                return;
+            }
+            gen_no += 1;
+            counter!("serve.relearns").inc();
+            match learn_generation(&shared, store.as_ref(), gen_no) {
+                Ok(generation) => {
+                    log_info!(
+                        "serve: generation {gen_no} ready ({} files, {} specs)",
+                        generation.files,
+                        generation.specs.len()
+                    );
+                    gauge!("serve.generation").record_max(gen_no);
+                    *shared.current.write().expect("generation lock") = Arc::new(generation);
+                }
+                // The previous generation keeps serving; the next quiet
+                // batch (or the same files fixed) retries.
+                Err(e) => log_warn!("serve: re-learn of generation {gen_no} failed: {e}"),
+            }
+        }
+    })
+}
+
+/// Serves one connection: frames in, responses out, batches answered
+/// under a single generation snapshot.
+fn serve_stream<R: Read, W: Write>(shared: &Shared, read: R, write: W) -> std::io::Result<()> {
+    let mut reader = BufReader::new(read);
+    let mut writer = BufWriter::new(write);
+    let mut frames = FrameReader::new(shared.opts.max_frame_bytes);
+    loop {
+        if shared.shutting_down() {
+            return Ok(());
+        }
+        let first = match frames.next(&mut reader)? {
+            FrameEvent::Timeout => continue,
+            FrameEvent::Eof => return Ok(()),
+            ev => ev,
+        };
+        // One snapshot per batch: every frame already buffered (a
+        // pipelining client) is answered against the same generation.
+        let _span = span!("serve.batch");
+        let generation = shared.generation();
+        counter!("serve.batches").inc();
+        let mut ev = first;
+        loop {
+            let quit = handle_frame(shared, &generation, &frames, ev, &mut writer)?;
+            if quit {
+                writer.flush()?;
+                return Ok(());
+            }
+            if !reader.buffer().contains(&b'\n') {
+                break;
+            }
+            ev = match frames.next(&mut reader)? {
+                FrameEvent::Eof => break,
+                FrameEvent::Timeout => break,
+                e => e,
+            };
+        }
+        writer.flush()?;
+    }
+}
+
+/// Answers one frame. Returns whether the connection should close (the
+/// frame was a granted `shutdown`).
+fn handle_frame(
+    shared: &Shared,
+    generation: &Generation,
+    frames: &FrameReader,
+    ev: FrameEvent,
+    writer: &mut impl Write,
+) -> std::io::Result<bool> {
+    counter!("serve.requests").inc();
+    let t0 = Instant::now();
+    let (response, quit) = match ev {
+        FrameEvent::Oversized => {
+            counter!("serve.rejected").inc();
+            counter!("serve.errors").inc();
+            (
+                err_response(
+                    None,
+                    generation.gen,
+                    ErrorCode::Oversized,
+                    &format!(
+                        "frame exceeds the {} byte cap and was discarded",
+                        shared.opts.max_frame_bytes
+                    ),
+                ),
+                false,
+            )
+        }
+        _ => {
+            let line = String::from_utf8_lossy(frames.frame());
+            match parse_request(&line) {
+                Err((id, code, message)) => {
+                    counter!("serve.rejected").inc();
+                    counter!("serve.errors").inc();
+                    (err_response(id, generation.gen, code, &message), false)
+                }
+                Ok(request) => dispatch(shared, generation, &request),
+            }
+        }
+    };
+    histogram!("serve.request_ns").record(t0.elapsed().as_nanos() as u64);
+    writer.write_all(response.as_bytes())?;
+    Ok(quit)
+}
+
+/// Routes a parsed request to its method handler and wraps the outcome.
+fn dispatch(shared: &Shared, generation: &Generation, request: &Request) -> (String, bool) {
+    // Per-method counters are literals because the registry interns
+    // `&'static str` names; the method set is closed, so a match is the
+    // whole registry.
+    let counted = match request.method.as_str() {
+        "spec.lookup" => Some(counter!("serve.method.spec.lookup")),
+        "alias.may" => Some(counter!("serve.method.alias.may")),
+        "explain" => Some(counter!("serve.method.explain")),
+        "analyze.snippet" => Some(counter!("serve.method.analyze.snippet")),
+        "status" => Some(counter!("serve.method.status")),
+        "shutdown" => Some(counter!("serve.method.shutdown")),
+        _ => None,
+    };
+    let Some(counted) = counted else {
+        counter!("serve.rejected").inc();
+        counter!("serve.errors").inc();
+        return (
+            err_response(
+                request.id,
+                generation.gen,
+                ErrorCode::Method,
+                &format!(
+                    "unknown method `{}` (expected spec.lookup, alias.may, explain, \
+                     analyze.snippet, status, or shutdown)",
+                    request.method
+                ),
+            ),
+            false,
+        );
+    };
+    counted.inc();
+    let mut quit = false;
+    let outcome = match request.method.as_str() {
+        "spec.lookup" => spec_lookup(generation, &request.params),
+        "alias.may" => alias_may(generation, &request.params),
+        "explain" => explain(generation, &request.params),
+        "analyze.snippet" => analyze_snippet(shared, generation, &request.params),
+        "status" => status(generation),
+        _ => {
+            // shutdown: acknowledge, then wind the whole server down.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            quit = true;
+            Ok("\"shutting down\"".to_owned())
+        }
+    };
+    match outcome {
+        Ok(result) => (ok_response(request.id, generation.gen, &result), quit),
+        Err((code, message)) => {
+            counter!("serve.errors").inc();
+            (
+                err_response(request.id, generation.gen, code, &message),
+                false,
+            )
+        }
+    }
+}
+
+type MethodResult = Result<String, (ErrorCode, String)>;
+
+fn internal(e: impl std::fmt::Display) -> (ErrorCode, String) {
+    (ErrorCode::Internal, e.to_string())
+}
+
+fn opt_str<'a>(params: &'a Json, key: &str) -> Result<Option<&'a str>, (ErrorCode, String)> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s)),
+        Some(_) => Err((ErrorCode::Params, format!("`{key}` must be a string"))),
+    }
+}
+
+fn need_str<'a>(params: &'a Json, key: &str) -> Result<&'a str, (ErrorCode, String)> {
+    opt_str(params, key)?.ok_or_else(|| (ErrorCode::Params, format!("`{key}` is required")))
+}
+
+fn opt_f64(params: &Json, key: &str) -> Result<Option<f64>, (ErrorCode, String)> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err((ErrorCode::Params, format!("`{key}` must be a number"))),
+    }
+}
+
+/// Parses `class.method/arity` (the [`MethodId::qualified`] rendering).
+fn parse_method(s: &str) -> Result<MethodId, (ErrorCode, String)> {
+    let bad = || {
+        (
+            ErrorCode::Params,
+            format!("`{s}` is not a method id (expected class.method/arity, e.g. java.util.HashMap.get/1)"),
+        )
+    };
+    let (path, arity) = s.rsplit_once('/').ok_or_else(bad)?;
+    let arity: u8 = arity.parse().map_err(|_| bad())?;
+    let (class, method) = path.rsplit_once('.').ok_or_else(bad)?;
+    if class.is_empty() || method.is_empty() {
+        return Err(bad());
+    }
+    Ok(MethodId::new(class, method, arity))
+}
+
+/// One row of a `spec.lookup` answer.
+#[derive(Serialize)]
+struct LookupRow {
+    spec: String,
+    score: f64,
+    matches: u64,
+}
+
+fn spec_lookup(generation: &Generation, params: &Json) -> MethodResult {
+    let query = opt_str(params, "query")?;
+    let tau = opt_f64(params, "tau")?.unwrap_or(generation.tau);
+    let rows: Vec<LookupRow> = generation
+        .learned
+        .selected(tau)
+        .filter(|s| query.is_none_or(|q| s.spec.to_string().contains(q)))
+        .map(|s| LookupRow {
+            spec: s.spec.to_string(),
+            score: s.score,
+            matches: s.matches as u64,
+        })
+        .collect();
+    serde_json::to_string(&rows).map_err(internal)
+}
+
+/// An `alias.may` answer: the specs linking the two methods' returns.
+#[derive(Serialize)]
+struct AliasAnswer {
+    a: String,
+    b: String,
+    may_alias: bool,
+    via: Vec<String>,
+}
+
+fn alias_may(generation: &Generation, params: &Json) -> MethodResult {
+    let a = parse_method(need_str(params, "a")?)?;
+    let b = parse_method(need_str(params, "b")?)?;
+    let reselected;
+    let db = match opt_f64(params, "tau")? {
+        Some(tau) => {
+            reselected = generation.learned.select(tau);
+            &reselected
+        }
+        None => &generation.specs,
+    };
+    let via: Vec<String> = db
+        .iter()
+        .filter(|spec| match spec {
+            Spec::RetSame { method } | Spec::RetRecv { method } => a == b && *method == a,
+            Spec::RetArg { target, source, .. } => {
+                (*target == a && *source == b) || (*target == b && *source == a)
+            }
+        })
+        .map(|spec| spec.to_string())
+        .collect();
+    let answer = AliasAnswer {
+        a: a.qualified(),
+        b: b.qualified(),
+        may_alias: !via.is_empty(),
+        via,
+    };
+    serde_json::to_string(&answer).map_err(internal)
+}
+
+fn explain(generation: &Generation, params: &Json) -> MethodResult {
+    let query = opt_str(params, "query")?;
+    let entries = uspec::explain_entries(&generation.learned, &generation.provenance, query);
+    serde_json::to_string(&entries).map_err(internal)
+}
+
+/// Per-function answer of `analyze.snippet`.
+#[derive(Serialize)]
+struct SnippetBody {
+    func: String,
+    converged: bool,
+    baseline_pairs: u64,
+    added_pairs: Vec<(String, String)>,
+    typestate_violations: Option<u64>,
+    taint_findings: Option<u64>,
+    leaks: Option<u64>,
+}
+
+/// Splits a comma list into interned symbols (empty segments dropped).
+fn symbols(list: &str) -> Vec<Symbol> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(Symbol::intern)
+        .collect()
+}
+
+fn analyze_snippet(shared: &Shared, generation: &Generation, params: &Json) -> MethodResult {
+    let source = need_str(params, "source")?;
+    let typestate = opt_str(params, "typestate")?
+        .map(|ts| {
+            ts.split_once(':')
+                .map(|(guard, action)| TypestateProtocol {
+                    guard: Symbol::intern(guard),
+                    action: Symbol::intern(action),
+                })
+                .ok_or((ErrorCode::Params, "`typestate` expects guard:action".into()))
+        })
+        .transpose()?;
+    let taint = opt_str(params, "taint")?
+        .map(|t| match t.split(':').collect::<Vec<_>>()[..] {
+            [sources, sinks, sanitizers] => Ok(TaintConfig {
+                sources: symbols(sources),
+                sinks: symbols(sinks),
+                sanitizers: symbols(sanitizers),
+            }),
+            _ => Err((
+                ErrorCode::Params,
+                "`taint` expects sources:sinks:sanitizers".into(),
+            )),
+        })
+        .transpose()?;
+    let leaks_config = opt_str(params, "leaks")?
+        .map(|l| {
+            l.split_once(':')
+                .map(|(opens, closes)| LeakConfig {
+                    opens: symbols(opens),
+                    closes: symbols(closes),
+                })
+                .ok_or((ErrorCode::Params, "`leaks` expects opens:closes".into()))
+        })
+        .transpose()?;
+
+    let program = parse(source).map_err(|e| (ErrorCode::Params, e.render(source)))?;
+    let bodies = lower_program(&program, &shared.table, &shared.opts.pipeline.lower)
+        .map_err(|e| (ErrorCode::Params, e.render(source)))?;
+
+    let pairs = |pta: &Pta| -> Vec<(String, String)> {
+        let recs: Vec<_> = pta.call_records().collect();
+        let mut out = Vec::new();
+        for i in 0..recs.len() {
+            for j in (i + 1)..recs.len() {
+                if Pta::may_alias(&recs[i].ret, &recs[j].ret) {
+                    out.push((recs[i].method.qualified(), recs[j].method.qualified()));
+                }
+            }
+        }
+        out
+    };
+
+    let mut answer = Vec::new();
+    for body in &bodies {
+        let base = Pta::run(body, &SpecDb::empty(), &shared.opts.pipeline.pta);
+        let aug = Pta::run(body, &generation.specs, &shared.opts.pipeline.pta);
+        let base_pairs = pairs(&base);
+        let added_pairs: Vec<_> = pairs(&aug)
+            .into_iter()
+            .filter(|p| !base_pairs.contains(p))
+            .collect();
+        answer.push(SnippetBody {
+            func: body.func.to_string(),
+            converged: aug.stats.converged,
+            baseline_pairs: base_pairs.len() as u64,
+            added_pairs,
+            typestate_violations: typestate
+                .as_ref()
+                .map(|p| check_typestate(body, &aug, p).len() as u64),
+            taint_findings: taint.as_ref().map(|c| check_taint(&aug, c).len() as u64),
+            leaks: leaks_config
+                .as_ref()
+                .map(|c| check_leaks(body, &aug, c).len() as u64),
+        });
+    }
+    serde_json::to_string(&answer).map_err(internal)
+}
+
+/// A `status` answer.
+#[derive(Serialize)]
+struct StatusAnswer {
+    gen: u64,
+    files: u64,
+    candidates: u64,
+    specs: u64,
+    tau: f64,
+    corpus_fp: String,
+    relearns: u64,
+    requests: u64,
+    watch_scans: u64,
+}
+
+fn status(generation: &Generation) -> MethodResult {
+    let counters = uspec_telemetry::metrics::global().snapshot().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let answer = StatusAnswer {
+        gen: generation.gen,
+        files: generation.files as u64,
+        candidates: generation.learned.len() as u64,
+        specs: generation.specs.len() as u64,
+        tau: generation.tau,
+        corpus_fp: generation.corpus_fp.clone(),
+        relearns: get("serve.relearns"),
+        requests: get("serve.requests"),
+        watch_scans: get("serve.watch.scans"),
+    };
+    serde_json::to_string(&answer).map_err(internal)
+}
+
+/// Connects to a Unix socket, sends `lines` as one pipelined batch, and
+/// returns one response line per request. The one-shot client behind
+/// `uspec serve --send` and the test harnesses.
+pub fn roundtrip_unix(path: &Path, lines: &[&str]) -> std::io::Result<Vec<String>> {
+    roundtrip(UnixStream::connect(path)?, lines)
+}
+
+/// [`roundtrip_unix`] over TCP.
+pub fn roundtrip_tcp(addr: &str, lines: &[&str]) -> std::io::Result<Vec<String>> {
+    roundtrip(TcpStream::connect(addr)?, lines)
+}
+
+fn roundtrip<S: Read + Write>(mut stream: S, lines: &[&str]) -> std::io::Result<Vec<String>> {
+    let mut batch = String::new();
+    for line in lines {
+        batch.push_str(line);
+        batch.push('\n');
+    }
+    stream.write_all(batch.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for _ in 0..lines.len() {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before answering every request",
+            ));
+        }
+        responses.push(line.trim_end().to_owned());
+    }
+    Ok(responses)
+}

@@ -41,8 +41,8 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot}
 pub use report::{
     AttributedJob, AttributionSection, CacheSection, CandidateCounters, CorpusCounters,
     DiagnosticsSection, InvariantSections, JobKindStats, JobsSection, KindAttribution,
-    ModelCounters, ProvenanceSection, PtaCounters, ReportCounters, RunReport, TimingsSection,
-    REPORT_SCHEMA_VERSION,
+    ModelCounters, ProvenanceSection, PtaCounters, ReportCounters, RunReport, ServeSection,
+    TimingsSection, REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanAgg, SpanGuard, SpanStat};
 

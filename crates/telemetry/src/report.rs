@@ -29,8 +29,9 @@ use crate::span::SpanStat;
 /// evidence accounting); 4 — `timings` gained the `jobs` section
 /// (demand-driven job-engine activity); 5 — `timings` gained the
 /// `attribution` section (per-job cost tree roll-up) and histogram
-/// snapshots gained `p50`/`p95`/`p99`.
-pub const REPORT_SCHEMA_VERSION: u32 = 5;
+/// snapshots gained `p50`/`p95`/`p99`; 6 — `timings` gained the `serve`
+/// section (spec-query daemon traffic and re-learn accounting).
+pub const REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Top-level run report. See the module docs for the determinism split.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -181,6 +182,39 @@ pub struct TimingsSection {
     pub jobs: JobsSection,
     /// Per-job cost attribution over the job graph.
     pub attribution: AttributionSection,
+    /// Spec-query daemon activity (`uspec serve`); all zeros for batch
+    /// commands.
+    pub serve: ServeSection,
+}
+
+/// `uspec serve` traffic and re-learn accounting. Lives under `timings`
+/// because every field depends on request traffic and watcher scheduling —
+/// the same corpus served twice answers a different number of queries —
+/// so none of it may cross the determinism boundary.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct ServeSection {
+    /// Frames received over all connections (`serve.requests`).
+    pub requests: u64,
+    /// Frames that never reached a method handler: parse failures, unknown
+    /// methods, oversized lines (`serve.rejected`). Always ≤ `errors`.
+    pub rejected: u64,
+    /// Error responses sent, including rejected frames and handler-level
+    /// failures such as bad params (`serve.errors`).
+    pub errors: u64,
+    /// Request batches drained — consecutive pipelined frames answered
+    /// under one generation snapshot count once (`serve.batches`).
+    pub batches: u64,
+    /// Connections accepted (`serve.connections`).
+    pub connections: u64,
+    /// Incremental re-learns completed after the initial load
+    /// (`serve.relearns`).
+    pub relearns: u64,
+    /// Watcher snapshot scans of the corpus directory
+    /// (`serve.watch.scans`).
+    pub watch_scans: u64,
+    /// Per-method dispatch counts as `(method, frames)` rows, only for
+    /// methods that were actually called; `requests == Σ rows + rejected`.
+    pub by_method: Vec<(String, u64)>,
 }
 
 /// Per-job cost attribution: the roll-up of the job engine's cost records
@@ -471,6 +505,16 @@ mod tests {
                 self_ns: 11_000_000,
                 decoded_bytes: 0,
             }],
+        };
+        r.timings.serve = ServeSection {
+            requests: 20,
+            rejected: 2,
+            errors: 3,
+            batches: 12,
+            connections: 4,
+            relearns: 1,
+            watch_scans: 40,
+            by_method: vec![("spec.lookup".to_owned(), 10), ("status".to_owned(), 8)],
         };
         r
     }

@@ -1,0 +1,245 @@
+//! Wire-protocol round trips against a live serve daemon.
+//!
+//! Covers the hostile-input contract (malformed JSON, oversized frames,
+//! clients that disconnect mid-write must produce typed error responses
+//! or clean closes, never a panic or a wedged worker) and the determinism
+//! contract: concurrent clients all receive byte-identical answers, and
+//! an `explain` answer matches what the batch pipeline + serializer
+//! produce for the same corpus, byte for byte.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use uspec::run_pipeline_cached;
+use uspec_corpus::{generate_corpus, java_library, GenOptions, Library, SliceSource};
+use uspec_serve::json::{self, Json};
+use uspec_serve::{roundtrip_unix, Listener, ServeOptions, Server};
+
+/// A daemon over a small generated corpus on a temp Unix socket. The
+/// watcher is effectively parked (long poll) — these tests exercise the
+/// protocol, not re-learning.
+struct Fixture {
+    server: Option<Server>,
+    socket: PathBuf,
+    sources: Vec<(String, String)>,
+    library: Library,
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn start(tag: &str, tweak: impl FnOnce(&mut ServeOptions)) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("uspec-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = dir.join("corpus");
+        std::fs::create_dir_all(&corpus).unwrap();
+        let library = java_library();
+        let files = generate_corpus(
+            &library,
+            &GenOptions {
+                num_files: 10,
+                ..GenOptions::default()
+            },
+        );
+        let mut sources = Vec::new();
+        for f in &files {
+            let path = corpus.join(&f.name);
+            std::fs::write(&path, &f.source).unwrap();
+            // The same (path-displayed, sorted) naming the server's corpus
+            // walk produces — provenance file names must line up exactly.
+            sources.push((path.display().to_string(), f.source.clone()));
+        }
+        sources.sort();
+        let socket = dir.join("uspec.sock");
+        let mut opts = ServeOptions {
+            workers: 3,
+            poll_ms: 3_600_000,
+            ..ServeOptions::default()
+        };
+        tweak(&mut opts);
+        let listener = Listener::bind_unix(&socket).unwrap();
+        let server = Server::start(&corpus, &library, opts, listener).unwrap();
+        Fixture {
+            server: Some(server),
+            socket,
+            sources,
+            library,
+            dir,
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn envelope(line: &str) -> Json {
+    json::parse(line).unwrap_or_else(|e| panic!("unparseable response `{line}`: {e}"))
+}
+
+/// Asserts an error envelope and returns its `error.code`.
+fn error_code(line: &str) -> String {
+    let v = envelope(line);
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(false)),
+        "expected error: {line}"
+    );
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error.code in {line}"))
+        .to_owned()
+}
+
+/// Strips a success envelope down to the raw `result` bytes.
+fn result_payload(line: &str, id: u64, gen: u64) -> String {
+    let prefix = format!("{{\"id\":{id},\"gen\":{gen},\"ok\":true,\"result\":");
+    assert!(
+        line.starts_with(&prefix) && line.ends_with('}'),
+        "unexpected envelope for id {id}: {line}"
+    );
+    line[prefix.len()..line.len() - 1].to_owned()
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_connection_survives() {
+    let fx = Fixture::start("malformed", |_| {});
+    let responses = roundtrip_unix(
+        &fx.socket,
+        &[
+            "this is not json",
+            "[1,2,3]",
+            r#"{"id":7,"params":{}}"#,
+            r#"{"id":8,"method":"bogus.method"}"#,
+            r#"{"id":9,"method":"alias.may","params":{"a":"not-a-method-id"}}"#,
+            r#"{"id":10,"method":"analyze.snippet","params":{"source":"fn broken( {"}}"#,
+            r#"{"id":11,"method":"status"}"#,
+        ],
+    )
+    .unwrap();
+
+    assert_eq!(error_code(&responses[0]), "parse");
+    assert_eq!(error_code(&responses[1]), "parse");
+    assert_eq!(error_code(&responses[2]), "parse");
+    assert_eq!(
+        envelope(&responses[2]).get("id").and_then(Json::as_u64),
+        Some(7),
+        "a recoverable id must be echoed even on parse failure"
+    );
+    assert_eq!(error_code(&responses[3]), "method");
+    assert_eq!(error_code(&responses[4]), "params");
+    assert_eq!(error_code(&responses[5]), "params");
+
+    // After five rejected frames the same connection still answers.
+    let status = envelope(&responses[6]);
+    assert_eq!(status.get("ok"), Some(&Json::Bool(true)));
+    let result = status.get("result").unwrap();
+    assert_eq!(result.get("gen").and_then(Json::as_u64), Some(1));
+    assert_eq!(result.get("files").and_then(Json::as_u64), Some(10));
+}
+
+#[test]
+fn oversized_frames_are_rejected_without_wedging_the_worker() {
+    let fx = Fixture::start("oversized", |o| o.max_frame_bytes = 512);
+    let flood = "x".repeat(4096);
+    let responses = roundtrip_unix(
+        &fx.socket,
+        &[flood.as_str(), r#"{"id":2,"method":"status"}"#],
+    )
+    .unwrap();
+
+    assert_eq!(error_code(&responses[0]), "oversized");
+    assert_eq!(
+        envelope(&responses[0]).get("id"),
+        Some(&Json::Null),
+        "an oversized frame has no recoverable id"
+    );
+    assert_eq!(
+        envelope(&responses[1]).get("ok"),
+        Some(&Json::Bool(true)),
+        "the request after the flood must still be answered: {}",
+        responses[1]
+    );
+}
+
+#[test]
+fn mid_write_disconnects_never_kill_the_server() {
+    let fx = Fixture::start("disconnect", |_| {});
+
+    // A client that dies halfway through a frame (no newline ever comes).
+    {
+        let mut s = UnixStream::connect(&fx.socket).unwrap();
+        s.write_all(b"{\"id\":1,\"method\":\"sta").unwrap();
+    }
+    // A client that sends a full request but hangs up before reading the
+    // response (the server's write hits a closed pipe).
+    {
+        let mut s = UnixStream::connect(&fx.socket).unwrap();
+        s.write_all(b"{\"id\":2,\"method\":\"status\"}\n").unwrap();
+    }
+    // And one that sends nothing at all.
+    drop(UnixStream::connect(&fx.socket).unwrap());
+
+    let responses = roundtrip_unix(&fx.socket, &[r#"{"id":3,"method":"status"}"#]).unwrap();
+    assert_eq!(envelope(&responses[0]).get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn concurrent_clients_get_answers_byte_identical_to_the_batch_pipeline() {
+    let fx = Fixture::start("determinism", |_| {});
+
+    // The batch path: same sources, same pipeline entry point, same
+    // serializer. This is what `uspec learn`/`explain --json` compute.
+    let table = fx.library.api_table();
+    let result = run_pipeline_cached(
+        &SliceSource::new(&fx.sources),
+        &table,
+        &ServeOptions::default().pipeline,
+        None,
+    );
+    let mut provenance = result.provenance;
+    provenance.retain_specs(|s| result.learned.get(s).is_some());
+    let expected_explain =
+        serde_json::to_string(&uspec::explain_entries(&result.learned, &provenance, None)).unwrap();
+    assert!(
+        !result.learned.is_empty(),
+        "fixture corpus must learn something for the comparison to bite"
+    );
+
+    let lines = [
+        r#"{"id":1,"method":"explain"}"#,
+        r#"{"id":2,"method":"spec.lookup"}"#,
+        r#"{"id":3,"method":"alias.may","params":{"a":"java.util.HashMap.get/1","b":"java.util.HashMap.get/1"}}"#,
+    ];
+    let answers: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| scope.spawn(|| roundtrip_unix(&fx.socket, &lines).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for other in &answers[1..] {
+        assert_eq!(
+            &answers[0], other,
+            "every concurrent client must see identical bytes"
+        );
+    }
+    assert_eq!(
+        result_payload(&answers[0][0], 1, 1),
+        expected_explain,
+        "served explain must match the batch pipeline byte for byte"
+    );
+    let lookup = result_payload(&answers[0][1], 2, 1);
+    assert!(
+        lookup.starts_with('[') && lookup.contains("\"spec\""),
+        "lookup answers rows: {lookup}"
+    );
+    let alias = envelope(&answers[0][2]);
+    assert_eq!(alias.get("ok"), Some(&Json::Bool(true)));
+}

@@ -15,7 +15,7 @@
 //! offline cannot express `deny_unknown_fields`, so the scan is the only
 //! unknown-field detector we have.
 //!
-//! Also asserts run-level sanity: `schema == 5`, analyzed files > 0,
+//! Also asserts run-level sanity: `schema == 6`, analyzed files > 0,
 //! non-zero stage timings (a report whose spans are all empty means the
 //! instrumentation was compiled out or disabled — CI should notice), and
 //! internally consistent cache and job-engine accounting
@@ -24,7 +24,10 @@
 //! cross-validated against the independently-maintained job counters and
 //! spans: when no records were dropped, per-kind executed/memo/store
 //! counts must match `timings.jobs` exactly, and per-kind executed wall
-//! time must be at least the nested `job.<kind>` span total.
+//! time must be at least the nested `job.<kind>` span total. The serve
+//! section's traffic accounting is cross-validated the same way: total
+//! requests must equal the per-method dispatch sum plus rejected frames,
+//! and rejected frames are a lower bound on error responses.
 
 use std::process::ExitCode;
 
@@ -245,9 +248,9 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Schema whitelist (schema version 5). Every struct level of RunReport.
+// Schema whitelist (schema version 6). Every struct level of RunReport.
 
-const SCHEMA_5: &[(&str, &[&str])] = &[
+const SCHEMA_6: &[(&str, &[&str])] = &[
     (
         "",
         &[
@@ -320,6 +323,20 @@ const SCHEMA_5: &[(&str, &[&str])] = &[
             "cache",
             "jobs",
             "attribution",
+            "serve",
+        ],
+    ),
+    (
+        "timings.serve",
+        &[
+            "requests",
+            "rejected",
+            "errors",
+            "batches",
+            "connections",
+            "relearns",
+            "watch_scans",
+            "by_method",
         ],
     ),
     (
@@ -366,7 +383,7 @@ fn check(report_text: &str) -> Result<String, String> {
 
     // 2. Structural scan: exact key set at every level.
     let root = parse(report_text)?;
-    for &(path, expected) in SCHEMA_5 {
+    for &(path, expected) in SCHEMA_6 {
         let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
         let mut keys = node.keys();
         keys.sort_unstable();
@@ -492,6 +509,24 @@ fn check(report_text: &str) -> Result<String, String> {
             ));
         }
     }
+    // Serve traffic accounting (all-zero for batch commands): every frame
+    // either reached a method handler (a by_method row) or was rejected,
+    // and every rejected frame produced an error response.
+    let serve = &typed.timings.serve;
+    let dispatched: u64 = serve.by_method.iter().map(|(_, n)| n).sum();
+    if serve.requests != dispatched + serve.rejected {
+        return Err(format!(
+            "serve accounting broken: {} requests != {dispatched} dispatched + {} rejected",
+            serve.requests, serve.rejected
+        ));
+    }
+    if serve.errors < serve.rejected {
+        return Err(format!(
+            "serve accounting broken: {} error responses < {} rejected frames",
+            serve.errors, serve.rejected
+        ));
+    }
+
     let prov = &typed.provenance;
     if prov.per_spec.len() as u64 != prov.specs {
         return Err(format!(
@@ -510,7 +545,8 @@ fn check(report_text: &str) -> Result<String, String> {
     Ok(format!(
         "report OK: schema {}, command `{}`, engine `{}`, {} files, {} candidates, \
          {} evidence records over {} specs, {} timed spans, cache {}/{} hits, \
-         jobs {} executed / {} reused, {} cost records attributed",
+         jobs {} executed / {} reused, {} cost records attributed, \
+         {} serve requests",
         typed.schema,
         typed.command,
         typed.engine,
@@ -523,7 +559,8 @@ fn check(report_text: &str) -> Result<String, String> {
         typed.timings.cache.lookups,
         typed.timings.jobs.executed,
         typed.timings.jobs.reused,
-        typed.timings.attribution.records
+        typed.timings.attribution.records,
+        typed.timings.serve.requests
     ))
 }
 
