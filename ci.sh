@@ -118,25 +118,30 @@ if cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     perf check --ledger target/ci-ledger-regressed --budgets perf-budgets.toml -q; then
     echo "ci: perf check accepted a seeded regression"; exit 1
 fi
-# Serve smoke: start the daemon over a small corpus, query it through the
-# one-shot client, edit a corpus file, poll until the new generation is
-# served (the watcher + incremental re-learn path), shut it down over the
-# protocol, and validate the final metrics report (whose timings.serve
-# section check_report cross-validates: requests = dispatched + rejected).
+# Serve smoke: start the daemon over a small corpus with the full
+# observability plane armed (Prometheus exposition, SLO sentinel), query
+# it through the one-shot client, edit a corpus file, poll until the new
+# generation is served (the watcher + incremental re-learn path), shut it
+# down over the protocol, and validate the final metrics report (whose
+# timings.serve section check_report cross-validates: requests =
+# dispatched + rejected, windows partition `all`, SLO sums agree).
 rm -rf target/ci-serve-corpus target/ci-serve-cache
+rm -f target/ci-serve.prom
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     generate --lang java --files 40 --out target/ci-serve-corpus -q
 SOCK=target/ci-serve.sock
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
     serve --lang java --socket "$SOCK" --cache-dir target/ci-serve-cache \
-    --metrics-out target/ci-serve-report.json target/ci-serve-corpus -q &
+    --metrics-out target/ci-serve-report.json \
+    --prom-out target/ci-serve.prom --budgets perf-budgets.toml \
+    target/ci-serve-corpus -q &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.2; done
 [ -S "$SOCK" ] || { echo "ci: serve daemon never bound its socket"; exit 1; }
 send() {
     cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
-        serve --send "$1" --socket "$SOCK" -q
+        serve --send "$1" --socket "$SOCK" --timeout 10 -q
 }
 send '{"id":1,"method":"status"}' | grep -q '"ok":true' \
     || { echo "ci: serve status failed"; exit 1; }
@@ -144,6 +149,12 @@ send '{"id":2,"method":"spec.lookup"}' | grep -q '"spec":' \
     || { echo "ci: serve lookup returned no specs"; exit 1; }
 send '{"id":3,"method":"nonsense"}' | grep -q '"code":"method"' \
     || { echo "ci: unknown method not rejected with a typed error"; exit 1; }
+# First Prometheus scrape (the daemon rewrites the file about once a
+# second once the idle loop is pumping).
+for _ in $(seq 1 100); do [ -s target/ci-serve.prom ] && break; sleep 0.2; done
+[ -s target/ci-serve.prom ] \
+    || { echo "ci: daemon never wrote its Prometheus exposition"; exit 1; }
+cp target/ci-serve.prom target/ci-serve-scrape1.prom
 # Edit a corpus file; the daemon must pick it up and serve a new generation.
 printf '\nfn ci_edit() { s0 = "edited"; }\n' >> "$(ls target/ci-serve-corpus/*.u | head -1)"
 fresh=""
@@ -152,9 +163,43 @@ for _ in $(seq 1 150); do
     sleep 0.2
 done
 [ -n "$fresh" ] || { echo "ci: edited corpus never produced generation 2"; exit 1; }
+# Second scrape after the traffic above: syntax must hold in both and
+# every counter must be monotone non-decreasing between them.
+sleep 1.5
+cp target/ci-serve.prom target/ci-serve-scrape2.prom
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_metrics -- \
+    target/ci-serve-scrape1.prom target/ci-serve-scrape2.prom
+# `uspec top` renders the same snapshot as a table: the busy streams and
+# the slow-query log must both be visible.
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    top --socket "$SOCK" --timeout 10 -q > target/ci-serve-top.txt
+grep -q "spec.lookup" target/ci-serve-top.txt \
+    || { echo "ci: uspec top shows no spec.lookup traffic"; exit 1; }
+grep -q "slowest requests" target/ci-serve-top.txt \
+    || { echo "ci: uspec top shows no slow-query log"; exit 1; }
 send '{"id":5,"method":"shutdown"}' | grep -q "shutting down" \
     || { echo "ci: serve shutdown not acknowledged"; exit 1; }
 wait "$SERVE_PID"
 trap - EXIT
 cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_report -- target/ci-serve-report.json
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-repro --bin check_ledger -- target/ci-serve-cache/ledger
+# SLO enforcement from the ledger: the [serve] ceilings must hold for the
+# exit entry the daemon just appended. Only the [serve] table applies —
+# the batch budgets (warm_speedup, cache_hit_rate) are calibrated for the
+# eval ledger, not a daemon whose mid-run entries have near-zero wall
+# time — so extract it from the single source of truth.
+sed -n '/^\[serve\]/,$p' perf-budgets.toml > target/ci-serve-budgets.toml
+cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    perf check --cache-dir target/ci-serve-cache \
+    --budgets target/ci-serve-budgets.toml -q
+# Negative test: a seeded p99 regression in a copied ledger must fail.
+rm -rf target/ci-serve-ledger-breach
+cp -r target/ci-serve-cache/ledger target/ci-serve-ledger-breach
+latest=$(ls target/ci-serve-ledger-breach/*.json | sort | tail -1)
+sed -i -E 's/"total_p99_ns": [0-9]+/"total_p99_ns": 9000000000/' "$latest"
+if cargo run "${FLAGS[@]+"${FLAGS[@]}"}" -q -p uspec-cli --bin uspec -- \
+    perf check --ledger target/ci-serve-ledger-breach \
+    --budgets target/ci-serve-budgets.toml -q; then
+    echo "ci: perf check accepted a seeded serve p99 breach"; exit 1
+fi
 echo "ci: all checks passed"

@@ -6,7 +6,10 @@
 //! three axes:
 //!
 //! * **throughput/latency** — N concurrent clients issue single-request
-//!   round trips; reported as qps plus p50/p95/p99 latency;
+//!   round trips; reported as qps plus p50/p95/p99 latency, and
+//!   cross-checked against the daemon's own `metrics.snapshot` sliding
+//!   windows (server-side percentiles must be ordered and within noise of
+//!   the client-side measurement);
 //! * **edit-to-fresh** — one corpus file is edited on disk and clients
 //!   poll `status` until the generation moves; the elapsed wall time is
 //!   the user-visible freshness lag. Because the server and this harness
@@ -104,14 +107,24 @@ fn main() {
         serde_json::to_string(&uspec::explain_entries(&result.learned, &provenance, None))
             .expect("explain serializes");
     let served = roundtrip_unix(&socket, &[r#"{"id":1,"method":"explain"}"#]).expect("explain");
-    let prefix = "{\"id\":1,\"gen\":1,\"ok\":true,\"result\":";
+    // The envelope carries a server-stamped request number whose value
+    // depends on how many frames ran before this one — match around it.
+    let before_req = "{\"id\":1,\"req\":";
+    let after_req = ",\"gen\":1,\"ok\":true,\"result\":";
+    let req_digits = served[0]
+        .strip_prefix(before_req)
+        .map(|rest| rest.bytes().take_while(u8::is_ascii_digit).count())
+        .unwrap_or(0);
+    let prefix_len = before_req.len() + req_digits + after_req.len();
     assert!(
-        served[0].starts_with(prefix) && served[0].ends_with('}'),
+        req_digits > 0
+            && served[0][before_req.len() + req_digits..].starts_with(after_req)
+            && served[0].ends_with('}'),
         "unexpected envelope: {}",
         served[0]
     );
     assert_eq!(
-        &served[0][prefix.len()..served[0].len() - 1],
+        &served[0][prefix_len..served[0].len() - 1],
         expected,
         "served explain differs from the batch pipeline"
     );
@@ -156,6 +169,50 @@ fn main() {
     let p95_ms = percentile(&latencies, 0.95) as f64 / 1e6;
     let p99_ms = percentile(&latencies, 0.99) as f64 / 1e6;
 
+    // The daemon's own sliding windows must tell the same latency story
+    // this harness just measured from the outside. Server-side handle
+    // times exclude connection setup and socket writes, so they sit at or
+    // below the client-side numbers — but never wildly above them.
+    let snapshot_line = roundtrip_unix(&socket, &[r#"{"id":1,"method":"metrics.snapshot"}"#])
+        .expect("metrics.snapshot");
+    let snapshot = uspec_serve::json::parse(&snapshot_line[0]).expect("snapshot parses");
+    let all_window = |field: &str| -> u64 {
+        snapshot
+            .get("result")
+            .and_then(|r| r.get("windows"))
+            .and_then(|w| w.get("all"))
+            .and_then(|a| a.get(field))
+            .and_then(uspec_serve::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    let win_requests = all_window("total_requests");
+    let win_p50_ms = all_window("total_p50_ns") as f64 / 1e6;
+    let win_p95_ms = all_window("total_p95_ns") as f64 / 1e6;
+    let win_p99_ms = all_window("total_p99_ns") as f64 / 1e6;
+    assert!(
+        win_requests as usize >= total_requests,
+        "daemon windows saw {win_requests} requests but the harness sent {total_requests}"
+    );
+    assert!(
+        win_p50_ms <= win_p95_ms && win_p95_ms <= win_p99_ms,
+        "windowed percentiles unordered: p50 {win_p50_ms:.3} p95 {win_p95_ms:.3} \
+         p99 {win_p99_ms:.3}"
+    );
+    // Generous noise bound: the histogram buckets are powers of two, so a
+    // windowed percentile can read up to 2x the true value, plus slack
+    // for scheduling jitter on the small smoke run.
+    for (name, win_ms, client_ms) in [
+        ("p50", win_p50_ms, p50_ms),
+        ("p95", win_p95_ms, p95_ms),
+        ("p99", win_p99_ms, p99_ms),
+    ] {
+        assert!(
+            win_ms <= client_ms * 2.0 + 1.0,
+            "windowed {name} {win_ms:.3}ms is not within noise of the \
+             client-measured {client_ms:.3}ms"
+        );
+    }
+
     // Edit-to-fresh: touch one file, poll until the served generation
     // moves past it. The daemon's poll + debounce + incremental re-learn
     // all land inside this window.
@@ -193,6 +250,9 @@ fn main() {
             vec!["p50 (ms)".into(), format!("{p50_ms:.3}")],
             vec!["p95 (ms)".into(), format!("{p95_ms:.3}")],
             vec!["p99 (ms)".into(), format!("{p99_ms:.3}")],
+            vec!["daemon window p50 (ms)".into(), format!("{win_p50_ms:.3}")],
+            vec!["daemon window p95 (ms)".into(), format!("{win_p95_ms:.3}")],
+            vec!["daemon window p99 (ms)".into(), format!("{win_p99_ms:.3}")],
             vec!["edit→fresh (s)".into(), format!("{edit_to_fresh_secs:.3}")],
             vec!["cold learn jobs".into(), jobs_cold.to_string()],
             vec!["edit re-learn jobs".into(), jobs_edit_delta.to_string()],
@@ -206,7 +266,7 @@ fn main() {
 
     let envelope = uspec_bench::bench_envelope("perf_serve", smoke);
     let json = format!(
-        "{{\n{envelope}  \"files\": {num_files},\n  \"clients\": {clients},\n  \"requests\": {total_requests},\n  \"qps\": {qps:.2},\n  \"p50_ms\": {p50_ms:.4},\n  \"p95_ms\": {p95_ms:.4},\n  \"p99_ms\": {p99_ms:.4},\n  \"startup_seconds\": {startup_secs:.4},\n  \"edit_to_fresh_seconds\": {edit_to_fresh_secs:.4},\n  \"jobs_cold\": {jobs_cold},\n  \"jobs_edit_delta\": {jobs_edit_delta},\n  \"edit_job_fraction\": {edit_fraction:.4},\n  \"max_edit_job_fraction\": {MAX_EDIT_JOB_FRACTION},\n  \"batch_identical\": true\n}}\n"
+        "{{\n{envelope}  \"files\": {num_files},\n  \"clients\": {clients},\n  \"requests\": {total_requests},\n  \"qps\": {qps:.2},\n  \"p50_ms\": {p50_ms:.4},\n  \"p95_ms\": {p95_ms:.4},\n  \"p99_ms\": {p99_ms:.4},\n  \"window_p50_ms\": {win_p50_ms:.4},\n  \"window_p95_ms\": {win_p95_ms:.4},\n  \"window_p99_ms\": {win_p99_ms:.4},\n  \"startup_seconds\": {startup_secs:.4},\n  \"edit_to_fresh_seconds\": {edit_to_fresh_secs:.4},\n  \"jobs_cold\": {jobs_cold},\n  \"jobs_edit_delta\": {jobs_edit_delta},\n  \"edit_job_fraction\": {edit_fraction:.4},\n  \"max_edit_job_fraction\": {MAX_EDIT_JOB_FRACTION},\n  \"batch_identical\": true\n}}\n"
     );
     let out = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

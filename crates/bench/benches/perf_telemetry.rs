@@ -3,7 +3,8 @@
 //!
 //! The telemetry layer stays on by default, so its cost on the densest
 //! instrumented path — points-to analysis (three spans per body) plus
-//! event-graph construction (one span, three counters per graph) — must be
+//! event-graph construction (one span, three counters per graph) plus one
+//! serve-style sliding-window latency record per body — must be
 //! negligible. This bench times the same workload with `set_enabled(true)`
 //! and `set_enabled(false)`, interleaving the two arms across trials so
 //! frequency scaling and cache warmth hit both equally, and **asserts** the
@@ -33,12 +34,18 @@ const TRIALS: usize = 7;
 fn workload(bodies: &[Body], specs: &SpecDb, reps: usize) -> usize {
     let popts = PtaOptions::default();
     let gopts = GraphOptions::default();
+    // An armed sliding window in the loop keeps the serve-style per-request
+    // path (slot rotation + histogram bucketing) inside the measured
+    // overhead, not just spans and counters. The fake clock is derived
+    // from the sink so the window actually rotates across slots.
+    let win = uspec_telemetry::window!("bench.telemetry");
     let mut sink = 0usize;
     for _ in 0..reps {
         for body in bodies {
             let pta = Pta::run(body, specs, &popts);
             let graph = build_event_graph(body, &pta, &gopts);
             sink += pta.heap.len() + graph.num_events();
+            win.record(sink as u64 * 7, (sink & 0xfff) as u64, false);
         }
     }
     sink

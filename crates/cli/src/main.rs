@@ -37,6 +37,7 @@ fn main() {
         "cache" => commands::cache(args),
         "perf" => perf::perf(args),
         "serve" => serve::serve(args),
+        "top" => serve::top(args),
         other => Err(OptError(format!(
             "unknown command `{other}`; run `uspec help`"
         ))),
@@ -80,7 +81,7 @@ USAGE:
           default info; debug echoes timing spans)
       -q                                          shorthand for errors only
   Machine-readable metrics (learn, eval, analyze):
-      --metrics-out FILE.json    write the versioned run report (schema 6):
+      --metrics-out FILE.json    write the versioned run report (schema 7):
           counters, diagnostics, provenance, and timings for the whole run
           (cache, job-engine, and per-job cost activity appear under the
           machine-local timings.cache / timings.jobs / timings.attribution
@@ -136,15 +137,33 @@ USAGE:
       for edits (re-learning only the edited files' job cones through the
       artifact cache), and answer newline-delimited JSON requests on the
       socket. Methods: spec.lookup, alias.may, explain, analyze.snippet,
-      status, shutdown. Each response carries the spec generation it was
-      answered from. Accepts the shared analysis, cache, ledger, metrics,
-      and logging flags plus:
+      status, metrics.snapshot, shutdown. Each response carries a
+      server-stamped request number and the spec generation it was
+      answered from; every request is recorded into per-method sliding
+      latency windows and a slow-query log. Accepts the shared analysis,
+      cache, ledger, metrics, and logging flags plus:
         --poll-ms N       corpus scan interval (default 50)
         --debounce-ms N   quiet period before re-learning a batch (100)
         --workers N       concurrent request workers (default 4)
+        --prom-out FILE   rewrite FILE atomically about once a second with
+                          the whole telemetry plane in Prometheus text
+                          exposition format
+        --budgets FILE    arm the live SLO sentinel with the [serve] table
+                          of the budgets file (p99_ms_max, error_rate_max,
+                          staleness_ms_max); defaults to perf-budgets.toml
+                          when present. Breaches are logged, counted in the
+                          exit report, and enforced by `uspec perf check`.
       One-shot client mode (no corpus, daemon must be running):
-        uspec serve --send LINE (--socket PATH | --tcp ADDR)
-            send one request line, print the one response line, exit.
+        uspec serve --send LINE (--socket PATH | --tcp ADDR) [--timeout SECS]
+            send one request line, print the one response line, exit; a
+            daemon that stops answering within the deadline (default 10 s,
+            0 disables) is a typed error, not a hang.
+
+  uspec top (--socket PATH | --tcp ADDR) [--timeout SECS] [--json]
+      One-shot observability view of a running daemon: fetch
+      metrics.snapshot and render generation, staleness, SLO breaches,
+      per-method windowed latency percentiles, and the slowest requests
+      (--json prints the raw response envelope).
 
   uspec perf <list|show|diff|check> [--ledger DIR | --cache-dir DIR]
       Inspect the run ledger and enforce performance budgets.
@@ -156,8 +175,10 @@ USAGE:
             invariant counters compare exactly, timings with a noise floor
         check [--budgets FILE] [--bench-dir DIR]
             evaluate perf-budgets.toml (warm_speedup, cache_hit_rate,
-            invariant_drift, telemetry_overhead) against the ledger and
-            exit non-zero on any violated budget.
+            invariant_drift, telemetry_overhead, and the [serve] SLO
+            ceilings, judged against the latest entry with daemon
+            traffic) against the ledger and exit non-zero on any
+            violated budget.
       Entry ids accept the aliases `latest` and `prev`. The ledger
       directory defaults to <cache-dir>/ledger (gc never touches it)."
     );

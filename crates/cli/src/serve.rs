@@ -1,17 +1,23 @@
-//! `uspec serve` — run (or query) the resident spec-query daemon.
+//! `uspec serve` — run (or query) the resident spec-query daemon — and
+//! `uspec top`, its one-shot observability view.
 //!
 //! Server mode learns the corpus once, then stays resident: a polling
 //! watcher re-learns edited files' job cones and swaps generations while
-//! workers answer newline-JSON queries on a Unix (or TCP) socket. Client
-//! mode (`--send LINE`) connects, sends one request line, prints the one
-//! response line, and exits — enough for shell scripts and the CI smoke
-//! test without any external socket tool.
+//! workers answer newline-JSON queries on a Unix (or TCP) socket. The
+//! idle loop doubles as the observability plane's pump: about once a
+//! second it feeds the SLO sentinel and (with `--prom-out`) atomically
+//! rewrites the Prometheus text exposition file. Client mode
+//! (`--send LINE`) connects with a deadline, sends one request line,
+//! prints the one response line, and exits — enough for shell scripts
+//! and the CI smoke test without any external socket tool.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use uspec_serve::{Listener, ServeOptions, Server};
-use uspec_telemetry::log_info;
+use uspec_serve::json::Json;
+use uspec_serve::{Listener, ServeOptions, Server, SloPolicy, SloSentinel};
+use uspec_telemetry::perf::Budgets;
+use uspec_telemetry::{log_info, log_warn};
 
 use crate::commands::{
     cache_dir, init_logging, ledger_dest, library_for, pipeline_opts, write_metrics,
@@ -19,7 +25,69 @@ use crate::commands::{
 use crate::opt::{OptError, Opts};
 
 const USAGE: &str = "usage: uspec serve --lang <java|python> (--socket PATH | --tcp ADDR) DIR\n\
-                     \x20      uspec serve --send LINE (--socket PATH | --tcp ADDR)";
+                     \x20      uspec serve --send LINE (--socket PATH | --tcp ADDR) [--timeout SECS]";
+
+const TOP_USAGE: &str = "usage: uspec top (--socket PATH | --tcp ADDR) [--timeout SECS] [--json]";
+
+/// Idle-loop ticks (100 ms each) between sentinel observations and
+/// exposition rewrites.
+const OBSERVE_EVERY_TICKS: u64 = 10;
+
+/// `--timeout SECS` (default 10; 0 disables the deadline).
+fn send_timeout(opts: &Opts) -> Result<Option<Duration>, OptError> {
+    let secs: u64 = opts.num("timeout", 10)?;
+    Ok((secs > 0).then(|| Duration::from_secs(secs)))
+}
+
+/// Sends `lines` to the daemon named by `--socket`/`--tcp` under the
+/// `--timeout` deadline; the shared client path of `--send` and `top`.
+fn send_lines(opts: &Opts, lines: &[&str], usage: &str) -> Result<Vec<String>, OptError> {
+    let timeout = send_timeout(opts)?;
+    match (opts.value("socket"), opts.value("tcp")) {
+        (Some(path), None) => uspec_serve::roundtrip_unix_timeout(Path::new(path), lines, timeout),
+        (None, Some(addr)) => uspec_serve::roundtrip_tcp_timeout(addr, lines, timeout),
+        _ => {
+            return Err(OptError(format!(
+                "exactly one of --socket PATH or --tcp ADDR is required\n{usage}"
+            )))
+        }
+    }
+    .map_err(|e| OptError(format!("sending request: {e}")))
+}
+
+/// The `[serve]` SLO policy: an explicit `--budgets FILE` must parse;
+/// without the flag, `perf-budgets.toml` is used when present and the
+/// policy stays disarmed when it is not.
+fn slo_policy(opts: &Opts) -> Result<SloPolicy, OptError> {
+    let (path, required) = match opts.value("budgets") {
+        Some(p) => (p, true),
+        None => ("perf-budgets.toml", false),
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if !required && e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(SloPolicy::default())
+        }
+        Err(e) => return Err(OptError(format!("reading {path}: {e}"))),
+    };
+    let budgets = Budgets::parse(&text).map_err(|e| OptError(format!("{path}: {e}")))?;
+    Ok(SloPolicy {
+        p99_ms_max: budgets.serve_p99_ms_max,
+        error_rate_max: budgets.serve_error_rate_max,
+        staleness_ms_max: budgets.serve_staleness_ms_max,
+    })
+}
+
+/// Atomically replaces `path` with `text` (write-to-tmp + rename), so a
+/// scraper never reads a torn exposition file. Failures are logged, not
+/// fatal — observability must not take the daemon down.
+fn write_exposition(path: &Path, text: &str) {
+    let tmp = path.with_extension("prom.tmp");
+    let done = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = done {
+        log_warn!("serve: exposition write to {} failed: {e}", path.display());
+    }
+}
 
 /// `uspec serve`.
 pub fn serve(args: Vec<String>) -> Result<(), OptError> {
@@ -30,6 +98,7 @@ pub fn serve(args: Vec<String>) -> Result<(), OptError> {
             "socket",
             "tcp",
             "send",
+            "timeout",
             "tau",
             "poll-ms",
             "debounce-ms",
@@ -39,6 +108,8 @@ pub fn serve(args: Vec<String>) -> Result<(), OptError> {
             "engine",
             "cache-dir",
             "metrics-out",
+            "prom-out",
+            "budgets",
             "ledger",
             "log-level",
         ],
@@ -47,16 +118,7 @@ pub fn serve(args: Vec<String>) -> Result<(), OptError> {
 
     // One-shot client mode: no corpus, no daemon — talk to a running one.
     if let Some(line) = opts.value("send") {
-        let response = match (opts.value("socket"), opts.value("tcp")) {
-            (Some(path), None) => uspec_serve::roundtrip_unix(Path::new(path), &[line]),
-            (None, Some(addr)) => uspec_serve::roundtrip_tcp(addr, &[line]),
-            _ => {
-                return Err(OptError(format!(
-                    "--send needs exactly one of --socket PATH or --tcp ADDR\n{USAGE}"
-                )))
-            }
-        }
-        .map_err(|e| OptError(format!("sending request: {e}")))?;
+        let response = send_lines(&opts, &[line], USAGE)?;
         println!("{}", response[0]);
         return Ok(());
     }
@@ -66,6 +128,8 @@ pub fn serve(args: Vec<String>) -> Result<(), OptError> {
         .positional
         .first()
         .ok_or_else(|| OptError(format!("a corpus directory is required\n{USAGE}")))?;
+    let policy = slo_policy(&opts)?;
+    let prom_out = opts.value("prom-out").map(PathBuf::from);
     let serve_opts = ServeOptions {
         tau: opts.num("tau", 0.6)?,
         poll_ms: opts.num("poll-ms", 50)?,
@@ -96,17 +160,158 @@ pub fn serve(args: Vec<String>) -> Result<(), OptError> {
         (None, Some(addr)) => log_info!("serve: listening on {addr}"),
         _ => {}
     }
+    if policy.is_armed() {
+        log_info!("serve: SLO sentinel armed");
+    }
     log_info!("serve: send {{\"method\":\"shutdown\"}} to stop");
 
     // The daemon runs until a client requests shutdown. There is no signal
     // handling (no such dependency is vendored) — kill(1) also works, it
     // just skips the final metrics write below.
+    let mut sentinel = SloSentinel::new(policy);
+    let mut ticks = 0u64;
     while !server.shutting_down() {
         std::thread::sleep(Duration::from_millis(100));
+        ticks += 1;
+        if ticks.is_multiple_of(OBSERVE_EVERY_TICKS) {
+            server.observe_slo(&mut sentinel);
+            if let Some(path) = &prom_out {
+                write_exposition(path, &server.prometheus_text());
+            }
+        }
     }
-    let report = server.final_report();
-    server.join();
+    // One last observation + scrape so short-lived runs (and the exit
+    // report) still record the final window, staleness, and any breach.
+    server.observe_slo(&mut sentinel);
+    if let Some(path) = &prom_out {
+        write_exposition(path, &server.prometheus_text());
+    }
+    let report = server.join();
     write_metrics(&opts, &report)?;
     log_info!("serve: stopped");
     Ok(())
+}
+
+/// `uspec top`: fetch `metrics.snapshot` from a running daemon and render
+/// it as a human table (or the raw envelope with `--json`).
+pub fn top(args: Vec<String>) -> Result<(), OptError> {
+    let opts = Opts::parse(args, &["socket", "tcp", "timeout", "log-level"])?;
+    init_logging(&opts)?;
+    let response = send_lines(
+        &opts,
+        &[r#"{"id":0,"method":"metrics.snapshot"}"#],
+        TOP_USAGE,
+    )?;
+    if opts.switch("json") {
+        println!("{}", response[0]);
+        return Ok(());
+    }
+    let envelope = uspec_serve::json::parse(&response[0])
+        .map_err(|e| OptError(format!("unparseable response: {e}")))?;
+    let snapshot = envelope
+        .get("result")
+        .ok_or_else(|| OptError(format!("daemon answered an error: {}", response[0])))?;
+    print!("{}", render_top(snapshot));
+    Ok(())
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders a parsed `metrics.snapshot` result as the `uspec top` table.
+fn render_top(snapshot: &Json) -> String {
+    use std::fmt::Write as _;
+    let num = |v: &Json, key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gen {}  uptime {:.1}s  staleness {}ms",
+        num(snapshot, "gen"),
+        num(snapshot, "uptime_ms") as f64 / 1e3,
+        num(snapshot, "staleness_ms"),
+    );
+    if let Some(slo) = snapshot.get("slo") {
+        let _ = writeln!(
+            out,
+            "slo breaches {} (p99 {}, error-rate {}, staleness {}); max staleness {}ms",
+            num(slo, "breaches"),
+            num(slo, "p99_breaches"),
+            num(slo, "error_rate_breaches"),
+            num(slo, "staleness_breaches"),
+            num(slo, "max_staleness_ms"),
+        );
+    }
+    if let Some(Json::Obj(windows)) = snapshot.get("windows") {
+        let _ = writeln!(
+            out,
+            "\n{:<18} {:>8} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "stream", "req/60s", "errors", "p50 ms", "p95 ms", "p99 ms", "total"
+        );
+        for (stream, w) in windows {
+            if num(w, "total_requests") == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                stream,
+                num(w, "requests"),
+                num(w, "errors"),
+                ms(num(w, "p50_ns")),
+                ms(num(w, "p95_ns")),
+                ms(num(w, "p99_ns")),
+                num(w, "total_requests"),
+            );
+        }
+    }
+    if let Some(Json::Arr(slow)) = snapshot.get("slow") {
+        if !slow.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nslowest requests\n{:<18} {:>10} {:>5} {:>9} {:>10}",
+                "method", "ms", "gen", "req bytes", "resp bytes"
+            );
+            for q in slow {
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>10} {:>5} {:>9} {:>10}",
+                    q.get("method").and_then(Json::as_str).unwrap_or("?"),
+                    ms(num(q, "latency_ns")),
+                    num(q, "gen"),
+                    num(q, "request_bytes"),
+                    num(q, "response_bytes"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_top_shows_busy_streams_and_slow_queries() {
+        let snapshot = uspec_serve::json::parse(
+            r#"{"gen":2,"uptime_ms":61500,"staleness_ms":0,
+                "windows":{"all":{"requests":5,"errors":1,"p50_ns":2000000,"p95_ns":9000000,
+                                   "p99_ns":9000000,"total_requests":12},
+                           "idle":{"requests":0,"errors":0,"p50_ns":0,"p95_ns":0,
+                                   "p99_ns":0,"total_requests":0}},
+                "slow":[{"method":"status","latency_ns":9000000,"gen":2,
+                         "request_bytes":30,"response_bytes":200}],
+                "slo":{"breaches":1,"p99_breaches":1,"error_rate_breaches":0,
+                       "staleness_breaches":0,"max_staleness_ms":40}}"#,
+        )
+        .unwrap();
+        let table = render_top(&snapshot);
+        assert!(table.contains("gen 2"));
+        assert!(table.contains("slo breaches 1"));
+        assert!(table.contains("all"), "busy stream listed");
+        assert!(!table.contains("idle"), "zero-traffic stream hidden");
+        assert!(table.contains("9.000"), "latencies render in ms");
+        assert!(table.contains("status"), "slow query listed");
+    }
 }

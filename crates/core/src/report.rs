@@ -11,9 +11,9 @@
 use uspec_learn::ProvenanceIndex;
 use uspec_pta::PtaAggregate;
 use uspec_telemetry::{
-    attribution, metrics, span, AttributionSection, CacheSection, CandidateCounters,
+    attribution, metrics, span, window, AttributionSection, CacheSection, CandidateCounters,
     CorpusCounters, DiagnosticsSection, JobKindStats, JobsSection, ModelCounters,
-    ProvenanceSection, PtaCounters, RunReport, ServeSection, TimingsSection,
+    ProvenanceSection, PtaCounters, RunReport, ServeSection, SloSection, TimingsSection,
 };
 
 use crate::pipeline::{PipelineOptions, PipelineResult};
@@ -105,11 +105,15 @@ pub fn jobs_section() -> JobsSection {
 /// `timings.serve` section. All zeros for batch commands; the spec-query
 /// daemon (`uspec serve`) increments them as it answers traffic.
 /// Per-method rows come from the `serve.method.<name>` counter namespace,
-/// so the section needs no compile-time list of protocol methods.
+/// so the section needs no compile-time list of protocol methods — the
+/// same goes for the `serve.<stream>` window rows, the slow-query log,
+/// and the `serve.slo.*` sentinel counters.
 pub fn serve_section() -> ServeSection {
-    let counters = metrics::global().snapshot().counters;
+    let snap = metrics::global().snapshot();
+    let counters = snap.counters;
     let get = |name: &str| counters.get(name).copied().unwrap_or(0);
     const METHOD_PREFIX: &str = "serve.method.";
+    const WINDOW_PREFIX: &str = "serve.";
     ServeSection {
         requests: get("serve.requests"),
         rejected: get("serve.rejected"),
@@ -122,6 +126,22 @@ pub fn serve_section() -> ServeSection {
             .iter()
             .filter_map(|(name, &n)| name.strip_prefix(METHOD_PREFIX).map(|m| (m.to_owned(), n)))
             .collect(),
+        windows: window::global()
+            .snapshot_latest()
+            .into_iter()
+            .filter_map(|(name, snap)| {
+                let stream = name.strip_prefix(WINDOW_PREFIX)?;
+                (snap.total_requests > 0).then(|| (stream.to_owned(), snap))
+            })
+            .collect(),
+        slow: window::slow_log().snapshot(),
+        slo: SloSection {
+            breaches: get("serve.slo.breach"),
+            p99_breaches: get("serve.slo.p99"),
+            error_rate_breaches: get("serve.slo.error_rate"),
+            staleness_breaches: get("serve.slo.staleness"),
+            max_staleness_ms: snap.gauges.get("serve.staleness_ms").copied().unwrap_or(0),
+        },
     }
 }
 

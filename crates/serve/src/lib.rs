@@ -7,8 +7,9 @@
 //!
 //! The protocol is newline-delimited JSON ([`protocol`]): each request
 //! line names a method (`spec.lookup`, `alias.may`, `explain`,
-//! `analyze.snippet`, `status`, `shutdown`) and each response line echoes
-//! the request id plus the specification **generation** it was answered
+//! `analyze.snippet`, `status`, `metrics.snapshot`, `shutdown`) and each
+//! response line echoes the request id, a server-stamped `req` sequence
+//! number, and the specification **generation** it was answered
 //! from. Edits to the corpus are detected by a deterministic polling
 //! watcher ([`watcher`]), debounced, and re-learned incrementally through
 //! the cached job pipeline — only the edited files' job cones re-execute
@@ -31,5 +32,8 @@ pub use protocol::{
     err_response, ok_response, parse_request, ErrorCode, FrameEvent, FrameReader, Request,
     MAX_FRAME_BYTES,
 };
-pub use server::{roundtrip_tcp, roundtrip_unix, Generation, Listener, ServeOptions, Server};
+pub use server::{
+    roundtrip_tcp, roundtrip_tcp_timeout, roundtrip_unix, roundtrip_unix_timeout, Generation,
+    Listener, ServeOptions, Server, SloPolicy, SloSentinel,
+};
 pub use watcher::{diff, scan, Debouncer, FileMeta, Snapshot};

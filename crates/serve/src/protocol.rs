@@ -4,10 +4,13 @@
 //! response is either
 //!
 //! ```json
-//! {"id":1,"gen":3,"ok":true,"result":…}
-//! {"id":1,"gen":3,"ok":false,"error":{"code":"params","message":"…"}}
+//! {"id":1,"req":17,"gen":3,"ok":true,"result":…}
+//! {"id":1,"req":17,"gen":3,"ok":false,"error":{"code":"params","message":"…"}}
 //! ```
 //!
+//! `id` is the client-chosen correlation id echoed back verbatim; `req` is
+//! the server-stamped request sequence number (process-global, monotone),
+//! the handle that correlates a response with the daemon's telemetry.
 //! `gen` is the specification generation the answer was computed against —
 //! clients watching for an edit to become visible poll `status` until it
 //! moves. The `result` payload is serialized by the same typed serializer
@@ -102,18 +105,25 @@ fn id_json(id: Option<u64>) -> String {
     }
 }
 
-/// Builds a success envelope around an already-serialized `result` payload.
-pub fn ok_response(id: Option<u64>, generation: u64, result_json: &str) -> String {
+/// Builds a success envelope around an already-serialized `result`
+/// payload. `req` is the server-stamped request sequence number.
+pub fn ok_response(id: Option<u64>, req: u64, generation: u64, result_json: &str) -> String {
     format!(
-        "{{\"id\":{},\"gen\":{generation},\"ok\":true,\"result\":{result_json}}}\n",
+        "{{\"id\":{},\"req\":{req},\"gen\":{generation},\"ok\":true,\"result\":{result_json}}}\n",
         id_json(id)
     )
 }
 
 /// Builds an error envelope.
-pub fn err_response(id: Option<u64>, generation: u64, code: ErrorCode, message: &str) -> String {
+pub fn err_response(
+    id: Option<u64>,
+    req: u64,
+    generation: u64,
+    code: ErrorCode,
+    message: &str,
+) -> String {
     format!(
-        "{{\"id\":{},\"gen\":{generation},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{}}}}}\n",
+        "{{\"id\":{},\"req\":{req},\"gen\":{generation},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{}}}}}\n",
         id_json(id),
         code.as_str(),
         json::escape(message)
@@ -302,14 +312,16 @@ mod tests {
 
     #[test]
     fn envelopes_are_valid_json() {
-        let ok = ok_response(Some(4), 2, "[1,2]");
+        let ok = ok_response(Some(4), 99, 2, "[1,2]");
         let v = crate::json::parse(ok.trim_end()).unwrap();
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("req").and_then(Json::as_u64), Some(99));
         assert_eq!(v.get("gen").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
 
-        let err = err_response(None, 7, ErrorCode::Params, "missing `a`\nsee docs");
+        let err = err_response(None, 100, 7, ErrorCode::Params, "missing `a`\nsee docs");
         let v = crate::json::parse(err.trim_end()).unwrap();
+        assert_eq!(v.get("req").and_then(Json::as_u64), Some(100));
         assert_eq!(v.get("id"), Some(&Json::Null));
         assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
         let e = v.get("error").unwrap();

@@ -19,12 +19,20 @@
 //! Every learned generation appends a run-ledger entry (when a ledger
 //! directory is configured), and all traffic feeds the `serve.*`
 //! counters that the run report's `serve` section snapshots.
+//!
+//! Observability rides on every request: each frame is stamped with a
+//! process-global `req` sequence number, timed under a `serve.request`
+//! span, and recorded into per-method sliding windows
+//! ([`uspec_telemetry::window`]) plus the slow-query log. The whole
+//! plane is queryable live over the wire (`metrics.snapshot`), rendered
+//! as Prometheus text ([`Server::prometheus_text`]), and policed by the
+//! edge-triggered [`SloSentinel`].
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,7 +47,12 @@ use uspec_lang::{lower_program, parse, ApiTable, MethodId, Symbol};
 use uspec_learn::{LearnedSpecs, ProvenanceIndex};
 use uspec_pta::{Pta, Spec, SpecDb};
 use uspec_store::ArtifactStore;
-use uspec_telemetry::{counter, gauge, histogram, log_info, log_warn, span, RunReport};
+use uspec_telemetry::{
+    counter, gauge, histogram, log_info, log_warn, span, window, RunReport, SlidingWindow,
+    SlowQuery, WindowSnapshot,
+};
+
+use crate::json;
 
 use crate::json::Json;
 use crate::protocol::{
@@ -51,6 +64,19 @@ use crate::watcher::{self, Debouncer};
 /// How often blocked socket reads and channel waits wake up to check the
 /// shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Registry prefix of the per-method request windows; the stream name
+/// after it (`all`, `status`, `other`, …) is what exposition surfaces.
+const WINDOW_STREAM_PREFIX: &str = "serve.";
+
+/// Process-global request sequence. Every frame — well-formed or not —
+/// takes the next number, stamped into its response envelope as `req`,
+/// the handle correlating a response with daemon-side telemetry.
+static REQ_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn next_req() -> u64 {
+    REQ_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
 
 /// Configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -147,6 +173,14 @@ struct Shared {
     corpus_dir: PathBuf,
     current: RwLock<Arc<Generation>>,
     shutdown: AtomicBool,
+    /// Uptime origin: the monotone clock all sliding windows and
+    /// staleness math share.
+    started: Instant,
+    /// `now_ms() + 1` at the first corpus edit not yet reflected in the
+    /// served generation; 0 when fresh (the `+ 1` keeps 0 unambiguous
+    /// for an edit landing in the very first millisecond). Written by
+    /// the watcher, cleared by the learner after a generation swap.
+    dirty_since_ms: AtomicU64,
 }
 
 impl Shared {
@@ -157,6 +191,37 @@ impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
+
+    /// Milliseconds since server start.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// How long the served generation has lagged the corpus: 0 when
+    /// fresh, else milliseconds since the oldest unserved edit was
+    /// *observed* (a scan notices an edit up to one poll period after
+    /// the write, so this under-reports by at most `poll_ms`).
+    fn staleness_ms(&self) -> u64 {
+        match self.dirty_since_ms.load(Ordering::Relaxed) {
+            0 => 0,
+            since => self.now_ms().saturating_sub(since - 1),
+        }
+    }
+
+    /// Records the onset of staleness; later edits while already dirty
+    /// keep the oldest onset (staleness measures the worst-served edit).
+    fn mark_dirty(&self) {
+        let _ = self.dirty_since_ms.compare_exchange(
+            0,
+            self.now_ms() + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn mark_fresh(&self) {
+        self.dirty_since_ms.store(0, Ordering::Relaxed);
+    }
 }
 
 /// A running serve daemon. Dropping without [`Server::join`] detaches the
@@ -166,7 +231,6 @@ pub struct Server {
     threads: Vec<JoinHandle<()>>,
     socket_path: Option<PathBuf>,
     tcp_addr: Option<SocketAddr>,
-    started: Instant,
 }
 
 impl Server {
@@ -193,6 +257,7 @@ impl Server {
             Listener::Tcp(l) => (None, l.local_addr().ok()),
         };
 
+        intern_serve_metrics();
         let shared = Arc::new(Shared {
             table: library.api_table(),
             opts,
@@ -200,6 +265,8 @@ impl Server {
             // Placeholder, replaced before any thread can observe it.
             current: RwLock::new(Arc::new(empty_generation())),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            dirty_since_ms: AtomicU64::new(0),
         });
         let first = learn_generation(&shared, store.as_ref(), 1)?;
         log_info!(
@@ -228,7 +295,6 @@ impl Server {
             threads,
             socket_path,
             tcp_addr,
-            started: Instant::now(),
         })
     }
 
@@ -258,18 +324,138 @@ impl Server {
     }
 
     /// The latest generation's report with its timing sections refreshed
-    /// over the server's whole uptime — what `--metrics-out` serializes at
-    /// exit, carrying the final `serve` traffic section.
+    /// over the server's uptime so far — a *live* snapshot; the
+    /// authoritative exit report is what [`Server::join`] returns, taken
+    /// after every worker has finished recording.
     pub fn final_report(&self) -> RunReport {
         let gen = self.generation();
         let mut report = gen.report.clone();
-        report.timings = uspec::timings_section(self.started.elapsed().as_secs_f64());
+        report.timings = uspec::timings_section(self.shared.started.elapsed().as_secs_f64());
         report
     }
 
+    /// Milliseconds the daemon has been up.
+    pub fn uptime_ms(&self) -> u64 {
+        self.shared.now_ms()
+    }
+
+    /// How long the served generation has lagged the corpus (0 = fresh).
+    pub fn staleness_ms(&self) -> u64 {
+        self.shared.staleness_ms()
+    }
+
+    /// Feeds `sentinel` one live observation — the recent `serve.all`
+    /// window plus current staleness — and returns any breach onsets
+    /// (already logged). Also keeps the `serve.staleness_ms` gauge at
+    /// the worst staleness seen, so the exit report records the run's
+    /// maximum lag even without a policy armed.
+    pub fn observe_slo(&self, sentinel: &mut SloSentinel) -> Vec<String> {
+        let staleness = self.shared.staleness_ms();
+        gauge!("serve.staleness_ms").record_max(staleness);
+        let win = window!("serve.all").snapshot(self.shared.now_ms());
+        let onsets = sentinel.observe(&win, staleness);
+        for onset in &onsets {
+            log_warn!("serve: SLO breach: {onset}");
+        }
+        onsets
+    }
+
+    /// Renders the whole telemetry plane in the Prometheus text
+    /// exposition format: dotted registry names become `uspec_*` with
+    /// dots mapped to underscores; counter families (`*_total`, plus
+    /// histogram/window `_count`/`_sum`/`_requests_total`) are monotone,
+    /// windowed latency figures are gauges. `tools/check_metrics.rs`
+    /// validates syntax and monotonicity across two scrapes.
+    pub fn prometheus_text(&self) -> String {
+        let snap = uspec_telemetry::metrics::global().snapshot();
+        let mut out = String::with_capacity(8192);
+        for (name, v) in &snap.counters {
+            let name = format!("uspec_{}_total", prom_sanitize(name));
+            prom_family(&mut out, &name, "counter", &[(None, *v)]);
+        }
+        for (name, v) in &snap.gauges {
+            let name = format!("uspec_{}", prom_sanitize(name));
+            prom_family(&mut out, &name, "gauge", &[(None, *v)]);
+        }
+        prom_family(
+            &mut out,
+            "uspec_serve_staleness_ms_live",
+            "gauge",
+            &[(None, self.shared.staleness_ms())],
+        );
+        for (name, h) in &snap.histograms {
+            let base = format!("uspec_{}", prom_sanitize(name));
+            prom_family(
+                &mut out,
+                &format!("{base}_count"),
+                "counter",
+                &[(None, h.count)],
+            );
+            prom_family(
+                &mut out,
+                &format!("{base}_sum"),
+                "counter",
+                &[(None, h.sum)],
+            );
+            prom_family(&mut out, &format!("{base}_p50"), "gauge", &[(None, h.p50)]);
+            prom_family(&mut out, &format!("{base}_p95"), "gauge", &[(None, h.p95)]);
+            prom_family(&mut out, &format!("{base}_p99"), "gauge", &[(None, h.p99)]);
+        }
+        let windows: Vec<(String, WindowSnapshot)> = window::global()
+            .snapshot(self.shared.now_ms())
+            .into_iter()
+            .filter_map(|(name, w)| {
+                let stream = name.strip_prefix(WINDOW_STREAM_PREFIX)?;
+                Some((format!("stream=\"{stream}\""), w))
+            })
+            .collect();
+        if !windows.is_empty() {
+            let rows = |f: fn(&WindowSnapshot) -> u64| -> Vec<(Option<String>, u64)> {
+                windows
+                    .iter()
+                    .map(|(l, w)| (Some(l.clone()), f(w)))
+                    .collect()
+            };
+            let fam = [
+                (
+                    "uspec_serve_window_requests_total",
+                    "counter",
+                    rows(|w| w.total_requests),
+                ),
+                (
+                    "uspec_serve_window_errors_total",
+                    "counter",
+                    rows(|w| w.total_errors),
+                ),
+                (
+                    "uspec_serve_window_recent_requests",
+                    "gauge",
+                    rows(|w| w.requests),
+                ),
+                (
+                    "uspec_serve_window_recent_errors",
+                    "gauge",
+                    rows(|w| w.errors),
+                ),
+                ("uspec_serve_window_p50_ns", "gauge", rows(|w| w.p50_ns)),
+                ("uspec_serve_window_p95_ns", "gauge", rows(|w| w.p95_ns)),
+                ("uspec_serve_window_p99_ns", "gauge", rows(|w| w.p99_ns)),
+            ];
+            for (name, kind, rows) in &fam {
+                prom_family(&mut out, name, kind, rows);
+            }
+        }
+        out
+    }
+
     /// Signals shutdown (if not already signalled), joins every thread,
-    /// and removes the Unix socket file.
-    pub fn join(mut self) {
+    /// removes the Unix socket file, and returns the exit report: the
+    /// last generation's report with timing sections re-snapshotted over
+    /// the whole uptime *after* all workers finished recording, so its
+    /// `serve` windows are consistent with its `serve` counters. When a
+    /// ledger is configured the exit report is appended too, giving
+    /// `uspec perf check` one entry covering the run's full traffic.
+    pub fn join(mut self) -> RunReport {
         self.shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -277,6 +463,125 @@ impl Server {
         if let Some(path) = &self.socket_path {
             let _ = std::fs::remove_file(path);
         }
+        let generation = self.shared.generation();
+        let mut report = generation.report.clone();
+        report.timings = uspec::timings_section(self.shared.started.elapsed().as_secs_f64());
+        append_ledger(&self.shared, &report, &generation.corpus_fp);
+        report
+    }
+}
+
+/// Prometheus metric-name spelling of a dotted registry name.
+fn prom_sanitize(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+/// One exposition family: a `# TYPE` line, then one sample per row
+/// (rows carry an optional `key="value"` label set).
+fn prom_family(out: &mut String, name: &str, kind: &str, rows: &[(Option<String>, u64)]) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (labels, v) in rows {
+        match labels {
+            Some(l) => {
+                let _ = writeln!(out, "{name}{{{l}}} {v}");
+            }
+            None => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+        }
+    }
+}
+
+/// Live service-level objectives for the daemon, usually parsed from the
+/// `[serve]` table of `perf-budgets.toml`. `None` disarms that check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloPolicy {
+    /// Ceiling on the windowed p99 request latency, milliseconds.
+    pub p99_ms_max: Option<f64>,
+    /// Ceiling on the windowed error fraction (errors / requests).
+    pub error_rate_max: Option<f64>,
+    /// Ceiling on generation staleness, milliseconds.
+    pub staleness_ms_max: Option<f64>,
+}
+
+impl SloPolicy {
+    /// Whether any objective is armed.
+    pub fn is_armed(&self) -> bool {
+        self.p99_ms_max.is_some()
+            || self.error_rate_max.is_some()
+            || self.staleness_ms_max.is_some()
+    }
+}
+
+/// Edge-triggered SLO watchdog: each objective increments
+/// `serve.slo.breach` (and its per-kind counter) once per breach
+/// *onset*, not once per observation, so exit-report breach counts read
+/// as "how many times did we go out of budget", not "for how long".
+pub struct SloSentinel {
+    policy: SloPolicy,
+    p99: bool,
+    error_rate: bool,
+    staleness: bool,
+}
+
+impl SloSentinel {
+    /// A sentinel with every objective currently in budget.
+    pub fn new(policy: SloPolicy) -> SloSentinel {
+        SloSentinel {
+            policy,
+            p99: false,
+            error_rate: false,
+            staleness: false,
+        }
+    }
+
+    /// Checks one observation — a recent-window snapshot plus the
+    /// current staleness — against the policy and returns a description
+    /// per breach onset. Latency and error objectives only fire when the
+    /// window saw traffic: an idle daemon is in budget, not out of it.
+    pub fn observe(&mut self, win: &WindowSnapshot, staleness_ms: u64) -> Vec<String> {
+        let mut onsets = Vec::new();
+        if let Some(max) = self.policy.p99_ms_max {
+            let p99_ms = win.p99_ns as f64 / 1e6;
+            let breached = win.requests > 0 && p99_ms > max;
+            if breached && !self.p99 {
+                counter!("serve.slo.breach").inc();
+                counter!("serve.slo.p99").inc();
+                onsets.push(format!(
+                    "windowed p99 {p99_ms:.3} ms exceeds the {max} ms budget"
+                ));
+            }
+            self.p99 = breached;
+        }
+        if let Some(max) = self.policy.error_rate_max {
+            let rate = if win.requests > 0 {
+                win.errors as f64 / win.requests as f64
+            } else {
+                0.0
+            };
+            let breached = rate > max;
+            if breached && !self.error_rate {
+                counter!("serve.slo.breach").inc();
+                counter!("serve.slo.error_rate").inc();
+                onsets.push(format!(
+                    "windowed error rate {rate:.4} exceeds the {max} budget"
+                ));
+            }
+            self.error_rate = breached;
+        }
+        if let Some(max) = self.policy.staleness_ms_max {
+            let breached = staleness_ms as f64 > max;
+            if breached && !self.staleness {
+                counter!("serve.slo.breach").inc();
+                counter!("serve.slo.staleness").inc();
+                onsets.push(format!(
+                    "generation staleness {staleness_ms} ms exceeds the {max} ms budget"
+                ));
+            }
+            self.staleness = breached;
+        }
+        onsets
     }
 }
 
@@ -293,18 +598,45 @@ fn empty_generation() -> Generation {
     }
 }
 
+/// Reads one corpus file, tolerating the snapshot/read race: a path that
+/// vanishes between a directory listing (or watcher scan) and this read
+/// is counted (`serve.read_races`) and skipped with `None` — the next
+/// scan observes the deletion and converges on a clean re-learn of the
+/// remaining corpus. Any other I/O failure still fails the learn.
+fn read_source(path: &Path) -> std::io::Result<Option<String>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            counter!("serve.read_races").inc();
+            log_warn!("serve: {} vanished during learn, skipped", path.display());
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Recursively collects `*.u` files under `root`, sorted (the same corpus
-/// order the batch CLI uses).
+/// order the batch CLI uses). Files or directories deleted mid-walk are
+/// skipped (see [`read_source`]), never an error.
 fn collect_sources(root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
     if root.is_file() {
         if root.extension().is_some_and(|e| e == "u") {
-            out.push((root.display().to_string(), std::fs::read_to_string(root)?));
+            if let Some(text) = read_source(root)? {
+                out.push((root.display().to_string(), text));
+            }
         }
         return Ok(());
     }
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(root)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let entries = match std::fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            counter!("serve.read_races").inc();
+            log_warn!("serve: {} vanished during learn, skipped", root.display());
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
     paths.sort();
     for p in paths {
         collect_sources(&p, out)?;
@@ -468,6 +800,7 @@ fn spawn_watcher(shared: Arc<Shared>, dirty_tx: mpsc::Sender<Vec<PathBuf>>) -> J
             snapshot = next;
             if !changed.is_empty() {
                 counter!("serve.watch.dirty_files").add(changed.len() as u64);
+                shared.mark_dirty();
             }
             if let Some(batch) = debouncer.observe(changed) {
                 log_info!("serve: {} corpus path(s) changed, re-learning", batch.len());
@@ -486,6 +819,10 @@ fn spawn_learner(
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut gen_no = 1u64;
+        // Job count of the cold start: the denominator of the
+        // executed-fraction gauge (how much of the full corpus cone an
+        // edit re-executed, in permille).
+        let cold_jobs = counter!("jobs.executed").get().max(1);
         loop {
             let mut batch = match dirty_rx.recv_timeout(POLL_TICK) {
                 Ok(b) => b,
@@ -506,8 +843,16 @@ fn spawn_learner(
             }
             gen_no += 1;
             counter!("serve.relearns").inc();
+            let jobs_before = counter!("jobs.executed").get();
+            let t0 = Instant::now();
             match learn_generation(&shared, store.as_ref(), gen_no) {
                 Ok(generation) => {
+                    // Edit→fresh is measured up to the swap: the time a
+                    // client could have seen a stale answer.
+                    gauge!("serve.relearn.edit_to_fresh_ms").record_max(shared.staleness_ms());
+                    gauge!("serve.relearn.last_ns").set(t0.elapsed().as_nanos() as u64);
+                    gauge!("serve.relearn.exec_permille")
+                        .set((counter!("jobs.executed").get() - jobs_before) * 1000 / cold_jobs);
                     log_info!(
                         "serve: generation {gen_no} ready ({} files, {} specs)",
                         generation.files,
@@ -515,6 +860,7 @@ fn spawn_learner(
                     );
                     gauge!("serve.generation").record_max(gen_no);
                     *shared.current.write().expect("generation lock") = Arc::new(generation);
+                    shared.mark_fresh();
                 }
                 // The previous generation keeps serving; the next quiet
                 // batch (or the same files fixed) retries.
@@ -564,8 +910,97 @@ fn serve_stream<R: Read, W: Write>(shared: &Shared, read: R, write: W) -> std::i
     }
 }
 
-/// Answers one frame. Returns whether the connection should close (the
-/// frame was a granted `shutdown`).
+/// What [`dispatch`] hands back for one frame.
+struct Answered {
+    /// The full response line (newline included).
+    response: String,
+    /// Whether the connection should close (a granted `shutdown`).
+    quit: bool,
+    /// Whether the answer was a success envelope.
+    ok: bool,
+    /// The latency-window stream the request belongs to — the method
+    /// name, or `other` for frames that never resolved to a method.
+    stream: &'static str,
+}
+
+/// Interns every serve-owned metric up front so snapshot and exposition
+/// key sets are stable from the first request: a name appears (with
+/// value 0) before its first event instead of materializing mid-run,
+/// which is what lets `metrics.snapshot` promise byte-stable key sets.
+fn intern_serve_metrics() {
+    for stream in [
+        "all",
+        "spec.lookup",
+        "alias.may",
+        "explain",
+        "analyze.snippet",
+        "status",
+        "metrics.snapshot",
+        "shutdown",
+        "other",
+    ] {
+        let _ = stream_window(stream);
+    }
+    let counters = [
+        "serve.requests",
+        "serve.rejected",
+        "serve.errors",
+        "serve.batches",
+        "serve.connections",
+        "serve.relearns",
+        "serve.read_races",
+        "serve.io_errors",
+        "serve.watch.scans",
+        "serve.watch.dirty_files",
+        "serve.method.spec.lookup",
+        "serve.method.alias.may",
+        "serve.method.explain",
+        "serve.method.analyze.snippet",
+        "serve.method.status",
+        "serve.method.metrics.snapshot",
+        "serve.method.shutdown",
+        "serve.slo.breach",
+        "serve.slo.p99",
+        "serve.slo.error_rate",
+        "serve.slo.staleness",
+    ];
+    for name in counters {
+        let _ = uspec_telemetry::metrics::global().counter(name);
+    }
+    let gauges = [
+        "serve.generation",
+        "serve.staleness_ms",
+        "serve.relearn.last_ns",
+        "serve.relearn.edit_to_fresh_ms",
+        "serve.relearn.exec_permille",
+    ];
+    for name in gauges {
+        let _ = uspec_telemetry::metrics::global().gauge(name);
+    }
+    let _ = uspec_telemetry::metrics::global().histogram("serve.request_ns");
+}
+
+/// The sliding window of one request stream. Streams are a closed set
+/// (the method set plus `all`/`other`), so a match over literals is the
+/// whole registry and every handle is interned once.
+fn stream_window(stream: &str) -> &'static SlidingWindow {
+    match stream {
+        "all" => window!("serve.all"),
+        "spec.lookup" => window!("serve.spec.lookup"),
+        "alias.may" => window!("serve.alias.may"),
+        "explain" => window!("serve.explain"),
+        "analyze.snippet" => window!("serve.analyze.snippet"),
+        "status" => window!("serve.status"),
+        "metrics.snapshot" => window!("serve.metrics.snapshot"),
+        "shutdown" => window!("serve.shutdown"),
+        _ => window!("serve.other"),
+    }
+}
+
+/// Answers one frame: stamps the `req` sequence number, dispatches,
+/// records latency/outcome into the `serve.all` and per-method windows
+/// plus the slow-query log, and writes the response. Returns whether the
+/// connection should close (the frame was a granted `shutdown`).
 fn handle_frame(
     shared: &Shared,
     generation: &Generation,
@@ -574,14 +1009,18 @@ fn handle_frame(
     writer: &mut impl Write,
 ) -> std::io::Result<bool> {
     counter!("serve.requests").inc();
+    let _span = span!("serve.request");
     let t0 = Instant::now();
-    let (response, quit) = match ev {
+    let req = next_req();
+    let request_bytes = frames.frame().len() as u64;
+    let answered = match ev {
         FrameEvent::Oversized => {
             counter!("serve.rejected").inc();
             counter!("serve.errors").inc();
-            (
-                err_response(
+            Answered {
+                response: err_response(
                     None,
+                    req,
                     generation.gen,
                     ErrorCode::Oversized,
                     &format!(
@@ -589,8 +1028,10 @@ fn handle_frame(
                         shared.opts.max_frame_bytes
                     ),
                 ),
-                false,
-            )
+                quit: false,
+                ok: false,
+                stream: "other",
+            }
         }
         _ => {
             let line = String::from_utf8_lossy(frames.frame());
@@ -598,47 +1039,70 @@ fn handle_frame(
                 Err((id, code, message)) => {
                     counter!("serve.rejected").inc();
                     counter!("serve.errors").inc();
-                    (err_response(id, generation.gen, code, &message), false)
+                    Answered {
+                        response: err_response(id, req, generation.gen, code, &message),
+                        quit: false,
+                        ok: false,
+                        stream: "other",
+                    }
                 }
-                Ok(request) => dispatch(shared, generation, &request),
+                Ok(request) => dispatch(shared, generation, &request, req),
             }
         }
     };
-    histogram!("serve.request_ns").record(t0.elapsed().as_nanos() as u64);
-    writer.write_all(response.as_bytes())?;
-    Ok(quit)
+    let latency_ns = t0.elapsed().as_nanos() as u64;
+    histogram!("serve.request_ns").record(latency_ns);
+    let now_ms = shared.now_ms();
+    stream_window("all").record(now_ms, latency_ns, !answered.ok);
+    stream_window(answered.stream).record(now_ms, latency_ns, !answered.ok);
+    window::slow_log().record(SlowQuery {
+        method: answered.stream.to_owned(),
+        latency_ns,
+        gen: generation.gen,
+        request_bytes,
+        response_bytes: answered.response.len() as u64,
+    });
+    writer.write_all(answered.response.as_bytes())?;
+    Ok(answered.quit)
 }
 
 /// Routes a parsed request to its method handler and wraps the outcome.
-fn dispatch(shared: &Shared, generation: &Generation, request: &Request) -> (String, bool) {
+fn dispatch(shared: &Shared, generation: &Generation, request: &Request, req: u64) -> Answered {
     // Per-method counters are literals because the registry interns
     // `&'static str` names; the method set is closed, so a match is the
     // whole registry.
-    let counted = match request.method.as_str() {
-        "spec.lookup" => Some(counter!("serve.method.spec.lookup")),
-        "alias.may" => Some(counter!("serve.method.alias.may")),
-        "explain" => Some(counter!("serve.method.explain")),
-        "analyze.snippet" => Some(counter!("serve.method.analyze.snippet")),
-        "status" => Some(counter!("serve.method.status")),
-        "shutdown" => Some(counter!("serve.method.shutdown")),
+    let routed = match request.method.as_str() {
+        "spec.lookup" => Some((counter!("serve.method.spec.lookup"), "spec.lookup")),
+        "alias.may" => Some((counter!("serve.method.alias.may"), "alias.may")),
+        "explain" => Some((counter!("serve.method.explain"), "explain")),
+        "analyze.snippet" => Some((counter!("serve.method.analyze.snippet"), "analyze.snippet")),
+        "status" => Some((counter!("serve.method.status"), "status")),
+        "metrics.snapshot" => Some((
+            counter!("serve.method.metrics.snapshot"),
+            "metrics.snapshot",
+        )),
+        "shutdown" => Some((counter!("serve.method.shutdown"), "shutdown")),
         _ => None,
     };
-    let Some(counted) = counted else {
+    let Some((counted, stream)) = routed else {
         counter!("serve.rejected").inc();
         counter!("serve.errors").inc();
-        return (
-            err_response(
+        return Answered {
+            response: err_response(
                 request.id,
+                req,
                 generation.gen,
                 ErrorCode::Method,
                 &format!(
                     "unknown method `{}` (expected spec.lookup, alias.may, explain, \
-                     analyze.snippet, status, or shutdown)",
+                     analyze.snippet, status, metrics.snapshot, or shutdown)",
                     request.method
                 ),
             ),
-            false,
-        );
+            quit: false,
+            ok: false,
+            stream: "other",
+        };
     };
     counted.inc();
     let mut quit = false;
@@ -647,7 +1111,8 @@ fn dispatch(shared: &Shared, generation: &Generation, request: &Request) -> (Str
         "alias.may" => alias_may(generation, &request.params),
         "explain" => explain(generation, &request.params),
         "analyze.snippet" => analyze_snippet(shared, generation, &request.params),
-        "status" => status(generation),
+        "status" => status(shared, generation),
+        "metrics.snapshot" => Ok(metrics_snapshot_json(shared, generation)),
         _ => {
             // shutdown: acknowledge, then wind the whole server down.
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -656,13 +1121,20 @@ fn dispatch(shared: &Shared, generation: &Generation, request: &Request) -> (Str
         }
     };
     match outcome {
-        Ok(result) => (ok_response(request.id, generation.gen, &result), quit),
+        Ok(result) => Answered {
+            response: ok_response(request.id, req, generation.gen, &result),
+            quit,
+            ok: true,
+            stream,
+        },
         Err((code, message)) => {
             counter!("serve.errors").inc();
-            (
-                err_response(request.id, generation.gen, code, &message),
-                false,
-            )
+            Answered {
+                response: err_response(request.id, req, generation.gen, code, &message),
+                quit: false,
+                ok: false,
+                stream,
+            }
         }
     }
 }
@@ -890,11 +1362,19 @@ struct StatusAnswer {
     relearns: u64,
     requests: u64,
     watch_scans: u64,
+    staleness_ms: u64,
+    window_requests: u64,
+    window_errors: u64,
+    window_p50_ns: u64,
+    window_p95_ns: u64,
+    window_p99_ns: u64,
+    last_relearn_ns: u64,
 }
 
-fn status(generation: &Generation) -> MethodResult {
-    let counters = uspec_telemetry::metrics::global().snapshot().counters;
-    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+fn status(shared: &Shared, generation: &Generation) -> MethodResult {
+    let snap = uspec_telemetry::metrics::global().snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let win = stream_window("all").snapshot(shared.now_ms());
     let answer = StatusAnswer {
         gen: generation.gen,
         files: generation.files as u64,
@@ -905,20 +1385,177 @@ fn status(generation: &Generation) -> MethodResult {
         relearns: get("serve.relearns"),
         requests: get("serve.requests"),
         watch_scans: get("serve.watch.scans"),
+        staleness_ms: shared.staleness_ms(),
+        window_requests: win.requests,
+        window_errors: win.errors,
+        window_p50_ns: win.p50_ns,
+        window_p95_ns: win.p95_ns,
+        window_p99_ns: win.p99_ns,
+        last_relearn_ns: snap
+            .gauges
+            .get("serve.relearn.last_ns")
+            .copied()
+            .unwrap_or(0),
     };
     serde_json::to_string(&answer).map_err(internal)
 }
 
+/// Serializes the whole telemetry plane as one byte-stable JSON object:
+/// fixed top-level key order (`schema`, `gen`, `uptime_ms`,
+/// `staleness_ms`, `counters`, `gauges`, `histograms`, `windows`,
+/// `slow`, `slo`), registry-sorted dynamic keys, hand-built like the
+/// envelope (see [`crate::json`]). Two idle snapshots differ only in
+/// timing-derived digits, which `tests/serve_protocol.rs` pins.
+fn metrics_snapshot_json(shared: &Shared, generation: &Generation) -> String {
+    use std::fmt::Write as _;
+    let snap = uspec_telemetry::metrics::global().snapshot();
+    let now_ms = shared.now_ms();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"schema\":1,\"gen\":{},\"uptime_ms\":{now_ms},\"staleness_ms\":{}",
+        generation.gen,
+        shared.staleness_ms()
+    );
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", json::escape(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", json::escape(name));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json::escape(name),
+            h.count,
+            h.sum,
+            h.p50,
+            h.p95,
+            h.p99
+        );
+    }
+    out.push_str("},\"windows\":{");
+    let mut first = true;
+    for (name, w) in window::global().snapshot(now_ms) {
+        let Some(stream) = name.strip_prefix(WINDOW_STREAM_PREFIX) else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{}:{{\"window_seconds\":{},\"requests\":{},\"errors\":{},\"mean_ns\":{},\
+             \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"total_requests\":{},\
+             \"total_errors\":{},\"total_p50_ns\":{},\"total_p95_ns\":{},\"total_p99_ns\":{}}}",
+            json::escape(stream),
+            w.window_seconds,
+            w.requests,
+            w.errors,
+            w.mean_ns,
+            w.p50_ns,
+            w.p95_ns,
+            w.p99_ns,
+            w.total_requests,
+            w.total_errors,
+            w.total_p50_ns,
+            w.total_p95_ns,
+            w.total_p99_ns
+        );
+    }
+    out.push_str("},\"slow\":[");
+    for (i, q) in window::slow_log().snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"method\":{},\"latency_ns\":{},\"gen\":{},\"request_bytes\":{},\
+             \"response_bytes\":{}}}",
+            json::escape(&q.method),
+            q.latency_ns,
+            q.gen,
+            q.request_bytes,
+            q.response_bytes
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"slo\":{{\"breaches\":{},\"p99_breaches\":{},\"error_rate_breaches\":{},\
+         \"staleness_breaches\":{},\"max_staleness_ms\":{}}}}}",
+        get("serve.slo.breach"),
+        get("serve.slo.p99"),
+        get("serve.slo.error_rate"),
+        get("serve.slo.staleness"),
+        snap.gauges.get("serve.staleness_ms").copied().unwrap_or(0)
+    );
+    out
+}
+
 /// Connects to a Unix socket, sends `lines` as one pipelined batch, and
 /// returns one response line per request. The one-shot client behind
-/// `uspec serve --send` and the test harnesses.
+/// `uspec serve --send` and the test harnesses. No timeout: blocks for
+/// as long as the daemon takes (or forever if it is wedged).
 pub fn roundtrip_unix(path: &Path, lines: &[&str]) -> std::io::Result<Vec<String>> {
-    roundtrip(UnixStream::connect(path)?, lines)
+    roundtrip_unix_timeout(path, lines, None)
+}
+
+/// [`roundtrip_unix`] with a deadline on every connect/read/write: a
+/// daemon that stops answering yields a typed `TimedOut` error instead
+/// of hanging the client.
+pub fn roundtrip_unix_timeout(
+    path: &Path,
+    lines: &[&str],
+    timeout: Option<Duration>,
+) -> std::io::Result<Vec<String>> {
+    let stream = UnixStream::connect(path)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    roundtrip(stream, lines)
 }
 
 /// [`roundtrip_unix`] over TCP.
 pub fn roundtrip_tcp(addr: &str, lines: &[&str]) -> std::io::Result<Vec<String>> {
-    roundtrip(TcpStream::connect(addr)?, lines)
+    roundtrip_tcp_timeout(addr, lines, None)
+}
+
+/// [`roundtrip_unix_timeout`] over TCP (the deadline also bounds the
+/// connect itself).
+pub fn roundtrip_tcp_timeout(
+    addr: &str,
+    lines: &[&str],
+    timeout: Option<Duration>,
+) -> std::io::Result<Vec<String>> {
+    let stream = match timeout {
+        Some(t) => {
+            let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("`{addr}` resolves to no address"),
+                )
+            })?;
+            TcpStream::connect_timeout(&sock, t)?
+        }
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    roundtrip(stream, lines)
 }
 
 fn roundtrip<S: Read + Write>(mut stream: S, lines: &[&str]) -> std::io::Result<Vec<String>> {
@@ -933,13 +1570,114 @@ fn roundtrip<S: Read + Write>(mut stream: S, lines: &[&str]) -> std::io::Result<
     let mut responses = Vec::with_capacity(lines.len());
     for _ in 0..lines.len() {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed before answering every request",
-            ));
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed before answering every request",
+                ))
+            }
+            Ok(_) => {}
+            // A timed-out socket read surfaces as WouldBlock on Unix
+            // sockets; normalize both spellings to one typed error.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "timed out waiting for a response (daemon busy, wedged, or gone)",
+                ))
+            }
+            Err(e) => return Err(e),
         }
         responses.push(line.trim_end().to_owned());
     }
     Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_source_skips_vanished_paths() {
+        let missing = Path::new("/nonexistent/uspec-race/gone.u");
+        assert_eq!(read_source(missing).unwrap(), None);
+    }
+
+    #[test]
+    fn collect_sources_tolerates_a_vanished_root() {
+        let mut out = Vec::new();
+        collect_sources(Path::new("/nonexistent/uspec-race-dir"), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn slo_sentinel_fires_on_onsets_only() {
+        let mut s = SloSentinel::new(SloPolicy {
+            p99_ms_max: Some(5.0),
+            error_rate_max: Some(0.5),
+            staleness_ms_max: Some(1000.0),
+        });
+        let mut win = WindowSnapshot {
+            requests: 10,
+            p99_ns: 50_000_000,
+            ..WindowSnapshot::default()
+        };
+        // Onset: one p99 breach reported.
+        assert_eq!(s.observe(&win, 0).len(), 1);
+        // Still breached: no new onset.
+        assert!(s.observe(&win, 0).is_empty());
+        // Recovered, then breached again: a second onset.
+        win.p99_ns = 1_000_000;
+        assert!(s.observe(&win, 0).is_empty());
+        win.p99_ns = 50_000_000;
+        assert_eq!(s.observe(&win, 0).len(), 1);
+        // An idle window is in budget even while the breach flag decays.
+        win.requests = 0;
+        assert!(s.observe(&win, 0).is_empty());
+        // Error-rate and staleness breaches are independent onsets.
+        win.requests = 10;
+        win.errors = 9;
+        win.p99_ns = 0;
+        assert_eq!(s.observe(&win, 2000).len(), 2);
+    }
+
+    #[test]
+    fn unarmed_policy_never_breaches() {
+        let policy = SloPolicy::default();
+        assert!(!policy.is_armed());
+        let mut s = SloSentinel::new(policy);
+        let win = WindowSnapshot {
+            requests: 10,
+            errors: 10,
+            p99_ns: u64::MAX,
+            ..WindowSnapshot::default()
+        };
+        assert!(s.observe(&win, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn prom_families_render_names_labels_and_samples() {
+        assert_eq!(
+            prom_sanitize("serve.watch.dirty_files"),
+            "serve_watch_dirty_files"
+        );
+        let mut out = String::new();
+        prom_family(&mut out, "uspec_x_total", "counter", &[(None, 3)]);
+        prom_family(
+            &mut out,
+            "uspec_w",
+            "gauge",
+            &[(Some("stream=\"all\"".to_owned()), 7)],
+        );
+        assert_eq!(
+            out,
+            "# TYPE uspec_x_total counter\nuspec_x_total 3\n\
+             # TYPE uspec_w gauge\nuspec_w{stream=\"all\"} 7\n"
+        );
+    }
 }

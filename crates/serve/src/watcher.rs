@@ -148,6 +148,51 @@ mod tests {
         assert_eq!(d.observe(vec![]), None, "drained");
     }
 
+    /// A deterministic fake-clock timestamp: `s` seconds past the epoch.
+    fn at(s: u64) -> SystemTime {
+        SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(s)
+    }
+
+    fn meta(len: u64, mtime_s: u64) -> FileMeta {
+        FileMeta {
+            len,
+            mtime: at(mtime_s),
+        }
+    }
+
+    #[test]
+    fn mtime_moving_backwards_is_a_change() {
+        // A restored backup or a clock step can move a file's mtime
+        // *backwards* with the same length; polling identity is exact
+        // (len, mtime) equality, not ordering, so it must still re-learn.
+        let mut old = Snapshot::new();
+        old.insert(p("a.u"), meta(10, 100));
+        let mut new = Snapshot::new();
+        new.insert(p("a.u"), meta(10, 50));
+        assert_eq!(diff(&old, &new), vec![p("a.u")]);
+        // And the reverse transition is symmetric.
+        assert_eq!(diff(&new, &old), vec![p("a.u")]);
+    }
+
+    #[test]
+    fn deletion_between_scans_is_a_change_and_scan_skips_the_gone_file() {
+        // A file present in the old snapshot but deleted before the next
+        // scan reads it: the scan simply omits it (unreadable entries are
+        // skipped), and the diff reports it so the learner re-learns the
+        // remaining corpus.
+        let mut old = Snapshot::new();
+        old.insert(p("a.u"), meta(10, 100));
+        old.insert(p("b.u"), meta(20, 100));
+        let mut new = Snapshot::new();
+        new.insert(p("a.u"), meta(10, 100));
+        assert_eq!(diff(&old, &new), vec![p("b.u")]);
+
+        // scan() on a vanished root degrades to an empty snapshot rather
+        // than failing the poll.
+        let gone = scan(Path::new("/nonexistent/uspec-watch-race"));
+        assert!(gone.is_empty());
+    }
+
     #[test]
     fn scan_and_diff_track_create_modify_delete() {
         let root = std::env::temp_dir().join(format!("uspec-watch-{}", std::process::id()));

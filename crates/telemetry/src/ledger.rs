@@ -25,13 +25,18 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::report::{AttributionSection, CacheSection, JobsSection, ReportCounters, RunReport};
+use crate::report::{
+    AttributionSection, CacheSection, JobsSection, ReportCounters, RunReport, ServeSection,
+};
 
 /// Version of the ledger record layout. Bump on any breaking change;
 /// `tools/check_ledger.rs` pins the full key set against drift.
 ///
-/// History: 1 — initial schema (report schema 5 sections).
-pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+/// History: 1 — initial schema (report schema 5 sections); 2 — `timings`
+/// gained the `serve` section (report schema 7: daemon traffic, latency
+/// windows, slow queries, SLO accounting), so `uspec perf check` can
+/// enforce serve budgets from the ledger alone.
+pub const LEDGER_SCHEMA_VERSION: u32 = 2;
 
 /// One ledger record: a run's identity, deterministic outcome, and cost.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -94,6 +99,8 @@ pub struct LedgerTimings {
     pub jobs: JobsSection,
     /// Per-job cost attribution.
     pub attribution: AttributionSection,
+    /// Spec-query daemon activity (all zeros for batch commands).
+    pub serve: ServeSection,
 }
 
 impl LedgerEntry {
@@ -116,6 +123,7 @@ impl LedgerEntry {
                 cache: report.timings.cache.clone(),
                 jobs: report.timings.jobs.clone(),
                 attribution: report.timings.attribution.clone(),
+                serve: report.timings.serve.clone(),
             },
         }
     }
@@ -218,8 +226,13 @@ mod tests {
         report.provenance.specs = 2;
         report.provenance.evidence_total = 40;
         report.timings.total_seconds = 0.5;
+        report.timings.serve.requests = 7;
+        report.timings.serve.slo.breaches = 1;
+        report.timings.serve.slo.p99_breaches = 1;
         let entry = LedgerEntry::from_report(&report, test_envelope());
         assert_eq!(entry.schema, LEDGER_SCHEMA_VERSION);
+        assert_eq!(entry.timings.serve.requests, 7);
+        assert_eq!(entry.timings.serve.slo.breaches, 1);
         assert_eq!(entry.invariant.command, "eval");
         assert_eq!(entry.invariant.counters.corpus.files, 120);
         assert_eq!(entry.invariant.total_problems, 3);

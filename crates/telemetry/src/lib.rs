@@ -35,6 +35,7 @@ pub mod perf;
 pub mod report;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
@@ -42,9 +43,10 @@ pub use report::{
     AttributedJob, AttributionSection, CacheSection, CandidateCounters, CorpusCounters,
     DiagnosticsSection, InvariantSections, JobKindStats, JobsSection, KindAttribution,
     ModelCounters, ProvenanceSection, PtaCounters, ReportCounters, RunReport, ServeSection,
-    TimingsSection, REPORT_SCHEMA_VERSION,
+    SloSection, TimingsSection, REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanAgg, SpanGuard, SpanStat};
+pub use window::{SlidingWindow, SlowLog, SlowQuery, WindowSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -73,4 +75,5 @@ pub fn reset() {
     span::reset();
     trace::reset();
     attribution::reset();
+    window::reset_global();
 }

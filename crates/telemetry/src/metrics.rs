@@ -80,7 +80,7 @@ impl Gauge {
 
 /// Number of power-of-two histogram buckets: bucket 0 holds zeros and
 /// bucket `i` holds values in `[2^(i-1), 2^i)`, so 65 covers all of `u64`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// Power-of-two bucketed distribution of `u64` samples.
 ///
@@ -106,12 +106,12 @@ impl Default for Histogram {
 
 /// Bucket index for `v`: 0 for zero, otherwise `64 - leading_zeros`, i.e.
 /// one plus the position of the highest set bit.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
 /// Inclusive upper bound of bucket `i` (`0` for the zero bucket).
-fn bucket_bound(i: usize) -> u64 {
+pub(crate) fn bucket_bound(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= 64 {
@@ -135,34 +135,45 @@ impl Histogram {
     /// Copies the current distribution out. Only non-empty buckets are
     /// kept, each as `(inclusive_upper_bound, count)`.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let mut buckets = Vec::new();
-        for (i, b) in self.buckets.iter().enumerate() {
-            let n = b.load(Ordering::Relaxed);
-            if n > 0 {
-                buckets.push((bucket_bound(i), n));
-            }
-        }
-        let mut snap = HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
-            buckets,
-            p50: 0,
-            p95: 0,
-            p99: 0,
-        };
-        snap.p50 = snap.quantile(0.50);
-        snap.p95 = snap.quantile(0.95);
-        snap.p99 = snap.quantile(0.99);
-        snap
+        let raw: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        snapshot_from_raw(
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            &raw,
+        )
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
     }
+}
+
+/// Builds a [`HistogramSnapshot`] (with percentiles) from a raw bucket
+/// array — shared with the sliding windows, which merge several slots'
+/// buckets before taking quantiles.
+pub(crate) fn snapshot_from_raw(count: u64, sum: u64, raw: &[u64; BUCKETS]) -> HistogramSnapshot {
+    let mut buckets = Vec::new();
+    for (i, &n) in raw.iter().enumerate() {
+        if n > 0 {
+            buckets.push((bucket_bound(i), n));
+        }
+    }
+    let mut snap = HistogramSnapshot {
+        count,
+        sum,
+        buckets,
+        p50: 0,
+        p95: 0,
+        p99: 0,
+    };
+    snap.p50 = snap.quantile(0.50);
+    snap.p95 = snap.quantile(0.95);
+    snap.p99 = snap.quantile(0.99);
+    snap
 }
 
 /// Serializable copy of a [`Histogram`]: sample count, sample sum, the

@@ -281,6 +281,15 @@ pub struct Budgets {
     /// `[telemetry_overhead] bench` — snapshot file name (default
     /// `BENCH_telemetry.json`).
     pub telemetry_bench: Option<String>,
+    /// `[serve] p99_ms_max` — ceiling on the latest traffic-carrying serve
+    /// entry's lifetime p99 latency (the `all` window row), milliseconds.
+    pub serve_p99_ms_max: Option<f64>,
+    /// `[serve] error_rate_max` — ceiling on `errors / requests` of the
+    /// latest traffic-carrying serve entry.
+    pub serve_error_rate_max: Option<f64>,
+    /// `[serve] staleness_ms_max` — ceiling on the staleness high-water the
+    /// daemon's sentinel observed (`slo.max_staleness_ms`).
+    pub serve_staleness_ms_max: Option<f64>,
 }
 
 /// Strips a trailing `#` comment that is not inside a quoted string.
@@ -313,7 +322,7 @@ impl Budgets {
                 table = name.trim().to_owned();
                 match table.as_str() {
                     "warm_speedup" | "cache_hit_rate" | "invariant_drift"
-                    | "telemetry_overhead" => {}
+                    | "telemetry_overhead" | "serve" => {}
                     other => return Err(format!("line {}: unknown table [{other}]", lineno + 1)),
                 }
                 continue;
@@ -342,6 +351,9 @@ impl Budgets {
                         .ok_or_else(|| format!("line {}: expected a quoted string", lineno + 1))?;
                     budgets.telemetry_bench = Some(s.to_owned());
                 }
+                ("serve", "p99_ms_max") => budgets.serve_p99_ms_max = Some(num()?),
+                ("serve", "error_rate_max") => budgets.serve_error_rate_max = Some(num()?),
+                ("serve", "staleness_ms_max") => budgets.serve_staleness_ms_max = Some(num()?),
                 (t, k) => {
                     return Err(format!(
                         "line {}: unknown key {k} in table [{t}]",
@@ -552,6 +564,103 @@ pub fn check(budgets: &Budgets, entries: &[LedgerEntry], bench_dir: &Path) -> Ve
         }
     }
 
+    let serve_configured = budgets.serve_p99_ms_max.is_some()
+        || budgets.serve_error_rate_max.is_some()
+        || budgets.serve_staleness_ms_max.is_some();
+    if serve_configured {
+        // Serve budgets read the latest entry with actual traffic: the
+        // daemon appends one final entry at shutdown with the whole run's
+        // windows, while per-generation learn entries may carry none.
+        let measured = entries
+            .iter()
+            .rev()
+            .find(|e| e.timings.serve.requests > 0)
+            .map(|e| &e.timings.serve);
+        match measured {
+            None => {
+                if budgets.serve_p99_ms_max.is_some() {
+                    outcomes.push(outcome(
+                        "serve_p99",
+                        BudgetStatus::Skip,
+                        "no entry carries serve traffic".into(),
+                    ));
+                }
+                if budgets.serve_error_rate_max.is_some() {
+                    outcomes.push(outcome(
+                        "serve_error_rate",
+                        BudgetStatus::Skip,
+                        "no entry carries serve traffic".into(),
+                    ));
+                }
+                if budgets.serve_staleness_ms_max.is_some() {
+                    outcomes.push(outcome(
+                        "serve_staleness",
+                        BudgetStatus::Skip,
+                        "no entry carries serve traffic".into(),
+                    ));
+                }
+            }
+            Some(serve) => {
+                if let Some(max) = budgets.serve_p99_ms_max {
+                    let p99_ns = serve
+                        .windows
+                        .iter()
+                        .find(|(name, _)| name == "all")
+                        .map(|(_, w)| w.total_p99_ns);
+                    match p99_ns {
+                        None => outcomes.push(outcome(
+                            "serve_p99",
+                            BudgetStatus::Skip,
+                            "serve entry has no `all` latency window".into(),
+                        )),
+                        Some(p99_ns) => {
+                            let p99_ms = p99_ns as f64 / 1e6;
+                            let status = if p99_ms <= max {
+                                BudgetStatus::Pass
+                            } else {
+                                BudgetStatus::Fail
+                            };
+                            outcomes.push(outcome(
+                                "serve_p99",
+                                status,
+                                format!("p99 {p99_ms:.3}ms (max {max:.3}ms)"),
+                            ));
+                        }
+                    }
+                }
+                if let Some(max) = budgets.serve_error_rate_max {
+                    let rate = serve.errors as f64 / serve.requests as f64;
+                    let status = if rate <= max {
+                        BudgetStatus::Pass
+                    } else {
+                        BudgetStatus::Fail
+                    };
+                    outcomes.push(outcome(
+                        "serve_error_rate",
+                        status,
+                        format!(
+                            "{}/{} errors = {:.3} (max {:.3})",
+                            serve.errors, serve.requests, rate, max
+                        ),
+                    ));
+                }
+                if let Some(max) = budgets.serve_staleness_ms_max {
+                    let staleness = serve.slo.max_staleness_ms as f64;
+                    let status = if staleness <= max {
+                        BudgetStatus::Pass
+                    } else {
+                        BudgetStatus::Fail
+                    };
+                    outcomes.push(outcome(
+                        "serve_staleness",
+                        status,
+                        format!("max staleness {staleness:.0}ms (max {max:.0}ms)"),
+                    ));
+                }
+            }
+        }
+    }
+
     outcomes
 }
 
@@ -621,6 +730,82 @@ mod tests {
         assert_eq!(b.telemetry_bench.as_deref(), Some("BENCH_telemetry.json"));
         assert!(Budgets::parse("[nope]\n").is_err());
         assert!(Budgets::parse("[warm_speedup]\nmax = 2\n").is_err());
+
+        let b = Budgets::parse(
+            "[serve]\np99_ms_max = 50\nerror_rate_max = 0.05\nstaleness_ms_max = 30000\n",
+        )
+        .unwrap();
+        assert_eq!(b.serve_p99_ms_max, Some(50.0));
+        assert_eq!(b.serve_error_rate_max, Some(0.05));
+        assert_eq!(b.serve_staleness_ms_max, Some(30000.0));
+        assert!(Budgets::parse("[serve]\np99 = 50\n").is_err());
+    }
+
+    #[test]
+    fn check_enforces_serve_budgets_from_the_latest_traffic_entry() {
+        use crate::window::WindowSnapshot;
+        let budgets = Budgets::parse(
+            "[serve]\np99_ms_max = 50\nerror_rate_max = 0.25\nstaleness_ms_max = 30000\n",
+        )
+        .unwrap();
+
+        // No traffic anywhere: every serve budget skips.
+        let outcomes = check(&budgets, &[entry("eval", 120, 2.0)], Path::new("."));
+        assert!(outcomes
+            .iter()
+            .all(|o| o.budget.starts_with("serve_") && o.status == BudgetStatus::Skip));
+
+        let serve_entry = |p99_ns: u64, errors: u64, staleness: u64| {
+            let mut report = RunReport::new("serve", "worklist");
+            report.timings.serve.requests = 100;
+            report.timings.serve.errors = errors;
+            report.timings.serve.slo.max_staleness_ms = staleness;
+            report.timings.serve.windows = vec![(
+                "all".to_owned(),
+                WindowSnapshot {
+                    total_p99_ns: p99_ns,
+                    total_requests: 100,
+                    ..WindowSnapshot::default()
+                },
+            )];
+            LedgerEntry::from_report(
+                &report,
+                LedgerEnvelope {
+                    git_rev: "test".to_owned(),
+                    host: "test".to_owned(),
+                    timestamp_ms: 1,
+                    corpus_fp: "aa".to_owned(),
+                },
+            )
+        };
+
+        // Healthy daemon: everything passes.
+        let ok = serve_entry(2_000_000, 3, 500);
+        let outcomes = check(&budgets, std::slice::from_ref(&ok), Path::new("."));
+        assert!(
+            outcomes.iter().all(|o| o.status == BudgetStatus::Pass),
+            "{outcomes:?}"
+        );
+
+        // Seeded p99 breach: 9s ≫ 50ms must fail exactly serve_p99.
+        let slow = serve_entry(9_000_000_000, 3, 500);
+        let outcomes = check(&budgets, &[ok, slow], Path::new("."));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "serve_p99" && o.status == BudgetStatus::Fail));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "serve_error_rate" && o.status == BudgetStatus::Pass));
+
+        // Error-rate and staleness breaches trip their own budgets.
+        let flaky = serve_entry(2_000_000, 90, 99_000);
+        let outcomes = check(&budgets, &[flaky], Path::new("."));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "serve_error_rate" && o.status == BudgetStatus::Fail));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.budget == "serve_staleness" && o.status == BudgetStatus::Fail));
     }
 
     #[test]

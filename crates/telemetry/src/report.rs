@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::HistogramSnapshot;
 use crate::span::SpanStat;
+use crate::window::{SlowQuery, WindowSnapshot};
 
 /// Version of the report layout. Bump on any breaking schema change;
 /// `tools/check_report.rs` pins the full key set against drift.
@@ -30,8 +31,10 @@ use crate::span::SpanStat;
 /// (demand-driven job-engine activity); 5 — `timings` gained the
 /// `attribution` section (per-job cost tree roll-up) and histogram
 /// snapshots gained `p50`/`p95`/`p99`; 6 — `timings` gained the `serve`
-/// section (spec-query daemon traffic and re-learn accounting).
-pub const REPORT_SCHEMA_VERSION: u32 = 6;
+/// section (spec-query daemon traffic and re-learn accounting); 7 —
+/// `timings.serve` gained per-method sliding-window latency `windows`, the
+/// `slow` query log, and `slo` breach accounting.
+pub const REPORT_SCHEMA_VERSION: u32 = 7;
 
 /// Top-level run report. See the module docs for the determinism split.
 #[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
@@ -215,6 +218,33 @@ pub struct ServeSection {
     /// Per-method dispatch counts as `(method, frames)` rows, only for
     /// methods that were actually called; `requests == Σ rows + rejected`.
     pub by_method: Vec<(String, u64)>,
+    /// Sliding-window latency aggregates as `(stream, snapshot)` rows,
+    /// name-sorted: one row per served method plus `all` (every frame) and
+    /// `other` (unroutable frames), only for streams that saw traffic.
+    pub windows: Vec<(String, WindowSnapshot)>,
+    /// The worst requests observed, slowest first (capped ring).
+    pub slow: Vec<SlowQuery>,
+    /// Live SLO sentinel accounting.
+    pub slo: SloSection,
+}
+
+/// SLO sentinel accounting: how often the live daemon observed its
+/// configured `[serve]` budgets breached (counted on breach *onsets*, not
+/// per check tick), plus the staleness high-water.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SloSection {
+    /// Total breach onsets (`serve.slo.breach`); equals the sum of the
+    /// per-budget counts below.
+    pub breaches: u64,
+    /// Windowed-p99 ceiling breach onsets (`serve.slo.p99`).
+    pub p99_breaches: u64,
+    /// Windowed error-rate ceiling breach onsets (`serve.slo.error_rate`).
+    pub error_rate_breaches: u64,
+    /// Generation-staleness ceiling breach onsets (`serve.slo.staleness`).
+    pub staleness_breaches: u64,
+    /// Highest generation staleness the sentinel observed, in
+    /// milliseconds (`serve.staleness_ms` gauge high-water).
+    pub max_staleness_ms: u64,
 }
 
 /// Per-job cost attribution: the roll-up of the job engine's cost records
@@ -515,6 +545,37 @@ mod tests {
             relearns: 1,
             watch_scans: 40,
             by_method: vec![("spec.lookup".to_owned(), 10), ("status".to_owned(), 8)],
+            windows: vec![(
+                "all".to_owned(),
+                WindowSnapshot {
+                    window_seconds: 60,
+                    requests: 20,
+                    errors: 3,
+                    mean_ns: 400_000,
+                    p50_ns: 262_143,
+                    p95_ns: 2_097_151,
+                    p99_ns: 2_097_151,
+                    total_requests: 20,
+                    total_errors: 3,
+                    total_p50_ns: 262_143,
+                    total_p95_ns: 2_097_151,
+                    total_p99_ns: 2_097_151,
+                },
+            )],
+            slow: vec![SlowQuery {
+                method: "explain".to_owned(),
+                latency_ns: 2_000_000,
+                gen: 1,
+                request_bytes: 24,
+                response_bytes: 4096,
+            }],
+            slo: SloSection {
+                breaches: 1,
+                p99_breaches: 1,
+                error_rate_breaches: 0,
+                staleness_breaches: 0,
+                max_staleness_ms: 180,
+            },
         };
         r
     }

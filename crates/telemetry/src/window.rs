@@ -1,0 +1,473 @@
+//! Sliding-window request aggregates and the slow-query log — the live
+//! half of the observability plane.
+//!
+//! A [`SlidingWindow`] keeps request/error counts and a power-of-two
+//! latency histogram over the last [`WINDOW_MILLIS`] of traffic (a ring
+//! of [`WINDOW_SLOTS`] slots, each [`SLOT_MILLIS`] wide) *and* matching
+//! process-lifetime totals, so a `status` or `metrics.snapshot` answer
+//! can show both "the last minute" and "since start". Updates follow the
+//! same discipline as [`crate::metrics`]: relaxed atomics behind a single
+//! branch on [`crate::enabled`], handles interned once in a global
+//! registry and cached per call site via the [`window!`][crate::window!]
+//! macro.
+//!
+//! The API is deliberately **time-pure**: callers pass `now_ms` (any
+//! monotone millisecond clock, e.g. process uptime) into
+//! [`SlidingWindow::record`] and [`SlidingWindow::snapshot`], so tests
+//! drive rotation with a fake clock and snapshots are reproducible.
+//!
+//! Slot rotation is best-effort under contention: when a slot's epoch
+//! goes stale the first writer to notice clears and re-stamps it, and a
+//! racing record in the same tick may land in the freshly cleared slot or
+//! be cleared with it. The loss is bounded by one slot transition per
+//! window — acceptable for telemetry, free of locks on the hot path.
+//!
+//! The [`SlowLog`] is the other half: a capped, latency-sorted record of
+//! the worst requests seen (method, latency, generation, byte sizes).
+//! Its hot path is a single relaxed load — the mutex is taken only when
+//! a request is actually among the current worst.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{self, Histogram, BUCKETS};
+
+/// Number of ring slots in a window.
+pub const WINDOW_SLOTS: usize = 6;
+
+/// Width of one slot in milliseconds.
+pub const SLOT_MILLIS: u64 = 10_000;
+
+/// Total window span: [`WINDOW_SLOTS`] × [`SLOT_MILLIS`] (~60 s).
+pub const WINDOW_MILLIS: u64 = WINDOW_SLOTS as u64 * SLOT_MILLIS;
+
+/// How many worst requests the global [`SlowLog`] retains.
+pub const SLOW_LOG_CAPACITY: usize = 8;
+
+/// One ring slot: the aggregates of a single [`SLOT_MILLIS`] interval,
+/// tagged with the epoch (interval ordinal) it currently represents.
+struct Slot {
+    /// `now_ms / SLOT_MILLIS + 1` of the interval this slot holds; 0 means
+    /// the slot has never been written.
+    epoch: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    sum_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Slot {
+    fn default() -> Slot {
+        Slot {
+            epoch: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Slot {
+    fn clear(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Rotating ~60 s aggregates plus process-lifetime totals for one request
+/// stream (typically one served method).
+pub struct SlidingWindow {
+    slots: [Slot; WINDOW_SLOTS],
+    total_errors: AtomicU64,
+    lifetime: Histogram,
+}
+
+impl Default for SlidingWindow {
+    fn default() -> SlidingWindow {
+        SlidingWindow {
+            slots: std::array::from_fn(|_| Slot::default()),
+            total_errors: AtomicU64::new(0),
+            lifetime: Histogram::default(),
+        }
+    }
+}
+
+/// Epoch ordinal for a millisecond timestamp (1-based so 0 can mean
+/// "never written").
+fn epoch_of(now_ms: u64) -> u64 {
+    now_ms / SLOT_MILLIS + 1
+}
+
+impl SlidingWindow {
+    /// Records one request at `now_ms` (any monotone millisecond clock,
+    /// used consistently per window) with its latency and outcome. No-op
+    /// when telemetry is disabled.
+    #[inline]
+    pub fn record(&self, now_ms: u64, latency_ns: u64, error: bool) {
+        if !crate::enabled() {
+            return;
+        }
+        self.lifetime.record(latency_ns);
+        if error {
+            self.total_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let epoch = epoch_of(now_ms);
+        let slot = &self.slots[(epoch % WINDOW_SLOTS as u64) as usize];
+        if slot.epoch.load(Ordering::Relaxed) != epoch {
+            slot.clear();
+            slot.epoch.store(epoch, Ordering::Relaxed);
+        }
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        slot.sum_ns.fetch_add(latency_ns, Ordering::Relaxed);
+        if error {
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.buckets[metrics::bucket_index(latency_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregates the slots whose interval falls within the last
+    /// [`WINDOW_MILLIS`] ending at `now_ms`, alongside lifetime totals.
+    pub fn snapshot(&self, now_ms: u64) -> WindowSnapshot {
+        let current = epoch_of(now_ms);
+        let min_epoch = current.saturating_sub(WINDOW_SLOTS as u64 - 1);
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        let mut sum_ns = 0u64;
+        let mut raw = [0u64; BUCKETS];
+        for slot in &self.slots {
+            let e = slot.epoch.load(Ordering::Relaxed);
+            if e >= min_epoch && e <= current {
+                requests += slot.requests.load(Ordering::Relaxed);
+                errors += slot.errors.load(Ordering::Relaxed);
+                sum_ns += slot.sum_ns.load(Ordering::Relaxed);
+                for (acc, b) in raw.iter_mut().zip(&slot.buckets) {
+                    *acc += b.load(Ordering::Relaxed);
+                }
+            }
+        }
+        let window = metrics::snapshot_from_raw(requests, sum_ns, &raw);
+        let life = self.lifetime.snapshot();
+        WindowSnapshot {
+            window_seconds: WINDOW_MILLIS / 1000,
+            requests,
+            errors,
+            mean_ns: sum_ns.checked_div(requests).unwrap_or(0),
+            p50_ns: window.p50,
+            p95_ns: window.p95,
+            p99_ns: window.p99,
+            total_requests: life.count,
+            total_errors: self.total_errors.load(Ordering::Relaxed),
+            total_p50_ns: life.p50,
+            total_p95_ns: life.p95,
+            total_p99_ns: life.p99,
+        }
+    }
+
+    /// [`SlidingWindow::snapshot`] taken at the newest recorded interval —
+    /// "the window around the last traffic seen", independent of any real
+    /// clock. Deterministic for reports built after traffic stops.
+    pub fn snapshot_latest(&self) -> WindowSnapshot {
+        let latest = self
+            .slots
+            .iter()
+            .map(|s| s.epoch.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        self.snapshot(latest.saturating_sub(1) * SLOT_MILLIS)
+    }
+
+    fn reset(&self) {
+        for slot in &self.slots {
+            slot.clear();
+            slot.epoch.store(0, Ordering::Relaxed);
+        }
+        self.total_errors.store(0, Ordering::Relaxed);
+        self.lifetime.reset();
+    }
+}
+
+/// Serializable point-in-time view of one [`SlidingWindow`]: the rotating
+/// window's aggregates plus process-lifetime totals. Latency percentiles
+/// are bucket upper bounds (nearest-rank over power-of-two buckets), so
+/// they over-estimate the true quantile by at most 2×.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Nominal window span in seconds.
+    pub window_seconds: u64,
+    /// Requests inside the window.
+    pub requests: u64,
+    /// Error responses inside the window.
+    pub errors: u64,
+    /// Mean latency inside the window (ns; 0 when empty).
+    pub mean_ns: u64,
+    /// Windowed median latency (ns, bucket bound).
+    pub p50_ns: u64,
+    /// Windowed 95th-percentile latency (ns, bucket bound).
+    pub p95_ns: u64,
+    /// Windowed 99th-percentile latency (ns, bucket bound).
+    pub p99_ns: u64,
+    /// Requests since process start (or last reset).
+    pub total_requests: u64,
+    /// Error responses since process start.
+    pub total_errors: u64,
+    /// Lifetime median latency (ns, bucket bound).
+    pub total_p50_ns: u64,
+    /// Lifetime 95th-percentile latency (ns, bucket bound).
+    pub total_p95_ns: u64,
+    /// Lifetime 99th-percentile latency (ns, bucket bound).
+    pub total_p99_ns: u64,
+}
+
+/// Name-keyed registry of sliding windows, mirroring
+/// [`crate::metrics::Registry`]: handles are `&'static`, the mutex is
+/// taken only at registration, snapshot, or reset.
+#[derive(Default)]
+pub struct WindowRegistry {
+    windows: Mutex<BTreeMap<&'static str, &'static SlidingWindow>>,
+}
+
+impl WindowRegistry {
+    /// Returns the window registered under `name`, creating it on first
+    /// use. Cache the handle (see [`window!`][crate::window!]).
+    pub fn window(&self, name: &'static str) -> &'static SlidingWindow {
+        let mut map = self.windows.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(SlidingWindow::default())))
+    }
+
+    /// Snapshots every registered window at its own latest recorded
+    /// interval (see [`SlidingWindow::snapshot_latest`]), name-sorted.
+    pub fn snapshot_latest(&self) -> Vec<(String, WindowSnapshot)> {
+        self.windows
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.snapshot_latest()))
+            .collect()
+    }
+
+    /// Snapshots every registered window at `now_ms`, name-sorted.
+    pub fn snapshot(&self, now_ms: u64) -> Vec<(String, WindowSnapshot)> {
+        self.windows
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.snapshot(now_ms)))
+            .collect()
+    }
+
+    /// Zeroes every registered window; handles stay valid.
+    pub fn reset(&self) {
+        for w in self.windows.lock().unwrap().values() {
+            w.reset();
+        }
+    }
+}
+
+/// The process-global window registry.
+pub fn global() -> &'static WindowRegistry {
+    static REGISTRY: OnceLock<WindowRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(WindowRegistry::default)
+}
+
+/// Returns the `&'static SlidingWindow` for a literal name, registering on
+/// first execution of the call site and caching the handle thereafter.
+#[macro_export]
+macro_rules! window {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::window::SlidingWindow> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::window::global().window($name))
+    }};
+}
+
+/// One entry of the slow-query log.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Served method name (or `other` for unroutable frames).
+    pub method: String,
+    /// End-to-end handling latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Specification generation the request was answered against.
+    pub gen: u64,
+    /// Request frame size in bytes.
+    pub request_bytes: u64,
+    /// Response line size in bytes.
+    pub response_bytes: u64,
+}
+
+/// Capped log of the worst-latency requests, sorted slowest-first.
+///
+/// `floor` caches the lowest latency currently in a *full* log, so the
+/// common case (a request faster than everything logged) is one relaxed
+/// load and no lock. Zero-latency requests are never logged.
+pub struct SlowLog {
+    capacity: usize,
+    floor: AtomicU64,
+    entries: Mutex<Vec<SlowQuery>>,
+}
+
+impl SlowLog {
+    /// A log retaining the `capacity` slowest requests.
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity,
+            floor: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers one request to the log; kept only if among the worst seen.
+    /// No-op when telemetry is disabled.
+    #[inline]
+    pub fn record(&self, q: SlowQuery) {
+        if !crate::enabled() || q.latency_ns <= self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        let at = entries
+            .iter()
+            .position(|e| e.latency_ns < q.latency_ns)
+            .unwrap_or(entries.len());
+        entries.insert(at, q);
+        entries.truncate(self.capacity);
+        if entries.len() == self.capacity {
+            self.floor.store(
+                entries.last().map_or(0, |e| e.latency_ns),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Copies the current log, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        self.entries.lock().unwrap().clone()
+    }
+
+    /// Clears the log.
+    pub fn reset(&self) {
+        self.entries.lock().unwrap().clear();
+        self.floor.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global slow-query log ([`SLOW_LOG_CAPACITY`] entries).
+pub fn slow_log() -> &'static SlowLog {
+    static LOG: OnceLock<SlowLog> = OnceLock::new();
+    LOG.get_or_init(|| SlowLog::new(SLOW_LOG_CAPACITY))
+}
+
+/// Zeroes the global window registry and slow log (for [`crate::reset`]).
+pub(crate) fn reset_global() {
+    global().reset();
+    slow_log().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Like the metrics tests: the registry is process-global, so tests
+    // use their own window names and never reset the global state.
+
+    #[test]
+    fn window_counts_and_percentiles() {
+        let w = SlidingWindow::default();
+        for i in 0..100u64 {
+            w.record(1_000, 1_000 + i, i % 10 == 0);
+        }
+        let snap = w.snapshot(1_000);
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.errors, 10);
+        assert_eq!(snap.total_requests, 100);
+        assert_eq!(snap.total_errors, 10);
+        // All samples fall in the [1024, 2047] bucket's neighborhood:
+        // 1000..1023 land in bound 1023, the rest in bound 2047.
+        assert!(snap.p50_ns == 1023 || snap.p50_ns == 2047);
+        assert!(snap.p99_ns >= snap.p95_ns && snap.p95_ns >= snap.p50_ns);
+        assert_eq!(snap.mean_ns, (1_000 + 1_099) / 2);
+        assert_eq!(snap.p50_ns, snap.total_p50_ns);
+    }
+
+    #[test]
+    fn window_expires_old_slots_but_keeps_lifetime_totals() {
+        let w = SlidingWindow::default();
+        w.record(0, 500, false);
+        let fresh = w.snapshot(0);
+        assert_eq!(fresh.requests, 1);
+        // One full window later the sample has aged out of the window but
+        // not out of the lifetime totals.
+        let later = w.snapshot(WINDOW_MILLIS);
+        assert_eq!(later.requests, 0);
+        assert_eq!(later.p99_ns, 0);
+        assert_eq!(later.total_requests, 1);
+        assert_eq!(later.total_p99_ns, 511);
+    }
+
+    #[test]
+    fn ring_slots_are_reclaimed_on_wraparound() {
+        let w = SlidingWindow::default();
+        w.record(0, 100, false);
+        // Exactly WINDOW_SLOTS epochs later the same slot index recurs;
+        // recording must clear the stale aggregate first.
+        w.record(WINDOW_MILLIS, 200, false);
+        let snap = w.snapshot(WINDOW_MILLIS);
+        assert_eq!(snap.requests, 1, "stale slot content must not leak");
+        assert_eq!(snap.total_requests, 2);
+    }
+
+    #[test]
+    fn snapshot_latest_tracks_last_traffic() {
+        let w = SlidingWindow::default();
+        assert_eq!(w.snapshot_latest().requests, 0);
+        w.record(5 * SLOT_MILLIS, 700, false);
+        let snap = w.snapshot_latest();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.total_requests, 1);
+    }
+
+    #[test]
+    fn window_macro_interns_and_registry_snapshots() {
+        window!("test.window.macro_interns").record(0, 42, false);
+        let rows = global().snapshot_latest();
+        let row = rows
+            .iter()
+            .find(|(name, _)| name == "test.window.macro_interns")
+            .expect("registered window appears in registry snapshot");
+        assert_eq!(row.1.total_requests, 1);
+    }
+
+    #[test]
+    fn slow_log_keeps_worst_sorted_and_capped() {
+        let log = SlowLog::new(3);
+        for latency in [50u64, 10, 90, 20, 70, 60] {
+            log.record(SlowQuery {
+                method: "m".into(),
+                latency_ns: latency,
+                gen: 1,
+                request_bytes: 1,
+                response_bytes: 2,
+            });
+        }
+        let worst: Vec<u64> = log.snapshot().iter().map(|q| q.latency_ns).collect();
+        assert_eq!(worst, vec![90, 70, 60]);
+        // Below the floor: rejected without entering the log.
+        log.record(SlowQuery {
+            method: "m".into(),
+            latency_ns: 55,
+            ..SlowQuery::default()
+        });
+        assert_eq!(log.snapshot().len(), 3);
+        assert_eq!(log.snapshot().last().unwrap().latency_ns, 60);
+        log.reset();
+        assert!(log.snapshot().is_empty());
+    }
+}

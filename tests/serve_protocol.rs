@@ -97,14 +97,39 @@ fn error_code(line: &str) -> String {
         .to_owned()
 }
 
-/// Strips a success envelope down to the raw `result` bytes.
+/// Strips a success envelope down to the raw `result` bytes. The `req`
+/// field is the one envelope value that legitimately varies run to run
+/// (a process-global sequence), so only its shape is asserted.
 fn result_payload(line: &str, id: u64, gen: u64) -> String {
-    let prefix = format!("{{\"id\":{id},\"gen\":{gen},\"ok\":true,\"result\":");
+    let prefix = format!("{{\"id\":{id},\"req\":");
     assert!(
-        line.starts_with(&prefix) && line.ends_with('}'),
+        line.starts_with(&prefix),
         "unexpected envelope for id {id}: {line}"
     );
-    line[prefix.len()..line.len() - 1].to_owned()
+    let rest = &line[prefix.len()..];
+    let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+    assert!(digits > 0, "req must be numeric: {line}");
+    let rest = &rest[digits..];
+    let mid = format!(",\"gen\":{gen},\"ok\":true,\"result\":");
+    assert!(
+        rest.starts_with(&mid) && rest.ends_with('}'),
+        "unexpected envelope for id {id}: {line}"
+    );
+    rest[mid.len()..rest.len() - 1].to_owned()
+}
+
+/// Blanks the `req` sequence value so envelopes from different clients
+/// can be compared byte for byte.
+fn mask_req(line: &str) -> String {
+    let Some(start) = line.find("\"req\":") else {
+        return line.to_owned();
+    };
+    let digits_at = start + "\"req\":".len();
+    let digits = line[digits_at..]
+        .bytes()
+        .take_while(u8::is_ascii_digit)
+        .count();
+    format!("{}R{}", &line[..digits_at], &line[digits_at + digits..])
 }
 
 #[test]
@@ -224,10 +249,14 @@ fn concurrent_clients_get_answers_byte_identical_to_the_batch_pipeline() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    for other in &answers[1..] {
+    let masked: Vec<Vec<String>> = answers
+        .iter()
+        .map(|lines| lines.iter().map(|l| mask_req(l)).collect())
+        .collect();
+    for other in &masked[1..] {
         assert_eq!(
-            &answers[0], other,
-            "every concurrent client must see identical bytes"
+            &masked[0], other,
+            "every concurrent client must see identical bytes (modulo req)"
         );
     }
     assert_eq!(
@@ -242,4 +271,162 @@ fn concurrent_clients_get_answers_byte_identical_to_the_batch_pipeline() {
     );
     let alias = envelope(&answers[0][2]);
     assert_eq!(alias.get("ok"), Some(&Json::Bool(true)));
+}
+
+/// Everything timing-derived in a `metrics.snapshot` payload: the slow
+/// log (latencies reshuffle it) and every digit (counters tick, window
+/// percentiles move). What survives is the full key structure.
+fn strip_volatile(payload: &str) -> String {
+    let start = payload.find("\"slow\":[").expect("snapshot has a slow log");
+    let end = start + payload[start..].find(']').expect("slow log closes");
+    let kept = format!("{}{}", &payload[..start], &payload[end..]);
+    kept.chars().filter(|c| !c.is_ascii_digit()).collect()
+}
+
+#[test]
+fn metrics_snapshot_key_sets_are_pinned_and_byte_stable() {
+    let fx = Fixture::start("snapshot", |_| {});
+    // One pipelined batch: both snapshots are taken back to back by the
+    // same worker, so nothing but the snapshot request itself moves the
+    // telemetry plane between them.
+    let line1 = r#"{"id":1,"method":"metrics.snapshot"}"#;
+    let line2 = r#"{"id":2,"method":"metrics.snapshot"}"#;
+    let responses = roundtrip_unix(&fx.socket, &[line1, line2]).unwrap();
+    let p1 = result_payload(&responses[0], 1, 1);
+    let p2 = result_payload(&responses[1], 2, 1);
+
+    // Two consecutive snapshots differ only in timing-derived digits and
+    // the slow log — the exact key sets (top level, every counter and
+    // gauge name, every window row and field) are byte-identical.
+    assert_eq!(strip_volatile(&p1), strip_volatile(&p2));
+
+    let snap = json::parse(&p1).unwrap();
+    let Json::Obj(top) = &snap else {
+        panic!("snapshot must be an object: {p1}")
+    };
+    assert_eq!(
+        top.keys().map(String::as_str).collect::<Vec<_>>(),
+        [
+            "counters",
+            "gauges",
+            "gen",
+            "histograms",
+            "schema",
+            "slo",
+            "slow",
+            "staleness_ms",
+            "uptime_ms",
+            "windows"
+        ],
+        "top-level snapshot keys are pinned — additions must bump the snapshot schema"
+    );
+    assert_eq!(snap.get("schema").and_then(Json::as_u64), Some(1));
+
+    let Some(Json::Obj(windows)) = snap.get("windows") else {
+        panic!("snapshot carries windows: {p1}")
+    };
+    // Streams are interned at server start: the full closed set is
+    // present before any traffic, which is what keeps key sets stable.
+    for stream in ["all", "status", "metrics.snapshot", "other", "shutdown"] {
+        assert!(windows.contains_key(stream), "missing stream {stream}");
+    }
+    for (stream, w) in windows {
+        let Json::Obj(fields) = w else {
+            panic!("window {stream} must be an object")
+        };
+        assert_eq!(
+            fields.keys().map(String::as_str).collect::<Vec<_>>(),
+            [
+                "errors",
+                "mean_ns",
+                "p50_ns",
+                "p95_ns",
+                "p99_ns",
+                "requests",
+                "total_errors",
+                "total_p50_ns",
+                "total_p95_ns",
+                "total_p99_ns",
+                "total_requests",
+                "window_seconds"
+            ],
+            "window {stream} keys are pinned"
+        );
+    }
+
+    let Some(Json::Obj(slo)) = snap.get("slo") else {
+        panic!("snapshot carries slo: {p1}")
+    };
+    assert_eq!(
+        slo.keys().map(String::as_str).collect::<Vec<_>>(),
+        [
+            "breaches",
+            "error_rate_breaches",
+            "max_staleness_ms",
+            "p99_breaches",
+            "staleness_breaches"
+        ]
+    );
+
+    // The second snapshot observed the first request: its slow log and
+    // the `all` window carry at least one completed request.
+    let snap2 = json::parse(&p2).unwrap();
+    let all = snap2.get("windows").and_then(|w| w.get("all")).unwrap();
+    assert!(all.get("total_requests").and_then(Json::as_u64).unwrap() >= 1);
+    let Some(Json::Arr(slow)) = snap2.get("slow") else {
+        panic!("snapshot carries slow: {p2}")
+    };
+    assert!(!slow.is_empty(), "first request must land in the slow log");
+    for q in slow {
+        let Json::Obj(fields) = q else {
+            panic!("slow entries are objects")
+        };
+        assert_eq!(
+            fields.keys().map(String::as_str).collect::<Vec<_>>(),
+            [
+                "gen",
+                "latency_ns",
+                "method",
+                "request_bytes",
+                "response_bytes"
+            ],
+            "slow-query keys are pinned"
+        );
+    }
+}
+
+#[test]
+fn status_reports_staleness_and_windowed_latency() {
+    let fx = Fixture::start("status-window", |_| {});
+    let responses = roundtrip_unix(
+        &fx.socket,
+        &[
+            r#"{"id":1,"method":"status"}"#,
+            r#"{"id":2,"method":"status"}"#,
+        ],
+    )
+    .unwrap();
+    let second = envelope(&responses[1]);
+    let result = second.get("result").unwrap();
+    assert_eq!(result.get("staleness_ms").and_then(Json::as_u64), Some(0));
+    // The second status sees the first one in the sliding window.
+    assert!(
+        result
+            .get("window_requests")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    for key in [
+        "window_errors",
+        "window_p50_ns",
+        "window_p95_ns",
+        "window_p99_ns",
+        "last_relearn_ns",
+    ] {
+        assert!(
+            result.get(key).and_then(Json::as_u64).is_some(),
+            "status carries {key}"
+        );
+    }
 }

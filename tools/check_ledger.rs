@@ -17,7 +17,14 @@
 //! 4. **accounting**: cache `hits + misses == lookups`, per-kind
 //!    attribution `demands == executed + memo_hits + store_hits`, and
 //!    (when no records were dropped) the record total equals the
-//!    per-kind demand sum.
+//!    per-kind demand sum;
+//! 5. **serve accounting** (all-zero for batch entries): dispatched
+//!    frames plus rejected frames never exceed total requests (mid-run
+//!    entries appended by the daemon's re-learner may have frames still
+//!    in flight, so this is a lower bound rather than an equality),
+//!    rejected frames bound error responses from below, sliding windows
+//!    are internally ordered, and the SLO breach total equals its
+//!    per-budget parts.
 
 use std::process::ExitCode;
 
@@ -88,6 +95,42 @@ fn check_entry(id: &str, text: &str) -> Result<LedgerEntry, String> {
         return Err(format!(
             "{id}: attribution records {} != per-kind demand sum {demand_sum}",
             attr.records
+        ));
+    }
+    let serve = &e.timings.serve;
+    let dispatched: u64 = serve.by_method.iter().map(|(_, n)| n).sum();
+    if serve.requests < dispatched + serve.rejected {
+        return Err(format!(
+            "{id}: serve accounting broken: {} requests < {dispatched} dispatched \
+             + {} rejected",
+            serve.requests, serve.rejected
+        ));
+    }
+    if serve.errors < serve.rejected {
+        return Err(format!(
+            "{id}: serve accounting broken: {} error responses < {} rejected frames",
+            serve.errors, serve.rejected
+        ));
+    }
+    for (stream, w) in &serve.windows {
+        if w.errors > w.requests
+            || w.total_errors > w.total_requests
+            || w.requests > w.total_requests
+            || w.p50_ns > w.p95_ns
+            || w.p95_ns > w.p99_ns
+            || w.total_p50_ns > w.total_p95_ns
+            || w.total_p95_ns > w.total_p99_ns
+        {
+            return Err(format!(
+                "{id}: serve window `{stream}` is internally inconsistent"
+            ));
+        }
+    }
+    let slo = &serve.slo;
+    if slo.breaches != slo.p99_breaches + slo.error_rate_breaches + slo.staleness_breaches {
+        return Err(format!(
+            "{id}: slo accounting broken: {} breaches != {} + {} + {}",
+            slo.breaches, slo.p99_breaches, slo.error_rate_breaches, slo.staleness_breaches
         ));
     }
     Ok(e)

@@ -1,0 +1,330 @@
+//! CI validator for the daemon's `--prom-out` Prometheus text exposition.
+//!
+//! Usage: `check_metrics <scrape1.prom> [<scrape2.prom>]`
+//!
+//! With one file, syntax-checks the exposition:
+//!
+//! 1. every sample line is `name[{label="value",...}] <number>` with the
+//!    metric name matching `[a-zA-Z_:][a-zA-Z0-9_:]*` and label names
+//!    matching `[a-zA-Z_][a-zA-Z0-9_]*`;
+//! 2. every sample is preceded by a `# TYPE name counter|gauge`
+//!    declaration for its family, each family is declared exactly once,
+//!    and no `(name, labels)` series appears twice;
+//! 3. the scrape contains at least one sample — an empty exposition means
+//!    the daemon never wrote its telemetry plane.
+//!
+//! With two files (an earlier and a later scrape of the *same* daemon),
+//! additionally asserts counter semantics: every series belonging to a
+//! `counter` family in the first scrape must still exist in the second
+//! with a value that did not decrease. A shrinking counter means the
+//! exposition writer is mislabeling gauges or the registry lost events.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed exposition: family kinds by name, and every series value
+/// keyed by `(metric name, label text)`.
+#[derive(Debug)]
+struct Scrape {
+    kinds: BTreeMap<String, String>,
+    series: BTreeMap<(String, String), f64>,
+}
+
+fn metric_name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn label_name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validates `{key="value",...}` label text (without the braces) and
+/// returns it in canonical form. Values may escape `\\`, `\"`, and `\n`.
+fn check_labels(text: &str) -> Result<String, String> {
+    let mut rest = text;
+    let mut labels = Vec::new();
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair `{rest}` has no `=`"))?;
+        let name = &rest[..eq];
+        if !label_name_ok(name) {
+            return Err(format!("bad label name `{name}`"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{name}` value is not quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("label `{name}` value is unterminated"))?;
+            match c {
+                '"' => break i + 1,
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| format!("label `{name}` ends in a bare backslash"))?;
+                    if !matches!(esc, '\\' | '"' | 'n') {
+                        return Err(format!("label `{name}` has bad escape `\\{esc}`"));
+                    }
+                    value.push('\\');
+                    value.push(esc);
+                }
+                c => value.push(c),
+            }
+        };
+        labels.push(format!("{name}=\"{value}\""));
+        rest = &rest[after_quote..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => break,
+            None => return Err(format!("junk `{rest}` after label `{name}`")),
+        }
+    }
+    Ok(labels.join(","))
+}
+
+fn parse_scrape(path: &str, text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape {
+        kinds: BTreeMap::new(),
+        series: BTreeMap::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let err = |what: String| format!("{path}:{lineno}: {what}");
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let Some(decl) = comment.trim_start().strip_prefix("TYPE ") else {
+                continue; // HELP lines and free comments are legal.
+            };
+            let mut parts = decl.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err(format!("malformed TYPE line `{line}`")));
+            };
+            if !metric_name_ok(name) {
+                return Err(err(format!("bad metric name `{name}` in TYPE line")));
+            }
+            if kind != "counter" && kind != "gauge" {
+                return Err(err(format!(
+                    "family `{name}` has unsupported type `{kind}`"
+                )));
+            }
+            if scrape
+                .kinds
+                .insert(name.to_owned(), kind.to_owned())
+                .is_some()
+            {
+                return Err(err(format!("family `{name}` declared twice")));
+            }
+            continue;
+        }
+        // A sample: name[{labels}] value
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !metric_name_ok(name) {
+            return Err(err(format!("bad metric name `{name}`")));
+        }
+        let rest = &line[name_end..];
+        let (labels, value_text) = if let Some(rest) = rest.strip_prefix('{') {
+            let close = rest
+                .find('}')
+                .ok_or_else(|| err(format!("unterminated labels on `{name}`")))?;
+            (
+                check_labels(&rest[..close]).map_err(err)?,
+                rest[close + 1..].trim(),
+            )
+        } else {
+            (String::new(), rest.trim())
+        };
+        let value: f64 = value_text.parse().map_err(|_| {
+            err(format!(
+                "sample `{name}` has non-numeric value `{value_text}`"
+            ))
+        })?;
+        if !scrape.kinds.contains_key(name) {
+            return Err(err(format!(
+                "sample `{name}` has no preceding `# TYPE {name} ...` declaration"
+            )));
+        }
+        if scrape
+            .series
+            .insert((name.to_owned(), labels.clone()), value)
+            .is_some()
+        {
+            let series = if labels.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{name}{{{labels}}}")
+            };
+            return Err(err(format!("series `{series}` appears twice")));
+        }
+    }
+    if scrape.series.is_empty() {
+        return Err(format!(
+            "{path}: no samples — the daemon never exported its telemetry plane"
+        ));
+    }
+    Ok(scrape)
+}
+
+fn check_monotone(path2: &str, first: &Scrape, second: &Scrape) -> Result<usize, String> {
+    let mut counters = 0usize;
+    for ((name, labels), v1) in &first.series {
+        if first.kinds.get(name).map(String::as_str) != Some("counter") {
+            continue;
+        }
+        counters += 1;
+        let series = if labels.is_empty() {
+            name.clone()
+        } else {
+            format!("{name}{{{labels}}}")
+        };
+        let v2 = second
+            .series
+            .get(&(name.clone(), labels.clone()))
+            .ok_or(format!(
+                "{path2}: counter `{series}` vanished between scrapes"
+            ))?;
+        if second.kinds.get(name).map(String::as_str) != Some("counter") {
+            return Err(format!("{path2}: `{name}` changed type between scrapes"));
+        }
+        if v2 < v1 {
+            return Err(format!(
+                "{path2}: counter `{series}` went backwards: {v1} -> {v2}"
+            ));
+        }
+    }
+    Ok(counters)
+}
+
+fn run(paths: &[String]) -> Result<String, String> {
+    let read = |p: &String| {
+        std::fs::read_to_string(p).map_err(|e| format!("check_metrics: reading {p}: {e}"))
+    };
+    let first = parse_scrape(&paths[0], &read(&paths[0])?)?;
+    let mut msg = format!(
+        "metrics OK: {} families, {} series in {}",
+        first.kinds.len(),
+        first.series.len(),
+        paths[0]
+    );
+    if let Some(path2) = paths.get(1) {
+        let second = parse_scrape(path2, &read(path2)?)?;
+        let counters = check_monotone(path2, &first, &second)?;
+        msg.push_str(&format!(
+            "; {counters} counters monotone into {path2} ({} series)",
+            second.series.len()
+        ));
+    }
+    Ok(msg)
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.len() > 2 {
+        eprintln!("usage: check_metrics <scrape1.prom> [<scrape2.prom>]");
+        return ExitCode::FAILURE;
+    }
+    match run(&paths) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_metrics: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# TYPE uspec_serve_requests_total counter
+uspec_serve_requests_total 42
+# TYPE uspec_serve_window_requests_total counter
+uspec_serve_window_requests_total{stream=\"all\"} 42
+uspec_serve_window_requests_total{stream=\"status\"} 2
+# TYPE uspec_serve_staleness_ms_live gauge
+uspec_serve_staleness_ms_live 0
+";
+
+    #[test]
+    fn accepts_a_well_formed_scrape() {
+        let s = parse_scrape("t.prom", GOOD).unwrap();
+        assert_eq!(s.kinds.len(), 3);
+        assert_eq!(s.series.len(), 4);
+        assert_eq!(
+            s.series[&(
+                "uspec_serve_window_requests_total".into(),
+                "stream=\"all\"".into()
+            )],
+            42.0
+        );
+    }
+
+    #[test]
+    fn rejects_samples_without_a_type_declaration() {
+        let err = parse_scrape("t.prom", "uspec_orphan 1\n").unwrap_err();
+        assert!(err.contains("no preceding"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_names_labels_values_and_duplicates() {
+        for (text, want) in [
+            ("# TYPE 9bad counter\n9bad 1\n", "bad metric name"),
+            ("# TYPE x histogram\nx 1\n", "unsupported type"),
+            ("# TYPE x counter\nx{9l=\"v\"} 1\n", "bad label name"),
+            ("# TYPE x counter\nx{l=\"v} 1\n", "unterminated"),
+            ("# TYPE x counter\nx nope\n", "non-numeric"),
+            ("# TYPE x counter\nx 1\nx 2\n", "appears twice"),
+            (
+                "# TYPE x counter\n# TYPE x counter\nx 1\n",
+                "declared twice",
+            ),
+            ("", "no samples"),
+        ] {
+            let err = parse_scrape("t.prom", text).unwrap_err();
+            assert!(err.contains(want), "`{text}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn counters_must_be_monotone_between_scrapes() {
+        let first = parse_scrape("a.prom", GOOD).unwrap();
+        let second = parse_scrape("b.prom", &GOOD.replace(" 42", " 43")).unwrap();
+        assert_eq!(check_monotone("b.prom", &first, &second).unwrap(), 3);
+        // Gauges may move freely; only counters are pinned.
+        let regressed = parse_scrape("b.prom", &GOOD.replace(" 2", " 1")).unwrap();
+        let err = check_monotone("b.prom", &first, &regressed).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+        // A counter disappearing is as bad as shrinking.
+        let truncated = parse_scrape(
+            "b.prom",
+            &GOOD.replace(
+                "uspec_serve_window_requests_total{stream=\"status\"} 2\n",
+                "",
+            ),
+        )
+        .unwrap();
+        let err = check_monotone("b.prom", &first, &truncated).unwrap_err();
+        assert!(err.contains("vanished"), "{err}");
+    }
+}

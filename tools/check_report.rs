@@ -15,7 +15,7 @@
 //! offline cannot express `deny_unknown_fields`, so the scan is the only
 //! unknown-field detector we have.
 //!
-//! Also asserts run-level sanity: `schema == 6`, analyzed files > 0,
+//! Also asserts run-level sanity: `schema == 7`, analyzed files > 0,
 //! non-zero stage timings (a report whose spans are all empty means the
 //! instrumentation was compiled out or disabled — CI should notice), and
 //! internally consistent cache and job-engine accounting
@@ -27,7 +27,10 @@
 //! time must be at least the nested `job.<kind>` span total. The serve
 //! section's traffic accounting is cross-validated the same way: total
 //! requests must equal the per-method dispatch sum plus rejected frames,
-//! and rejected frames are a lower bound on error responses.
+//! rejected frames are a lower bound on error responses, the sliding
+//! windows must be internally ordered (p50 ≤ p95 ≤ p99, errors ≤
+//! requests, recent ≤ lifetime) with the per-stream rows summing to the
+//! `all` row, and the SLO breach total must equal its per-budget parts.
 
 use std::process::ExitCode;
 
@@ -248,9 +251,9 @@ fn parse(text: &str) -> Result<Json, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Schema whitelist (schema version 6). Every struct level of RunReport.
+// Schema whitelist (schema version 7). Every struct level of RunReport.
 
-const SCHEMA_6: &[(&str, &[&str])] = &[
+const SCHEMA_7: &[(&str, &[&str])] = &[
     (
         "",
         &[
@@ -337,6 +340,19 @@ const SCHEMA_6: &[(&str, &[&str])] = &[
             "relearns",
             "watch_scans",
             "by_method",
+            "windows",
+            "slow",
+            "slo",
+        ],
+    ),
+    (
+        "timings.serve.slo",
+        &[
+            "breaches",
+            "p99_breaches",
+            "error_rate_breaches",
+            "staleness_breaches",
+            "max_staleness_ms",
         ],
     ),
     (
@@ -383,7 +399,7 @@ fn check(report_text: &str) -> Result<String, String> {
 
     // 2. Structural scan: exact key set at every level.
     let root = parse(report_text)?;
-    for &(path, expected) in SCHEMA_6 {
+    for &(path, expected) in SCHEMA_7 {
         let node = lookup(&root, path).ok_or_else(|| format!("missing section `{path}`"))?;
         let mut keys = node.keys();
         keys.sort_unstable();
@@ -420,6 +436,58 @@ fn check(report_text: &str) -> Result<String, String> {
             keys.sort_unstable();
             if keys != ["buckets", "count", "p50", "p95", "p99", "sum"] {
                 return Err(format!("histogram `{name}` has unexpected fields {keys:?}"));
+            }
+        }
+    }
+    // Each serve window row is a `[stream, snapshot]` pair whose snapshot
+    // carries exactly the WindowSnapshot fields.
+    if let Some(Json::Arr(rows)) = lookup(&root, "timings.serve.windows") {
+        for row in rows {
+            let Json::Arr(pair) = row else {
+                return Err("serve window row is not a [stream, snapshot] pair".into());
+            };
+            let (Some(Json::Str(stream)), Some(snap)) = (pair.first(), pair.get(1)) else {
+                return Err("serve window row is not a [stream, snapshot] pair".into());
+            };
+            let mut keys = snap.keys();
+            keys.sort_unstable();
+            if keys
+                != [
+                    "errors",
+                    "mean_ns",
+                    "p50_ns",
+                    "p95_ns",
+                    "p99_ns",
+                    "requests",
+                    "total_errors",
+                    "total_p50_ns",
+                    "total_p95_ns",
+                    "total_p99_ns",
+                    "total_requests",
+                    "window_seconds",
+                ]
+            {
+                return Err(format!(
+                    "serve window `{stream}` has unexpected fields {keys:?}"
+                ));
+            }
+        }
+    }
+    // Each slow-query entry carries exactly the SlowQuery fields.
+    if let Some(Json::Arr(slow)) = lookup(&root, "timings.serve.slow") {
+        for entry in slow {
+            let mut keys = entry.keys();
+            keys.sort_unstable();
+            if keys
+                != [
+                    "gen",
+                    "latency_ns",
+                    "method",
+                    "request_bytes",
+                    "response_bytes",
+                ]
+            {
+                return Err(format!("slow-query entry has unexpected fields {keys:?}"));
             }
         }
     }
@@ -524,6 +592,75 @@ fn check(report_text: &str) -> Result<String, String> {
         return Err(format!(
             "serve accounting broken: {} error responses < {} rejected frames",
             serve.errors, serve.rejected
+        ));
+    }
+    // Window rows: internally ordered percentiles, errors bounded by
+    // requests, the recent window bounded by lifetime totals — and the
+    // per-stream rows must partition the `all` row exactly, because every
+    // frame is recorded into `all` plus exactly one method stream.
+    for (stream, w) in &serve.windows {
+        if w.errors > w.requests || w.total_errors > w.total_requests {
+            return Err(format!(
+                "serve window `{stream}` counts more errors than requests"
+            ));
+        }
+        if w.requests > w.total_requests || w.errors > w.total_errors {
+            return Err(format!(
+                "serve window `{stream}` recent window exceeds lifetime totals"
+            ));
+        }
+        if w.p50_ns > w.p95_ns || w.p95_ns > w.p99_ns {
+            return Err(format!(
+                "serve window `{stream}` percentiles unordered: p50 {} p95 {} p99 {}",
+                w.p50_ns, w.p95_ns, w.p99_ns
+            ));
+        }
+        if w.total_p50_ns > w.total_p95_ns || w.total_p95_ns > w.total_p99_ns {
+            return Err(format!(
+                "serve window `{stream}` lifetime percentiles unordered: \
+                 p50 {} p95 {} p99 {}",
+                w.total_p50_ns, w.total_p95_ns, w.total_p99_ns
+            ));
+        }
+    }
+    if let Some((_, all)) = serve.windows.iter().find(|(s, _)| s == "all") {
+        if all.total_requests != serve.requests {
+            return Err(format!(
+                "serve window `all` saw {} requests but serve.requests is {}",
+                all.total_requests, serve.requests
+            ));
+        }
+        let stream_requests: u64 = serve
+            .windows
+            .iter()
+            .filter(|(s, _)| s != "all")
+            .map(|(_, w)| w.total_requests)
+            .sum();
+        let stream_errors: u64 = serve
+            .windows
+            .iter()
+            .filter(|(s, _)| s != "all")
+            .map(|(_, w)| w.total_errors)
+            .sum();
+        if stream_requests != all.total_requests || stream_errors != all.total_errors {
+            return Err(format!(
+                "serve windows don't partition `all`: Σ streams {stream_requests} \
+                 requests / {stream_errors} errors vs all {} / {}",
+                all.total_requests, all.total_errors
+            ));
+        }
+    }
+    // Slow-query log: slowest-first order, methods that actually exist.
+    for pair in serve.slow.windows(2) {
+        if pair[0].latency_ns < pair[1].latency_ns {
+            return Err("serve slow-query log is not sorted slowest-first".into());
+        }
+    }
+    let slo = &serve.slo;
+    if slo.breaches != slo.p99_breaches + slo.error_rate_breaches + slo.staleness_breaches {
+        return Err(format!(
+            "slo accounting broken: {} breaches != {} p99 + {} error-rate + {} staleness",
+            slo.breaches, slo.p99_breaches, slo.error_rate_breaches, slo.staleness_breaches
         ));
     }
 
